@@ -1,0 +1,159 @@
+// Experiments E1/E3/E5 — application-level throughput of the paper's
+// proof-of-concept workloads: full Tic-Tac-Toe games (Figure 5 sequence,
+// cheat included), Figure 7 order-processing rounds, and auction bidding
+// across three houses.
+#include <benchmark/benchmark.h>
+
+#include "apps/auction.hpp"
+#include "apps/order.hpp"
+#include "apps/tictactoe.hpp"
+#include "b2b/federation.hpp"
+
+using namespace b2b;
+
+namespace {
+
+void BM_TicTacToeFigure5Game(benchmark::State& state) {
+  // One iteration = a fresh two-party game playing the Figure 5 sequence
+  // (three agreed moves + one vetoed cheat).
+  std::uint64_t moves = 0;
+  for (auto _ : state) {
+    core::Federation fed{{"cross", "nought"}};
+    apps::TicTacToeObject cross{PartyId{"cross"}, PartyId{"nought"}};
+    apps::TicTacToeObject nought{PartyId{"cross"}, PartyId{"nought"}};
+    const ObjectId game{"g"};
+    fed.register_object("cross", game, cross);
+    fed.register_object("nought", game, nought);
+    fed.bootstrap_object(game, {"cross", "nought"}, apps::Board{}.encode());
+
+    auto save = [&](const std::string& player, apps::TicTacToeObject& obj,
+                    int row, int col, apps::Mark mark) {
+      apps::Board board = obj.board();
+      if (!board.play(row, col, mark)) board.set(row, col, mark);
+      obj.board() = board;
+      core::RunHandle h =
+          fed.coordinator(player).propagate_new_state(game, obj.get_state());
+      fed.run_until_done(h);
+      fed.settle();
+      ++moves;
+      return h->outcome;
+    };
+    save("cross", cross, 1, 1, apps::Mark::kCross);
+    save("nought", nought, 0, 0, apps::Mark::kNought);
+    save("cross", cross, 1, 2, apps::Mark::kCross);
+    if (save("cross", cross, 2, 1, apps::Mark::kNought) !=
+        core::RunResult::Outcome::kVetoed) {
+      state.SkipWithError("cheat was not vetoed");
+    }
+  }
+  state.counters["moves/s"] = benchmark::Counter(
+      static_cast<double>(moves), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TicTacToeFigure5Game)->Unit(benchmark::kMillisecond);
+
+void BM_OrderFigure7Round(benchmark::State& state) {
+  // Iteration = customer adds an item, supplier prices it (two agreed
+  // coordinations on a long-lived order).
+  std::map<PartyId, apps::OrderRole> roles{
+      {PartyId{"customer"}, apps::OrderRole::kCustomer},
+      {PartyId{"supplier"}, apps::OrderRole::kSupplier}};
+  core::Federation fed{{"customer", "supplier"}};
+  apps::OrderObject customer{roles}, supplier{roles};
+  const ObjectId order{"o"};
+  fed.register_object("customer", order, customer);
+  fed.register_object("supplier", order, supplier);
+  fed.bootstrap_object(order, {"customer", "supplier"},
+                       apps::OrderDocument{}.encode());
+  int item = 0;
+  for (auto _ : state) {
+    std::string name = "item" + std::to_string(item++);
+    customer.doc().add_line(name, 2);
+    core::RunHandle h1 =
+        fed.coordinator("customer").propagate_new_state(order,
+                                                        customer.get_state());
+    fed.run_until_done(h1);
+    fed.settle();
+    supplier.doc().find(name)->unit_price_cents = 1000;
+    core::RunHandle h2 =
+        fed.coordinator("supplier").propagate_new_state(order,
+                                                        supplier.get_state());
+    fed.run_until_done(h2);
+    fed.settle();
+    if (h1->outcome != core::RunResult::Outcome::kAgreed ||
+        h2->outcome != core::RunResult::Outcome::kAgreed) {
+      state.SkipWithError("round not agreed");
+    }
+  }
+  state.counters["coordinations/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 2), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OrderFigure7Round)->Unit(benchmark::kMillisecond);
+
+void BM_AuctionBidding(benchmark::State& state) {
+  // Iteration = one accepted bid, validated by all three houses.
+  core::Federation fed{{"h1", "h2", "h3"}};
+  apps::AuctionObject a1{PartyId{"h1"}}, a2{PartyId{"h1"}}, a3{PartyId{"h1"}};
+  const ObjectId lot{"lot"};
+  fed.register_object("h1", lot, a1);
+  fed.register_object("h2", lot, a2);
+  fed.register_object("h3", lot, a3);
+  apps::AuctionState opening;
+  opening.item = "lot";
+  opening.reserve_cents = 100;
+  fed.bootstrap_object(lot, {"h1", "h2", "h3"}, opening.encode());
+
+  std::uint64_t amount = 100;
+  apps::AuctionObject* houses[] = {&a1, &a2, &a3};
+  const char* names[] = {"h1", "h2", "h3"};
+  int turn = 0;
+  for (auto _ : state) {
+    int house = turn++ % 3;
+    houses[house]->place_bid(PartyId{names[house]}, "client", ++amount);
+    core::RunHandle h = fed.coordinator(names[house])
+                            .propagate_new_state(lot,
+                                                 houses[house]->get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    if (h->outcome != core::RunResult::Outcome::kAgreed) {
+      state.SkipWithError("bid not agreed");
+    }
+  }
+  state.counters["bids/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_AuctionBidding)->Unit(benchmark::kMillisecond);
+
+void BM_CoordinationRoundTrip(benchmark::State& state) {
+  // The minimal end-to-end unit: one agreed 64 B overwrite between two
+  // parties (useful as the "protocol floor" under the app numbers).
+  core::Federation fed{{"a", "b"}};
+  struct Reg : core::B2BObject {
+    Bytes value;
+    Bytes get_state() const override { return value; }
+    void apply_state(BytesView s) override { value.assign(s.begin(), s.end()); }
+    core::Decision validate_state(BytesView,
+                                  const core::ValidationContext&) override {
+      return core::Decision::accepted();
+    }
+  } ra, rb;
+  const ObjectId obj{"reg"};
+  fed.register_object("a", obj, ra);
+  fed.register_object("b", obj, rb);
+  fed.bootstrap_object(obj, {"a", "b"}, Bytes(64, 0));
+  std::uint8_t round = 0;
+  for (auto _ : state) {
+    ra.value = Bytes(64, ++round);
+    core::RunHandle h =
+        fed.coordinator("a").propagate_new_state(obj, ra.get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    if (h->outcome != core::RunResult::Outcome::kAgreed) {
+      state.SkipWithError("not agreed");
+    }
+  }
+}
+BENCHMARK(BM_CoordinationRoundTrip)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

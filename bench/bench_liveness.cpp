@@ -1,0 +1,107 @@
+// Experiment E8 — liveness under bounded temporary failures.
+//
+// §4.1: "if no party misbehaves, agreed interactions will take place
+// despite a bounded number of temporary network and computer related
+// failures." Sweep message-loss probability (with duplication mixed in)
+// and crash/recovery cycles; expected shape: 100% of runs terminate with
+// agreement at every bounded fault level, while virtual time-to-agreement
+// and transport retransmissions grow with the fault rate.
+#include <cinttypes>
+
+#include "bench/support/bench_util.hpp"
+
+using namespace b2b;
+using bench::RegisterFederation;
+
+int main() {
+  constexpr int kRounds = 10;
+
+  bench::print_header(
+      "E8a: completion and time-to-agreement vs message loss "
+      "(N=3, 10 runs each)",
+      "  loss %% | completed | mean virt ms | retransmissions");
+  for (double drop : {0.0, 0.05, 0.1, 0.2, 0.3, 0.5}) {
+    core::Federation::Options options;
+    options.seed = 13;
+    options.faults.drop_probability = drop;
+    options.faults.duplicate_probability = drop / 2;
+    options.faults.min_delay_micros = 500;
+    options.faults.max_delay_micros = 20'000;
+    options.reliable.retransmit_interval_micros = 40'000;
+
+    RegisterFederation world(3, options);
+    int completed = 0;
+    double total_virtual_ms = 0;
+    for (int round = 0; round < kRounds; ++round) {
+      net::SimTime before = world.fed.scheduler().now();
+      core::RunHandle h = world.agree_once(
+          Bytes(256, static_cast<uint8_t>(round + 1)));
+      if (h->outcome == core::RunResult::Outcome::kAgreed) {
+        ++completed;
+        total_virtual_ms +=
+            static_cast<double>(world.fed.scheduler().now() - before) / 1000.0;
+      }
+    }
+    std::uint64_t retransmissions = 0;
+    for (const auto& name : world.names) {
+      retransmissions += world.fed.endpoint(name).stats().retransmissions;
+    }
+    std::printf("  %5.0f%% | %6d/%2d | %12.2f | %15" PRIu64 "\n", drop * 100,
+                completed, kRounds,
+                completed > 0 ? total_virtual_ms / completed : 0.0,
+                retransmissions);
+  }
+
+  bench::print_header(
+      "E8b: time-to-agreement vs responder crash duration (N=2)",
+      "  crash ms | completed | virt ms to agreement");
+  for (net::SimTime crash_ms : {0u, 100u, 500u, 2000u, 10000u}) {
+    core::Federation::Options options;
+    options.seed = 29;
+    RegisterFederation world(2, options);
+    world.agree_once(Bytes(64, 0x01));  // warm-up
+    // Crash org1, start a run, recover after crash_ms of virtual time.
+    world.fed.network().set_alive(PartyId{"org1"}, false);
+    net::SimTime before = world.fed.scheduler().now();
+    world.objects[0]->value = Bytes(64, 0x02);
+    core::RunHandle h = world.fed.coordinator("org0").propagate_new_state(
+        world.object, world.objects[0]->get_state());
+    world.fed.scheduler().run_until(before + crash_ms * 1000);
+    world.fed.network().set_alive(PartyId{"org1"}, true);
+    bool done = world.fed.run_until_done(h);
+    world.fed.settle();
+    std::printf("  %8" PRIu64 " | %9s | %10.2f\n",
+                static_cast<std::uint64_t>(crash_ms),
+                done && h->outcome == core::RunResult::Outcome::kAgreed
+                    ? "yes"
+                    : "NO",
+                static_cast<double>(world.fed.scheduler().now() - before) /
+                    1000.0);
+  }
+
+  bench::print_header(
+      "E8c: partition-and-heal (N=2): run proposed mid-partition",
+      "  partition ms | completed | virt ms to agreement");
+  for (net::SimTime part_ms : {100u, 1000u, 5000u, 30000u}) {
+    core::Federation::Options options;
+    options.seed = 31;
+    RegisterFederation world(2, options);
+    world.agree_once(Bytes(64, 0x01));
+    net::SimTime before = world.fed.scheduler().now();
+    world.fed.network().partition({PartyId{"org0"}}, {PartyId{"org1"}},
+                                  before + part_ms * 1000);
+    world.objects[0]->value = Bytes(64, 0x02);
+    core::RunHandle h = world.fed.coordinator("org0").propagate_new_state(
+        world.object, world.objects[0]->get_state());
+    bool done = world.fed.run_until_done(h);
+    world.fed.settle();
+    std::printf("  %12" PRIu64 " | %9s | %10.2f\n",
+                static_cast<std::uint64_t>(part_ms),
+                done && h->outcome == core::RunResult::Outcome::kAgreed
+                    ? "yes"
+                    : "NO",
+                static_cast<double>(world.fed.scheduler().now() - before) /
+                    1000.0);
+  }
+  return 0;
+}

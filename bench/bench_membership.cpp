@@ -1,0 +1,170 @@
+// Experiment E11 — membership-change cost and the sponsor-policy ablation.
+//
+// Cost of the connection protocol as the group grows (the joining member
+// must be validated by every current member and receive the full agreed
+// state), of evictions and voluntary departures, and a comparison of the
+// rotating-sponsor policy (§4.5.1) against the fixed-initial-sponsor
+// variant of footnote 2. Expected shape: messages per connect grow
+// linearly (request + propose/respond/decide fan-out + welcome); the two
+// sponsor policies cost the same per change — rotation buys resilience
+// (no fixed coordinator), not speed.
+#include <cinttypes>
+
+#include "bench/support/bench_util.hpp"
+
+using namespace b2b;
+using bench::WallClock;
+using test::TestRegister;
+
+namespace {
+
+struct GrowingWorld {
+  std::vector<std::string> names;
+  core::Federation fed;
+  std::vector<std::unique_ptr<TestRegister>> objects;
+  ObjectId object{"membership-bench"};
+
+  GrowingWorld(std::size_t capacity, core::SponsorPolicy policy)
+      : names(bench::RegisterFederation::make_names(capacity)),
+        fed(names,
+            [&] {
+              core::Federation::Options o;
+              o.sponsor_policy = policy;
+              return o;
+            }()) {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      objects.push_back(std::make_unique<TestRegister>());
+      fed.register_object(names[i], object, *objects[i]);
+    }
+    // Start with two genesis members; the rest join via the protocol.
+    fed.bootstrap_object(object, {names[0], names[1]}, bytes_of("genesis"));
+  }
+
+  std::uint64_t total_messages() {
+    std::uint64_t total = 0;
+    for (const auto& name : names) {
+      total += fed.coordinator(name).protocol_stats().envelopes_sent;
+    }
+    return total;
+  }
+
+  void reset_stats() {
+    for (const auto& name : names) {
+      fed.coordinator(name).reset_protocol_stats();
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kCapacity = 17;
+
+  bench::print_header(
+      "E11a: connection protocol cost as the group grows (rotating sponsor)",
+      "  join # | group before | msgs | wall ms");
+  {
+    GrowingWorld world(kCapacity, core::SponsorPolicy::kRotating);
+    for (std::size_t joiner = 2; joiner < kCapacity; ++joiner) {
+      world.reset_stats();
+      WallClock wall;
+      core::RunHandle h = world.fed.coordinator(world.names[joiner])
+                              .propagate_connect(world.object,
+                                                 PartyId{world.names[0]});
+      world.fed.run_until_done(h);
+      world.fed.settle();
+      if (h->outcome != core::RunResult::Outcome::kAgreed) {
+        std::printf("  join %zu FAILED: %s\n", joiner, h->diagnostic.c_str());
+        return 1;
+      }
+      if (joiner % 2 == 0 || joiner == kCapacity - 1) {
+        std::printf("  %6zu | %12zu | %4" PRIu64 " | %7.2f\n", joiner - 1,
+                    joiner, world.total_messages(),
+                    wall.elapsed_us() / 1000.0);
+      }
+    }
+  }
+
+  bench::print_header(
+      "E11b: sponsor-policy ablation — total cost of 10 joins + 5 churn "
+      "cycles",
+      "  policy        | msgs  | wall ms | runs agreed");
+  for (auto [policy, label] :
+       {std::pair{core::SponsorPolicy::kRotating, "rotating (§4.5.1)"},
+        std::pair{core::SponsorPolicy::kFixedInitial,
+                  "fixed (footnote 2)"}}) {
+    GrowingWorld world(12, policy);
+    WallClock wall;
+    int agreed = 0;
+    // Ten joins.
+    for (std::size_t joiner = 2; joiner < 12; ++joiner) {
+      core::RunHandle h = world.fed.coordinator(world.names[joiner])
+                              .propagate_connect(world.object,
+                                                 PartyId{world.names[0]});
+      world.fed.run_until_done(h);
+      world.fed.settle();
+      if (h->outcome == core::RunResult::Outcome::kAgreed) ++agreed;
+    }
+    // Five churn cycles: a middle member leaves and rejoins.
+    for (int cycle = 0; cycle < 5; ++cycle) {
+      core::RunHandle leave = world.fed.coordinator(world.names[5])
+                                  .propagate_disconnect(world.object);
+      world.fed.run_until_done(leave);
+      world.fed.settle();
+      if (leave->outcome == core::RunResult::Outcome::kAgreed) ++agreed;
+      core::RunHandle rejoin = world.fed.coordinator(world.names[5])
+                                   .propagate_connect(world.object,
+                                                      PartyId{world.names[0]});
+      world.fed.run_until_done(rejoin);
+      world.fed.settle();
+      if (rejoin->outcome == core::RunResult::Outcome::kAgreed) ++agreed;
+    }
+    std::printf("  %-13s | %5" PRIu64 " | %7.2f | %d/20\n", label,
+                world.total_messages(), wall.elapsed_us() / 1000.0, agreed);
+  }
+
+  bench::print_header(
+      "E11c: disconnection variants at group size 8",
+      "  variant               | msgs | wall ms | agreed");
+  for (int variant = 0; variant < 3; ++variant) {
+    GrowingWorld world(9, core::SponsorPolicy::kRotating);
+    for (std::size_t joiner = 2; joiner < 9; ++joiner) {
+      core::RunHandle h = world.fed.coordinator(world.names[joiner])
+                              .propagate_connect(world.object,
+                                                 PartyId{world.names[0]});
+      world.fed.run_until_done(h);
+      world.fed.settle();
+    }
+    world.reset_stats();
+    WallClock wall;
+    core::RunHandle h;
+    const char* label;
+    switch (variant) {
+      case 0:
+        label = "voluntary departure  ";
+        h = world.fed.coordinator(world.names[3])
+                .propagate_disconnect(world.object);
+        break;
+      case 1:
+        label = "eviction (by sponsor)";
+        h = world.fed.coordinator(world.names[8])
+                .propagate_eviction(world.object, {PartyId{world.names[3]}});
+        break;
+      default:
+        label = "subset eviction (x3) ";
+        h = world.fed.coordinator(world.names[8])
+                .propagate_eviction(world.object,
+                                    {PartyId{world.names[2]},
+                                     PartyId{world.names[3]},
+                                     PartyId{world.names[4]}});
+        break;
+    }
+    world.fed.run_until_done(h);
+    world.fed.settle();
+    std::printf("  %s | %4" PRIu64 " | %7.2f | %s\n", label,
+                world.total_messages(), wall.elapsed_us() / 1000.0,
+                h->outcome == core::RunResult::Outcome::kAgreed ? "yes"
+                                                                : "NO");
+  }
+  return 0;
+}

@@ -1,0 +1,206 @@
+// Experiment E7 — detection coverage and cost of misbehaviour handling.
+//
+// For each misbehaviour class of §4.4, a dishonest-but-properly-keyed
+// member injects crafted messages; the table reports whether honest
+// parties detected it, whether any honest party installed invalid state
+// (must always be "no" — the fail-safe guarantee), and the wall-time cost
+// of the detection machinery relative to an honest run.
+#include <cinttypes>
+#include <functional>
+
+#include "bench/support/bench_util.hpp"
+
+using namespace b2b;
+using bench::WallClock;
+using test::TestRegister;
+
+namespace {
+
+struct MalloryWorld {
+  core::Federation fed{{"bob", "carol", "mallory"}};
+  TestRegister bob_obj, carol_obj, mallory_obj;
+  crypto::ChaCha20Rng rng{0xbadc0deULL};
+  Bytes authenticator;
+  std::vector<std::pair<PartyId, Bytes>> inbox;
+  const ObjectId object{"doc"};
+
+  MalloryWorld() {
+    fed.register_object("bob", object, bob_obj);
+    fed.register_object("carol", object, carol_obj);
+    fed.coordinator("mallory").register_object(object, mallory_obj);
+    fed.bootstrap_object(object, {"bob", "carol", "mallory"},
+                         bytes_of("genesis"));
+    fed.endpoint("mallory").set_handler(
+        [this](const PartyId& from, const Bytes& payload) {
+          inbox.emplace_back(from, payload);
+        });
+  }
+
+  core::ProposeMsg make_proposal(Bytes new_state) {
+    const core::Replica& view = fed.coordinator("bob").replica(object);
+    core::ProposeMsg msg;
+    core::Proposal& prop = msg.proposal;
+    prop.proposer = PartyId{"mallory"};
+    prop.object = object;
+    prop.group = view.group_tuple();
+    prop.agreed = view.agreed_tuple();
+    authenticator = rng.bytes(32);
+    prop.proposed = core::StateTuple{view.last_seen_sequence() + 1,
+                                     crypto::Sha256::hash(authenticator),
+                                     crypto::Sha256::hash(new_state)};
+    prop.payload_hash = crypto::Sha256::hash(new_state);
+    msg.payload = std::move(new_state);
+    sign(msg);
+    return msg;
+  }
+
+  void sign(core::ProposeMsg& msg) {
+    msg.signature =
+        fed.keypair("mallory").sign(msg.proposal.signed_bytes());
+  }
+
+  void send(const std::string& to, core::MsgType type, Bytes body) {
+    core::Envelope env{type, object, std::move(body)};
+    fed.endpoint("mallory").send(PartyId{to}, env.encode());
+  }
+
+  std::vector<core::RespondMsg> responses() {
+    std::vector<core::RespondMsg> out;
+    for (const auto& [from, payload] : inbox) {
+      core::Envelope env = core::Envelope::decode(payload);
+      if (env.type == core::MsgType::kRespond) {
+        out.push_back(core::RespondMsg::decode(env.body));
+      }
+    }
+    return out;
+  }
+
+  std::uint64_t violations() {
+    return fed.coordinator("bob").violations_detected() +
+           fed.coordinator("carol").violations_detected();
+  }
+
+  bool invalid_state_installed() {
+    return bob_obj.value != bytes_of("genesis") ||
+           carol_obj.value != bytes_of("genesis");
+  }
+};
+
+struct Attack {
+  const char* name;
+  std::function<void(MalloryWorld&)> run;
+};
+
+}  // namespace
+
+int main() {
+  std::vector<Attack> attacks{
+      {"tampered payload",
+       [](MalloryWorld& w) {
+         core::ProposeMsg msg = w.make_proposal(bytes_of("evil"));
+         msg.payload = bytes_of("different");
+         w.send("bob", core::MsgType::kPropose, msg.encode());
+         w.fed.settle();
+       }},
+      {"inconsistent signed content",
+       [](MalloryWorld& w) {
+         core::ProposeMsg msg = w.make_proposal(bytes_of("evil"));
+         msg.proposal.proposed.state_hash =
+             crypto::Sha256::hash(bytes_of("other"));
+         w.sign(msg);
+         w.send("bob", core::MsgType::kPropose, msg.encode());
+         w.fed.settle();
+       }},
+      {"replayed proposal",
+       [](MalloryWorld& w) {
+         core::ProposeMsg msg = w.make_proposal(bytes_of("evil"));
+         w.send("bob", core::MsgType::kPropose, msg.encode());
+         w.fed.settle();
+         w.send("bob", core::MsgType::kPropose, msg.encode());
+         w.fed.settle();
+       }},
+      {"selective send + partial decide",
+       [](MalloryWorld& w) {
+         core::ProposeMsg msg = w.make_proposal(bytes_of("selective"));
+         w.send("bob", core::MsgType::kPropose, msg.encode());
+         w.fed.settle();
+         core::DecideMsg decide;
+         decide.proposer = PartyId{"mallory"};
+         decide.object = w.object;
+         decide.proposed = msg.proposal.proposed;
+         decide.responses = w.responses();
+         decide.authenticator = w.authenticator;
+         w.send("bob", core::MsgType::kDecide, decide.encode());
+         w.fed.settle();
+       }},
+      {"forged decide authenticator",
+       [](MalloryWorld& w) {
+         core::ProposeMsg msg = w.make_proposal(bytes_of("forged"));
+         w.send("bob", core::MsgType::kPropose, msg.encode());
+         w.send("carol", core::MsgType::kPropose, msg.encode());
+         w.fed.settle();
+         core::DecideMsg decide;
+         decide.proposer = PartyId{"mallory"};
+         decide.object = w.object;
+         decide.proposed = msg.proposal.proposed;
+         decide.responses = w.responses();
+         decide.authenticator = bytes_of("wrong");
+         w.send("bob", core::MsgType::kDecide, decide.encode());
+         w.send("carol", core::MsgType::kDecide, decide.encode());
+         w.fed.settle();
+       }},
+      {"impersonation",
+       [](MalloryWorld& w) {
+         core::ProposeMsg msg = w.make_proposal(bytes_of("evil"));
+         msg.proposal.proposer = PartyId{"bob"};
+         w.sign(msg);
+         w.send("carol", core::MsgType::kPropose, msg.encode());
+         w.fed.settle();
+       }},
+  };
+
+  // Honest reference: mallory behaves correctly.
+  double honest_ms;
+  {
+    MalloryWorld w;
+    WallClock wall;
+    core::ProposeMsg msg = w.make_proposal(bytes_of("honest"));
+    w.send("bob", core::MsgType::kPropose, msg.encode());
+    w.send("carol", core::MsgType::kPropose, msg.encode());
+    w.fed.settle();
+    core::DecideMsg decide;
+    decide.proposer = PartyId{"mallory"};
+    decide.object = w.object;
+    decide.proposed = msg.proposal.proposed;
+    decide.responses = w.responses();
+    decide.authenticator = w.authenticator;
+    w.send("bob", core::MsgType::kDecide, decide.encode());
+    w.send("carol", core::MsgType::kDecide, decide.encode());
+    w.fed.settle();
+    honest_ms = wall.elapsed_us() / 1000.0;
+    if (w.bob_obj.value != bytes_of("honest")) {
+      std::fprintf(stderr, "honest reference run failed!\n");
+      return 1;
+    }
+  }
+
+  bench::print_header(
+      "E7: misbehaviour detection coverage and cost (honest run: reference)",
+      "  attack                         | detected | invalid state | wall ms "
+      "| vs honest");
+  std::printf("  %-30s | %8s | %13s | %7.2f | %9s\n", "(honest run)", "-",
+              "no", honest_ms, "1.0x");
+
+  for (const auto& attack : attacks) {
+    MalloryWorld w;
+    WallClock wall;
+    attack.run(w);
+    double ms = wall.elapsed_us() / 1000.0;
+    std::printf("  %-30s | %8s | %13s | %7.2f | %8.1fx\n", attack.name,
+                w.violations() > 0 ? "yes" : "NO",
+                w.invalid_state_installed() ? "YES (BUG!)" : "no", ms,
+                honest_ms > 0 ? ms / honest_ms : 0.0);
+    if (w.invalid_state_installed()) return 1;
+  }
+  return 0;
+}

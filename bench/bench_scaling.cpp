@@ -1,0 +1,70 @@
+// Experiment E6 — message complexity and latency vs. group size.
+//
+// Reproduces the paper's §7 claim that the state coordination protocol is
+// "efficient in terms of the number of messages required (O(N) for N
+// parties)". Expected shape: protocol messages per run are exactly
+// 3(N-1); bytes grow linearly with a slope dominated by the aggregated
+// decide message; virtual-time latency is ~3 one-way delays regardless of
+// N (the phases are parallel across recipients).
+#include <cinttypes>
+
+#include "bench/support/bench_util.hpp"
+
+using namespace b2b;
+using bench::RegisterFederation;
+using bench::WallClock;
+
+int main() {
+  bench::print_header(
+      "E6: state coordination cost vs. group size N (one overwrite of 256 B)",
+      "     N |  msgs | 3(N-1) |  proto KB | datagrams |  virt ms | wall ms");
+
+  for (std::size_t n : {2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    RegisterFederation world(n);
+    // Warm-up round so every endpoint has exchanged channel state.
+    world.agree_once(Bytes(256, 0x01));
+    world.reset_stats();
+
+    net::SimTime start_virtual = world.fed.scheduler().now();
+    WallClock wall;
+    core::RunHandle h = world.agree_once(Bytes(256, 0x02));
+    double wall_ms = wall.elapsed_us() / 1000.0;
+    if (h->outcome != core::RunResult::Outcome::kAgreed) {
+      std::printf("  N=%zu FAILED: %s\n", n, h->diagnostic.c_str());
+      return 1;
+    }
+    double virtual_ms =
+        static_cast<double>(world.fed.scheduler().now() - start_virtual) /
+        1000.0;
+
+    std::printf("  %4zu | %5" PRIu64 " | %6zu | %9.2f | %9" PRIu64
+                " | %8.2f | %7.2f\n",
+                n, world.total_protocol_messages(), 3 * (n - 1),
+                static_cast<double>(world.total_protocol_bytes()) / 1024.0,
+                world.fed.network().stats().datagrams_sent, virtual_ms,
+                wall_ms);
+  }
+
+  bench::print_header(
+      "E6b: per-phase message counts at N=8 (propose / respond / decide)",
+      "  phase    | msgs");
+  {
+    RegisterFederation world(8);
+    world.agree_once(Bytes(256, 0x01));
+    world.reset_stats();
+    world.agree_once(Bytes(256, 0x02));
+    std::map<core::MsgType, std::uint64_t> by_type;
+    for (const auto& name : world.names) {
+      for (const auto& [type, count] :
+           world.fed.coordinator(name).protocol_stats().sent_by_type) {
+        by_type[type] += count;
+      }
+    }
+    std::printf("  propose  | %4" PRIu64 "\n",
+                by_type[core::MsgType::kPropose]);
+    std::printf("  respond  | %4" PRIu64 "\n",
+                by_type[core::MsgType::kRespond]);
+    std::printf("  decide   | %4" PRIu64 "\n", by_type[core::MsgType::kDecide]);
+  }
+  return 0;
+}

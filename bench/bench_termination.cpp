@@ -1,0 +1,94 @@
+// Experiment E13 — the §7 termination extensions, quantified.
+//
+// (a) TTP-certified abort: how long after its deadline does a blocked
+//     party terminate, and does everyone get the same verdict?
+// (b) Decision-rule ablation: availability of a group containing one
+//     permanently vetoing member, under unanimity vs majority.
+// (c) Overhead: do the deadline timers cost anything when runs complete
+//     normally?
+#include <cinttypes>
+
+#include "bench/support/bench_util.hpp"
+
+using namespace b2b;
+using bench::RegisterFederation;
+using bench::WallClock;
+using test::TestRegister;
+
+int main() {
+  bench::print_header(
+      "E13a: TTP-certified abort latency vs deadline (proposer blocked by a "
+      "silent member, N=3)",
+      "  deadline ms | virt ms to abort | verdicts | consistent");
+  for (std::uint64_t deadline_ms : {100u, 500u, 2000u, 10000u}) {
+    RegisterFederation world(3);
+    world.fed.enable_ttp_termination(world.object, deadline_ms * 1000);
+    // Silence org2 by detaching its coordinator from the endpoint.
+    world.fed.endpoint("org2").set_handler([](const PartyId&, const Bytes&) {});
+    net::SimTime start = world.fed.scheduler().now();
+    world.objects[0]->value = Bytes(64, 0x42);
+    core::RunHandle h = world.fed.coordinator("org0").propagate_new_state(
+        world.object, world.objects[0]->get_state());
+    world.fed.settle();
+    double virt_ms =
+        static_cast<double>(world.fed.scheduler().now() - start) / 1000.0;
+    bool consistent =
+        h->done() &&
+        world.fed.coordinator("org0").replica(world.object).active_run_labels().empty() &&
+        world.fed.coordinator("org1").replica(world.object).active_run_labels().empty();
+    std::printf("  %11" PRIu64 " | %16.2f | %8" PRIu64 " | %s\n", deadline_ms,
+                virt_ms, world.fed.termination_ttp().aborts_issued(),
+                consistent ? "yes" : "NO");
+  }
+
+  bench::print_header(
+      "E13b: decision-rule ablation — 20 proposals with one permanent "
+      "dissenter (N=4)",
+      "  rule      | agreed | vetoed | dissents recorded");
+  for (auto [rule, label] :
+       {std::pair{core::DecisionRule::kUnanimous, "unanimous"},
+        std::pair{core::DecisionRule::kMajority, "majority "}}) {
+    core::Federation::Options options;
+    options.decision_rule = rule;
+    RegisterFederation world(4, options);
+    world.objects[3]->policy = [](BytesView,
+                                  const core::ValidationContext&) {
+      return core::Decision::rejected("org3 dissents on principle");
+    };
+    int agreed = 0, vetoed = 0, dissents = 0;
+    for (int round = 0; round < 20; ++round) {
+      core::RunHandle h = world.agree_once(
+          Bytes(64, static_cast<uint8_t>(round + 1)));
+      if (h->outcome == core::RunResult::Outcome::kAgreed) {
+        ++agreed;
+        dissents += static_cast<int>(h->vetoers.size());
+      } else {
+        ++vetoed;
+      }
+    }
+    std::printf("  %s | %6d | %6d | %17d\n", label, agreed, vetoed, dissents);
+  }
+
+  bench::print_header(
+      "E13c: deadline-timer overhead on the happy path (100 agreed runs, "
+      "N=3)",
+      "  configuration  | wall ms | ttp verdicts");
+  for (bool with_ttp : {false, true}) {
+    RegisterFederation world(3);
+    if (with_ttp) world.fed.enable_ttp_termination(world.object, 60'000'000);
+    WallClock wall;
+    for (int round = 0; round < 100; ++round) {
+      core::RunHandle h = world.agree_once(
+          Bytes(64, static_cast<uint8_t>((round % 200) + 1)));
+      if (h->outcome != core::RunResult::Outcome::kAgreed) return 1;
+    }
+    std::uint64_t verdicts =
+        with_ttp ? world.fed.termination_ttp().aborts_issued() +
+                       world.fed.termination_ttp().decisions_issued()
+                 : 0;
+    std::printf("  %s | %7.2f | %12" PRIu64 "\n",
+                with_ttp ? "ttp enabled   " : "base protocol ",
+                wall.elapsed_us() / 1000.0, verdicts);
+  }
+  return 0;
+}

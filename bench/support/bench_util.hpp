@@ -1,0 +1,98 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Most experiments are protocol-level "table" benches: they run workloads
+// on the deterministic simulator and print one row per configuration
+// (messages, bytes, virtual-time latency, wall time). Micro-benches use
+// google-benchmark instead.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "b2b/federation.hpp"
+#include "tests/support/test_objects.hpp"
+
+namespace b2b::bench {
+
+/// Wall-clock stopwatch (microseconds).
+class WallClock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// A federation of n parties named org0..org{n-1}, each holding a
+/// TestRegister replica of one shared object, bootstrapped together.
+struct RegisterFederation {
+  std::vector<std::string> names;
+  core::Federation fed;
+  std::vector<std::unique_ptr<test::TestRegister>> objects;
+  ObjectId object{"bench-object"};
+
+  static std::vector<std::string> make_names(std::size_t n) {
+    std::vector<std::string> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back("org" + std::to_string(i));
+    return out;
+  }
+
+  explicit RegisterFederation(std::size_t n,
+                              const core::Federation::Options& options = {})
+      : names(make_names(n)), fed(names, options) {
+    for (std::size_t i = 0; i < n; ++i) {
+      objects.push_back(std::make_unique<test::TestRegister>());
+      fed.register_object(names[i], object, *objects[i]);
+    }
+    fed.bootstrap_object(object, names, bytes_of("genesis"));
+  }
+
+  /// Run one agreed overwrite from party 0 with the given state; returns
+  /// the handle (asserting completion is the caller's business).
+  core::RunHandle agree_once(Bytes state) {
+    objects[0]->value = std::move(state);
+    core::RunHandle h = fed.coordinator(names[0])
+                            .propagate_new_state(object, objects[0]->get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    return h;
+  }
+
+  std::uint64_t total_protocol_messages() {
+    std::uint64_t total = 0;
+    for (const auto& name : names) {
+      total += fed.coordinator(name).protocol_stats().envelopes_sent;
+    }
+    return total;
+  }
+
+  std::uint64_t total_protocol_bytes() {
+    std::uint64_t total = 0;
+    for (const auto& name : names) {
+      total += fed.coordinator(name).protocol_stats().envelope_bytes_sent;
+    }
+    return total;
+  }
+
+  void reset_stats() {
+    for (const auto& name : names) {
+      fed.coordinator(name).reset_protocol_stats();
+    }
+    fed.network().reset_stats();
+  }
+};
+
+inline void print_header(const std::string& title,
+                         const std::string& columns) {
+  std::printf("\n=== %s ===\n%s\n", title.c_str(), columns.c_str());
+}
+
+}  // namespace b2b::bench

@@ -1,0 +1,105 @@
+// Scenario 3 of §2: geographically dispersed auction houses jointly run a
+// trusted auction. Clients bid through whichever house they like; every
+// bid is validated by all houses, so no house can favour its clients, and
+// an attempt to do so is vetoed with evidence. Demonstrates asynchronous
+// coordination mode and a membership change (a house leaving the
+// consortium mid-auction).
+#include <iostream>
+
+#include "apps/auction.hpp"
+#include "b2b/federation.hpp"
+
+using namespace b2b;
+using apps::AuctionObject;
+using apps::AuctionState;
+
+int main() {
+  core::Federation fed{{"london", "newyork", "tokyo"}};
+  AuctionObject london{PartyId{"london"}};
+  AuctionObject newyork{PartyId{"london"}};
+  AuctionObject tokyo{PartyId{"london"}};
+  const ObjectId lot{"lot-17"};
+  fed.register_object("london", lot, london);
+  fed.register_object("newyork", lot, newyork);
+  fed.register_object("tokyo", lot, tokyo);
+
+  AuctionState opening;
+  opening.item = "painting: 'Virtual Space'";
+  opening.reserve_cents = 100'000;
+  fed.bootstrap_object(lot, {"london", "newyork", "tokyo"},
+                       opening.encode());
+
+  auto house_obj = [&](const std::string& name) -> AuctionObject& {
+    if (name == "london") return london;
+    if (name == "newyork") return newyork;
+    return tokyo;
+  };
+
+  auto bid = [&](const std::string& house, const std::string& client,
+                 std::uint64_t amount) {
+    AuctionObject& obj = house_obj(house);
+    obj.place_bid(PartyId{house}, client, amount);
+    core::RunHandle h =
+        fed.coordinator(house).propagate_new_state(lot, obj.get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    std::cout << client << " bids " << amount / 100 << " via " << house
+              << ": "
+              << (h->outcome == core::RunResult::Outcome::kAgreed
+                      ? "accepted"
+                      : "REJECTED (" + h->diagnostic + ")")
+              << "\n";
+  };
+
+  std::cout << "Lot: " << opening.item << ", reserve "
+            << opening.reserve_cents / 100 << "\n\n";
+
+  bid("newyork", "alice", 120'000);
+  bid("tokyo", "bob", 150'000);
+  bid("london", "carol", 90'000);   // below reserve history -> rejected
+  bid("london", "carol", 151'000);  // must strictly beat bob
+
+  // tokyo leaves the consortium mid-auction (voluntary disconnection).
+  std::cout << "\ntokyo disconnects from the consortium...\n";
+  core::RunHandle leave = fed.coordinator("tokyo").propagate_disconnect(lot);
+  fed.run_until_done(leave);
+  fed.settle();
+  std::cout << "remaining houses: ";
+  for (const auto& member : fed.coordinator("london").replica(lot).members()) {
+    std::cout << member << " ";
+  }
+  std::cout << "\n\n";
+
+  // Bidding continues among the remaining houses (2 validators now).
+  bid("newyork", "dave", 200'000);
+
+  // Only the selling house may close.
+  AuctionObject& ny = house_obj("newyork");
+  ny.close();
+  core::RunHandle bad_close =
+      fed.coordinator("newyork").propagate_new_state(lot, ny.get_state());
+  fed.run_until_done(bad_close);
+  fed.settle();
+  std::cout << "newyork tries to close the sale: "
+            << (bad_close->outcome == core::RunResult::Outcome::kVetoed
+                    ? "vetoed (" + bad_close->diagnostic + ")"
+                    : "agreed?!")
+            << "\n";
+
+  london.close();
+  core::RunHandle close_h =
+      fed.coordinator("london").propagate_new_state(lot, london.get_state());
+  fed.run_until_done(close_h);
+  fed.settle();
+
+  const AuctionState& final_state = newyork.state();
+  std::cout << "london closes the sale: "
+            << (close_h->outcome == core::RunResult::Outcome::kAgreed
+                    ? "agreed"
+                    : "vetoed")
+            << "\n\nSOLD to " << final_state.highest_bidder << " for "
+            << final_state.highest_bid_cents / 100 << " ("
+            << final_state.bid_count << " accepted bids), via "
+            << final_state.bidder_house << "\n";
+  return 0;
+}

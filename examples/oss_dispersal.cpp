@@ -1,0 +1,91 @@
+// Scenario 2 of §2: dispersal of operational support to the customer.
+//
+// Instead of phoning the provider's monolithic OSS, the customer holds a
+// replica of its own service configuration and changes what logically
+// belongs to it — bandwidth, QoS class, fault contact — directly, within
+// an envelope the provider publishes. Both sides' local policies police
+// the split, and every change (including every rejected overreach) leaves
+// non-repudiable evidence on both sides.
+#include <iostream>
+
+#include "apps/service_config.hpp"
+#include "b2b/federation.hpp"
+
+using namespace b2b;
+using apps::ServiceConfig;
+using apps::ServiceConfigObject;
+
+namespace {
+
+void show(const ServiceConfig& c) {
+  std::cout << "    bandwidth " << c.bandwidth_mbps << "/"
+            << c.max_bandwidth_mbps << " Mbps, QoS " << int{c.qos_class}
+            << "/" << int{c.max_qos_class} << ", faults -> "
+            << c.fault_contact << ", maintenance " << c.maintenance_window
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  core::Federation fed{{"telco", "acme"}};
+  ServiceConfigObject telco_obj{PartyId{"telco"}, PartyId{"acme"}};
+  ServiceConfigObject acme_obj{PartyId{"telco"}, PartyId{"acme"}};
+  const ObjectId svc{"acme-leased-line"};
+  fed.register_object("telco", svc, telco_obj);
+  fed.register_object("acme", svc, acme_obj);
+
+  ServiceConfig initial;
+  initial.max_bandwidth_mbps = 100;
+  initial.max_qos_class = 3;
+  initial.maintenance_window = "Sun 02:00-04:00";
+  initial.bandwidth_mbps = 10;
+  initial.fault_contact = "ops@acme.example";
+  fed.bootstrap_object(svc, {"telco", "acme"}, initial.encode());
+
+  core::Controller telco = fed.make_controller("telco", svc);
+  core::Controller acme = fed.make_controller("acme", svc);
+
+  auto attempt = [&](core::Controller& ctl, const char* what,
+                     auto mutate) {
+    std::cout << what << "\n";
+    ctl.enter();
+    ctl.overwrite();
+    mutate();
+    try {
+      ctl.leave();
+      std::cout << "  -> agreed\n";
+    } catch (const ValidationError& e) {
+      std::cout << "  -> VETOED: " << e.what() << "\n";
+    }
+    fed.settle();
+    show(telco_obj.config());
+  };
+
+  std::cout << "Initial configuration:\n";
+  show(acme_obj.config());
+
+  attempt(acme, "\nacme raises its own bandwidth to 80 Mbps (self-service):",
+          [&] { acme_obj.config().bandwidth_mbps = 80; });
+
+  attempt(acme, "\nacme tries to raise its own LIMIT to 10 Gbps:",
+          [&] { acme_obj.config().max_bandwidth_mbps = 10'000; });
+
+  attempt(telco, "\ntelco tries to quietly throttle acme to 1 Mbps:",
+          [&] { telco_obj.config().bandwidth_mbps = 1; });
+
+  attempt(telco, "\ntelco upgrades the envelope to 1 Gbps:",
+          [&] { telco_obj.config().max_bandwidth_mbps = 1'000; });
+
+  attempt(acme, "\nacme now self-services up to 800 Mbps:",
+          [&] { acme_obj.config().bandwidth_mbps = 800; });
+
+  std::cout << "\nEvidence retained: telco "
+            << fed.coordinator("telco").evidence().size() << " records, acme "
+            << fed.coordinator("acme").evidence().size()
+            << " records (chains intact: " << std::boolalpha
+            << (fed.coordinator("telco").evidence().verify_chain() &&
+                fed.coordinator("acme").evidence().verify_chain())
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,111 @@
+#include "apps/auction.hpp"
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::apps {
+
+Bytes AuctionState::encode() const {
+  wire::Encoder enc;
+  enc.str(item)
+      .u64(reserve_cents)
+      .u64(highest_bid_cents)
+      .str(highest_bidder)
+      .str(bidder_house)
+      .boolean(closed)
+      .u32(bid_count);
+  return std::move(enc).take();
+}
+
+AuctionState AuctionState::decode(BytesView data) {
+  wire::Decoder dec{data};
+  AuctionState s;
+  s.item = dec.str();
+  s.reserve_cents = dec.u64();
+  s.highest_bid_cents = dec.u64();
+  s.highest_bidder = dec.str();
+  s.bidder_house = dec.str();
+  s.closed = dec.boolean();
+  s.bid_count = dec.u32();
+  dec.expect_done();
+  return s;
+}
+
+std::optional<std::string> auction_rule_violation(
+    const AuctionState& current, const AuctionState& proposed,
+    const PartyId& proposer, const PartyId& seller_house) {
+  if (proposed.item != current.item ||
+      proposed.reserve_cents != current.reserve_cents) {
+    return "the lot and its reserve are immutable";
+  }
+  if (current.closed) {
+    return "the auction is closed";
+  }
+  if (proposed.closed) {
+    // Closing: only the selling house, and without smuggling in a bid
+    // change at the same time.
+    if (proposer != seller_house) {
+      return "only the selling house may close the auction";
+    }
+    if (proposed.highest_bid_cents != current.highest_bid_cents ||
+        proposed.highest_bidder != current.highest_bidder ||
+        proposed.bidder_house != current.bidder_house ||
+        proposed.bid_count != current.bid_count) {
+      return "closing must not alter the bid record";
+    }
+    return std::nullopt;
+  }
+  // A bid.
+  if (proposed.bid_count != current.bid_count + 1) {
+    return "bid count must advance by one";
+  }
+  if (proposed.highest_bidder.empty()) {
+    return "a bid requires a bidder";
+  }
+  if (proposed.bidder_house != proposer.str()) {
+    return "a house may only submit bids through itself";
+  }
+  if (proposed.highest_bid_cents < current.reserve_cents) {
+    return "bid is below the reserve";
+  }
+  if (proposed.highest_bid_cents <= current.highest_bid_cents) {
+    return "bid does not beat the current highest bid";
+  }
+  return std::nullopt;
+}
+
+AuctionObject::AuctionObject(PartyId seller_house)
+    : seller_house_(std::move(seller_house)) {}
+
+void AuctionObject::place_bid(const PartyId& house, const std::string& client,
+                              std::uint64_t amount_cents) {
+  state_.highest_bid_cents = amount_cents;
+  state_.highest_bidder = client;
+  state_.bidder_house = house.str();
+  ++state_.bid_count;
+}
+
+void AuctionObject::close() { state_.closed = true; }
+
+Bytes AuctionObject::get_state() const { return state_.encode(); }
+
+void AuctionObject::apply_state(BytesView state) {
+  state_ = AuctionState::decode(state);
+}
+
+core::Decision AuctionObject::validate_state(
+    BytesView proposed_state, const core::ValidationContext& ctx) {
+  AuctionState proposed;
+  try {
+    proposed = AuctionState::decode(proposed_state);
+  } catch (const CodecError& e) {
+    return core::Decision::rejected(std::string("undecodable auction: ") +
+                                    e.what());
+  }
+  std::optional<std::string> veto =
+      auction_rule_violation(state_, proposed, ctx.proposer, seller_house_);
+  if (veto.has_value()) return core::Decision::rejected(*veto);
+  return core::Decision::accepted();
+}
+
+}  // namespace b2b::apps

@@ -1,0 +1,68 @@
+// Distributed auction shared object (scenario 3 of §2).
+//
+// Autonomous auction houses jointly deliver a trusted auction service:
+// every house holds a replica of the auction state, clients bid through
+// whichever house they use, and each proposed bid is validated by all
+// houses — so no house can favour its own clients (same chance of success
+// irrespective of the server used), and every accepted bid is backed by
+// non-repudiable evidence from every house.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "b2b/object.hpp"
+
+namespace b2b::apps {
+
+struct AuctionState {
+  std::string item;
+  std::uint64_t reserve_cents = 0;
+  std::uint64_t highest_bid_cents = 0;  // 0 = no bid yet
+  std::string highest_bidder;           // client identity
+  std::string bidder_house;             // house that relayed the bid
+  bool closed = false;
+  std::uint32_t bid_count = 0;
+
+  Bytes encode() const;
+  static AuctionState decode(BytesView data);  // throws CodecError
+
+  friend bool operator==(const AuctionState&, const AuctionState&) = default;
+};
+
+/// Which rule (if any) forbids `current` -> `proposed` when proposed by
+/// `proposer` given the auction is run by `seller_house`?
+std::optional<std::string> auction_rule_violation(const AuctionState& current,
+                                                  const AuctionState& proposed,
+                                                  const PartyId& proposer,
+                                                  const PartyId& seller_house);
+
+class AuctionObject : public core::B2BObject {
+ public:
+  /// `seller_house` is the house running the sale: the only party allowed
+  /// to close the auction.
+  explicit AuctionObject(PartyId seller_house);
+
+  AuctionState& state() { return state_; }
+  const AuctionState& state() const { return state_; }
+  const PartyId& seller_house() const { return seller_house_; }
+
+  /// Local mutation helpers (call between Controller enter/leave).
+  /// place_bid records `house` as the relaying house.
+  void place_bid(const PartyId& house, const std::string& client,
+                 std::uint64_t amount_cents);
+  void close();
+
+  // B2BObject:
+  Bytes get_state() const override;
+  void apply_state(BytesView state) override;
+  core::Decision validate_state(BytesView proposed_state,
+                                const core::ValidationContext& ctx) override;
+
+ private:
+  AuctionState state_;
+  PartyId seller_house_;
+};
+
+}  // namespace b2b::apps

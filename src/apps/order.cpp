@@ -1,0 +1,299 @@
+#include "apps/order.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::apps {
+
+const OrderLine* OrderDocument::find(const std::string& item) const {
+  for (const auto& line : lines_) {
+    if (line.item == item) return &line;
+  }
+  return nullptr;
+}
+
+OrderLine* OrderDocument::find(const std::string& item) {
+  for (auto& line : lines_) {
+    if (line.item == item) return &line;
+  }
+  return nullptr;
+}
+
+void OrderDocument::add_line(const std::string& item, std::uint32_t quantity) {
+  if (quantity == 0) throw Error("order: zero quantity for " + item);
+  if (find(item) != nullptr) throw Error("order: duplicate item " + item);
+  lines_.push_back(OrderLine{item, quantity, 0, false, 0});
+}
+
+void OrderDocument::remove_line(const std::string& item) {
+  auto it = std::find_if(lines_.begin(), lines_.end(),
+                         [&](const OrderLine& l) { return l.item == item; });
+  if (it == lines_.end()) throw Error("order: no such item " + item);
+  lines_.erase(it);
+}
+
+Bytes OrderDocument::encode() const {
+  wire::Encoder enc;
+  enc.varint(lines_.size());
+  for (const auto& line : lines_) {
+    enc.str(line.item)
+        .u32(line.quantity)
+        .u64(line.unit_price_cents)
+        .boolean(line.approved)
+        .u32(line.delivery_days);
+  }
+  return std::move(enc).take();
+}
+
+OrderDocument OrderDocument::decode(BytesView data) {
+  wire::Decoder dec{data};
+  OrderDocument doc;
+  std::uint64_t n = dec.varint();
+  std::set<std::string> seen;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    OrderLine line;
+    line.item = dec.str();
+    line.quantity = dec.u32();
+    line.unit_price_cents = dec.u64();
+    line.approved = dec.boolean();
+    line.delivery_days = dec.u32();
+    if (line.item.empty()) throw CodecError("order: empty item name");
+    if (line.quantity == 0) throw CodecError("order: zero quantity");
+    if (!seen.insert(line.item).second) {
+      throw CodecError("order: duplicate item " + line.item);
+    }
+    doc.lines_.push_back(std::move(line));
+  }
+  dec.expect_done();
+  return doc;
+}
+
+Bytes encode_order_ops(const std::vector<OrderOp>& ops) {
+  wire::Encoder enc;
+  enc.varint(ops.size());
+  for (const auto& op : ops) {
+    enc.u8(static_cast<std::uint8_t>(op.kind)).str(op.item).u64(op.arg);
+  }
+  return std::move(enc).take();
+}
+
+std::vector<OrderOp> decode_order_ops(BytesView data) {
+  wire::Decoder dec{data};
+  std::uint64_t n = dec.varint();
+  std::vector<OrderOp> ops;
+  ops.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    OrderOp op;
+    std::uint8_t kind = dec.u8();
+    if (kind > 5) throw CodecError("order op: invalid kind");
+    op.kind = static_cast<OrderOp::Kind>(kind);
+    op.item = dec.str();
+    op.arg = dec.u64();
+    ops.push_back(std::move(op));
+  }
+  dec.expect_done();
+  return ops;
+}
+
+std::vector<OrderOp> diff_orders(const OrderDocument& from,
+                                 const OrderDocument& to) {
+  std::vector<OrderOp> ops;
+  for (const auto& old_line : from.lines()) {
+    if (to.find(old_line.item) == nullptr) {
+      ops.push_back({OrderOp::Kind::kRemoveLine, old_line.item, 0});
+    }
+  }
+  for (const auto& new_line : to.lines()) {
+    const OrderLine* old_line = from.find(new_line.item);
+    if (old_line == nullptr) {
+      ops.push_back({OrderOp::Kind::kAddLine, new_line.item,
+                     new_line.quantity});
+      old_line = nullptr;
+    }
+    std::uint32_t base_qty = old_line != nullptr ? old_line->quantity
+                                                 : new_line.quantity;
+    std::uint64_t base_price =
+        old_line != nullptr ? old_line->unit_price_cents : 0;
+    bool base_approved = old_line != nullptr && old_line->approved;
+    std::uint32_t base_delivery =
+        old_line != nullptr ? old_line->delivery_days : 0;
+    if (new_line.quantity != base_qty) {
+      ops.push_back({OrderOp::Kind::kSetQuantity, new_line.item,
+                     new_line.quantity});
+    }
+    if (new_line.unit_price_cents != base_price) {
+      ops.push_back({OrderOp::Kind::kSetPrice, new_line.item,
+                     new_line.unit_price_cents});
+    }
+    if (new_line.approved != base_approved) {
+      if (!new_line.approved) {
+        // Approval cannot be revoked via ops; fall back to an explicit
+        // remove+add (degenerate; not produced by the helpers).
+        ops.push_back({OrderOp::Kind::kRemoveLine, new_line.item, 0});
+        ops.push_back({OrderOp::Kind::kAddLine, new_line.item,
+                       new_line.quantity});
+        if (new_line.unit_price_cents != 0) {
+          ops.push_back({OrderOp::Kind::kSetPrice, new_line.item,
+                         new_line.unit_price_cents});
+        }
+      } else {
+        ops.push_back({OrderOp::Kind::kApprove, new_line.item, 0});
+      }
+    }
+    if (new_line.delivery_days != base_delivery) {
+      ops.push_back({OrderOp::Kind::kSetDelivery, new_line.item,
+                     new_line.delivery_days});
+    }
+  }
+  return ops;
+}
+
+void apply_order_ops(OrderDocument& doc, const std::vector<OrderOp>& ops) {
+  for (const auto& op : ops) {
+    switch (op.kind) {
+      case OrderOp::Kind::kAddLine:
+        doc.add_line(op.item, static_cast<std::uint32_t>(op.arg));
+        break;
+      case OrderOp::Kind::kRemoveLine:
+        doc.remove_line(op.item);
+        break;
+      case OrderOp::Kind::kSetQuantity: {
+        OrderLine* line = doc.find(op.item);
+        if (line == nullptr) throw Error("order op: no such item " + op.item);
+        if (op.arg == 0) throw Error("order op: zero quantity");
+        line->quantity = static_cast<std::uint32_t>(op.arg);
+        break;
+      }
+      case OrderOp::Kind::kSetPrice: {
+        OrderLine* line = doc.find(op.item);
+        if (line == nullptr) throw Error("order op: no such item " + op.item);
+        line->unit_price_cents = op.arg;
+        break;
+      }
+      case OrderOp::Kind::kApprove: {
+        OrderLine* line = doc.find(op.item);
+        if (line == nullptr) throw Error("order op: no such item " + op.item);
+        line->approved = true;
+        break;
+      }
+      case OrderOp::Kind::kSetDelivery: {
+        OrderLine* line = doc.find(op.item);
+        if (line == nullptr) throw Error("order op: no such item " + op.item);
+        line->delivery_days = static_cast<std::uint32_t>(op.arg);
+        break;
+      }
+    }
+  }
+}
+
+std::optional<std::string> order_rule_violation(const OrderDocument& current,
+                                                const OrderDocument& proposed,
+                                                OrderRole role) {
+  // Per-line comparison. Removed and added lines are treated as changes
+  // attributable to the proposer.
+  for (const auto& old_line : current.lines()) {
+    const OrderLine* new_line = proposed.find(old_line.item);
+    if (new_line == nullptr) {
+      if (role != OrderRole::kCustomer) {
+        return "only the customer may remove items (" + old_line.item + ")";
+      }
+      continue;
+    }
+    if (new_line->quantity != old_line.quantity &&
+        role != OrderRole::kCustomer) {
+      return "only the customer may change quantities (" + old_line.item +
+             ")";
+    }
+    if (new_line->unit_price_cents != old_line.unit_price_cents &&
+        role != OrderRole::kSupplier) {
+      return "only the supplier may price items (" + old_line.item + ")";
+    }
+    if (new_line->approved != old_line.approved) {
+      if (role != OrderRole::kApprover) {
+        return "only the approver may approve items (" + old_line.item + ")";
+      }
+      if (!new_line->approved) {
+        return "approval cannot be revoked (" + old_line.item + ")";
+      }
+    }
+    if (new_line->delivery_days != old_line.delivery_days) {
+      if (role != OrderRole::kDispatcher) {
+        return "only the dispatcher may set delivery terms (" +
+               old_line.item + ")";
+      }
+      if (!old_line.approved) {
+        return "delivery terms require an approved item (" + old_line.item +
+               ")";
+      }
+    }
+  }
+  for (const auto& new_line : proposed.lines()) {
+    if (current.find(new_line.item) != nullptr) continue;
+    if (role != OrderRole::kCustomer) {
+      return "only the customer may add items (" + new_line.item + ")";
+    }
+    if (new_line.unit_price_cents != 0 || new_line.approved ||
+        new_line.delivery_days != 0) {
+      return "new items must be unpriced, unapproved and without delivery "
+             "terms (" +
+             new_line.item + ")";
+    }
+  }
+  return std::nullopt;
+}
+
+OrderObject::OrderObject(std::map<PartyId, OrderRole> roles)
+    : roles_(std::move(roles)) {}
+
+std::optional<OrderRole> OrderObject::role_of(const PartyId& party) const {
+  auto it = roles_.find(party);
+  if (it == roles_.end()) return std::nullopt;
+  return it->second;
+}
+
+Bytes OrderObject::get_state() const { return doc_.encode(); }
+
+void OrderObject::apply_state(BytesView state) {
+  doc_ = OrderDocument::decode(state);
+  agreed_doc_ = doc_;
+}
+
+Bytes OrderObject::get_update() const {
+  return encode_order_ops(diff_orders(agreed_doc_, doc_));
+}
+
+void OrderObject::apply_update(BytesView update) {
+  apply_order_ops(doc_, decode_order_ops(update));
+}
+
+core::Decision OrderObject::validate_state(
+    BytesView proposed_state, const core::ValidationContext& ctx) {
+  OrderDocument proposed;
+  try {
+    proposed = OrderDocument::decode(proposed_state);
+  } catch (const CodecError& e) {
+    return core::Decision::rejected(std::string("undecodable order: ") +
+                                    e.what());
+  }
+  std::optional<OrderRole> role = role_of(ctx.proposer);
+  if (!role.has_value()) {
+    return core::Decision::rejected("proposer has no role in this order");
+  }
+  std::optional<std::string> veto =
+      order_rule_violation(doc_, proposed, *role);
+  if (veto.has_value()) return core::Decision::rejected(*veto);
+  return core::Decision::accepted();
+}
+
+void OrderObject::coord_callback(const core::CoordEvent& event) {
+  // Refresh the delta baseline whenever a state becomes agreed (we were
+  // the proposer: apply_state is not called on our side, so do it here).
+  if (event.kind == core::CoordEvent::Kind::kStateAgreed) {
+    agreed_doc_ = doc_;
+  }
+}
+
+}  // namespace b2b::apps

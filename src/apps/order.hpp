@@ -1,0 +1,120 @@
+// Order-processing shared object (§5.2 of the paper).
+//
+// A customer and a supplier (and, in the extended four-party variant the
+// paper sketches, an approver and a dispatcher) share the state of an
+// order. Validation rules are *asymmetric*: what a proposed change may
+// touch depends on who proposed it. The Figure 7 scenario — the supplier
+// pricing an item while also changing its quantity — is rejected by the
+// customer's local validation and never reaches the agreed order.
+//
+// The object supports both coordination variants: full-state overwrite and
+// delta update (§4.3.1) via a compact operation list.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "b2b/object.hpp"
+
+namespace b2b::apps {
+
+enum class OrderRole : std::uint8_t {
+  kCustomer = 0,   // may add lines and set quantities
+  kSupplier = 1,   // may only price lines
+  kApprover = 2,   // may only approve lines
+  kDispatcher = 3, // may only set delivery terms on approved lines
+  kObserver = 4,   // may not change anything
+};
+
+struct OrderLine {
+  std::string item;
+  std::uint32_t quantity = 0;
+  std::uint64_t unit_price_cents = 0;  // 0 = not yet priced
+  bool approved = false;
+  std::uint32_t delivery_days = 0;  // 0 = no delivery commitment yet
+
+  friend bool operator==(const OrderLine&, const OrderLine&) = default;
+};
+
+/// The pure order document (no middleware coupling).
+class OrderDocument {
+ public:
+  const std::vector<OrderLine>& lines() const { return lines_; }
+  const OrderLine* find(const std::string& item) const;
+  OrderLine* find(const std::string& item);
+
+  /// Add a new (unpriced, unapproved) line. Throws b2b::Error on
+  /// duplicates or zero quantity.
+  void add_line(const std::string& item, std::uint32_t quantity);
+  /// Remove a line. Throws if absent.
+  void remove_line(const std::string& item);
+
+  Bytes encode() const;
+  static OrderDocument decode(BytesView data);  // throws CodecError
+
+  friend bool operator==(const OrderDocument&, const OrderDocument&) = default;
+
+ private:
+  std::vector<OrderLine> lines_;
+};
+
+/// Delta operations for the update variant.
+struct OrderOp {
+  enum class Kind : std::uint8_t {
+    kAddLine = 0,      // arg = quantity
+    kRemoveLine = 1,   // arg unused
+    kSetQuantity = 2,  // arg = quantity
+    kSetPrice = 3,     // arg = unit price in cents
+    kApprove = 4,      // arg unused
+    kSetDelivery = 5,  // arg = days
+  };
+  Kind kind{};
+  std::string item;
+  std::uint64_t arg = 0;
+
+  friend bool operator==(const OrderOp&, const OrderOp&) = default;
+};
+
+Bytes encode_order_ops(const std::vector<OrderOp>& ops);
+std::vector<OrderOp> decode_order_ops(BytesView data);
+
+/// Compute the op list transforming `from` into `to`.
+std::vector<OrderOp> diff_orders(const OrderDocument& from,
+                                 const OrderDocument& to);
+
+/// Apply ops in place. Throws b2b::Error on inapplicable ops.
+void apply_order_ops(OrderDocument& doc, const std::vector<OrderOp>& ops);
+
+/// Role-based validation: which diagnostic (if any) vetoes the transition
+/// `current` -> `proposed` when proposed by a party with `role`?
+std::optional<std::string> order_rule_violation(const OrderDocument& current,
+                                                const OrderDocument& proposed,
+                                                OrderRole role);
+
+class OrderObject : public core::B2BObject {
+ public:
+  explicit OrderObject(std::map<PartyId, OrderRole> roles);
+
+  OrderDocument& doc() { return doc_; }
+  const OrderDocument& doc() const { return doc_; }
+  std::optional<OrderRole> role_of(const PartyId& party) const;
+
+  // B2BObject:
+  Bytes get_state() const override;
+  void apply_state(BytesView state) override;
+  Bytes get_update() const override;
+  void apply_update(BytesView update) override;
+  core::Decision validate_state(BytesView proposed_state,
+                                const core::ValidationContext& ctx) override;
+  void coord_callback(const core::CoordEvent& event) override;
+
+ private:
+  OrderDocument doc_;
+  OrderDocument agreed_doc_;  // baseline for get_update deltas
+  std::map<PartyId, OrderRole> roles_;
+};
+
+}  // namespace b2b::apps

@@ -1,0 +1,114 @@
+#include "apps/service_config.hpp"
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::apps {
+
+Bytes ServiceConfig::encode() const {
+  wire::Encoder enc;
+  enc.u32(max_bandwidth_mbps)
+      .u8(max_qos_class)
+      .str(maintenance_window)
+      .u32(bandwidth_mbps)
+      .u8(qos_class)
+      .str(fault_contact)
+      .boolean(service_enabled);
+  return std::move(enc).take();
+}
+
+ServiceConfig ServiceConfig::decode(BytesView data) {
+  wire::Decoder dec{data};
+  ServiceConfig c;
+  c.max_bandwidth_mbps = dec.u32();
+  c.max_qos_class = dec.u8();
+  c.maintenance_window = dec.str();
+  c.bandwidth_mbps = dec.u32();
+  c.qos_class = dec.u8();
+  c.fault_contact = dec.str();
+  c.service_enabled = dec.boolean();
+  dec.expect_done();
+  return c;
+}
+
+std::optional<std::string> oss_rule_violation(const ServiceConfig& current,
+                                              const ServiceConfig& proposed,
+                                              OssRole role) {
+  bool envelope_changed =
+      proposed.max_bandwidth_mbps != current.max_bandwidth_mbps ||
+      proposed.max_qos_class != current.max_qos_class ||
+      proposed.maintenance_window != current.maintenance_window;
+  bool selection_changed =
+      proposed.bandwidth_mbps != current.bandwidth_mbps ||
+      proposed.qos_class != current.qos_class ||
+      proposed.fault_contact != current.fault_contact ||
+      proposed.service_enabled != current.service_enabled;
+
+  if (role == OssRole::kProvider) {
+    if (selection_changed) {
+      return "the customer's service selection belongs to the customer";
+    }
+    // The provider may not shrink the envelope below what the customer
+    // already uses (that would silently break the running service).
+    if (proposed.max_bandwidth_mbps < current.bandwidth_mbps) {
+      return "cannot shrink the bandwidth envelope below current usage";
+    }
+    if (proposed.max_qos_class < current.qos_class) {
+      return "cannot shrink the QoS envelope below the current class";
+    }
+    return std::nullopt;
+  }
+
+  // Customer.
+  if (envelope_changed) {
+    return "service limits and maintenance windows belong to the provider";
+  }
+  if (proposed.bandwidth_mbps > current.max_bandwidth_mbps) {
+    return "requested bandwidth exceeds the provider's envelope";
+  }
+  if (proposed.qos_class > current.max_qos_class) {
+    return "requested QoS class exceeds the provider's envelope";
+  }
+  if (proposed.bandwidth_mbps == 0 && proposed.service_enabled) {
+    return "an enabled service needs non-zero bandwidth";
+  }
+  return std::nullopt;
+}
+
+ServiceConfigObject::ServiceConfigObject(PartyId provider, PartyId customer)
+    : provider_(std::move(provider)), customer_(std::move(customer)) {}
+
+std::optional<OssRole> ServiceConfigObject::role_of(
+    const PartyId& party) const {
+  if (party == provider_) return OssRole::kProvider;
+  if (party == customer_) return OssRole::kCustomer;
+  return std::nullopt;
+}
+
+Bytes ServiceConfigObject::get_state() const { return config_.encode(); }
+
+void ServiceConfigObject::apply_state(BytesView state) {
+  config_ = ServiceConfig::decode(state);
+}
+
+core::Decision ServiceConfigObject::validate_state(
+    BytesView proposed_state, const core::ValidationContext& ctx) {
+  ServiceConfig proposed;
+  try {
+    proposed = ServiceConfig::decode(proposed_state);
+  } catch (const CodecError& e) {
+    return core::Decision::rejected(std::string("undecodable config: ") +
+                                    e.what());
+  }
+  std::optional<OssRole> role = role_of(ctx.proposer);
+  if (!role.has_value()) {
+    return core::Decision::rejected(
+        "proposer has no role in this service relationship");
+  }
+  std::optional<std::string> veto =
+      oss_rule_violation(config_, proposed, *role);
+  if (veto.has_value()) return core::Decision::rejected(*veto);
+  return core::Decision::accepted();
+}
+
+}  // namespace b2b::apps

@@ -1,0 +1,69 @@
+// Operational-support-system dispersal shared object (§2 scenario 2).
+//
+// "The customer needs to be able to tailor their complete service. This
+// requires the 'dispersal of OSS' so that the customer controls the
+// aspects that logically belong to them." Provider and customer share a
+// telecom service configuration: the customer freely tunes its own
+// service parameters *within envelope limits the provider publishes*; the
+// provider owns the limits and its operational fields. Neither side can
+// touch the other's domain — enforced by each side's local validation,
+// not by trust.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "b2b/object.hpp"
+
+namespace b2b::apps {
+
+struct ServiceConfig {
+  // --- provider-owned envelope ------------------------------------------------
+  std::uint32_t max_bandwidth_mbps = 100;
+  std::uint8_t max_qos_class = 3;  // customer may select 0..max
+  std::string maintenance_window;  // e.g. "Sun 02:00-04:00"
+
+  // --- customer-owned service selection ---------------------------------------
+  std::uint32_t bandwidth_mbps = 10;
+  std::uint8_t qos_class = 0;
+  std::string fault_contact;  // where the provider reports faults
+  bool service_enabled = true;
+
+  Bytes encode() const;
+  static ServiceConfig decode(BytesView data);  // throws CodecError
+
+  friend bool operator==(const ServiceConfig&, const ServiceConfig&) = default;
+};
+
+enum class OssRole : std::uint8_t {
+  kProvider = 0,
+  kCustomer = 1,
+};
+
+/// Which rule (if any) forbids `current` -> `proposed` for `role`?
+std::optional<std::string> oss_rule_violation(const ServiceConfig& current,
+                                              const ServiceConfig& proposed,
+                                              OssRole role);
+
+class ServiceConfigObject : public core::B2BObject {
+ public:
+  ServiceConfigObject(PartyId provider, PartyId customer);
+
+  ServiceConfig& config() { return config_; }
+  const ServiceConfig& config() const { return config_; }
+  std::optional<OssRole> role_of(const PartyId& party) const;
+
+  // B2BObject:
+  Bytes get_state() const override;
+  void apply_state(BytesView state) override;
+  core::Decision validate_state(BytesView proposed_state,
+                                const core::ValidationContext& ctx) override;
+
+ private:
+  ServiceConfig config_;
+  PartyId provider_;
+  PartyId customer_;
+};
+
+}  // namespace b2b::apps

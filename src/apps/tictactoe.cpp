@@ -1,0 +1,177 @@
+#include "apps/tictactoe.hpp"
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::apps {
+
+namespace {
+
+constexpr std::array<std::array<int, 3>, 8> kLines = {{
+    {0, 1, 2},
+    {3, 4, 5},
+    {6, 7, 8},  // rows
+    {0, 3, 6},
+    {1, 4, 7},
+    {2, 5, 8},  // columns
+    {0, 4, 8},
+    {2, 4, 6},  // diagonals
+}};
+
+int cell_index(int row, int col) {
+  if (row < 0 || row > 2 || col < 0 || col > 2) {
+    throw std::out_of_range("board cell out of range");
+  }
+  return row * 3 + col;
+}
+
+Mark other(Mark mark) {
+  return mark == Mark::kCross ? Mark::kNought : Mark::kCross;
+}
+
+}  // namespace
+
+Mark Board::at(int row, int col) const { return cells_[cell_index(row, col)]; }
+
+void Board::set(int row, int col, Mark mark) {
+  cells_[cell_index(row, col)] = mark;
+}
+
+GameStatus Board::status() const {
+  for (const auto& line : kLines) {
+    Mark first = cells_[line[0]];
+    if (first != Mark::kEmpty && cells_[line[1]] == first &&
+        cells_[line[2]] == first) {
+      return first == Mark::kCross ? GameStatus::kCrossWins
+                                   : GameStatus::kNoughtWins;
+    }
+  }
+  if (move_count_ == 9) return GameStatus::kDraw;
+  return GameStatus::kInProgress;
+}
+
+bool Board::play(int row, int col, Mark mark) {
+  if (mark == Mark::kEmpty) return false;
+  if (status() != GameStatus::kInProgress) return false;
+  if (mark != next_turn_) return false;
+  int index = cell_index(row, col);
+  if (cells_[index] != Mark::kEmpty) return false;
+  cells_[index] = mark;
+  next_turn_ = other(mark);
+  ++move_count_;
+  return true;
+}
+
+Bytes Board::encode() const {
+  wire::Encoder enc;
+  for (Mark cell : cells_) enc.u8(static_cast<std::uint8_t>(cell));
+  enc.u8(static_cast<std::uint8_t>(next_turn_));
+  enc.u32(static_cast<std::uint32_t>(move_count_));
+  return std::move(enc).take();
+}
+
+Board Board::decode(BytesView data) {
+  wire::Decoder dec{data};
+  Board board;
+  for (auto& cell : board.cells_) {
+    std::uint8_t raw = dec.u8();
+    if (raw > 2) throw CodecError("board: invalid cell value");
+    cell = static_cast<Mark>(raw);
+  }
+  std::uint8_t turn = dec.u8();
+  if (turn != 1 && turn != 2) throw CodecError("board: invalid turn value");
+  board.next_turn_ = static_cast<Mark>(turn);
+  board.move_count_ = static_cast<int>(dec.u32());
+  if (board.move_count_ < 0 || board.move_count_ > 9) {
+    throw CodecError("board: invalid move count");
+  }
+  dec.expect_done();
+  return board;
+}
+
+std::string Board::render() const {
+  std::string out;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      Mark mark = at(row, col);
+      out += mark == Mark::kCross ? 'X' : mark == Mark::kNought ? 'O' : '.';
+      if (col != 2) out += ' ';
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<std::string> illegal_transition(const Board& current,
+                                              const Board& proposed,
+                                              std::optional<Mark> mover_mark) {
+  if (!mover_mark.has_value()) {
+    return "proposer is not a player in this game";
+  }
+  if (current.status() != GameStatus::kInProgress) {
+    return "game is already over";
+  }
+  if (*mover_mark != current.next_turn()) {
+    return "not the proposer's turn";
+  }
+  if (proposed.move_count() != current.move_count() + 1) {
+    return "move count must advance by one";
+  }
+  if (proposed.next_turn() == current.next_turn()) {
+    return "turn must pass to the opponent";
+  }
+  // Exactly one previously empty cell must now carry the mover's mark.
+  int changed = 0;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      Mark before = current.at(row, col);
+      Mark after = proposed.at(row, col);
+      if (before == after) continue;
+      ++changed;
+      if (before != Mark::kEmpty) {
+        return "an already claimed square was overwritten";
+      }
+      if (after != *mover_mark) {
+        return "square marked with the opponent's symbol";
+      }
+    }
+  }
+  if (changed == 0) return "no move made";
+  if (changed > 1) return "more than one square changed";
+  return std::nullopt;
+}
+
+TicTacToeObject::TicTacToeObject(PartyId cross_player, PartyId nought_player)
+    : cross_player_(std::move(cross_player)),
+      nought_player_(std::move(nought_player)) {}
+
+std::optional<Mark> TicTacToeObject::mark_of(const PartyId& party) const {
+  if (party == cross_player_) return Mark::kCross;
+  if (party == nought_player_) return Mark::kNought;
+  return std::nullopt;
+}
+
+Bytes TicTacToeObject::get_state() const { return board_.encode(); }
+
+void TicTacToeObject::apply_state(BytesView state) {
+  board_ = Board::decode(state);
+}
+
+core::Decision TicTacToeObject::validate_state(
+    BytesView proposed_state, const core::ValidationContext& ctx) {
+  Board proposed;
+  try {
+    proposed = Board::decode(proposed_state);
+  } catch (const CodecError& e) {
+    return core::Decision::rejected(std::string("undecodable board: ") +
+                                    e.what());
+  }
+  std::optional<std::string> veto =
+      illegal_transition(board_, proposed, mark_of(ctx.proposer));
+  if (veto.has_value()) return core::Decision::rejected(*veto);
+  return core::Decision::accepted();
+}
+
+}  // namespace b2b::apps

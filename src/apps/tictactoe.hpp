@@ -1,0 +1,91 @@
+// Tic-Tac-Toe shared object (§5.1 of the paper).
+//
+// Two players' servers share the game state; every move is a proposed
+// state change validated by the opponent (and, in the TTP variant of
+// Figure 6, by a trusted third party). The rules are symmetric: claim an
+// empty square with your own mark, on your turn, while the game is open.
+// A party that proposes anything else — e.g. the paper's Figure 5 cheat,
+// Cross marking a square with a zero to pre-empt Nought — is vetoed and
+// the agreed game state is unchanged.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "b2b/object.hpp"
+
+namespace b2b::apps {
+
+enum class Mark : std::uint8_t { kEmpty = 0, kCross = 1, kNought = 2 };
+
+/// Game status derived from the board.
+enum class GameStatus : std::uint8_t {
+  kInProgress = 0,
+  kCrossWins = 1,
+  kNoughtWins = 2,
+  kDraw = 3,
+};
+
+/// Plain 3x3 board with rule helpers (no middleware coupling; unit-testable
+/// in isolation).
+class Board {
+ public:
+  Mark at(int row, int col) const;
+  void set(int row, int col, Mark mark);
+
+  Mark next_turn() const { return next_turn_; }
+  int move_count() const { return move_count_; }
+  GameStatus status() const;
+
+  /// Apply a move if legal; returns false (board unchanged) otherwise.
+  bool play(int row, int col, Mark mark);
+
+  Bytes encode() const;
+  static Board decode(BytesView data);  // throws CodecError
+
+  friend bool operator==(const Board&, const Board&) = default;
+
+  /// Render as three lines of "X O ." (debugging / examples).
+  std::string render() const;
+
+ private:
+  std::array<Mark, 9> cells_{};
+  Mark next_turn_ = Mark::kCross;
+  int move_count_ = 0;
+};
+
+/// The B2BObject wrapper: knows which party plays which mark and enforces
+/// the rules as its local validation policy.
+class TicTacToeObject : public core::B2BObject {
+ public:
+  /// Parties other than the two players (e.g. a TTP) may share the object;
+  /// they validate moves but cannot make any.
+  TicTacToeObject(PartyId cross_player, PartyId nought_player);
+
+  Board& board() { return board_; }
+  const Board& board() const { return board_; }
+
+  /// Mark played by `party`, if it is a player.
+  std::optional<Mark> mark_of(const PartyId& party) const;
+
+  // B2BObject:
+  Bytes get_state() const override;
+  void apply_state(BytesView state) override;
+  core::Decision validate_state(BytesView proposed_state,
+                                const core::ValidationContext& ctx) override;
+
+ private:
+  Board board_;
+  PartyId cross_player_;
+  PartyId nought_player_;
+};
+
+/// Rule check shared by validation and local play: is `proposed` a legal
+/// successor of `current` when proposed by the player with `mover_mark`?
+/// Returns the veto diagnostic, or nullopt if legal.
+std::optional<std::string> illegal_transition(const Board& current,
+                                              const Board& proposed,
+                                              std::optional<Mark> mover_mark);
+
+}  // namespace b2b::apps

@@ -1,0 +1,90 @@
+#include "b2b/arbiter.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace b2b::core {
+
+std::optional<RunTranscript> Arbiter::reconstruct(
+    const store::MessageStore& messages, const std::string& run_label) {
+  RunTranscript transcript;
+  bool have_propose = false;
+  std::set<PartyId> responders_seen;
+
+  for (const auto& stored : messages.run(run_label)) {
+    try {
+      if (stored.kind == "propose" && !have_propose) {
+        transcript.propose = ProposeMsg::decode(stored.payload);
+        have_propose = true;
+      } else if (stored.kind == "respond") {
+        RespondMsg resp = RespondMsg::decode(stored.payload);
+        // Keep the first copy per responder (later equivocations are
+        // separate evidence, not part of the canonical transcript).
+        if (responders_seen.insert(resp.response.responder).second) {
+          transcript.responses.push_back(std::move(resp));
+        }
+      } else if (stored.kind == "decide" && !transcript.decide.has_value()) {
+        transcript.decide = DecideMsg::decode(stored.payload);
+      }
+    } catch (const CodecError&) {
+      // Undecodable stored bytes: skip; the verifier will flag any gap.
+    }
+  }
+  if (!have_propose) return std::nullopt;
+  // Prefer the responses aggregated in the decide when the local store
+  // lacks direct copies (responders only hold their own response).
+  if (transcript.decide.has_value()) {
+    for (const RespondMsg& resp : transcript.decide->responses) {
+      if (responders_seen.insert(resp.response.responder).second) {
+        transcript.responses.push_back(resp);
+      }
+    }
+  }
+  return transcript;
+}
+
+ArbitrationReport Arbiter::arbitrate(
+    const store::MessageStore& messages, const std::string& run_label,
+    const std::vector<PartyId>* expected_recipients) const {
+  ArbitrationReport report;
+  std::optional<RunTranscript> transcript =
+      reconstruct(messages, run_label);
+  if (!transcript.has_value()) {
+    report.ruling = "no proposal on record for run " + run_label +
+                    ": nothing to arbitrate";
+    return report;
+  }
+  report.proposal_found = true;
+  report.decide_found = transcript->decide.has_value();
+  report.verdict =
+      verifier_.verify_state_run(*transcript, expected_recipients);
+
+  const Proposal& prop = transcript->propose.proposal;
+  std::string who = prop.proposer.str();
+  if (report.verdict.agreed) {
+    report.ruling = "run " + run_label + ": state proposed by " + who +
+                    " was unanimously agreed; evidence intact; the state "
+                    "identified by the proposal is VALID";
+  } else if (!report.verdict.vetoers.empty() && report.verdict.evidence_intact) {
+    std::string vetoers;
+    for (const PartyId& v : report.verdict.vetoers) {
+      if (!vetoers.empty()) vetoers += ", ";
+      vetoers += v.str();
+    }
+    report.ruling = "run " + run_label + ": state proposed by " + who +
+                    " was vetoed by " + vetoers +
+                    "; evidence intact; the state is INVALID";
+  } else if (!report.decide_found) {
+    report.ruling = "run " + run_label + ": proposed by " + who +
+                    " but no decision message is on record; the run is "
+                    "INCOMPLETE and the state cannot be shown valid";
+  } else {
+    report.ruling = "run " + run_label + ": evidence is NOT intact (" +
+                    std::to_string(report.verdict.violations.size()) +
+                    " defect(s)); the state cannot be shown valid";
+  }
+  return report;
+}
+
+}  // namespace b2b::core

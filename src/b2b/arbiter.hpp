@@ -1,0 +1,52 @@
+// Arbiter: extra-protocol dispute resolution (§4.1, §7).
+//
+// "It is assumed that, if necessary, this evidence can be used in
+// extra-protocol arbitration to resolve disputes." The Arbiter plays that
+// third party: given one participant's persistent message store (every
+// protocol message it sent or received, §4.2) it reconstructs the
+// transcript of a named run and verifies it with only public keys —
+// reaching the same verdict a participant would, and listing every defect
+// when the evidence is not intact.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "b2b/evidence.hpp"
+#include "store/message_store.hpp"
+
+namespace b2b::core {
+
+/// The outcome of arbitration over one run.
+struct ArbitrationReport {
+  /// A proposal for the run was found in the store.
+  bool proposal_found = false;
+  /// A decide message for the run was found.
+  bool decide_found = false;
+  /// Full cryptographic verdict (meaningful when proposal_found).
+  VerifiedRun verdict;
+  /// One-paragraph human-readable ruling.
+  std::string ruling;
+};
+
+class Arbiter {
+ public:
+  explicit Arbiter(EvidenceVerifier verifier) : verifier_(std::move(verifier)) {}
+
+  /// Rebuild the transcript of `run_label` from a participant's message
+  /// store. Returns nullopt if the store holds no proposal for the run.
+  static std::optional<RunTranscript> reconstruct(
+      const store::MessageStore& messages, const std::string& run_label);
+
+  /// Arbitrate the run: reconstruct, verify, and rule. When
+  /// `expected_recipients` is given, response completeness is enforced
+  /// (required to rule a state *valid*).
+  ArbitrationReport arbitrate(
+      const store::MessageStore& messages, const std::string& run_label,
+      const std::vector<PartyId>* expected_recipients = nullptr) const;
+
+ private:
+  EvidenceVerifier verifier_;
+};
+
+}  // namespace b2b::core

@@ -1,0 +1,118 @@
+#include "b2b/composite.hpp"
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::core {
+
+void CompositeObject::add_component(std::string name, B2BObject& child) {
+  for (const Component& existing : components_) {
+    if (existing.name == name) {
+      throw Error("composite: duplicate component " + name);
+    }
+  }
+  components_.push_back(Component{std::move(name), &child});
+}
+
+B2BObject& CompositeObject::component(const std::string& name) {
+  for (Component& c : components_) {
+    if (c.name == name) return *c.object;
+  }
+  throw Error("composite: no such component " + name);
+}
+
+Bytes CompositeObject::get_state() const {
+  wire::Encoder enc;
+  enc.varint(components_.size());
+  for (const Component& c : components_) {
+    enc.str(c.name).blob(c.object->get_state());
+  }
+  return std::move(enc).take();
+}
+
+namespace {
+
+/// Decode a composite state against an expected component list. Returns
+/// the per-component slices, or throws CodecError on any mismatch.
+std::vector<Bytes> decode_slices(
+    BytesView state, const std::vector<std::string>& expected_names) {
+  wire::Decoder dec{state};
+  std::uint64_t count = dec.varint();
+  if (count != expected_names.size()) {
+    throw CodecError("composite: component count mismatch");
+  }
+  std::vector<Bytes> slices;
+  slices.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string name = dec.str();
+    if (name != expected_names[i]) {
+      throw CodecError("composite: component name mismatch at index " +
+                       std::to_string(i) + " (" + name + ")");
+    }
+    slices.push_back(dec.blob());
+  }
+  dec.expect_done();
+  return slices;
+}
+
+}  // namespace
+
+void CompositeObject::apply_state(BytesView state) {
+  std::vector<std::string> names;
+  names.reserve(components_.size());
+  for (const Component& c : components_) names.push_back(c.name);
+  std::vector<Bytes> slices = decode_slices(state, names);
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    components_[i].object->apply_state(slices[i]);
+  }
+}
+
+Decision CompositeObject::validate_state(BytesView proposed_state,
+                                         const ValidationContext& ctx) {
+  std::vector<std::string> names;
+  names.reserve(components_.size());
+  for (const Component& c : components_) names.push_back(c.name);
+  std::vector<Bytes> slices;
+  try {
+    slices = decode_slices(proposed_state, names);
+  } catch (const CodecError& e) {
+    return Decision::rejected(std::string("composite: ") + e.what());
+  }
+  for (std::size_t i = 0; i < components_.size(); ++i) {
+    Decision d = components_[i].object->validate_state(slices[i], ctx);
+    if (!d.accept) {
+      return Decision::rejected("component '" + components_[i].name +
+                                "': " + d.diagnostic);
+    }
+  }
+  return Decision::accepted();
+}
+
+Decision CompositeObject::validate_connect(const PartyId& subject,
+                                           const ValidationContext& ctx) {
+  for (const Component& c : components_) {
+    Decision d = c.object->validate_connect(subject, ctx);
+    if (!d.accept) {
+      return Decision::rejected("component '" + c.name + "': " + d.diagnostic);
+    }
+  }
+  return Decision::accepted();
+}
+
+Decision CompositeObject::validate_disconnect(const PartyId& subject,
+                                              bool eviction,
+                                              const ValidationContext& ctx) {
+  for (const Component& c : components_) {
+    Decision d = c.object->validate_disconnect(subject, eviction, ctx);
+    if (!d.accept) {
+      return Decision::rejected("component '" + c.name + "': " + d.diagnostic);
+    }
+  }
+  return Decision::accepted();
+}
+
+void CompositeObject::coord_callback(const CoordEvent& event) {
+  for (const Component& c : components_) c.object->coord_callback(event);
+}
+
+}  // namespace b2b::core

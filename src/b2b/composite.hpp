@@ -1,0 +1,54 @@
+// CompositeObject: coordinate several application objects as one (§4).
+//
+// "The discussion is in terms of a single object but applies just as well
+// to the use of a composite object to coordinate the states of multiple
+// objects." A CompositeObject aggregates named components, each a
+// B2BObject in its own right: its state is the ordered list of component
+// states, a proposed composite state is valid iff every component's local
+// validation accepts its slice, and installation fans out to every
+// component. Together with the Controller's scope nesting this gives
+// atomic multi-object state transitions.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "b2b/object.hpp"
+
+namespace b2b::core {
+
+class CompositeObject : public B2BObject {
+ public:
+  CompositeObject() = default;
+
+  /// Register a component. Order matters (it is part of the state
+  /// encoding) and must be identical at every party. The caller keeps
+  /// ownership; `child` must outlive the composite. Names must be unique.
+  /// Throws b2b::Error on duplicates.
+  void add_component(std::string name, B2BObject& child);
+
+  std::size_t component_count() const { return components_.size(); }
+  /// Component accessor (throws b2b::Error if absent).
+  B2BObject& component(const std::string& name);
+
+  // B2BObject:
+  Bytes get_state() const override;
+  void apply_state(BytesView state) override;
+  Decision validate_state(BytesView proposed_state,
+                          const ValidationContext& ctx) override;
+  Decision validate_connect(const PartyId& subject,
+                            const ValidationContext& ctx) override;
+  Decision validate_disconnect(const PartyId& subject, bool eviction,
+                               const ValidationContext& ctx) override;
+  void coord_callback(const CoordEvent& event) override;
+
+ private:
+  struct Component {
+    std::string name;
+    B2BObject* object;
+  };
+  std::vector<Component> components_;
+};
+
+}  // namespace b2b::core

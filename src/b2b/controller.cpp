@@ -1,0 +1,94 @@
+#include "b2b/controller.hpp"
+
+#include "common/error.hpp"
+
+namespace b2b::core {
+
+Controller::Controller(Coordinator& coordinator,
+                       net::EventScheduler& scheduler, ObjectId object,
+                       Mode mode)
+    : coordinator_(coordinator),
+      scheduler_(scheduler),
+      object_(std::move(object)),
+      mode_(mode) {}
+
+void Controller::enter() { ++depth_; }
+
+void Controller::examine() {
+  if (depth_ == 0) throw Error("examine() outside enter()/leave() scope");
+  if (access_ == Access::kNone) access_ = Access::kExamine;
+}
+
+void Controller::update() {
+  if (depth_ == 0) throw Error("update() outside enter()/leave() scope");
+  if (access_ != Access::kOverwrite) access_ = Access::kUpdate;
+}
+
+void Controller::overwrite() {
+  if (depth_ == 0) throw Error("overwrite() outside enter()/leave() scope");
+  access_ = Access::kOverwrite;
+}
+
+void Controller::leave() {
+  if (depth_ == 0) throw Error("leave() without matching enter()");
+  if (--depth_ > 0) return;
+  Access access = access_;
+  access_ = Access::kNone;
+  if (access == Access::kOverwrite || access == Access::kUpdate) {
+    Replica& replica = coordinator_.replica(object_);
+    B2BObject& impl = replica.impl();
+    if (access == Access::kOverwrite) {
+      Bytes new_state = impl.get_state();
+      if (crypto::Sha256::hash(new_state) ==
+          replica.agreed_tuple().state_hash) {
+        return;  // nothing changed: no coordination event
+      }
+      last_handle_ = coordinator_.propagate_new_state(object_, std::move(new_state));
+    } else {
+      Bytes update = impl.get_update();
+      Bytes new_state = impl.get_state();
+      last_handle_ = coordinator_.propagate_update(object_, std::move(update),
+                                                   std::move(new_state));
+    }
+    if (mode_ == Mode::kSync) await(last_handle_, "state coordination");
+  }
+}
+
+void Controller::connect(const PartyId& via) {
+  last_handle_ = coordinator_.propagate_connect(object_, via);
+  if (mode_ == Mode::kSync) await(last_handle_, "connection");
+}
+
+void Controller::disconnect() {
+  last_handle_ = coordinator_.propagate_disconnect(object_);
+  if (mode_ == Mode::kSync) await(last_handle_, "disconnection");
+}
+
+void Controller::evict(std::vector<PartyId> subjects) {
+  last_handle_ = coordinator_.propagate_eviction(object_, std::move(subjects));
+  if (mode_ == Mode::kSync) await(last_handle_, "eviction");
+}
+
+RunHandle Controller::coord_commit() {
+  if (!last_handle_) throw Error("coord_commit: no coordination in progress");
+  await(last_handle_, "coordination");
+  return last_handle_;
+}
+
+void Controller::await(const RunHandle& handle, const std::string& what) {
+  scheduler_.run_until_condition([&] { return handle->done(); });
+  switch (handle->outcome) {
+    case RunResult::Outcome::kAgreed:
+      return;
+    case RunResult::Outcome::kVetoed:
+      throw ValidationError(what + " vetoed: " + handle->diagnostic);
+    case RunResult::Outcome::kAborted:
+      throw ValidationError(what + " aborted: " + handle->diagnostic);
+    case RunResult::Outcome::kPending:
+      throw ProtocolError(what +
+                          " blocked: no progress possible (evidence of the "
+                          "active run is held; resolve out of band)");
+  }
+}
+
+}  // namespace b2b::core

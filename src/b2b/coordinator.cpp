@@ -1,0 +1,183 @@
+#include "b2b/coordinator.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::core {
+
+Coordinator::Coordinator(Config config, net::ReliableEndpoint& endpoint,
+                         const crypto::TimestampService* tss)
+    : self_(std::move(config.self)),
+      key_(std::move(config.key)),
+      rng_(config.rng_seed ^ std::hash<std::string>{}(self_.str())),
+      endpoint_(endpoint),
+      tss_(tss),
+      sponsor_policy_(config.sponsor_policy),
+      decision_rule_(config.decision_rule) {
+  known_keys_.emplace(self_, key_.public_key());
+  endpoint_.set_handler([this](const PartyId& from, const Bytes& payload) {
+    on_message(from, payload);
+  });
+}
+
+void Coordinator::add_known_party(const PartyId& party,
+                                  crypto::RsaPublicKey key) {
+  known_keys_[party] = std::move(key);
+}
+
+const crypto::RsaPublicKey* Coordinator::key_of(const PartyId& party) const {
+  auto it = known_keys_.find(party);
+  return it == known_keys_.end() ? nullptr : &it->second;
+}
+
+std::map<PartyId, crypto::RsaPublicKey> Coordinator::key_directory() const {
+  return known_keys_;
+}
+
+Replica& Coordinator::register_object(const ObjectId& object,
+                                      B2BObject& impl) {
+  if (replicas_.contains(object)) {
+    throw Error("register_object: object already registered: " + object.str());
+  }
+  Replica::Callbacks callbacks;
+  callbacks.send = [this](const PartyId& to, const Envelope& envelope) {
+    send(to, envelope);
+  };
+  callbacks.now = [this] { return endpoint_.network().scheduler().now(); };
+  callbacks.record_evidence = [this](const std::string& kind,
+                                     const Bytes& payload) {
+    record_evidence(kind, payload);
+  };
+  callbacks.key_of = [this](const PartyId& party) { return key_of(party); };
+  callbacks.learn_key = [this](const PartyId& party,
+                               const crypto::RsaPublicKey& key) {
+    add_known_party(party, key);
+  };
+  callbacks.notify = [this](const CoordEvent& event) {
+    if (observer_) observer_(event);
+  };
+  callbacks.schedule = [this](std::uint64_t delay, std::function<void()> fn) {
+    endpoint_.network().scheduler().after(delay, std::move(fn));
+  };
+  auto replica = std::make_unique<Replica>(self_, object, impl, key_, rng_,
+                                           std::move(callbacks), checkpoints_,
+                                           messages_);
+  replica->set_sponsor_policy(sponsor_policy_);
+  replica->set_decision_rule(decision_rule_);
+  Replica& ref = *replica;
+  replicas_.emplace(object, std::move(replica));
+  return ref;
+}
+
+Replica& Coordinator::replica(const ObjectId& object) {
+  auto it = replicas_.find(object);
+  if (it == replicas_.end()) {
+    throw Error("unknown object: " + object.str());
+  }
+  return *it->second;
+}
+
+const Replica& Coordinator::replica(const ObjectId& object) const {
+  auto it = replicas_.find(object);
+  if (it == replicas_.end()) {
+    throw Error("unknown object: " + object.str());
+  }
+  return *it->second;
+}
+
+bool Coordinator::has_object(const ObjectId& object) const {
+  return replicas_.contains(object);
+}
+
+void Coordinator::enable_ttp_termination(const ObjectId& object,
+                                         Replica::TtpConfig config) {
+  replica(object).enable_ttp_termination(std::move(config));
+}
+
+RunHandle Coordinator::propagate_new_state(const ObjectId& object,
+                                           Bytes new_state) {
+  return replica(object).propose_state(std::move(new_state));
+}
+
+RunHandle Coordinator::propagate_update(const ObjectId& object, Bytes update,
+                                        Bytes new_state) {
+  return replica(object).propose_update(std::move(update),
+                                        std::move(new_state));
+}
+
+RunHandle Coordinator::propagate_connect(const ObjectId& object,
+                                         const PartyId& via) {
+  return replica(object).request_connect(via);
+}
+
+RunHandle Coordinator::propagate_disconnect(const ObjectId& object) {
+  return replica(object).request_disconnect();
+}
+
+RunHandle Coordinator::propagate_eviction(const ObjectId& object,
+                                          std::vector<PartyId> subjects) {
+  return replica(object).propose_eviction(std::move(subjects));
+}
+
+void Coordinator::on_message(const PartyId& from, const Bytes& payload) {
+  Envelope envelope;
+  try {
+    envelope = Envelope::decode(payload);
+  } catch (const CodecError& e) {
+    B2B_DEBUG(self_, ": undecodable envelope from ", from, ": ", e.what());
+    record_evidence(evidence_kind::kViolation,
+                    bytes_of("undecodable envelope from " + from.str()));
+    return;
+  }
+  auto it = replicas_.find(envelope.object);
+  if (it == replicas_.end()) {
+    B2B_DEBUG(self_, ": message for unknown object ", envelope.object);
+    return;
+  }
+  it->second->handle(from, envelope);
+}
+
+void Coordinator::record_evidence(const std::string& kind,
+                                  const Bytes& payload) {
+  wire::Encoder framed;
+  framed.blob(payload);
+  if (tss_ != nullptr) {
+    framed.blob(tss_->stamp(payload).encode());
+  } else {
+    framed.blob({});
+  }
+  evidence_.append(kind, std::move(framed).take(),
+                   endpoint_.network().scheduler().now());
+}
+
+Coordinator::EvidencePayload Coordinator::decode_evidence_payload(
+    BytesView framed) {
+  wire::Decoder dec{framed};
+  EvidencePayload out;
+  out.payload = dec.blob();
+  Bytes stamp = dec.blob();
+  dec.expect_done();
+  if (!stamp.empty()) {
+    out.timestamp = crypto::Timestamp::decode(stamp);
+  }
+  return out;
+}
+
+void Coordinator::send(const PartyId& to, const Envelope& envelope) {
+  Bytes encoded = envelope.encode();
+  ++protocol_stats_.envelopes_sent;
+  ++protocol_stats_.sent_by_type[envelope.type];
+  protocol_stats_.envelope_bytes_sent += encoded.size();
+  endpoint_.send(to, std::move(encoded));
+}
+
+std::uint64_t Coordinator::violations_detected() const {
+  std::uint64_t total = 0;
+  for (const auto& [object, replica] : replicas_) {
+    total += replica->violations_detected();
+  }
+  return total;
+}
+
+}  // namespace b2b::core

@@ -1,0 +1,140 @@
+// Coordinator: the per-organisation B2BCoordinator (Figure 4).
+//
+// One Coordinator runs at each organisation. It owns the party's replicas
+// (one per shared object), the certificate directory (party -> public key),
+// the non-repudiation log (with trusted time-stamps), the checkpoint store
+// and the protocol message store, and it connects the replicas to the
+// reliable transport. Its propagate_* methods are the paper's
+// B2BCoordinatorLocal propagation interface: they insulate the application
+// (the Controller) from protocol-specific detail.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "b2b/replica.hpp"
+#include "crypto/timestamp.hpp"
+#include "net/reliable.hpp"
+#include "store/evidence_log.hpp"
+
+namespace b2b::core {
+
+class Coordinator {
+ public:
+  struct Config {
+    PartyId self;
+    crypto::RsaPrivateKey key;
+    std::uint64_t rng_seed = 0;
+    /// Sponsor selection for membership protocols; must match federation-
+    /// wide (§4.5.1 and its footnote 2).
+    SponsorPolicy sponsor_policy = SponsorPolicy::kRotating;
+    /// Group decision rule (§7 majority-resolution extension); must match
+    /// federation-wide.
+    DecisionRule decision_rule = DecisionRule::kUnanimous;
+  };
+
+  /// Per-message-type send counters (protocol-level, before transport
+  /// retransmission), used by the message-complexity benches (E6).
+  struct ProtocolStats {
+    std::map<MsgType, std::uint64_t> sent_by_type;
+    std::uint64_t envelopes_sent = 0;
+    std::uint64_t envelope_bytes_sent = 0;
+  };
+
+  /// `tss` may be null (evidence is then logged without trusted stamps).
+  Coordinator(Config config, net::ReliableEndpoint& endpoint,
+              const crypto::TimestampService* tss);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  const PartyId& self() const { return self_; }
+  const crypto::RsaPublicKey& public_key() const {
+    return key_.public_key();
+  }
+
+  // --- certificate management ------------------------------------------------
+
+  void add_known_party(const PartyId& party, crypto::RsaPublicKey key);
+  const crypto::RsaPublicKey* key_of(const PartyId& party) const;
+  /// Snapshot of the directory (for building an EvidenceVerifier).
+  std::map<PartyId, crypto::RsaPublicKey> key_directory() const;
+
+  // --- objects ------------------------------------------------------------------
+
+  /// Create (and own) the replica for `object`, wrapping `impl`. The
+  /// caller keeps ownership of `impl` and must outlive the coordinator.
+  Replica& register_object(const ObjectId& object, B2BObject& impl);
+  Replica& replica(const ObjectId& object);
+  const Replica& replica(const ObjectId& object) const;
+  bool has_object(const ObjectId& object) const;
+
+  /// Enable TTP-certified termination (§7 extension) for one object.
+  void enable_ttp_termination(const ObjectId& object,
+                              Replica::TtpConfig config);
+
+  // --- B2BCoordinatorLocal propagation interface (§5) -------------------------
+
+  RunHandle propagate_new_state(const ObjectId& object, Bytes new_state);
+  RunHandle propagate_update(const ObjectId& object, Bytes update,
+                             Bytes new_state);
+  RunHandle propagate_connect(const ObjectId& object, const PartyId& via);
+  RunHandle propagate_disconnect(const ObjectId& object);
+  RunHandle propagate_eviction(const ObjectId& object,
+                               std::vector<PartyId> subjects);
+
+  // --- stores & evidence ---------------------------------------------------------
+
+  const store::EvidenceLog& evidence() const { return evidence_; }
+  store::CheckpointStore& checkpoints() { return checkpoints_; }
+  const store::MessageStore& messages() const { return messages_; }
+
+  /// Evidence payloads are framed as {original payload, optional TSS
+  /// stamp}; this unpacks one.
+  struct EvidencePayload {
+    Bytes payload;
+    std::optional<crypto::Timestamp> timestamp;
+  };
+  static EvidencePayload decode_evidence_payload(BytesView framed);
+
+  // --- observation -----------------------------------------------------------------
+
+  /// Observer invoked for every CoordEvent from any replica.
+  void set_observer(std::function<void(const CoordEvent&)> observer) {
+    observer_ = std::move(observer);
+  }
+
+  const ProtocolStats& protocol_stats() const { return protocol_stats_; }
+  void reset_protocol_stats() { protocol_stats_ = ProtocolStats{}; }
+
+  /// Total violations detected across all replicas.
+  std::uint64_t violations_detected() const;
+
+ private:
+  void on_message(const PartyId& from, const Bytes& payload);
+  void record_evidence(const std::string& kind, const Bytes& payload);
+  void send(const PartyId& to, const Envelope& envelope);
+
+  PartyId self_;
+  crypto::RsaPrivateKey key_;
+  crypto::ChaCha20Rng rng_;
+  net::ReliableEndpoint& endpoint_;
+  const crypto::TimestampService* tss_;
+
+  SponsorPolicy sponsor_policy_;
+  DecisionRule decision_rule_;
+  std::map<PartyId, crypto::RsaPublicKey> known_keys_;
+  std::unordered_map<ObjectId, std::unique_ptr<Replica>> replicas_;
+
+  store::EvidenceLog evidence_;
+  store::CheckpointStore checkpoints_;
+  store::MessageStore messages_;
+  std::function<void(const CoordEvent&)> observer_;
+  ProtocolStats protocol_stats_;
+};
+
+}  // namespace b2b::core

@@ -1,0 +1,289 @@
+#include "b2b/evidence.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace b2b::core {
+
+EvidenceVerifier::EvidenceVerifier(
+    std::map<PartyId, crypto::RsaPublicKey> keys)
+    : keys_(std::move(keys)) {}
+
+bool EvidenceVerifier::check_signature(const PartyId& signer,
+                                       BytesView message, BytesView signature,
+                                       std::vector<std::string>* out,
+                                       const std::string& what) const {
+  auto it = keys_.find(signer);
+  if (it == keys_.end()) {
+    out->push_back(what + ": unknown signer " + signer.str());
+    return false;
+  }
+  if (!it->second.verify(message, signature)) {
+    out->push_back(what + ": bad signature from " + signer.str());
+    return false;
+  }
+  return true;
+}
+
+bool EvidenceVerifier::unanimous(const std::vector<RespondMsg>& responses) {
+  return std::all_of(responses.begin(), responses.end(),
+                     [](const RespondMsg& r) {
+                       return r.response.decision.accept;
+                     });
+}
+
+VerifiedRun EvidenceVerifier::verify_state_run(
+    const RunTranscript& transcript,
+    const std::vector<PartyId>* expected_recipients) const {
+  VerifiedRun out;
+  const Proposal& prop = transcript.propose.proposal;
+
+  // 1. Proposer's signature binds the proposal.
+  bool ok = check_signature(prop.proposer, prop.signed_bytes(),
+                            transcript.propose.signature, &out.violations,
+                            "propose");
+
+  // 2. The payload must match the hash the proposer signed.
+  if (crypto::Sha256::hash(transcript.propose.payload) != prop.payload_hash) {
+    out.violations.push_back("propose: payload does not match signed hash");
+    ok = false;
+  }
+  // For an overwrite, the payload *is* the new state, so the tuple's state
+  // hash must match too.
+  if (!prop.is_update && prop.proposed.state_hash != prop.payload_hash) {
+    out.violations.push_back(
+        "propose: overwrite state hash differs from payload hash");
+    ok = false;
+  }
+
+  // 3. Null state transitions are rejectable on sight (§4.4).
+  if (!prop.is_update && prop.proposed.state_hash == prop.agreed.state_hash) {
+    out.violations.push_back("propose: null state transition");
+    ok = false;
+  }
+
+  // 4. Sequence must advance (§4.2 invariant 3).
+  if (prop.proposed.sequence <= prop.agreed.sequence) {
+    out.violations.push_back("propose: sequence did not advance");
+    ok = false;
+  }
+
+  // 5. Each response: signature, receipt echo, view consistency.
+  std::set<PartyId> responders;
+  for (const RespondMsg& resp_msg : transcript.responses) {
+    const Response& resp = resp_msg.response;
+    std::string who = resp.responder.str();
+    if (!check_signature(resp.responder, resp.signed_bytes(),
+                         resp_msg.signature, &out.violations,
+                         "respond(" + who + ")")) {
+      ok = false;
+      continue;
+    }
+    if (!responders.insert(resp.responder).second) {
+      out.violations.push_back("respond(" + who + "): duplicate responder");
+      ok = false;
+    }
+    if (resp.object != prop.object) {
+      out.violations.push_back("respond(" + who + "): wrong object");
+      ok = false;
+    }
+    if (resp.proposed != prop.proposed) {
+      out.violations.push_back("respond(" + who +
+                               "): receipt does not echo the proposal");
+      ok = false;
+    }
+    if (resp.decision.accept) {
+      // An accept asserts the invariants held at the responder: its views
+      // must agree with the proposer's (§4.2 invariant 1) and it must have
+      // seen the payload intact.
+      if (resp.agreed_view != prop.agreed ||
+          resp.current_view != prop.agreed) {
+        out.violations.push_back(
+            "respond(" + who + "): accepted despite inconsistent state view");
+        ok = false;
+      }
+      if (resp.group_view != prop.group) {
+        out.violations.push_back(
+            "respond(" + who + "): accepted despite inconsistent group view");
+        ok = false;
+      }
+      if (resp.payload_integrity != prop.payload_hash) {
+        out.violations.push_back(
+            "respond(" + who + "): accepted despite payload mismatch");
+        ok = false;
+      }
+    } else {
+      out.vetoers.push_back(resp.responder);
+    }
+  }
+
+  // 6. Completeness of the response set.
+  if (expected_recipients != nullptr) {
+    for (const PartyId& expected : *expected_recipients) {
+      if (!responders.contains(expected)) {
+        out.violations.push_back("missing response from " + expected.str());
+        ok = false;
+      }
+    }
+  }
+
+  // 7. The decide message: the revealed authenticator must be the preimage
+  //    of the committed hash, and its aggregated responses must match.
+  bool decide_ok = false;
+  if (transcript.decide.has_value()) {
+    const DecideMsg& dec = *transcript.decide;
+    decide_ok = true;
+    if (dec.proposed != prop.proposed || dec.object != prop.object ||
+        dec.proposer != prop.proposer) {
+      out.violations.push_back("decide: does not match the proposal");
+      decide_ok = false;
+    }
+    if (crypto::Sha256::hash(dec.authenticator) != prop.proposed.rand_hash) {
+      out.violations.push_back(
+          "decide: authenticator is not the preimage of the commitment");
+      decide_ok = false;
+    }
+    // The decide must aggregate exactly the responses we verified.
+    for (const RespondMsg& resp_msg : dec.responses) {
+      const Response& resp = resp_msg.response;
+      if (!check_signature(resp.responder, resp.signed_bytes(),
+                           resp_msg.signature, &out.violations,
+                           "decide.respond(" + resp.responder.str() + ")")) {
+        decide_ok = false;
+      }
+      if (resp.proposed != prop.proposed) {
+        out.violations.push_back("decide: aggregated response from " +
+                                 resp.responder.str() +
+                                 " belongs to a different run");
+        decide_ok = false;
+      }
+    }
+    if (expected_recipients != nullptr) {
+      std::set<PartyId> in_decide;
+      for (const RespondMsg& r : dec.responses) {
+        in_decide.insert(r.response.responder);
+      }
+      for (const PartyId& expected : *expected_recipients) {
+        if (!in_decide.contains(expected)) {
+          out.violations.push_back("decide: missing response from " +
+                                   expected.str());
+          decide_ok = false;
+        }
+      }
+    }
+  }
+
+  out.evidence_intact = ok && decide_ok;
+  // The state is valid only if the evidence is intact AND every aggregated
+  // signed decision is accept — computed, never trusted.
+  out.agreed = out.evidence_intact && transcript.decide.has_value() &&
+               unanimous(transcript.decide->responses) &&
+               !transcript.decide->responses.empty();
+  return out;
+}
+
+VerifiedRun EvidenceVerifier::verify_membership_run(
+    const MembershipProposeMsg& propose,
+    const std::vector<MembershipRespondMsg>& responses,
+    const Bytes* authenticator,
+    const std::vector<PartyId>* expected_recipients) const {
+  VerifiedRun out;
+  const MembershipProposal& prop = propose.proposal;
+
+  bool ok = check_signature(prop.sponsor, prop.signed_bytes(),
+                            propose.signature, &out.violations,
+                            "membership.propose");
+
+  // The embedded request must carry a valid signature from its sender
+  // (except that evictions initiated by the sponsor embed no request
+  // signature when the request step is skipped, §4.5.4).
+  bool sponsor_initiated_evict =
+      prop.request.kind == MembershipKind::kEvict &&
+      prop.request.sender == prop.sponsor;
+  if (!sponsor_initiated_evict || !prop.request_signature.empty()) {
+    if (!check_signature(prop.request.sender, prop.request.signed_bytes(),
+                         prop.request_signature, &out.violations,
+                         "membership.request")) {
+      ok = false;
+    }
+  }
+
+  // The proposed member list must hash to the new group tuple.
+  if (hash_members(prop.new_members) != prop.new_group.members_hash) {
+    out.violations.push_back(
+        "membership.propose: member list does not hash to new group tuple");
+    ok = false;
+  }
+  if (prop.new_group.sequence <= prop.current_group.sequence) {
+    out.violations.push_back("membership.propose: sequence did not advance");
+    ok = false;
+  }
+
+  std::set<PartyId> responders;
+  for (const MembershipRespondMsg& resp_msg : responses) {
+    const MembershipResponse& resp = resp_msg.response;
+    std::string who = resp.responder.str();
+    if (!check_signature(resp.responder, resp.signed_bytes(),
+                         resp_msg.signature, &out.violations,
+                         "membership.respond(" + who + ")")) {
+      ok = false;
+      continue;
+    }
+    if (!responders.insert(resp.responder).second) {
+      out.violations.push_back("membership.respond(" + who +
+                               "): duplicate responder");
+      ok = false;
+    }
+    if (resp.new_group != prop.new_group || resp.object != prop.object) {
+      out.violations.push_back("membership.respond(" + who +
+                               "): receipt does not echo the proposal");
+      ok = false;
+    }
+    if (resp.decision.accept) {
+      if (resp.group_view != prop.current_group) {
+        out.violations.push_back(
+            "membership.respond(" + who +
+            "): accepted despite inconsistent group view");
+        ok = false;
+      }
+      if (resp.agreed_view != prop.agreed) {
+        out.violations.push_back(
+            "membership.respond(" + who +
+            "): accepted despite inconsistent agreed-state view");
+        ok = false;
+      }
+    } else {
+      out.vetoers.push_back(resp.responder);
+    }
+  }
+
+  if (expected_recipients != nullptr) {
+    for (const PartyId& expected : *expected_recipients) {
+      if (!responders.contains(expected)) {
+        out.violations.push_back("membership: missing response from " +
+                                 expected.str());
+        ok = false;
+      }
+    }
+  }
+
+  bool auth_ok = false;
+  if (authenticator != nullptr) {
+    auth_ok =
+        crypto::Sha256::hash(*authenticator) == prop.new_group.rand_hash;
+    if (!auth_ok) {
+      out.violations.push_back(
+          "membership.decide: authenticator mismatch");
+    }
+  }
+
+  out.evidence_intact = ok && auth_ok;
+  bool all_accept = std::all_of(
+      responses.begin(), responses.end(), [](const MembershipRespondMsg& r) {
+        return r.response.decision.accept;
+      });
+  out.agreed = out.evidence_intact && all_accept;
+  return out;
+}
+
+}  // namespace b2b::core

@@ -1,0 +1,96 @@
+// Non-repudiation evidence: kinds, transcripts and third-party verification.
+//
+// §4.3: the authenticated decision of the group on P_i's proposal is the
+// full transcript {propose, all signed responses, decide-with-authenticator}.
+// "Any party can compute the group's decision" from it. EvidenceVerifier is
+// that computation, written so that it can be run by a party to the
+// interaction *or* by an outside arbiter holding only the public keys —
+// which is what the paper's extra-protocol dispute resolution needs.
+//
+// The verifier is deliberately paranoid: every signature is checked, every
+// echoed tuple is compared, the revealed authenticator is checked against
+// the committed hash, and the group decision is *computed* from the signed
+// decisions (never read from an unsigned flag), so a dishonest party cannot
+// misrepresent a vetoed state as valid or a valid state as vetoed (§4.1).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "b2b/messages.hpp"
+#include "crypto/rsa.hpp"
+
+namespace b2b::core {
+
+/// Evidence-record kinds used in the local non-repudiation log.
+namespace evidence_kind {
+inline constexpr const char* kProposeSent = "propose.sent";
+inline constexpr const char* kProposeReceived = "propose.recv";
+inline constexpr const char* kRespondSent = "respond.sent";
+inline constexpr const char* kRespondReceived = "respond.recv";
+inline constexpr const char* kDecideSent = "decide.sent";
+inline constexpr const char* kDecideReceived = "decide.recv";
+inline constexpr const char* kStateInstalled = "state.installed";
+inline constexpr const char* kStateRolledBack = "state.rolledback";
+inline constexpr const char* kViolation = "violation";
+inline constexpr const char* kMembershipRequest = "membership.request";
+inline constexpr const char* kMembershipPropose = "membership.propose";
+inline constexpr const char* kMembershipRespond = "membership.respond";
+inline constexpr const char* kMembershipDecide = "membership.decide";
+inline constexpr const char* kMembershipApplied = "membership.applied";
+}  // namespace evidence_kind
+
+/// Everything generated during one state-coordination run.
+struct RunTranscript {
+  ProposeMsg propose;
+  std::vector<RespondMsg> responses;
+  std::optional<DecideMsg> decide;
+};
+
+/// Outcome of third-party verification of a transcript.
+struct VerifiedRun {
+  /// True iff all signatures verify and all cross-message checks pass.
+  bool evidence_intact = false;
+  /// True iff evidence_intact, the decide message is present, and every
+  /// recipient's signed decision is accept — i.e. the state is *valid* in
+  /// the paper's sense.
+  bool agreed = false;
+  /// Parties whose signed decision was reject.
+  std::vector<PartyId> vetoers;
+  /// Human-readable description of every defect found.
+  std::vector<std::string> violations;
+};
+
+class EvidenceVerifier {
+ public:
+  explicit EvidenceVerifier(std::map<PartyId, crypto::RsaPublicKey> keys);
+
+  /// Verify a full state-coordination transcript. `expected_recipients`,
+  /// when given, additionally checks that a response is present from every
+  /// recipient (completeness of the decide aggregation).
+  VerifiedRun verify_state_run(
+      const RunTranscript& transcript,
+      const std::vector<PartyId>* expected_recipients = nullptr) const;
+
+  /// Verify a membership run (connect / evict / voluntary disconnect).
+  VerifiedRun verify_membership_run(
+      const MembershipProposeMsg& propose,
+      const std::vector<MembershipRespondMsg>& responses,
+      const Bytes* authenticator,
+      const std::vector<PartyId>* expected_recipients = nullptr) const;
+
+  /// Compute the unanimous-accept group decision over signed responses
+  /// without verifying signatures (callers that already verified them).
+  static bool unanimous(const std::vector<RespondMsg>& responses);
+
+ private:
+  bool check_signature(const PartyId& signer, BytesView message,
+                       BytesView signature, std::vector<std::string>* out,
+                       const std::string& what) const;
+
+  std::map<PartyId, crypto::RsaPublicKey> keys_;
+};
+
+}  // namespace b2b::core

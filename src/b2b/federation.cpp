@@ -1,0 +1,162 @@
+#include "b2b/federation.hpp"
+
+#include <map>
+#include <mutex>
+
+#include "common/error.hpp"
+
+namespace b2b::core {
+
+const crypto::RsaPrivateKey& Federation::shared_keypair(std::size_t bits,
+                                                        std::size_t index) {
+  static std::mutex mutex;
+  static std::map<std::pair<std::size_t, std::size_t>, crypto::RsaPrivateKey>
+      cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto key = std::make_pair(bits, index);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    crypto::ChaCha20Rng rng(0xfede'0000ULL + bits * 1000 + index);
+    it = cache.emplace(key, crypto::generate_rsa_keypair(bits, rng)).first;
+  }
+  return it->second;
+}
+
+Federation::Federation(std::vector<std::string> party_names)
+    : Federation(std::move(party_names), Options{}) {}
+
+Federation::Federation(std::vector<std::string> party_names,
+                       const Options& options)
+    : rsa_bits_(options.rsa_bits) {
+  network_ = std::make_unique<net::SimNetwork>(scheduler_, options.seed);
+  network_->set_default_faults(options.faults);
+
+  if (options.use_tss) {
+    // The TSS gets its own identity (index well away from party keys).
+    tss_ = std::make_unique<crypto::TimestampService>(
+        shared_keypair(options.rsa_bits, 999),
+        [this] { return scheduler_.now(); });
+  }
+
+  for (std::size_t i = 0; i < party_names.size(); ++i) {
+    auto party = std::make_unique<Party>();
+    party->id = PartyId{party_names[i]};
+    party->endpoint = std::make_unique<net::ReliableEndpoint>(
+        *network_, party->id, options.reliable);
+    Coordinator::Config config;
+    config.self = party->id;
+    config.key = shared_keypair(options.rsa_bits, i);
+    config.rng_seed = options.seed * 1000003 + i;
+    config.sponsor_policy = options.sponsor_policy;
+    config.decision_rule = options.decision_rule;
+    party->coordinator = std::make_unique<Coordinator>(
+        std::move(config), *party->endpoint, tss_.get());
+    parties_.push_back(std::move(party));
+  }
+
+  // Shared PKI: every organisation can verify every other's signatures
+  // (§4.2: "All parties are assumed to have the means to verify each
+  // other's signatures").
+  for (auto& a : parties_) {
+    for (auto& b : parties_) {
+      if (a != b) {
+        a->coordinator->add_known_party(b->id,
+                                        b->coordinator->public_key());
+      }
+    }
+  }
+}
+
+Federation::~Federation() = default;
+
+std::vector<PartyId> Federation::party_ids() const {
+  std::vector<PartyId> out;
+  out.reserve(parties_.size());
+  for (const auto& p : parties_) out.push_back(p->id);
+  return out;
+}
+
+Federation::Party& Federation::find_party(const std::string& name) {
+  for (auto& p : parties_) {
+    if (p->id.str() == name) return *p;
+  }
+  throw Error("unknown party: " + name);
+}
+
+const crypto::RsaPrivateKey& Federation::keypair(
+    const std::string& name) const {
+  for (std::size_t i = 0; i < parties_.size(); ++i) {
+    if (parties_[i]->id.str() == name) return shared_keypair(rsa_bits_, i);
+  }
+  throw Error("unknown party: " + name);
+}
+
+Coordinator& Federation::coordinator(const std::string& name) {
+  return *find_party(name).coordinator;
+}
+
+net::ReliableEndpoint& Federation::endpoint(const std::string& name) {
+  return *find_party(name).endpoint;
+}
+
+Replica& Federation::register_object(const std::string& name,
+                                     const ObjectId& object, B2BObject& impl) {
+  return coordinator(name).register_object(object, impl);
+}
+
+void Federation::bootstrap_object(const ObjectId& object,
+                                  const std::vector<std::string>& member_names,
+                                  const Bytes& initial_state) {
+  std::vector<PartyId> members;
+  members.reserve(member_names.size());
+  for (const auto& name : member_names) members.emplace_back(name);
+  for (const auto& name : member_names) {
+    coordinator(name).replica(object).bootstrap(members, initial_state);
+  }
+}
+
+Controller Federation::make_controller(const std::string& name,
+                                       const ObjectId& object,
+                                       Controller::Mode mode) {
+  return Controller(coordinator(name), scheduler_, object, mode);
+}
+
+bool Federation::run_until_done(const RunHandle& handle) {
+  return scheduler_.run_until_condition([&] { return handle->done(); });
+}
+
+void Federation::settle() { scheduler_.run(); }
+
+TerminationTtp& Federation::termination_ttp() {
+  if (!termination_ttp_) {
+    std::map<PartyId, crypto::RsaPublicKey> keys;
+    for (const auto& p : parties_) {
+      keys.emplace(p->id, p->coordinator->public_key());
+    }
+    termination_ttp_ = std::make_unique<TerminationTtp>(
+        *network_, PartyId{"termination-ttp"}, shared_keypair(rsa_bits_, 998),
+        std::move(keys));
+  }
+  return *termination_ttp_;
+}
+
+void Federation::enable_ttp_termination(const ObjectId& object,
+                                        std::uint64_t deadline_micros) {
+  TerminationTtp& ttp = termination_ttp();
+  for (auto& p : parties_) {
+    if (!p->coordinator->has_object(object)) continue;
+    p->coordinator->enable_ttp_termination(
+        object,
+        Replica::TtpConfig{ttp.id(), ttp.public_key(), deadline_micros});
+  }
+}
+
+EvidenceVerifier Federation::make_verifier() const {
+  std::map<PartyId, crypto::RsaPublicKey> keys;
+  for (const auto& p : parties_) {
+    keys.emplace(p->id, p->coordinator->public_key());
+  }
+  return EvidenceVerifier(std::move(keys));
+}
+
+}  // namespace b2b::core

@@ -1,0 +1,1149 @@
+// Connection and disconnection protocols (§4.5): sponsor-coordinated
+// membership changes with rotating sponsor selection, eviction (including
+// sponsor-initiated eviction without a request step) and non-vetoable
+// voluntary disconnection.
+#include <algorithm>
+
+#include "b2b/replica.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace b2b::core {
+
+namespace {
+
+/// Body of kConnectRequest / kDisconnectRequest envelopes: the signed
+/// membership request plus the sender's signature.
+Bytes encode_request_with_signature(const MembershipRequest& request,
+                                    const Bytes& signature) {
+  wire::Encoder enc;
+  request.encode_into(enc);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+std::pair<MembershipRequest, Bytes> decode_request_with_signature(
+    BytesView body) {
+  wire::Decoder dec{body};
+  MembershipRequest request = MembershipRequest::decode_from(dec);
+  Bytes signature = dec.blob();
+  dec.expect_done();
+  return {std::move(request), std::move(signature)};
+}
+
+bool contains(const std::vector<PartyId>& list, const PartyId& party) {
+  return std::find(list.begin(), list.end(), party) != list.end();
+}
+
+/// Legitimate sponsor for disconnection of a subject *set*: under the
+/// rotating policy the most recently joined member not itself being
+/// removed (§4.5.1); under the fixed policy the oldest such member
+/// (footnote 2).
+std::optional<PartyId> sponsor_for_removal(const std::vector<PartyId>& members,
+                                           const std::vector<PartyId>& subjects,
+                                           SponsorPolicy policy) {
+  if (policy == SponsorPolicy::kRotating) {
+    for (auto it = members.rbegin(); it != members.rend(); ++it) {
+      if (!contains(subjects, *it)) return *it;
+    }
+    return std::nullopt;
+  }
+  for (const PartyId& member : members) {
+    if (!contains(subjects, member)) return member;
+  }
+  return std::nullopt;
+}
+
+/// The member list that would result from the request.
+std::optional<std::vector<PartyId>> resulting_members(
+    const std::vector<PartyId>& members, const MembershipRequest& request) {
+  std::vector<PartyId> out;
+  switch (request.kind) {
+    case MembershipKind::kConnect: {
+      if (request.subjects.size() != 1) return std::nullopt;
+      if (contains(members, request.subjects[0])) return std::nullopt;
+      out = members;
+      out.push_back(request.subjects[0]);  // joins as most recent member
+      return out;
+    }
+    case MembershipKind::kEvict:
+    case MembershipKind::kVoluntaryDisconnect: {
+      if (request.subjects.empty()) return std::nullopt;
+      for (const PartyId& subject : request.subjects) {
+        if (!contains(members, subject)) return std::nullopt;
+      }
+      for (const PartyId& member : members) {
+        if (!contains(request.subjects, member)) out.push_back(member);
+      }
+      if (out.empty()) return std::nullopt;  // cannot empty the group
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Subject-side API
+// ---------------------------------------------------------------------------
+
+RunHandle Replica::request_connect(const PartyId& via) {
+  auto handle = std::make_shared<RunResult>();
+  if (connected_) {
+    complete(handle, RunResult::Outcome::kAborted, "already connected", {}, 0,
+             "");
+    return handle;
+  }
+  if (subject_request_.has_value()) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "a connect/disconnect request is already pending", {}, 0, "");
+    return handle;
+  }
+  MembershipRequest request;
+  request.kind = MembershipKind::kConnect;
+  request.sender = self_;
+  request.object = object_;
+  request.subjects = {self_};
+  request.subject_public_key = key_.public_key().encode();
+  request.request_nonce = fresh_random();
+  Bytes signature = key_.sign(request.signed_bytes());
+
+  callbacks_.record_evidence(evidence_kind::kMembershipRequest,
+                             request.encode());
+  send_envelope(via, MsgType::kConnectRequest,
+                encode_request_with_signature(request, signature));
+  subject_request_ = SubjectRequest{std::move(request), handle};
+  return handle;
+}
+
+RunHandle Replica::request_disconnect() {
+  auto handle = std::make_shared<RunResult>();
+  if (!connected_) {
+    complete(handle, RunResult::Outcome::kAborted, "not connected", {}, 0, "");
+    return handle;
+  }
+  if (subject_request_.has_value()) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "a connect/disconnect request is already pending", {}, 0, "");
+    return handle;
+  }
+  if (busy()) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "busy: another coordination run is active", {}, 0, "");
+    return handle;
+  }
+  if (members_.size() == 1) {
+    // Sole member: nothing to coordinate.
+    connected_ = false;
+    complete(handle, RunResult::Outcome::kAgreed, "", {}, last_seen_seq_, "");
+    return handle;
+  }
+  MembershipRequest request;
+  request.kind = MembershipKind::kVoluntaryDisconnect;
+  request.sender = self_;
+  request.object = object_;
+  request.subjects = {self_};
+  request.request_nonce = fresh_random();
+  Bytes signature = key_.sign(request.signed_bytes());
+
+  callbacks_.record_evidence(evidence_kind::kMembershipRequest,
+                             request.encode());
+  send_envelope(disconnect_sponsor(self_), MsgType::kDisconnectRequest,
+                encode_request_with_signature(request, signature));
+  subject_request_ = SubjectRequest{std::move(request), handle};
+  return handle;
+}
+
+RunHandle Replica::propose_eviction(std::vector<PartyId> subjects) {
+  auto handle = std::make_shared<RunResult>();
+  if (!connected_) {
+    complete(handle, RunResult::Outcome::kAborted, "not connected", {}, 0, "");
+    return handle;
+  }
+  if (subjects.empty() || contains(subjects, self_)) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "invalid eviction subject set (use request_disconnect to leave)",
+             {}, 0, "");
+    return handle;
+  }
+  for (const PartyId& subject : subjects) {
+    if (!is_member(subject)) {
+      complete(handle, RunResult::Outcome::kAborted,
+               "eviction subject " + subject.str() + " is not a member", {},
+               0, "");
+      return handle;
+    }
+  }
+  MembershipRequest request;
+  request.kind = MembershipKind::kEvict;
+  request.sender = self_;
+  request.object = object_;
+  request.subjects = std::move(subjects);
+  request.request_nonce = fresh_random();
+  Bytes signature = key_.sign(request.signed_bytes());
+  callbacks_.record_evidence(evidence_kind::kMembershipRequest,
+                             request.encode());
+
+  std::optional<PartyId> sponsor =
+      sponsor_for_removal(members_, request.subjects, sponsor_policy_);
+  if (!sponsor.has_value()) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "no eligible sponsor for this eviction", {}, 0, "");
+    return handle;
+  }
+  if (*sponsor == self_) {
+    // §4.5.4: when the sponsor proposes the eviction the request step is
+    // omitted; the sponsor coordinates directly.
+    return start_membership_run(std::move(request), std::move(signature),
+                                handle);
+  }
+  if (relayed_eviction_result_.has_value()) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "an eviction request is already pending", {}, 0, "");
+    return handle;
+  }
+  send_envelope(*sponsor, MsgType::kConnectRequest,
+                encode_request_with_signature(request, signature));
+  relayed_eviction_nonce_ = to_hex(request.request_nonce);
+  relayed_eviction_result_ = handle;
+  return handle;
+}
+
+// ---------------------------------------------------------------------------
+// Sponsor side
+// ---------------------------------------------------------------------------
+
+void Replica::forward_membership_request(const MembershipRequest& request,
+                                         const Bytes& signature,
+                                         const PartyId& exclude) {
+  // Bounded best-effort forwarding: a request that reaches a departed
+  // party is handed to another member of its last known view. The bound
+  // prevents forwarding cycles among parties with stale views.
+  std::string nonce_key = to_hex(request.request_nonce);
+  if (++forward_counts_[nonce_key] > 3) return;
+  for (const PartyId& member : members_) {
+    if (member == self_ || member == exclude) continue;
+    send_envelope(member,
+                  request.kind == MembershipKind::kVoluntaryDisconnect
+                      ? MsgType::kDisconnectRequest
+                      : MsgType::kConnectRequest,
+                  encode_request_with_signature(request, signature));
+    return;
+  }
+}
+
+void Replica::handle_connect_request(const PartyId& from, const Bytes& body) {
+  auto [request, signature] = decode_request_with_signature(body);
+  if (!connected_) {
+    forward_membership_request(request, signature, from);
+    return;
+  }
+
+  if (request.object != object_) {
+    record_violation("membership request for wrong object", from);
+    return;
+  }
+
+  if (request.kind == MembershipKind::kConnect) {
+    if (request.subjects.size() != 1 || request.sender != request.subjects[0]) {
+      record_violation("malformed connect request", from);
+      return;
+    }
+    crypto::RsaPublicKey subject_key;
+    try {
+      subject_key = crypto::RsaPublicKey::decode(request.subject_public_key);
+    } catch (const CodecError&) {
+      record_violation("connect request with undecodable key", from);
+      return;
+    }
+    if (!subject_key.verify(request.signed_bytes(), signature)) {
+      record_violation("bad signature on connect request", from);
+      return;
+    }
+    callbacks_.record_evidence(evidence_kind::kMembershipRequest,
+                               request.encode());
+    process_membership_request(std::move(request), std::move(signature));
+    return;
+  }
+
+  if (request.kind == MembershipKind::kEvict) {
+    // `from` may be a relaying member, not the proposer: authenticate by
+    // the proposer's signature.
+    if (!is_member(request.sender)) {
+      record_violation("eviction request from non-member", from);
+      return;
+    }
+    const crypto::RsaPublicKey* pub = callbacks_.key_of(request.sender);
+    if (pub == nullptr || !pub->verify(request.signed_bytes(), signature)) {
+      record_violation("bad signature on eviction request", from);
+      return;
+    }
+    if (contains(request.subjects, request.sender)) {
+      record_violation("party requested its own eviction", from);
+      return;
+    }
+    callbacks_.record_evidence(evidence_kind::kMembershipRequest,
+                               request.encode());
+    process_membership_request(std::move(request), std::move(signature));
+    return;
+  }
+
+  record_violation("unexpected membership request kind", from);
+}
+
+void Replica::handle_disconnect_request(const PartyId& from,
+                                        const Bytes& body) {
+  auto [request, signature] = decode_request_with_signature(body);
+  if (!connected_) {
+    forward_membership_request(request, signature, from);
+    return;
+  }
+  if (request.kind != MembershipKind::kVoluntaryDisconnect ||
+      request.subjects.size() != 1 || request.sender != request.subjects[0]) {
+    record_violation("malformed disconnect request", from);
+    return;
+  }
+  // `from` may be a relaying member; the subject's signature is what
+  // authenticates the request.
+  if (request.object != object_ || !is_member(request.sender)) {
+    record_violation("disconnect request from non-member", from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(request.sender);
+  if (pub == nullptr || !pub->verify(request.signed_bytes(), signature)) {
+    record_violation("bad signature on disconnect request", from);
+    return;
+  }
+  callbacks_.record_evidence(evidence_kind::kMembershipRequest,
+                             request.encode());
+  process_membership_request(std::move(request), std::move(signature));
+}
+
+void Replica::process_membership_request(MembershipRequest request,
+                                         Bytes signature) {
+  B2B_DEBUG(self_, " processing membership request kind=",
+            static_cast<int>(request.kind), " from ", request.sender,
+            " busy=", busy(), " connected=", connected_);
+  if (!connected_) {
+    // We departed while this request waited: hand it to another member of
+    // our last known view (best effort) so the requester is not stranded.
+    forward_membership_request(request, signature, self_);
+    return;
+  }
+  const PartyId& subject = request.subjects.empty() ? request.sender
+                                                    : request.subjects[0];
+
+  // Re-resolve the legitimate sponsor at processing time (membership may
+  // have changed while the request waited): relay if it is not us.
+  if (request.kind == MembershipKind::kConnect) {
+    if (connect_sponsor() != self_) {
+      send_envelope(connect_sponsor(), MsgType::kConnectRequest,
+                    encode_request_with_signature(request, signature));
+      return;
+    }
+  } else {
+    std::optional<PartyId> sponsor =
+        sponsor_for_removal(members_, request.subjects, sponsor_policy_);
+    if (!sponsor.has_value()) return;  // request no longer applicable
+    if (*sponsor != self_) {
+      send_envelope(*sponsor,
+                    request.kind == MembershipKind::kVoluntaryDisconnect
+                        ? MsgType::kDisconnectRequest
+                        : MsgType::kConnectRequest,
+                    encode_request_with_signature(request, signature));
+      return;
+    }
+  }
+
+  // §4.5.1: "The sponsor is also responsible for blocking new coordination
+  // requests pending decision on any active request" — defer, don't drop.
+  if (busy()) {
+    deferred_membership_.emplace_back(std::move(request),
+                                      std::move(signature));
+    return;
+  }
+
+  // Act on each distinct request once, however many relayed or deferred
+  // copies reach us (the nonce uniquely labels the request).
+  std::string nonce_key = to_hex(request.request_nonce);
+  if (!processed_request_nonces_.insert(nonce_key).second) return;
+
+  switch (request.kind) {
+    case MembershipKind::kConnect: {
+      auto reject_subject = [&] {
+        ConnectRejectMsg reject;
+        reject.sponsor = self_;
+        reject.object = object_;
+        reject.request_nonce = request.request_nonce;
+        reject.signature = key_.sign(reject.signed_bytes());
+        send_envelope(subject, MsgType::kConnectReject, reject.encode());
+      };
+      if (is_member(subject)) {
+        reject_subject();
+        return;
+      }
+      // The sponsor's own local policy can reject immediately (§4.5.3).
+      ValidationContext ctx{self_, subject, object_, next_sequence()};
+      if (!impl_.validate_connect(subject, ctx).accept) {
+        reject_subject();
+        return;
+      }
+      start_membership_run(std::move(request), std::move(signature), nullptr);
+      return;
+    }
+    case MembershipKind::kEvict: {
+      if (!is_member(request.sender)) return;  // proposer departed meanwhile
+      ValidationContext ctx{self_, request.sender, object_, next_sequence()};
+      for (const PartyId& evictee : request.subjects) {
+        if (!is_member(evictee)) return;  // stale request
+        if (!impl_.validate_disconnect(evictee, /*eviction=*/true, ctx)
+                 .accept) {
+          return;  // sponsor locally rejects; proposer remains pending
+        }
+      }
+      start_membership_run(std::move(request), std::move(signature), nullptr);
+      return;
+    }
+    case MembershipKind::kVoluntaryDisconnect: {
+      if (!is_member(subject)) return;  // already gone
+      // Voluntary disconnection cannot be vetoed (§4.5.4) — no upcall gate.
+      start_membership_run(std::move(request), std::move(signature), nullptr);
+      return;
+    }
+  }
+}
+
+void Replica::drain_deferred_membership() {
+  while (!deferred_membership_.empty() && (!busy() || !connected_)) {
+    auto [request, signature] = std::move(deferred_membership_.front());
+    deferred_membership_.pop_front();
+    process_membership_request(std::move(request), std::move(signature));
+  }
+}
+
+RunHandle Replica::start_membership_run(MembershipRequest request,
+                                        Bytes request_signature,
+                                        RunHandle handle) {
+  if (!handle) handle = std::make_shared<RunResult>();
+  std::optional<std::vector<PartyId>> new_members =
+      resulting_members(members_, request);
+  if (!new_members.has_value()) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "membership request does not apply to the current group", {}, 0,
+             "");
+    return handle;
+  }
+
+  B2B_DEBUG(self_, " sponsoring membership run kind=",
+            static_cast<int>(request.kind), " subject=",
+            request.subjects.empty() ? request.sender : request.subjects[0]);
+  SponsorRun run;
+  run.authenticator = fresh_random();
+  run.result = handle;
+
+  MembershipProposal& prop = run.propose.proposal;
+  prop.sponsor = self_;
+  prop.object = object_;
+  prop.request = std::move(request);
+  prop.request_signature = std::move(request_signature);
+  prop.current_group = group_tuple_;
+  prop.new_group = GroupTuple{next_sequence(),
+                              crypto::Sha256::hash(run.authenticator),
+                              hash_members(*new_members)};
+  prop.agreed = agreed_tuple_;
+  prop.new_members = std::move(*new_members);
+  run.propose.signature = key_.sign(prop.signed_bytes());
+
+  note_sequence(prop.new_group.sequence);
+  const std::string label = prop.new_group.label();
+  seen_run_labels_.insert(label);
+
+  // Recipient set: current members minus the sponsor minus any subject
+  // being removed (connect subjects are not yet members).
+  for (const PartyId& member : members_) {
+    if (member == self_) continue;
+    if (prop.request.kind != MembershipKind::kConnect &&
+        contains(prop.request.subjects, member)) {
+      continue;
+    }
+    run.recipients.push_back(member);
+  }
+
+  Bytes encoded = run.propose.encode();
+  callbacks_.record_evidence(evidence_kind::kMembershipPropose, encoded);
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "m.propose", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kMembershipPropose, encoded);
+  }
+
+  sponsor_run_ = std::move(run);
+  if (sponsor_run_->recipients.empty()) {
+    finish_membership_run_as_sponsor();
+  }
+  return handle;
+}
+
+void Replica::handle_membership_respond(const PartyId& from,
+                                        const Bytes& body) {
+  MembershipRespondMsg msg = MembershipRespondMsg::decode(body);
+  const MembershipResponse& resp = msg.response;
+
+  if (resp.responder != from) {
+    record_violation("membership response sender mismatch", from);
+    return;
+  }
+  if (!sponsor_run_.has_value() ||
+      sponsor_run_->propose.proposal.new_group != resp.new_group) {
+    record_violation("membership response for no active run", from);
+    return;
+  }
+  SponsorRun& run = *sponsor_run_;
+  if (!contains(run.recipients, from)) {
+    record_violation("membership response from non-recipient", from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub == nullptr || !pub->verify(resp.signed_bytes(), msg.signature)) {
+    record_violation("bad signature on membership response", from);
+    return;
+  }
+  auto existing = run.responses.find(from);
+  if (existing != run.responses.end()) {
+    if (!(existing->second == msg)) {
+      callbacks_.record_evidence(evidence_kind::kMembershipRespond,
+                                 msg.encode());
+      record_violation("equivocating membership responses", from);
+    }
+    return;
+  }
+  const std::string label = resp.new_group.label();
+  messages_.add(label, {"received", "m.respond", from.str(), body});
+  callbacks_.record_evidence(evidence_kind::kMembershipRespond, msg.encode());
+  run.responses.emplace(from, std::move(msg));
+
+  if (run.responses.size() == run.recipients.size()) {
+    finish_membership_run_as_sponsor();
+  }
+}
+
+void Replica::finish_membership_run_as_sponsor() {
+  SponsorRun run = std::move(*sponsor_run_);
+  sponsor_run_.reset();
+  const MembershipProposal& prop = run.propose.proposal;
+  const std::string label = prop.new_group.label();
+
+  MembershipDecideMsg decide;
+  decide.sponsor = self_;
+  decide.object = object_;
+  decide.new_group = prop.new_group;
+  decide.authenticator = run.authenticator;
+
+  std::vector<PartyId> vetoers;
+  std::string first_diagnostic;
+  bool views_consistent = true;
+  for (const PartyId& recipient : run.recipients) {
+    const MembershipRespondMsg& resp = run.responses.at(recipient);
+    decide.responses.push_back(resp);
+    const MembershipResponse& r = resp.response;
+    if (!r.decision.accept) {
+      vetoers.push_back(recipient);
+      if (first_diagnostic.empty()) first_diagnostic = r.decision.diagnostic;
+    } else if (r.group_view != prop.current_group ||
+               r.agreed_view != prop.agreed) {
+      record_violation("inconsistent accept in membership response",
+                       recipient);
+      views_consistent = false;
+      vetoers.push_back(recipient);
+    }
+  }
+  bool agreed = vetoers.empty() && views_consistent;
+
+  B2B_DEBUG(self_, " membership run ", label, " agreed=", agreed);
+  Bytes encoded = decide.encode();
+  callbacks_.record_evidence(evidence_kind::kMembershipDecide, encoded);
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "m.decide", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kMembershipDecide, encoded);
+  }
+
+  if (agreed) {
+    apply_membership_change(prop);
+    if (prop.request.kind == MembershipKind::kConnect) {
+      // Deliver the agreed state and the full member/key directory to the
+      // new member (§4.5.3).
+      ConnectWelcomeMsg welcome;
+      welcome.sponsor = self_;
+      welcome.object = object_;
+      welcome.new_group = prop.new_group;
+      welcome.members = prop.new_members;
+      for (const PartyId& member : prop.new_members) {
+        if (member == prop.request.sender) {
+          welcome.member_public_keys.push_back(prop.request.subject_public_key);
+        } else {
+          const crypto::RsaPublicKey* pub = callbacks_.key_of(member);
+          welcome.member_public_keys.push_back(pub != nullptr ? pub->encode()
+                                                              : Bytes{});
+        }
+      }
+      welcome.agreed = agreed_tuple_;
+      welcome.agreed_state = agreed_state_;
+      welcome.responses = decide.responses;
+      welcome.authenticator = run.authenticator;
+      welcome.sponsor_signature = key_.sign(welcome.signed_bytes());
+      send_envelope(prop.request.sender, MsgType::kConnectWelcome,
+                    welcome.encode());
+    } else if (prop.request.kind == MembershipKind::kVoluntaryDisconnect) {
+      DisconnectConfirmMsg confirm;
+      confirm.sponsor = self_;
+      confirm.object = object_;
+      confirm.new_group = prop.new_group;
+      confirm.responses = decide.responses;
+      confirm.authenticator = run.authenticator;
+      send_envelope(prop.request.subjects[0], MsgType::kDisconnectConfirm,
+                    confirm.encode());
+    }
+    complete(run.result, RunResult::Outcome::kAgreed, "", {},
+             prop.new_group.sequence, label);
+  } else {
+    if (prop.request.kind == MembershipKind::kConnect) {
+      // §4.5.3: a vetoed subject receives exactly the same rejection shape
+      // as an immediately rejected one.
+      ConnectRejectMsg reject;
+      reject.sponsor = self_;
+      reject.object = object_;
+      reject.request_nonce = prop.request.request_nonce;
+      reject.signature = key_.sign(reject.signed_bytes());
+      send_envelope(prop.request.sender, MsgType::kConnectReject,
+                    reject.encode());
+    } else if (prop.request.kind == MembershipKind::kVoluntaryDisconnect) {
+      // The departure itself cannot be refused (§4.5.4); a veto here only
+      // means a recipient's view was transiently inconsistent or busy
+      // (e.g. a racing state run). Retry with backoff — an immediate
+      // retry would keep colliding with a steady stream of state runs —
+      // up to a bound.
+      std::string nonce_key = to_hex(prop.request.request_nonce);
+      int attempt = ++voluntary_retry_counts_[nonce_key];
+      if (attempt <= kMaxVoluntaryRetries) {
+        processed_request_nonces_.erase(nonce_key);
+        if (callbacks_.schedule) {
+          std::uint64_t backoff =
+              50'000ull * static_cast<std::uint64_t>(attempt);
+          callbacks_.schedule(
+              backoff, [this, request = prop.request,
+                        signature = prop.request_signature]() mutable {
+                process_membership_request(std::move(request),
+                                           std::move(signature));
+              });
+        } else {
+          deferred_membership_.emplace_back(prop.request,
+                                            prop.request_signature);
+        }
+      }
+    }
+    complete(run.result, RunResult::Outcome::kVetoed, first_diagnostic,
+             std::move(vetoers), prop.new_group.sequence, label);
+  }
+  drain_deferred_membership();
+}
+
+// ---------------------------------------------------------------------------
+// Recipient side
+// ---------------------------------------------------------------------------
+
+void Replica::handle_membership_propose(const PartyId& from,
+                                        const Bytes& body) {
+  MembershipProposeMsg msg = MembershipProposeMsg::decode(body);
+  const MembershipProposal& prop = msg.proposal;
+
+  if (prop.sponsor != from) {
+    record_violation("membership proposal from wrong party", from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub == nullptr || !pub->verify(prop.signed_bytes(), msg.signature)) {
+    record_violation("bad signature on membership proposal", from);
+    return;
+  }
+  if (!connected_ || !is_member(from)) {
+    // We have departed (or the sponsor is outside our group view): send a
+    // signed reject so the sponsor's run terminates instead of blocking.
+    if (connected_ && !is_member(from)) {
+      record_anomaly("membership proposal from non-member", from);
+    }
+    MembershipResponse stale;
+    stale.responder = self_;
+    stale.object = object_;
+    stale.new_group = prop.new_group;
+    stale.group_view = group_tuple_;
+    stale.agreed_view = agreed_tuple_;
+    stale.decision = Decision::rejected(
+        connected_ ? "inconsistent group view"
+                   : "recipient has disconnected from this group");
+    MembershipRespondMsg out;
+    out.response = stale;
+    out.signature = key_.sign(stale.signed_bytes());
+    callbacks_.record_evidence(evidence_kind::kMembershipRespond,
+                               out.encode());
+    send_envelope(from, MsgType::kMembershipRespond, out.encode());
+    return;
+  }
+  if (prop.object != object_) {
+    record_violation("membership proposal for wrong object", from);
+    return;
+  }
+  const std::string label = prop.new_group.label();
+  if (seen_run_labels_.contains(label)) {
+    record_violation("replayed membership proposal " + label, from);
+    return;
+  }
+  seen_run_labels_.insert(label);
+  note_sequence(prop.new_group.sequence);
+  callbacks_.record_evidence(evidence_kind::kMembershipPropose, msg.encode());
+  messages_.add(label, {"received", "m.propose", from.str(), body});
+
+  Decision decision = evaluate_membership_proposal(msg);
+
+  MembershipResponse resp;
+  resp.responder = self_;
+  resp.object = object_;
+  resp.new_group = prop.new_group;
+  resp.group_view = group_tuple_;
+  resp.agreed_view = agreed_tuple_;
+  resp.decision = decision;
+
+  MembershipRespondMsg out;
+  out.response = resp;
+  out.signature = key_.sign(resp.signed_bytes());
+
+  MembershipResponderRun run;
+  run.propose = msg;
+  run.my_response = out;
+  run.members_at_response = members_;
+  membership_responder_runs_.emplace(label, std::move(run));
+
+  Bytes encoded = out.encode();
+  callbacks_.record_evidence(evidence_kind::kMembershipRespond, encoded);
+  messages_.add(label, {"sent", "m.respond", from.str(), encoded});
+  send_envelope(from, MsgType::kMembershipRespond, encoded);
+}
+
+Decision Replica::evaluate_membership_proposal(
+    const MembershipProposeMsg& msg) {
+  const MembershipProposal& prop = msg.proposal;
+  const MembershipRequest& request = prop.request;
+
+  if (prop.current_group != group_tuple_) {
+    return Decision::rejected("inconsistent group view");
+  }
+  if (prop.agreed != agreed_tuple_) {
+    return Decision::rejected("inconsistent agreed-state view");
+  }
+  if (prop.new_group.sequence <= group_tuple_.sequence) {
+    return Decision::rejected("sequence number did not advance");
+  }
+  if (hash_members(prop.new_members) != prop.new_group.members_hash) {
+    record_violation("member list does not hash to group tuple",
+                     prop.sponsor);
+    return Decision::rejected("proposal internally inconsistent");
+  }
+
+  // The embedded request must be properly signed by its sender.
+  bool sponsor_initiated_evict = request.kind == MembershipKind::kEvict &&
+                                 request.sender == prop.sponsor;
+  if (request.kind == MembershipKind::kConnect) {
+    crypto::RsaPublicKey subject_key;
+    try {
+      subject_key = crypto::RsaPublicKey::decode(request.subject_public_key);
+    } catch (const CodecError&) {
+      record_violation("connect proposal with undecodable subject key",
+                       prop.sponsor);
+      return Decision::rejected("undecodable subject key");
+    }
+    if (!subject_key.verify(request.signed_bytes(), prop.request_signature)) {
+      record_violation("connect proposal with forged request", prop.sponsor);
+      return Decision::rejected("request signature invalid");
+    }
+  } else if (!sponsor_initiated_evict) {
+    const crypto::RsaPublicKey* sender_key = callbacks_.key_of(request.sender);
+    if (sender_key == nullptr ||
+        !sender_key->verify(request.signed_bytes(), prop.request_signature)) {
+      record_violation("membership proposal with forged request",
+                       prop.sponsor);
+      return Decision::rejected("request signature invalid");
+    }
+  }
+
+  // Sponsor legitimacy (§4.5.1): verifiable by every member.
+  if (request.kind == MembershipKind::kConnect) {
+    if (prop.sponsor != connect_sponsor()) {
+      record_violation("illegitimate connection sponsor", prop.sponsor);
+      return Decision::rejected("illegitimate sponsor");
+    }
+  } else {
+    std::optional<PartyId> expected =
+        sponsor_for_removal(members_, request.subjects, sponsor_policy_);
+    if (!expected.has_value() || prop.sponsor != *expected) {
+      record_violation("illegitimate disconnection sponsor", prop.sponsor);
+      return Decision::rejected("illegitimate sponsor");
+    }
+    if (contains(request.subjects, self_)) {
+      // The subject of an eviction must not be in the recipient set.
+      record_violation("received proposal for own eviction", prop.sponsor);
+      return Decision::rejected("subject must not validate own removal");
+    }
+  }
+
+  // The proposed member list must be exactly the current list with the
+  // requested change applied.
+  std::optional<std::vector<PartyId>> expected_members =
+      resulting_members(members_, request);
+  if (!expected_members.has_value() ||
+      *expected_members != prop.new_members) {
+    record_violation("membership delta does not match request", prop.sponsor);
+    return Decision::rejected("membership delta does not match request");
+  }
+
+  if (busy()) {
+    return Decision::rejected("busy: concurrent coordination in progress");
+  }
+
+  ValidationContext ctx{self_, request.sender, object_,
+                        prop.new_group.sequence};
+  switch (request.kind) {
+    case MembershipKind::kConnect:
+      return impl_.validate_connect(request.subjects[0], ctx);
+    case MembershipKind::kEvict:
+      for (const PartyId& subject : request.subjects) {
+        Decision d = impl_.validate_disconnect(subject, /*eviction=*/true, ctx);
+        if (!d.accept) return d;
+      }
+      return Decision::accepted();
+    case MembershipKind::kVoluntaryDisconnect: {
+      // Voluntary disconnection cannot be vetoed by *policy* (§4.5.4);
+      // the upcall result is recorded but overridden. Protocol-level
+      // rejects above (stale views, busy) stand — they mean the run
+      // cannot proceed consistently and the sponsor must retry.
+      Decision d = impl_.validate_disconnect(request.subjects[0],
+                                             /*eviction=*/false, ctx);
+      if (!d.accept) return Decision{true, "noted: " + d.diagnostic};
+      return Decision::accepted();
+    }
+  }
+  return Decision::rejected("unknown membership kind");
+}
+
+void Replica::handle_membership_decide(const PartyId& from,
+                                       const Bytes& body) {
+  if (!connected_) return;
+  MembershipDecideMsg msg = MembershipDecideMsg::decode(body);
+  const std::string label = msg.new_group.label();
+
+  auto it = membership_responder_runs_.find(label);
+  if (it == membership_responder_runs_.end()) {
+    record_anomaly("membership decide for unknown run " + label, from);
+    return;
+  }
+  MembershipResponderRun run = std::move(it->second);
+  const MembershipProposal& prop = run.propose.proposal;
+  if (msg.sponsor != prop.sponsor || from != prop.sponsor) {
+    record_violation("membership decide not from the sponsor", from);
+    return;
+  }
+  if (crypto::Sha256::hash(msg.authenticator) != prop.new_group.rand_hash) {
+    record_violation("membership decide authenticator mismatch (forgery)",
+                     from);
+    return;
+  }
+  callbacks_.record_evidence(evidence_kind::kMembershipDecide, msg.encode());
+  messages_.add(label, {"received", "m.decide", from.str(), body});
+  membership_responder_runs_.erase(it);
+
+  bool intact = true;
+  bool all_accept = true;
+  std::set<PartyId> responders;
+  for (const MembershipRespondMsg& resp_msg : msg.responses) {
+    const MembershipResponse& resp = resp_msg.response;
+    const crypto::RsaPublicKey* pub = callbacks_.key_of(resp.responder);
+    if (pub == nullptr ||
+        !pub->verify(resp.signed_bytes(), resp_msg.signature)) {
+      record_violation("membership decide aggregates badly signed response",
+                       from);
+      intact = false;
+      continue;
+    }
+    if (resp.new_group != prop.new_group) {
+      record_violation("membership decide aggregates foreign response", from);
+      intact = false;
+      continue;
+    }
+    responders.insert(resp.responder);
+    if (!resp.decision.accept) all_accept = false;
+    if (resp.responder == self_ && !(resp_msg == run.my_response)) {
+      record_violation("own membership response misrepresented", from);
+      intact = false;
+    }
+  }
+  // Coverage: every member that should have been asked (per the
+  // membership as of our response) must be present. A shortfall on a run
+  // that already contains a veto is explainable by concurrent membership
+  // changes; only an all-accept decide with missing responses
+  // misrepresents the outcome.
+  for (const PartyId& member : run.members_at_response) {
+    if (member == prop.sponsor) continue;
+    if (prop.request.kind != MembershipKind::kConnect &&
+        contains(prop.request.subjects, member)) {
+      continue;
+    }
+    if (!responders.contains(member)) {
+      if (all_accept) {
+        record_violation(
+            "membership decide omits response from " + member.str(), from);
+      } else {
+        record_anomaly(
+            "membership decide lacks response from " + member.str(), from);
+      }
+      intact = false;
+    }
+  }
+
+  bool agreed = intact && all_accept;
+
+  if (agreed) {
+    apply_membership_change(prop);
+  }
+
+  // A non-sponsor eviction proposer learns the outcome here.
+  if (relayed_eviction_result_.has_value() &&
+      prop.request.kind == MembershipKind::kEvict &&
+      prop.request.sender == self_ &&
+      to_hex(prop.request.request_nonce) == relayed_eviction_nonce_) {
+    RunHandle handle = *relayed_eviction_result_;
+    relayed_eviction_result_.reset();
+    std::vector<PartyId> vetoers;
+    for (const MembershipRespondMsg& r : msg.responses) {
+      if (!r.response.decision.accept) vetoers.push_back(r.response.responder);
+    }
+    complete(handle,
+             agreed ? RunResult::Outcome::kAgreed : RunResult::Outcome::kVetoed,
+             agreed ? "" : "eviction vetoed", std::move(vetoers),
+             prop.new_group.sequence, label);
+  }
+  drain_deferred_membership();
+}
+
+void Replica::apply_membership_change(const MembershipProposal& proposal) {
+  members_ = proposal.new_members;
+  group_tuple_ = proposal.new_group;
+  note_sequence(proposal.new_group.sequence);
+
+  CoordEvent event;
+  event.object = object_;
+  event.sequence = proposal.new_group.sequence;
+  if (proposal.request.kind == MembershipKind::kConnect) {
+    const PartyId& subject = proposal.request.subjects[0];
+    try {
+      callbacks_.learn_key(
+          subject,
+          crypto::RsaPublicKey::decode(proposal.request.subject_public_key));
+    } catch (const CodecError&) {
+      // Unreachable for an agreed run: the key decoded during validation.
+    }
+    event.kind = CoordEvent::Kind::kMemberConnected;
+    event.party = subject;
+  } else {
+    event.kind = CoordEvent::Kind::kMemberDisconnected;
+    event.party = proposal.request.subjects[0];
+    event.detail = proposal.request.kind == MembershipKind::kEvict
+                       ? "evicted"
+                       : "voluntary";
+  }
+  callbacks_.record_evidence(evidence_kind::kMembershipApplied,
+                             proposal.new_group.encode());
+  impl_.coord_callback(event);
+  if (callbacks_.notify) callbacks_.notify(event);
+}
+
+// ---------------------------------------------------------------------------
+// Subject side: welcome / reject / confirm
+// ---------------------------------------------------------------------------
+
+void Replica::handle_connect_welcome(const PartyId& from, const Bytes& body) {
+  if (!subject_request_.has_value() ||
+      subject_request_->request.kind != MembershipKind::kConnect) {
+    record_violation("unsolicited connect welcome", from);
+    return;
+  }
+  ConnectWelcomeMsg msg = ConnectWelcomeMsg::decode(body);
+  SubjectRequest pending = std::move(*subject_request_);
+  subject_request_.reset();
+
+  auto fail = [&](const std::string& why) {
+    record_violation("invalid connect welcome: " + why, from);
+    complete(pending.result, RunResult::Outcome::kAborted,
+             "invalid welcome: " + why, {}, 0, "");
+  };
+
+  if (msg.object != object_ || msg.sponsor != from) {
+    fail("wrong object or sender");
+    return;
+  }
+  if (msg.members.empty() || msg.members.back() != self_) {
+    fail("subject is not the most recent member");
+    return;
+  }
+  if (msg.member_public_keys.size() != msg.members.size()) {
+    fail("key list does not match member list");
+    return;
+  }
+  if (hash_members(msg.members) != msg.new_group.members_hash) {
+    fail("member list does not hash to group tuple");
+    return;
+  }
+  if (crypto::Sha256::hash(msg.authenticator) != msg.new_group.rand_hash) {
+    fail("authenticator mismatch");
+    return;
+  }
+  if (crypto::Sha256::hash(msg.agreed_state) != msg.agreed.state_hash) {
+    fail("agreed state does not match agreed tuple");
+    return;
+  }
+
+  // Decode the member key directory; cross-check any keys already known.
+  std::map<PartyId, crypto::RsaPublicKey> directory;
+  for (std::size_t i = 0; i < msg.members.size(); ++i) {
+    crypto::RsaPublicKey pub;
+    try {
+      pub = crypto::RsaPublicKey::decode(msg.member_public_keys[i]);
+    } catch (const CodecError&) {
+      fail("undecodable member key for " + msg.members[i].str());
+      return;
+    }
+    const crypto::RsaPublicKey* known = callbacks_.key_of(msg.members[i]);
+    if (known != nullptr && !(*known == pub)) {
+      fail("key directory contradicts known key for " + msg.members[i].str());
+      return;
+    }
+    directory.emplace(msg.members[i], std::move(pub));
+  }
+
+  // Sponsor's signature over the authoritative fields.
+  if (!directory.at(msg.sponsor).verify(msg.signed_bytes(),
+                                        msg.sponsor_signature)) {
+    fail("bad sponsor signature");
+    return;
+  }
+
+  // Each aggregated response vouches for the agreed state and new group.
+  std::set<PartyId> responders;
+  for (const MembershipRespondMsg& resp_msg : msg.responses) {
+    const MembershipResponse& resp = resp_msg.response;
+    auto key_it = directory.find(resp.responder);
+    if (key_it == directory.end() ||
+        !key_it->second.verify(resp.signed_bytes(), resp_msg.signature)) {
+      fail("badly signed response from " + resp.responder.str());
+      return;
+    }
+    if (resp.new_group != msg.new_group) {
+      fail("response for a different run");
+      return;
+    }
+    if (!resp.decision.accept) {
+      fail("welcome contains a veto");
+      return;
+    }
+    if (resp.agreed_view != msg.agreed) {
+      fail("response vouches for different agreed state");
+      return;
+    }
+    responders.insert(resp.responder);
+  }
+  for (const PartyId& member : msg.members) {
+    if (member == msg.sponsor || member == self_) continue;
+    if (!responders.contains(member)) {
+      fail("missing response from " + member.str());
+      return;
+    }
+  }
+
+  // Install the verified replica.
+  for (auto& [member, pub] : directory) {
+    if (member != self_) callbacks_.learn_key(member, pub);
+  }
+  members_ = msg.members;
+  group_tuple_ = msg.new_group;
+  agreed_tuple_ = msg.agreed;
+  agreed_state_ = msg.agreed_state;
+  impl_.apply_state(agreed_state_);
+  note_sequence(msg.new_group.sequence);
+  note_sequence(msg.agreed.sequence);
+  connected_ = true;
+  checkpoints_.put(object_,
+                   store::Checkpoint{agreed_tuple_.sequence,
+                                     agreed_tuple_.encode(), agreed_state_,
+                                     callbacks_.now()});
+  callbacks_.record_evidence(evidence_kind::kMembershipApplied,
+                             msg.new_group.encode());
+
+  CoordEvent event;
+  event.kind = CoordEvent::Kind::kMemberConnected;
+  event.object = object_;
+  event.party = self_;
+  event.sequence = msg.new_group.sequence;
+  impl_.coord_callback(event);
+  if (callbacks_.notify) callbacks_.notify(event);
+
+  complete(pending.result, RunResult::Outcome::kAgreed, "", {},
+           msg.new_group.sequence, msg.new_group.label());
+  drain_deferred_membership();
+}
+
+void Replica::handle_connect_reject(const PartyId& from, const Bytes& body) {
+  if (!subject_request_.has_value() ||
+      subject_request_->request.kind != MembershipKind::kConnect) {
+    record_violation("unsolicited connect reject", from);
+    return;
+  }
+  ConnectRejectMsg msg = ConnectRejectMsg::decode(body);
+  if (msg.request_nonce != subject_request_->request.request_nonce) {
+    record_violation("connect reject for a different request", from);
+    return;
+  }
+  // Verify the sponsor's signature when its key is known; a subject outside
+  // the group may not know it, in which case the rejection is advisory
+  // (either way the subject learns nothing more, §4.5.3).
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub != nullptr && !pub->verify(msg.signed_bytes(), msg.signature)) {
+    record_violation("bad signature on connect reject", from);
+    return;
+  }
+  SubjectRequest pending = std::move(*subject_request_);
+  subject_request_.reset();
+  complete(pending.result, RunResult::Outcome::kVetoed,
+           "connection request rejected", {PartyId{from}}, 0, "");
+  drain_deferred_membership();
+}
+
+void Replica::handle_disconnect_confirm(const PartyId& from,
+                                        const Bytes& body) {
+  if (!subject_request_.has_value() ||
+      subject_request_->request.kind != MembershipKind::kVoluntaryDisconnect) {
+    record_violation("unsolicited disconnect confirm", from);
+    return;
+  }
+  DisconnectConfirmMsg msg = DisconnectConfirmMsg::decode(body);
+  if (crypto::Sha256::hash(msg.authenticator) != msg.new_group.rand_hash) {
+    record_violation("disconnect confirm authenticator mismatch", from);
+    return;
+  }
+  callbacks_.record_evidence(evidence_kind::kMembershipDecide, msg.encode());
+  SubjectRequest pending = std::move(*subject_request_);
+  subject_request_.reset();
+  connected_ = false;
+  complete(pending.result, RunResult::Outcome::kAgreed, "", {},
+           msg.new_group.sequence, msg.new_group.label());
+  // Any requests we were still sponsoring must find a new sponsor.
+  drain_deferred_membership();
+}
+
+}  // namespace b2b::core

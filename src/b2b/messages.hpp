@@ -1,0 +1,292 @@
+// Protocol messages for state coordination (§4.3) and membership (§4.5).
+//
+// Every message that carries an assertion is split into a *signed core*
+// (the canonical encoding returned by signed_bytes()) and the enclosing
+// message. Verifiers always recompute the signed core from the decoded
+// fields, so any inconsistency between "signed and unsigned parts" —
+// the tampering §4.4 analyses — is detected by signature verification.
+//
+// The final decide messages carry no signature: they are authenticated by
+// revealing the random number r whose hash the (signed) proposal committed
+// to, exactly as the paper prescribes ("requires no signature since only
+// P_i can produce the authenticator").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "b2b/tuples.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace b2b::core {
+
+/// Discriminates the payload of a wire envelope.
+enum class MsgType : std::uint8_t {
+  kPropose = 1,
+  kRespond = 2,
+  kDecide = 3,
+  kConnectRequest = 10,
+  kMembershipPropose = 11,
+  kMembershipRespond = 12,
+  kMembershipDecide = 13,
+  kConnectWelcome = 14,
+  kConnectReject = 15,
+  kDisconnectRequest = 16,
+  kDisconnectConfirm = 17,
+  kTerminationRequest = 20,  // party -> termination TTP (§7 extension)
+  kTerminationVerdict = 21,  // termination TTP -> party
+};
+
+/// Outermost wire frame: which object, which message kind, body.
+struct Envelope {
+  MsgType type{};
+  ObjectId object;
+  Bytes body;
+
+  Bytes encode() const;
+  static Envelope decode(BytesView data);
+};
+
+// ---------------------------------------------------------------------------
+// State coordination (§4.3, update variant §4.3.1)
+// ---------------------------------------------------------------------------
+
+/// The signed core of a state-change proposal:
+///   prop = { P_i, G_Pi, T_agreed, T_prop, payload kind, H(payload) }
+/// For an overwrite, payload is the full new state and H(payload) equals
+/// T_prop.state_hash; for an update, payload is the delta and
+/// T_prop.state_hash is the hash of the state *after* applying it.
+struct Proposal {
+  PartyId proposer;
+  ObjectId object;
+  GroupTuple group;      // proposer's view of the group
+  StateTuple agreed;     // T_agreed as viewed by the proposer
+  StateTuple proposed;   // T_prop
+  bool is_update = false;
+  crypto::Digest payload_hash{};  // H(payload bytes in the ProposeMsg)
+
+  Bytes signed_bytes() const;
+  void encode_into(wire::Encoder& enc) const;
+  static Proposal decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const Proposal&, const Proposal&) = default;
+};
+
+/// Protocol message 1: propose. Carries the payload (state or update) and
+/// the proposer's signature over the proposal core.
+struct ProposeMsg {
+  Proposal proposal;
+  Bytes payload;
+  Bytes signature;
+
+  Bytes encode() const;
+  static ProposeMsg decode(BytesView data);
+
+  friend bool operator==(const ProposeMsg&, const ProposeMsg&) = default;
+};
+
+/// The signed core of a response: receipt for the proposal plus the
+/// responder's decision and its own view of agreed/current state and group
+/// (the consistency-check material of §4.3).
+struct Response {
+  PartyId responder;
+  ObjectId object;
+  StateTuple proposed;            // echo of T_prop (the receipt)
+  StateTuple agreed_view;         // T_agreed as viewed by the responder
+  StateTuple current_view;        // T_current as viewed by the responder
+  GroupTuple group_view;          // responder's view of the group
+  crypto::Digest payload_integrity{};  // H(payload as actually received)
+  Decision decision;
+
+  Bytes signed_bytes() const;
+  void encode_into(wire::Encoder& enc) const;
+  static Response decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const Response&, const Response&) = default;
+};
+
+/// Protocol message 2: respond (one per recipient, sent to the proposer).
+struct RespondMsg {
+  Response response;
+  Bytes signature;
+
+  Bytes encode() const;
+  static RespondMsg decode(BytesView data);
+  void encode_into(wire::Encoder& enc) const;
+  static RespondMsg decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const RespondMsg&, const RespondMsg&) = default;
+};
+
+/// Protocol message 3: decide. Aggregates every signed response and reveals
+/// the authenticator r (preimage of T_prop.rand_hash). Unsigned by design.
+struct DecideMsg {
+  PartyId proposer;
+  ObjectId object;
+  StateTuple proposed;  // identifies the run
+  std::vector<RespondMsg> responses;
+  Bytes authenticator;  // r
+
+  Bytes encode() const;
+  static DecideMsg decode(BytesView data);
+
+  friend bool operator==(const DecideMsg&, const DecideMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Membership (§4.5): connection, eviction, voluntary disconnection
+// ---------------------------------------------------------------------------
+
+enum class MembershipKind : std::uint8_t {
+  kConnect = 1,
+  kEvict = 2,
+  kVoluntaryDisconnect = 3,
+};
+
+/// Initial request from the subject (connect / voluntary disconnect) or
+/// from the eviction proposer to the sponsor. Signed by its sender.
+struct MembershipRequest {
+  MembershipKind kind{};
+  PartyId sender;               // subject, or eviction proposer
+  ObjectId object;
+  std::vector<PartyId> subjects;  // who joins/leaves (evict may list several)
+  Bytes subject_public_key;       // connect only: encoded RsaPublicKey
+  Bytes request_nonce;            // r_new: uniquely labels the request
+
+  Bytes signed_bytes() const;
+  void encode_into(wire::Encoder& enc) const;
+  static MembershipRequest decode_from(wire::Decoder& dec);
+  Bytes encode() const;
+  static MembershipRequest decode(BytesView data);
+
+  friend bool operator==(const MembershipRequest&,
+                         const MembershipRequest&) = default;
+};
+
+/// Sponsor's proposal of a membership change to the recipient set.
+/// new_group is the group tuple that will identify the changed membership.
+struct MembershipProposal {
+  PartyId sponsor;
+  ObjectId object;
+  MembershipRequest request;      // echo of the (signed) request
+  Bytes request_signature;        // signature from the request sender
+  GroupTuple current_group;       // sponsor's view before the change
+  GroupTuple new_group;           // tuple identifying the proposed group
+  StateTuple agreed;              // sponsor's view of agreed object state
+  std::vector<PartyId> new_members;  // the proposed ordered member list
+
+  Bytes signed_bytes() const;
+  friend bool operator==(const MembershipProposal&,
+                         const MembershipProposal&) = default;
+};
+
+/// Message: sponsor -> recipients (everyone but the sponsor and, for
+/// connect/evict, the subject).
+struct MembershipProposeMsg {
+  MembershipProposal proposal;
+  Bytes signature;  // sponsor's
+
+  Bytes encode() const;
+  static MembershipProposeMsg decode(BytesView data);
+
+  friend bool operator==(const MembershipProposeMsg&,
+                         const MembershipProposeMsg&) = default;
+};
+
+/// A recipient's signed response to a membership proposal. For voluntary
+/// disconnection the decision must be accept (no veto, §4.5.4).
+struct MembershipResponse {
+  PartyId responder;
+  ObjectId object;
+  GroupTuple new_group;     // echo (receipt)
+  GroupTuple group_view;    // responder's current view
+  StateTuple agreed_view;   // responder's view of agreed object state
+  Decision decision;
+
+  Bytes signed_bytes() const;
+  void encode_into(wire::Encoder& enc) const;
+  static MembershipResponse decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const MembershipResponse&,
+                         const MembershipResponse&) = default;
+};
+
+struct MembershipRespondMsg {
+  MembershipResponse response;
+  Bytes signature;
+
+  Bytes encode() const;
+  static MembershipRespondMsg decode(BytesView data);
+  void encode_into(wire::Encoder& enc) const;
+  static MembershipRespondMsg decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const MembershipRespondMsg&,
+                         const MembershipRespondMsg&) = default;
+};
+
+/// Sponsor -> recipients: aggregated responses + revealed authenticator.
+struct MembershipDecideMsg {
+  PartyId sponsor;
+  ObjectId object;
+  GroupTuple new_group;  // identifies the run
+  std::vector<MembershipRespondMsg> responses;
+  Bytes authenticator;  // preimage of new_group.rand_hash
+
+  Bytes encode() const;
+  static MembershipDecideMsg decode(BytesView data);
+
+  friend bool operator==(const MembershipDecideMsg&,
+                         const MembershipDecideMsg&) = default;
+};
+
+/// Sponsor -> new member after an agreed connect: everything the subject
+/// needs to install a verified replica (§4.5.3): the member list with
+/// public keys, the agreed state with per-member signed agreed tuples
+/// (inside the aggregated responses), and the authenticator.
+struct ConnectWelcomeMsg {
+  PartyId sponsor;
+  ObjectId object;
+  GroupTuple new_group;
+  std::vector<PartyId> members;          // ordered by join time, incl. subject
+  std::vector<Bytes> member_public_keys;  // parallel to `members`
+  StateTuple agreed;                      // sponsor's signed view
+  Bytes agreed_state;                     // S_agreed bytes
+  std::vector<MembershipRespondMsg> responses;
+  Bytes authenticator;
+  Bytes sponsor_signature;  // over {new_group, members, agreed}
+
+  Bytes signed_bytes() const;
+  Bytes encode() const;
+  static ConnectWelcomeMsg decode(BytesView data);
+};
+
+/// Sponsor -> subject: rejection. Deliberately identical in shape whether
+/// the sponsor rejected immediately or a member vetoed (§4.5.3: the subject
+/// learns nothing more either way).
+struct ConnectRejectMsg {
+  PartyId sponsor;
+  ObjectId object;
+  Bytes request_nonce;  // echoes the request this rejects
+  Bytes signature;      // sponsor's, over {“reject”, object, nonce}
+
+  Bytes signed_bytes() const;
+  Bytes encode() const;
+  static ConnectRejectMsg decode(BytesView data);
+};
+
+/// Sponsor -> voluntarily departing subject: confirmation carrying the
+/// evidence that the remaining group saw the disconnection.
+struct DisconnectConfirmMsg {
+  PartyId sponsor;
+  ObjectId object;
+  GroupTuple new_group;
+  std::vector<MembershipRespondMsg> responses;
+  Bytes authenticator;
+
+  Bytes encode() const;
+  static DisconnectConfirmMsg decode(BytesView data);
+};
+
+}  // namespace b2b::core

@@ -1,0 +1,32 @@
+#include "b2b/object.hpp"
+
+#include "common/error.hpp"
+
+namespace b2b::core {
+
+Bytes B2BObject::get_update() const {
+  throw Error("B2BObject: update mode not supported by this object");
+}
+
+void B2BObject::apply_update(BytesView) {
+  throw Error("B2BObject: update mode not supported by this object");
+}
+
+Decision B2BObject::validate_update(BytesView, BytesView resulting_state,
+                                    const ValidationContext& ctx) {
+  return validate_state(resulting_state, ctx);
+}
+
+Decision B2BObject::validate_connect(const PartyId&,
+                                     const ValidationContext&) {
+  return Decision::accepted();
+}
+
+Decision B2BObject::validate_disconnect(const PartyId&, bool,
+                                        const ValidationContext&) {
+  return Decision::accepted();
+}
+
+void B2BObject::coord_callback(const CoordEvent&) {}
+
+}  // namespace b2b::core

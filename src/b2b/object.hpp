@@ -1,0 +1,100 @@
+// The B2BObject interface (Figure 4 of the paper).
+//
+// Implemented by the application programmer, either by writing the
+// application object against this interface directly or by wrapping an
+// existing object (the paper's setAttribute/getAttribute wrapper example —
+// see Controller for the enter/examine/overwrite/update/leave side).
+//
+// State flows through get_state()/apply_state() as opaque bytes; the
+// middleware never interprets it. validate_* upcalls implement the
+// organisation's *local* policy: they are evaluated locally and their
+// verdict is what the coordination protocol turns into a multi-party,
+// non-repudiable agreement.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "b2b/tuples.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace b2b::core {
+
+/// Context handed to every validation upcall.
+struct ValidationContext {
+  PartyId local_party;   // who is validating
+  PartyId proposer;      // who proposed the change / sponsors the request
+  ObjectId object;
+  std::uint64_t sequence = 0;  // proposal sequence number
+};
+
+/// Events reported through coord_callback (protocol progress, completion
+/// in async mode, §5's coordCallback).
+struct CoordEvent {
+  enum class Kind {
+    kStateAgreed,       // a proposed state was unanimously agreed
+    kStateVetoed,       // a proposed state was rejected
+    kStateInstalled,    // a remotely proposed state was installed locally
+    kMemberConnected,   // group grew
+    kMemberDisconnected,  // group shrank (eviction or voluntary)
+    kViolationDetected,   // misbehaviour evidence was recorded
+  };
+  Kind kind{};
+  ObjectId object;
+  PartyId party;  // the proposer / subject / suspected misbehaver
+  std::uint64_t sequence = 0;
+  std::string detail;
+};
+
+class B2BObject {
+ public:
+  virtual ~B2BObject() = default;
+
+  // --- state transfer -----------------------------------------------------
+
+  /// Serialize the complete current state.
+  virtual Bytes get_state() const = 0;
+
+  /// Install a complete state (also used for rollback and recovery).
+  virtual void apply_state(BytesView state) = 0;
+
+  /// Serialize a delta from the last agreed state (update variant,
+  /// §4.3.1). Default: not supported.
+  virtual Bytes get_update() const;
+
+  /// Apply a delta produced by get_update(). Default: not supported.
+  virtual void apply_update(BytesView update);
+
+  // --- local policy (validation upcalls) ----------------------------------
+
+  /// Validate a proposed complete state. This is the heart of "locally
+  /// determined, evaluated and enforced policy" (§2); it may be
+  /// arbitrarily complex.
+  virtual Decision validate_state(BytesView proposed_state,
+                                  const ValidationContext& ctx) = 0;
+
+  /// Validate a proposed update. Default: apply-and-check — the replica
+  /// applies the update to a scratch copy and calls validate_state, so
+  /// overriding this is an optimisation, not a requirement.
+  virtual Decision validate_update(BytesView update,
+                                   BytesView resulting_state,
+                                   const ValidationContext& ctx);
+
+  /// Validate a connection request from `subject` (§5's validateConnect).
+  virtual Decision validate_connect(const PartyId& subject,
+                                    const ValidationContext& ctx);
+
+  /// Validate a disconnection: eviction can be vetoed, voluntary
+  /// disconnection cannot (the verdict is recorded but ignored for
+  /// voluntary departures).
+  virtual Decision validate_disconnect(const PartyId& subject, bool eviction,
+                                       const ValidationContext& ctx);
+
+  // --- notifications -------------------------------------------------------
+
+  /// Protocol progress / async completion callback (§5 coordCallback).
+  virtual void coord_callback(const CoordEvent& event);
+};
+
+}  // namespace b2b::core

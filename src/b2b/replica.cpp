@@ -1,0 +1,1008 @@
+#include "b2b/replica.hpp"
+
+#include <algorithm>
+
+#include "b2b/termination.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace b2b::core {
+
+Replica::Replica(PartyId self, ObjectId object, B2BObject& impl,
+                 const crypto::RsaPrivateKey& key, crypto::ChaCha20Rng& rng,
+                 Callbacks callbacks, store::CheckpointStore& checkpoints,
+                 store::MessageStore& messages)
+    : self_(std::move(self)),
+      object_(std::move(object)),
+      impl_(impl),
+      key_(key),
+      rng_(rng),
+      callbacks_(std::move(callbacks)),
+      checkpoints_(checkpoints),
+      messages_(messages) {}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+// ---------------------------------------------------------------------------
+
+void Replica::bootstrap(std::vector<PartyId> members,
+                        const Bytes& initial_state) {
+  if (std::find(members.begin(), members.end(), self_) == members.end()) {
+    throw Error("bootstrap: member list must include self");
+  }
+  members_ = std::move(members);
+  // Genesis tuples are computed deterministically from the object identity
+  // so that every bootstrapped party derives the identical view.
+  Bytes genesis_seed = concat({bytes_of("b2b.genesis."), bytes_of(object_.str())});
+  group_tuple_ = GroupTuple{0, crypto::Sha256::hash(genesis_seed),
+                            hash_members(members_)};
+  agreed_tuple_ = StateTuple{0, crypto::Sha256::hash(genesis_seed),
+                             crypto::Sha256::hash(initial_state)};
+  agreed_state_ = initial_state;
+  impl_.apply_state(initial_state);
+  last_seen_seq_ = 0;
+  connected_ = true;
+  checkpoints_.put(object_, store::Checkpoint{0, agreed_tuple_.encode(),
+                                              agreed_state_,
+                                              callbacks_.now()});
+}
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------------
+
+std::uint64_t Replica::next_sequence() { return last_seen_seq_ + 1; }
+
+bool Replica::group_accepts(std::size_t accepts,
+                            std::size_t recipients) const {
+  if (decision_rule_ == DecisionRule::kUnanimous) {
+    return accepts == recipients;
+  }
+  // Majority of the FULL group: recipients + the proposer, whose own
+  // accept is implicit (invariant 2: its current state is the proposal).
+  std::size_t group = recipients + 1;
+  return (accepts + 1) * 2 > group;
+}
+
+void Replica::note_sequence(std::uint64_t sequence) {
+  last_seen_seq_ = std::max(last_seen_seq_, sequence);
+}
+
+Bytes Replica::fresh_random() { return rng_.bytes(32); }
+
+void Replica::record_violation(const std::string& what,
+                               const PartyId& suspect) {
+  ++violations_detected_;
+  wire::Encoder enc;
+  enc.str(what).str(suspect.str());
+  callbacks_.record_evidence(evidence_kind::kViolation,
+                             std::move(enc).take());
+  CoordEvent event;
+  event.kind = CoordEvent::Kind::kViolationDetected;
+  event.object = object_;
+  event.party = suspect;
+  event.detail = what;
+  impl_.coord_callback(event);
+  if (callbacks_.notify) callbacks_.notify(event);
+  B2B_INFO(self_, " detected violation: ", what, " (suspect ", suspect, ")");
+}
+
+void Replica::record_anomaly(const std::string& what, const PartyId& party) {
+  wire::Encoder enc;
+  enc.str(what).str(party.str());
+  callbacks_.record_evidence("anomaly", std::move(enc).take());
+  B2B_DEBUG(self_, " noted anomaly: ", what, " (", party, ")");
+}
+
+void Replica::send_envelope(const PartyId& to, MsgType type, Bytes body) {
+  Envelope env;
+  env.type = type;
+  env.object = object_;
+  env.body = std::move(body);
+  callbacks_.send(to, env);
+}
+
+bool Replica::is_member(const PartyId& party) const {
+  return std::find(members_.begin(), members_.end(), party) != members_.end();
+}
+
+void Replica::install_agreed_state(const StateTuple& tuple, Bytes state,
+                                   bool apply_to_object) {
+  agreed_tuple_ = tuple;
+  agreed_state_ = std::move(state);
+  if (apply_to_object) impl_.apply_state(agreed_state_);
+  checkpoints_.put(object_,
+                   store::Checkpoint{tuple.sequence, tuple.encode(),
+                                     agreed_state_, callbacks_.now()});
+  callbacks_.record_evidence(evidence_kind::kStateInstalled, tuple.encode());
+}
+
+void Replica::complete(const RunHandle& handle, RunResult::Outcome outcome,
+                       std::string diagnostic, std::vector<PartyId> vetoers,
+                       std::uint64_t sequence, const std::string& label) {
+  handle->outcome = outcome;
+  handle->diagnostic = std::move(diagnostic);
+  handle->vetoers = std::move(vetoers);
+  handle->sequence = sequence;
+  handle->run_label = label;
+  if (handle->on_complete) handle->on_complete(*handle);
+}
+
+PartyId Replica::connect_sponsor() const {
+  if (members_.empty()) throw Error("connect_sponsor: empty group");
+  return sponsor_policy_ == SponsorPolicy::kRotating ? members_.back()
+                                                     : members_.front();
+}
+
+PartyId Replica::disconnect_sponsor(const PartyId& subject) const {
+  if (members_.empty()) throw Error("disconnect_sponsor: empty group");
+  if (members_.size() < 2 && members_.front() == subject) {
+    throw Error("disconnect_sponsor: subject is the only member");
+  }
+  if (sponsor_policy_ == SponsorPolicy::kRotating) {
+    if (members_.back() != subject) return members_.back();
+    return members_[members_.size() - 2];
+  }
+  // Fixed policy: the initial member sponsors unless it is the subject,
+  // in which case responsibility passes to the next oldest (footnote 2).
+  if (members_.front() != subject) return members_.front();
+  return members_[1];
+}
+
+std::vector<std::string> Replica::active_run_labels() const {
+  std::vector<std::string> out;
+  if (proposer_run_.has_value()) {
+    out.push_back(proposer_run_->propose.proposal.proposed.label());
+  }
+  for (const auto& [label, run] : responder_runs_) out.push_back(label);
+  if (sponsor_run_.has_value()) {
+    out.push_back(sponsor_run_->propose.proposal.new_group.label());
+  }
+  for (const auto& [label, run] : membership_responder_runs_) {
+    out.push_back(label);
+  }
+  return out;
+}
+
+bool Replica::busy() const {
+  // NB: a pending subject request (our own connect/disconnect awaiting its
+  // sponsor) deliberately does NOT make us busy: it locks no local state,
+  // and counting it would deadlock two concurrent departures whose
+  // removal runs each need the other subject's response.
+  return proposer_run_.has_value() || sponsor_run_.has_value() ||
+         accept_lock_.has_value() || !membership_responder_runs_.empty();
+}
+
+bool Replica::resolve_blocked_run(const std::string& run_label) {
+  wire::Encoder note;
+  note.str(run_label).str(self_.str());
+  if (proposer_run_.has_value() &&
+      proposer_run_->propose.proposal.proposed.label() == run_label) {
+    // Abandoning our own proposal: roll the object back to agreed state.
+    impl_.apply_state(agreed_state_);
+    callbacks_.record_evidence(evidence_kind::kStateRolledBack,
+                               std::move(note).take());
+    complete(proposer_run_->result, RunResult::Outcome::kAborted,
+             "abandoned by extra-protocol resolution", {},
+             proposer_run_->propose.proposal.proposed.sequence, run_label);
+    proposer_run_.reset();
+    return true;
+  }
+  if (auto it = responder_runs_.find(run_label); it != responder_runs_.end()) {
+    callbacks_.record_evidence("run.abandoned", std::move(note).take());
+    if (accept_lock_ == run_label) accept_lock_.reset();
+    responder_runs_.erase(it);
+    drain_deferred_membership();
+    return true;
+  }
+  if (auto it = membership_responder_runs_.find(run_label);
+      it != membership_responder_runs_.end()) {
+    callbacks_.record_evidence("run.abandoned", std::move(note).take());
+    membership_responder_runs_.erase(it);
+    return true;
+  }
+  if (sponsor_run_.has_value() &&
+      sponsor_run_->propose.proposal.new_group.label() == run_label) {
+    callbacks_.record_evidence("run.abandoned", std::move(note).take());
+    complete(sponsor_run_->result, RunResult::Outcome::kAborted,
+             "abandoned by extra-protocol resolution", {},
+             sponsor_run_->propose.proposal.new_group.sequence, run_label);
+    sponsor_run_.reset();
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery
+// ---------------------------------------------------------------------------
+
+Bytes ReplicaSnapshot::encode() const {
+  wire::Encoder enc;
+  enc.boolean(connected);
+  enc.varint(members.size());
+  for (const PartyId& member : members) enc.str(member.str());
+  group_tuple.encode_into(enc);
+  agreed_tuple.encode_into(enc);
+  enc.blob(agreed_state).u64(last_seen_sequence);
+  enc.varint(seen_run_labels.size());
+  for (const std::string& label : seen_run_labels) enc.str(label);
+  return std::move(enc).take();
+}
+
+ReplicaSnapshot ReplicaSnapshot::decode(BytesView data) {
+  wire::Decoder dec{data};
+  ReplicaSnapshot snap;
+  snap.connected = dec.boolean();
+  std::uint64_t n = dec.varint();
+  snap.members.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) snap.members.emplace_back(dec.str());
+  snap.group_tuple = GroupTuple::decode_from(dec);
+  snap.agreed_tuple = StateTuple::decode_from(dec);
+  snap.agreed_state = dec.blob();
+  snap.last_seen_sequence = dec.u64();
+  std::uint64_t labels = dec.varint();
+  snap.seen_run_labels.reserve(labels);
+  for (std::uint64_t i = 0; i < labels; ++i) {
+    snap.seen_run_labels.push_back(dec.str());
+  }
+  dec.expect_done();
+  return snap;
+}
+
+ReplicaSnapshot Replica::export_snapshot() const {
+  ReplicaSnapshot snap;
+  snap.connected = connected_;
+  snap.members = members_;
+  snap.group_tuple = group_tuple_;
+  snap.agreed_tuple = agreed_tuple_;
+  snap.agreed_state = agreed_state_;
+  snap.last_seen_sequence = last_seen_seq_;
+  snap.seen_run_labels.assign(seen_run_labels_.begin(),
+                              seen_run_labels_.end());
+  return snap;
+}
+
+void Replica::restore_snapshot(const ReplicaSnapshot& snapshot) {
+  connected_ = snapshot.connected;
+  members_ = snapshot.members;
+  group_tuple_ = snapshot.group_tuple;
+  agreed_tuple_ = snapshot.agreed_tuple;
+  agreed_state_ = snapshot.agreed_state;
+  last_seen_seq_ = snapshot.last_seen_sequence;
+  seen_run_labels_.clear();
+  seen_run_labels_.insert(snapshot.seen_run_labels.begin(),
+                          snapshot.seen_run_labels.end());
+  // Volatile run state did not survive the crash.
+  if (proposer_run_.has_value()) {
+    complete(proposer_run_->result, RunResult::Outcome::kAborted,
+             "lost in crash", {}, 0, "");
+    proposer_run_.reset();
+  }
+  if (sponsor_run_.has_value()) {
+    complete(sponsor_run_->result, RunResult::Outcome::kAborted,
+             "lost in crash", {}, 0, "");
+    sponsor_run_.reset();
+  }
+  responder_runs_.clear();
+  membership_responder_runs_.clear();
+  accept_lock_.reset();
+  subject_request_.reset();
+  relayed_eviction_result_.reset();
+
+  if (connected_) impl_.apply_state(agreed_state_);
+  callbacks_.record_evidence("recovery", agreed_tuple_.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Replica::handle(const PartyId& from, const Envelope& envelope) {
+  try {
+    switch (envelope.type) {
+      case MsgType::kPropose:
+        handle_propose(from, envelope.body);
+        break;
+      case MsgType::kRespond:
+        handle_respond(from, envelope.body);
+        break;
+      case MsgType::kDecide:
+        handle_decide(from, envelope.body);
+        break;
+      case MsgType::kConnectRequest:
+        handle_connect_request(from, envelope.body);
+        break;
+      case MsgType::kMembershipPropose:
+        handle_membership_propose(from, envelope.body);
+        break;
+      case MsgType::kMembershipRespond:
+        handle_membership_respond(from, envelope.body);
+        break;
+      case MsgType::kMembershipDecide:
+        handle_membership_decide(from, envelope.body);
+        break;
+      case MsgType::kConnectWelcome:
+        handle_connect_welcome(from, envelope.body);
+        break;
+      case MsgType::kConnectReject:
+        handle_connect_reject(from, envelope.body);
+        break;
+      case MsgType::kDisconnectRequest:
+        handle_disconnect_request(from, envelope.body);
+        break;
+      case MsgType::kDisconnectConfirm:
+        handle_disconnect_confirm(from, envelope.body);
+        break;
+      case MsgType::kTerminationVerdict:
+        handle_termination_verdict(from, envelope.body);
+        break;
+      default:
+        record_violation("unknown message type", from);
+    }
+  } catch (const CodecError& e) {
+    // Malformed content is itself evidence of misbehaviour (§4.4): the
+    // reliable layer guarantees the bytes arrived as sent by `from`.
+    record_violation(std::string("malformed message: ") + e.what(), from);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// State coordination — proposer side (§4.3)
+// ---------------------------------------------------------------------------
+
+RunHandle Replica::propose_state(Bytes new_state) {
+  Bytes payload = new_state;
+  return start_state_run(/*is_update=*/false, std::move(payload),
+                         std::move(new_state));
+}
+
+RunHandle Replica::propose_update(Bytes update, Bytes new_state) {
+  return start_state_run(/*is_update=*/true, std::move(update),
+                         std::move(new_state));
+}
+
+RunHandle Replica::start_state_run(bool is_update, Bytes payload,
+                                   Bytes new_state) {
+  auto handle = std::make_shared<RunResult>();
+  if (!connected_) {
+    complete(handle, RunResult::Outcome::kAborted, "not connected", {}, 0, "");
+    return handle;
+  }
+  if (busy()) {
+    // The caller already mutated the object for this (aborted) proposal;
+    // restore what the object must hold: our own still-active proposal's
+    // state (invariant 2) if one is in flight, else the agreed state.
+    impl_.apply_state(proposer_run_.has_value() ? proposer_run_->new_state
+                                                : agreed_state_);
+    complete(handle, RunResult::Outcome::kAborted,
+             "busy: another coordination run is active", {}, 0, "");
+    return handle;
+  }
+  crypto::Digest new_state_hash = crypto::Sha256::hash(new_state);
+  if (!is_update && new_state_hash == agreed_tuple_.state_hash) {
+    complete(handle, RunResult::Outcome::kAborted, "null state transition", {},
+             0, "");
+    return handle;
+  }
+
+  ProposerRun run;
+  run.authenticator = fresh_random();
+  run.new_state = std::move(new_state);
+  run.result = handle;
+
+  Proposal& prop = run.propose.proposal;
+  prop.proposer = self_;
+  prop.object = object_;
+  prop.group = group_tuple_;
+  prop.agreed = agreed_tuple_;
+  prop.proposed = StateTuple{next_sequence(),
+                             crypto::Sha256::hash(run.authenticator),
+                             new_state_hash};
+  prop.is_update = is_update;
+  prop.payload_hash = crypto::Sha256::hash(payload);
+  run.propose.payload = std::move(payload);
+  run.propose.signature = key_.sign(prop.signed_bytes());
+
+  note_sequence(prop.proposed.sequence);
+  const std::string label = prop.proposed.label();
+  seen_run_labels_.insert(label);
+
+  for (const PartyId& member : members_) {
+    if (member != self_) run.recipients.push_back(member);
+  }
+
+  Bytes encoded = run.propose.encode();
+  callbacks_.record_evidence(evidence_kind::kProposeSent, encoded);
+
+  if (run.recipients.empty()) {
+    // Singleton group: trivially unanimous.
+    install_agreed_state(prop.proposed, run.new_state,
+                         /*apply_to_object=*/false);
+    complete(handle, RunResult::Outcome::kAgreed, "", {},
+             prop.proposed.sequence, label);
+    return handle;
+  }
+
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "propose", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kPropose, encoded);
+  }
+  proposer_run_ = std::move(run);
+  arm_deadline(label, /*as_proposer=*/true);
+  return handle;
+}
+
+void Replica::handle_respond(const PartyId& from, const Bytes& body) {
+  RespondMsg msg = RespondMsg::decode(body);
+  const Response& resp = msg.response;
+
+  if (resp.responder != from) {
+    record_violation("response sender does not match responder field", from);
+    return;
+  }
+  if (!proposer_run_.has_value() ||
+      proposer_run_->propose.proposal.proposed != resp.proposed) {
+    record_violation("response for no active run (stray or replayed)", from);
+    return;
+  }
+  ProposerRun& run = *proposer_run_;
+  if (std::find(run.recipients.begin(), run.recipients.end(), from) ==
+      run.recipients.end()) {
+    record_violation("response from non-recipient", from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub == nullptr || !pub->verify(resp.signed_bytes(), msg.signature)) {
+    record_violation("bad signature on response", from);
+    return;
+  }
+  const std::string label = resp.proposed.label();
+  auto existing = run.responses.find(from);
+  if (existing != run.responses.end()) {
+    if (!(existing->second == msg)) {
+      // Two different signed responses from the same party for the same
+      // run: equivocation. Both are kept as evidence.
+      callbacks_.record_evidence(evidence_kind::kRespondReceived,
+                                 msg.encode());
+      record_violation("equivocating responses", from);
+    }
+    return;
+  }
+
+  messages_.add(label, {"received", "respond", from.str(), body});
+  callbacks_.record_evidence(evidence_kind::kRespondReceived, msg.encode());
+  run.responses.emplace(from, std::move(msg));
+
+  if (run.responses.size() == run.recipients.size()) {
+    finish_state_run_as_proposer();
+  }
+}
+
+void Replica::finish_state_run_as_proposer() {
+  ProposerRun run = std::move(*proposer_run_);
+  proposer_run_.reset();
+  const Proposal& prop = run.propose.proposal;
+  const std::string label = prop.proposed.label();
+
+  DecideMsg decide;
+  decide.proposer = self_;
+  decide.object = object_;
+  decide.proposed = prop.proposed;
+  decide.authenticator = run.authenticator;
+  std::vector<PartyId> vetoers;
+  std::string first_diagnostic;
+  std::size_t consistent_accepts = 0;
+  for (const PartyId& recipient : run.recipients) {
+    const RespondMsg& resp = run.responses.at(recipient);
+    decide.responses.push_back(resp);
+    const Response& r = resp.response;
+    if (!r.decision.accept) {
+      vetoers.push_back(recipient);
+      if (first_diagnostic.empty()) first_diagnostic = r.decision.diagnostic;
+    } else if (r.agreed_view != prop.agreed || r.current_view != prop.agreed ||
+               r.group_view != prop.group ||
+               r.payload_integrity != prop.payload_hash) {
+      // An accept whose view fields contradict the proposal is internally
+      // inconsistent content (§4.4): it cannot count towards agreement.
+      record_violation("inconsistent accept response", recipient);
+      vetoers.push_back(recipient);
+      if (first_diagnostic.empty()) {
+        first_diagnostic =
+            "inconsistent accept response from " + recipient.str();
+      }
+    } else {
+      ++consistent_accepts;
+    }
+  }
+  bool agreed = group_accepts(consistent_accepts, run.recipients.size());
+
+  Bytes encoded = decide.encode();
+  callbacks_.record_evidence(evidence_kind::kDecideSent, encoded);
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "decide", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kDecide, encoded);
+  }
+
+  CoordEvent event;
+  event.object = object_;
+  event.party = self_;
+  event.sequence = prop.proposed.sequence;
+  if (agreed) {
+    // The proposer's object already holds the new state (invariant 2);
+    // record it as agreed and checkpoint.
+    install_agreed_state(prop.proposed, std::move(run.new_state),
+                         /*apply_to_object=*/false);
+    event.kind = CoordEvent::Kind::kStateAgreed;
+    impl_.coord_callback(event);
+    if (callbacks_.notify) callbacks_.notify(event);
+    // Under the majority rule, `vetoers` lists overridden dissenters.
+    complete(run.result, RunResult::Outcome::kAgreed, "", std::move(vetoers),
+             prop.proposed.sequence, label);
+  } else {
+    impl_.apply_state(agreed_state_);
+    callbacks_.record_evidence(evidence_kind::kStateRolledBack,
+                               prop.proposed.encode());
+    event.kind = CoordEvent::Kind::kStateVetoed;
+    event.detail = first_diagnostic;
+    impl_.coord_callback(event);
+    if (callbacks_.notify) callbacks_.notify(event);
+    complete(run.result, RunResult::Outcome::kVetoed, first_diagnostic,
+             std::move(vetoers), prop.proposed.sequence, label);
+  }
+  drain_deferred_membership();
+}
+
+// ---------------------------------------------------------------------------
+// State coordination — responder side (§4.3, checks of §4.4)
+// ---------------------------------------------------------------------------
+
+void Replica::handle_propose(const PartyId& from, const Bytes& body) {
+  ProposeMsg msg = ProposeMsg::decode(body);
+  const Proposal& prop = msg.proposal;
+
+  if (prop.proposer != from) {
+    record_violation("proposal sender does not match proposer field", from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub == nullptr || !pub->verify(prop.signed_bytes(), msg.signature)) {
+    record_violation("bad signature on proposal", from);
+    return;
+  }
+  if (!is_member(from) || !connected_) {
+    // Either a verifiable proposal from a party outside the current group
+    // (typically an evicted member with a stale view — §4.5.4: "any
+    // subsequent coordination request will reveal inconsistencies"), or we
+    // have ourselves departed and the proposer has not yet learnt it. Send
+    // a signed reject so the proposer's run terminates as vetoed instead
+    // of blocking, and record the event.
+    if (!is_member(from)) record_anomaly("proposal from non-member", from);
+    Response stale;
+    stale.responder = self_;
+    stale.object = object_;
+    stale.proposed = prop.proposed;
+    stale.agreed_view = agreed_tuple_;
+    stale.current_view = agreed_tuple_;
+    stale.group_view = group_tuple_;
+    stale.payload_integrity = crypto::Sha256::hash(msg.payload);
+    stale.decision = Decision::rejected(
+        connected_ ? "inconsistent group view"
+                   : "recipient has disconnected from this group");
+    RespondMsg out;
+    out.response = stale;
+    out.signature = key_.sign(stale.signed_bytes());
+    callbacks_.record_evidence(evidence_kind::kRespondSent, out.encode());
+    send_envelope(from, MsgType::kRespond, out.encode());
+    return;
+  }
+  if (prop.object != object_) {
+    record_violation("proposal for wrong object", from);
+    return;
+  }
+  const std::string label = prop.proposed.label();
+  if (seen_run_labels_.contains(label)) {
+    // §4.4: T_prop uniquely labels a run; a re-appearance is a replay.
+    record_violation("replayed proposal " + label, from);
+    return;
+  }
+  seen_run_labels_.insert(label);
+  note_sequence(prop.proposed.sequence);
+  callbacks_.record_evidence(evidence_kind::kProposeReceived, msg.encode());
+  messages_.add(label, {"received", "propose", from.str(), body});
+
+  Bytes pending_state;
+  Decision decision = evaluate_proposal(msg, &pending_state);
+
+  Response resp;
+  resp.responder = self_;
+  resp.object = object_;
+  resp.proposed = prop.proposed;
+  resp.agreed_view = agreed_tuple_;
+  resp.current_view = proposer_run_.has_value()
+                          ? proposer_run_->propose.proposal.proposed
+                          : agreed_tuple_;
+  resp.group_view = group_tuple_;
+  resp.payload_integrity = crypto::Sha256::hash(msg.payload);
+  resp.decision = decision;
+
+  RespondMsg out;
+  out.response = resp;
+  out.signature = key_.sign(resp.signed_bytes());
+
+  ResponderRun run;
+  run.propose = msg;
+  run.pending_state = std::move(pending_state);
+  run.my_decision = decision;
+  run.my_response = out;
+  run.members_at_response = members_;
+  responder_runs_.emplace(label, std::move(run));
+  if (decision.accept) accept_lock_ = label;
+
+  Bytes encoded = out.encode();
+  callbacks_.record_evidence(evidence_kind::kRespondSent, encoded);
+  messages_.add(label, {"sent", "respond", from.str(), encoded});
+  send_envelope(from, MsgType::kRespond, encoded);
+  arm_deadline(label, /*as_proposer=*/false);
+}
+
+Decision Replica::evaluate_proposal(const ProposeMsg& msg,
+                                    Bytes* new_state_out) {
+  const Proposal& prop = msg.proposal;
+
+  if (prop.group != group_tuple_) {
+    return Decision::rejected("inconsistent group view");
+  }
+  if (prop.agreed != agreed_tuple_) {
+    return Decision::rejected("inconsistent agreed-state view");
+  }
+  if (prop.proposed.sequence <= agreed_tuple_.sequence) {
+    return Decision::rejected("sequence number did not advance");
+  }
+  if (crypto::Sha256::hash(msg.payload) != prop.payload_hash) {
+    // The unsigned payload was modified in flight or at source (§4.4).
+    record_violation("payload does not match signed hash", prop.proposer);
+    return Decision::rejected("payload integrity failure");
+  }
+  if (!prop.is_update) {
+    if (prop.proposed.state_hash != prop.payload_hash) {
+      record_violation("overwrite proposal internally inconsistent",
+                       prop.proposer);
+      return Decision::rejected("proposal internally inconsistent");
+    }
+    if (prop.proposed.state_hash == agreed_tuple_.state_hash) {
+      // §4.4: any member can detect and reject a null state transition.
+      return Decision::rejected("null state transition");
+    }
+  }
+  if (busy()) {
+    return Decision::rejected("busy: concurrent coordination in progress");
+  }
+
+  ValidationContext ctx;
+  ctx.local_party = self_;
+  ctx.proposer = prop.proposer;
+  ctx.object = object_;
+  ctx.sequence = prop.proposed.sequence;
+
+  if (prop.is_update) {
+    // Apply the update to a scratch incarnation of the object to confirm
+    // that "if the update is agreed and applied, a consistent new state
+    // will result" (§4.3.1), then validate the result.
+    Bytes snapshot = impl_.get_state();
+    Bytes resulting;
+    try {
+      impl_.apply_update(msg.payload);
+      resulting = impl_.get_state();
+    } catch (const std::exception& e) {
+      impl_.apply_state(snapshot);
+      return Decision::rejected(std::string("update not applicable: ") +
+                                e.what());
+    }
+    impl_.apply_state(snapshot);
+    if (crypto::Sha256::hash(resulting) != prop.proposed.state_hash) {
+      record_violation("update does not yield the proposed state",
+                       prop.proposer);
+      return Decision::rejected("update does not yield the proposed state");
+    }
+    Decision decision = impl_.validate_update(msg.payload, resulting, ctx);
+    if (decision.accept) *new_state_out = std::move(resulting);
+    return decision;
+  }
+
+  Decision decision = impl_.validate_state(msg.payload, ctx);
+  if (decision.accept) *new_state_out = msg.payload;
+  return decision;
+}
+
+void Replica::handle_decide(const PartyId& from, const Bytes& body) {
+  if (!connected_) return;
+  DecideMsg msg = DecideMsg::decode(body);
+  const std::string label = msg.proposed.label();
+
+  auto it = responder_runs_.find(label);
+  if (it == responder_runs_.end()) {
+    // Either we never saw the proposal (selective sending, §4.4), we
+    // answered it from outside the group, or this is a duplicate of a
+    // finished run: evidence-worthy, but explainable by benign races.
+    record_anomaly("decide for unknown or finished run " + label, from);
+    return;
+  }
+  ResponderRun& run = it->second;
+  const Proposal& prop = run.propose.proposal;
+  if (msg.proposer != prop.proposer || from != prop.proposer) {
+    record_violation("decide not from the proposer", from);
+    return;
+  }
+  if (crypto::Sha256::hash(msg.authenticator) != prop.proposed.rand_hash) {
+    // Only the proposer can produce the authenticator; a mismatch means
+    // forgery. The run stays active (we keep waiting for the genuine one).
+    record_violation("decide authenticator mismatch (forgery)", from);
+    return;
+  }
+  callbacks_.record_evidence(evidence_kind::kDecideReceived, msg.encode());
+  messages_.add(label, {"received", "decide", from.str(), body});
+
+  ResponderRun finished = std::move(it->second);
+  responder_runs_.erase(it);
+  conclude_responder_run(label, std::move(finished), msg.responses, from);
+}
+
+void Replica::conclude_responder_run(const std::string& label,
+                                     ResponderRun run,
+                                     const std::vector<RespondMsg>& responses,
+                                     const PartyId& from) {
+  const Proposal& prop = run.propose.proposal;
+  // Verify the aggregation: every response signed, every response for this
+  // run, our own response present and unaltered, full recipient coverage.
+  bool intact = true;
+  std::size_t consistent_accepts = 0;
+  std::size_t expected_recipients = 0;
+  std::set<PartyId> responders;
+  for (const RespondMsg& resp_msg : responses) {
+    const Response& resp = resp_msg.response;
+    const crypto::RsaPublicKey* pub = callbacks_.key_of(resp.responder);
+    if (pub == nullptr ||
+        !pub->verify(resp.signed_bytes(), resp_msg.signature)) {
+      record_violation("decide aggregates badly signed response from " +
+                           resp.responder.str(),
+                       from);
+      intact = false;
+      continue;
+    }
+    if (resp.proposed != prop.proposed) {
+      record_violation("decide aggregates response from another run", from);
+      intact = false;
+      continue;
+    }
+    if (!responders.insert(resp.responder).second) continue;  // duplicate
+    if (resp.decision.accept && resp.agreed_view == prop.agreed &&
+        resp.current_view == prop.agreed && resp.group_view == prop.group &&
+        resp.payload_integrity == prop.payload_hash) {
+      ++consistent_accepts;
+    }
+    if (resp.responder == self_ && !(resp_msg == run.my_response)) {
+      record_violation("own response misrepresented in decide", from);
+      intact = false;
+    }
+  }
+  bool any_reject = false;
+  for (const RespondMsg& resp_msg : responses) {
+    if (!resp_msg.response.decision.accept) any_reject = true;
+  }
+  for (const PartyId& member : run.members_at_response) {
+    if (member == prop.proposer) continue;
+    ++expected_recipients;
+    if (!responders.contains(member)) {
+      // Omitting a response only misrepresents the outcome when the
+      // decide would otherwise read as an agreement; on a vetoed run a
+      // shortfall is explainable by concurrent membership changes.
+      if (any_reject) {
+        record_anomaly("decide lacks response from " + member.str(), from);
+      } else {
+        record_violation("decide omits response from " + member.str(), from);
+      }
+      intact = false;
+    }
+  }
+
+  bool agreed = intact && !responses.empty() &&
+                group_accepts(consistent_accepts, expected_recipients);
+
+  CoordEvent event;
+  event.object = object_;
+  event.party = prop.proposer;
+  event.sequence = prop.proposed.sequence;
+  if (agreed) {
+    std::optional<Bytes> to_install;
+    if (run.my_decision.accept && !run.pending_state.empty()) {
+      to_install = std::move(run.pending_state);
+    } else {
+      // Majority rule overrode our veto: derive the agreed state from the
+      // proposal we hold (never install anything whose hash we cannot
+      // confirm against the agreed tuple).
+      to_install = derive_agreed_state(run);
+    }
+    if (to_install.has_value()) {
+      install_agreed_state(prop.proposed, std::move(*to_install),
+                           /*apply_to_object=*/true);
+      event.kind = CoordEvent::Kind::kStateInstalled;
+      impl_.coord_callback(event);
+      if (callbacks_.notify) callbacks_.notify(event);
+    } else {
+      // Our local copy of the payload cannot reproduce the agreed state
+      // (e.g. we rejected it for integrity). We hold the evidence but need
+      // an out-of-band state transfer to catch up.
+      callbacks_.record_evidence("state.transfer-required",
+                                 prop.proposed.encode());
+      B2B_WARN(self_, " cannot materialise agreed state for run ", label);
+    }
+  } else {
+    event.kind = CoordEvent::Kind::kStateVetoed;
+    impl_.coord_callback(event);
+    if (callbacks_.notify) callbacks_.notify(event);
+  }
+
+  if (accept_lock_ == label) accept_lock_.reset();
+  drain_deferred_membership();
+}
+
+// ---------------------------------------------------------------------------
+// TTP-certified termination (§7 extension; see termination.hpp)
+// ---------------------------------------------------------------------------
+
+void Replica::enable_ttp_termination(TtpConfig config) {
+  if (!callbacks_.schedule) {
+    throw Error("ttp termination requires a schedule callback");
+  }
+  if (config.deadline_micros == 0) {
+    throw Error("ttp termination requires a non-zero deadline");
+  }
+  ttp_ = std::move(config);
+}
+
+void Replica::arm_deadline(const std::string& label, bool as_proposer) {
+  if (!ttp_.has_value()) return;
+  callbacks_.schedule(ttp_->deadline_micros, [this, label, as_proposer] {
+    bool still_active =
+        as_proposer
+            ? (proposer_run_.has_value() &&
+               proposer_run_->propose.proposal.proposed.label() == label)
+            : responder_runs_.contains(label);
+    if (still_active) request_termination(label, as_proposer);
+  });
+}
+
+void Replica::request_termination(const std::string& label,
+                                  bool as_proposer) {
+  TerminationRequest request;
+  request.requester = self_;
+  request.object = object_;
+  if (as_proposer) {
+    const ProposerRun& run = *proposer_run_;
+    request.proposed = run.propose.proposal.proposed;
+    request.propose = run.propose;
+    for (const auto& [responder, resp] : run.responses) {
+      request.responses.push_back(resp);
+    }
+    request.claimed_recipients = run.recipients;
+  } else {
+    request.proposed = responder_runs_.at(label).propose.proposal.proposed;
+  }
+  Bytes signature = key_.sign(request.signed_bytes());
+  callbacks_.record_evidence("ttp.request", request.encode());
+  send_envelope(ttp_->ttp, MsgType::kTerminationRequest,
+                request.encode_with_signature(signature));
+  B2B_DEBUG(self_, " refers blocked run ", label, " to the TTP");
+}
+
+void Replica::handle_termination_verdict(const PartyId& from,
+                                         const Bytes& body) {
+  if (!ttp_.has_value() || from != ttp_->ttp) {
+    record_violation("unsolicited termination verdict", from);
+    return;
+  }
+  Bytes signature;
+  TerminationVerdict verdict = TerminationVerdict::decode_fields(body, &signature);
+  if (!ttp_->ttp_key.verify(verdict.signed_bytes(), signature)) {
+    record_violation("badly signed termination verdict", from);
+    return;
+  }
+  if (verdict.object != object_) return;
+  const std::string label = verdict.proposed.label();
+  callbacks_.record_evidence(verdict.kind == TerminationVerdict::Kind::kAbort
+                                 ? "ttp.abort"
+                                 : "ttp.decision",
+                             body);
+
+  // Proposer side.
+  if (proposer_run_.has_value() &&
+      proposer_run_->propose.proposal.proposed == verdict.proposed) {
+    ProposerRun run = std::move(*proposer_run_);
+    proposer_run_.reset();
+    if (verdict.kind == TerminationVerdict::Kind::kAbort) {
+      impl_.apply_state(agreed_state_);
+      callbacks_.record_evidence(evidence_kind::kStateRolledBack,
+                                 verdict.proposed.encode());
+      complete(run.result, RunResult::Outcome::kAborted,
+               "TTP-certified abort", {}, verdict.proposed.sequence, label);
+    } else {
+      // A certified decision carries the full verified response set; we
+      // conclude exactly as if we had assembled the decide ourselves.
+      std::size_t consistent_accepts = 0;
+      const Proposal& prop = run.propose.proposal;
+      for (const RespondMsg& resp_msg : verdict.responses) {
+        const Response& r = resp_msg.response;
+        const crypto::RsaPublicKey* pub = callbacks_.key_of(r.responder);
+        if (pub != nullptr &&
+            pub->verify(r.signed_bytes(), resp_msg.signature) &&
+            r.proposed == prop.proposed && r.decision.accept &&
+            r.agreed_view == prop.agreed && r.current_view == prop.agreed &&
+            r.group_view == prop.group &&
+            r.payload_integrity == prop.payload_hash) {
+          ++consistent_accepts;
+        }
+      }
+      bool agreed = group_accepts(consistent_accepts, run.recipients.size());
+      if (agreed) {
+        install_agreed_state(prop.proposed, std::move(run.new_state),
+                             /*apply_to_object=*/false);
+        complete(run.result, RunResult::Outcome::kAgreed,
+                 "TTP-certified decision", {}, prop.proposed.sequence, label);
+      } else {
+        impl_.apply_state(agreed_state_);
+        complete(run.result, RunResult::Outcome::kVetoed,
+                 "TTP-certified decision: vetoed", {}, prop.proposed.sequence,
+                 label);
+      }
+    }
+    return;
+  }
+
+  // Responder side.
+  auto it = responder_runs_.find(label);
+  if (it == responder_runs_.end()) return;  // already resolved normally
+  ResponderRun run = std::move(it->second);
+  responder_runs_.erase(it);
+  if (verdict.kind == TerminationVerdict::Kind::kAbort) {
+    if (accept_lock_ == label) accept_lock_.reset();
+    CoordEvent event;
+    event.kind = CoordEvent::Kind::kStateVetoed;
+    event.object = object_;
+    event.party = run.propose.proposal.proposer;
+    event.sequence = verdict.proposed.sequence;
+    event.detail = "TTP-certified abort";
+    impl_.coord_callback(event);
+    if (callbacks_.notify) callbacks_.notify(event);
+    drain_deferred_membership();
+    return;
+  }
+  conclude_responder_run(label, std::move(run), verdict.responses, from);
+}
+
+std::optional<Bytes> Replica::derive_agreed_state(ResponderRun& run) {
+  const Proposal& prop = run.propose.proposal;
+  if (!prop.is_update) {
+    if (crypto::Sha256::hash(run.propose.payload) ==
+        prop.proposed.state_hash) {
+      return run.propose.payload;
+    }
+    return std::nullopt;
+  }
+  // Update variant: apply the delta to a scratch copy of the agreed state.
+  Bytes snapshot = impl_.get_state();
+  try {
+    impl_.apply_state(agreed_state_);
+    impl_.apply_update(run.propose.payload);
+    Bytes result = impl_.get_state();
+    impl_.apply_state(snapshot);
+    if (crypto::Sha256::hash(result) == prop.proposed.state_hash) {
+      return result;
+    }
+  } catch (const std::exception&) {
+    impl_.apply_state(snapshot);
+  }
+  return std::nullopt;
+}
+
+}  // namespace b2b::core

@@ -1,0 +1,406 @@
+// Replica: the per-object, per-party protocol engine.
+//
+// One Replica exists at each organisation for each shared object (the
+// "physical realisation" of Figure 2b). It holds the local copy of the
+// object, the party's view of the agreed state tuple T_agreed, the group
+// tuple G and the ordered member list, and it runs both sides of the
+// state coordination protocol (§4.3) and of the connection /
+// disconnection protocols (§4.5).
+//
+// Safety posture: every check of §4.4 is enforced here. A message that
+// fails signature or cross-message consistency checks produces a
+// `violation` evidence record and never changes local state; a proposal
+// that fails a semantic check produces a *signed reject response* so the
+// proposer holds non-repudiable evidence of the veto. Invalid state is
+// never installed (§4.1's fail-safe guarantee).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "b2b/evidence.hpp"
+#include "b2b/messages.hpp"
+#include "b2b/object.hpp"
+#include "b2b/tuples.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/rsa.hpp"
+#include "store/checkpoint_store.hpp"
+#include "store/message_store.hpp"
+
+namespace b2b::core {
+
+/// Completion state of one coordination run, shared with the caller.
+struct RunResult {
+  enum class Outcome {
+    kPending,  // run still active (§4.4: blocking is detectable, not fatal)
+    kAgreed,   // unanimously agreed and installed
+    kVetoed,   // rejected by at least one party; state rolled back
+    kAborted,  // aborted locally before completion (e.g. busy, lost race)
+  };
+
+  Outcome outcome = Outcome::kPending;
+  std::string diagnostic;
+  std::vector<PartyId> vetoers;
+  std::uint64_t sequence = 0;
+  std::string run_label;
+
+  bool done() const { return outcome != Outcome::kPending; }
+
+  /// Invoked exactly once when the run completes (async mode plumbing).
+  std::function<void(const RunResult&)> on_complete;
+};
+
+using RunHandle = std::shared_ptr<RunResult>;
+
+/// Durable image of a replica's replicated state (§3: "persistence of
+/// both validated object state and of the information required to reach
+/// validation decisions"). Everything needed to resume participation
+/// after a full process restart; volatile run state is deliberately
+/// excluded (an interrupted run resumes via retransmission or is resolved
+/// out of band).
+struct ReplicaSnapshot {
+  bool connected = false;
+  std::vector<PartyId> members;
+  GroupTuple group_tuple;
+  StateTuple agreed_tuple;
+  Bytes agreed_state;
+  std::uint64_t last_seen_sequence = 0;
+  std::vector<std::string> seen_run_labels;  // replay protection survives
+
+  Bytes encode() const;
+  static ReplicaSnapshot decode(BytesView data);  // throws CodecError
+
+  friend bool operator==(const ReplicaSnapshot&,
+                         const ReplicaSnapshot&) = default;
+};
+
+/// How the group's decision is computed from the signed responses (§7:
+/// "automatic resolution ... by resorting to majority decision on state
+/// changes"). Under kUnanimous (the paper's base protocol) any veto
+/// invalidates. Under kMajority a state is installed when a strict
+/// majority of the full group (the proposer counts as an implicit accept,
+/// invariant 2) signed accept — individual vetoes are overridden but
+/// remain on the non-repudiation record. All parties must be configured
+/// identically; a full response set is still required, so this trades the
+/// per-party veto for termination of *decisions*, not of message loss.
+enum class DecisionRule : std::uint8_t {
+  kUnanimous = 0,
+  kMajority = 1,
+};
+
+/// Sponsor selection policy (§4.5.1). The default rotates responsibility
+/// to the most recently joined member; footnote 2 of the paper describes
+/// the alternative where the initial member sponsors every request unless
+/// it is itself the subject. All parties must be configured identically.
+enum class SponsorPolicy : std::uint8_t {
+  kRotating = 0,
+  kFixedInitial = 1,
+};
+
+class Replica {
+ public:
+  /// Everything the replica needs from its hosting coordinator.
+  struct Callbacks {
+    /// Transmit an envelope to a peer (reliable, once-only).
+    std::function<void(const PartyId& to, const Envelope&)> send;
+    /// Virtual clock (microseconds).
+    std::function<std::uint64_t()> now;
+    /// Append (kind, payload) to the non-repudiation log (time-stamped by
+    /// the coordinator).
+    std::function<void(const std::string& kind, const Bytes& payload)>
+        record_evidence;
+    /// Look up a member's public key (nullptr if unknown).
+    std::function<const crypto::RsaPublicKey*(const PartyId&)> key_of;
+    /// Learn a newly admitted member's public key.
+    std::function<void(const PartyId&, const crypto::RsaPublicKey&)> learn_key;
+    /// Surface a protocol event (forwarded to coord_callback and observers).
+    std::function<void(const CoordEvent&)> notify;
+    /// Run `fn` after `delay_micros` of virtual time (deadline timers).
+    std::function<void(std::uint64_t delay_micros, std::function<void()> fn)>
+        schedule;
+  };
+
+  Replica(PartyId self, ObjectId object, B2BObject& impl,
+          const crypto::RsaPrivateKey& key, crypto::ChaCha20Rng& rng,
+          Callbacks callbacks, store::CheckpointStore& checkpoints,
+          store::MessageStore& messages);
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  // --- bootstrap ------------------------------------------------------------
+
+  /// Install the genesis group and state out of band (the initial
+  /// agreement between organisations that precedes protocol use).
+  /// `members` must be ordered by join time and include self.
+  void bootstrap(std::vector<PartyId> members, const Bytes& initial_state);
+
+  /// True once bootstrapped or connected; false before, and again after a
+  /// voluntary disconnection completes.
+  bool connected() const { return connected_; }
+
+  // --- local coordination API (driven by the Controller) --------------------
+
+  /// Propose overwriting the shared state (§4.3). `new_state` is the
+  /// serialized state the local object already holds (invariant 2: the
+  /// proposer's current state is the proposed state).
+  RunHandle propose_state(Bytes new_state);
+
+  /// Propose an update (delta) yielding `new_state` (§4.3.1).
+  RunHandle propose_update(Bytes update, Bytes new_state);
+
+  /// Subject side: ask to join the group coordinating this object.
+  /// `via` is any known member; a non-sponsor member relays to the
+  /// legitimate sponsor (§4.5.1).
+  RunHandle request_connect(const PartyId& via);
+
+  /// Propose eviction of `subjects` (§4.5.4). Relays to the sponsor when
+  /// the caller is not the sponsor.
+  RunHandle propose_eviction(std::vector<PartyId> subjects);
+
+  /// Voluntary disconnection of this party (§4.5.4).
+  RunHandle request_disconnect();
+
+  // --- message dispatch ------------------------------------------------------
+
+  /// Handle one incoming protocol message.
+  void handle(const PartyId& from, const Envelope& envelope);
+
+  // --- introspection ----------------------------------------------------------
+
+  const PartyId& self() const { return self_; }
+  const ObjectId& object_id() const { return object_; }
+  B2BObject& impl() { return impl_; }
+  const std::vector<PartyId>& members() const { return members_; }
+  const StateTuple& agreed_tuple() const { return agreed_tuple_; }
+  const GroupTuple& group_tuple() const { return group_tuple_; }
+  const Bytes& agreed_state() const { return agreed_state_; }
+  std::uint64_t last_seen_sequence() const { return last_seen_seq_; }
+
+  /// The legitimate sponsor for a connection request: the most recently
+  /// joined member (§4.5.1).
+  PartyId connect_sponsor() const;
+
+  /// The legitimate sponsor for disconnection of `subject`: the most
+  /// recently joined member, or its predecessor if it is the subject.
+  PartyId disconnect_sponsor(const PartyId& subject) const;
+
+  /// Labels of protocol runs this replica believes are still active —
+  /// the evidence that "the protocol run is active" (§4.4).
+  std::vector<std::string> active_run_labels() const;
+  bool busy() const;
+
+  /// Extra-protocol resolution hook (§7): locally abandon a blocked run,
+  /// rolling back any provisional state. Records evidence of the abort.
+  /// Returns false if no such run is active.
+  bool resolve_blocked_run(const std::string& run_label);
+
+  /// Count of misbehaviour detections recorded by this replica.
+  std::uint64_t violations_detected() const { return violations_detected_; }
+
+  /// Configure sponsor selection (must match across all parties).
+  void set_sponsor_policy(SponsorPolicy policy) { sponsor_policy_ = policy; }
+  SponsorPolicy sponsor_policy() const { return sponsor_policy_; }
+
+  /// Configure the group decision rule (must match across all parties).
+  void set_decision_rule(DecisionRule rule) { decision_rule_ = rule; }
+  DecisionRule decision_rule() const { return decision_rule_; }
+
+  // --- TTP-certified termination (§7 extension) ---------------------------------
+
+  struct TtpConfig {
+    PartyId ttp;
+    crypto::RsaPublicKey ttp_key;
+    /// Virtual-time deadline: a run still active this long after it was
+    /// seen locally is referred to the TTP.
+    std::uint64_t deadline_micros = 0;
+  };
+
+  /// Enable deadline-based certified termination. Requires the hosting
+  /// coordinator to provide Callbacks::schedule.
+  void enable_ttp_termination(TtpConfig config);
+  bool ttp_termination_enabled() const { return ttp_.has_value(); }
+
+  // --- crash recovery ----------------------------------------------------------
+
+  /// Capture the durable state (taken after every installed state in a
+  /// real deployment; here callable at any quiescent point).
+  ReplicaSnapshot export_snapshot() const;
+
+  /// Rebuild from a snapshot after a restart: replicated state and replay
+  /// protection are restored, the application object is re-initialised
+  /// with the agreed state, and any half-finished local runs are dropped
+  /// (peers recover via retransmission or extra-protocol resolution).
+  /// Records a "recovery" evidence record.
+  void restore_snapshot(const ReplicaSnapshot& snapshot);
+
+ private:
+  friend class ReplicaMembership;
+
+  // --- shared helpers (replica_common in replica.cpp) -----------------------
+  std::uint64_t next_sequence();
+  void note_sequence(std::uint64_t sequence);
+  Bytes fresh_random();
+  void record_violation(const std::string& what, const PartyId& suspect);
+  /// Like record_violation, but for events that are evidence-worthy yet
+  /// explainable by benign races (stale views after membership changes,
+  /// duplicate decides): logged, not counted as misbehaviour.
+  void record_anomaly(const std::string& what, const PartyId& party);
+  void send_envelope(const PartyId& to, MsgType type, Bytes body);
+  bool is_member(const PartyId& party) const;
+  void install_agreed_state(const StateTuple& tuple, Bytes state,
+                            bool apply_to_object);
+  void complete(const RunHandle& handle, RunResult::Outcome outcome,
+                std::string diagnostic, std::vector<PartyId> vetoers,
+                std::uint64_t sequence, const std::string& label);
+
+  // --- state coordination: proposer side -------------------------------------
+  RunHandle start_state_run(bool is_update, Bytes payload, Bytes new_state);
+  void handle_respond(const PartyId& from, const Bytes& body);
+  void finish_state_run_as_proposer();
+
+  // --- state coordination: responder side ------------------------------------
+  void handle_propose(const PartyId& from, const Bytes& body);
+  void handle_decide(const PartyId& from, const Bytes& body);
+  Decision evaluate_proposal(const ProposeMsg& msg, Bytes* new_state_out);
+  struct ResponderRun;
+  std::optional<Bytes> derive_agreed_state(ResponderRun& run);
+
+  /// Shared tail of handle_decide and TTP-certified decisions: verify the
+  /// aggregated responses, compute the group decision, install or discard,
+  /// release the lock. `run` must already be removed from the map.
+  void conclude_responder_run(const std::string& label, ResponderRun run,
+                              const std::vector<RespondMsg>& responses,
+                              const PartyId& attribute_to);
+
+  // --- TTP termination helpers ---------------------------------------------------
+  void arm_deadline(const std::string& label, bool as_proposer);
+  void request_termination(const std::string& label, bool as_proposer);
+  void handle_termination_verdict(const PartyId& from, const Bytes& body);
+
+  // --- membership (implementation in membership.cpp) --------------------------
+  void handle_connect_request(const PartyId& from, const Bytes& body);
+  void handle_membership_propose(const PartyId& from, const Bytes& body);
+  void handle_membership_respond(const PartyId& from, const Bytes& body);
+  void handle_membership_decide(const PartyId& from, const Bytes& body);
+  void handle_connect_welcome(const PartyId& from, const Bytes& body);
+  void handle_connect_reject(const PartyId& from, const Bytes& body);
+  void handle_disconnect_request(const PartyId& from, const Bytes& body);
+  void handle_disconnect_confirm(const PartyId& from, const Bytes& body);
+  RunHandle start_membership_run(MembershipRequest request,
+                                 Bytes request_signature, RunHandle handle);
+  void finish_membership_run_as_sponsor();
+  void apply_membership_change(const MembershipProposal& proposal);
+  Decision evaluate_membership_proposal(const MembershipProposeMsg& msg);
+  /// Sponsor-side request intake shared by fresh and deferred requests.
+  void process_membership_request(MembershipRequest request, Bytes signature);
+  /// Hand a request we cannot serve (departed) to another member.
+  void forward_membership_request(const MembershipRequest& request,
+                                  const Bytes& signature,
+                                  const PartyId& exclude);
+  /// Process deferred requests once no run is active (§4.5.1 "blocking").
+  void drain_deferred_membership();
+
+  // --- identity & collaborators ----------------------------------------------
+  PartyId self_;
+  ObjectId object_;
+  B2BObject& impl_;
+  const crypto::RsaPrivateKey& key_;
+  crypto::ChaCha20Rng& rng_;
+  Callbacks callbacks_;
+  store::CheckpointStore& checkpoints_;
+  store::MessageStore& messages_;
+
+  // --- replicated state --------------------------------------------------------
+  bool connected_ = false;
+  std::vector<PartyId> members_;  // ordered by join time
+  GroupTuple group_tuple_;
+  StateTuple agreed_tuple_;
+  Bytes agreed_state_;
+  std::uint64_t last_seen_seq_ = 0;
+  std::set<std::string> seen_run_labels_;  // replay detection (§4.4)
+  std::uint64_t violations_detected_ = 0;
+  SponsorPolicy sponsor_policy_ = SponsorPolicy::kRotating;
+  DecisionRule decision_rule_ = DecisionRule::kUnanimous;
+  std::optional<TtpConfig> ttp_;
+
+  /// Group decision from (consistent) accept count under the configured
+  /// rule; `accepts` counts recipient accepts (the proposer is implicit).
+  bool group_accepts(std::size_t accepts, std::size_t recipients) const;
+
+  // --- proposer-side active state run ------------------------------------------
+  struct ProposerRun {
+    ProposeMsg propose;
+    Bytes authenticator;  // r: preimage of proposed.rand_hash
+    Bytes new_state;      // state to install on agreement
+    std::vector<PartyId> recipients;
+    std::map<PartyId, RespondMsg> responses;
+    RunHandle result;
+  };
+  std::optional<ProposerRun> proposer_run_;
+
+  // --- responder-side active state run ------------------------------------------
+  struct ResponderRun {
+    ProposeMsg propose;
+    Bytes pending_state;  // state to install if the group agrees
+    Decision my_decision;
+    RespondMsg my_response;
+    /// Membership at response time: the decide's response coverage is
+    /// checked against this, not against the (possibly since-changed)
+    /// current member list.
+    std::vector<PartyId> members_at_response;
+  };
+  std::map<std::string, ResponderRun> responder_runs_;
+  /// Label of the run this replica has *accepted* and is provisionally
+  /// locked on (at most one at a time; others are rejected as busy).
+  std::optional<std::string> accept_lock_;
+
+  // --- membership runs -----------------------------------------------------------
+  struct SponsorRun {
+    MembershipProposeMsg propose;
+    Bytes authenticator;
+    std::vector<PartyId> recipients;
+    std::map<PartyId, MembershipRespondMsg> responses;
+    RunHandle result;
+    /// For eviction relayed by a non-sponsor proposer: where to report.
+    std::optional<PartyId> report_to;
+  };
+  std::optional<SponsorRun> sponsor_run_;
+
+  struct MembershipResponderRun {
+    MembershipProposeMsg propose;
+    MembershipRespondMsg my_response;
+    std::vector<PartyId> members_at_response;
+  };
+  std::map<std::string, MembershipResponderRun> membership_responder_runs_;
+
+  /// Subject-side pending connect/disconnect request.
+  struct SubjectRequest {
+    MembershipRequest request;
+    RunHandle result;
+  };
+  std::optional<SubjectRequest> subject_request_;
+
+  /// Eviction proposer (non-sponsor) waiting for the outcome.
+  std::optional<RunHandle> relayed_eviction_result_;
+  std::string relayed_eviction_nonce_;
+
+  /// Membership requests deferred while a coordination run was active.
+  std::deque<std::pair<MembershipRequest, Bytes>> deferred_membership_;
+  /// Nonces of membership requests this sponsor has already acted on.
+  std::set<std::string> processed_request_nonces_;
+  /// Retry accounting for voluntary departures vetoed by transient
+  /// view inconsistency.
+  std::map<std::string, int> voluntary_retry_counts_;
+  static constexpr int kMaxVoluntaryRetries = 32;
+  /// Per-nonce forwarding budget for requests received while departed.
+  std::map<std::string, int> forward_counts_;
+};
+
+}  // namespace b2b::core

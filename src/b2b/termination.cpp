@@ -1,0 +1,257 @@
+#include "b2b/termination.hpp"
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace b2b::core {
+
+namespace {
+constexpr std::uint8_t kTagTerminationRequest = 0x10;
+constexpr std::uint8_t kTagTerminationVerdict = 0x11;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TerminationRequest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void encode_request_fields(wire::Encoder& enc, const TerminationRequest& r) {
+  enc.str(r.requester.str()).str(r.object.str());
+  r.proposed.encode_into(enc);
+  enc.boolean(r.propose.has_value());
+  if (r.propose.has_value()) enc.blob(r.propose->encode());
+  enc.varint(r.responses.size());
+  for (const RespondMsg& resp : r.responses) resp.encode_into(enc);
+  enc.varint(r.claimed_recipients.size());
+  for (const PartyId& p : r.claimed_recipients) enc.str(p.str());
+}
+
+}  // namespace
+
+Bytes TerminationRequest::signed_bytes() const {
+  wire::Encoder enc;
+  enc.u8(kTagTerminationRequest);
+  encode_request_fields(enc, *this);
+  return std::move(enc).take();
+}
+
+Bytes TerminationRequest::encode() const {
+  wire::Encoder enc;
+  encode_request_fields(enc, *this);
+  return std::move(enc).take();
+}
+
+Bytes TerminationRequest::encode_with_signature(const Bytes& signature) const {
+  wire::Encoder enc;
+  encode_request_fields(enc, *this);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+TerminationRequest TerminationRequest::decode_fields(BytesView data,
+                                                     Bytes* signature) {
+  wire::Decoder dec{data};
+  TerminationRequest r;
+  r.requester = PartyId{dec.str()};
+  r.object = ObjectId{dec.str()};
+  r.proposed = StateTuple::decode_from(dec);
+  if (dec.boolean()) {
+    r.propose = ProposeMsg::decode(dec.blob());
+  }
+  std::uint64_t n = dec.varint();
+  r.responses.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    r.responses.push_back(RespondMsg::decode_from(dec));
+  }
+  std::uint64_t m = dec.varint();
+  r.claimed_recipients.reserve(m);
+  for (std::uint64_t i = 0; i < m; ++i) {
+    r.claimed_recipients.emplace_back(dec.str());
+  }
+  if (signature != nullptr) *signature = dec.blob();
+  dec.expect_done();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// TerminationVerdict
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void encode_verdict_fields(wire::Encoder& enc, const TerminationVerdict& v) {
+  enc.u8(static_cast<std::uint8_t>(v.kind)).str(v.object.str());
+  v.proposed.encode_into(enc);
+  enc.boolean(v.agreed);
+  enc.varint(v.responses.size());
+  for (const RespondMsg& resp : v.responses) resp.encode_into(enc);
+  enc.u64(v.time_micros);
+}
+
+}  // namespace
+
+Bytes TerminationVerdict::signed_bytes() const {
+  wire::Encoder enc;
+  enc.u8(kTagTerminationVerdict);
+  encode_verdict_fields(enc, *this);
+  return std::move(enc).take();
+}
+
+Bytes TerminationVerdict::encode_with_signature(const Bytes& signature) const {
+  wire::Encoder enc;
+  encode_verdict_fields(enc, *this);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+TerminationVerdict TerminationVerdict::decode_fields(BytesView data,
+                                                     Bytes* signature) {
+  wire::Decoder dec{data};
+  TerminationVerdict v;
+  std::uint8_t kind = dec.u8();
+  if (kind != 1 && kind != 2) throw CodecError("verdict: bad kind");
+  v.kind = static_cast<Kind>(kind);
+  v.object = ObjectId{dec.str()};
+  v.proposed = StateTuple::decode_from(dec);
+  v.agreed = dec.boolean();
+  std::uint64_t n = dec.varint();
+  v.responses.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    v.responses.push_back(RespondMsg::decode_from(dec));
+  }
+  v.time_micros = dec.u64();
+  if (signature != nullptr) *signature = dec.blob();
+  dec.expect_done();
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// TerminationTtp
+// ---------------------------------------------------------------------------
+
+TerminationTtp::TerminationTtp(
+    net::SimNetwork& network, PartyId id, crypto::RsaPrivateKey key,
+    std::map<PartyId, crypto::RsaPublicKey> party_keys)
+    : endpoint_(network, id),
+      id_(std::move(id)),
+      key_(std::move(key)),
+      party_keys_(std::move(party_keys)) {
+  endpoint_.set_handler([this](const PartyId& from, const Bytes& payload) {
+    on_message(from, payload);
+  });
+}
+
+void TerminationTtp::add_party_key(const PartyId& party,
+                                   crypto::RsaPublicKey key) {
+  party_keys_[party] = std::move(key);
+}
+
+void TerminationTtp::on_message(const PartyId& from, const Bytes& payload) {
+  Envelope envelope;
+  TerminationRequest request;
+  Bytes signature;
+  try {
+    envelope = Envelope::decode(payload);
+    if (envelope.type != MsgType::kTerminationRequest) return;
+    request = TerminationRequest::decode_fields(envelope.body, &signature);
+  } catch (const CodecError& e) {
+    B2B_DEBUG("ttp: undecodable request from ", from, ": ", e.what());
+    return;
+  }
+  if (request.requester != from) return;
+  auto key_it = party_keys_.find(from);
+  if (key_it == party_keys_.end() ||
+      !key_it->second.verify(request.signed_bytes(), signature)) {
+    B2B_DEBUG("ttp: badly signed request from ", from);
+    return;
+  }
+
+  const Bytes& verdict_body = verdict_for(request);
+  Envelope out;
+  out.type = MsgType::kTerminationVerdict;
+  out.object = request.object;
+  out.body = verdict_body;
+  endpoint_.send(from, out.encode());
+}
+
+const Bytes& TerminationTtp::verdict_for(const TerminationRequest& request) {
+  const std::string label = request.proposed.label();
+  auto cached = verdicts_.find(label);
+  if (cached != verdicts_.end()) return cached->second;
+
+  TerminationVerdict verdict;
+  verdict.object = request.object;
+  verdict.proposed = request.proposed;
+  verdict.time_micros = endpoint_.network().scheduler().now();
+
+  bool agreed = false;
+  if (transcript_complete_and_valid(request, &agreed)) {
+    verdict.kind = TerminationVerdict::Kind::kDecision;
+    verdict.agreed = agreed;
+    verdict.responses = request.responses;
+    ++decisions_issued_;
+  } else {
+    verdict.kind = TerminationVerdict::Kind::kAbort;
+    ++aborts_issued_;
+  }
+  Bytes body =
+      verdict.encode_with_signature(key_.sign(verdict.signed_bytes()));
+  auto [it, inserted] = verdicts_.emplace(label, std::move(body));
+  (void)inserted;
+  B2B_INFO("ttp: certified ",
+           verdict.kind == TerminationVerdict::Kind::kAbort ? "ABORT"
+                                                            : "DECISION",
+           " for run ", label);
+  return it->second;
+}
+
+bool TerminationTtp::transcript_complete_and_valid(
+    const TerminationRequest& request, bool* agreed) const {
+  if (!request.propose.has_value() || request.claimed_recipients.empty()) {
+    return false;
+  }
+  const Proposal& prop = request.propose->proposal;
+  if (prop.proposed != request.proposed || prop.object != request.object) {
+    return false;
+  }
+  auto proposer_key = party_keys_.find(prop.proposer);
+  if (proposer_key == party_keys_.end() ||
+      !proposer_key->second.verify(prop.signed_bytes(),
+                                   request.propose->signature)) {
+    return false;
+  }
+  if (crypto::Sha256::hash(request.propose->payload) != prop.payload_hash) {
+    return false;
+  }
+
+  std::set<PartyId> responders;
+  std::size_t consistent_accepts = 0;
+  for (const RespondMsg& resp_msg : request.responses) {
+    const Response& resp = resp_msg.response;
+    auto key_it = party_keys_.find(resp.responder);
+    if (key_it == party_keys_.end() ||
+        !key_it->second.verify(resp.signed_bytes(), resp_msg.signature)) {
+      return false;
+    }
+    if (resp.proposed != prop.proposed) return false;
+    if (!responders.insert(resp.responder).second) return false;
+    if (resp.decision.accept && resp.agreed_view == prop.agreed &&
+        resp.current_view == prop.agreed && resp.group_view == prop.group &&
+        resp.payload_integrity == prop.payload_hash) {
+      ++consistent_accepts;
+    }
+  }
+  for (const PartyId& recipient : request.claimed_recipients) {
+    if (!responders.contains(recipient)) return false;  // incomplete
+  }
+  // The TTP certifies the *unanimous* outcome of the complete set; parties
+  // configured with the majority rule recompute from the certified
+  // responses themselves.
+  *agreed = consistent_accepts == request.claimed_recipients.size();
+  return true;
+}
+
+}  // namespace b2b::core

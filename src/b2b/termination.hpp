@@ -1,0 +1,108 @@
+// TTP-certified termination (§7).
+//
+// The base protocol deliberately does not guarantee termination when
+// parties misbehave; §7 sketches the remedy this module implements: "the
+// imposition of deadlines requires the involvement of a TTP to guarantee
+// that all honest parties terminate with the same view of agreed state.
+// In effect, a TTP would provide certified abort of a protocol run unless
+// a complete set of responses were available (in which case the TTP would
+// provide a certified decision derived from those responses)."
+//
+// Operation: each replica may be configured with a termination TTP and a
+// deadline. If a coordination run is still active when its deadline
+// expires, the party asks the TTP to terminate it — the proposer attaches
+// its (signed) transcript so far, responders attach nothing. The TTP
+// issues exactly one signed verdict per run, cached forever: a *certified
+// decision* when a complete, verifiable response set was presented, and a
+// *certified abort* otherwise. Because every honest party receives the
+// same cached verdict, they all terminate with the same view.
+//
+// A TTP-certified decision replaces the random-authenticator check of a
+// normal decide message: the TTP's signature is what authenticates it.
+// Recipients still verify every aggregated response and the recipient
+// coverage against their own membership view, so a lying requester cannot
+// smuggle a partial response set past honest parties.
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "b2b/evidence.hpp"
+#include "b2b/messages.hpp"
+#include "net/reliable.hpp"
+
+namespace b2b::core {
+
+/// Party -> TTP: terminate run `proposed` on `object`. A proposer
+/// supplies its transcript (propose + responses collected so far) and its
+/// recipient list; responders send the identification only.
+struct TerminationRequest {
+  PartyId requester;
+  ObjectId object;
+  StateTuple proposed;
+  std::optional<ProposeMsg> propose;
+  std::vector<RespondMsg> responses;
+  std::vector<PartyId> claimed_recipients;
+
+  Bytes signed_bytes() const;
+  Bytes encode() const;
+  static TerminationRequest decode_fields(BytesView data, Bytes* signature);
+  Bytes encode_with_signature(const Bytes& signature) const;
+};
+
+/// TTP -> party: the certified verdict for one run.
+struct TerminationVerdict {
+  enum class Kind : std::uint8_t { kAbort = 1, kDecision = 2 };
+
+  Kind kind = Kind::kAbort;
+  ObjectId object;
+  StateTuple proposed;
+  bool agreed = false;                 // kDecision only
+  std::vector<RespondMsg> responses;   // kDecision only
+  std::uint64_t time_micros = 0;
+
+  Bytes signed_bytes() const;
+  Bytes encode_with_signature(const Bytes& signature) const;
+  static TerminationVerdict decode_fields(BytesView data, Bytes* signature);
+};
+
+/// The on-line trusted third party. Attach it to the same SimNetwork as
+/// the organisations; it answers kTerminationRequest envelopes with
+/// kTerminationVerdict envelopes and never issues two different verdicts
+/// for the same run.
+class TerminationTtp {
+ public:
+  /// `party_keys` must contain every organisation's public key.
+  TerminationTtp(net::SimNetwork& network, PartyId id,
+                 crypto::RsaPrivateKey key,
+                 std::map<PartyId, crypto::RsaPublicKey> party_keys);
+
+  const PartyId& id() const { return id_; }
+  const crypto::RsaPublicKey& public_key() const {
+    return key_.public_key();
+  }
+
+  /// Add a later-joining organisation's key.
+  void add_party_key(const PartyId& party, crypto::RsaPublicKey key);
+
+  std::uint64_t aborts_issued() const { return aborts_issued_; }
+  std::uint64_t decisions_issued() const { return decisions_issued_; }
+
+ private:
+  void on_message(const PartyId& from, const Bytes& payload);
+  /// Build (or fetch the cached) verdict for a run.
+  const Bytes& verdict_for(const TerminationRequest& request);
+  bool transcript_complete_and_valid(const TerminationRequest& request,
+                                     bool* agreed) const;
+
+  net::ReliableEndpoint endpoint_;
+  PartyId id_;
+  crypto::RsaPrivateKey key_;
+  std::map<PartyId, crypto::RsaPublicKey> party_keys_;
+  /// run label -> encoded verdict envelope body (the consistency cache).
+  std::map<std::string, Bytes> verdicts_;
+  std::uint64_t aborts_issued_ = 0;
+  std::uint64_t decisions_issued_ = 0;
+};
+
+}  // namespace b2b::core

@@ -1,0 +1,88 @@
+#include "b2b/tuples.hpp"
+
+namespace b2b::core {
+
+void StateTuple::encode_into(wire::Encoder& enc) const {
+  enc.u64(sequence)
+      .raw(crypto::digest_bytes(rand_hash))
+      .raw(crypto::digest_bytes(state_hash));
+}
+
+StateTuple StateTuple::decode_from(wire::Decoder& dec) {
+  StateTuple t;
+  t.sequence = dec.u64();
+  t.rand_hash = crypto::digest_from_bytes(dec.raw(32));
+  t.state_hash = crypto::digest_from_bytes(dec.raw(32));
+  return t;
+}
+
+Bytes StateTuple::encode() const {
+  wire::Encoder enc;
+  encode_into(enc);
+  return std::move(enc).take();
+}
+
+StateTuple StateTuple::decode(BytesView data) {
+  wire::Decoder dec{data};
+  StateTuple t = decode_from(dec);
+  dec.expect_done();
+  return t;
+}
+
+std::string StateTuple::label() const {
+  // Sequence plus the first 16 bytes of H(r): unique per §4.2 invariant 4.
+  return std::to_string(sequence) + ":" +
+         to_hex(BytesView(rand_hash.data(), 16));
+}
+
+void GroupTuple::encode_into(wire::Encoder& enc) const {
+  enc.u64(sequence)
+      .raw(crypto::digest_bytes(rand_hash))
+      .raw(crypto::digest_bytes(members_hash));
+}
+
+GroupTuple GroupTuple::decode_from(wire::Decoder& dec) {
+  GroupTuple t;
+  t.sequence = dec.u64();
+  t.rand_hash = crypto::digest_from_bytes(dec.raw(32));
+  t.members_hash = crypto::digest_from_bytes(dec.raw(32));
+  return t;
+}
+
+Bytes GroupTuple::encode() const {
+  wire::Encoder enc;
+  encode_into(enc);
+  return std::move(enc).take();
+}
+
+GroupTuple GroupTuple::decode(BytesView data) {
+  wire::Decoder dec{data};
+  GroupTuple t = decode_from(dec);
+  dec.expect_done();
+  return t;
+}
+
+std::string GroupTuple::label() const {
+  return "g" + std::to_string(sequence) + ":" +
+         to_hex(BytesView(rand_hash.data(), 16));
+}
+
+crypto::Digest hash_members(const std::vector<PartyId>& members) {
+  wire::Encoder enc;
+  enc.varint(members.size());
+  for (const auto& member : members) enc.str(member.str());
+  return crypto::Sha256::hash(enc.bytes());
+}
+
+void Decision::encode_into(wire::Encoder& enc) const {
+  enc.boolean(accept).str(diagnostic);
+}
+
+Decision Decision::decode_from(wire::Decoder& dec) {
+  Decision d;
+  d.accept = dec.boolean();
+  d.diagnostic = dec.str();
+  return d;
+}
+
+}  // namespace b2b::core

@@ -1,0 +1,182 @@
+#include "baseline/plain2pc.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::baseline {
+
+namespace {
+
+constexpr std::uint8_t kPropose = 1;
+constexpr std::uint8_t kVote = 2;
+constexpr std::uint8_t kDecision = 3;
+
+void complete(const RunHandle& handle, RunResult::Outcome outcome,
+              std::string diagnostic, std::vector<PartyId> vetoers,
+              std::uint64_t seq) {
+  handle->outcome = outcome;
+  handle->diagnostic = std::move(diagnostic);
+  handle->vetoers = std::move(vetoers);
+  handle->sequence = seq;
+  if (handle->on_complete) handle->on_complete(*handle);
+}
+
+}  // namespace
+
+PlainReplica::PlainReplica(PartyId self, ObjectId object,
+                           core::B2BObject& impl,
+                           net::ReliableEndpoint& endpoint)
+    : self_(std::move(self)),
+      object_(std::move(object)),
+      impl_(impl),
+      endpoint_(endpoint) {
+  endpoint_.set_handler([this](const PartyId& from, const Bytes& payload) {
+    on_message(from, payload);
+  });
+}
+
+void PlainReplica::bootstrap(std::vector<PartyId> members,
+                             const Bytes& initial_state) {
+  members_ = std::move(members);
+  agreed_state_ = initial_state;
+  agreed_seq_ = 0;
+  impl_.apply_state(initial_state);
+}
+
+void PlainReplica::send(const PartyId& to, const Bytes& payload) {
+  ++messages_sent_;
+  bytes_sent_ += payload.size();
+  endpoint_.send(to, payload);
+}
+
+RunHandle PlainReplica::propose_state(Bytes new_state) {
+  auto handle = std::make_shared<RunResult>();
+  if (proposer_run_.has_value()) {
+    impl_.apply_state(agreed_state_);
+    complete(handle, RunResult::Outcome::kAborted, "busy", {}, 0);
+    return handle;
+  }
+  ProposerRun run;
+  run.seq = ++last_seen_seq_;
+  run.new_state = std::move(new_state);
+  run.result = handle;
+  run.expected = members_.size() - 1;
+
+  if (run.expected == 0) {
+    agreed_state_ = run.new_state;
+    agreed_seq_ = run.seq;
+    complete(handle, RunResult::Outcome::kAgreed, "", {}, run.seq);
+    return handle;
+  }
+
+  wire::Encoder enc;
+  enc.u8(kPropose).u64(run.seq).blob(run.new_state);
+  Bytes encoded = std::move(enc).take();
+  for (const PartyId& member : members_) {
+    if (member != self_) send(member, encoded);
+  }
+  proposer_run_ = std::move(run);
+  return handle;
+}
+
+void PlainReplica::on_message(const PartyId& from, const Bytes& payload) {
+  try {
+    wire::Decoder dec{payload};
+    std::uint8_t type = dec.u8();
+    std::uint64_t seq = dec.u64();
+    switch (type) {
+      case kPropose: {
+        Bytes state = dec.blob();
+        dec.expect_done();
+        handle_propose(from, seq, state);
+        break;
+      }
+      case kVote: {
+        bool accept = dec.boolean();
+        std::string diagnostic = dec.str();
+        dec.expect_done();
+        handle_vote(from, seq, accept, diagnostic);
+        break;
+      }
+      case kDecision: {
+        bool commit = dec.boolean();
+        dec.expect_done();
+        handle_decision(from, seq, commit);
+        break;
+      }
+      default:
+        break;  // baseline silently drops garbage (no evidence machinery)
+    }
+  } catch (const CodecError&) {
+    // Silently dropped: the baseline records no evidence.
+  }
+}
+
+void PlainReplica::handle_propose(const PartyId& from, std::uint64_t seq,
+                                  const Bytes& state) {
+  last_seen_seq_ = std::max(last_seen_seq_, seq);
+  core::ValidationContext ctx{self_, from, object_, seq};
+  core::Decision decision = impl_.validate_state(state, ctx);
+
+  ResponderRun run;
+  run.proposer = from;
+  run.accepted = decision.accept;
+  if (decision.accept) run.pending_state = state;
+  responder_runs_[seq] = std::move(run);
+
+  wire::Encoder enc;
+  enc.u8(kVote).u64(seq).boolean(decision.accept).str(decision.diagnostic);
+  send(from, std::move(enc).take());
+}
+
+void PlainReplica::handle_vote(const PartyId& from, std::uint64_t seq,
+                               bool accept, const std::string& diagnostic) {
+  if (!proposer_run_.has_value() || proposer_run_->seq != seq) return;
+  ProposerRun& run = *proposer_run_;
+  if (run.votes.contains(from)) return;
+  run.votes[from] = accept;
+  if (!accept) {
+    run.vetoers.push_back(from);
+    if (run.first_diagnostic.empty()) run.first_diagnostic = diagnostic;
+  }
+  if (run.votes.size() < run.expected) return;
+
+  ProposerRun finished = std::move(run);
+  proposer_run_.reset();
+  bool commit = finished.vetoers.empty();
+
+  wire::Encoder enc;
+  enc.u8(kDecision).u64(seq).boolean(commit);
+  Bytes encoded = std::move(enc).take();
+  for (const PartyId& member : members_) {
+    if (member != self_) send(member, encoded);
+  }
+
+  if (commit) {
+    agreed_state_ = std::move(finished.new_state);
+    agreed_seq_ = seq;
+    complete(finished.result, RunResult::Outcome::kAgreed, "", {}, seq);
+  } else {
+    impl_.apply_state(agreed_state_);
+    complete(finished.result, RunResult::Outcome::kVetoed,
+             finished.first_diagnostic, std::move(finished.vetoers), seq);
+  }
+}
+
+void PlainReplica::handle_decision(const PartyId& from, std::uint64_t seq,
+                                   bool commit) {
+  auto it = responder_runs_.find(seq);
+  if (it == responder_runs_.end()) return;
+  ResponderRun run = std::move(it->second);
+  responder_runs_.erase(it);
+  if (run.proposer != from) return;
+  if (commit && run.accepted) {
+    agreed_state_ = std::move(run.pending_state);
+    agreed_seq_ = seq;
+    impl_.apply_state(agreed_state_);
+  }
+}
+
+}  // namespace b2b::baseline

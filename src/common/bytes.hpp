@@ -1,0 +1,41 @@
+// Byte-buffer utilities shared by every B2BObjects module.
+//
+// The middleware moves opaque byte strings around constantly (serialized
+// states, hashes, signatures, wire messages), so we standardise on a single
+// alias `b2b::Bytes` and provide the small set of helpers the rest of the
+// code needs: hex conversion, concatenation and constant-time comparison
+// (for comparing secrets such as random authenticators).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace b2b {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Interpret a UTF-8/ASCII string as raw bytes.
+Bytes bytes_of(std::string_view s);
+
+/// Interpret raw bytes as a std::string (no validation).
+std::string string_of(BytesView data);
+
+/// Concatenate any number of byte buffers.
+Bytes concat(std::initializer_list<BytesView> parts);
+
+/// Compare two buffers in time independent of content (length leaks).
+/// Used when comparing secret values such as random authenticators.
+bool constant_time_equal(BytesView a, BytesView b);
+
+}  // namespace b2b

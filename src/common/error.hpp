@@ -1,0 +1,53 @@
+// Error hierarchy for B2BObjects.
+//
+// Failures that callers are expected to handle programmatically are thrown
+// as subclasses of b2b::Error so that call sites can catch by category
+// (codec, crypto, protocol, validation) or catch everything from the
+// middleware at once.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace b2b {
+
+/// Root of all exceptions thrown by the middleware.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or truncated wire data.
+class CodecError : public Error {
+ public:
+  explicit CodecError(const std::string& what) : Error("codec: " + what) {}
+};
+
+/// Cryptographic failure (bad key, verification failure, etc.).
+class CryptoError : public Error {
+ public:
+  explicit CryptoError(const std::string& what) : Error("crypto: " + what) {}
+};
+
+/// Violation of protocol rules detected during a coordination run.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : Error("protocol: " + what) {}
+};
+
+/// Application-level validation rejected a request (e.g. a synchronous
+/// state change was vetoed by a peer, as §5 prescribes for sync mode).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what)
+      : Error("validation: " + what) {}
+};
+
+/// Persistent-store failure (corrupt log, I/O error).
+class StoreError : public Error {
+ public:
+  explicit StoreError(const std::string& what) : Error("store: " + what) {}
+};
+
+}  // namespace b2b

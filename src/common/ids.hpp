@@ -1,0 +1,68 @@
+// Strongly typed identifiers used across the middleware.
+//
+// The paper names parties P_1..P_n; we identify a party by a short string
+// alias (an "organisation name"). ObjectId names a coordinated object in
+// the virtual space (Figure 2 of the paper). Both are thin wrappers over
+// std::string so that the two cannot be confused at call sites.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace b2b {
+
+namespace detail {
+
+/// CRTP-less tagged string: Tag makes distinct instantiations distinct types.
+template <typename Tag>
+class TaggedString {
+ public:
+  TaggedString() = default;
+  explicit TaggedString(std::string value) : value_(std::move(value)) {}
+
+  const std::string& str() const { return value_; }
+  bool empty() const { return value_.empty(); }
+
+  friend auto operator<=>(const TaggedString&, const TaggedString&) = default;
+  friend std::ostream& operator<<(std::ostream& os, const TaggedString& id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::string value_;
+};
+
+}  // namespace detail
+
+struct PartyIdTag {};
+struct ObjectIdTag {};
+
+/// Identifies a participant (organisation) — P_i in the paper.
+using PartyId = detail::TaggedString<PartyIdTag>;
+
+/// Identifies a shared object in the virtual space.
+using ObjectId = detail::TaggedString<ObjectIdTag>;
+
+}  // namespace b2b
+
+namespace std {
+
+template <>
+struct hash<b2b::PartyId> {
+  std::size_t operator()(const b2b::PartyId& id) const noexcept {
+    return std::hash<std::string>{}(id.str());
+  }
+};
+
+template <>
+struct hash<b2b::ObjectId> {
+  std::size_t operator()(const b2b::ObjectId& id) const noexcept {
+    return std::hash<std::string>{}(id.str());
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,53 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+namespace b2b {
+
+namespace {
+
+LogLevel level_from_env() {
+  const char* env = std::getenv("B2B_LOG");
+  if (env == nullptr) return LogLevel::kWarn;
+  std::string v(env);
+  if (v == "trace") return LogLevel::kTrace;
+  if (v == "debug") return LogLevel::kDebug;
+  if (v == "info") return LogLevel::kInfo;
+  if (v == "warn") return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
+std::atomic<LogLevel> g_level{level_from_env()};
+std::mutex g_io_mutex;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(); }
+
+void log_line(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_io_mutex);
+  std::cerr << "[b2b " << level_name(level) << "] " << message << '\n';
+}
+
+}  // namespace b2b

@@ -1,0 +1,44 @@
+// Minimal leveled logger.
+//
+// Protocol runs are easier to debug with a trace of message flow; the
+// logger is off by default (Warn) so tests and benches stay quiet. The
+// level is a process-wide setting controlled by set_log_level() or the
+// B2B_LOG environment variable ("trace", "debug", "info", "warn", "off").
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace b2b {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kOff };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr if `level` >= the current threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+std::string format_log(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace detail
+
+#define B2B_LOG(level, ...)                                           \
+  do {                                                                \
+    if (static_cast<int>(level) >= static_cast<int>(b2b::log_level())) \
+      b2b::log_line(level, b2b::detail::format_log(__VA_ARGS__));     \
+  } while (false)
+
+#define B2B_TRACE(...) B2B_LOG(b2b::LogLevel::kTrace, __VA_ARGS__)
+#define B2B_DEBUG(...) B2B_LOG(b2b::LogLevel::kDebug, __VA_ARGS__)
+#define B2B_INFO(...) B2B_LOG(b2b::LogLevel::kInfo, __VA_ARGS__)
+#define B2B_WARN(...) B2B_LOG(b2b::LogLevel::kWarn, __VA_ARGS__)
+
+}  // namespace b2b

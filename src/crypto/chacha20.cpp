@@ -1,0 +1,131 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace b2b::crypto {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = std::rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = std::rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = std::rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20Rng::ChaCha20Rng(BytesView seed) {
+  std::array<std::uint8_t, 32> key{};
+  if (seed.size() <= 32) {
+    std::copy(seed.begin(), seed.end(), key.begin());
+  } else {
+    Digest d = Sha256::hash(seed);
+    std::copy(d.begin(), d.end(), key.begin());
+  }
+  // RFC 8439 constants "expa nd 3 2-by te k".
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) {
+    state_[4 + i] = static_cast<std::uint32_t>(key[i * 4]) |
+                    (static_cast<std::uint32_t>(key[i * 4 + 1]) << 8) |
+                    (static_cast<std::uint32_t>(key[i * 4 + 2]) << 16) |
+                    (static_cast<std::uint32_t>(key[i * 4 + 3]) << 24);
+  }
+  state_[12] = 0;  // 64-bit block counter in words 12..13
+  state_[13] = 0;
+  state_[14] = 0;  // nonce fixed to zero: each Rng instance is one stream
+  state_[15] = 0;
+}
+
+ChaCha20Rng::ChaCha20Rng(std::uint64_t seed)
+    : ChaCha20Rng([seed] {
+        Bytes s(8);
+        for (int i = 0; i < 8; ++i) {
+          s[i] = static_cast<std::uint8_t>((seed >> (8 * i)) & 0xff);
+        }
+        return s;
+      }()) {}
+
+void ChaCha20Rng::refill() {
+  std::array<std::uint32_t, 16> working = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    std::uint32_t word = working[i] + state_[i];
+    block_[i * 4 + 0] = static_cast<std::uint8_t>(word);
+    block_[i * 4 + 1] = static_cast<std::uint8_t>(word >> 8);
+    block_[i * 4 + 2] = static_cast<std::uint8_t>(word >> 16);
+    block_[i * 4 + 3] = static_cast<std::uint8_t>(word >> 24);
+  }
+  block_pos_ = 0;
+  // Increment the 64-bit counter.
+  if (++state_[12] == 0) ++state_[13];
+}
+
+void ChaCha20Rng::fill(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    if (block_pos_ == block_.size()) refill();
+    std::size_t take = std::min(len, block_.size() - block_pos_);
+    std::memcpy(out, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    out += take;
+    len -= take;
+  }
+}
+
+Bytes ChaCha20Rng::bytes(std::size_t len) {
+  Bytes out(len);
+  fill(out.data(), len);
+  return out;
+}
+
+std::uint64_t ChaCha20Rng::next_u64() {
+  std::uint8_t buf[8];
+  fill(buf, 8);
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) out |= static_cast<std::uint64_t>(buf[i]) << (8 * i);
+  return out;
+}
+
+std::uint64_t ChaCha20Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("next_below: zero bound");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = ~static_cast<std::uint64_t>(0) -
+                        (~static_cast<std::uint64_t>(0) % bound) - 1;
+  std::uint64_t value;
+  do {
+    value = next_u64();
+  } while (value > limit);
+  return value % bound;
+}
+
+double ChaCha20Rng::next_double() {
+  // 53 random bits into [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace b2b::crypto

@@ -1,0 +1,57 @@
+// ChaCha20-based cryptographically strong pseudo-random generator.
+//
+// §4.2 of the paper assumes "a secure pseudo-random sequence generator to
+// generate statistically random and unpredictable sequences of bits"; the
+// random numbers it produces (r_i) become the secret authenticators that
+// make the final `decide` message self-authenticating. We implement the
+// ChaCha20 block function (RFC 8439) and run it in counter mode from a
+// 256-bit seed. Seeding from a fixed value makes simulations reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace b2b::crypto {
+
+/// Deterministic CSPRNG. Not thread-safe; give each party its own.
+class ChaCha20Rng {
+ public:
+  /// Seed with a 32-byte key. Shorter seeds are zero-padded, longer seeds
+  /// are hashed down with SHA-256.
+  explicit ChaCha20Rng(BytesView seed);
+
+  /// Convenience: seed from a 64-bit value (tests and simulations).
+  explicit ChaCha20Rng(std::uint64_t seed);
+
+  /// Fill `out` with random bytes.
+  void fill(std::uint8_t* out, std::size_t len);
+
+  /// `len` random bytes.
+  Bytes bytes(std::size_t len);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). Throws std::invalid_argument if bound==0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  // UniformRandomBitGenerator interface so <random> utilities work too.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, 64> block_;
+  std::size_t block_pos_ = 64;  // empty
+};
+
+}  // namespace b2b::crypto

@@ -1,0 +1,60 @@
+#include "crypto/timestamp.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace b2b::crypto {
+
+namespace {
+
+Bytes signing_input(const Digest& digest, std::uint64_t time_micros) {
+  Bytes input(digest.begin(), digest.end());
+  for (int i = 7; i >= 0; --i) {
+    input.push_back(static_cast<std::uint8_t>((time_micros >> (8 * i)) & 0xff));
+  }
+  return input;
+}
+
+}  // namespace
+
+Bytes Timestamp::encode() const {
+  Bytes out = signing_input(message_hash, time_micros);
+  out.insert(out.end(), signature.begin(), signature.end());
+  return out;
+}
+
+Timestamp Timestamp::decode(BytesView data) {
+  if (data.size() < 40) throw CodecError("Timestamp: truncated");
+  Timestamp ts;
+  ts.message_hash = digest_from_bytes(data.subspan(0, 32));
+  ts.time_micros = 0;
+  for (int i = 0; i < 8; ++i) {
+    ts.time_micros = (ts.time_micros << 8) | data[32 + i];
+  }
+  ts.signature.assign(data.begin() + 40, data.end());
+  return ts;
+}
+
+TimestampService::TimestampService(RsaPrivateKey keypair, ClockFn clock)
+    : keypair_(std::move(keypair)), clock_(std::move(clock)) {}
+
+Timestamp TimestampService::stamp(BytesView message) const {
+  return stamp_digest(Sha256::hash(message));
+}
+
+Timestamp TimestampService::stamp_digest(const Digest& digest) const {
+  Timestamp ts;
+  ts.message_hash = digest;
+  ts.time_micros = clock_();
+  ts.signature = keypair_.sign(signing_input(digest, ts.time_micros));
+  return ts;
+}
+
+bool TimestampService::verify(const Timestamp& ts,
+                              const RsaPublicKey& tss_key) {
+  return tss_key.verify(signing_input(ts.message_hash, ts.time_micros),
+                        ts.signature);
+}
+
+}  // namespace b2b::crypto

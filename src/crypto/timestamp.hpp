@@ -1,0 +1,59 @@
+// Trusted time-stamping service (TSS).
+//
+// §4.2: "all signed evidence must be time-stamped. It is assumed that a
+// trusted time-stamping service ... is available to each party". Given a
+// message m the TSS returns TS(m, t) = (H(m), t, sig_TSS(H(m) || t)) —
+// evidence that m existed at time t. The simulation's TSS reads the
+// virtual clock through a caller-supplied function, so time-stamps are
+// deterministic in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/bytes.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha256.hpp"
+
+namespace b2b::crypto {
+
+/// A signed time-stamp over some message hash.
+struct Timestamp {
+  Digest message_hash{};
+  std::uint64_t time_micros = 0;
+  Bytes signature;  // TSS signature over message_hash || time
+
+  Bytes encode() const;
+  static Timestamp decode(BytesView data);  // throws CodecError
+
+  friend bool operator==(const Timestamp&, const Timestamp&) = default;
+};
+
+/// The service itself: holds the TSS keypair and a clock source.
+class TimestampService {
+ public:
+  using ClockFn = std::function<std::uint64_t()>;
+
+  /// `keypair` is the TSS identity; `clock` yields microseconds.
+  TimestampService(RsaPrivateKey keypair, ClockFn clock);
+
+  const RsaPublicKey& public_key() const {
+    return keypair_.public_key();
+  }
+
+  /// Stamp a message (hashes it first).
+  Timestamp stamp(BytesView message) const;
+
+  /// Stamp a precomputed hash.
+  Timestamp stamp_digest(const Digest& digest) const;
+
+  /// Verify a timestamp against a TSS public key. Static so any party can
+  /// verify with only the public key.
+  static bool verify(const Timestamp& ts, const RsaPublicKey& tss_key);
+
+ private:
+  RsaPrivateKey keypair_;
+  ClockFn clock_;
+};
+
+}  // namespace b2b::crypto

@@ -1,0 +1,130 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace b2b::net {
+
+SimNetwork::SimNetwork(EventScheduler& scheduler, std::uint64_t seed)
+    : scheduler_(scheduler), rng_(seed) {}
+
+void SimNetwork::attach(const PartyId& node, Handler handler) {
+  handlers_[node] = std::move(handler);
+  alive_.emplace(node, true);
+}
+
+void SimNetwork::set_alive(const PartyId& node, bool alive) {
+  alive_[node] = alive;
+}
+
+bool SimNetwork::alive(const PartyId& node) const {
+  auto it = alive_.find(node);
+  return it != alive_.end() && it->second;
+}
+
+void SimNetwork::set_link_faults(const PartyId& from, const PartyId& to,
+                                 const LinkFaults& faults) {
+  link_faults_[{from, to}] = faults;
+}
+
+void SimNetwork::partition(const std::set<PartyId>& side_a,
+                           const std::set<PartyId>& side_b, SimTime heal_at) {
+  partitions_.push_back(PartitionRule{side_a, side_b, heal_at});
+}
+
+const LinkFaults& SimNetwork::faults_for(const PartyId& from,
+                                         const PartyId& to) const {
+  auto it = link_faults_.find({from, to});
+  return it != link_faults_.end() ? it->second : default_faults_;
+}
+
+bool SimNetwork::partitioned(const PartyId& from, const PartyId& to) const {
+  SimTime now = scheduler_.now();
+  for (const auto& rule : partitions_) {
+    if (now >= rule.heal_at) continue;
+    bool from_a = rule.side_a.contains(from);
+    bool from_b = rule.side_b.contains(from);
+    bool to_a = rule.side_a.contains(to);
+    bool to_b = rule.side_b.contains(to);
+    if ((from_a && to_b) || (from_b && to_a)) return true;
+  }
+  return false;
+}
+
+void SimNetwork::schedule_delivery(const PartyId& from, const PartyId& to,
+                                   Bytes payload, SimTime delay) {
+  scheduler_.after(delay, [this, from, to, payload = std::move(payload)]() {
+    if (!alive(to)) {
+      ++stats_.datagrams_dropped;
+      return;
+    }
+    auto it = handlers_.find(to);
+    if (it == handlers_.end() || !it->second) {
+      ++stats_.datagrams_dropped;
+      return;
+    }
+    ++stats_.datagrams_delivered;
+    stats_.bytes_delivered += payload.size();
+    it->second(from, payload);
+  });
+}
+
+void SimNetwork::send(const PartyId& from, const PartyId& to, Bytes payload) {
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += payload.size();
+
+  if (!alive(from) || !alive(to) || partitioned(from, to)) {
+    ++stats_.datagrams_dropped;
+    return;
+  }
+
+  const LinkFaults& faults = faults_for(from, to);
+  SimTime span = faults.max_delay_micros > faults.min_delay_micros
+                     ? faults.max_delay_micros - faults.min_delay_micros
+                     : 0;
+  SimTime delay =
+      faults.min_delay_micros + (span > 0 ? rng_.next_below(span + 1) : 0);
+
+  if (intruder_ != nullptr) {
+    SimTime extra_delay = 0;
+    switch (intruder_->intercept(from, to, payload, &extra_delay)) {
+      case Intruder::Verdict::kDrop:
+        ++stats_.datagrams_dropped;
+        B2B_TRACE("intruder dropped ", from, " -> ", to);
+        return;
+      case Intruder::Verdict::kDelay:
+        delay += extra_delay;
+        break;
+      case Intruder::Verdict::kTamper:
+        B2B_TRACE("intruder tampered ", from, " -> ", to);
+        break;
+      case Intruder::Verdict::kPass:
+        break;
+    }
+  }
+
+  if (faults.drop_probability > 0 &&
+      rng_.next_double() < faults.drop_probability) {
+    ++stats_.datagrams_dropped;
+    return;
+  }
+
+  if (faults.duplicate_probability > 0 &&
+      rng_.next_double() < faults.duplicate_probability) {
+    ++stats_.datagrams_duplicated;
+    SimTime dup_delay = delay + 1 + rng_.next_below(faults.max_delay_micros + 1);
+    schedule_delivery(from, to, payload, dup_delay);
+  }
+
+  schedule_delivery(from, to, std::move(payload), delay);
+}
+
+void SimNetwork::inject(const PartyId& from, const PartyId& to, Bytes payload,
+                        SimTime delay) {
+  ++stats_.datagrams_sent;
+  stats_.bytes_sent += payload.size();
+  schedule_delivery(from, to, std::move(payload), delay);
+}
+
+}  // namespace b2b::net

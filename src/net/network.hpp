@@ -1,0 +1,126 @@
+// Simulated unreliable network between organisations.
+//
+// §4.2 assumes "eventual, once-only message delivery" presented by the
+// middleware on top of a network that may lose, delay, duplicate and
+// reorder messages, partition (partitions heal eventually) and whose nodes
+// may crash and recover. SimNetwork implements exactly that raw substrate;
+// the ReliableEndpoint in reliable.hpp layers the assumed semantics on top.
+//
+// A pluggable Intruder hook implements the Dolev-Yao attacker of §4.4: it
+// sees every datagram and may pass, drop, delay, tamper with or record it
+// (and can inject recorded datagrams later = replay).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "crypto/chacha20.hpp"
+#include "net/scheduler.hpp"
+
+namespace b2b::net {
+
+/// Per-link fault configuration. Delays are sampled uniformly.
+struct LinkFaults {
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  SimTime min_delay_micros = 1'000;
+  SimTime max_delay_micros = 5'000;
+};
+
+/// Dolev-Yao intruder interface. Return value tells the network what to do
+/// with the datagram; kTamper means `payload` was modified in place and
+/// should still be delivered; kDelay means deliver after `*extra_delay`.
+class Intruder {
+ public:
+  enum class Verdict { kPass, kDrop, kTamper, kDelay };
+
+  virtual ~Intruder() = default;
+  virtual Verdict intercept(const PartyId& from, const PartyId& to,
+                            Bytes& payload, SimTime* extra_delay) = 0;
+};
+
+/// Counters exposed for the benches (E6: message/byte complexity).
+struct NetworkStats {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_delivered = 0;
+  std::uint64_t datagrams_dropped = 0;
+  std::uint64_t datagrams_duplicated = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_delivered = 0;
+};
+
+/// The simulated datagram network. Not a reliable channel: see
+/// ReliableEndpoint for the once-only layer.
+class SimNetwork {
+ public:
+  using Handler =
+      std::function<void(const PartyId& from, const Bytes& payload)>;
+
+  SimNetwork(EventScheduler& scheduler, std::uint64_t seed);
+
+  /// Register a node. Reattaching replaces the handler (used on recovery).
+  void attach(const PartyId& node, Handler handler);
+
+  /// Crash (`alive=false`) or recover (`alive=true`) a node. A dead node
+  /// neither sends nor receives; datagrams addressed to it are dropped.
+  void set_alive(const PartyId& node, bool alive);
+  bool alive(const PartyId& node) const;
+
+  /// Fault model: per-link overrides fall back to the default.
+  void set_default_faults(const LinkFaults& faults) { default_faults_ = faults; }
+  void set_link_faults(const PartyId& from, const PartyId& to,
+                       const LinkFaults& faults);
+  void clear_link_faults() { link_faults_.clear(); }
+
+  /// Cut connectivity between the two groups until `heal_at` (virtual
+  /// time). Datagrams across the cut are dropped while it is in force.
+  void partition(const std::set<PartyId>& side_a,
+                 const std::set<PartyId>& side_b, SimTime heal_at);
+
+  /// Install (or remove, with nullptr) the Dolev-Yao intruder.
+  void set_intruder(Intruder* intruder) { intruder_ = intruder; }
+
+  /// Send one datagram. May be lost/duplicated/delayed per the fault
+  /// model. Sending from or to a dead node silently drops.
+  void send(const PartyId& from, const PartyId& to, Bytes payload);
+
+  /// Deliver a datagram verbatim after `delay` (used by intruders to
+  /// replay recorded traffic).
+  void inject(const PartyId& from, const PartyId& to, Bytes payload,
+              SimTime delay);
+
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NetworkStats{}; }
+
+  EventScheduler& scheduler() { return scheduler_; }
+
+ private:
+  struct PartitionRule {
+    std::set<PartyId> side_a;
+    std::set<PartyId> side_b;
+    SimTime heal_at;
+  };
+
+  const LinkFaults& faults_for(const PartyId& from, const PartyId& to) const;
+  bool partitioned(const PartyId& from, const PartyId& to) const;
+  void schedule_delivery(const PartyId& from, const PartyId& to,
+                         Bytes payload, SimTime delay);
+
+  EventScheduler& scheduler_;
+  crypto::ChaCha20Rng rng_;
+  std::unordered_map<PartyId, Handler> handlers_;
+  std::unordered_map<PartyId, bool> alive_;
+  LinkFaults default_faults_;
+  std::map<std::pair<PartyId, PartyId>, LinkFaults> link_faults_;
+  std::vector<PartitionRule> partitions_;
+  Intruder* intruder_ = nullptr;
+  NetworkStats stats_;
+};
+
+}  // namespace b2b::net

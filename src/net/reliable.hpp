@@ -1,0 +1,91 @@
+// Eventual once-only delivery on top of the lossy SimNetwork.
+//
+// §4.2: "It is assumed that the communications infrastructure provides
+// eventual, once-only message delivery. If the underlying communications
+// system does not support these semantics then the coordination middleware
+// masks this and presents the assumed semantics." This is that masking
+// layer: positive acknowledgement with retransmission gives *eventual*
+// delivery across loss, crashes and healing partitions; per-sender
+// sequence-number dedup gives *once-only* delivery despite duplication and
+// retransmission. No ordering guarantee is provided (none is assumed).
+//
+// Unacknowledged outgoing messages and the dedup state model the "local
+// persistent storage" of protocol messages the paper requires: they
+// survive a simulated crash (the endpoint object persists; the node is
+// merely unreachable while down) so retransmission resumes on recovery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "net/network.hpp"
+#include "net/scheduler.hpp"
+
+namespace b2b::net {
+
+class ReliableEndpoint {
+ public:
+  struct Config {
+    /// How often un-acked messages are retransmitted.
+    SimTime retransmit_interval_micros = 50'000;
+    /// Safety bound so a simulation with a permanently dead peer
+    /// terminates. Far above anything a liveness test needs.
+    std::size_t max_retransmits = 10'000;
+  };
+
+  struct Stats {
+    std::uint64_t app_sent = 0;
+    std::uint64_t app_delivered = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t duplicates_suppressed = 0;
+    std::uint64_t acks_sent = 0;
+  };
+
+  using Handler =
+      std::function<void(const PartyId& from, const Bytes& payload)>;
+
+  /// Attaches itself to `network` under `self`.
+  ReliableEndpoint(SimNetwork& network, PartyId self, Config config);
+  ReliableEndpoint(SimNetwork& network, PartyId self)
+      : ReliableEndpoint(network, std::move(self), Config{}) {}
+
+  /// Sink for application payloads (each delivered exactly once).
+  void set_handler(Handler handler) { handler_ = std::move(handler); }
+
+  /// Queue `payload` for eventual once-only delivery to `to`.
+  void send(const PartyId& to, Bytes payload);
+
+  /// Messages queued but not yet acknowledged (any destination).
+  std::size_t unacked() const;
+
+  const Stats& stats() const { return stats_; }
+  const PartyId& self() const { return self_; }
+  SimNetwork& network() { return network_; }
+
+ private:
+  void on_datagram(const PartyId& from, const Bytes& datagram);
+  void transmit(const PartyId& to, std::uint64_t seq);
+  void schedule_retransmit(const PartyId& to, std::uint64_t seq,
+                           std::size_t attempt);
+
+  SimNetwork& network_;
+  PartyId self_;
+  Config config_;
+  Handler handler_;
+  Stats stats_;
+
+  struct Outgoing {
+    Bytes payload;
+    bool acked = false;
+  };
+  std::unordered_map<PartyId, std::uint64_t> next_seq_;
+  std::map<std::pair<PartyId, std::uint64_t>, Outgoing> outgoing_;
+  std::unordered_map<PartyId, std::set<std::uint64_t>> delivered_;
+};
+
+}  // namespace b2b::net

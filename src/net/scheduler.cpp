@@ -1,0 +1,52 @@
+#include "net/scheduler.hpp"
+
+#include <utility>
+
+namespace b2b::net {
+
+void EventScheduler::at(SimTime when, Action action) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(action)});
+}
+
+bool EventScheduler::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the action out before pop is
+  // safe because the comparator never touches `action`.
+  Event& top = const_cast<Event&>(queue_.top());
+  SimTime time = top.time;
+  Action action = std::move(top.action);
+  queue_.pop();
+  now_ = time;
+  ++executed_;
+  action();
+  return true;
+}
+
+std::size_t EventScheduler::run(std::size_t max_events) {
+  std::size_t count = 0;
+  while (count < max_events && run_one()) ++count;
+  return count;
+}
+
+std::size_t EventScheduler::run_until(SimTime deadline) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= deadline) {
+    run_one();
+    ++count;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return count;
+}
+
+bool EventScheduler::run_until_condition(
+    const std::function<bool()>& predicate, std::size_t max_events) {
+  std::size_t count = 0;
+  while (!predicate()) {
+    if (count >= max_events || !run_one()) return predicate();
+    ++count;
+  }
+  return true;
+}
+
+}  // namespace b2b::net

@@ -1,0 +1,102 @@
+#include "store/checkpoint_store.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::store {
+
+namespace {
+const std::vector<Checkpoint> kEmptyHistory;
+}  // namespace
+
+void CheckpointStore::put(const ObjectId& object, Checkpoint checkpoint) {
+  checkpoints_[object].push_back(std::move(checkpoint));
+}
+
+std::optional<Checkpoint> CheckpointStore::latest(const ObjectId& object) const {
+  auto it = checkpoints_.find(object);
+  if (it == checkpoints_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::optional<Checkpoint> CheckpointStore::at_sequence(
+    const ObjectId& object, std::uint64_t sequence) const {
+  auto it = checkpoints_.find(object);
+  if (it == checkpoints_.end()) return std::nullopt;
+  // Scan backwards: recent sequences are queried most often (rollback).
+  for (auto rit = it->second.rbegin(); rit != it->second.rend(); ++rit) {
+    if (rit->sequence == sequence) return *rit;
+  }
+  return std::nullopt;
+}
+
+const std::vector<Checkpoint>& CheckpointStore::history(
+    const ObjectId& object) const {
+  auto it = checkpoints_.find(object);
+  return it == checkpoints_.end() ? kEmptyHistory : it->second;
+}
+
+std::size_t CheckpointStore::count(const ObjectId& object) const {
+  auto it = checkpoints_.find(object);
+  return it == checkpoints_.end() ? 0 : it->second.size();
+}
+
+void CheckpointStore::save(const std::string& path) const {
+  wire::Encoder enc;
+  enc.varint(checkpoints_.size());
+  for (const auto& [object, history] : checkpoints_) {
+    enc.str(object.str());
+    enc.varint(history.size());
+    for (const auto& cp : history) {
+      enc.u64(cp.sequence).blob(cp.tuple).blob(cp.state).u64(cp.time_micros);
+    }
+  }
+  const Bytes& data = enc.bytes();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) throw StoreError("cannot open for write: " + path);
+  if (std::fwrite(data.data(), 1, data.size(), file) != data.size()) {
+    std::fclose(file);
+    throw StoreError("short write: " + path);
+  }
+  std::fclose(file);
+}
+
+CheckpointStore CheckpointStore::load(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) throw StoreError("cannot open for read: " + path);
+  Bytes data;
+  std::uint8_t buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(file);
+
+  CheckpointStore out;
+  try {
+    wire::Decoder dec{data};
+    std::uint64_t objects = dec.varint();
+    for (std::uint64_t i = 0; i < objects; ++i) {
+      ObjectId object{dec.str()};
+      std::uint64_t entries = dec.varint();
+      auto& history = out.checkpoints_[object];
+      history.reserve(entries);
+      for (std::uint64_t j = 0; j < entries; ++j) {
+        Checkpoint cp;
+        cp.sequence = dec.u64();
+        cp.tuple = dec.blob();
+        cp.state = dec.blob();
+        cp.time_micros = dec.u64();
+        history.push_back(std::move(cp));
+      }
+    }
+    dec.expect_done();
+  } catch (const CodecError& e) {
+    throw StoreError("corrupt checkpoint store " + path + ": " + e.what());
+  }
+  return out;
+}
+
+}  // namespace b2b::store

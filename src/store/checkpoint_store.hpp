@@ -1,0 +1,56 @@
+// Checkpoint store for validated object state.
+//
+// §3: "Systematic check-pointing of object state upon installation of a
+// newly-validated state allows recovery in the event of general failures
+// and rollback in the event of invalidation." Each checkpoint couples the
+// opaque encoded state-identifier tuple with the state bytes it identifies;
+// the full history is retained so a party can roll back to any previously
+// agreed state and can demonstrate the provenance of its current state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace b2b::store {
+
+struct Checkpoint {
+  std::uint64_t sequence = 0;  // proposal sequence number of the state
+  Bytes tuple;                 // encoded state identifier tuple
+  Bytes state;                 // the validated object state itself
+  std::uint64_t time_micros = 0;
+
+  friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
+};
+
+class CheckpointStore {
+ public:
+  /// Record a newly validated state for `object`.
+  void put(const ObjectId& object, Checkpoint checkpoint);
+
+  /// Latest checkpoint, if any.
+  std::optional<Checkpoint> latest(const ObjectId& object) const;
+
+  /// Checkpoint with the given sequence number, if retained.
+  std::optional<Checkpoint> at_sequence(const ObjectId& object,
+                                        std::uint64_t sequence) const;
+
+  /// Full history (oldest first); empty if unknown object.
+  const std::vector<Checkpoint>& history(const ObjectId& object) const;
+
+  std::size_t count(const ObjectId& object) const;
+
+  /// Persist / restore all objects' histories.
+  void save(const std::string& path) const;
+  static CheckpointStore load(const std::string& path);
+
+ private:
+  std::unordered_map<ObjectId, std::vector<Checkpoint>> checkpoints_;
+};
+
+}  // namespace b2b::store

@@ -1,0 +1,68 @@
+// Append-only, hash-chained non-repudiation log.
+//
+// §3: "Evidence is stored systematically in local non-repudiation logs."
+// Every signed protocol message a party sends or receives — and every
+// violation it detects — is appended here. Records are hash-chained
+// (each record binds the hash of its predecessor) so local tampering with
+// history is detectable; verify_chain() replays the chain. The log can be
+// persisted to disk and reloaded, which is what makes crash recovery and
+// extra-protocol dispute resolution possible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace b2b::store {
+
+struct EvidenceRecord {
+  std::uint64_t index = 0;
+  crypto::Digest prev_hash{};  // all-zero for the first record
+  std::uint64_t time_micros = 0;
+  std::string kind;    // e.g. "propose.sent", "respond.recv", "violation"
+  Bytes payload;       // encoded message or diagnostic text
+  crypto::Digest record_hash{};  // hash over all preceding fields
+
+  Bytes encode() const;
+  static EvidenceRecord decode(BytesView data);  // throws CodecError
+
+  /// Recompute what record_hash should be for the current field values.
+  crypto::Digest compute_hash() const;
+
+  friend bool operator==(const EvidenceRecord&,
+                         const EvidenceRecord&) = default;
+};
+
+class EvidenceLog {
+ public:
+  EvidenceLog() = default;
+
+  /// Append a record; index/prev_hash/record_hash are filled in here.
+  const EvidenceRecord& append(std::string kind, Bytes payload,
+                               std::uint64_t time_micros);
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const EvidenceRecord& at(std::size_t index) const;
+  const std::vector<EvidenceRecord>& records() const { return records_; }
+
+  /// All records of a given kind (dispute resolution queries).
+  std::vector<const EvidenceRecord*> find_kind(const std::string& kind) const;
+
+  /// True iff every record's hash and back-link are intact.
+  bool verify_chain() const;
+
+  /// Persist to / load from a file (length-prefixed records).
+  /// Throws StoreError on I/O failure or corrupt data.
+  void save(const std::string& path) const;
+  static EvidenceLog load(const std::string& path);
+
+ private:
+  std::vector<EvidenceRecord> records_;
+};
+
+}  // namespace b2b::store

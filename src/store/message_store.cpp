@@ -1,0 +1,36 @@
+#include "store/message_store.hpp"
+
+namespace b2b::store {
+
+namespace {
+const std::vector<MessageStore::StoredMessage> kEmpty;
+}  // namespace
+
+void MessageStore::add(const std::string& run_label, StoredMessage message) {
+  runs_[run_label].push_back(std::move(message));
+}
+
+const std::vector<MessageStore::StoredMessage>& MessageStore::run(
+    const std::string& run_label) const {
+  auto it = runs_.find(run_label);
+  return it == runs_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> MessageStore::run_labels() const {
+  std::vector<std::string> out;
+  out.reserve(runs_.size());
+  for (const auto& [label, messages] : runs_) out.push_back(label);
+  return out;
+}
+
+std::size_t MessageStore::total_messages() const {
+  std::size_t total = 0;
+  for (const auto& [label, messages] : runs_) total += messages.size();
+  return total;
+}
+
+bool MessageStore::has_run(const std::string& run_label) const {
+  return runs_.contains(run_label);
+}
+
+}  // namespace b2b::store

@@ -1,0 +1,48 @@
+// Persistent store of raw protocol messages, keyed by protocol run.
+//
+// §4.2: "For non-repudiation, and recovery, protocol messages are held in
+// local persistent storage at sender and recipient." The coordinator files
+// every message it sends or receives here under the run's unique label
+// (the hex of the proposed tuple's random-number hash), so that after a
+// crash it can re-derive where each run stood, and during a dispute the
+// full transcript of a run can be produced.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace b2b::store {
+
+class MessageStore {
+ public:
+  struct StoredMessage {
+    std::string direction;  // "sent" or "received"
+    std::string kind;       // message kind, e.g. "propose", "respond"
+    std::string peer;       // the other party
+    Bytes payload;
+
+    friend bool operator==(const StoredMessage&,
+                           const StoredMessage&) = default;
+  };
+
+  /// File a message under `run_label`.
+  void add(const std::string& run_label, StoredMessage message);
+
+  /// All messages of a run, in arrival/send order.
+  const std::vector<StoredMessage>& run(const std::string& run_label) const;
+
+  /// Labels of all runs seen (sorted).
+  std::vector<std::string> run_labels() const;
+
+  std::size_t total_messages() const;
+  bool has_run(const std::string& run_label) const;
+
+ private:
+  std::map<std::string, std::vector<StoredMessage>> runs_;
+};
+
+}  // namespace b2b::store

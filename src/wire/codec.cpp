@@ -1,0 +1,151 @@
+#include "wire/codec.hpp"
+
+namespace b2b::wire {
+
+Encoder& Encoder::u8(std::uint8_t value) {
+  out_.push_back(value);
+  return *this;
+}
+
+Encoder& Encoder::u16(std::uint16_t value) {
+  out_.push_back(static_cast<std::uint8_t>(value));
+  out_.push_back(static_cast<std::uint8_t>(value >> 8));
+  return *this;
+}
+
+Encoder& Encoder::u32(std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  return *this;
+}
+
+Encoder& Encoder::u64(std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+  return *this;
+}
+
+Encoder& Encoder::varint(std::uint64_t value) {
+  while (value >= 0x80) {
+    out_.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out_.push_back(static_cast<std::uint8_t>(value));
+  return *this;
+}
+
+Encoder& Encoder::boolean(bool value) { return u8(value ? 1 : 0); }
+
+Encoder& Encoder::blob(BytesView data) {
+  varint(data.size());
+  return raw(data);
+}
+
+Encoder& Encoder::str(std::string_view value) {
+  varint(value.size());
+  out_.insert(out_.end(), value.begin(), value.end());
+  return *this;
+}
+
+Encoder& Encoder::raw(BytesView data) {
+  out_.insert(out_.end(), data.begin(), data.end());
+  return *this;
+}
+
+void Decoder::need(std::size_t n) const {
+  if (data_.size() - pos_ < n) {
+    throw CodecError("truncated input: need " + std::to_string(n) +
+                     " bytes, have " + std::to_string(data_.size() - pos_));
+  }
+}
+
+std::uint8_t Decoder::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Decoder::u16() {
+  need(2);
+  std::uint16_t value = static_cast<std::uint16_t>(
+      data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+  pos_ += 2;
+  return value;
+}
+
+std::uint32_t Decoder::u32() {
+  need(4);
+  std::uint32_t value = 0;
+  for (int i = 3; i >= 0; --i) {
+    value = (value << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 4;
+  return value;
+}
+
+std::uint64_t Decoder::u64() {
+  need(8);
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | data_[pos_ + static_cast<std::size_t>(i)];
+  }
+  pos_ += 8;
+  return value;
+}
+
+std::uint64_t Decoder::varint() {
+  std::uint64_t value = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    std::uint8_t byte = data_[pos_++];
+    if (shift == 63 && (byte & 0xfe) != 0) {
+      throw CodecError("varint overflows 64 bits");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical (overlong) encodings such as 0x80 0x00.
+      if (byte == 0 && shift != 0) {
+        throw CodecError("non-canonical varint");
+      }
+      return value;
+    }
+    shift += 7;
+    if (shift > 63) throw CodecError("varint too long");
+  }
+}
+
+bool Decoder::boolean() {
+  std::uint8_t value = u8();
+  if (value > 1) throw CodecError("invalid boolean value");
+  return value == 1;
+}
+
+Bytes Decoder::blob() {
+  std::uint64_t len = varint();
+  if (len > remaining()) throw CodecError("blob length exceeds input");
+  return raw(static_cast<std::size_t>(len));
+}
+
+std::string Decoder::str() {
+  Bytes data = blob();
+  return std::string(data.begin(), data.end());
+}
+
+Bytes Decoder::raw(std::size_t len) {
+  need(len);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+void Decoder::expect_done() const {
+  if (!done()) {
+    throw CodecError("trailing bytes after message: " +
+                     std::to_string(remaining()));
+  }
+}
+
+}  // namespace b2b::wire

@@ -1,0 +1,75 @@
+// Manual binary serialization (the "CORBA-era plumbing").
+//
+// The original prototype used Java RMI; in C++ we marshal every protocol
+// message by hand. Encoder/Decoder implement a small, self-describing-free
+// binary format: fixed-width little-endian integers, LEB128 varints, and
+// length-prefixed byte strings. Decoder is strict — any truncation,
+// overlong varint or trailing garbage raises CodecError, which the protocol
+// layer treats as evidence of a malformed (possibly malicious) message.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+
+namespace b2b::wire {
+
+class Encoder {
+ public:
+  Encoder() = default;
+
+  Encoder& u8(std::uint8_t value);
+  Encoder& u16(std::uint16_t value);
+  Encoder& u32(std::uint32_t value);
+  Encoder& u64(std::uint64_t value);
+  /// Unsigned LEB128.
+  Encoder& varint(std::uint64_t value);
+  Encoder& boolean(bool value);
+  /// Length-prefixed (varint) byte string.
+  Encoder& blob(BytesView data);
+  /// Length-prefixed string (same wire form as blob).
+  Encoder& str(std::string_view value);
+  /// Raw bytes with NO length prefix (for fixed-size fields like digests).
+  Encoder& raw(BytesView data);
+
+  const Bytes& bytes() const& { return out_; }
+  Bytes take() && { return std::move(out_); }
+  std::size_t size() const { return out_.size(); }
+
+ private:
+  Bytes out_;
+};
+
+class Decoder {
+ public:
+  /// The decoder keeps only a view; the caller must keep `data` alive.
+  explicit Decoder(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::uint64_t varint();
+  bool boolean();
+  Bytes blob();
+  std::string str();
+  /// Exactly `len` raw bytes.
+  Bytes raw(std::size_t len);
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+  /// Throws CodecError unless all input was consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace b2b::wire

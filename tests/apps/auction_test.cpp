@@ -1,0 +1,228 @@
+// Distributed auction (scenario 3 of §2, experiment E5): bid validation by
+// all houses, monotone bidding, seller-only closing, and the "same chance
+// irrespective of server" property.
+#include "apps/auction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "b2b/federation.hpp"
+
+namespace b2b::apps {
+namespace {
+
+using core::RunHandle;
+using core::RunResult;
+
+AuctionState open_auction() {
+  AuctionState s;
+  s.item = "painting";
+  s.reserve_cents = 10'000;
+  return s;
+}
+
+// --- rule units -----------------------------------------------------------------
+
+TEST(AuctionRulesTest, FirstBidMustMeetReserve) {
+  AuctionState current = open_auction();
+  AuctionState proposed = current;
+  proposed.highest_bid_cents = 9'999;
+  proposed.highest_bidder = "client1";
+  proposed.bidder_house = "house1";
+  proposed.bid_count = 1;
+  auto veto = auction_rule_violation(current, proposed, PartyId{"house1"},
+                                     PartyId{"house1"});
+  ASSERT_TRUE(veto.has_value());
+  EXPECT_NE(veto->find("reserve"), std::string::npos);
+
+  proposed.highest_bid_cents = 10'000;
+  EXPECT_FALSE(auction_rule_violation(current, proposed, PartyId{"house1"},
+                                      PartyId{"house1"})
+                   .has_value());
+}
+
+TEST(AuctionRulesTest, BidsMustStrictlyIncrease) {
+  AuctionState current = open_auction();
+  current.highest_bid_cents = 20'000;
+  current.highest_bidder = "client1";
+  current.bidder_house = "house1";
+  current.bid_count = 1;
+
+  AuctionState proposed = current;
+  proposed.highest_bid_cents = 20'000;  // equal, not greater
+  proposed.highest_bidder = "client2";
+  proposed.bidder_house = "house2";
+  proposed.bid_count = 2;
+  EXPECT_TRUE(auction_rule_violation(current, proposed, PartyId{"house2"},
+                                     PartyId{"house1"})
+                  .has_value());
+  proposed.highest_bid_cents = 20'001;
+  EXPECT_FALSE(auction_rule_violation(current, proposed, PartyId{"house2"},
+                                      PartyId{"house1"})
+                   .has_value());
+}
+
+TEST(AuctionRulesTest, HouseCannotBidThroughAnotherHouse) {
+  AuctionState current = open_auction();
+  AuctionState proposed = current;
+  proposed.highest_bid_cents = 15'000;
+  proposed.highest_bidder = "client1";
+  proposed.bidder_house = "house2";  // claims house2 relayed it
+  proposed.bid_count = 1;
+  auto veto = auction_rule_violation(current, proposed, PartyId{"house1"},
+                                     PartyId{"house1"});
+  ASSERT_TRUE(veto.has_value());
+}
+
+TEST(AuctionRulesTest, OnlySellerMayClose) {
+  AuctionState current = open_auction();
+  AuctionState proposed = current;
+  proposed.closed = true;
+  EXPECT_TRUE(auction_rule_violation(current, proposed, PartyId{"house2"},
+                                     PartyId{"house1"})
+                  .has_value());
+  EXPECT_FALSE(auction_rule_violation(current, proposed, PartyId{"house1"},
+                                      PartyId{"house1"})
+                   .has_value());
+}
+
+TEST(AuctionRulesTest, ClosingMayNotSmuggleBidChanges) {
+  AuctionState current = open_auction();
+  AuctionState proposed = current;
+  proposed.closed = true;
+  proposed.highest_bid_cents = 1;
+  proposed.bid_count = 1;
+  proposed.highest_bidder = "crony";
+  proposed.bidder_house = "house1";
+  EXPECT_TRUE(auction_rule_violation(current, proposed, PartyId{"house1"},
+                                     PartyId{"house1"})
+                  .has_value());
+}
+
+TEST(AuctionRulesTest, NoChangesAfterClose) {
+  AuctionState current = open_auction();
+  current.closed = true;
+  AuctionState proposed = current;
+  proposed.highest_bid_cents = 99'000;
+  proposed.highest_bidder = "late";
+  proposed.bidder_house = "house2";
+  proposed.bid_count = 1;
+  EXPECT_TRUE(auction_rule_violation(current, proposed, PartyId{"house2"},
+                                     PartyId{"house1"})
+                  .has_value());
+}
+
+TEST(AuctionRulesTest, LotIsImmutable) {
+  AuctionState current = open_auction();
+  AuctionState proposed = current;
+  proposed.item = "different painting";
+  EXPECT_TRUE(auction_rule_violation(current, proposed, PartyId{"house1"},
+                                     PartyId{"house1"})
+                  .has_value());
+  proposed = current;
+  proposed.reserve_cents = 1;
+  EXPECT_TRUE(auction_rule_violation(current, proposed, PartyId{"house1"},
+                                     PartyId{"house1"})
+                  .has_value());
+}
+
+TEST(AuctionStateTest, EncodeDecodeRoundTrip) {
+  AuctionState s = open_auction();
+  s.highest_bid_cents = 42'000;
+  s.highest_bidder = "client9";
+  s.bidder_house = "house3";
+  s.bid_count = 7;
+  EXPECT_EQ(AuctionState::decode(s.encode()), s);
+}
+
+// --- end-to-end across three auction houses --------------------------------------
+
+const ObjectId kLot{"lot-17"};
+
+struct AuctionFixture {
+  core::Federation fed{{"house1", "house2", "house3"}};
+  AuctionObject h1{PartyId{"house1"}};
+  AuctionObject h2{PartyId{"house1"}};
+  AuctionObject h3{PartyId{"house1"}};
+
+  AuctionFixture() {
+    fed.register_object("house1", kLot, h1);
+    fed.register_object("house2", kLot, h2);
+    fed.register_object("house3", kLot, h3);
+    fed.bootstrap_object(kLot, {"house1", "house2", "house3"},
+                         open_auction().encode());
+  }
+
+  AuctionObject& obj(const std::string& house) {
+    if (house == "house1") return h1;
+    if (house == "house2") return h2;
+    return h3;
+  }
+
+  RunHandle bid(const std::string& house, const std::string& client,
+                std::uint64_t amount) {
+    obj(house).place_bid(PartyId{house}, client, amount);
+    RunHandle h = fed.coordinator(house).propagate_new_state(
+        kLot, obj(house).get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    return h;
+  }
+};
+
+TEST(AuctionE2E, BidsThroughDifferentHousesInterleave) {
+  AuctionFixture t;
+  EXPECT_EQ(t.bid("house2", "alice", 12'000)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.bid("house3", "bob", 15'000)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.bid("house1", "carol", 20'000)->outcome,
+            RunResult::Outcome::kAgreed);
+  // Every house sees the same winner-so-far.
+  for (const char* house : {"house1", "house2", "house3"}) {
+    EXPECT_EQ(t.obj(house).state().highest_bidder, "carol") << house;
+    EXPECT_EQ(t.obj(house).state().highest_bid_cents, 20'000u) << house;
+    EXPECT_EQ(t.obj(house).state().bid_count, 3u) << house;
+  }
+}
+
+TEST(AuctionE2E, LowballBidIsVetoedByOtherHouses) {
+  AuctionFixture t;
+  ASSERT_EQ(t.bid("house2", "alice", 12'000)->outcome,
+            RunResult::Outcome::kAgreed);
+  RunHandle low = t.bid("house3", "bob", 11'000);
+  EXPECT_EQ(low->outcome, RunResult::Outcome::kVetoed);
+  // house3's replica rolled back: alice still leads everywhere.
+  EXPECT_EQ(t.obj("house3").state().highest_bidder, "alice");
+}
+
+TEST(AuctionE2E, SellerClosesAndLateBidsFail) {
+  AuctionFixture t;
+  ASSERT_EQ(t.bid("house2", "alice", 12'000)->outcome,
+            RunResult::Outcome::kAgreed);
+  t.obj("house1").close();
+  RunHandle close_h = t.fed.coordinator("house1").propagate_new_state(
+      kLot, t.obj("house1").get_state());
+  ASSERT_TRUE(t.fed.run_until_done(close_h));
+  EXPECT_EQ(close_h->outcome, RunResult::Outcome::kAgreed);
+  t.fed.settle();
+
+  RunHandle late = t.bid("house2", "dave", 50'000);
+  EXPECT_EQ(late->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_EQ(t.obj("house2").state().highest_bidder, "alice");
+  EXPECT_TRUE(t.obj("house2").state().closed);
+}
+
+TEST(AuctionE2E, NonSellerCannotClose) {
+  AuctionFixture t;
+  t.obj("house2").close();
+  RunHandle h = t.fed.coordinator("house2").propagate_new_state(
+      kLot, t.obj("house2").get_state());
+  ASSERT_TRUE(t.fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+  t.fed.settle();
+  EXPECT_FALSE(t.obj("house1").state().closed);
+  EXPECT_FALSE(t.obj("house2").state().closed);  // rolled back
+}
+
+}  // namespace
+}  // namespace b2b::apps

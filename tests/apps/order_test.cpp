@@ -1,0 +1,355 @@
+// Order processing: document/ops units, asymmetric role rules, the paper's
+// Figure 7 scenario end-to-end, the four-party variant (E3/E4), and the
+// update-variant coordination.
+#include "apps/order.hpp"
+
+#include <gtest/gtest.h>
+
+#include "b2b/federation.hpp"
+#include "common/error.hpp"
+
+namespace b2b::apps {
+namespace {
+
+using core::RunHandle;
+using core::RunResult;
+
+// --- OrderDocument units ---------------------------------------------------------
+
+TEST(OrderDocumentTest, AddFindRemove) {
+  OrderDocument doc;
+  doc.add_line("widget1", 2);
+  ASSERT_NE(doc.find("widget1"), nullptr);
+  EXPECT_EQ(doc.find("widget1")->quantity, 2u);
+  EXPECT_EQ(doc.find("nothing"), nullptr);
+  doc.remove_line("widget1");
+  EXPECT_EQ(doc.find("widget1"), nullptr);
+}
+
+TEST(OrderDocumentTest, RejectsDuplicatesAndZeroQuantity) {
+  OrderDocument doc;
+  doc.add_line("w", 1);
+  EXPECT_THROW(doc.add_line("w", 2), Error);
+  EXPECT_THROW(doc.add_line("x", 0), Error);
+  EXPECT_THROW(doc.remove_line("absent"), Error);
+}
+
+TEST(OrderDocumentTest, EncodeDecodeRoundTrip) {
+  OrderDocument doc;
+  doc.add_line("widget1", 2);
+  doc.find("widget1")->unit_price_cents = 1000;
+  doc.add_line("widget2", 10);
+  doc.find("widget2")->approved = true;
+  doc.find("widget2")->delivery_days = 5;
+  EXPECT_EQ(OrderDocument::decode(doc.encode()), doc);
+}
+
+TEST(OrderDocumentTest, DecodeRejectsDuplicateItems) {
+  OrderDocument doc;
+  doc.add_line("w", 1);
+  Bytes raw = doc.encode();
+  // Craft a two-line doc with the same item by doubling the line.
+  wire::Encoder enc;
+  enc.varint(2);
+  wire::Decoder dec{raw};
+  dec.varint();
+  Bytes line = dec.raw(dec.remaining());
+  enc.raw(line).raw(line);
+  EXPECT_THROW(OrderDocument::decode(enc.bytes()), CodecError);
+}
+
+// --- ops / diff --------------------------------------------------------------------
+
+TEST(OrderOpsTest, DiffAndApplyRoundTrip) {
+  OrderDocument from;
+  from.add_line("keep", 1);
+  from.add_line("drop", 2);
+  from.add_line("reprice", 3);
+
+  OrderDocument to;
+  to.add_line("keep", 1);
+  to.add_line("reprice", 3);
+  to.find("reprice")->unit_price_cents = 999;
+  to.add_line("fresh", 7);
+
+  std::vector<OrderOp> ops = diff_orders(from, to);
+  OrderDocument applied = from;
+  apply_order_ops(applied, ops);
+  EXPECT_EQ(applied, to);
+}
+
+TEST(OrderOpsTest, EncodeDecodeRoundTrip) {
+  std::vector<OrderOp> ops{
+      {OrderOp::Kind::kAddLine, "a", 3},
+      {OrderOp::Kind::kSetPrice, "a", 12345},
+      {OrderOp::Kind::kApprove, "a", 0},
+      {OrderOp::Kind::kRemoveLine, "b", 0},
+  };
+  EXPECT_EQ(decode_order_ops(encode_order_ops(ops)), ops);
+}
+
+TEST(OrderOpsTest, InapplicableOpsThrow) {
+  OrderDocument doc;
+  EXPECT_THROW(
+      apply_order_ops(doc, {{OrderOp::Kind::kSetPrice, "missing", 1}}), Error);
+  EXPECT_THROW(
+      apply_order_ops(doc, {{OrderOp::Kind::kRemoveLine, "missing", 0}}),
+      Error);
+  doc.add_line("x", 1);
+  EXPECT_THROW(
+      apply_order_ops(doc, {{OrderOp::Kind::kSetQuantity, "x", 0}}), Error);
+}
+
+// --- role rules ---------------------------------------------------------------------
+
+TEST(OrderRulesTest, CustomerMayAddButNotPrice) {
+  OrderDocument current;
+  OrderDocument proposed;
+  proposed.add_line("w", 2);
+  EXPECT_FALSE(
+      order_rule_violation(current, proposed, OrderRole::kCustomer).has_value());
+
+  proposed.find("w")->unit_price_cents = 100;  // customer self-pricing
+  EXPECT_TRUE(
+      order_rule_violation(current, proposed, OrderRole::kCustomer).has_value());
+}
+
+TEST(OrderRulesTest, SupplierMayPriceButNotAmend) {
+  OrderDocument current;
+  current.add_line("w", 2);
+  OrderDocument proposed = current;
+  proposed.find("w")->unit_price_cents = 1000;
+  EXPECT_FALSE(
+      order_rule_violation(current, proposed, OrderRole::kSupplier).has_value());
+
+  proposed.find("w")->quantity = 99;  // supplier changing quantity
+  auto veto = order_rule_violation(current, proposed, OrderRole::kSupplier);
+  ASSERT_TRUE(veto.has_value());
+  EXPECT_NE(veto->find("customer"), std::string::npos);
+}
+
+TEST(OrderRulesTest, SupplierMayNotAddOrRemove) {
+  OrderDocument current;
+  current.add_line("w", 2);
+  OrderDocument added = current;
+  added.add_line("extra", 1);
+  EXPECT_TRUE(
+      order_rule_violation(current, added, OrderRole::kSupplier).has_value());
+  OrderDocument removed;
+  EXPECT_TRUE(
+      order_rule_violation(current, removed, OrderRole::kSupplier).has_value());
+}
+
+TEST(OrderRulesTest, ApproverOnlyTogglesApproval) {
+  OrderDocument current;
+  current.add_line("w", 2);
+  OrderDocument proposed = current;
+  proposed.find("w")->approved = true;
+  EXPECT_FALSE(
+      order_rule_violation(current, proposed, OrderRole::kApprover).has_value());
+  EXPECT_TRUE(
+      order_rule_violation(current, proposed, OrderRole::kCustomer).has_value());
+  // Approval is one-way.
+  OrderDocument revoked = current;
+  EXPECT_TRUE(order_rule_violation(proposed, revoked, OrderRole::kApprover)
+                  .has_value());
+}
+
+TEST(OrderRulesTest, DispatcherNeedsApprovedItems) {
+  OrderDocument current;
+  current.add_line("w", 2);
+  OrderDocument proposed = current;
+  proposed.find("w")->delivery_days = 3;
+  auto veto = order_rule_violation(current, proposed, OrderRole::kDispatcher);
+  ASSERT_TRUE(veto.has_value());
+  EXPECT_NE(veto->find("approved"), std::string::npos);
+
+  current.find("w")->approved = true;
+  proposed = current;
+  proposed.find("w")->delivery_days = 3;
+  EXPECT_FALSE(order_rule_violation(current, proposed, OrderRole::kDispatcher)
+                   .has_value());
+}
+
+TEST(OrderRulesTest, ObserverMayChangeNothing) {
+  OrderDocument current;
+  current.add_line("w", 2);
+  OrderDocument proposed = current;
+  proposed.find("w")->quantity = 3;
+  EXPECT_TRUE(
+      order_rule_violation(current, proposed, OrderRole::kObserver).has_value());
+  EXPECT_FALSE(
+      order_rule_violation(current, current, OrderRole::kObserver).has_value());
+}
+
+// --- Figure 7, end-to-end (experiment E3) --------------------------------------------
+
+const ObjectId kOrder{"order"};
+
+std::map<PartyId, OrderRole> two_party_roles() {
+  return {{PartyId{"customer"}, OrderRole::kCustomer},
+          {PartyId{"supplier"}, OrderRole::kSupplier}};
+}
+
+struct OrderFixture {
+  core::Federation fed{{"customer", "supplier"}};
+  OrderObject customer_obj{two_party_roles()};
+  OrderObject supplier_obj{two_party_roles()};
+
+  OrderFixture() {
+    fed.register_object("customer", kOrder, customer_obj);
+    fed.register_object("supplier", kOrder, supplier_obj);
+    fed.bootstrap_object(kOrder, {"customer", "supplier"},
+                         OrderDocument{}.encode());
+  }
+
+  RunHandle coordinate(const std::string& who) {
+    OrderObject& obj = who == "customer" ? customer_obj : supplier_obj;
+    RunHandle h =
+        fed.coordinator(who).propagate_new_state(kOrder, obj.get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    return h;
+  }
+};
+
+TEST(OrderFig7, PaperScenarioReplaysExactly) {
+  OrderFixture t;
+
+  // "The customer orders 2 widget1s. This is a valid entry."
+  t.customer_obj.doc().add_line("widget1", 2);
+  EXPECT_EQ(t.coordinate("customer")->outcome, RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.supplier_obj.doc().find("widget1")->quantity, 2u);
+
+  // "The supplier then prices widget1 at 10 per unit."
+  t.supplier_obj.doc().find("widget1")->unit_price_cents = 1000;
+  EXPECT_EQ(t.coordinate("supplier")->outcome, RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.customer_obj.doc().find("widget1")->unit_price_cents, 1000u);
+
+  // "The customer then amends the order for the supply of 10 widget2s."
+  t.customer_obj.doc().add_line("widget2", 10);
+  EXPECT_EQ(t.coordinate("customer")->outcome, RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.supplier_obj.doc().find("widget2")->quantity, 10u);
+
+  OrderDocument before_cheat = t.customer_obj.doc();
+
+  // "Then the supplier attempts to both price widget2 (a valid action) and
+  // change the quantity required (an invalid action)."
+  t.supplier_obj.doc().find("widget2")->unit_price_cents = 500;
+  t.supplier_obj.doc().find("widget2")->quantity = 100;
+  RunHandle cheat = t.coordinate("supplier");
+
+  // "This update to the order is rejected and is not reflected in the
+  // customer's copy."
+  EXPECT_EQ(cheat->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_EQ(t.customer_obj.doc(), before_cheat);
+  EXPECT_EQ(t.supplier_obj.doc(), before_cheat);  // rolled back
+}
+
+TEST(OrderFig7, CustomerCannotSetPrices) {
+  OrderFixture t;
+  t.customer_obj.doc().add_line("widget1", 2);
+  ASSERT_EQ(t.coordinate("customer")->outcome, RunResult::Outcome::kAgreed);
+  t.customer_obj.doc().find("widget1")->unit_price_cents = 1;  // cheeky
+  RunHandle h = t.coordinate("customer");
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_NE(h->diagnostic.find("supplier"), std::string::npos);
+}
+
+TEST(OrderFig7, UpdateVariantCarriesOnlyTheDelta) {
+  OrderFixture t;
+  t.customer_obj.doc().add_line("widget1", 2);
+  core::Controller ctl = t.fed.make_controller("customer", kOrder);
+  // Use the controller's update mode: the wire carries ops, not the doc.
+  RunHandle h = t.fed.coordinator("customer").propagate_update(
+      kOrder, t.customer_obj.get_update(), t.customer_obj.get_state());
+  ASSERT_TRUE(t.fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  t.fed.settle();
+  ASSERT_NE(t.supplier_obj.doc().find("widget1"), nullptr);
+  EXPECT_EQ(t.supplier_obj.doc().find("widget1")->quantity, 2u);
+}
+
+// --- four-party variant (experiment E4) ----------------------------------------------
+
+std::map<PartyId, OrderRole> four_party_roles() {
+  return {{PartyId{"customer"}, OrderRole::kCustomer},
+          {PartyId{"supplier"}, OrderRole::kSupplier},
+          {PartyId{"approver"}, OrderRole::kApprover},
+          {PartyId{"dispatcher"}, OrderRole::kDispatcher}};
+}
+
+struct MultiOrderFixture {
+  core::Federation fed{{"customer", "supplier", "approver", "dispatcher"}};
+  std::map<std::string, OrderObject> objects;
+
+  MultiOrderFixture() {
+    for (const char* name :
+         {"customer", "supplier", "approver", "dispatcher"}) {
+      auto [it, inserted] = objects.emplace(name, four_party_roles());
+      fed.register_object(name, kOrder, it->second);
+    }
+    fed.bootstrap_object(kOrder,
+                         {"customer", "supplier", "approver", "dispatcher"},
+                         OrderDocument{}.encode());
+  }
+
+  RunHandle coordinate(const std::string& who) {
+    RunHandle h = fed.coordinator(who).propagate_new_state(
+        kOrder, objects.at(who).get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    return h;
+  }
+};
+
+TEST(OrderMultiParty, FullProcurementFlow) {
+  MultiOrderFixture t;
+  // Customer orders.
+  t.objects.at("customer").doc().add_line("server-rack", 4);
+  ASSERT_EQ(t.coordinate("customer")->outcome, RunResult::Outcome::kAgreed);
+  // Supplier prices.
+  t.objects.at("supplier").doc().find("server-rack")->unit_price_cents =
+      250'000;
+  ASSERT_EQ(t.coordinate("supplier")->outcome, RunResult::Outcome::kAgreed);
+  // Approver sanctions.
+  t.objects.at("approver").doc().find("server-rack")->approved = true;
+  ASSERT_EQ(t.coordinate("approver")->outcome, RunResult::Outcome::kAgreed);
+  // Dispatcher commits to delivery terms.
+  t.objects.at("dispatcher").doc().find("server-rack")->delivery_days = 14;
+  ASSERT_EQ(t.coordinate("dispatcher")->outcome, RunResult::Outcome::kAgreed);
+
+  for (const char* name : {"customer", "supplier", "approver", "dispatcher"}) {
+    const OrderLine* line = t.objects.at(name).doc().find("server-rack");
+    ASSERT_NE(line, nullptr) << name;
+    EXPECT_EQ(line->quantity, 4u);
+    EXPECT_EQ(line->unit_price_cents, 250'000u);
+    EXPECT_TRUE(line->approved);
+    EXPECT_EQ(line->delivery_days, 14u);
+  }
+}
+
+TEST(OrderMultiParty, DispatcherCannotPreemptApproval) {
+  MultiOrderFixture t;
+  t.objects.at("customer").doc().add_line("gpu", 8);
+  ASSERT_EQ(t.coordinate("customer")->outcome, RunResult::Outcome::kAgreed);
+  // Dispatcher tries to set delivery before approval.
+  t.objects.at("dispatcher").doc().find("gpu")->delivery_days = 2;
+  RunHandle h = t.coordinate("dispatcher");
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_EQ(t.objects.at("dispatcher").doc().find("gpu")->delivery_days, 0u);
+}
+
+TEST(OrderMultiParty, ApproverCannotChangeQuantities) {
+  MultiOrderFixture t;
+  t.objects.at("customer").doc().add_line("gpu", 8);
+  ASSERT_EQ(t.coordinate("customer")->outcome, RunResult::Outcome::kAgreed);
+  auto& approver_doc = t.objects.at("approver").doc();
+  approver_doc.find("gpu")->approved = true;
+  approver_doc.find("gpu")->quantity = 4;  // sneaky cut
+  RunHandle h = t.coordinate("approver");
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+}
+
+}  // namespace
+}  // namespace b2b::apps

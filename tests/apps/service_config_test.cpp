@@ -1,0 +1,167 @@
+// OSS dispersal (§2 scenario 2): rule units and end-to-end sharing of a
+// service configuration between provider and customer.
+#include "apps/service_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "b2b/federation.hpp"
+
+namespace b2b::apps {
+namespace {
+
+using core::RunHandle;
+using core::RunResult;
+
+ServiceConfig base_config() {
+  ServiceConfig c;
+  c.max_bandwidth_mbps = 100;
+  c.max_qos_class = 3;
+  c.maintenance_window = "Sun 02:00-04:00";
+  c.bandwidth_mbps = 10;
+  c.qos_class = 1;
+  c.fault_contact = "noc@customer.example";
+  return c;
+}
+
+// --- rule units -----------------------------------------------------------------
+
+TEST(OssRulesTest, CustomerTunesWithinEnvelope) {
+  ServiceConfig current = base_config();
+  ServiceConfig proposed = current;
+  proposed.bandwidth_mbps = 50;
+  proposed.qos_class = 3;
+  EXPECT_FALSE(
+      oss_rule_violation(current, proposed, OssRole::kCustomer).has_value());
+}
+
+TEST(OssRulesTest, CustomerCannotExceedEnvelope) {
+  ServiceConfig current = base_config();
+  ServiceConfig proposed = current;
+  proposed.bandwidth_mbps = 101;
+  auto veto = oss_rule_violation(current, proposed, OssRole::kCustomer);
+  ASSERT_TRUE(veto.has_value());
+  EXPECT_NE(veto->find("envelope"), std::string::npos);
+
+  proposed = current;
+  proposed.qos_class = 4;
+  EXPECT_TRUE(
+      oss_rule_violation(current, proposed, OssRole::kCustomer).has_value());
+}
+
+TEST(OssRulesTest, CustomerCannotTouchProviderFields) {
+  ServiceConfig current = base_config();
+  ServiceConfig proposed = current;
+  proposed.max_bandwidth_mbps = 1000;  // self-upgrade attempt
+  EXPECT_TRUE(
+      oss_rule_violation(current, proposed, OssRole::kCustomer).has_value());
+  proposed = current;
+  proposed.maintenance_window = "never";
+  EXPECT_TRUE(
+      oss_rule_violation(current, proposed, OssRole::kCustomer).has_value());
+}
+
+TEST(OssRulesTest, ProviderOwnsEnvelopeButNotSelection) {
+  ServiceConfig current = base_config();
+  ServiceConfig proposed = current;
+  proposed.max_bandwidth_mbps = 200;
+  proposed.maintenance_window = "Sat 01:00-03:00";
+  EXPECT_FALSE(
+      oss_rule_violation(current, proposed, OssRole::kProvider).has_value());
+
+  proposed = current;
+  proposed.bandwidth_mbps = 1;  // throttling the customer's selection
+  EXPECT_TRUE(
+      oss_rule_violation(current, proposed, OssRole::kProvider).has_value());
+}
+
+TEST(OssRulesTest, ProviderCannotShrinkEnvelopeBelowUsage) {
+  ServiceConfig current = base_config();
+  current.bandwidth_mbps = 80;
+  ServiceConfig proposed = current;
+  proposed.max_bandwidth_mbps = 50;  // below the customer's current 80
+  auto veto = oss_rule_violation(current, proposed, OssRole::kProvider);
+  ASSERT_TRUE(veto.has_value());
+  EXPECT_NE(veto->find("shrink"), std::string::npos);
+}
+
+TEST(OssRulesTest, EnabledServiceNeedsBandwidth) {
+  ServiceConfig current = base_config();
+  ServiceConfig proposed = current;
+  proposed.bandwidth_mbps = 0;
+  EXPECT_TRUE(
+      oss_rule_violation(current, proposed, OssRole::kCustomer).has_value());
+  proposed.service_enabled = false;  // disabling with 0 bandwidth is fine
+  EXPECT_FALSE(
+      oss_rule_violation(current, proposed, OssRole::kCustomer).has_value());
+}
+
+TEST(OssConfigTest, EncodeDecodeRoundTrip) {
+  ServiceConfig c = base_config();
+  EXPECT_EQ(ServiceConfig::decode(c.encode()), c);
+}
+
+// --- end-to-end -------------------------------------------------------------------
+
+const ObjectId kSvc{"service-config"};
+
+struct OssFixture {
+  core::Federation fed{{"provider", "customer"}};
+  ServiceConfigObject provider_obj{PartyId{"provider"}, PartyId{"customer"}};
+  ServiceConfigObject customer_obj{PartyId{"provider"}, PartyId{"customer"}};
+
+  OssFixture() {
+    fed.register_object("provider", kSvc, provider_obj);
+    fed.register_object("customer", kSvc, customer_obj);
+    fed.bootstrap_object(kSvc, {"provider", "customer"},
+                         base_config().encode());
+  }
+
+  RunHandle coordinate(const std::string& who, ServiceConfigObject& obj) {
+    RunHandle h =
+        fed.coordinator(who).propagate_new_state(kSvc, obj.get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    return h;
+  }
+};
+
+TEST(OssDispersal, CustomerSelfServiceWithinEnvelope) {
+  OssFixture t;
+  t.customer_obj.config().bandwidth_mbps = 75;
+  t.customer_obj.config().qos_class = 2;
+  EXPECT_EQ(t.coordinate("customer", t.customer_obj)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.provider_obj.config().bandwidth_mbps, 75u);
+}
+
+TEST(OssDispersal, CustomerSelfUpgradeIsVetoedByProvider) {
+  OssFixture t;
+  t.customer_obj.config().max_bandwidth_mbps = 10'000;
+  t.customer_obj.config().bandwidth_mbps = 9'000;
+  RunHandle h = t.coordinate("customer", t.customer_obj);
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_EQ(t.customer_obj.config(), base_config());  // rolled back
+}
+
+TEST(OssDispersal, ProviderUpgradesEnvelopeThenCustomerUsesIt) {
+  OssFixture t;
+  t.provider_obj.config().max_bandwidth_mbps = 500;
+  ASSERT_EQ(t.coordinate("provider", t.provider_obj)->outcome,
+            RunResult::Outcome::kAgreed);
+  t.customer_obj.config().bandwidth_mbps = 400;
+  EXPECT_EQ(t.coordinate("customer", t.customer_obj)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.provider_obj.config().bandwidth_mbps, 400u);
+}
+
+TEST(OssDispersal, ProviderCannotThrottleCustomer) {
+  OssFixture t;
+  t.provider_obj.config().bandwidth_mbps = 1;
+  RunHandle h = t.coordinate("provider", t.provider_obj);
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_NE(h->diagnostic.find("belongs to the customer"), std::string::npos);
+  EXPECT_EQ(t.customer_obj.config().bandwidth_mbps, 10u);
+}
+
+}  // namespace
+}  // namespace b2b::apps

@@ -1,0 +1,300 @@
+// Tic-Tac-Toe: board rules in isolation, then the paper's Figure 5
+// scenario end-to-end (including the cheat attempt) and the Figure 6 TTP
+// variant.
+#include "apps/tictactoe.hpp"
+
+#include <gtest/gtest.h>
+
+#include "b2b/federation.hpp"
+#include "common/error.hpp"
+
+namespace b2b::apps {
+namespace {
+
+using core::RunHandle;
+using core::RunResult;
+
+// --- Board rules ---------------------------------------------------------------
+
+TEST(BoardTest, StartsEmptyCrossToPlay) {
+  Board board;
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_EQ(board.at(r, c), Mark::kEmpty);
+  }
+  EXPECT_EQ(board.next_turn(), Mark::kCross);
+  EXPECT_EQ(board.status(), GameStatus::kInProgress);
+}
+
+TEST(BoardTest, PlayAlternatesTurns) {
+  Board board;
+  EXPECT_TRUE(board.play(1, 1, Mark::kCross));
+  EXPECT_EQ(board.next_turn(), Mark::kNought);
+  EXPECT_FALSE(board.play(0, 0, Mark::kCross));  // out of turn
+  EXPECT_TRUE(board.play(0, 0, Mark::kNought));
+}
+
+TEST(BoardTest, CannotClaimOccupiedSquare) {
+  Board board;
+  board.play(1, 1, Mark::kCross);
+  EXPECT_FALSE(board.play(1, 1, Mark::kNought));
+}
+
+TEST(BoardTest, DetectsRowColumnDiagonalWins) {
+  {
+    Board b;  // top row for cross
+    b.play(0, 0, Mark::kCross);
+    b.play(1, 0, Mark::kNought);
+    b.play(0, 1, Mark::kCross);
+    b.play(1, 1, Mark::kNought);
+    b.play(0, 2, Mark::kCross);
+    EXPECT_EQ(b.status(), GameStatus::kCrossWins);
+  }
+  {
+    Board b;  // left column for nought
+    b.play(2, 2, Mark::kCross);
+    b.play(0, 0, Mark::kNought);
+    b.play(2, 1, Mark::kCross);
+    b.play(1, 0, Mark::kNought);
+    b.play(1, 2, Mark::kCross);
+    b.play(2, 0, Mark::kNought);
+    EXPECT_EQ(b.status(), GameStatus::kNoughtWins);
+  }
+  {
+    Board b;  // main diagonal for cross
+    b.play(0, 0, Mark::kCross);
+    b.play(0, 1, Mark::kNought);
+    b.play(1, 1, Mark::kCross);
+    b.play(0, 2, Mark::kNought);
+    b.play(2, 2, Mark::kCross);
+    EXPECT_EQ(b.status(), GameStatus::kCrossWins);
+  }
+}
+
+TEST(BoardTest, DrawAfterNineMoves) {
+  Board b;
+  // X O X / X O O / O X X — no line.
+  b.play(0, 0, Mark::kCross);
+  b.play(0, 1, Mark::kNought);
+  b.play(0, 2, Mark::kCross);
+  b.play(1, 1, Mark::kNought);
+  b.play(1, 0, Mark::kCross);
+  b.play(1, 2, Mark::kNought);
+  b.play(2, 1, Mark::kCross);
+  b.play(2, 0, Mark::kNought);
+  b.play(2, 2, Mark::kCross);
+  EXPECT_EQ(b.status(), GameStatus::kDraw);
+}
+
+TEST(BoardTest, NoPlayAfterGameOver) {
+  Board b;
+  b.play(0, 0, Mark::kCross);
+  b.play(1, 0, Mark::kNought);
+  b.play(0, 1, Mark::kCross);
+  b.play(1, 1, Mark::kNought);
+  b.play(0, 2, Mark::kCross);  // cross wins
+  EXPECT_FALSE(b.play(2, 2, Mark::kNought));
+}
+
+TEST(BoardTest, EncodeDecodeRoundTrip) {
+  Board b;
+  b.play(1, 1, Mark::kCross);
+  b.play(0, 2, Mark::kNought);
+  EXPECT_EQ(Board::decode(b.encode()), b);
+}
+
+TEST(BoardTest, DecodeRejectsInvalidCells) {
+  Board b;
+  Bytes data = b.encode();
+  data[0] = 9;
+  EXPECT_THROW(Board::decode(data), CodecError);
+}
+
+TEST(BoardTest, OutOfRangeCellThrows) {
+  Board b;
+  EXPECT_THROW(b.at(3, 0), std::out_of_range);
+  EXPECT_THROW(b.at(0, -1), std::out_of_range);
+}
+
+TEST(BoardTest, RenderShowsMarks) {
+  Board b;
+  b.play(1, 1, Mark::kCross);
+  EXPECT_EQ(b.render(), ". . .\n. X .\n. . .\n");
+}
+
+// --- transition rules (validation core) -------------------------------------------
+
+TEST(TransitionTest, LegalMoveHasNoViolation) {
+  Board before;
+  Board after = before;
+  after.play(1, 1, Mark::kCross);
+  EXPECT_FALSE(illegal_transition(before, after, Mark::kCross).has_value());
+}
+
+TEST(TransitionTest, MarkingWithOpponentsSymbolRejected) {
+  // The Figure 5 cheat in pure form: Cross writes a Nought.
+  Board before;
+  Board after = before;
+  after.set(2, 1, Mark::kNought);
+  // Fake the bookkeeping a cheater would fake:
+  Board crafted = Board::decode([&] {
+    Bytes raw = after.encode();
+    raw[9] = 2;                  // next_turn = nought... keep consistent-ish
+    raw[10] = 1;                 // move_count = 1
+    return raw;
+  }());
+  auto veto = illegal_transition(before, crafted, Mark::kCross);
+  ASSERT_TRUE(veto.has_value());
+  EXPECT_NE(veto->find("opponent"), std::string::npos);
+}
+
+TEST(TransitionTest, NonPlayerMayNotMove) {
+  Board before;
+  Board after = before;
+  after.play(0, 0, Mark::kCross);
+  auto veto = illegal_transition(before, after, std::nullopt);
+  ASSERT_TRUE(veto.has_value());
+}
+
+TEST(TransitionTest, MultipleSquaresRejected) {
+  Board before;
+  Board after = before;
+  after.play(0, 0, Mark::kCross);
+  Bytes raw = after.encode();
+  raw[4] = 1;  // also claim centre
+  auto veto = illegal_transition(before, Board::decode(raw), Mark::kCross);
+  ASSERT_TRUE(veto.has_value());
+  EXPECT_NE(veto->find("more than one"), std::string::npos);
+}
+
+// --- Figure 5, end-to-end (experiment E1) ------------------------------------------
+
+const ObjectId kGame{"tictactoe"};
+
+struct GameFixture {
+  core::Federation fed{{"cross", "nought"}};
+  TicTacToeObject cross_obj{PartyId{"cross"}, PartyId{"nought"}};
+  TicTacToeObject nought_obj{PartyId{"cross"}, PartyId{"nought"}};
+
+  GameFixture() {
+    fed.register_object("cross", kGame, cross_obj);
+    fed.register_object("nought", kGame, nought_obj);
+    fed.bootstrap_object(kGame, {"cross", "nought"}, Board{}.encode());
+  }
+
+  /// "Save" at the given player's client: apply locally and coordinate.
+  RunHandle save_move(const std::string& player, int row, int col,
+                      Mark mark) {
+    TicTacToeObject& obj =
+        player == "cross" ? cross_obj : nought_obj;
+    Board updated = obj.board();
+    if (!updated.play(row, col, mark)) {
+      // Allow deliberately illegal boards to be crafted by the caller.
+      updated.set(row, col, mark);
+    }
+    obj.board() = updated;
+    RunHandle h = fed.coordinator(player).propagate_new_state(
+        kGame, obj.get_state());
+    fed.run_until_done(h);
+    fed.settle();
+    return h;
+  }
+};
+
+TEST(TicTacToeFig5, PaperScenarioReplaysExactly) {
+  GameFixture t;
+  // Cross claims middle row, centre square.
+  EXPECT_EQ(t.save_move("cross", 1, 1, Mark::kCross)->outcome,
+            RunResult::Outcome::kAgreed);
+  // Nought claims top row, left square.
+  EXPECT_EQ(t.save_move("nought", 0, 0, Mark::kNought)->outcome,
+            RunResult::Outcome::kAgreed);
+  // Cross claims middle row, right square.
+  EXPECT_EQ(t.save_move("cross", 1, 2, Mark::kCross)->outcome,
+            RunResult::Outcome::kAgreed);
+
+  Board before_cheat = t.nought_obj.board();
+
+  // "Cross attempts to mark bottom row, centre square with a zero."
+  RunHandle cheat = t.save_move("cross", 2, 1, Mark::kNought);
+  EXPECT_EQ(cheat->outcome, RunResult::Outcome::kVetoed);
+
+  // "The state change is invalid and is not reflected at Nought's server."
+  EXPECT_EQ(t.nought_obj.board(), before_cheat);
+  // "The agreed state of the game has not been updated" — and Cross's own
+  // replica rolled back to it.
+  EXPECT_EQ(t.cross_obj.board(), before_cheat);
+  // "Nought will have evidence of the attempt to cheat": the proposal and
+  // Nought's signed veto are in Nought's stores.
+  const auto& evidence = t.fed.coordinator("nought").evidence();
+  EXPECT_FALSE(evidence.find_kind("propose.recv").empty());
+  EXPECT_FALSE(evidence.find_kind("respond.sent").empty());
+  EXPECT_TRUE(evidence.verify_chain());
+}
+
+TEST(TicTacToeFig5, HonestGamePlaysToWin) {
+  GameFixture t;
+  EXPECT_EQ(t.save_move("cross", 0, 0, Mark::kCross)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.save_move("nought", 1, 0, Mark::kNought)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.save_move("cross", 0, 1, Mark::kCross)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.save_move("nought", 1, 1, Mark::kNought)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.save_move("cross", 0, 2, Mark::kCross)->outcome,
+            RunResult::Outcome::kAgreed);
+  EXPECT_EQ(t.nought_obj.board().status(), GameStatus::kCrossWins);
+  // No further move can be agreed.
+  EXPECT_EQ(t.save_move("nought", 2, 2, Mark::kNought)->outcome,
+            RunResult::Outcome::kVetoed);
+}
+
+TEST(TicTacToeFig5, OutOfTurnMoveVetoed) {
+  GameFixture t;
+  EXPECT_EQ(t.save_move("cross", 1, 1, Mark::kCross)->outcome,
+            RunResult::Outcome::kAgreed);
+  // Cross tries to move again immediately.
+  RunHandle h = t.save_move("cross", 0, 0, Mark::kCross);
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_NE(h->diagnostic.find("turn"), std::string::npos);
+}
+
+// --- Figure 6: play through a TTP (experiment E2) -----------------------------------
+
+TEST(TicTacToeTtp, ThirdPartyValidatesEveryMove) {
+  core::Federation fed{{"cross", "nought", "ttp"}};
+  TicTacToeObject cross_obj{PartyId{"cross"}, PartyId{"nought"}};
+  TicTacToeObject nought_obj{PartyId{"cross"}, PartyId{"nought"}};
+  TicTacToeObject ttp_obj{PartyId{"cross"}, PartyId{"nought"}};
+  fed.register_object("cross", kGame, cross_obj);
+  fed.register_object("nought", kGame, nought_obj);
+  fed.register_object("ttp", kGame, ttp_obj);
+  fed.bootstrap_object(kGame, {"cross", "nought", "ttp"}, Board{}.encode());
+
+  // A legal move is agreed by opponent AND TTP.
+  Board updated = cross_obj.board();
+  ASSERT_TRUE(updated.play(1, 1, Mark::kCross));
+  cross_obj.board() = updated;
+  RunHandle h =
+      fed.coordinator("cross").propagate_new_state(kGame, cross_obj.get_state());
+  ASSERT_TRUE(fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  fed.settle();
+  EXPECT_EQ(ttp_obj.board().at(1, 1), Mark::kCross);
+
+  // The TTP itself cannot make moves.
+  Board ttp_move = ttp_obj.board();
+  ttp_move.set(0, 0, Mark::kNought);
+  Bytes raw = ttp_move.encode();
+  raw[9] = 1;   // next_turn
+  raw[10] = 2;  // move_count
+  ttp_obj.apply_state(raw);
+  RunHandle bad =
+      fed.coordinator("ttp").propagate_new_state(kGame, ttp_obj.get_state());
+  ASSERT_TRUE(fed.run_until_done(bad));
+  EXPECT_EQ(bad->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_NE(bad->diagnostic.find("not a player"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace b2b::apps

@@ -1,0 +1,157 @@
+// Coordinator-level behaviour: trusted time-stamps on evidence, the
+// certificate directory, multi-object independence, checkpointing and
+// protocol statistics.
+#include <gtest/gtest.h>
+
+#include "b2b/federation.hpp"
+#include "common/error.hpp"
+#include "tests/support/test_objects.hpp"
+
+namespace b2b::core {
+namespace {
+
+using test::TestRegister;
+
+const ObjectId kObj{"doc"};
+
+struct CoordFixture {
+  Federation fed{{"alpha", "beta"}};
+  TestRegister alpha_obj, beta_obj;
+
+  CoordFixture() {
+    fed.register_object("alpha", kObj, alpha_obj);
+    fed.register_object("beta", kObj, beta_obj);
+    fed.bootstrap_object(kObj, {"alpha", "beta"}, bytes_of("genesis"));
+  }
+
+  RunHandle agree(const Bytes& state) {
+    alpha_obj.value = state;
+    RunHandle h = fed.coordinator("alpha").propagate_new_state(kObj, state);
+    fed.run_until_done(h);
+    fed.settle();
+    return h;
+  }
+};
+
+TEST(CoordinatorTest, EvidenceCarriesVerifiableTssStamps) {
+  CoordFixture t;
+  t.agree(bytes_of("v1"));
+  const auto& log = t.fed.coordinator("alpha").evidence();
+  ASSERT_GT(log.size(), 0u);
+  std::size_t stamped = 0;
+  for (const auto& record : log.records()) {
+    auto unpacked = Coordinator::decode_evidence_payload(record.payload);
+    ASSERT_TRUE(unpacked.timestamp.has_value()) << record.kind;
+    // Every stamp covers the payload hash and verifies against the TSS key.
+    EXPECT_EQ(unpacked.timestamp->message_hash,
+              crypto::Sha256::hash(unpacked.payload));
+    EXPECT_TRUE(crypto::TimestampService::verify(
+        *unpacked.timestamp, t.fed.tss()->public_key()));
+    ++stamped;
+  }
+  EXPECT_EQ(stamped, log.size());
+}
+
+TEST(CoordinatorTest, NoTssMeansUnstampedButUsableEvidence) {
+  Federation::Options options;
+  options.use_tss = false;
+  Federation fed{{"a", "b"}, options};
+  TestRegister a_obj, b_obj;
+  fed.register_object("a", kObj, a_obj);
+  fed.register_object("b", kObj, b_obj);
+  fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
+  a_obj.value = bytes_of("v1");
+  RunHandle h = fed.coordinator("a").propagate_new_state(kObj, a_obj.get_state());
+  ASSERT_TRUE(fed.run_until_done(h));
+  fed.settle();
+  const auto& log = fed.coordinator("a").evidence();
+  ASSERT_GT(log.size(), 0u);
+  auto unpacked = Coordinator::decode_evidence_payload(log.at(0).payload);
+  EXPECT_FALSE(unpacked.timestamp.has_value());
+  EXPECT_TRUE(log.verify_chain());
+}
+
+TEST(CoordinatorTest, KeyDirectoryKnowsAllParties) {
+  CoordFixture t;
+  Coordinator& alpha = t.fed.coordinator("alpha");
+  EXPECT_NE(alpha.key_of(PartyId{"alpha"}), nullptr);
+  EXPECT_NE(alpha.key_of(PartyId{"beta"}), nullptr);
+  EXPECT_EQ(alpha.key_of(PartyId{"stranger"}), nullptr);
+  EXPECT_EQ(alpha.key_directory().size(), 2u);
+}
+
+TEST(CoordinatorTest, MultipleObjectsCoordinateIndependently) {
+  Federation fed{{"a", "b"}};
+  TestRegister a1, a2, b1, b2;
+  const ObjectId first{"first"}, second{"second"};
+  fed.register_object("a", first, a1);
+  fed.register_object("b", first, b1);
+  fed.register_object("a", second, a2);
+  fed.register_object("b", second, b2);
+  fed.bootstrap_object(first, {"a", "b"}, bytes_of("f0"));
+  fed.bootstrap_object(second, {"a", "b"}, bytes_of("s0"));
+
+  // Concurrent runs on distinct objects do not conflict (no busy rejects).
+  a1.value = bytes_of("f1");
+  a2.value = bytes_of("s1");
+  RunHandle h1 = fed.coordinator("a").propagate_new_state(first, a1.value);
+  RunHandle h2 = fed.coordinator("a").propagate_new_state(second, a2.value);
+  fed.settle();
+  EXPECT_EQ(h1->outcome, RunResult::Outcome::kAgreed);
+  EXPECT_EQ(h2->outcome, RunResult::Outcome::kAgreed);
+  EXPECT_EQ(b1.value, bytes_of("f1"));
+  EXPECT_EQ(b2.value, bytes_of("s1"));
+}
+
+TEST(CoordinatorTest, RegisteringSameObjectTwiceThrows) {
+  CoordFixture t;
+  TestRegister another;
+  EXPECT_THROW(t.fed.coordinator("alpha").register_object(kObj, another),
+               Error);
+  EXPECT_THROW(t.fed.coordinator("alpha").replica(ObjectId{"nope"}), Error);
+  EXPECT_TRUE(t.fed.coordinator("alpha").has_object(kObj));
+  EXPECT_FALSE(t.fed.coordinator("alpha").has_object(ObjectId{"nope"}));
+}
+
+TEST(CoordinatorTest, CheckpointsAccumulatePerAgreedState) {
+  CoordFixture t;
+  t.agree(bytes_of("v1"));
+  t.agree(bytes_of("v2"));
+  auto& checkpoints = t.fed.coordinator("beta").checkpoints();
+  // genesis + two installs.
+  EXPECT_EQ(checkpoints.count(kObj), 3u);
+  auto latest = checkpoints.latest(kObj);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->state, bytes_of("v2"));
+  EXPECT_EQ(latest->sequence, 2u);
+  // Rollback material: the previous agreed state is retained.
+  auto old = checkpoints.at_sequence(kObj, 1);
+  ASSERT_TRUE(old.has_value());
+  EXPECT_EQ(old->state, bytes_of("v1"));
+}
+
+TEST(CoordinatorTest, ProtocolStatsCountPerMessageType) {
+  CoordFixture t;
+  t.agree(bytes_of("v1"));
+  const auto& alpha_stats = t.fed.coordinator("alpha").protocol_stats();
+  const auto& beta_stats = t.fed.coordinator("beta").protocol_stats();
+  EXPECT_EQ(alpha_stats.sent_by_type.at(MsgType::kPropose), 1u);
+  EXPECT_EQ(alpha_stats.sent_by_type.at(MsgType::kDecide), 1u);
+  EXPECT_EQ(beta_stats.sent_by_type.at(MsgType::kRespond), 1u);
+  EXPECT_GT(alpha_stats.envelope_bytes_sent, 0u);
+  t.fed.coordinator("alpha").reset_protocol_stats();
+  EXPECT_EQ(
+      t.fed.coordinator("alpha").protocol_stats().envelopes_sent, 0u);
+}
+
+TEST(CoordinatorTest, MessageStoreHoldsFullRunTranscript) {
+  CoordFixture t;
+  RunHandle h = t.agree(bytes_of("v1"));
+  const auto& messages = t.fed.coordinator("alpha").messages();
+  ASSERT_TRUE(messages.has_run(h->run_label));
+  // propose sent + respond received + decide sent.
+  EXPECT_EQ(messages.run(h->run_label).size(), 3u);
+}
+
+}  // namespace
+}  // namespace b2b::core

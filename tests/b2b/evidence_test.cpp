@@ -1,0 +1,241 @@
+// Third-party evidence verification (§4.3's authenticated decision and
+// §4.4's detection machinery), exercised directly on crafted transcripts.
+#include "b2b/evidence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tests/support/test_keys.hpp"
+
+namespace b2b::core {
+namespace {
+
+using crypto::test::shared_test_key;
+
+const PartyId kAlice{"alice"};
+const PartyId kBob{"bob"};
+const PartyId kCarol{"carol"};
+
+const crypto::RsaPrivateKey& key_of(const PartyId& party) {
+  if (party == kAlice) return shared_test_key(0);
+  if (party == kBob) return shared_test_key(1);
+  return shared_test_key(2);
+}
+
+EvidenceVerifier make_verifier() {
+  std::map<PartyId, crypto::RsaPublicKey> keys;
+  keys.emplace(kAlice, shared_test_key(0).public_key());
+  keys.emplace(kBob, shared_test_key(1).public_key());
+  keys.emplace(kCarol, shared_test_key(2).public_key());
+  return EvidenceVerifier(std::move(keys));
+}
+
+/// An honest transcript: alice proposes to bob and carol, both accept.
+struct TranscriptBuilder {
+  Bytes authenticator = bytes_of("secret-authenticator");
+  Bytes old_state = bytes_of("old");
+  Bytes new_state = bytes_of("new");
+  RunTranscript transcript;
+
+  TranscriptBuilder() {
+    Proposal& prop = transcript.propose.proposal;
+    prop.proposer = kAlice;
+    prop.object = ObjectId{"doc"};
+    prop.group = GroupTuple{0, crypto::Sha256::hash(bytes_of("g")),
+                            hash_members({kAlice, kBob, kCarol})};
+    prop.agreed = StateTuple{0, crypto::Sha256::hash(bytes_of("r0")),
+                             crypto::Sha256::hash(old_state)};
+    prop.proposed = StateTuple{1, crypto::Sha256::hash(authenticator),
+                               crypto::Sha256::hash(new_state)};
+    prop.is_update = false;
+    prop.payload_hash = crypto::Sha256::hash(new_state);
+    transcript.propose.payload = new_state;
+    transcript.propose.signature =
+        key_of(kAlice).sign(prop.signed_bytes());
+
+    for (const PartyId& responder : {kBob, kCarol}) {
+      transcript.responses.push_back(make_response(responder, true, ""));
+    }
+    finalize();
+  }
+
+  RespondMsg make_response(const PartyId& responder, bool accept,
+                           const std::string& why) {
+    const Proposal& prop = transcript.propose.proposal;
+    RespondMsg msg;
+    msg.response.responder = responder;
+    msg.response.object = prop.object;
+    msg.response.proposed = prop.proposed;
+    msg.response.agreed_view = prop.agreed;
+    msg.response.current_view = prop.agreed;
+    msg.response.group_view = prop.group;
+    msg.response.payload_integrity = prop.payload_hash;
+    msg.response.decision = accept ? Decision::accepted()
+                                   : Decision::rejected(why);
+    msg.signature = key_of(responder).sign(msg.response.signed_bytes());
+    return msg;
+  }
+
+  void finalize() {
+    DecideMsg decide;
+    decide.proposer = kAlice;
+    decide.object = transcript.propose.proposal.object;
+    decide.proposed = transcript.propose.proposal.proposed;
+    decide.responses = transcript.responses;
+    decide.authenticator = authenticator;
+    transcript.decide = decide;
+  }
+};
+
+const std::vector<PartyId> kRecipients{kBob, kCarol};
+
+TEST(EvidenceTest, HonestTranscriptVerifiesAsAgreed) {
+  TranscriptBuilder b;
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_TRUE(verdict.evidence_intact);
+  EXPECT_TRUE(verdict.agreed);
+  EXPECT_TRUE(verdict.violations.empty());
+  EXPECT_TRUE(verdict.vetoers.empty());
+}
+
+TEST(EvidenceTest, VetoedTranscriptShowsVetoer) {
+  TranscriptBuilder b;
+  b.transcript.responses[1] = b.make_response(kCarol, false, "policy");
+  b.finalize();
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_TRUE(verdict.evidence_intact);
+  EXPECT_FALSE(verdict.agreed);
+  ASSERT_EQ(verdict.vetoers.size(), 1u);
+  EXPECT_EQ(verdict.vetoers[0], kCarol);
+}
+
+TEST(EvidenceTest, ForgedProposerSignatureDetected) {
+  TranscriptBuilder b;
+  b.transcript.propose.signature[3] ^= 0x01;
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.evidence_intact);
+  EXPECT_FALSE(verdict.agreed);
+  EXPECT_FALSE(verdict.violations.empty());
+}
+
+TEST(EvidenceTest, PayloadSwapDetected) {
+  TranscriptBuilder b;
+  b.transcript.propose.payload = bytes_of("swapped");
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.evidence_intact);
+}
+
+TEST(EvidenceTest, MissingResponseDetected) {
+  TranscriptBuilder b;
+  b.transcript.responses.pop_back();
+  b.finalize();
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.evidence_intact);
+  EXPECT_FALSE(verdict.agreed);
+}
+
+TEST(EvidenceTest, MissingDecideMeansNotAgreed) {
+  TranscriptBuilder b;
+  b.transcript.decide.reset();
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.agreed);
+}
+
+TEST(EvidenceTest, WrongAuthenticatorDetected) {
+  TranscriptBuilder b;
+  b.transcript.decide->authenticator = bytes_of("guess");
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.evidence_intact);
+  EXPECT_FALSE(verdict.agreed);
+}
+
+TEST(EvidenceTest, AcceptWithInconsistentViewsDetected) {
+  TranscriptBuilder b;
+  // Re-sign bob's response with a divergent agreed view but decision
+  // accept — internally inconsistent content (§4.4).
+  RespondMsg& bob = b.transcript.responses[0];
+  bob.response.agreed_view.sequence = 99;
+  bob.signature = key_of(kBob).sign(bob.response.signed_bytes());
+  b.finalize();
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.evidence_intact);
+  EXPECT_FALSE(verdict.agreed);
+}
+
+TEST(EvidenceTest, NullTransitionDetected) {
+  TranscriptBuilder b;
+  Proposal& prop = b.transcript.propose.proposal;
+  prop.proposed.state_hash = prop.agreed.state_hash;
+  prop.payload_hash = prop.agreed.state_hash;
+  b.transcript.propose.payload = b.old_state;
+  b.transcript.propose.signature = key_of(kAlice).sign(prop.signed_bytes());
+  VerifiedRun verdict = make_verifier().verify_state_run(b.transcript);
+  EXPECT_FALSE(verdict.evidence_intact);
+}
+
+TEST(EvidenceTest, NonAdvancingSequenceDetected) {
+  TranscriptBuilder b;
+  Proposal& prop = b.transcript.propose.proposal;
+  prop.proposed.sequence = prop.agreed.sequence;
+  b.transcript.propose.signature = key_of(kAlice).sign(prop.signed_bytes());
+  VerifiedRun verdict = make_verifier().verify_state_run(b.transcript);
+  EXPECT_FALSE(verdict.evidence_intact);
+}
+
+TEST(EvidenceTest, DuplicateResponderDetected) {
+  TranscriptBuilder b;
+  b.transcript.responses.push_back(b.transcript.responses[0]);
+  b.finalize();
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.evidence_intact);
+}
+
+TEST(EvidenceTest, UnknownSignerDetected) {
+  TranscriptBuilder b;
+  std::map<PartyId, crypto::RsaPublicKey> keys;
+  keys.emplace(kAlice, shared_test_key(0).public_key());
+  keys.emplace(kBob, shared_test_key(1).public_key());
+  // carol's key is absent from the directory.
+  EvidenceVerifier partial(std::move(keys));
+  VerifiedRun verdict = partial.verify_state_run(b.transcript, &kRecipients);
+  EXPECT_FALSE(verdict.evidence_intact);
+}
+
+TEST(EvidenceTest, UnanimousHelper) {
+  TranscriptBuilder b;
+  EXPECT_TRUE(EvidenceVerifier::unanimous(b.transcript.responses));
+  b.transcript.responses.push_back(b.make_response(kCarol, false, "no"));
+  EXPECT_FALSE(EvidenceVerifier::unanimous(b.transcript.responses));
+  EXPECT_TRUE(EvidenceVerifier::unanimous({}));
+}
+
+TEST(EvidenceTest, UpdateVariantTranscriptVerifies) {
+  TranscriptBuilder b;
+  Proposal& prop = b.transcript.propose.proposal;
+  prop.is_update = true;
+  Bytes delta = bytes_of("delta");
+  prop.payload_hash = crypto::Sha256::hash(delta);
+  b.transcript.propose.payload = delta;
+  b.transcript.propose.signature = key_of(kAlice).sign(prop.signed_bytes());
+  // Responses must echo the new payload hash to count as consistent.
+  b.transcript.responses.clear();
+  for (const PartyId& responder : {kBob, kCarol}) {
+    b.transcript.responses.push_back(b.make_response(responder, true, ""));
+  }
+  b.finalize();
+  VerifiedRun verdict =
+      make_verifier().verify_state_run(b.transcript, &kRecipients);
+  EXPECT_TRUE(verdict.evidence_intact);
+  EXPECT_TRUE(verdict.agreed);
+}
+
+}  // namespace
+}  // namespace b2b::core

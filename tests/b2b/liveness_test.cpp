@@ -1,0 +1,247 @@
+// Liveness under bounded temporary failures (§4.1/§4.2, experiment E8):
+// message loss, duplication, reordering, healing partitions, and node
+// crash/recovery. If nobody misbehaves, agreed interactions complete.
+#include <gtest/gtest.h>
+
+#include "b2b/federation.hpp"
+#include "tests/support/test_objects.hpp"
+
+namespace b2b::core {
+namespace {
+
+using test::TestRegister;
+
+const ObjectId kObj{"doc"};
+
+struct LossyOptions {
+  static Federation::Options make(double drop, double dup,
+                                  std::uint64_t seed) {
+    Federation::Options options;
+    options.seed = seed;
+    options.faults.drop_probability = drop;
+    options.faults.duplicate_probability = dup;
+    options.faults.min_delay_micros = 500;
+    options.faults.max_delay_micros = 20'000;
+    options.reliable.retransmit_interval_micros = 40'000;
+    return options;
+  }
+};
+
+class LossSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+
+TEST_P(LossSweepTest, CoordinationCompletesDespiteLoss) {
+  auto [drop, seed] = GetParam();
+  Federation fed{{"a", "b", "c"}, LossyOptions::make(drop, 0.0, seed)};
+  TestRegister objs[3];
+  const char* names[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
+  fed.bootstrap_object(kObj, {"a", "b", "c"}, bytes_of("genesis"));
+
+  for (int round = 1; round <= 3; ++round) {
+    objs[0].value = bytes_of("round" + std::to_string(round));
+    RunHandle h =
+        fed.coordinator("a").propagate_new_state(kObj, objs[0].get_state());
+    ASSERT_TRUE(fed.run_until_done(h)) << "drop=" << drop << " seed=" << seed;
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    fed.settle();
+    for (int i = 0; i < 3; ++i) EXPECT_EQ(objs[i].value, objs[0].value);
+  }
+  // Loss actually happened (the fault model was exercised).
+  if (drop > 0) {
+    EXPECT_GT(fed.network().stats().datagrams_dropped, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DropRates, LossSweepTest,
+    ::testing::Values(std::make_tuple(0.0, 1ull), std::make_tuple(0.1, 2ull),
+                      std::make_tuple(0.3, 3ull), std::make_tuple(0.5, 4ull)));
+
+TEST(Liveness, DuplicationIsMaskedToOnceOnlyDelivery) {
+  Federation fed{{"a", "b"}, LossyOptions::make(0.0, 0.5, 7)};
+  TestRegister a_obj, b_obj;
+  fed.register_object("a", kObj, a_obj);
+  fed.register_object("b", kObj, b_obj);
+  fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
+
+  for (int round = 1; round <= 5; ++round) {
+    a_obj.value = bytes_of("v" + std::to_string(round));
+    RunHandle h =
+        fed.coordinator("a").propagate_new_state(kObj, a_obj.get_state());
+    ASSERT_TRUE(fed.run_until_done(h));
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    fed.settle();
+  }
+  EXPECT_EQ(b_obj.value, bytes_of("v5"));
+  // Duplicates were generated and suppressed, and none surfaced as a
+  // protocol-level replay violation.
+  EXPECT_GT(fed.network().stats().datagrams_duplicated, 0u);
+  EXPECT_GT(fed.endpoint("a").stats().duplicates_suppressed +
+                fed.endpoint("b").stats().duplicates_suppressed,
+            0u);
+  EXPECT_EQ(fed.coordinator("a").violations_detected(), 0u);
+  EXPECT_EQ(fed.coordinator("b").violations_detected(), 0u);
+}
+
+TEST(Liveness, RunStartedDuringPartitionCompletesAfterHeal) {
+  Federation fed{{"a", "b"}};
+  TestRegister a_obj, b_obj;
+  fed.register_object("a", kObj, a_obj);
+  fed.register_object("b", kObj, b_obj);
+  fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
+
+  // Partition for 10 virtual seconds.
+  fed.network().partition({PartyId{"a"}}, {PartyId{"b"}}, 10'000'000);
+
+  a_obj.value = bytes_of("across-the-partition");
+  RunHandle h =
+      fed.coordinator("a").propagate_new_state(kObj, a_obj.get_state());
+  // Nothing can complete while partitioned.
+  fed.scheduler().run_until(5'000'000);
+  EXPECT_FALSE(h->done());
+  // After the heal, retransmission gets the run through.
+  ASSERT_TRUE(fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  EXPECT_GE(fed.scheduler().now(), 10'000'000u);
+  fed.settle();
+  EXPECT_EQ(b_obj.value, bytes_of("across-the-partition"));
+}
+
+TEST(Liveness, ResponderCrashDuringRunRecovers) {
+  Federation fed{{"a", "b", "c"}};
+  TestRegister objs[3];
+  const char* names[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
+  fed.bootstrap_object(kObj, {"a", "b", "c"}, bytes_of("genesis"));
+
+  // Crash c before the proposal goes out.
+  fed.network().set_alive(PartyId{"c"}, false);
+  objs[0].value = bytes_of("survives-crash");
+  RunHandle h =
+      fed.coordinator("a").propagate_new_state(kObj, objs[0].get_state());
+  fed.scheduler().run_until(2'000'000);
+  EXPECT_FALSE(h->done());
+
+  // c recovers; retransmission resumes the run (§4.2: nodes eventually
+  // recover and resume participation).
+  fed.network().set_alive(PartyId{"c"}, true);
+  ASSERT_TRUE(fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  fed.settle();
+  EXPECT_EQ(objs[2].value, bytes_of("survives-crash"));
+}
+
+TEST(Liveness, ProposerCrashAfterProposeResumesOnRecovery) {
+  Federation fed{{"a", "b"}};
+  TestRegister a_obj, b_obj;
+  fed.register_object("a", kObj, a_obj);
+  fed.register_object("b", kObj, b_obj);
+  fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
+
+  a_obj.value = bytes_of("proposer-crash");
+  RunHandle h =
+      fed.coordinator("a").propagate_new_state(kObj, a_obj.get_state());
+  // Let the propose out, then crash the proposer before the response
+  // can reach it.
+  fed.scheduler().run_until(2'000);
+  fed.network().set_alive(PartyId{"a"}, false);
+  fed.scheduler().run_until(1'000'000);
+  EXPECT_FALSE(h->done());
+
+  // Recovery: the persistent reliable channel retransmits b's response.
+  fed.network().set_alive(PartyId{"a"}, true);
+  ASSERT_TRUE(fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  fed.settle();
+  EXPECT_EQ(b_obj.value, bytes_of("proposer-crash"));
+}
+
+TEST(Liveness, RepeatedCrashRecoverCyclesEventuallyComplete) {
+  Federation fed{{"a", "b"}};
+  TestRegister a_obj, b_obj;
+  fed.register_object("a", kObj, a_obj);
+  fed.register_object("b", kObj, b_obj);
+  fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
+
+  a_obj.value = bytes_of("persistent");
+  RunHandle h =
+      fed.coordinator("a").propagate_new_state(kObj, a_obj.get_state());
+  // Bounce b three times while the run is in flight.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    fed.network().set_alive(PartyId{"b"}, false);
+    fed.scheduler().run_until(fed.scheduler().now() + 200'000);
+    fed.network().set_alive(PartyId{"b"}, true);
+    fed.scheduler().run_until(fed.scheduler().now() + 50'000);
+  }
+  ASSERT_TRUE(fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  fed.settle();
+  EXPECT_EQ(b_obj.value, bytes_of("persistent"));
+}
+
+TEST(Liveness, MembershipChangeCompletesUnderLoss) {
+  Federation fed{{"a", "b", "c"}, LossyOptions::make(0.25, 0.1, 11)};
+  TestRegister objs[3];
+  const char* names[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
+  fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
+
+  RunHandle h = fed.coordinator("c").propagate_connect(kObj, PartyId{"b"});
+  ASSERT_TRUE(fed.run_until_done(h));
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  fed.settle();
+  EXPECT_EQ(fed.coordinator("a").replica(kObj).members().size(), 3u);
+  EXPECT_EQ(objs[2].value, bytes_of("genesis"));
+}
+
+TEST(Liveness, PermanentCrashBlocksButIsDetectable) {
+  // The bound matters: with a *permanently* dead party, §4.1 promises no
+  // termination — only detectable blocking and fail-safety.
+  Federation::Options options;
+  options.reliable.max_retransmits = 20;  // keep the simulation finite
+  Federation fed{{"a", "b", "c"}, options};
+  TestRegister objs[3];
+  const char* names[] = {"a", "b", "c"};
+  for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
+  fed.bootstrap_object(kObj, {"a", "b", "c"}, bytes_of("genesis"));
+
+  fed.network().set_alive(PartyId{"c"}, false);
+  objs[0].value = bytes_of("never-agreed");
+  RunHandle h =
+      fed.coordinator("a").propagate_new_state(kObj, objs[0].get_state());
+  fed.settle();
+  EXPECT_FALSE(h->done());
+  // a holds evidence that the run is active, and b (which accepted) too.
+  EXPECT_FALSE(fed.coordinator("a").replica(kObj).active_run_labels().empty());
+  EXPECT_FALSE(fed.coordinator("b").replica(kObj).active_run_labels().empty());
+  // No party installed anything: fail-safe.
+  EXPECT_EQ(objs[1].value, bytes_of("genesis"));
+  EXPECT_EQ(objs[2].value, bytes_of("genesis"));
+}
+
+TEST(Liveness, ThroughputUnderAdverseNetworkStaysConsistent) {
+  // A longer soak: 20 rounds with loss, duplication and alternating
+  // proposers; every round must agree and replicas must stay identical.
+  Federation fed{{"x", "y", "z"}, LossyOptions::make(0.15, 0.15, 42)};
+  TestRegister objs[3];
+  const char* names[] = {"x", "y", "z"};
+  for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
+  fed.bootstrap_object(kObj, {"x", "y", "z"}, bytes_of("genesis"));
+
+  for (int round = 0; round < 20; ++round) {
+    int proposer = round % 3;
+    objs[proposer].value = bytes_of("soak" + std::to_string(round));
+    RunHandle h = fed.coordinator(names[proposer])
+                      .propagate_new_state(kObj, objs[proposer].get_state());
+    ASSERT_TRUE(fed.run_until_done(h)) << "round " << round;
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed) << "round " << round;
+    fed.settle();
+    EXPECT_EQ(objs[0].value, objs[1].value);
+    EXPECT_EQ(objs[1].value, objs[2].value);
+  }
+  EXPECT_EQ(fed.coordinator("x").replica(kObj).agreed_tuple().sequence, 20u);
+}
+
+}  // namespace
+}  // namespace b2b::core

@@ -1,0 +1,80 @@
+// State/group identifier tuples, member hashing and decisions (§4.2).
+#include "b2b/tuples.hpp"
+
+#include <gtest/gtest.h>
+
+namespace b2b::core {
+namespace {
+
+StateTuple sample_state_tuple() {
+  return StateTuple{7, crypto::Sha256::hash(bytes_of("rand")),
+                    crypto::Sha256::hash(bytes_of("state"))};
+}
+
+TEST(TuplesTest, StateTupleRoundTrip) {
+  StateTuple t = sample_state_tuple();
+  EXPECT_EQ(StateTuple::decode(t.encode()), t);
+}
+
+TEST(TuplesTest, GroupTupleRoundTrip) {
+  GroupTuple g{3, crypto::Sha256::hash(bytes_of("r")),
+               hash_members({PartyId{"a"}, PartyId{"b"}})};
+  EXPECT_EQ(GroupTuple::decode(g.encode()), g);
+}
+
+TEST(TuplesTest, DecodeRejectsTrailingGarbage) {
+  Bytes data = sample_state_tuple().encode();
+  data.push_back(0);
+  EXPECT_THROW(StateTuple::decode(data), CodecError);
+}
+
+TEST(TuplesTest, DecodeRejectsTruncation) {
+  Bytes data = sample_state_tuple().encode();
+  data.pop_back();
+  EXPECT_THROW(StateTuple::decode(data), CodecError);
+}
+
+TEST(TuplesTest, LabelsAreUniquePerRandom) {
+  StateTuple a = sample_state_tuple();
+  StateTuple b = a;
+  b.rand_hash = crypto::Sha256::hash(bytes_of("other-rand"));
+  EXPECT_NE(a.label(), b.label());
+  // Same tuple -> same label (labels key the message store).
+  EXPECT_EQ(a.label(), sample_state_tuple().label());
+}
+
+TEST(TuplesTest, StateAndGroupLabelsNeverCollide) {
+  StateTuple s = sample_state_tuple();
+  GroupTuple g{s.sequence, s.rand_hash, s.state_hash};
+  EXPECT_NE(s.label(), g.label());  // group labels carry a 'g' prefix
+}
+
+TEST(TuplesTest, MemberHashDependsOnOrder) {
+  // Join order determines sponsorship (§4.5.1), so it is part of identity.
+  auto h1 = hash_members({PartyId{"a"}, PartyId{"b"}});
+  auto h2 = hash_members({PartyId{"b"}, PartyId{"a"}});
+  EXPECT_NE(h1, h2);
+}
+
+TEST(TuplesTest, MemberHashIsInjectiveOnBoundaries) {
+  // {"ab"} vs {"a","b"} must differ (length-prefixed encoding).
+  auto h1 = hash_members({PartyId{"ab"}});
+  auto h2 = hash_members({PartyId{"a"}, PartyId{"b"}});
+  EXPECT_NE(h1, h2);
+}
+
+TEST(TuplesTest, DecisionRoundTrip) {
+  wire::Encoder enc;
+  Decision::rejected("because").encode_into(enc);
+  Decision::accepted().encode_into(enc);
+  wire::Decoder dec{enc.bytes()};
+  Decision r = Decision::decode_from(dec);
+  Decision a = Decision::decode_from(dec);
+  EXPECT_FALSE(r.accept);
+  EXPECT_EQ(r.diagnostic, "because");
+  EXPECT_TRUE(a.accept);
+  EXPECT_TRUE(a.diagnostic.empty());
+}
+
+}  // namespace
+}  // namespace b2b::core

@@ -1,0 +1,109 @@
+// Baseline plain-2PC: functional correctness (it must be a fair
+// comparator) and its message complexity.
+#include "baseline/plain2pc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/scheduler.hpp"
+#include "tests/support/test_objects.hpp"
+
+namespace b2b::baseline {
+namespace {
+
+using test::TestRegister;
+
+struct PlainFixture {
+  net::EventScheduler scheduler;
+  net::SimNetwork net{scheduler, 31};
+  std::vector<std::unique_ptr<net::ReliableEndpoint>> endpoints;
+  std::vector<std::unique_ptr<TestRegister>> objects;
+  std::vector<std::unique_ptr<PlainReplica>> replicas;
+
+  explicit PlainFixture(std::size_t n) {
+    std::vector<PartyId> members;
+    for (std::size_t i = 0; i < n; ++i) {
+      members.emplace_back("p" + std::to_string(i));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      endpoints.push_back(
+          std::make_unique<net::ReliableEndpoint>(net, members[i]));
+      objects.push_back(std::make_unique<TestRegister>());
+      replicas.push_back(std::make_unique<PlainReplica>(
+          members[i], ObjectId{"doc"}, *objects.back(), *endpoints.back()));
+    }
+    for (auto& replica : replicas) {
+      replica->bootstrap(members, bytes_of("genesis"));
+    }
+  }
+};
+
+TEST(Plain2pcTest, AgreementReplicatesState) {
+  PlainFixture t(3);
+  t.objects[0]->value = bytes_of("v1");
+  RunHandle h = t.replicas[0]->propose_state(t.objects[0]->get_state());
+  t.scheduler.run();
+  ASSERT_TRUE(h->done());
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  for (auto& obj : t.objects) EXPECT_EQ(obj->value, bytes_of("v1"));
+}
+
+TEST(Plain2pcTest, VetoRollsBack) {
+  PlainFixture t(2);
+  t.objects[1]->policy = [](BytesView, const core::ValidationContext&) {
+    return core::Decision::rejected("no");
+  };
+  t.objects[0]->value = bytes_of("v1");
+  RunHandle h = t.replicas[0]->propose_state(t.objects[0]->get_state());
+  t.scheduler.run();
+  ASSERT_TRUE(h->done());
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kVetoed);
+  EXPECT_EQ(t.objects[0]->value, bytes_of("genesis"));
+  EXPECT_EQ(t.objects[1]->value, bytes_of("genesis"));
+}
+
+TEST(Plain2pcTest, SequentialRoundsAdvance) {
+  PlainFixture t(3);
+  for (int round = 1; round <= 4; ++round) {
+    t.objects[0]->value = bytes_of("r" + std::to_string(round));
+    RunHandle h = t.replicas[0]->propose_state(t.objects[0]->get_state());
+    t.scheduler.run();
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+  }
+  EXPECT_EQ(t.replicas[0]->agreed_sequence(), 4u);
+  EXPECT_EQ(t.objects[2]->value, bytes_of("r4"));
+}
+
+TEST(Plain2pcTest, SameMessageComplexityShapeAsB2b) {
+  // 3(N-1) messages per run, like the full protocol — so E9's overhead
+  // comparison isolates evidence/crypto cost, not message count.
+  for (std::size_t n : {2u, 4u, 6u}) {
+    PlainFixture t(n);
+    t.objects[0]->value = bytes_of("x");
+    RunHandle h = t.replicas[0]->propose_state(t.objects[0]->get_state());
+    t.scheduler.run();
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    std::uint64_t total = 0;
+    for (auto& replica : t.replicas) total += replica->messages_sent();
+    EXPECT_EQ(total, 3 * (n - 1)) << "n=" << n;
+  }
+}
+
+TEST(Plain2pcTest, BusyProposerAborts) {
+  PlainFixture t(2);
+  t.objects[0]->value = bytes_of("a");
+  RunHandle h1 = t.replicas[0]->propose_state(t.objects[0]->get_state());
+  RunHandle h2 = t.replicas[0]->propose_state(bytes_of("b"));
+  EXPECT_EQ(h2->outcome, RunResult::Outcome::kAborted);
+  t.scheduler.run();
+  EXPECT_EQ(h1->outcome, RunResult::Outcome::kAgreed);
+}
+
+TEST(Plain2pcTest, SingletonGroupTriviallyAgrees) {
+  PlainFixture t(1);
+  t.objects[0]->value = bytes_of("solo");
+  RunHandle h = t.replicas[0]->propose_state(t.objects[0]->get_state());
+  EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+}
+
+}  // namespace
+}  // namespace b2b::baseline

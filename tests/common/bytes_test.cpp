@@ -1,0 +1,56 @@
+// Tests for the byte-buffer utilities.
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace b2b {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data{0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(BytesTest, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, StringConversionRoundTrip) {
+  std::string s = "hello \x01 world";
+  EXPECT_EQ(string_of(bytes_of(s)), s);
+}
+
+TEST(BytesTest, ConcatJoinsInOrder) {
+  Bytes a{1, 2};
+  Bytes b{};
+  Bytes c{3};
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+  EXPECT_TRUE(concat({}).empty());
+}
+
+TEST(BytesTest, ConstantTimeEqual) {
+  Bytes a{1, 2, 3};
+  Bytes b{1, 2, 3};
+  Bytes c{1, 2, 4};
+  Bytes d{1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace b2b

@@ -1,0 +1,260 @@
+// Unit and property tests for the arbitrary-precision integer substrate.
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/error.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace b2b::crypto {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_hex(), "0");
+  EXPECT_EQ(zero.to_decimal(), "0");
+  EXPECT_TRUE(zero.to_bytes_be().empty());
+}
+
+TEST(BigIntTest, SmallValueRoundTrips) {
+  BigInt v(0xdeadbeefULL);
+  EXPECT_EQ(v.to_hex(), "deadbeef");
+  EXPECT_EQ(v.low_u64(), 0xdeadbeefULL);
+  EXPECT_EQ(BigInt::from_hex("deadbeef"), v);
+  EXPECT_EQ(BigInt::from_decimal("3735928559"), v);
+  EXPECT_EQ(v.to_decimal(), "3735928559");
+}
+
+TEST(BigIntTest, BytesBigEndianRoundTrip) {
+  Bytes raw = from_hex("0102030405060708090a0b0c0d0e0f10");
+  BigInt v = BigInt::from_bytes_be(raw);
+  EXPECT_EQ(v.to_bytes_be(), raw);
+  EXPECT_EQ(v.to_hex(), "102030405060708090a0b0c0d0e0f10");
+}
+
+TEST(BigIntTest, FromBytesIgnoresLeadingZeros) {
+  EXPECT_EQ(BigInt::from_bytes_be(from_hex("000000ff")), BigInt(255));
+}
+
+TEST(BigIntTest, FixedWidthBytesPadsAndThrows) {
+  BigInt v(0x1234);
+  EXPECT_EQ(v.to_bytes_be(4), from_hex("00001234"));
+  EXPECT_THROW(v.to_bytes_be(1), std::invalid_argument);
+}
+
+TEST(BigIntTest, AdditionCarriesAcrossLimbs) {
+  BigInt max64 = BigInt::from_hex("ffffffffffffffff");
+  EXPECT_EQ(max64 + BigInt(1), BigInt::from_hex("10000000000000000"));
+}
+
+TEST(BigIntTest, SubtractionBorrowsAcrossLimbs) {
+  BigInt big = BigInt::from_hex("10000000000000000");
+  EXPECT_EQ(big - BigInt(1), BigInt::from_hex("ffffffffffffffff"));
+}
+
+TEST(BigIntTest, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigInt(1) - BigInt(2), std::invalid_argument);
+}
+
+TEST(BigIntTest, MultiplicationMatchesKnownProduct) {
+  // 2^128 - 1 squared.
+  BigInt v = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_EQ((v * v).to_hex(),
+            "fffffffffffffffffffffffffffffffe"
+            "00000000000000000000000000000001");
+}
+
+TEST(BigIntTest, ShiftLeftRightInverse) {
+  BigInt v = BigInt::from_hex("123456789abcdef0123456789abcdef");
+  for (std::size_t shift : {1u, 7u, 64u, 65u, 130u}) {
+    EXPECT_EQ((v << shift) >> shift, v) << "shift=" << shift;
+  }
+}
+
+TEST(BigIntTest, ShiftRightDropsLowBits) {
+  EXPECT_EQ(BigInt(0xff) >> 4, BigInt(0x0f));
+  EXPECT_EQ(BigInt(1) >> 1, BigInt(0));
+}
+
+TEST(BigIntTest, DivModByZeroThrows) {
+  EXPECT_THROW(BigInt::divmod(BigInt(1), BigInt(0)), std::domain_error);
+}
+
+TEST(BigIntTest, DivModSingleLimb) {
+  auto [q, r] = BigInt::divmod(BigInt::from_decimal("1000000000000000000007"),
+                               BigInt(10));
+  EXPECT_EQ(q.to_decimal(), "100000000000000000000");
+  EXPECT_EQ(r, BigInt(7));
+}
+
+TEST(BigIntTest, DivModMultiLimbKnownValues) {
+  BigInt n = BigInt::from_hex(
+      "1a2b3c4d5e6f708192a3b4c5d6e7f8091a2b3c4d5e6f708192a3b4c5d6e7f809");
+  BigInt d = BigInt::from_hex("fedcba98765432100123456789abcdef");
+  auto [q, r] = BigInt::divmod(n, d);
+  EXPECT_EQ(q * d + r, n);
+  EXPECT_LT(r, d);
+}
+
+TEST(BigIntTest, ComparisonOrdering) {
+  EXPECT_LT(BigInt(1), BigInt(2));
+  EXPECT_GT(BigInt::from_hex("10000000000000000"), BigInt(2));
+  EXPECT_EQ(BigInt(5) <=> BigInt(5), std::strong_ordering::equal);
+}
+
+TEST(BigIntTest, DecimalRoundTripLargeValue) {
+  std::string dec = "123456789012345678901234567890123456789012345678901234";
+  EXPECT_EQ(BigInt::from_decimal(dec).to_decimal(), dec);
+}
+
+// Property: (a*b) / b == a and (a*b) % b == 0 for random a, b.
+class BigIntPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigIntPropertyTest, DivModInvertsMultiplication) {
+  ChaCha20Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::from_bytes_be(rng.bytes(1 + rng.next_below(40)));
+    BigInt b = BigInt::from_bytes_be(rng.bytes(1 + rng.next_below(40)));
+    if (b.is_zero()) continue;
+    BigInt product = a * b;
+    auto [q, r] = BigInt::divmod(product, b);
+    EXPECT_EQ(q, a);
+    EXPECT_TRUE(r.is_zero());
+  }
+}
+
+TEST_P(BigIntPropertyTest, DivModIdentityForRandomPairs) {
+  ChaCha20Rng rng(GetParam() ^ 0x9e3779b97f4a7c15ULL);
+  for (int i = 0; i < 20; ++i) {
+    BigInt n = BigInt::from_bytes_be(rng.bytes(1 + rng.next_below(64)));
+    BigInt d = BigInt::from_bytes_be(rng.bytes(1 + rng.next_below(32)));
+    if (d.is_zero()) continue;
+    auto [q, r] = BigInt::divmod(n, d);
+    EXPECT_EQ(q * d + r, n);
+    EXPECT_LT(r, d);
+  }
+}
+
+TEST_P(BigIntPropertyTest, AdditionSubtractionInverse) {
+  ChaCha20Rng rng(GetParam() + 17);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::from_bytes_be(rng.bytes(1 + rng.next_below(48)));
+    BigInt b = BigInt::from_bytes_be(rng.bytes(1 + rng.next_below(48)));
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ((a + b) - a, b);
+  }
+}
+
+TEST_P(BigIntPropertyTest, HexRoundTrip) {
+  ChaCha20Rng rng(GetParam() + 101);
+  for (int i = 0; i < 10; ++i) {
+    BigInt a = BigInt::from_bytes_be(rng.bytes(1 + rng.next_below(64)));
+    EXPECT_EQ(BigInt::from_hex(a.to_hex()), a);
+    EXPECT_EQ(BigInt::from_decimal(a.to_decimal()), a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 2026));
+
+TEST(BigIntModExpTest, KnownSmallValues) {
+  EXPECT_EQ(mod_exp(BigInt(4), BigInt(13), BigInt(497)), BigInt(445));
+  EXPECT_EQ(mod_exp(BigInt(2), BigInt(10), BigInt(1025)), BigInt(1024));
+  EXPECT_EQ(mod_exp(BigInt(0), BigInt(0), BigInt(7)), BigInt(1));
+}
+
+TEST(BigIntModExpTest, ZeroModulusThrows) {
+  EXPECT_THROW(mod_exp(BigInt(2), BigInt(2), BigInt(0)), std::domain_error);
+}
+
+TEST(BigIntModExpTest, ModulusOneGivesZero) {
+  EXPECT_EQ(mod_exp(BigInt(123), BigInt(456), BigInt(1)), BigInt(0));
+}
+
+TEST(BigIntModExpTest, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p not dividing a.
+  BigInt p = BigInt::from_decimal("1000000007");
+  for (std::uint64_t a : {2ULL, 3ULL, 999999999ULL}) {
+    EXPECT_EQ(mod_exp(BigInt(a), p - BigInt(1), p), BigInt(1));
+  }
+}
+
+TEST(BigIntModExpTest, EvenModulusPathAgrees) {
+  // Cross-check the non-Montgomery path against known identity:
+  // 3^5 mod 16 = 243 mod 16 = 3.
+  EXPECT_EQ(mod_exp(BigInt(3), BigInt(5), BigInt(16)), BigInt(3));
+}
+
+TEST(BigIntModExpTest, MontgomeryMatchesNaiveOnRandomInputs) {
+  ChaCha20Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    Bytes mod_bytes = rng.bytes(24);
+    mod_bytes.back() |= 1;  // odd
+    mod_bytes.front() |= 0x80;
+    BigInt m = BigInt::from_bytes_be(mod_bytes);
+    BigInt base = BigInt::from_bytes_be(rng.bytes(24)) % m;
+    BigInt exp = BigInt::from_bytes_be(rng.bytes(8));
+    // Naive: repeated square-and-multiply with divmod reduction.
+    BigInt expect(1);
+    for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+      expect = (expect * expect) % m;
+      if (exp.bit(bit)) expect = (expect * base) % m;
+    }
+    EXPECT_EQ(mod_exp(base, exp, m), expect) << "iteration " << i;
+  }
+}
+
+TEST(MontgomeryContextTest, RequiresOddModulus) {
+  EXPECT_THROW(MontgomeryContext(BigInt(10)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryContext(BigInt(1)), std::invalid_argument);
+}
+
+TEST(MontgomeryContextTest, ToFromMontRoundTrip) {
+  BigInt m = BigInt::from_decimal("1000000000000000000000000000057");
+  MontgomeryContext ctx(m);
+  ChaCha20Rng rng(3);
+  for (int i = 0; i < 10; ++i) {
+    BigInt v = BigInt::from_bytes_be(rng.bytes(12)) % m;
+    EXPECT_EQ(ctx.from_mont(ctx.to_mont(v)), v);
+  }
+}
+
+TEST(MontgomeryContextTest, MulMatchesPlainModularProduct) {
+  BigInt m = BigInt::from_decimal("982451653");
+  MontgomeryContext ctx(m);
+  BigInt a(123456789), b(987654321);
+  BigInt got = ctx.from_mont(ctx.mul(ctx.to_mont(a), ctx.to_mont(b)));
+  EXPECT_EQ(got, (a * b) % m);
+}
+
+TEST(NumberTheoryTest, GcdKnownValues) {
+  EXPECT_EQ(gcd(BigInt(48), BigInt(18)), BigInt(6));
+  EXPECT_EQ(gcd(BigInt(17), BigInt(13)), BigInt(1));
+  EXPECT_EQ(gcd(BigInt(0), BigInt(5)), BigInt(5));
+}
+
+TEST(NumberTheoryTest, LcmKnownValuesAndZeroThrows) {
+  EXPECT_EQ(lcm(BigInt(4), BigInt(6)), BigInt(12));
+  EXPECT_THROW(lcm(BigInt(0), BigInt(6)), std::domain_error);
+}
+
+TEST(NumberTheoryTest, ModInverseRoundTrip) {
+  BigInt m = BigInt::from_decimal("1000000007");
+  ChaCha20Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt(1 + rng.next_below(1000000006));
+    BigInt inv = mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(NumberTheoryTest, ModInverseNonexistentThrows) {
+  EXPECT_THROW(mod_inverse(BigInt(4), BigInt(8)), CryptoError);
+}
+
+}  // namespace
+}  // namespace b2b::crypto

@@ -1,0 +1,103 @@
+// ChaCha20 RNG: RFC 8439 keystream vector, determinism, and distribution
+// sanity checks.
+#include "crypto/chacha20.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace b2b::crypto {
+namespace {
+
+TEST(ChaCha20Test, Rfc8439KeystreamFirstBlockZeroKey) {
+  // With an all-zero 256-bit key, zero nonce and zero counter, the first
+  // keystream block is a published test vector (draft-agl-tls-chacha20poly1305,
+  // test vector TC1 / RFC 7539 appendix).
+  ChaCha20Rng rng(Bytes(32, 0));
+  Bytes block = rng.bytes(64);
+  EXPECT_EQ(to_hex(block),
+            "76b8e0ada0f13d90405d6ae55386bd28"
+            "bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a37"
+            "6a43b8f41518a11cc387b669b2ee6586");
+}
+
+TEST(ChaCha20Test, SameSeedSameStream) {
+  ChaCha20Rng a(std::uint64_t{42});
+  ChaCha20Rng b(std::uint64_t{42});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(ChaCha20Test, DifferentSeedsDiffer) {
+  ChaCha20Rng a(std::uint64_t{1});
+  ChaCha20Rng b(std::uint64_t{2});
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ChaCha20Test, LongSeedIsHashedNotTruncated) {
+  Bytes long_seed(64, 0xab);
+  Bytes truncated(long_seed.begin(), long_seed.begin() + 32);
+  ChaCha20Rng a{BytesView(long_seed)};
+  ChaCha20Rng b{BytesView(truncated)};
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(ChaCha20Test, FillCrossesBlockBoundaries) {
+  ChaCha20Rng a(std::uint64_t{7});
+  ChaCha20Rng b(std::uint64_t{7});
+  Bytes whole = a.bytes(200);
+  Bytes pieces;
+  for (std::size_t chunk : {1u, 63u, 64u, 65u, 7u}) {
+    Bytes part = b.bytes(chunk);
+    pieces.insert(pieces.end(), part.begin(), part.end());
+  }
+  ASSERT_EQ(pieces.size(), 200u);
+  EXPECT_EQ(pieces, whole);
+}
+
+TEST(ChaCha20Test, NextBelowZeroBoundThrows) {
+  ChaCha20Rng rng(std::uint64_t{1});
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(ChaCha20Test, NextBelowStaysInRangeAndCoversValues) {
+  ChaCha20Rng rng(std::uint64_t{5});
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    std::uint64_t v = rng.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  EXPECT_EQ(counts.size(), 10u);  // all values hit
+  for (const auto& [value, count] : counts) {
+    EXPECT_GT(count, 150) << "value " << value << " suspiciously rare";
+  }
+}
+
+TEST(ChaCha20Test, NextDoubleInUnitInterval) {
+  ChaCha20Rng rng(std::uint64_t{9});
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(ChaCha20Test, UniformRandomBitGeneratorInterface) {
+  static_assert(std::uniform_random_bit_generator<ChaCha20Rng>);
+  ChaCha20Rng rng(std::uint64_t{3});
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace b2b::crypto

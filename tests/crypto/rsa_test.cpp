@@ -1,0 +1,135 @@
+// RSA signatures: correctness, tamper-resistance, key serialization, and
+// the prime-generation machinery.
+#include "crypto/rsa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "tests/support/test_keys.hpp"
+
+namespace b2b::crypto {
+namespace {
+
+TEST(PrimeTest, KnownSmallPrimesAccepted) {
+  ChaCha20Rng rng(std::uint64_t{1});
+  for (std::uint64_t p : {2ULL, 3ULL, 5ULL, 7ULL, 97ULL, 251ULL}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, KnownCompositesRejected) {
+  ChaCha20Rng rng(std::uint64_t{2});
+  for (std::uint64_t c : {1ULL, 4ULL, 9ULL, 15ULL, 91ULL, 561ULL, 8911ULL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, LargeKnownPrimeAccepted) {
+  // 2^127 - 1 is a Mersenne prime.
+  ChaCha20Rng rng(std::uint64_t{3});
+  BigInt m127 = (BigInt(1) << 127) - BigInt(1);
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  // 2^128 - 1 is composite.
+  EXPECT_FALSE(is_probable_prime((BigInt(1) << 128) - BigInt(1), rng));
+}
+
+TEST(PrimeTest, GeneratedPrimeHasExactBitLengthAndIsOdd) {
+  ChaCha20Rng rng(std::uint64_t{4});
+  BigInt p = generate_prime(256, rng);
+  EXPECT_EQ(p.bit_length(), 256u);
+  EXPECT_TRUE(p.is_odd());
+  // Top two bits set by construction.
+  EXPECT_TRUE(p.bit(255));
+  EXPECT_TRUE(p.bit(254));
+}
+
+TEST(RsaTest, SignVerifyRoundTrip) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes message = bytes_of("state transition proposal");
+  Bytes signature = key.sign(message);
+  EXPECT_EQ(signature.size(), key.public_key().modulus_bytes());
+  EXPECT_TRUE(key.public_key().verify(message, signature));
+}
+
+TEST(RsaTest, VerifyRejectsTamperedMessage) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes signature = key.sign(bytes_of("original"));
+  EXPECT_FALSE(key.public_key().verify(bytes_of("tampered"), signature));
+}
+
+TEST(RsaTest, VerifyRejectsTamperedSignature) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes message = bytes_of("message");
+  Bytes signature = key.sign(message);
+  for (std::size_t i = 0; i < signature.size(); i += 13) {
+    Bytes bad = signature;
+    bad[i] ^= 0x01;
+    EXPECT_FALSE(key.public_key().verify(message, bad)) << "flip at " << i;
+  }
+}
+
+TEST(RsaTest, VerifyRejectsWrongKey) {
+  const RsaPrivateKey& key_a = test::shared_test_key(0);
+  const RsaPrivateKey& key_b = test::shared_test_key(1);
+  Bytes message = bytes_of("message");
+  EXPECT_FALSE(key_b.public_key().verify(message, key_a.sign(message)));
+}
+
+TEST(RsaTest, VerifyRejectsWrongLengthSignature) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes message = bytes_of("message");
+  Bytes signature = key.sign(message);
+  signature.pop_back();
+  EXPECT_FALSE(key.public_key().verify(message, signature));
+  EXPECT_FALSE(key.public_key().verify(message, Bytes{}));
+}
+
+TEST(RsaTest, SignatureIsDeterministic) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes message = bytes_of("same input");
+  EXPECT_EQ(key.sign(message), key.sign(message));
+}
+
+TEST(RsaTest, SignDigestMatchesSignMessage) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes message = bytes_of("digest equivalence");
+  EXPECT_EQ(key.sign(message), key.sign_digest(Sha256::hash(message)));
+  EXPECT_TRUE(key.public_key().verify_digest(Sha256::hash(message),
+                                             key.sign(message)));
+}
+
+TEST(RsaTest, PublicKeyEncodeDecodeRoundTrip) {
+  const RsaPublicKey& pub = test::shared_test_key(0).public_key();
+  RsaPublicKey decoded = RsaPublicKey::decode(pub.encode());
+  EXPECT_EQ(decoded, pub);
+  Bytes message = bytes_of("serialization");
+  EXPECT_TRUE(decoded.verify(message, test::shared_test_key(0).sign(message)));
+}
+
+TEST(RsaTest, PublicKeyDecodeRejectsGarbage) {
+  EXPECT_THROW(RsaPublicKey::decode(Bytes{1, 2, 3}), CodecError);
+  Bytes encoded = test::shared_test_key(0).public_key().encode();
+  encoded.push_back(0);  // trailing byte
+  EXPECT_THROW(RsaPublicKey::decode(encoded), CodecError);
+  encoded.pop_back();
+  encoded.pop_back();  // truncation
+  EXPECT_THROW(RsaPublicKey::decode(encoded), CodecError);
+}
+
+TEST(RsaTest, KeypairGenerationRejectsTinyKeys) {
+  ChaCha20Rng rng(std::uint64_t{5});
+  EXPECT_THROW(generate_rsa_keypair(256, rng), std::invalid_argument);
+}
+
+TEST(RsaTest, FreshKeypairHasRequestedModulusSize) {
+  ChaCha20Rng rng(std::uint64_t{99});
+  RsaPrivateKey key = generate_rsa_keypair(512, rng);
+  EXPECT_EQ(key.public_key().n().bit_length(), 512u);
+  EXPECT_EQ(key.public_key().e(), BigInt(65537));
+  Bytes message = bytes_of("fresh key");
+  EXPECT_TRUE(key.public_key().verify(message, key.sign(message)));
+}
+
+}  // namespace
+}  // namespace b2b::crypto

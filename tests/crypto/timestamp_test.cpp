@@ -1,0 +1,81 @@
+// Timestamp service tests: stamping, verification, tamper detection.
+#include "crypto/timestamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "tests/support/test_keys.hpp"
+
+namespace b2b::crypto {
+namespace {
+
+TimestampService make_service(std::uint64_t* clock_value) {
+  return TimestampService(test::shared_test_key(7),
+                          [clock_value] { return *clock_value; });
+}
+
+TEST(TimestampTest, StampCarriesClockValue) {
+  std::uint64_t now = 1234567;
+  TimestampService tss = make_service(&now);
+  Timestamp ts = tss.stamp(bytes_of("evidence"));
+  EXPECT_EQ(ts.time_micros, 1234567u);
+  EXPECT_EQ(ts.message_hash, Sha256::hash(bytes_of("evidence")));
+}
+
+TEST(TimestampTest, VerifyAcceptsGenuineStamp) {
+  std::uint64_t now = 1;
+  TimestampService tss = make_service(&now);
+  Timestamp ts = tss.stamp(bytes_of("m"));
+  EXPECT_TRUE(TimestampService::verify(ts, tss.public_key()));
+}
+
+TEST(TimestampTest, VerifyRejectsAlteredTime) {
+  std::uint64_t now = 10;
+  TimestampService tss = make_service(&now);
+  Timestamp ts = tss.stamp(bytes_of("m"));
+  ts.time_micros = 99;  // backdating / postdating attempt
+  EXPECT_FALSE(TimestampService::verify(ts, tss.public_key()));
+}
+
+TEST(TimestampTest, VerifyRejectsAlteredHash) {
+  std::uint64_t now = 10;
+  TimestampService tss = make_service(&now);
+  Timestamp ts = tss.stamp(bytes_of("m"));
+  ts.message_hash = Sha256::hash(bytes_of("other"));
+  EXPECT_FALSE(TimestampService::verify(ts, tss.public_key()));
+}
+
+TEST(TimestampTest, VerifyRejectsWrongService) {
+  std::uint64_t now = 10;
+  TimestampService tss = make_service(&now);
+  Timestamp ts = tss.stamp(bytes_of("m"));
+  const RsaPublicKey& other = test::shared_test_key(8).public_key();
+  EXPECT_FALSE(TimestampService::verify(ts, other));
+}
+
+TEST(TimestampTest, AdvancingClockChangesStamp) {
+  std::uint64_t now = 100;
+  TimestampService tss = make_service(&now);
+  Timestamp first = tss.stamp(bytes_of("m"));
+  now = 200;
+  Timestamp second = tss.stamp(bytes_of("m"));
+  EXPECT_NE(first, second);
+  EXPECT_TRUE(TimestampService::verify(first, tss.public_key()));
+  EXPECT_TRUE(TimestampService::verify(second, tss.public_key()));
+}
+
+TEST(TimestampTest, EncodeDecodeRoundTrip) {
+  std::uint64_t now = 42424242;
+  TimestampService tss = make_service(&now);
+  Timestamp ts = tss.stamp(bytes_of("round trip"));
+  Timestamp decoded = Timestamp::decode(ts.encode());
+  EXPECT_EQ(decoded, ts);
+  EXPECT_TRUE(TimestampService::verify(decoded, tss.public_key()));
+}
+
+TEST(TimestampTest, DecodeRejectsTruncated) {
+  EXPECT_THROW(Timestamp::decode(Bytes(10)), CodecError);
+}
+
+}  // namespace
+}  // namespace b2b::crypto

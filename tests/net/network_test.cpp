@@ -1,0 +1,228 @@
+// Simulated network: delivery, fault injection, partitions, crash, stats.
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace b2b::net {
+namespace {
+
+struct NetFixture {
+  EventScheduler scheduler;
+  SimNetwork net{scheduler, 42};
+  std::vector<std::pair<PartyId, Bytes>> a_inbox;
+  std::vector<std::pair<PartyId, Bytes>> b_inbox;
+
+  NetFixture() {
+    net.attach(PartyId{"a"}, [this](const PartyId& from, const Bytes& p) {
+      a_inbox.emplace_back(from, p);
+    });
+    net.attach(PartyId{"b"}, [this](const PartyId& from, const Bytes& p) {
+      b_inbox.emplace_back(from, p);
+    });
+  }
+};
+
+TEST(NetworkTest, DeliversWithDelay) {
+  NetFixture t;
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1, 2, 3});
+  EXPECT_TRUE(t.b_inbox.empty());  // nothing until events run
+  t.scheduler.run();
+  ASSERT_EQ(t.b_inbox.size(), 1u);
+  EXPECT_EQ(t.b_inbox[0].first, PartyId{"a"});
+  EXPECT_EQ(t.b_inbox[0].second, (Bytes{1, 2, 3}));
+  EXPECT_GT(t.scheduler.now(), 0u);  // a real delay elapsed
+}
+
+TEST(NetworkTest, FullDropRateDeliversNothing) {
+  NetFixture t;
+  LinkFaults faults;
+  faults.drop_probability = 1.0;
+  t.net.set_default_faults(faults);
+  for (int i = 0; i < 10; ++i) {
+    t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});
+  }
+  t.scheduler.run();
+  EXPECT_TRUE(t.b_inbox.empty());
+  EXPECT_EQ(t.net.stats().datagrams_dropped, 10u);
+}
+
+TEST(NetworkTest, PartialDropRateDropsSome) {
+  NetFixture t;
+  LinkFaults faults;
+  faults.drop_probability = 0.5;
+  t.net.set_default_faults(faults);
+  for (int i = 0; i < 200; ++i) {
+    t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});
+  }
+  t.scheduler.run();
+  EXPECT_GT(t.b_inbox.size(), 50u);
+  EXPECT_LT(t.b_inbox.size(), 150u);
+}
+
+TEST(NetworkTest, DuplicationDeliversExtraCopies) {
+  NetFixture t;
+  LinkFaults faults;
+  faults.duplicate_probability = 1.0;
+  t.net.set_default_faults(faults);
+  for (int i = 0; i < 5; ++i) {
+    t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{static_cast<uint8_t>(i)});
+  }
+  t.scheduler.run();
+  EXPECT_EQ(t.b_inbox.size(), 10u);
+  EXPECT_EQ(t.net.stats().datagrams_duplicated, 5u);
+}
+
+TEST(NetworkTest, PerLinkFaultsOverrideDefault) {
+  NetFixture t;
+  LinkFaults lossy;
+  lossy.drop_probability = 1.0;
+  t.net.set_link_faults(PartyId{"a"}, PartyId{"b"}, lossy);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});  // dropped
+  t.net.send(PartyId{"b"}, PartyId{"a"}, Bytes{2});  // default: delivered
+  t.scheduler.run();
+  EXPECT_TRUE(t.b_inbox.empty());
+  ASSERT_EQ(t.a_inbox.size(), 1u);
+}
+
+TEST(NetworkTest, DeadNodeNeitherSendsNorReceives) {
+  NetFixture t;
+  t.net.set_alive(PartyId{"b"}, false);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});
+  t.net.send(PartyId{"b"}, PartyId{"a"}, Bytes{2});
+  t.scheduler.run();
+  EXPECT_TRUE(t.b_inbox.empty());
+  EXPECT_TRUE(t.a_inbox.empty());
+
+  t.net.set_alive(PartyId{"b"}, true);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{3});
+  t.scheduler.run();
+  EXPECT_EQ(t.b_inbox.size(), 1u);
+}
+
+TEST(NetworkTest, CrashAfterSendDropsInFlight) {
+  NetFixture t;
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});
+  t.net.set_alive(PartyId{"b"}, false);  // dies before delivery
+  t.scheduler.run();
+  EXPECT_TRUE(t.b_inbox.empty());
+  EXPECT_EQ(t.net.stats().datagrams_dropped, 1u);
+}
+
+TEST(NetworkTest, PartitionBlocksUntilHeal) {
+  NetFixture t;
+  t.net.partition({PartyId{"a"}}, {PartyId{"b"}}, 1'000'000);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});
+  t.scheduler.run();
+  EXPECT_TRUE(t.b_inbox.empty());
+
+  t.scheduler.run_until(1'000'000);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{2});
+  t.scheduler.run();
+  ASSERT_EQ(t.b_inbox.size(), 1u);
+  EXPECT_EQ(t.b_inbox[0].second, Bytes{2});
+}
+
+TEST(NetworkTest, PartitionDoesNotAffectSameSide) {
+  EventScheduler scheduler;
+  SimNetwork net{scheduler, 1};
+  std::vector<Bytes> c_inbox;
+  net.attach(PartyId{"a"}, [](const PartyId&, const Bytes&) {});
+  net.attach(PartyId{"c"}, [&](const PartyId&, const Bytes& p) {
+    c_inbox.push_back(p);
+  });
+  net.partition({PartyId{"a"}, PartyId{"c"}}, {PartyId{"b"}}, 1'000'000);
+  net.send(PartyId{"a"}, PartyId{"c"}, Bytes{7});
+  scheduler.run();
+  EXPECT_EQ(c_inbox.size(), 1u);
+}
+
+TEST(NetworkTest, InjectBypassesFaults) {
+  NetFixture t;
+  LinkFaults lossy;
+  lossy.drop_probability = 1.0;
+  t.net.set_default_faults(lossy);
+  t.net.inject(PartyId{"a"}, PartyId{"b"}, Bytes{1}, 10);
+  t.scheduler.run();
+  EXPECT_EQ(t.b_inbox.size(), 1u);
+}
+
+TEST(NetworkTest, StatsCountBytes) {
+  NetFixture t;
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes(100, 0));
+  t.scheduler.run();
+  EXPECT_EQ(t.net.stats().bytes_sent, 100u);
+  EXPECT_EQ(t.net.stats().bytes_delivered, 100u);
+  t.net.reset_stats();
+  EXPECT_EQ(t.net.stats().bytes_sent, 0u);
+}
+
+TEST(NetworkTest, SameSeedSameDeliverySchedule) {
+  auto run_one = [](std::uint64_t seed) {
+    EventScheduler scheduler;
+    SimNetwork net{scheduler, seed};
+    LinkFaults faults;
+    faults.drop_probability = 0.3;
+    faults.min_delay_micros = 1;
+    faults.max_delay_micros = 10'000;
+    net.set_default_faults(faults);
+    std::vector<SimTime> deliveries;
+    net.attach(PartyId{"a"}, [](const PartyId&, const Bytes&) {});
+    net.attach(PartyId{"b"}, [&](const PartyId&, const Bytes&) {
+      deliveries.push_back(scheduler.now());
+    });
+    for (int i = 0; i < 50; ++i) {
+      net.send(PartyId{"a"}, PartyId{"b"}, Bytes{static_cast<uint8_t>(i)});
+    }
+    scheduler.run();
+    return deliveries;
+  };
+  EXPECT_EQ(run_one(7), run_one(7));
+  EXPECT_NE(run_one(7), run_one(8));
+}
+
+class DropEverythingIntruder : public Intruder {
+ public:
+  Verdict intercept(const PartyId&, const PartyId&, Bytes&,
+                    SimTime*) override {
+    ++seen;
+    return Verdict::kDrop;
+  }
+  int seen = 0;
+};
+
+TEST(NetworkTest, IntruderCanDropEverything) {
+  NetFixture t;
+  DropEverythingIntruder intruder;
+  t.net.set_intruder(&intruder);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});
+  t.scheduler.run();
+  EXPECT_TRUE(t.b_inbox.empty());
+  EXPECT_EQ(intruder.seen, 1);
+  t.net.set_intruder(nullptr);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{2});
+  t.scheduler.run();
+  EXPECT_EQ(t.b_inbox.size(), 1u);
+}
+
+class DelayingIntruder : public Intruder {
+ public:
+  Verdict intercept(const PartyId&, const PartyId&, Bytes&,
+                    SimTime* extra_delay) override {
+    *extra_delay = 1'000'000;
+    return Verdict::kDelay;
+  }
+};
+
+TEST(NetworkTest, IntruderCanDelay) {
+  NetFixture t;
+  DelayingIntruder intruder;
+  t.net.set_intruder(&intruder);
+  t.net.send(PartyId{"a"}, PartyId{"b"}, Bytes{1});
+  t.scheduler.run_until(900'000);
+  EXPECT_TRUE(t.b_inbox.empty());
+  t.scheduler.run();
+  EXPECT_EQ(t.b_inbox.size(), 1u);
+}
+
+}  // namespace
+}  // namespace b2b::net

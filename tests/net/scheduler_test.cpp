@@ -1,0 +1,116 @@
+// Discrete-event scheduler: ordering, determinism, budgets.
+#include "net/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace b2b::net {
+namespace {
+
+TEST(SchedulerTest, StartsAtTimeZeroIdle) {
+  EventScheduler s;
+  EXPECT_EQ(s.now(), 0u);
+  EXPECT_TRUE(s.idle());
+  EXPECT_FALSE(s.run_one());
+}
+
+TEST(SchedulerTest, EventsRunInTimeOrder) {
+  EventScheduler s;
+  std::vector<int> order;
+  s.at(300, [&] { order.push_back(3); });
+  s.at(100, [&] { order.push_back(1); });
+  s.at(200, [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 300u);
+}
+
+TEST(SchedulerTest, TiesBreakByInsertionOrder) {
+  EventScheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.at(50, [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, AfterSchedulesRelativeToNow) {
+  EventScheduler s;
+  std::vector<SimTime> times;
+  s.at(100, [&] {
+    times.push_back(s.now());
+    s.after(50, [&] { times.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{100, 150}));
+}
+
+TEST(SchedulerTest, PastEventsClampToNow) {
+  EventScheduler s;
+  bool ran = false;
+  s.at(100, [&] {
+    s.at(10, [&] {  // in the past
+      ran = true;
+      EXPECT_EQ(s.now(), 100u);
+    });
+  });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  EventScheduler s;
+  int count = 0;
+  s.at(100, [&] { ++count; });
+  s.at(200, [&] { ++count; });
+  s.at(300, [&] { ++count; });
+  s.run_until(200);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(s.now(), 200u);
+  EXPECT_EQ(s.pending(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockEvenWithoutEvents) {
+  EventScheduler s;
+  s.run_until(5000);
+  EXPECT_EQ(s.now(), 5000u);
+}
+
+TEST(SchedulerTest, RunBudgetLimitsExecution) {
+  EventScheduler s;
+  // A self-perpetuating event chain.
+  std::function<void()> tick = [&] { s.after(1, tick); };
+  s.after(1, tick);
+  std::size_t executed = s.run(1000);
+  EXPECT_EQ(executed, 1000u);
+  EXPECT_FALSE(s.idle());
+}
+
+TEST(SchedulerTest, RunUntilConditionStopsEarly) {
+  EventScheduler s;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) {
+    s.at(static_cast<SimTime>(i * 10), [&] { ++count; });
+  }
+  bool met = s.run_until_condition([&] { return count == 3; });
+  EXPECT_TRUE(met);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SchedulerTest, RunUntilConditionReportsFailure) {
+  EventScheduler s;
+  s.at(10, [] {});
+  bool met = s.run_until_condition([] { return false; });
+  EXPECT_FALSE(met);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(SchedulerTest, EventsExecutedCounterAccumulates) {
+  EventScheduler s;
+  for (int i = 0; i < 7; ++i) s.at(static_cast<SimTime>(i), [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+}  // namespace
+}  // namespace b2b::net

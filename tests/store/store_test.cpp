@@ -1,0 +1,218 @@
+// Persistence substrate: hash-chained evidence log (incl. tamper
+// detection and file round trips), checkpoint store, message store.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "store/checkpoint_store.hpp"
+#include "store/evidence_log.hpp"
+#include "store/message_store.hpp"
+
+namespace b2b::store {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / ("b2b_test_" + name))
+      .string();
+}
+
+// --- EvidenceLog --------------------------------------------------------------
+
+TEST(EvidenceLogTest, AppendAssignsIndicesAndChains) {
+  EvidenceLog log;
+  const EvidenceRecord& first = log.append("kind.a", Bytes{1}, 100);
+  EXPECT_EQ(first.index, 0u);
+  EXPECT_EQ(first.prev_hash, crypto::Digest{});
+  const EvidenceRecord& second = log.append("kind.b", Bytes{2}, 200);
+  EXPECT_EQ(second.index, 1u);
+  EXPECT_EQ(second.prev_hash, log.at(0).record_hash);
+  EXPECT_TRUE(log.verify_chain());
+}
+
+TEST(EvidenceLogTest, EmptyChainVerifies) {
+  EvidenceLog log;
+  EXPECT_TRUE(log.verify_chain());
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(EvidenceLogTest, FindKindFiltersRecords) {
+  EvidenceLog log;
+  log.append("violation", Bytes{1}, 1);
+  log.append("propose.sent", Bytes{2}, 2);
+  log.append("violation", Bytes{3}, 3);
+  auto violations = log.find_kind("violation");
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0]->payload, Bytes{1});
+  EXPECT_EQ(violations[1]->payload, Bytes{3});
+  EXPECT_TRUE(log.find_kind("absent").empty());
+}
+
+TEST(EvidenceLogTest, AtOutOfRangeThrows) {
+  EvidenceLog log;
+  EXPECT_THROW(log.at(0), std::out_of_range);
+}
+
+TEST(EvidenceLogTest, RecordRoundTripsThroughBytes) {
+  EvidenceLog log;
+  log.append("k", Bytes{9, 9, 9}, 123456);
+  EvidenceRecord decoded = EvidenceRecord::decode(log.at(0).encode());
+  EXPECT_EQ(decoded, log.at(0));
+}
+
+TEST(EvidenceLogTest, SaveLoadRoundTrip) {
+  std::string path = temp_path("evidence.log");
+  EvidenceLog log;
+  for (int i = 0; i < 20; ++i) {
+    log.append("kind." + std::to_string(i % 3),
+               Bytes(static_cast<std::size_t>(i), static_cast<uint8_t>(i)),
+               static_cast<std::uint64_t>(i) * 1000);
+  }
+  log.save(path);
+  EvidenceLog loaded = EvidenceLog::load(path);
+  EXPECT_EQ(loaded.size(), 20u);
+  EXPECT_TRUE(loaded.verify_chain());
+  EXPECT_EQ(loaded.records(), log.records());
+  std::remove(path.c_str());
+}
+
+TEST(EvidenceLogTest, LoadMissingFileThrows) {
+  EXPECT_THROW(EvidenceLog::load("/nonexistent/dir/evidence.log"),
+               StoreError);
+}
+
+TEST(EvidenceLogTest, TamperedFileFailsChainVerification) {
+  std::string path = temp_path("tampered.log");
+  EvidenceLog log;
+  log.append("a", bytes_of("first"), 1);
+  log.append("b", bytes_of("second"), 2);
+  log.save(path);
+
+  // Flip one payload byte in the file.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 60, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, 60, SEEK_SET);
+  std::fputc(c ^ 0x01, f);
+  std::fclose(f);
+
+  bool detected = false;
+  try {
+    EvidenceLog loaded = EvidenceLog::load(path);
+    detected = !loaded.verify_chain();
+  } catch (const StoreError&) {
+    detected = true;  // corruption broke framing entirely
+  }
+  EXPECT_TRUE(detected);
+  std::remove(path.c_str());
+}
+
+TEST(EvidenceLogTest, TruncatedFileThrows) {
+  std::string path = temp_path("truncated.log");
+  EvidenceLog log;
+  log.append("a", Bytes(100, 7), 1);
+  log.save(path);
+  std::filesystem::resize_file(path, 50);
+  EXPECT_THROW(EvidenceLog::load(path), StoreError);
+  std::remove(path.c_str());
+}
+
+// --- CheckpointStore ------------------------------------------------------------
+
+TEST(CheckpointStoreTest, LatestReturnsMostRecent) {
+  CheckpointStore store;
+  ObjectId obj{"o"};
+  EXPECT_FALSE(store.latest(obj).has_value());
+  store.put(obj, Checkpoint{1, Bytes{1}, bytes_of("s1"), 10});
+  store.put(obj, Checkpoint{2, Bytes{2}, bytes_of("s2"), 20});
+  auto latest = store.latest(obj);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->sequence, 2u);
+  EXPECT_EQ(latest->state, bytes_of("s2"));
+}
+
+TEST(CheckpointStoreTest, AtSequenceFindsHistoricStates) {
+  CheckpointStore store;
+  ObjectId obj{"o"};
+  for (std::uint64_t s = 1; s <= 5; ++s) {
+    store.put(obj, Checkpoint{s, {}, bytes_of("v" + std::to_string(s)), s});
+  }
+  auto cp = store.at_sequence(obj, 3);
+  ASSERT_TRUE(cp.has_value());
+  EXPECT_EQ(cp->state, bytes_of("v3"));
+  EXPECT_FALSE(store.at_sequence(obj, 99).has_value());
+}
+
+TEST(CheckpointStoreTest, HistoryIsOrderedAndCounted) {
+  CheckpointStore store;
+  ObjectId obj{"o"};
+  store.put(obj, Checkpoint{1, {}, bytes_of("a"), 1});
+  store.put(obj, Checkpoint{2, {}, bytes_of("b"), 2});
+  EXPECT_EQ(store.count(obj), 2u);
+  EXPECT_EQ(store.history(obj)[0].state, bytes_of("a"));
+  EXPECT_TRUE(store.history(ObjectId{"other"}).empty());
+  EXPECT_EQ(store.count(ObjectId{"other"}), 0u);
+}
+
+TEST(CheckpointStoreTest, SaveLoadRoundTrip) {
+  std::string path = temp_path("checkpoints.bin");
+  CheckpointStore store;
+  store.put(ObjectId{"x"}, Checkpoint{1, Bytes{1, 2}, bytes_of("xs"), 11});
+  store.put(ObjectId{"y"}, Checkpoint{5, Bytes{3}, bytes_of("ys"), 22});
+  store.put(ObjectId{"y"}, Checkpoint{6, Bytes{4}, bytes_of("ys2"), 33});
+  store.save(path);
+  CheckpointStore loaded = CheckpointStore::load(path);
+  EXPECT_EQ(loaded.count(ObjectId{"x"}), 1u);
+  EXPECT_EQ(loaded.count(ObjectId{"y"}), 2u);
+  EXPECT_EQ(loaded.latest(ObjectId{"y"})->state, bytes_of("ys2"));
+  EXPECT_EQ(loaded.history(ObjectId{"x"}), store.history(ObjectId{"x"}));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, LoadCorruptFileThrows) {
+  std::string path = temp_path("corrupt_checkpoints.bin");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("garbage that is not a checkpoint store", f);
+  std::fclose(f);
+  EXPECT_THROW(CheckpointStore::load(path), StoreError);
+  std::remove(path.c_str());
+}
+
+// --- MessageStore -----------------------------------------------------------------
+
+TEST(MessageStoreTest, GroupsMessagesByRun) {
+  MessageStore store;
+  store.add("run1", {"sent", "propose", "bob", Bytes{1}});
+  store.add("run1", {"received", "respond", "bob", Bytes{2}});
+  store.add("run2", {"sent", "decide", "carol", Bytes{3}});
+  EXPECT_EQ(store.run("run1").size(), 2u);
+  EXPECT_EQ(store.run("run2").size(), 1u);
+  EXPECT_TRUE(store.run("run3").empty());
+  EXPECT_EQ(store.total_messages(), 3u);
+  EXPECT_TRUE(store.has_run("run1"));
+  EXPECT_FALSE(store.has_run("run3"));
+}
+
+TEST(MessageStoreTest, PreservesOrderWithinRun) {
+  MessageStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.add("r", {"sent", "propose", "peer", Bytes{static_cast<uint8_t>(i)}});
+  }
+  const auto& messages = store.run("r");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(messages[static_cast<std::size_t>(i)].payload[0], i);
+  }
+}
+
+TEST(MessageStoreTest, RunLabelsSorted) {
+  MessageStore store;
+  store.add("b", {"sent", "k", "x", {}});
+  store.add("a", {"sent", "k", "x", {}});
+  store.add("c", {"sent", "k", "x", {}});
+  EXPECT_EQ(store.run_labels(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+}  // namespace
+}  // namespace b2b::store

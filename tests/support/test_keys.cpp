@@ -1,0 +1,20 @@
+#include "tests/support/test_keys.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace b2b::crypto::test {
+
+const RsaPrivateKey& shared_test_key(std::size_t index) {
+  static std::mutex mutex;
+  static std::map<std::size_t, RsaPrivateKey> cache;
+  std::lock_guard<std::mutex> lock(mutex);
+  auto it = cache.find(index);
+  if (it == cache.end()) {
+    ChaCha20Rng rng(0xb2b0000 + index);
+    it = cache.emplace(index, generate_rsa_keypair(512, rng)).first;
+  }
+  return it->second;
+}
+
+}  // namespace b2b::crypto::test

@@ -1,0 +1,18 @@
+// Shared RSA test keys.
+//
+// Key generation is the slowest crypto operation; tests that just need
+// "some valid keypair" share a small pool of lazily generated 512-bit keys
+// (deterministic seeds, so failures reproduce).
+#pragma once
+
+#include <cstddef>
+
+#include "crypto/rsa.hpp"
+
+namespace b2b::crypto::test {
+
+/// A process-wide pool of deterministic 512-bit keypairs. `index` picks a
+/// distinct identity; the same index always returns the same key.
+const RsaPrivateKey& shared_test_key(std::size_t index);
+
+}  // namespace b2b::crypto::test

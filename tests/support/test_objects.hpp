@@ -1,0 +1,61 @@
+// Minimal B2BObject implementations for protocol tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "b2b/object.hpp"
+#include "common/bytes.hpp"
+
+namespace b2b::test {
+
+/// A shared register holding opaque bytes, with a pluggable validation
+/// policy and an event recorder. Supports the update variant: an update is
+/// a byte string to append to the current value.
+class TestRegister : public core::B2BObject {
+ public:
+  TestRegister() = default;
+
+  Bytes value;
+  /// Local validation policy; default accepts everything.
+  std::function<core::Decision(BytesView, const core::ValidationContext&)>
+      policy;
+  /// Every coord_callback event, in order.
+  std::vector<core::CoordEvent> events;
+
+  /// For get_update(): the suffix appended since the last agreed state.
+  Bytes pending_suffix;
+
+  Bytes get_state() const override { return value; }
+
+  void apply_state(BytesView state) override {
+    value.assign(state.begin(), state.end());
+  }
+
+  Bytes get_update() const override { return pending_suffix; }
+
+  void apply_update(BytesView update) override {
+    value.insert(value.end(), update.begin(), update.end());
+  }
+
+  core::Decision validate_state(BytesView proposed,
+                                const core::ValidationContext& ctx) override {
+    if (policy) return policy(proposed, ctx);
+    return core::Decision::accepted();
+  }
+
+  void coord_callback(const core::CoordEvent& event) override {
+    events.push_back(event);
+  }
+
+  /// Count of events of one kind.
+  std::size_t count(core::CoordEvent::Kind kind) const {
+    std::size_t n = 0;
+    for (const auto& e : events) {
+      if (e.kind == kind) ++n;
+    }
+    return n;
+  }
+};
+
+}  // namespace b2b::test

@@ -1,0 +1,196 @@
+// Wire codec: round trips, strictness (truncation, overlong varints,
+// trailing bytes), and fuzz against random valid streams.
+#include "wire/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.hpp"
+
+namespace b2b::wire {
+namespace {
+
+TEST(CodecTest, FixedWidthRoundTrip) {
+  Encoder enc;
+  enc.u8(0xab).u16(0x1234).u32(0xdeadbeef).u64(0x0123456789abcdefULL);
+  Decoder dec{enc.bytes()};
+  EXPECT_EQ(dec.u8(), 0xab);
+  EXPECT_EQ(dec.u16(), 0x1234);
+  EXPECT_EQ(dec.u32(), 0xdeadbeefu);
+  EXPECT_EQ(dec.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, LittleEndianLayout) {
+  Encoder enc;
+  enc.u32(0x01020304);
+  EXPECT_EQ(enc.bytes(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(CodecTest, VarintBoundaries) {
+  for (std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL,
+        0xffffffffULL, ~0ULL}) {
+    Encoder enc;
+    enc.varint(v);
+    Decoder dec{enc.bytes()};
+    EXPECT_EQ(dec.varint(), v);
+    EXPECT_TRUE(dec.done());
+  }
+}
+
+TEST(CodecTest, VarintSingleByteForSmallValues) {
+  Encoder enc;
+  enc.varint(127);
+  EXPECT_EQ(enc.size(), 1u);
+}
+
+TEST(CodecTest, OverlongVarintRejected) {
+  Bytes overlong{0x80, 0x00};  // non-canonical encoding of 0
+  Decoder dec{overlong};
+  EXPECT_THROW(dec.varint(), CodecError);
+}
+
+TEST(CodecTest, VarintOverflowRejected) {
+  Bytes eleven_bytes(11, 0xff);
+  Decoder dec{eleven_bytes};
+  EXPECT_THROW(dec.varint(), CodecError);
+}
+
+TEST(CodecTest, BlobAndStringRoundTrip) {
+  Encoder enc;
+  enc.blob(Bytes{1, 2, 3}).str("hello").blob({}).str("");
+  Decoder dec{enc.bytes()};
+  EXPECT_EQ(dec.blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(dec.str(), "hello");
+  EXPECT_TRUE(dec.blob().empty());
+  EXPECT_EQ(dec.str(), "");
+  EXPECT_TRUE(dec.done());
+}
+
+TEST(CodecTest, BlobLengthExceedingInputRejected) {
+  Encoder enc;
+  enc.varint(100);  // claims 100 bytes follow
+  enc.u8(1);
+  Decoder dec{enc.bytes()};
+  EXPECT_THROW(dec.blob(), CodecError);
+}
+
+TEST(CodecTest, TruncatedFixedWidthRejected) {
+  Bytes three{1, 2, 3};
+  Decoder dec{three};
+  EXPECT_THROW(dec.u32(), CodecError);
+}
+
+TEST(CodecTest, BooleanStrictness) {
+  Encoder enc;
+  enc.boolean(true).boolean(false).u8(2);
+  Decoder dec{enc.bytes()};
+  EXPECT_TRUE(dec.boolean());
+  EXPECT_FALSE(dec.boolean());
+  EXPECT_THROW(dec.boolean(), CodecError);
+}
+
+TEST(CodecTest, ExpectDoneCatchesTrailingBytes) {
+  Encoder enc;
+  enc.u8(1).u8(2);
+  Decoder dec{enc.bytes()};
+  dec.u8();
+  EXPECT_THROW(dec.expect_done(), CodecError);
+  dec.u8();
+  EXPECT_NO_THROW(dec.expect_done());
+}
+
+TEST(CodecTest, RawPassthrough) {
+  Encoder enc;
+  enc.raw(Bytes{9, 8, 7});
+  Decoder dec{enc.bytes()};
+  EXPECT_EQ(dec.raw(3), (Bytes{9, 8, 7}));
+  EXPECT_THROW(dec.raw(1), CodecError);
+}
+
+TEST(CodecTest, FuzzRoundTripRandomSequences) {
+  crypto::ChaCha20Rng rng(std::uint64_t{2024});
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    Encoder enc;
+    std::vector<int> kinds;
+    std::vector<std::uint64_t> values;
+    std::vector<Bytes> blobs;
+    int fields = 1 + static_cast<int>(rng.next_below(12));
+    for (int f = 0; f < fields; ++f) {
+      int kind = static_cast<int>(rng.next_below(4));
+      kinds.push_back(kind);
+      switch (kind) {
+        case 0: {
+          std::uint64_t v = rng.next_u64();
+          values.push_back(v);
+          enc.u64(v);
+          break;
+        }
+        case 1: {
+          std::uint64_t v = rng.next_u64() >> rng.next_below(64);
+          values.push_back(v);
+          enc.varint(v);
+          break;
+        }
+        case 2: {
+          Bytes blob = rng.bytes(rng.next_below(50));
+          blobs.push_back(blob);
+          enc.blob(blob);
+          break;
+        }
+        case 3: {
+          bool v = rng.next_below(2) == 1;
+          values.push_back(v ? 1 : 0);
+          enc.boolean(v);
+          break;
+        }
+      }
+    }
+    Decoder dec{enc.bytes()};
+    std::size_t vi = 0, bi = 0;
+    for (int kind : kinds) {
+      switch (kind) {
+        case 0:
+          EXPECT_EQ(dec.u64(), values[vi++]);
+          break;
+        case 1:
+          EXPECT_EQ(dec.varint(), values[vi++]);
+          break;
+        case 2:
+          EXPECT_EQ(dec.blob(), blobs[bi++]);
+          break;
+        case 3:
+          EXPECT_EQ(dec.boolean() ? 1u : 0u, values[vi++]);
+          break;
+      }
+    }
+    EXPECT_NO_THROW(dec.expect_done());
+  }
+}
+
+TEST(CodecTest, TruncationFuzzNeverCrashes) {
+  // Decoding any prefix of a valid stream must throw CodecError (or
+  // succeed for field boundaries), never crash or loop.
+  crypto::ChaCha20Rng rng(std::uint64_t{99});
+  Encoder enc;
+  enc.u64(1).varint(300).blob(rng.bytes(20)).str("tail").boolean(true);
+  const Bytes& full = enc.bytes();
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<std::ptrdiff_t>(cut));
+    Decoder dec{prefix};
+    try {
+      dec.u64();
+      dec.varint();
+      dec.blob();
+      dec.str();
+      dec.boolean();
+      dec.expect_done();
+    } catch (const CodecError&) {
+      // expected for most cut points
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace b2b::wire
