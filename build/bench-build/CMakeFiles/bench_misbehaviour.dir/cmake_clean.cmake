@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_misbehaviour"
+  "../bench/bench_misbehaviour.pdb"
+  "CMakeFiles/bench_misbehaviour.dir/bench_misbehaviour.cpp.o"
+  "CMakeFiles/bench_misbehaviour.dir/bench_misbehaviour.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_misbehaviour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_update_vs_overwrite"
+  "../bench/bench_update_vs_overwrite.pdb"
+  "CMakeFiles/bench_update_vs_overwrite.dir/bench_update_vs_overwrite.cpp.o"
+  "CMakeFiles/bench_update_vs_overwrite.dir/bench_update_vs_overwrite.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_update_vs_overwrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

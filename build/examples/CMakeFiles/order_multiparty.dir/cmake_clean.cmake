@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_multiparty.dir/order_multiparty.cpp.o"
+  "CMakeFiles/order_multiparty.dir/order_multiparty.cpp.o.d"
+  "order_multiparty"
+  "order_multiparty.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_multiparty.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

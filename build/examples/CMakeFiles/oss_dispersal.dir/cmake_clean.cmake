@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oss_dispersal.dir/oss_dispersal.cpp.o"
+  "CMakeFiles/oss_dispersal.dir/oss_dispersal.cpp.o.d"
+  "oss_dispersal"
+  "oss_dispersal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oss_dispersal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for oss_dispersal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tictactoe.dir/tictactoe.cpp.o"
+  "CMakeFiles/tictactoe.dir/tictactoe.cpp.o.d"
+  "tictactoe"
+  "tictactoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tictactoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tictactoe_ttp.dir/tictactoe_ttp.cpp.o"
+  "CMakeFiles/tictactoe_ttp.dir/tictactoe_ttp.cpp.o.d"
+  "tictactoe_ttp"
+  "tictactoe_ttp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tictactoe_ttp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

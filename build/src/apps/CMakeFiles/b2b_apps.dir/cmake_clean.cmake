@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_apps.dir/auction.cpp.o"
+  "CMakeFiles/b2b_apps.dir/auction.cpp.o.d"
+  "CMakeFiles/b2b_apps.dir/order.cpp.o"
+  "CMakeFiles/b2b_apps.dir/order.cpp.o.d"
+  "CMakeFiles/b2b_apps.dir/service_config.cpp.o"
+  "CMakeFiles/b2b_apps.dir/service_config.cpp.o.d"
+  "CMakeFiles/b2b_apps.dir/tictactoe.cpp.o"
+  "CMakeFiles/b2b_apps.dir/tictactoe.cpp.o.d"
+  "libb2b_apps.a"
+  "libb2b_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

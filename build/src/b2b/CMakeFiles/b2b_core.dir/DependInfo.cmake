@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/b2b/arbiter.cpp" "src/b2b/CMakeFiles/b2b_core.dir/arbiter.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/arbiter.cpp.o.d"
+  "/root/repo/src/b2b/composite.cpp" "src/b2b/CMakeFiles/b2b_core.dir/composite.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/composite.cpp.o.d"
+  "/root/repo/src/b2b/controller.cpp" "src/b2b/CMakeFiles/b2b_core.dir/controller.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/controller.cpp.o.d"
+  "/root/repo/src/b2b/coordinator.cpp" "src/b2b/CMakeFiles/b2b_core.dir/coordinator.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/coordinator.cpp.o.d"
+  "/root/repo/src/b2b/evidence.cpp" "src/b2b/CMakeFiles/b2b_core.dir/evidence.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/evidence.cpp.o.d"
+  "/root/repo/src/b2b/federation.cpp" "src/b2b/CMakeFiles/b2b_core.dir/federation.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/federation.cpp.o.d"
+  "/root/repo/src/b2b/membership.cpp" "src/b2b/CMakeFiles/b2b_core.dir/membership.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/membership.cpp.o.d"
+  "/root/repo/src/b2b/messages.cpp" "src/b2b/CMakeFiles/b2b_core.dir/messages.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/messages.cpp.o.d"
+  "/root/repo/src/b2b/object.cpp" "src/b2b/CMakeFiles/b2b_core.dir/object.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/object.cpp.o.d"
+  "/root/repo/src/b2b/replica.cpp" "src/b2b/CMakeFiles/b2b_core.dir/replica.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/replica.cpp.o.d"
+  "/root/repo/src/b2b/termination.cpp" "src/b2b/CMakeFiles/b2b_core.dir/termination.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/termination.cpp.o.d"
+  "/root/repo/src/b2b/tuples.cpp" "src/b2b/CMakeFiles/b2b_core.dir/tuples.cpp.o" "gcc" "src/b2b/CMakeFiles/b2b_core.dir/tuples.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/b2b_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/b2b_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/b2b_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/b2b_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/b2b_store.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

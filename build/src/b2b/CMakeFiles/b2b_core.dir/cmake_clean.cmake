@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_core.dir/arbiter.cpp.o"
+  "CMakeFiles/b2b_core.dir/arbiter.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/composite.cpp.o"
+  "CMakeFiles/b2b_core.dir/composite.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/controller.cpp.o"
+  "CMakeFiles/b2b_core.dir/controller.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/coordinator.cpp.o"
+  "CMakeFiles/b2b_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/evidence.cpp.o"
+  "CMakeFiles/b2b_core.dir/evidence.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/federation.cpp.o"
+  "CMakeFiles/b2b_core.dir/federation.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/membership.cpp.o"
+  "CMakeFiles/b2b_core.dir/membership.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/messages.cpp.o"
+  "CMakeFiles/b2b_core.dir/messages.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/object.cpp.o"
+  "CMakeFiles/b2b_core.dir/object.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/replica.cpp.o"
+  "CMakeFiles/b2b_core.dir/replica.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/termination.cpp.o"
+  "CMakeFiles/b2b_core.dir/termination.cpp.o.d"
+  "CMakeFiles/b2b_core.dir/tuples.cpp.o"
+  "CMakeFiles/b2b_core.dir/tuples.cpp.o.d"
+  "libb2b_core.a"
+  "libb2b_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

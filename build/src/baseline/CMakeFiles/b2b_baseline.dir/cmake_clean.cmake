@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_baseline.dir/plain2pc.cpp.o"
+  "CMakeFiles/b2b_baseline.dir/plain2pc.cpp.o.d"
+  "libb2b_baseline.a"
+  "libb2b_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

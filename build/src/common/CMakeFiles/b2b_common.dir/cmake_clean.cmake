@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_common.dir/bytes.cpp.o"
+  "CMakeFiles/b2b_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/b2b_common.dir/logging.cpp.o"
+  "CMakeFiles/b2b_common.dir/logging.cpp.o.d"
+  "libb2b_common.a"
+  "libb2b_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

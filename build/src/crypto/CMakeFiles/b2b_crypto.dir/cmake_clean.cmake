@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_crypto.dir/bigint.cpp.o"
+  "CMakeFiles/b2b_crypto.dir/bigint.cpp.o.d"
+  "CMakeFiles/b2b_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/b2b_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/b2b_crypto.dir/rsa.cpp.o"
+  "CMakeFiles/b2b_crypto.dir/rsa.cpp.o.d"
+  "CMakeFiles/b2b_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/b2b_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/b2b_crypto.dir/timestamp.cpp.o"
+  "CMakeFiles/b2b_crypto.dir/timestamp.cpp.o.d"
+  "libb2b_crypto.a"
+  "libb2b_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/b2b_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/b2b_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/reliable.cpp" "src/net/CMakeFiles/b2b_net.dir/reliable.cpp.o" "gcc" "src/net/CMakeFiles/b2b_net.dir/reliable.cpp.o.d"
+  "/root/repo/src/net/scheduler.cpp" "src/net/CMakeFiles/b2b_net.dir/scheduler.cpp.o" "gcc" "src/net/CMakeFiles/b2b_net.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/b2b_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/b2b_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/b2b_wire.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_net.dir/network.cpp.o"
+  "CMakeFiles/b2b_net.dir/network.cpp.o.d"
+  "CMakeFiles/b2b_net.dir/reliable.cpp.o"
+  "CMakeFiles/b2b_net.dir/reliable.cpp.o.d"
+  "CMakeFiles/b2b_net.dir/scheduler.cpp.o"
+  "CMakeFiles/b2b_net.dir/scheduler.cpp.o.d"
+  "libb2b_net.a"
+  "libb2b_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

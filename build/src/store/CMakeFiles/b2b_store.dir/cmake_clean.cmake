@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_store.dir/checkpoint_store.cpp.o"
+  "CMakeFiles/b2b_store.dir/checkpoint_store.cpp.o.d"
+  "CMakeFiles/b2b_store.dir/evidence_log.cpp.o"
+  "CMakeFiles/b2b_store.dir/evidence_log.cpp.o.d"
+  "CMakeFiles/b2b_store.dir/message_store.cpp.o"
+  "CMakeFiles/b2b_store.dir/message_store.cpp.o.d"
+  "libb2b_store.a"
+  "libb2b_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_wire.dir/codec.cpp.o"
+  "CMakeFiles/b2b_wire.dir/codec.cpp.o.d"
+  "libb2b_wire.a"
+  "libb2b_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

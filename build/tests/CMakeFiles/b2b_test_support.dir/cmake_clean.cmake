@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/b2b_test_support.dir/support/test_keys.cpp.o"
+  "CMakeFiles/b2b_test_support.dir/support/test_keys.cpp.o.d"
+  "libb2b_test_support.a"
+  "libb2b_test_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/b2b_test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libb2b_test_support.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coordinator_tests.dir/b2b/coordinator_test.cpp.o"
+  "CMakeFiles/coordinator_tests.dir/b2b/coordinator_test.cpp.o.d"
+  "coordinator_tests"
+  "coordinator_tests.pdb"
+  "coordinator_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coordinator_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

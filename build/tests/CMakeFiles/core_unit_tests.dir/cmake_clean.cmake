@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_unit_tests.dir/b2b/evidence_test.cpp.o"
+  "CMakeFiles/core_unit_tests.dir/b2b/evidence_test.cpp.o.d"
+  "CMakeFiles/core_unit_tests.dir/b2b/messages_test.cpp.o"
+  "CMakeFiles/core_unit_tests.dir/b2b/messages_test.cpp.o.d"
+  "CMakeFiles/core_unit_tests.dir/b2b/tuples_test.cpp.o"
+  "CMakeFiles/core_unit_tests.dir/b2b/tuples_test.cpp.o.d"
+  "core_unit_tests"
+  "core_unit_tests.pdb"
+  "core_unit_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_unit_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

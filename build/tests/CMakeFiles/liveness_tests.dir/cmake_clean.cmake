@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/liveness_tests.dir/b2b/liveness_test.cpp.o"
+  "CMakeFiles/liveness_tests.dir/b2b/liveness_test.cpp.o.d"
+  "liveness_tests"
+  "liveness_tests.pdb"
+  "liveness_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/liveness_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

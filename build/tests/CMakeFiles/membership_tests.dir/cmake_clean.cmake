@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/membership_tests.dir/b2b/membership_test.cpp.o"
+  "CMakeFiles/membership_tests.dir/b2b/membership_test.cpp.o.d"
+  "membership_tests"
+  "membership_tests.pdb"
+  "membership_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/membership_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/b2b/safety_test.cpp" "tests/CMakeFiles/safety_tests.dir/b2b/safety_test.cpp.o" "gcc" "tests/CMakeFiles/safety_tests.dir/b2b/safety_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tests/CMakeFiles/b2b_test_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/b2b/CMakeFiles/b2b_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/b2b_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/b2b_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/b2b_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/b2b_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/b2b_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_tests.dir/b2b/safety_test.cpp.o"
+  "CMakeFiles/safety_tests.dir/b2b/safety_test.cpp.o.d"
+  "safety_tests"
+  "safety_tests.pdb"
+  "safety_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

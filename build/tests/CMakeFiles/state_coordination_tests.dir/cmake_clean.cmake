@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_coordination_tests.dir/b2b/state_coordination_test.cpp.o"
+  "CMakeFiles/state_coordination_tests.dir/b2b/state_coordination_test.cpp.o.d"
+  "state_coordination_tests"
+  "state_coordination_tests.pdb"
+  "state_coordination_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_coordination_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

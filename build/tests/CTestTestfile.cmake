@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_tests[1]_include.cmake")
+include("/root/repo/build/tests/state_coordination_tests[1]_include.cmake")
+include("/root/repo/build/tests/membership_tests[1]_include.cmake")
+include("/root/repo/build/tests/safety_tests[1]_include.cmake")
+include("/root/repo/build/tests/liveness_tests[1]_include.cmake")
+include("/root/repo/build/tests/extensions_tests[1]_include.cmake")
+include("/root/repo/build/tests/property_tests[1]_include.cmake")
+include("/root/repo/build/tests/coordinator_tests[1]_include.cmake")
+include("/root/repo/build/tests/wire_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/store_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_unit_tests[1]_include.cmake")
+include("/root/repo/build/tests/apps_tests[1]_include.cmake")
+include("/root/repo/build/tests/baseline_tests[1]_include.cmake")
+include("/root/repo/build/tests/crypto_tests[1]_include.cmake")
