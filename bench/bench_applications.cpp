@@ -36,7 +36,7 @@ void BM_TicTacToeFigure5Game(benchmark::State& state) {
       fed.run_until_done(h);
       fed.settle();
       ++moves;
-      return h->outcome;
+      return h->outcome.load();
     };
     save("cross", cross, 1, 1, apps::Mark::kCross);
     save("nought", nought, 0, 0, apps::Mark::kNought);

@@ -11,6 +11,9 @@
 
 #include "baseline/plain2pc.hpp"
 #include "bench/support/bench_util.hpp"
+#include "net/reliable.hpp"
+#include "net/scheduler.hpp"
+#include "net/sim_runtime.hpp"
 
 using namespace b2b;
 using bench::RegisterFederation;
@@ -22,6 +25,7 @@ struct PlainWorld {
   net::EventScheduler scheduler;
   net::SimNetwork net{scheduler, 77};
   std::vector<std::unique_ptr<net::ReliableEndpoint>> endpoints;
+  std::vector<std::unique_ptr<net::SimTransport>> transports;
   std::vector<std::unique_ptr<b2b::test::TestRegister>> objects;
   std::vector<std::unique_ptr<baseline::PlainReplica>> replicas;
 
@@ -33,10 +37,12 @@ struct PlainWorld {
     for (std::size_t i = 0; i < n; ++i) {
       endpoints.push_back(
           std::make_unique<net::ReliableEndpoint>(net, members[i]));
+      transports.push_back(
+          std::make_unique<net::SimTransport>(*endpoints.back()));
       objects.push_back(std::make_unique<b2b::test::TestRegister>());
       replicas.push_back(std::make_unique<baseline::PlainReplica>(
           members[i], ObjectId{"bench-object"}, *objects.back(),
-          *endpoints.back()));
+          *transports.back()));
     }
     for (auto& replica : replicas) {
       replica->bootstrap(members, bytes_of("genesis"));

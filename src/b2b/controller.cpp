@@ -4,11 +4,10 @@
 
 namespace b2b::core {
 
-Controller::Controller(Coordinator& coordinator,
-                       net::EventScheduler& scheduler, ObjectId object,
-                       Mode mode)
+Controller::Controller(Coordinator& coordinator, net::Executor& executor,
+                       ObjectId object, Mode mode)
     : coordinator_(coordinator),
-      scheduler_(scheduler),
+      executor_(executor),
       object_(std::move(object)),
       mode_(mode) {}
 
@@ -76,8 +75,8 @@ RunHandle Controller::coord_commit() {
 }
 
 void Controller::await(const RunHandle& handle, const std::string& what) {
-  scheduler_.run_until_condition([&] { return handle->done(); });
-  switch (handle->outcome) {
+  executor_.run_until([&] { return handle->done(); });
+  switch (handle->outcome.load()) {
     case RunResult::Outcome::kAgreed:
       return;
     case RunResult::Outcome::kVetoed:

@@ -11,19 +11,23 @@
 //
 // Communication modes (§5):
 //  * kSync          — leave()/connect()/disconnect() block (drive the
-//                     simulation) until coordination completes and throw
-//                     ValidationError if it was vetoed.
+//                     runtime's Executor) until coordination completes and
+//                     throw ValidationError if it was vetoed.
 //  * kDeferredSync  — they return immediately; coord_commit() blocks.
 //  * kAsync         — they return immediately; completion is signalled via
 //                     the object's coord_callback and the RunResult's
 //                     on_complete hook.
+//
+// Blocking goes through the abstract Executor (net/runtime.hpp): on the
+// simulator that pumps the event queue; on the threaded runtime it just
+// waits while transport threads make progress.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
 #include "b2b/coordinator.hpp"
-#include "net/scheduler.hpp"
+#include "net/runtime.hpp"
 
 namespace b2b::core {
 
@@ -31,7 +35,7 @@ class Controller {
  public:
   enum class Mode { kSync, kDeferredSync, kAsync };
 
-  Controller(Coordinator& coordinator, net::EventScheduler& scheduler,
+  Controller(Coordinator& coordinator, net::Executor& executor,
              ObjectId object, Mode mode = Mode::kSync);
 
   Mode mode() const { return mode_; }
@@ -81,7 +85,7 @@ class Controller {
   void await(const RunHandle& handle, const std::string& what);
 
   Coordinator& coordinator_;
-  net::EventScheduler& scheduler_;
+  net::Executor& executor_;
   ObjectId object_;
   Mode mode_;
   int depth_ = 0;

@@ -6,37 +6,46 @@
 
 namespace b2b::core {
 
-Coordinator::Coordinator(Config config, net::ReliableEndpoint& endpoint,
+Coordinator::Coordinator(Config config, net::Transport& transport,
+                         net::Clock& clock,
                          const crypto::TimestampService* tss)
     : self_(std::move(config.self)),
       key_(std::move(config.key)),
-      rng_(config.rng_seed ^ std::hash<std::string>{}(self_.str())),
-      endpoint_(endpoint),
+      rng_(config.rng ? std::move(config.rng)
+                      : std::make_shared<net::DeterministicRng>(
+                            config.rng_seed ^
+                            std::hash<std::string>{}(self_.str()))),
+      transport_(transport),
+      clock_(clock),
       tss_(tss),
       sponsor_policy_(config.sponsor_policy),
       decision_rule_(config.decision_rule) {
   known_keys_.emplace(self_, key_.public_key());
-  endpoint_.set_handler([this](const PartyId& from, const Bytes& payload) {
+  transport_.set_handler([this](const PartyId& from, const Bytes& payload) {
     on_message(from, payload);
   });
 }
 
 void Coordinator::add_known_party(const PartyId& party,
                                   crypto::RsaPublicKey key) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   known_keys_[party] = std::move(key);
 }
 
 const crypto::RsaPublicKey* Coordinator::key_of(const PartyId& party) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = known_keys_.find(party);
   return it == known_keys_.end() ? nullptr : &it->second;
 }
 
 std::map<PartyId, crypto::RsaPublicKey> Coordinator::key_directory() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return known_keys_;
 }
 
 Replica& Coordinator::register_object(const ObjectId& object,
                                       B2BObject& impl) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (replicas_.contains(object)) {
     throw Error("register_object: object already registered: " + object.str());
   }
@@ -44,7 +53,7 @@ Replica& Coordinator::register_object(const ObjectId& object,
   callbacks.send = [this](const PartyId& to, const Envelope& envelope) {
     send(to, envelope);
   };
-  callbacks.now = [this] { return endpoint_.network().scheduler().now(); };
+  callbacks.now = [this] { return clock_.now_micros(); };
   callbacks.record_evidence = [this](const std::string& kind,
                                      const Bytes& payload) {
     record_evidence(kind, payload);
@@ -58,9 +67,14 @@ Replica& Coordinator::register_object(const ObjectId& object,
     if (observer_) observer_(event);
   };
   callbacks.schedule = [this](std::uint64_t delay, std::function<void()> fn) {
-    endpoint_.network().scheduler().after(delay, std::move(fn));
+    // Timers fire on the clock's thread: re-take the coordinator lock so
+    // deadline handlers are serialised with message dispatch.
+    clock_.schedule_after(delay, [this, fn = std::move(fn)] {
+      std::lock_guard<std::recursive_mutex> lock(mutex_);
+      fn();
+    });
   };
-  auto replica = std::make_unique<Replica>(self_, object, impl, key_, rng_,
+  auto replica = std::make_unique<Replica>(self_, object, impl, key_, *rng_,
                                            std::move(callbacks), checkpoints_,
                                            messages_);
   replica->set_sponsor_policy(sponsor_policy_);
@@ -71,6 +85,7 @@ Replica& Coordinator::register_object(const ObjectId& object,
 }
 
 Replica& Coordinator::replica(const ObjectId& object) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = replicas_.find(object);
   if (it == replicas_.end()) {
     throw Error("unknown object: " + object.str());
@@ -79,6 +94,7 @@ Replica& Coordinator::replica(const ObjectId& object) {
 }
 
 const Replica& Coordinator::replica(const ObjectId& object) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   auto it = replicas_.find(object);
   if (it == replicas_.end()) {
     throw Error("unknown object: " + object.str());
@@ -87,40 +103,48 @@ const Replica& Coordinator::replica(const ObjectId& object) const {
 }
 
 bool Coordinator::has_object(const ObjectId& object) const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return replicas_.contains(object);
 }
 
 void Coordinator::enable_ttp_termination(const ObjectId& object,
                                          Replica::TtpConfig config) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   replica(object).enable_ttp_termination(std::move(config));
 }
 
 RunHandle Coordinator::propagate_new_state(const ObjectId& object,
                                            Bytes new_state) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return replica(object).propose_state(std::move(new_state));
 }
 
 RunHandle Coordinator::propagate_update(const ObjectId& object, Bytes update,
                                         Bytes new_state) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return replica(object).propose_update(std::move(update),
                                         std::move(new_state));
 }
 
 RunHandle Coordinator::propagate_connect(const ObjectId& object,
                                          const PartyId& via) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return replica(object).request_connect(via);
 }
 
 RunHandle Coordinator::propagate_disconnect(const ObjectId& object) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return replica(object).request_disconnect();
 }
 
 RunHandle Coordinator::propagate_eviction(const ObjectId& object,
                                           std::vector<PartyId> subjects) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   return replica(object).propose_eviction(std::move(subjects));
 }
 
 void Coordinator::on_message(const PartyId& from, const Bytes& payload) {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   Envelope envelope;
   try {
     envelope = Envelope::decode(payload);
@@ -147,8 +171,7 @@ void Coordinator::record_evidence(const std::string& kind,
   } else {
     framed.blob({});
   }
-  evidence_.append(kind, std::move(framed).take(),
-                   endpoint_.network().scheduler().now());
+  evidence_.append(kind, std::move(framed).take(), clock_.now_micros());
 }
 
 Coordinator::EvidencePayload Coordinator::decode_evidence_payload(
@@ -169,10 +192,11 @@ void Coordinator::send(const PartyId& to, const Envelope& envelope) {
   ++protocol_stats_.envelopes_sent;
   ++protocol_stats_.sent_by_type[envelope.type];
   protocol_stats_.envelope_bytes_sent += encoded.size();
-  endpoint_.send(to, std::move(encoded));
+  transport_.send(to, std::move(encoded));
 }
 
 std::uint64_t Coordinator::violations_detected() const {
+  std::lock_guard<std::recursive_mutex> lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [object, replica] : replicas_) {
     total += replica->violations_detected();

@@ -7,18 +7,28 @@
 // reliable transport. Its propagate_* methods are the paper's
 // B2BCoordinatorLocal propagation interface: they insulate the application
 // (the Controller) from protocol-specific detail.
+//
+// Runtime seam: the coordinator depends only on the abstract Transport /
+// Clock / Rng interfaces (net/runtime.hpp), never on the simulator. On the
+// deterministic runtime every call arrives on one thread and the internal
+// mutex is uncontended; on the threaded runtime transport handlers and
+// clock timers arrive on worker threads, and the mutex serialises them:
+// every public entry point (message dispatch, propagate_*, accessors) and
+// every scheduled timer runs under it, so replica state, the evidence log
+// and the protocol stats are updated atomically per message.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "b2b/replica.hpp"
 #include "crypto/timestamp.hpp"
-#include "net/reliable.hpp"
+#include "net/runtime.hpp"
 #include "store/evidence_log.hpp"
 
 namespace b2b::core {
@@ -28,7 +38,11 @@ class Coordinator {
   struct Config {
     PartyId self;
     crypto::RsaPrivateKey key;
+    /// Seed for the default DeterministicRng. Ignored if `rng` is set.
     std::uint64_t rng_seed = 0;
+    /// Optional injected randomness source (the Rng seam); defaults to a
+    /// DeterministicRng derived from `rng_seed` and `self`.
+    std::shared_ptr<net::Rng> rng;
     /// Sponsor selection for membership protocols; must match federation-
     /// wide (§4.5.1 and its footnote 2).
     SponsorPolicy sponsor_policy = SponsorPolicy::kRotating;
@@ -46,7 +60,8 @@ class Coordinator {
   };
 
   /// `tss` may be null (evidence is then logged without trusted stamps).
-  Coordinator(Config config, net::ReliableEndpoint& endpoint,
+  /// `transport` and `clock` must outlive the coordinator.
+  Coordinator(Config config, net::Transport& transport, net::Clock& clock,
               const crypto::TimestampService* tss);
 
   Coordinator(const Coordinator&) = delete;
@@ -89,9 +104,20 @@ class Coordinator {
 
   // --- stores & evidence ---------------------------------------------------------
 
-  const store::EvidenceLog& evidence() const { return evidence_; }
-  store::CheckpointStore& checkpoints() { return checkpoints_; }
-  const store::MessageStore& messages() const { return messages_; }
+  /// On the threaded runtime, read these only at quiescence (the lock
+  /// acquisition orders prior handler-side writes before the read).
+  const store::EvidenceLog& evidence() const {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return evidence_;
+  }
+  store::CheckpointStore& checkpoints() {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return checkpoints_;
+  }
+  const store::MessageStore& messages() const {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return messages_;
+  }
 
   /// Evidence payloads are framed as {original payload, optional TSS
   /// stamp}; this unpacks one.
@@ -103,16 +129,30 @@ class Coordinator {
 
   // --- observation -----------------------------------------------------------------
 
-  /// Observer invoked for every CoordEvent from any replica.
+  /// Observer invoked for every CoordEvent from any replica. The observer
+  /// runs under the coordinator mutex (on whichever thread delivered the
+  /// message); it must not call back into the coordinator's blocking APIs.
   void set_observer(std::function<void(const CoordEvent&)> observer) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
     observer_ = std::move(observer);
   }
 
-  const ProtocolStats& protocol_stats() const { return protocol_stats_; }
-  void reset_protocol_stats() { protocol_stats_ = ProtocolStats{}; }
+  ProtocolStats protocol_stats() const {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return protocol_stats_;
+  }
+  void reset_protocol_stats() {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    protocol_stats_ = ProtocolStats{};
+  }
 
   /// Total violations detected across all replicas.
   std::uint64_t violations_detected() const;
+
+  /// Memory-barrier helper for external observers on the threaded
+  /// runtime: acquiring and releasing the coordinator mutex orders every
+  /// prior handler-side write before the caller's subsequent reads.
+  void synchronize() const { std::lock_guard<std::recursive_mutex> lock(mutex_); }
 
  private:
   void on_message(const PartyId& from, const Bytes& payload);
@@ -121,9 +161,16 @@ class Coordinator {
 
   PartyId self_;
   crypto::RsaPrivateKey key_;
-  crypto::ChaCha20Rng rng_;
-  net::ReliableEndpoint& endpoint_;
+  std::shared_ptr<net::Rng> rng_;
+  net::Transport& transport_;
+  net::Clock& clock_;
   const crypto::TimestampService* tss_;
+
+  /// Serialises message dispatch, local propagation, timers and external
+  /// accessors. Recursive because replica callbacks (key learning,
+  /// evidence, sends) re-enter coordinator methods while handling a
+  /// message under the lock.
+  mutable std::recursive_mutex mutex_;
 
   SponsorPolicy sponsor_policy_;
   DecisionRule decision_rule_;

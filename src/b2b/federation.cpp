@@ -27,22 +27,33 @@ Federation::Federation(std::vector<std::string> party_names)
 
 Federation::Federation(std::vector<std::string> party_names,
                        const Options& options)
-    : rsa_bits_(options.rsa_bits) {
-  network_ = std::make_unique<net::SimNetwork>(scheduler_, options.seed);
-  network_->set_default_faults(options.faults);
+    : runtime_(options.runtime), rsa_bits_(options.rsa_bits) {
+  if (runtime_ == RuntimeKind::kSim) {
+    net::SimRuntime::Options sim_options;
+    sim_options.seed = options.seed;
+    sim_options.faults = options.faults;
+    sim_options.reliable = options.reliable;
+    sim_ = std::make_unique<net::SimRuntime>(sim_options);
+  } else {
+    net::ThreadedRuntime::Options threaded_options;
+    threaded_options.seed = options.seed;
+    threaded_options.faults = options.threaded_faults;
+    threaded_options.transport = options.threaded_transport;
+    threaded_options.executor = options.threaded_executor;
+    threaded_ = std::make_unique<net::ThreadedRuntime>(threaded_options);
+  }
 
   if (options.use_tss) {
     // The TSS gets its own identity (index well away from party keys).
     tss_ = std::make_unique<crypto::TimestampService>(
         shared_keypair(options.rsa_bits, 999),
-        [this] { return scheduler_.now(); });
+        [this] { return clock().now_micros(); });
   }
 
   for (std::size_t i = 0; i < party_names.size(); ++i) {
     auto party = std::make_unique<Party>();
     party->id = PartyId{party_names[i]};
-    party->endpoint = std::make_unique<net::ReliableEndpoint>(
-        *network_, party->id, options.reliable);
+    party->transport = &runtime_impl().add_party(party->id);
     Coordinator::Config config;
     config.self = party->id;
     config.key = shared_keypair(options.rsa_bits, i);
@@ -50,7 +61,7 @@ Federation::Federation(std::vector<std::string> party_names,
     config.sponsor_policy = options.sponsor_policy;
     config.decision_rule = options.decision_rule;
     party->coordinator = std::make_unique<Coordinator>(
-        std::move(config), *party->endpoint, tss_.get());
+        std::move(config), *party->transport, clock(), tss_.get());
     parties_.push_back(std::move(party));
   }
 
@@ -68,6 +79,32 @@ Federation::Federation(std::vector<std::string> party_names,
 }
 
 Federation::~Federation() = default;
+
+net::Runtime& Federation::runtime_impl() {
+  if (sim_) return *sim_;
+  return *threaded_;
+}
+
+net::Clock& Federation::clock() { return runtime_impl().clock(); }
+
+net::Executor& Federation::executor() { return runtime_impl().executor(); }
+
+net::EventScheduler& Federation::scheduler() {
+  if (!sim_) throw Error("scheduler(): not running on the sim runtime");
+  return sim_->scheduler();
+}
+
+net::SimNetwork& Federation::network() {
+  if (!sim_) throw Error("network(): not running on the sim runtime");
+  return sim_->network();
+}
+
+net::ThreadedNetwork& Federation::threaded_network() {
+  if (!threaded_) {
+    throw Error("threaded_network(): not running on the threaded runtime");
+  }
+  return threaded_->network();
+}
 
 std::vector<PartyId> Federation::party_ids() const {
   std::vector<PartyId> out;
@@ -95,8 +132,15 @@ Coordinator& Federation::coordinator(const std::string& name) {
   return *find_party(name).coordinator;
 }
 
+net::Transport& Federation::transport(const std::string& name) {
+  return *find_party(name).transport;
+}
+
 net::ReliableEndpoint& Federation::endpoint(const std::string& name) {
-  return *find_party(name).endpoint;
+  if (!sim_) throw Error("endpoint(): not running on the sim runtime");
+  net::ReliableEndpoint* endpoint = sim_->endpoint(find_party(name).id);
+  if (endpoint == nullptr) throw Error("unknown party: " + name);
+  return *endpoint;
 }
 
 Replica& Federation::register_object(const std::string& name,
@@ -118,14 +162,21 @@ void Federation::bootstrap_object(const ObjectId& object,
 Controller Federation::make_controller(const std::string& name,
                                        const ObjectId& object,
                                        Controller::Mode mode) {
-  return Controller(coordinator(name), scheduler_, object, mode);
+  return Controller(coordinator(name), executor(), object, mode);
 }
 
 bool Federation::run_until_done(const RunHandle& handle) {
-  return scheduler_.run_until_condition([&] { return handle->done(); });
+  return executor().run_until([&] { return handle->done(); });
 }
 
-void Federation::settle() { scheduler_.run(); }
+void Federation::settle() {
+  executor().settle();
+  if (runtime_ == RuntimeKind::kThreaded) {
+    // Pick up every coordinator's mutex once so the caller's subsequent
+    // unlocked reads observe all transport-thread writes.
+    for (auto& p : parties_) p->coordinator->synchronize();
+  }
+}
 
 TerminationTtp& Federation::termination_ttp() {
   if (!termination_ttp_) {
@@ -133,9 +184,10 @@ TerminationTtp& Federation::termination_ttp() {
     for (const auto& p : parties_) {
       keys.emplace(p->id, p->coordinator->public_key());
     }
+    net::Transport& transport = runtime_impl().add_party(
+        PartyId{"termination-ttp"});
     termination_ttp_ = std::make_unique<TerminationTtp>(
-        *network_, PartyId{"termination-ttp"}, shared_keypair(rsa_bits_, 998),
-        std::move(keys));
+        transport, clock(), shared_keypair(rsa_bits_, 998), std::move(keys));
   }
   return *termination_ttp_;
 }

@@ -1,11 +1,25 @@
 // Federation: a ready-made multi-organisation deployment harness.
 //
-// Assembles everything a B2BObjects deployment needs — virtual-time
-// scheduler, simulated network, reliable endpoints, a trusted
+// Assembles everything a B2BObjects deployment needs — a runtime bundle
+// (clock, per-party transports, an executor to drive progress), a trusted
 // time-stamping service, one Coordinator per organisation with a shared
 // PKI — and provides the out-of-band genesis step that stands in for the
 // initial business agreement between organisations. Tests, examples and
 // benches all build on this instead of re-plumbing the stack.
+//
+// Two runtimes are available (Options::runtime):
+//  * RuntimeKind::kSim      — the deterministic discrete-event stack
+//    (net::SimRuntime). Seeded runs reproduce bit-for-bit; the
+//    simulator-only instruments (partitions, Dolev-Yao intruder,
+//    virtual-time stepping) are reachable via scheduler()/network()/
+//    endpoint().
+//  * RuntimeKind::kThreaded — every party's transport runs on real OS
+//    threads over an in-process lossy channel (net::ThreadedRuntime); the
+//    clock is real time. scheduler()/network()/endpoint() throw here —
+//    use transport()/threaded_network() instead.
+//
+// The Federation itself never constructs a concrete substrate; all
+// protocol-layer plumbing goes through the abstract Runtime seam.
 #pragma once
 
 #include <memory>
@@ -16,11 +30,13 @@
 #include "b2b/termination.hpp"
 #include "b2b/coordinator.hpp"
 #include "crypto/timestamp.hpp"
-#include "net/network.hpp"
-#include "net/reliable.hpp"
-#include "net/scheduler.hpp"
+#include "net/sim_runtime.hpp"
+#include "net/threaded_runtime.hpp"
 
 namespace b2b::core {
+
+/// Which substrate a Federation assembles its parties on.
+enum class RuntimeKind { kSim, kThreaded };
 
 class Federation {
  public:
@@ -30,10 +46,18 @@ class Federation {
     std::size_t rsa_bits = 512;
     /// Master seed: all randomness (keys aside) derives from it.
     std::uint64_t seed = 1;
-    /// Default link fault model.
+    /// Runtime substrate: deterministic simulator or real threads.
+    RuntimeKind runtime = RuntimeKind::kSim;
+    /// Default link fault model (sim runtime).
     net::LinkFaults faults{};
-    /// Reliable-channel configuration (retransmit interval etc.).
+    /// Reliable-channel configuration (sim runtime).
     net::ReliableEndpoint::Config reliable{};
+    /// Fault model of the in-process channel (threaded runtime).
+    net::ThreadedFaults threaded_faults{};
+    /// Transport configuration (threaded runtime).
+    net::ThreadedTransport::Config threaded_transport{};
+    /// Executor configuration (threaded runtime).
+    net::ThreadedExecutor::Config threaded_executor{};
     /// Provide a trusted time-stamping service to all parties.
     bool use_tss = true;
     /// Sponsor selection policy applied federation-wide.
@@ -52,8 +76,20 @@ class Federation {
 
   // --- infrastructure access ---------------------------------------------------
 
-  net::EventScheduler& scheduler() { return scheduler_; }
-  net::SimNetwork& network() { return *network_; }
+  RuntimeKind runtime() const { return runtime_; }
+
+  /// The abstract runtime every party shares.
+  net::Clock& clock();
+  net::Executor& executor();
+
+  /// Simulator-only instruments. Throw b2b::Error on the threaded runtime.
+  net::EventScheduler& scheduler();
+  net::SimNetwork& network();
+
+  /// Threaded-only fabric (crash/recovery, fault injection). Throws
+  /// b2b::Error on the sim runtime.
+  net::ThreadedNetwork& threaded_network();
+
   const crypto::TimestampService* tss() const { return tss_.get(); }
 
   // --- parties --------------------------------------------------------------------
@@ -61,6 +97,13 @@ class Federation {
   std::size_t size() const { return parties_.size(); }
   std::vector<PartyId> party_ids() const;
   Coordinator& coordinator(const std::string& name);
+
+  /// The party's transport, whatever the runtime. Misbehaviour tests that
+  /// hijack a party use this (set_handler + send work on both runtimes).
+  net::Transport& transport(const std::string& name);
+
+  /// Simulator-only: the raw reliable endpoint under the transport.
+  /// Throws b2b::Error on the threaded runtime.
   net::ReliableEndpoint& endpoint(const std::string& name);
 
   /// Process-wide deterministic keypair pool (keys are expensive; reusing
@@ -90,13 +133,16 @@ class Federation {
   Controller make_controller(const std::string& name, const ObjectId& object,
                              Controller::Mode mode = Controller::Mode::kSync);
 
-  // --- simulation driving ----------------------------------------------------------
+  // --- runtime driving ----------------------------------------------------------
 
-  /// Run until `handle` completes; returns false if the simulation went
-  /// idle or the event budget ran out first (the run is blocked).
+  /// Make progress until `handle` completes; returns false if the
+  /// progress budget (event budget / real-time timeout) ran out first
+  /// (the run is blocked).
   bool run_until_done(const RunHandle& handle);
 
-  /// Run until no events remain (the network has gone quiet).
+  /// Make progress until the deployment is quiescent. On the threaded
+  /// runtime this additionally synchronises with every coordinator, so
+  /// state read afterwards is up to date.
   void settle();
 
   /// An EvidenceVerifier loaded with every party's public key.
@@ -105,28 +151,34 @@ class Federation {
   // --- TTP-certified termination (§7 extension) -------------------------------
 
   /// The federation's termination TTP (created on first use, attached to
-  /// the network under the id "termination-ttp" with every party's key).
+  /// the runtime under the id "termination-ttp" with every party's key).
   TerminationTtp& termination_ttp();
 
   /// Enable deadline-based certified termination of `object` at every
-  /// party (deadline in virtual microseconds).
+  /// party (deadline in microseconds of the federation's clock).
   void enable_ttp_termination(const ObjectId& object,
                               std::uint64_t deadline_micros);
 
  private:
   struct Party {
     PartyId id;
-    std::unique_ptr<net::ReliableEndpoint> endpoint;
+    net::Transport* transport = nullptr;  // owned by the runtime bundle
     std::unique_ptr<Coordinator> coordinator;
   };
 
   Party& find_party(const std::string& name);
+  net::Runtime& runtime_impl();
 
-  net::EventScheduler scheduler_;
-  std::unique_ptr<net::SimNetwork> network_;
-  std::unique_ptr<crypto::TimestampService> tss_;
-  std::unique_ptr<TerminationTtp> termination_ttp_;
+  std::unique_ptr<crypto::TimestampService> tss_;  // refs the runtime clock
   std::vector<std::unique_ptr<Party>> parties_;
+  std::unique_ptr<TerminationTtp> termination_ttp_;
+  // Declared last, destroyed first: every runtime thread (transport
+  // receivers/retransmitters, clock timer) stops before the coordinators
+  // and TTP those threads deliver into die. Exactly one is non-null.
+  std::unique_ptr<net::SimRuntime> sim_;
+  std::unique_ptr<net::ThreadedRuntime> threaded_;
+
+  RuntimeKind runtime_ = RuntimeKind::kSim;
   std::size_t rsa_bits_ = 512;
 };
 

@@ -9,7 +9,7 @@
 namespace b2b::core {
 
 Replica::Replica(PartyId self, ObjectId object, B2BObject& impl,
-                 const crypto::RsaPrivateKey& key, crypto::ChaCha20Rng& rng,
+                 const crypto::RsaPrivateKey& key, net::Rng& rng,
                  Callbacks callbacks, store::CheckpointStore& checkpoints,
                  store::MessageStore& messages)
     : self_(std::move(self)),
@@ -120,11 +120,13 @@ void Replica::install_agreed_state(const StateTuple& tuple, Bytes state,
 void Replica::complete(const RunHandle& handle, RunResult::Outcome outcome,
                        std::string diagnostic, std::vector<PartyId> vetoers,
                        std::uint64_t sequence, const std::string& label) {
-  handle->outcome = outcome;
   handle->diagnostic = std::move(diagnostic);
   handle->vetoers = std::move(vetoers);
   handle->sequence = sequence;
   handle->run_label = label;
+  // Store the outcome last: done() pollers on other threads must observe
+  // the fields above once they see a non-pending outcome.
+  handle->outcome = outcome;
   if (handle->on_complete) handle->on_complete(*handle);
 }
 

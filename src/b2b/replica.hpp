@@ -15,6 +15,7 @@
 // never installed (§4.1's fail-safe guarantee).
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <map>
@@ -28,14 +29,18 @@
 #include "b2b/messages.hpp"
 #include "b2b/object.hpp"
 #include "b2b/tuples.hpp"
-#include "crypto/chacha20.hpp"
 #include "crypto/rsa.hpp"
+#include "net/runtime.hpp"
 #include "store/checkpoint_store.hpp"
 #include "store/message_store.hpp"
 
 namespace b2b::core {
 
 /// Completion state of one coordination run, shared with the caller.
+/// `outcome` is atomic so an Executor on the threaded runtime can poll
+/// done() from another thread; the completing replica writes the other
+/// fields *before* storing the outcome, so whoever observes done() also
+/// observes a consistent diagnostic/vetoers/sequence.
 struct RunResult {
   enum class Outcome {
     kPending,  // run still active (§4.4: blocking is detectable, not fatal)
@@ -44,13 +49,13 @@ struct RunResult {
     kAborted,  // aborted locally before completion (e.g. busy, lost race)
   };
 
-  Outcome outcome = Outcome::kPending;
+  std::atomic<Outcome> outcome{Outcome::kPending};
   std::string diagnostic;
   std::vector<PartyId> vetoers;
   std::uint64_t sequence = 0;
   std::string run_label;
 
-  bool done() const { return outcome != Outcome::kPending; }
+  bool done() const { return outcome.load() != Outcome::kPending; }
 
   /// Invoked exactly once when the run completes (async mode plumbing).
   std::function<void(const RunResult&)> on_complete;
@@ -127,7 +132,7 @@ class Replica {
   };
 
   Replica(PartyId self, ObjectId object, B2BObject& impl,
-          const crypto::RsaPrivateKey& key, crypto::ChaCha20Rng& rng,
+          const crypto::RsaPrivateKey& key, net::Rng& rng,
           Callbacks callbacks, store::CheckpointStore& checkpoints,
           store::MessageStore& messages);
 
@@ -312,7 +317,7 @@ class Replica {
   ObjectId object_;
   B2BObject& impl_;
   const crypto::RsaPrivateKey& key_;
-  crypto::ChaCha20Rng& rng_;
+  net::Rng& rng_;
   Callbacks callbacks_;
   store::CheckpointStore& checkpoints_;
   store::MessageStore& messages_;

@@ -133,23 +133,26 @@ TerminationVerdict TerminationVerdict::decode_fields(BytesView data,
 // ---------------------------------------------------------------------------
 
 TerminationTtp::TerminationTtp(
-    net::SimNetwork& network, PartyId id, crypto::RsaPrivateKey key,
+    net::Transport& transport, net::Clock& clock, crypto::RsaPrivateKey key,
     std::map<PartyId, crypto::RsaPublicKey> party_keys)
-    : endpoint_(network, id),
-      id_(std::move(id)),
+    : transport_(transport),
+      clock_(clock),
+      id_(transport.self()),
       key_(std::move(key)),
       party_keys_(std::move(party_keys)) {
-  endpoint_.set_handler([this](const PartyId& from, const Bytes& payload) {
+  transport_.set_handler([this](const PartyId& from, const Bytes& payload) {
     on_message(from, payload);
   });
 }
 
 void TerminationTtp::add_party_key(const PartyId& party,
                                    crypto::RsaPublicKey key) {
+  std::lock_guard<std::mutex> lock(mutex_);
   party_keys_[party] = std::move(key);
 }
 
 void TerminationTtp::on_message(const PartyId& from, const Bytes& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
   Envelope envelope;
   TerminationRequest request;
   Bytes signature;
@@ -174,7 +177,7 @@ void TerminationTtp::on_message(const PartyId& from, const Bytes& payload) {
   out.type = MsgType::kTerminationVerdict;
   out.object = request.object;
   out.body = verdict_body;
-  endpoint_.send(from, out.encode());
+  transport_.send(from, out.encode());
 }
 
 const Bytes& TerminationTtp::verdict_for(const TerminationRequest& request) {
@@ -185,7 +188,7 @@ const Bytes& TerminationTtp::verdict_for(const TerminationRequest& request) {
   TerminationVerdict verdict;
   verdict.object = request.object;
   verdict.proposed = request.proposed;
-  verdict.time_micros = endpoint_.network().scheduler().now();
+  verdict.time_micros = clock_.now_micros();
 
   bool agreed = false;
   if (transcript_complete_and_valid(request, &agreed)) {

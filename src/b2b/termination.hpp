@@ -25,11 +25,12 @@
 #pragma once
 
 #include <map>
+#include <mutex>
 #include <optional>
 
 #include "b2b/evidence.hpp"
 #include "b2b/messages.hpp"
-#include "net/reliable.hpp"
+#include "net/runtime.hpp"
 
 namespace b2b::core {
 
@@ -66,14 +67,19 @@ struct TerminationVerdict {
   static TerminationVerdict decode_fields(BytesView data, Bytes* signature);
 };
 
-/// The on-line trusted third party. Attach it to the same SimNetwork as
+/// The on-line trusted third party. Attach it to a Transport reachable by
 /// the organisations; it answers kTerminationRequest envelopes with
 /// kTerminationVerdict envelopes and never issues two different verdicts
-/// for the same run.
+/// for the same run. The TTP's identity is the transport's bound PartyId.
+///
+/// Thread-safe: on the threaded runtime the transport delivers requests
+/// from a receiver thread while accessors run on the caller's thread; an
+/// internal mutex serialises message handling, key registration and the
+/// verdict cache.
 class TerminationTtp {
  public:
   /// `party_keys` must contain every organisation's public key.
-  TerminationTtp(net::SimNetwork& network, PartyId id,
+  TerminationTtp(net::Transport& transport, net::Clock& clock,
                  crypto::RsaPrivateKey key,
                  std::map<PartyId, crypto::RsaPublicKey> party_keys);
 
@@ -85,19 +91,27 @@ class TerminationTtp {
   /// Add a later-joining organisation's key.
   void add_party_key(const PartyId& party, crypto::RsaPublicKey key);
 
-  std::uint64_t aborts_issued() const { return aborts_issued_; }
-  std::uint64_t decisions_issued() const { return decisions_issued_; }
+  std::uint64_t aborts_issued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborts_issued_;
+  }
+  std::uint64_t decisions_issued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return decisions_issued_;
+  }
 
  private:
   void on_message(const PartyId& from, const Bytes& payload);
-  /// Build (or fetch the cached) verdict for a run.
+  /// Build (or fetch the cached) verdict for a run. Caller holds mutex_.
   const Bytes& verdict_for(const TerminationRequest& request);
   bool transcript_complete_and_valid(const TerminationRequest& request,
                                      bool* agreed) const;
 
-  net::ReliableEndpoint endpoint_;
+  net::Transport& transport_;
+  net::Clock& clock_;
   PartyId id_;
   crypto::RsaPrivateKey key_;
+  mutable std::mutex mutex_;
   std::map<PartyId, crypto::RsaPublicKey> party_keys_;
   /// run label -> encoded verdict envelope body (the consistency cache).
   std::map<std::string, Bytes> verdicts_;

@@ -16,29 +16,29 @@ constexpr std::uint8_t kDecision = 3;
 void complete(const RunHandle& handle, RunResult::Outcome outcome,
               std::string diagnostic, std::vector<PartyId> vetoers,
               std::uint64_t seq) {
-  handle->outcome = outcome;
   handle->diagnostic = std::move(diagnostic);
   handle->vetoers = std::move(vetoers);
   handle->sequence = seq;
+  handle->outcome = outcome;  // last: done() pollers see the fields above
   if (handle->on_complete) handle->on_complete(*handle);
 }
 
 }  // namespace
 
 PlainReplica::PlainReplica(PartyId self, ObjectId object,
-                           core::B2BObject& impl,
-                           net::ReliableEndpoint& endpoint)
+                           core::B2BObject& impl, net::Transport& transport)
     : self_(std::move(self)),
       object_(std::move(object)),
       impl_(impl),
-      endpoint_(endpoint) {
-  endpoint_.set_handler([this](const PartyId& from, const Bytes& payload) {
+      transport_(transport) {
+  transport_.set_handler([this](const PartyId& from, const Bytes& payload) {
     on_message(from, payload);
   });
 }
 
 void PlainReplica::bootstrap(std::vector<PartyId> members,
                              const Bytes& initial_state) {
+  std::lock_guard<std::mutex> lock(mutex_);
   members_ = std::move(members);
   agreed_state_ = initial_state;
   agreed_seq_ = 0;
@@ -48,10 +48,11 @@ void PlainReplica::bootstrap(std::vector<PartyId> members,
 void PlainReplica::send(const PartyId& to, const Bytes& payload) {
   ++messages_sent_;
   bytes_sent_ += payload.size();
-  endpoint_.send(to, payload);
+  transport_.send(to, payload);
 }
 
 RunHandle PlainReplica::propose_state(Bytes new_state) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto handle = std::make_shared<RunResult>();
   if (proposer_run_.has_value()) {
     impl_.apply_state(agreed_state_);
@@ -82,6 +83,7 @@ RunHandle PlainReplica::propose_state(Bytes new_state) {
 }
 
 void PlainReplica::on_message(const PartyId& from, const Bytes& payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
   try {
     wire::Decoder dec{payload};
     std::uint8_t type = dec.u8();

@@ -8,20 +8,22 @@
 // B2BObject upcall) so a comparison measures exactly the cost of the
 // dependability machinery (bench E9), not a different workload.
 //
-// It shares the transport (ReliableEndpoint over SimNetwork), so byte and
-// message counts are directly comparable.
+// It shares the transport abstraction (net::Transport, usually backed by
+// the same ReliableEndpoint/SimNetwork substrate as the full protocol), so
+// byte and message counts are directly comparable.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "b2b/object.hpp"
 #include "b2b/replica.hpp"
-#include "net/reliable.hpp"
+#include "net/runtime.hpp"
 
 namespace b2b::baseline {
 
@@ -29,10 +31,12 @@ namespace b2b::baseline {
 using core::RunHandle;
 using core::RunResult;
 
+/// Thread-safe on the threaded runtime: an internal mutex serialises
+/// propose_state() against transport-thread message delivery.
 class PlainReplica {
  public:
   PlainReplica(PartyId self, ObjectId object, core::B2BObject& impl,
-               net::ReliableEndpoint& endpoint);
+               net::Transport& transport);
 
   /// Out-of-band genesis, mirroring Replica::bootstrap.
   void bootstrap(std::vector<PartyId> members, const Bytes& initial_state);
@@ -40,13 +44,28 @@ class PlainReplica {
   /// Propose replacing the shared state (the object already holds it).
   RunHandle propose_state(Bytes new_state);
 
-  const std::vector<PartyId>& members() const { return members_; }
-  std::uint64_t agreed_sequence() const { return agreed_seq_; }
-  const Bytes& agreed_state() const { return agreed_state_; }
+  std::vector<PartyId> members() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return members_;
+  }
+  std::uint64_t agreed_sequence() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return agreed_seq_;
+  }
+  Bytes agreed_state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return agreed_state_;
+  }
 
   /// Protocol messages sent (for complexity comparison).
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return messages_sent_;
+  }
+  std::uint64_t bytes_sent() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return bytes_sent_;
+  }
 
  private:
   void on_message(const PartyId& from, const Bytes& payload);
@@ -60,7 +79,8 @@ class PlainReplica {
   PartyId self_;
   ObjectId object_;
   core::B2BObject& impl_;
-  net::ReliableEndpoint& endpoint_;
+  net::Transport& transport_;
+  mutable std::mutex mutex_;
 
   std::vector<PartyId> members_;
   std::uint64_t agreed_seq_ = 0;

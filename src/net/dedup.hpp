@@ -1,0 +1,51 @@
+// Bounded-memory once-only delivery bookkeeping.
+//
+// A reliable channel must remember which sender sequence numbers it has
+// already delivered so retransmissions and network duplicates are
+// suppressed. Remembering every number in a std::set grows without bound
+// over a long-lived connection; but because each sender allocates
+// sequence numbers contiguously from 0, everything below the lowest gap
+// can be collapsed into a single watermark. DedupWindow keeps that
+// contiguous prefix plus the (small, transient) set of out-of-order
+// deliveries above it — memory proportional to reordering depth, not to
+// connection lifetime.
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+namespace b2b::net {
+
+class DedupWindow {
+ public:
+  /// Record receipt of `seq`. Returns true exactly once per sequence
+  /// number — the caller delivers on true, suppresses on false.
+  bool mark(std::uint64_t seq) {
+    if (seq < prefix_) return false;  // inside the delivered prefix
+    if (!window_.insert(seq).second) return false;
+    while (!window_.empty() && *window_.begin() == prefix_) {
+      window_.erase(window_.begin());
+      ++prefix_;
+    }
+    return true;
+  }
+
+  /// True if `seq` has been marked before.
+  bool seen(std::uint64_t seq) const {
+    return seq < prefix_ || window_.contains(seq);
+  }
+
+  /// All sequence numbers below this have been delivered.
+  std::uint64_t prefix() const { return prefix_; }
+
+  /// Out-of-order deliveries currently held above the prefix. For a
+  /// contiguous sender this returns to 0 whenever the channel is caught
+  /// up — the boundedness the std::set version lacked.
+  std::size_t window_size() const { return window_.size(); }
+
+ private:
+  std::uint64_t prefix_ = 0;
+  std::set<std::uint64_t> window_;
+};
+
+}  // namespace b2b::net

@@ -118,9 +118,7 @@ void ReliableEndpoint::on_datagram(const PartyId& from, const Bytes& datagram) {
   ++stats_.acks_sent;
   network_.send(self_, from, std::move(ack).take());
 
-  auto [iter, inserted] = delivered_[from].insert(seq);
-  (void)iter;
-  if (!inserted) {
+  if (!delivered_[from].mark(seq)) {
     ++stats_.duplicates_suppressed;
     return;
   }

@@ -18,11 +18,11 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <set>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
+#include "net/dedup.hpp"
 #include "net/network.hpp"
 #include "net/scheduler.hpp"
 
@@ -85,7 +85,17 @@ class ReliableEndpoint {
   };
   std::unordered_map<PartyId, std::uint64_t> next_seq_;
   std::map<std::pair<PartyId, std::uint64_t>, Outgoing> outgoing_;
-  std::unordered_map<PartyId, std::set<std::uint64_t>> delivered_;
+  /// Per-sender once-only bookkeeping: watermark + out-of-order window
+  /// (bounded memory; the full-set version grew with connection lifetime).
+  std::unordered_map<PartyId, DedupWindow> delivered_;
+
+ public:
+  /// Dedup introspection for tests: the contiguous delivered prefix and
+  /// the out-of-order window held for `peer`.
+  const DedupWindow* dedup_window(const PartyId& peer) const {
+    auto it = delivered_.find(peer);
+    return it == delivered_.end() ? nullptr : &it->second;
+  }
 };
 
 }  // namespace b2b::net

@@ -1,0 +1,134 @@
+// Deterministic-simulator implementation of the runtime seam.
+//
+// Thin adapters that present the existing discrete-event stack
+// (ReliableEndpoint over SimNetwork, EventScheduler) through the abstract
+// Transport/Clock/Executor interfaces of runtime.hpp. They add no state
+// and reorder no events, so every seeded simulation behaves exactly as it
+// did when the protocol layer was welded to the concrete classes.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/reliable.hpp"
+#include "net/runtime.hpp"
+#include "net/scheduler.hpp"
+
+namespace b2b::net {
+
+/// Transport over an existing ReliableEndpoint (non-owning: deployment
+/// harnesses keep the endpoint so tests can reach simulator-only knobs
+/// like handler hijacking and raw stats).
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(ReliableEndpoint& endpoint) : endpoint_(endpoint) {}
+
+  void send(const PartyId& to, Bytes payload) override {
+    endpoint_.send(to, std::move(payload));
+  }
+
+  void set_handler(Handler handler) override {
+    endpoint_.set_handler(std::move(handler));
+  }
+
+  const PartyId& self() const override { return endpoint_.self(); }
+
+  std::size_t unacked() const override { return endpoint_.unacked(); }
+
+  Stats stats() const override {
+    const ReliableEndpoint::Stats& s = endpoint_.stats();
+    return Stats{s.app_sent, s.app_delivered, s.retransmissions,
+                 s.duplicates_suppressed, s.acks_sent};
+  }
+
+  ReliableEndpoint& endpoint() { return endpoint_; }
+
+ private:
+  ReliableEndpoint& endpoint_;
+};
+
+/// Virtual-time clock over the discrete-event scheduler.
+class SimClock final : public Clock {
+ public:
+  explicit SimClock(EventScheduler& scheduler) : scheduler_(scheduler) {}
+
+  std::uint64_t now_micros() const override { return scheduler_.now(); }
+
+  void schedule_after(std::uint64_t delay_micros,
+                      std::function<void()> fn) override {
+    scheduler_.after(delay_micros, std::move(fn));
+  }
+
+ private:
+  EventScheduler& scheduler_;
+};
+
+/// Progress = pumping the event queue.
+class SimExecutor final : public Executor {
+ public:
+  explicit SimExecutor(EventScheduler& scheduler) : scheduler_(scheduler) {}
+
+  bool run_until(const std::function<bool()>& predicate) override {
+    return scheduler_.run_until_condition(predicate);
+  }
+
+  void settle() override { scheduler_.run(); }
+
+ private:
+  EventScheduler& scheduler_;
+};
+
+/// The whole deterministic substrate as one bundle: scheduler, lossy
+/// network, one ReliableEndpoint+SimTransport per party. Owning it here
+/// keeps concrete-substrate construction out of the protocol layer;
+/// simulator-only instruments stay reachable via scheduler()/network()/
+/// endpoint().
+class SimRuntime final : public Runtime {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    LinkFaults faults{};
+    ReliableEndpoint::Config reliable{};
+  };
+
+  explicit SimRuntime(const Options& options)
+      : network_(scheduler_, options.seed),
+        clock_(scheduler_),
+        executor_(scheduler_),
+        reliable_(options.reliable) {
+    network_.set_default_faults(options.faults);
+  }
+
+  Transport& add_party(const PartyId& id) override {
+    endpoints_.push_back(
+        std::make_unique<ReliableEndpoint>(network_, id, reliable_));
+    transports_.push_back(std::make_unique<SimTransport>(*endpoints_.back()));
+    return *transports_.back();
+  }
+
+  Clock& clock() override { return clock_; }
+  Executor& executor() override { return executor_; }
+
+  EventScheduler& scheduler() { return scheduler_; }
+  SimNetwork& network() { return network_; }
+
+  /// The raw endpoint under a party's transport (nullptr if unknown).
+  ReliableEndpoint* endpoint(const PartyId& id) {
+    for (auto& endpoint : endpoints_) {
+      if (endpoint->self() == id) return endpoint.get();
+    }
+    return nullptr;
+  }
+
+ private:
+  EventScheduler scheduler_;
+  SimNetwork network_;
+  SimClock clock_;
+  SimExecutor executor_;
+  ReliableEndpoint::Config reliable_;
+  std::vector<std::unique_ptr<ReliableEndpoint>> endpoints_;
+  std::vector<std::unique_ptr<SimTransport>> transports_;
+};
+
+}  // namespace b2b::net

@@ -1,9 +1,15 @@
 // Liveness under bounded temporary failures (§4.1/§4.2, experiment E8):
 // message loss, duplication, reordering, healing partitions, and node
 // crash/recovery. If nobody misbehaves, agreed interactions complete.
+//
+// The loss/duplication suites run over both runtimes (the threaded fabric
+// injects the same fault classes as the simulated links); partition and
+// crash/recovery choreography needs virtual-time stepping and so stays
+// simulator-only.
 #include <gtest/gtest.h>
 
 #include "b2b/federation.hpp"
+#include "tests/support/runtime_param.hpp"
 #include "tests/support/test_objects.hpp"
 
 namespace b2b::core {
@@ -13,27 +19,16 @@ using test::TestRegister;
 
 const ObjectId kObj{"doc"};
 
-struct LossyOptions {
-  static Federation::Options make(double drop, double dup,
-                                  std::uint64_t seed) {
-    Federation::Options options;
-    options.seed = seed;
-    options.faults.drop_probability = drop;
-    options.faults.duplicate_probability = dup;
-    options.faults.min_delay_micros = 500;
-    options.faults.max_delay_micros = 20'000;
-    options.reliable.retransmit_interval_micros = 40'000;
-    return options;
-  }
-};
-
 class LossSweepTest
-    : public ::testing::TestWithParam<std::tuple<double, std::uint64_t>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<std::tuple<double, std::uint64_t>, RuntimeKind>> {};
 
 TEST_P(LossSweepTest, CoordinationCompletesDespiteLoss) {
-  auto [drop, seed] = GetParam();
-  Federation fed{{"a", "b", "c"}, LossyOptions::make(drop, 0.0, seed)};
+  auto [drop, seed] = std::get<0>(GetParam());
+  RuntimeKind kind = std::get<1>(GetParam());
   TestRegister objs[3];
+  Federation fed{{"a", "b", "c"},
+                 test::runtime_options(kind, seed, drop, 0.0)};
   const char* names[] = {"a", "b", "c"};
   for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
   fed.bootstrap_object(kObj, {"a", "b", "c"}, bytes_of("genesis"));
@@ -49,18 +44,32 @@ TEST_P(LossSweepTest, CoordinationCompletesDespiteLoss) {
   }
   // Loss actually happened (the fault model was exercised).
   if (drop > 0) {
-    EXPECT_GT(fed.network().stats().datagrams_dropped, 0u);
+    EXPECT_GT(test::fabric_stats(fed).dropped, 0u);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     DropRates, LossSweepTest,
-    ::testing::Values(std::make_tuple(0.0, 1ull), std::make_tuple(0.1, 2ull),
-                      std::make_tuple(0.3, 3ull), std::make_tuple(0.5, 4ull)));
+    ::testing::Combine(
+        ::testing::Values(std::make_tuple(0.0, 1ull),
+                          std::make_tuple(0.1, 2ull),
+                          std::make_tuple(0.3, 3ull),
+                          std::make_tuple(0.5, 4ull)),
+        ::testing::Values(RuntimeKind::kSim, RuntimeKind::kThreaded)),
+    [](const ::testing::TestParamInfo<
+        std::tuple<std::tuple<double, std::uint64_t>, RuntimeKind>>& info) {
+      int percent =
+          static_cast<int>(std::get<0>(std::get<0>(info.param)) * 100 + 0.5);
+      return "Drop" + std::to_string(percent) +
+             test::runtime_suffix(std::get<1>(info.param));
+    });
 
-TEST(Liveness, DuplicationIsMaskedToOnceOnlyDelivery) {
-  Federation fed{{"a", "b"}, LossyOptions::make(0.0, 0.5, 7)};
+class Liveness : public test::RuntimeParamTest {};
+
+TEST_P(Liveness, DuplicationIsMaskedToOnceOnlyDelivery) {
   TestRegister a_obj, b_obj;
+  Federation fed{{"a", "b"},
+                 test::runtime_options(GetParam(), 7, 0.0, 0.5)};
   fed.register_object("a", kObj, a_obj);
   fed.register_object("b", kObj, b_obj);
   fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
@@ -76,17 +85,17 @@ TEST(Liveness, DuplicationIsMaskedToOnceOnlyDelivery) {
   EXPECT_EQ(b_obj.value, bytes_of("v5"));
   // Duplicates were generated and suppressed, and none surfaced as a
   // protocol-level replay violation.
-  EXPECT_GT(fed.network().stats().datagrams_duplicated, 0u);
-  EXPECT_GT(fed.endpoint("a").stats().duplicates_suppressed +
-                fed.endpoint("b").stats().duplicates_suppressed,
+  EXPECT_GT(test::fabric_stats(fed).duplicated, 0u);
+  EXPECT_GT(fed.transport("a").stats().duplicates_suppressed +
+                fed.transport("b").stats().duplicates_suppressed,
             0u);
   EXPECT_EQ(fed.coordinator("a").violations_detected(), 0u);
   EXPECT_EQ(fed.coordinator("b").violations_detected(), 0u);
 }
 
-TEST(Liveness, RunStartedDuringPartitionCompletesAfterHeal) {
-  Federation fed{{"a", "b"}};
+TEST(LivenessSimOnly, RunStartedDuringPartitionCompletesAfterHeal) {
   TestRegister a_obj, b_obj;
+  Federation fed{{"a", "b"}};
   fed.register_object("a", kObj, a_obj);
   fed.register_object("b", kObj, b_obj);
   fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
@@ -108,9 +117,9 @@ TEST(Liveness, RunStartedDuringPartitionCompletesAfterHeal) {
   EXPECT_EQ(b_obj.value, bytes_of("across-the-partition"));
 }
 
-TEST(Liveness, ResponderCrashDuringRunRecovers) {
-  Federation fed{{"a", "b", "c"}};
+TEST(LivenessSimOnly, ResponderCrashDuringRunRecovers) {
   TestRegister objs[3];
+  Federation fed{{"a", "b", "c"}};
   const char* names[] = {"a", "b", "c"};
   for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
   fed.bootstrap_object(kObj, {"a", "b", "c"}, bytes_of("genesis"));
@@ -132,9 +141,9 @@ TEST(Liveness, ResponderCrashDuringRunRecovers) {
   EXPECT_EQ(objs[2].value, bytes_of("survives-crash"));
 }
 
-TEST(Liveness, ProposerCrashAfterProposeResumesOnRecovery) {
-  Federation fed{{"a", "b"}};
+TEST(LivenessSimOnly, ProposerCrashAfterProposeResumesOnRecovery) {
   TestRegister a_obj, b_obj;
+  Federation fed{{"a", "b"}};
   fed.register_object("a", kObj, a_obj);
   fed.register_object("b", kObj, b_obj);
   fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
@@ -157,9 +166,9 @@ TEST(Liveness, ProposerCrashAfterProposeResumesOnRecovery) {
   EXPECT_EQ(b_obj.value, bytes_of("proposer-crash"));
 }
 
-TEST(Liveness, RepeatedCrashRecoverCyclesEventuallyComplete) {
-  Federation fed{{"a", "b"}};
+TEST(LivenessSimOnly, RepeatedCrashRecoverCyclesEventuallyComplete) {
   TestRegister a_obj, b_obj;
+  Federation fed{{"a", "b"}};
   fed.register_object("a", kObj, a_obj);
   fed.register_object("b", kObj, b_obj);
   fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
@@ -180,9 +189,10 @@ TEST(Liveness, RepeatedCrashRecoverCyclesEventuallyComplete) {
   EXPECT_EQ(b_obj.value, bytes_of("persistent"));
 }
 
-TEST(Liveness, MembershipChangeCompletesUnderLoss) {
-  Federation fed{{"a", "b", "c"}, LossyOptions::make(0.25, 0.1, 11)};
+TEST_P(Liveness, MembershipChangeCompletesUnderLoss) {
   TestRegister objs[3];
+  Federation fed{{"a", "b", "c"},
+                 test::runtime_options(GetParam(), 11, 0.25, 0.1)};
   const char* names[] = {"a", "b", "c"};
   for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
   fed.bootstrap_object(kObj, {"a", "b"}, bytes_of("genesis"));
@@ -195,13 +205,13 @@ TEST(Liveness, MembershipChangeCompletesUnderLoss) {
   EXPECT_EQ(objs[2].value, bytes_of("genesis"));
 }
 
-TEST(Liveness, PermanentCrashBlocksButIsDetectable) {
+TEST(LivenessSimOnly, PermanentCrashBlocksButIsDetectable) {
   // The bound matters: with a *permanently* dead party, §4.1 promises no
   // termination — only detectable blocking and fail-safety.
   Federation::Options options;
   options.reliable.max_retransmits = 20;  // keep the simulation finite
-  Federation fed{{"a", "b", "c"}, options};
   TestRegister objs[3];
+  Federation fed{{"a", "b", "c"}, options};
   const char* names[] = {"a", "b", "c"};
   for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
   fed.bootstrap_object(kObj, {"a", "b", "c"}, bytes_of("genesis"));
@@ -220,11 +230,12 @@ TEST(Liveness, PermanentCrashBlocksButIsDetectable) {
   EXPECT_EQ(objs[2].value, bytes_of("genesis"));
 }
 
-TEST(Liveness, ThroughputUnderAdverseNetworkStaysConsistent) {
+TEST_P(Liveness, ThroughputUnderAdverseNetworkStaysConsistent) {
   // A longer soak: 20 rounds with loss, duplication and alternating
   // proposers; every round must agree and replicas must stay identical.
-  Federation fed{{"x", "y", "z"}, LossyOptions::make(0.15, 0.15, 42)};
   TestRegister objs[3];
+  Federation fed{{"x", "y", "z"},
+                 test::runtime_options(GetParam(), 42, 0.15, 0.15)};
   const char* names[] = {"x", "y", "z"};
   for (int i = 0; i < 3; ++i) fed.register_object(names[i], kObj, objs[i]);
   fed.bootstrap_object(kObj, {"x", "y", "z"}, bytes_of("genesis"));
@@ -242,6 +253,8 @@ TEST(Liveness, ThroughputUnderAdverseNetworkStaysConsistent) {
   }
   EXPECT_EQ(fed.coordinator("x").replica(kObj).agreed_tuple().sequence, 20u);
 }
+
+B2B_INSTANTIATE_RUNTIME_SUITE(Liveness);
 
 }  // namespace
 }  // namespace b2b::core

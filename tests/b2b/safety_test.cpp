@@ -7,10 +7,19 @@
 // misrepresent a veto), forged decide messages. The invariant checked
 // throughout: honest parties never install invalid state, and they record
 // violation evidence.
+//
+// The Safety suite runs over both runtimes (mallory hijacks the abstract
+// transport, which works identically on the simulator and on real
+// threads); the Dolev-Yao intruder tests stay simulator-only because they
+// splice into the raw datagram fabric.
 #include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
 
 #include "b2b/federation.hpp"
 #include "common/error.hpp"
+#include "tests/support/runtime_param.hpp"
 #include "tests/support/test_objects.hpp"
 
 namespace b2b::core {
@@ -31,9 +40,10 @@ class Mallory {
         id_(name),
         key_(fed.keypair(name)),
         rng_(0xbadbadULL) {
-    fed_.endpoint(name_).set_handler(
-        [this](const PartyId& from, const Bytes& payload) {
-          inbox_.emplace_back(from, payload);
+    fed_.transport(name_).set_handler(
+        [inbox = inbox_](const PartyId& from, const Bytes& payload) {
+          std::lock_guard<std::mutex> lock(inbox->mutex);
+          inbox->messages.emplace_back(from, payload);
         });
   }
 
@@ -70,13 +80,14 @@ class Mallory {
     env.type = type;
     env.object = kObj;
     env.body = std::move(body);
-    fed_.endpoint(name_).send(PartyId{to}, env.encode());
+    fed_.transport(name_).send(PartyId{to}, env.encode());
   }
 
   /// Responses captured from honest parties, decoded.
   std::vector<RespondMsg> captured_responses() {
+    std::lock_guard<std::mutex> lock(inbox_->mutex);
     std::vector<RespondMsg> out;
-    for (const auto& [from, payload] : inbox_) {
+    for (const auto& [from, payload] : inbox_->messages) {
       Envelope env = Envelope::decode(payload);
       if (env.type == MsgType::kRespond) {
         out.push_back(RespondMsg::decode(env.body));
@@ -94,18 +105,29 @@ class Mallory {
   const crypto::RsaPrivateKey& key_;
   crypto::ChaCha20Rng rng_;
   Bytes authenticator_;
-  std::vector<std::pair<PartyId, Bytes>> inbox_;
+  /// Shared with (and kept alive by) the hijack handler installed in the
+  /// transport: delivery threads may still write after Mallory herself is
+  /// gone, since the transport outlives her.
+  struct Inbox {
+    std::mutex mutex;
+    std::vector<std::pair<PartyId, Bytes>> messages;
+  };
+  std::shared_ptr<Inbox> inbox_ = std::make_shared<Inbox>();
 };
 
 /// Honest parties bob & carol share the object with mallory.
 struct SafetyFixture {
-  Federation fed{{"bob", "carol", "mallory"}};
+  // Registers are declared before (destroyed after) the federation, so
+  // the runtime's delivery threads stop before the objects they write
+  // into die.
   TestRegister bob_obj;
   TestRegister carol_obj;
-  TestRegister mallory_obj;  // registered, but mallory's endpoint is hijacked
+  TestRegister mallory_obj;  // registered, but mallory's transport is hijacked
+  Federation fed;
   Mallory mallory{fed, "mallory"};
 
-  SafetyFixture() {
+  explicit SafetyFixture(RuntimeKind kind = RuntimeKind::kSim)
+      : fed({"bob", "carol", "mallory"}, test::runtime_options(kind)) {
     fed.register_object("bob", kObj, bob_obj);
     fed.register_object("carol", kObj, carol_obj);
     fed.coordinator("mallory").register_object(kObj, mallory_obj);
@@ -124,8 +146,10 @@ struct SafetyFixture {
   }
 };
 
-TEST(Safety, TamperedPayloadIsRejectedWithViolationEvidence) {
-  SafetyFixture t;
+class Safety : public test::RuntimeParamTest {};
+
+TEST_P(Safety, TamperedPayloadIsRejectedWithViolationEvidence) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("evil"));
   msg.payload = bytes_of("actually-different");  // signed hash now wrong
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
@@ -140,8 +164,8 @@ TEST(Safety, TamperedPayloadIsRejectedWithViolationEvidence) {
   t.expect_no_state_change();
 }
 
-TEST(Safety, InternallyInconsistentProposalIsRejected) {
-  SafetyFixture t;
+TEST_P(Safety, InternallyInconsistentProposalIsRejected) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("evil"));
   // Claim (and sign) a different resulting state hash than the payload's.
   msg.proposal.proposed.state_hash = crypto::Sha256::hash(bytes_of("other"));
@@ -155,8 +179,8 @@ TEST(Safety, InternallyInconsistentProposalIsRejected) {
   t.expect_no_state_change();
 }
 
-TEST(Safety, BadSignatureIsDetectedAndIgnored) {
-  SafetyFixture t;
+TEST_P(Safety, BadSignatureIsDetectedAndIgnored) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("evil"));
   msg.signature[5] ^= 0xff;
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
@@ -166,8 +190,8 @@ TEST(Safety, BadSignatureIsDetectedAndIgnored) {
   t.expect_no_state_change();
 }
 
-TEST(Safety, NullStateTransitionIsRejected) {
-  SafetyFixture t;
+TEST_P(Safety, NullStateTransitionIsRejected) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("genesis"));
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
   t.fed.settle();
@@ -177,8 +201,8 @@ TEST(Safety, NullStateTransitionIsRejected) {
             "null state transition");
 }
 
-TEST(Safety, StaleAgreedViewIsRejected) {
-  SafetyFixture t;
+TEST_P(Safety, StaleAgreedViewIsRejected) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("evil"));
   msg.proposal.agreed.sequence = 7;  // fabricated agreed view
   msg.proposal.proposed.sequence = 8;
@@ -191,8 +215,8 @@ TEST(Safety, StaleAgreedViewIsRejected) {
             "inconsistent agreed-state view");
 }
 
-TEST(Safety, ReplayedProposalIsDetected) {
-  SafetyFixture t;
+TEST_P(Safety, ReplayedProposalIsDetected) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("evil"));
   Bytes body = msg.encode();
   t.mallory.send("bob", MsgType::kPropose, body);
@@ -206,8 +230,8 @@ TEST(Safety, ReplayedProposalIsDetected) {
   EXPECT_EQ(t.mallory.captured_responses().size(), 1u);
 }
 
-TEST(Safety, SelectiveSendingCannotProduceValidDecision) {
-  SafetyFixture t;
+TEST_P(Safety, SelectiveSendingCannotProduceValidDecision) {
+  SafetyFixture t(GetParam());
   // Mallory proposes to bob only, never to carol.
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("selective"));
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
@@ -234,8 +258,8 @@ TEST(Safety, SelectiveSendingCannotProduceValidDecision) {
   EXPECT_EQ(t.fed.coordinator("carol").violations_detected(), 0u);
 }
 
-TEST(Safety, VetoCannotBeMisrepresentedAsAgreement) {
-  SafetyFixture t;
+TEST_P(Safety, VetoCannotBeMisrepresentedAsAgreement) {
+  SafetyFixture t(GetParam());
   // Carol's policy vetoes mallory's content; bob accepts it.
   t.carol_obj.policy = [](BytesView proposed, const ValidationContext&) {
     return string_of(proposed) == "evil"
@@ -280,8 +304,8 @@ TEST(Safety, VetoCannotBeMisrepresentedAsAgreement) {
   EXPECT_EQ(verdict.vetoers[0], PartyId{"carol"});
 }
 
-TEST(Safety, ForgedAuthenticatorIsDetected) {
-  SafetyFixture t;
+TEST_P(Safety, ForgedAuthenticatorIsDetected) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("forged"));
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
   t.mallory.send("carol", MsgType::kPropose, msg.encode());
@@ -304,8 +328,8 @@ TEST(Safety, ForgedAuthenticatorIsDetected) {
   EXPECT_FALSE(t.bob().active_run_labels().empty());
 }
 
-TEST(Safety, GenuineDecideInstallsDespiteEarlierForgeryAttempt) {
-  SafetyFixture t;
+TEST_P(Safety, GenuineDecideInstallsDespiteEarlierForgeryAttempt) {
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("eventually-ok"));
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
   t.mallory.send("carol", MsgType::kPropose, msg.encode());
@@ -332,8 +356,8 @@ TEST(Safety, GenuineDecideInstallsDespiteEarlierForgeryAttempt) {
   EXPECT_EQ(t.carol_obj.value, bytes_of("eventually-ok"));
 }
 
-TEST(Safety, ImpersonationOfAnotherMemberIsDetected) {
-  SafetyFixture t;
+TEST_P(Safety, ImpersonationOfAnotherMemberIsDetected) {
+  SafetyFixture t(GetParam());
   // Mallory signs as herself but claims to be bob.
   ProposeMsg msg = t.mallory.make_proposal(t.carol(), bytes_of("evil"));
   msg.proposal.proposer = PartyId{"bob"};
@@ -346,8 +370,8 @@ TEST(Safety, ImpersonationOfAnotherMemberIsDetected) {
   t.expect_no_state_change();
 }
 
-TEST(Safety, EquivocatingProposalsBothFail) {
-  SafetyFixture t;
+TEST_P(Safety, EquivocatingProposalsBothFail) {
+  SafetyFixture t(GetParam());
   // Different content to bob and carol under *different* runs: neither can
   // complete because each decide would need both parties' responses to the
   // same tuple.
@@ -378,9 +402,9 @@ TEST(Safety, EquivocatingProposalsBothFail) {
   EXPECT_GE(t.fed.coordinator("bob").violations_detected(), 1u);
 }
 
-TEST(Safety, HonestRunSurvivesArbitration) {
+TEST_P(Safety, HonestRunSurvivesArbitration) {
   // Sanity inversion: a fully honest transcript verifies as agreed.
-  SafetyFixture t;
+  SafetyFixture t(GetParam());
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("honest"));
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
   t.mallory.send("carol", MsgType::kPropose, msg.encode());
@@ -408,8 +432,8 @@ TEST(Safety, HonestRunSurvivesArbitration) {
   EXPECT_TRUE(verdict.violations.empty());
 }
 
-TEST(Safety, BlockedRunIsVisibleAndResolvable) {
-  SafetyFixture t;
+TEST_P(Safety, BlockedRunIsVisibleAndResolvable) {
+  SafetyFixture t(GetParam());
   // Mallory proposes and then goes silent: no decide ever arrives.
   ProposeMsg msg = t.mallory.make_proposal(t.bob(), bytes_of("abandoned"));
   t.mallory.send("bob", MsgType::kPropose, msg.encode());
@@ -460,9 +484,9 @@ class TamperingIntruder : public net::Intruder {
   std::size_t remaining_;
 };
 
-TEST(Safety, TransientIntruderTamperingIsMaskedAsLoss) {
-  Federation fed{{"alpha", "beta"}};
+TEST(SafetyIntruder, TransientIntruderTamperingIsMaskedAsLoss) {
   TestRegister alpha_obj, beta_obj;
+  Federation fed{{"alpha", "beta"}};
   fed.register_object("alpha", kObj, alpha_obj);
   fed.register_object("beta", kObj, beta_obj);
   fed.bootstrap_object(kObj, {"alpha", "beta"}, bytes_of("genesis"));
@@ -484,14 +508,14 @@ TEST(Safety, TransientIntruderTamperingIsMaskedAsLoss) {
             0u);
 }
 
-TEST(Safety, PersistentIntruderTamperingBlocksButStaysFailSafe) {
+TEST(SafetyIntruder, PersistentIntruderTamperingBlocksButStaysFailSafe) {
   // §4.4: against an intruder who keeps modifying traffic, "the most that
   // can be achieved is the detectable disruption of the protocol" — the
   // run blocks, and no party installs anything.
   Federation::Options options;
   options.reliable.max_retransmits = 10;  // keep the simulation finite
-  Federation fed{{"alpha", "beta"}, options};
   TestRegister alpha_obj, beta_obj;
+  Federation fed{{"alpha", "beta"}, options};
   fed.register_object("alpha", kObj, alpha_obj);
   fed.register_object("beta", kObj, beta_obj);
   fed.bootstrap_object(kObj, {"alpha", "beta"}, bytes_of("genesis"));
@@ -542,9 +566,9 @@ class ReplayingIntruder : public net::Intruder {
   bool replaying_ = false;
 };
 
-TEST(Safety, IntruderReplayIsMaskedByOnceOnlyDelivery) {
-  Federation fed{{"alpha", "beta"}};
+TEST(SafetyIntruder, IntruderReplayIsMaskedByOnceOnlyDelivery) {
   TestRegister alpha_obj, beta_obj;
+  Federation fed{{"alpha", "beta"}};
   fed.register_object("alpha", kObj, alpha_obj);
   fed.register_object("beta", kObj, beta_obj);
   fed.bootstrap_object(kObj, {"alpha", "beta"}, bytes_of("genesis"));
@@ -575,6 +599,8 @@ TEST(Safety, IntruderReplayIsMaskedByOnceOnlyDelivery) {
             0u);
   EXPECT_EQ(beta_obj.value, bytes_of("v1"));
 }
+
+B2B_INSTANTIATE_RUNTIME_SUITE(Safety);
 
 }  // namespace
 }  // namespace b2b::core

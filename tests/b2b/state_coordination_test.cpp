@@ -1,10 +1,16 @@
 // End-to-end tests of the state coordination protocol (§4.3):
 // agreement, veto with rollback, the update variant (§4.3.1), concurrent
 // proposals, multi-party scaling and the three communication modes.
+//
+// Most suites are parameterized over both runtimes (deterministic
+// simulator and real threads); tests that depend on simulator-only
+// instruments (virtual-time stepping, pre-delivery windows) live in the
+// *SimOnly suites.
 #include <gtest/gtest.h>
 
 #include "b2b/federation.hpp"
 #include "common/error.hpp"
+#include "tests/support/runtime_param.hpp"
 #include "tests/support/test_objects.hpp"
 
 namespace b2b::core {
@@ -15,19 +21,25 @@ using test::TestRegister;
 const ObjectId kObj{"doc"};
 
 struct TwoParties {
-  Federation fed{{"alpha", "beta"}};
+  // Registers are declared before (destroyed after) the federation, so
+  // the runtime's delivery threads stop before the objects they write
+  // into die.
   TestRegister alpha_obj;
   TestRegister beta_obj;
+  Federation fed;
 
-  TwoParties() {
+  explicit TwoParties(RuntimeKind kind = RuntimeKind::kSim)
+      : fed({"alpha", "beta"}, test::runtime_options(kind)) {
     fed.register_object("alpha", kObj, alpha_obj);
     fed.register_object("beta", kObj, beta_obj);
     fed.bootstrap_object(kObj, {"alpha", "beta"}, bytes_of("genesis"));
   }
 };
 
-TEST(StateCoordination, BootstrapEstablishesIdenticalViews) {
-  TwoParties t;
+class StateCoordination : public test::RuntimeParamTest {};
+
+TEST_P(StateCoordination, BootstrapEstablishesIdenticalViews) {
+  TwoParties t(GetParam());
   Replica& a = t.fed.coordinator("alpha").replica(kObj);
   Replica& b = t.fed.coordinator("beta").replica(kObj);
   EXPECT_EQ(a.agreed_tuple(), b.agreed_tuple());
@@ -36,8 +48,8 @@ TEST(StateCoordination, BootstrapEstablishesIdenticalViews) {
   EXPECT_EQ(t.beta_obj.value, bytes_of("genesis"));
 }
 
-TEST(StateCoordination, AgreedOverwriteInstallsEverywhere) {
-  TwoParties t;
+TEST_P(StateCoordination, AgreedOverwriteInstallsEverywhere) {
+  TwoParties t(GetParam());
   t.alpha_obj.value = bytes_of("v1");
   RunHandle h = t.fed.coordinator("alpha").propagate_new_state(
       kObj, t.alpha_obj.get_state());
@@ -51,8 +63,8 @@ TEST(StateCoordination, AgreedOverwriteInstallsEverywhere) {
   EXPECT_EQ(a.agreed_tuple().sequence, 1u);
 }
 
-TEST(StateCoordination, VetoRollsBackProposer) {
-  TwoParties t;
+TEST_P(StateCoordination, VetoRollsBackProposer) {
+  TwoParties t(GetParam());
   t.beta_obj.policy = [](BytesView, const ValidationContext&) {
     return Decision::rejected("policy says no");
   };
@@ -72,8 +84,8 @@ TEST(StateCoordination, VetoRollsBackProposer) {
   EXPECT_EQ(a.agreed_tuple().sequence, 0u);
 }
 
-TEST(StateCoordination, EventsFireOnBothSides) {
-  TwoParties t;
+TEST_P(StateCoordination, EventsFireOnBothSides) {
+  TwoParties t(GetParam());
   t.alpha_obj.value = bytes_of("v1");
   RunHandle h = t.fed.coordinator("alpha").propagate_new_state(
       kObj, t.alpha_obj.get_state());
@@ -83,8 +95,8 @@ TEST(StateCoordination, EventsFireOnBothSides) {
   EXPECT_EQ(t.beta_obj.count(CoordEvent::Kind::kStateInstalled), 1u);
 }
 
-TEST(StateCoordination, SequencesAdvanceAcrossRuns) {
-  TwoParties t;
+TEST_P(StateCoordination, SequencesAdvanceAcrossRuns) {
+  TwoParties t(GetParam());
   for (int i = 1; i <= 5; ++i) {
     t.alpha_obj.value = bytes_of("v" + std::to_string(i));
     RunHandle h = t.fed.coordinator("alpha").propagate_new_state(
@@ -100,8 +112,8 @@ TEST(StateCoordination, SequencesAdvanceAcrossRuns) {
   EXPECT_EQ(t.beta_obj.value, bytes_of("v5"));
 }
 
-TEST(StateCoordination, AlternatingProposersStayConsistent) {
-  TwoParties t;
+TEST_P(StateCoordination, AlternatingProposersStayConsistent) {
+  TwoParties t(GetParam());
   for (int i = 1; i <= 4; ++i) {
     bool alpha_turn = (i % 2) == 1;
     TestRegister& obj = alpha_turn ? t.alpha_obj : t.beta_obj;
@@ -116,18 +128,18 @@ TEST(StateCoordination, AlternatingProposersStayConsistent) {
   }
 }
 
-TEST(StateCoordination, NullTransitionAbortsLocally) {
-  TwoParties t;
+TEST_P(StateCoordination, NullTransitionAbortsLocally) {
+  TwoParties t(GetParam());
   RunHandle h = t.fed.coordinator("alpha").propagate_new_state(
       kObj, bytes_of("genesis"));
   EXPECT_EQ(h->outcome, RunResult::Outcome::kAborted);
   EXPECT_EQ(h->diagnostic, "null state transition");
 }
 
-TEST(StateCoordination, ReinstallingEarlierStateIsLegitimate) {
+TEST_P(StateCoordination, ReinstallingEarlierStateIsLegitimate) {
   // §4.4 note: uniqueness refers to the tuple, not the state — proposing
   // re-installation of an earlier state is allowed.
-  TwoParties t;
+  TwoParties t(GetParam());
   t.alpha_obj.value = bytes_of("v1");
   RunHandle h1 = t.fed.coordinator("alpha").propagate_new_state(
       kObj, t.alpha_obj.get_state());
@@ -142,8 +154,8 @@ TEST(StateCoordination, ReinstallingEarlierStateIsLegitimate) {
   EXPECT_EQ(t.beta_obj.value, bytes_of("genesis"));
 }
 
-TEST(StateCoordination, UpdateVariantAppliesDelta) {
-  TwoParties t;
+TEST_P(StateCoordination, UpdateVariantAppliesDelta) {
+  TwoParties t(GetParam());
   t.alpha_obj.value = bytes_of("genesis+more");
   t.alpha_obj.pending_suffix = bytes_of("+more");
   RunHandle h = t.fed.coordinator("alpha").propagate_update(
@@ -154,8 +166,8 @@ TEST(StateCoordination, UpdateVariantAppliesDelta) {
   EXPECT_EQ(t.beta_obj.value, bytes_of("genesis+more"));
 }
 
-TEST(StateCoordination, UpdateNotYieldingProposedStateIsRejected) {
-  TwoParties t;
+TEST_P(StateCoordination, UpdateNotYieldingProposedStateIsRejected) {
+  TwoParties t(GetParam());
   // Claim the update yields "genesis!" but send a delta producing
   // "genesis?": beta must reject and flag the violation.
   t.alpha_obj.value = bytes_of("genesis!");
@@ -167,7 +179,7 @@ TEST(StateCoordination, UpdateNotYieldingProposedStateIsRejected) {
   EXPECT_GE(t.fed.coordinator("beta").violations_detected(), 1u);
 }
 
-TEST(StateCoordination, ConcurrentProposalsDoNotDiverge) {
+TEST(StateCoordinationSimOnly, ConcurrentProposalsDoNotDiverge) {
   TwoParties t;
   t.alpha_obj.value = bytes_of("from-alpha");
   t.beta_obj.value = bytes_of("from-beta");
@@ -188,7 +200,7 @@ TEST(StateCoordination, ConcurrentProposalsDoNotDiverge) {
             t.fed.coordinator("beta").replica(kObj).agreed_tuple());
 }
 
-TEST(StateCoordination, ProposerBusyAbortsSecondLocalProposal) {
+TEST(StateCoordinationSimOnly, ProposerBusyAbortsSecondLocalProposal) {
   TwoParties t;
   t.alpha_obj.value = bytes_of("first");
   RunHandle h1 = t.fed.coordinator("alpha").propagate_new_state(
@@ -203,14 +215,21 @@ TEST(StateCoordination, ProposerBusyAbortsSecondLocalProposal) {
 
 // --- multi-party ------------------------------------------------------------
 
-class MultiPartyTest : public ::testing::TestWithParam<std::size_t> {};
+class MultiPartyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, RuntimeKind>> {
+ protected:
+  std::size_t group_size() const { return std::get<0>(GetParam()); }
+  Federation::Options options() const {
+    return test::runtime_options(std::get<1>(GetParam()));
+  }
+};
 
 TEST_P(MultiPartyTest, AgreementAcrossNParties) {
-  std::size_t n = GetParam();
+  std::size_t n = group_size();
   std::vector<std::string> names;
   for (std::size_t i = 0; i < n; ++i) names.push_back("org" + std::to_string(i));
-  Federation fed{names};
   std::vector<TestRegister> objects(n);
+  Federation fed{names, options()};
   for (std::size_t i = 0; i < n; ++i) {
     fed.register_object(names[i], kObj, objects[i]);
   }
@@ -228,11 +247,11 @@ TEST_P(MultiPartyTest, AgreementAcrossNParties) {
 }
 
 TEST_P(MultiPartyTest, SingleVetoBlocksEveryone) {
-  std::size_t n = GetParam();
+  std::size_t n = group_size();
   std::vector<std::string> names;
   for (std::size_t i = 0; i < n; ++i) names.push_back("org" + std::to_string(i));
-  Federation fed{names};
   std::vector<TestRegister> objects(n);
+  Federation fed{names, options()};
   for (std::size_t i = 0; i < n; ++i) {
     fed.register_object(names[i], kObj, objects[i]);
   }
@@ -253,18 +272,26 @@ TEST_P(MultiPartyTest, SingleVetoBlocksEveryone) {
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(GroupSizes, MultiPartyTest,
-                         ::testing::Values(2, 3, 5, 8));
+INSTANTIATE_TEST_SUITE_P(
+    GroupSizes, MultiPartyTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 8),
+                       ::testing::Values(RuntimeKind::kSim,
+                                         RuntimeKind::kThreaded)),
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, RuntimeKind>>&
+           info) {
+      return "N" + std::to_string(std::get<0>(info.param)) +
+             test::runtime_suffix(std::get<1>(info.param));
+    });
 
 // --- message complexity (the §7 O(N) claim, unit-level check) ---------------
 
-TEST(StateCoordination, ProtocolUsesExactly3NMinus1Messages) {
+TEST_P(StateCoordination, ProtocolUsesExactly3NMinus1Messages) {
   for (std::size_t n : {2u, 4u, 7u}) {
     std::vector<std::string> names;
     for (std::size_t i = 0; i < n; ++i) {
       names.push_back("org" + std::to_string(i));
     }
-    Federation fed{names};
+    Federation fed{names, test::runtime_options(GetParam())};
     std::vector<TestRegister> objects(n);
     for (std::size_t i = 0; i < n; ++i) {
       fed.register_object(names[i], kObj, objects[i]);
@@ -288,8 +315,10 @@ TEST(StateCoordination, ProtocolUsesExactly3NMinus1Messages) {
 
 // --- communication modes (§5) ------------------------------------------------
 
-TEST(ControllerModes, SyncLeaveBlocksAndInstalls) {
-  TwoParties t;
+class ControllerModes : public test::RuntimeParamTest {};
+
+TEST_P(ControllerModes, SyncLeaveBlocksAndInstalls) {
+  TwoParties t(GetParam());
   Controller ctl = t.fed.make_controller("alpha", kObj);
   ctl.enter();
   ctl.overwrite();
@@ -301,8 +330,8 @@ TEST(ControllerModes, SyncLeaveBlocksAndInstalls) {
   EXPECT_EQ(t.beta_obj.value, bytes_of("sync-write"));
 }
 
-TEST(ControllerModes, SyncLeaveThrowsOnVeto) {
-  TwoParties t;
+TEST_P(ControllerModes, SyncLeaveThrowsOnVeto) {
+  TwoParties t(GetParam());
   t.beta_obj.policy = [](BytesView, const ValidationContext&) {
     return Decision::rejected("nope");
   };
@@ -314,8 +343,8 @@ TEST(ControllerModes, SyncLeaveThrowsOnVeto) {
   EXPECT_EQ(t.alpha_obj.value, bytes_of("genesis"));  // rolled back
 }
 
-TEST(ControllerModes, ExamineScopeTriggersNoCoordination) {
-  TwoParties t;
+TEST_P(ControllerModes, ExamineScopeTriggersNoCoordination) {
+  TwoParties t(GetParam());
   Controller ctl = t.fed.make_controller("alpha", kObj);
   ctl.enter();
   ctl.examine();
@@ -325,8 +354,8 @@ TEST(ControllerModes, ExamineScopeTriggersNoCoordination) {
   EXPECT_EQ(t.fed.coordinator("alpha").protocol_stats().envelopes_sent, 0u);
 }
 
-TEST(ControllerModes, UnchangedOverwriteScopeIsElided) {
-  TwoParties t;
+TEST_P(ControllerModes, UnchangedOverwriteScopeIsElided) {
+  TwoParties t(GetParam());
   Controller ctl = t.fed.make_controller("alpha", kObj);
   ctl.enter();
   ctl.overwrite();
@@ -335,8 +364,8 @@ TEST(ControllerModes, UnchangedOverwriteScopeIsElided) {
   EXPECT_EQ(t.fed.coordinator("alpha").protocol_stats().envelopes_sent, 0u);
 }
 
-TEST(ControllerModes, NestedScopesRollUpToOneCoordination) {
-  TwoParties t;
+TEST_P(ControllerModes, NestedScopesRollUpToOneCoordination) {
+  TwoParties t(GetParam());
   Controller ctl = t.fed.make_controller("alpha", kObj);
   ctl.enter();
   ctl.overwrite();
@@ -355,7 +384,7 @@ TEST(ControllerModes, NestedScopesRollUpToOneCoordination) {
             1u);
 }
 
-TEST(ControllerModes, DeferredSyncCompletesAtCoordCommit) {
+TEST(ControllerModesSimOnly, DeferredSyncCompletesAtCoordCommit) {
   TwoParties t;
   Controller ctl =
       t.fed.make_controller("alpha", kObj, Controller::Mode::kDeferredSync);
@@ -370,7 +399,7 @@ TEST(ControllerModes, DeferredSyncCompletesAtCoordCommit) {
   EXPECT_EQ(t.beta_obj.value, bytes_of("deferred"));
 }
 
-TEST(ControllerModes, AsyncSignalsCompletionViaCallback) {
+TEST(ControllerModesSimOnly, AsyncSignalsCompletionViaCallback) {
   TwoParties t;
   Controller ctl =
       t.fed.make_controller("alpha", kObj, Controller::Mode::kAsync);
@@ -387,8 +416,8 @@ TEST(ControllerModes, AsyncSignalsCompletionViaCallback) {
   EXPECT_EQ(t.alpha_obj.count(CoordEvent::Kind::kStateAgreed), 1u);
 }
 
-TEST(ControllerModes, AccessOutsideScopeThrows) {
-  TwoParties t;
+TEST_P(ControllerModes, AccessOutsideScopeThrows) {
+  TwoParties t(GetParam());
   Controller ctl = t.fed.make_controller("alpha", kObj);
   EXPECT_THROW(ctl.overwrite(), Error);
   EXPECT_THROW(ctl.examine(), Error);
@@ -396,8 +425,8 @@ TEST(ControllerModes, AccessOutsideScopeThrows) {
   EXPECT_THROW(ctl.leave(), Error);
 }
 
-TEST(ControllerModes, UpdateModeUsesDeltaCoordination) {
-  TwoParties t;
+TEST_P(ControllerModes, UpdateModeUsesDeltaCoordination) {
+  TwoParties t(GetParam());
   Controller ctl = t.fed.make_controller("alpha", kObj);
   ctl.enter();
   ctl.update();
@@ -407,6 +436,9 @@ TEST(ControllerModes, UpdateModeUsesDeltaCoordination) {
   t.fed.settle();
   EXPECT_EQ(t.beta_obj.value, bytes_of("genesis++"));
 }
+
+B2B_INSTANTIATE_RUNTIME_SUITE(StateCoordination);
+B2B_INSTANTIATE_RUNTIME_SUITE(ControllerModes);
 
 }  // namespace
 }  // namespace b2b::core

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "net/scheduler.hpp"
+#include "net/sim_runtime.hpp"
 #include "tests/support/test_objects.hpp"
 
 namespace b2b::baseline {
@@ -16,6 +17,7 @@ struct PlainFixture {
   net::EventScheduler scheduler;
   net::SimNetwork net{scheduler, 31};
   std::vector<std::unique_ptr<net::ReliableEndpoint>> endpoints;
+  std::vector<std::unique_ptr<net::SimTransport>> transports;
   std::vector<std::unique_ptr<TestRegister>> objects;
   std::vector<std::unique_ptr<PlainReplica>> replicas;
 
@@ -27,9 +29,11 @@ struct PlainFixture {
     for (std::size_t i = 0; i < n; ++i) {
       endpoints.push_back(
           std::make_unique<net::ReliableEndpoint>(net, members[i]));
+      transports.push_back(
+          std::make_unique<net::SimTransport>(*endpoints.back()));
       objects.push_back(std::make_unique<TestRegister>());
       replicas.push_back(std::make_unique<PlainReplica>(
-          members[i], ObjectId{"doc"}, *objects.back(), *endpoints.back()));
+          members[i], ObjectId{"doc"}, *objects.back(), *transports.back()));
     }
     for (auto& replica : replicas) {
       replica->bootstrap(members, bytes_of("genesis"));

@@ -1,10 +1,16 @@
 // Reliable once-only layer: eventual delivery under loss/duplication,
-// dedup, integrity check, crash persistence.
+// dedup, integrity check, crash persistence. Includes the DedupWindow
+// equivalence suite: the bounded watermark+window bookkeeping must decide
+// delivery exactly as the unbounded remember-every-sequence set it
+// replaced.
 #include "net/reliable.hpp"
 
 #include <gtest/gtest.h>
 
 #include <set>
+
+#include "crypto/chacha20.hpp"
+#include "net/dedup.hpp"
 
 namespace b2b::net {
 namespace {
@@ -158,6 +164,80 @@ TEST(ReliableTest, ManyMessagesUnderCombinedFaults) {
   scheduler.run();
   EXPECT_EQ(received.size(), 100u);  // all delivered
   EXPECT_EQ(deliveries, 100);        // exactly once each
+}
+
+// --- DedupWindow: bounded replacement for the unbounded delivered-set ------
+
+TEST(DedupWindowTest, MatchesUnboundedSetOnAdversarialStream) {
+  // Reference model: the old implementation remembered every delivered
+  // sequence number in a std::set. Feed both models the same stream of
+  // duplicates, reorderings and retransmissions; every mark() verdict
+  // must agree.
+  DedupWindow window;
+  std::set<std::uint64_t> reference;
+  crypto::ChaCha20Rng rng(0xdedca5e5ULL);
+  std::uint64_t next_fresh = 0;
+  for (int i = 0; i < 5'000; ++i) {
+    std::uint64_t seq;
+    switch (rng.next_u64() % 4) {
+      case 0:  // a duplicate of something already sent
+        seq = next_fresh == 0 ? 0 : rng.next_u64() % next_fresh;
+        break;
+      case 1:  // a reordered future sequence (bounded look-ahead)
+        seq = next_fresh + rng.next_u64() % 8;
+        break;
+      default:  // the next contiguous sequence
+        seq = next_fresh++;
+        break;
+    }
+    bool expect_deliver = reference.insert(seq).second;
+    EXPECT_EQ(window.mark(seq), expect_deliver) << "seq=" << seq;
+    EXPECT_EQ(window.seen(seq), true);
+  }
+  // Everything below the contiguous prefix is remembered without being
+  // stored individually.
+  for (std::uint64_t seq = 0; seq < window.prefix(); ++seq) {
+    EXPECT_TRUE(window.seen(seq));
+    EXPECT_FALSE(window.mark(seq));
+  }
+}
+
+TEST(DedupWindowTest, ContiguousStreamCollapsesToWatermark) {
+  DedupWindow window;
+  for (std::uint64_t seq = 0; seq < 10'000; ++seq) {
+    ASSERT_TRUE(window.mark(seq));
+    ASSERT_EQ(window.window_size(), 0u);  // never grows in order
+  }
+  EXPECT_EQ(window.prefix(), 10'000u);
+  EXPECT_FALSE(window.mark(123));  // deep history still deduplicated
+}
+
+TEST(DedupWindowTest, OutOfOrderHeldThenAbsorbed) {
+  DedupWindow window;
+  EXPECT_TRUE(window.mark(3));
+  EXPECT_TRUE(window.mark(1));
+  EXPECT_TRUE(window.mark(2));
+  EXPECT_EQ(window.prefix(), 0u);  // gap at 0 holds the watermark back
+  EXPECT_EQ(window.window_size(), 3u);
+  EXPECT_TRUE(window.mark(0));  // gap filled: prefix sweeps forward
+  EXPECT_EQ(window.prefix(), 4u);
+  EXPECT_EQ(window.window_size(), 0u);
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    EXPECT_FALSE(window.mark(seq));
+  }
+}
+
+TEST(DedupWindowTest, MemoryTracksReorderingDepthNotLifetime) {
+  // Deliver a long stream in swapped pairs: the transient window never
+  // exceeds the reordering depth (1), regardless of stream length.
+  DedupWindow window;
+  for (std::uint64_t base = 0; base < 20'000; base += 2) {
+    ASSERT_TRUE(window.mark(base + 1));
+    ASSERT_LE(window.window_size(), 1u);
+    ASSERT_TRUE(window.mark(base));
+    ASSERT_EQ(window.window_size(), 0u);
+  }
+  EXPECT_EQ(window.prefix(), 20'000u);
 }
 
 }  // namespace

@@ -1,0 +1,80 @@
+// Support for running protocol suites over both runtimes.
+//
+// A suite derives its fixture from RuntimeParamTest and instantiates with
+// B2B_INSTANTIATE_RUNTIME_SUITE: every TEST_P then runs once on the
+// deterministic simulator and once on real threads, proving the protocol
+// layer depends only on the abstract runtime seam (eventual once-only
+// delivery), not on the discrete-event substrate.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "b2b/federation.hpp"
+
+namespace b2b::test {
+
+/// Options preset mapping the same logical deployment (seed, loss,
+/// duplication) onto whichever runtime is under test.
+inline core::Federation::Options runtime_options(core::RuntimeKind kind,
+                                                 std::uint64_t seed = 1,
+                                                 double drop = 0.0,
+                                                 double dup = 0.0) {
+  core::Federation::Options options;
+  options.runtime = kind;
+  options.seed = seed;
+  if (kind == core::RuntimeKind::kSim) {
+    options.faults.drop_probability = drop;
+    options.faults.duplicate_probability = dup;
+    if (drop > 0.0 || dup > 0.0) {
+      options.faults.min_delay_micros = 500;
+      options.faults.max_delay_micros = 20'000;
+      options.reliable.retransmit_interval_micros = 40'000;
+    }
+  } else {
+    options.threaded_faults.drop_probability = drop;
+    options.threaded_faults.duplicate_probability = dup;
+  }
+  return options;
+}
+
+/// Datagram-level fault counters of whichever fabric is active.
+struct FabricStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+};
+
+inline FabricStats fabric_stats(core::Federation& fed) {
+  if (fed.runtime() == core::RuntimeKind::kSim) {
+    const auto& stats = fed.network().stats();
+    return {stats.datagrams_dropped, stats.datagrams_duplicated};
+  }
+  const auto stats = fed.threaded_network().stats();
+  return {stats.datagrams_dropped, stats.datagrams_duplicated};
+}
+
+/// Base fixture for suites instantiated over both runtimes.
+class RuntimeParamTest : public ::testing::TestWithParam<core::RuntimeKind> {
+ protected:
+  core::Federation::Options options(std::uint64_t seed = 1, double drop = 0.0,
+                                    double dup = 0.0) const {
+    return runtime_options(GetParam(), seed, drop, dup);
+  }
+};
+
+inline std::string runtime_suffix(core::RuntimeKind kind) {
+  return kind == core::RuntimeKind::kSim ? "Sim" : "Threaded";
+}
+
+}  // namespace b2b::test
+
+#define B2B_INSTANTIATE_RUNTIME_SUITE(suite)                             \
+  INSTANTIATE_TEST_SUITE_P(                                              \
+      Runtimes, suite,                                                   \
+      ::testing::Values(b2b::core::RuntimeKind::kSim,                    \
+                        b2b::core::RuntimeKind::kThreaded),              \
+      [](const ::testing::TestParamInfo<b2b::core::RuntimeKind>& info) { \
+        return b2b::test::runtime_suffix(info.param);                    \
+      })
