@@ -23,6 +23,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 
@@ -30,6 +31,8 @@
 #include "crypto/timestamp.hpp"
 #include "net/runtime.hpp"
 #include "store/evidence_log.hpp"
+#include "store/journal.hpp"
+#include "wire/codec.hpp"
 
 namespace b2b::core {
 
@@ -49,6 +52,19 @@ class Coordinator {
     /// Group decision rule (§7 majority-resolution extension); must match
     /// federation-wide.
     DecisionRule decision_rule = DecisionRule::kUnanimous;
+    /// Directory of the write-ahead journal. Empty disables journaling
+    /// entirely (the protocol then behaves exactly as without this
+    /// feature: no durability, no idempotent duplicate handling, no run
+    /// probes). Non-empty: the journal is opened (replaying any previous
+    /// incarnation's records) and every protocol message, evidence entry
+    /// and checkpoint is journaled before the action it precedes.
+    std::string journal_dir;
+    /// Honour journal barriers with a real fsync (bench knob).
+    bool journal_fsync = true;
+    /// Journal-gated liveness probe cadence for in-flight runs (see
+    /// Replica::set_run_probe).
+    std::uint64_t run_probe_interval_micros = 1'000'000;
+    int max_run_probes = 12;
   };
 
   /// Per-message-type send counters (protocol-level, before transport
@@ -63,6 +79,7 @@ class Coordinator {
   /// `transport` and `clock` must outlive the coordinator.
   Coordinator(Config config, net::Transport& transport, net::Clock& clock,
               const crypto::TimestampService* tss);
+  ~Coordinator();
 
   Coordinator(const Coordinator&) = delete;
   Coordinator& operator=(const Coordinator&) = delete;
@@ -154,7 +171,59 @@ class Coordinator {
   /// prior handler-side write before the caller's subsequent reads.
   void synchronize() const { std::lock_guard<std::recursive_mutex> lock(mutex_); }
 
+  // --- crash recovery & fault injection ----------------------------------------
+
+  /// The write-ahead journal, or nullptr when journaling is disabled.
+  const store::Journal* journal() const { return journal_.get(); }
+
+  /// True when the journal replay at construction found records from a
+  /// previous incarnation (i.e. this coordinator is a restart).
+  bool recovered() const {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return recovered_any_;
+  }
+
+  /// Redo-and-resend phase of recovery: call once after every object has
+  /// been re-registered. Returns handles of runs resumed in flight.
+  std::vector<RunHandle> resume_recovered_runs();
+
+  /// Arm a named crash point (see the names in replica.cpp): the next
+  /// time protocol processing passes it, a SimulatedCrash unwinds to the
+  /// coordinator entry point and the coordinator goes permanently inert
+  /// (as if the process had been killed). Empty disarms.
+  void arm_crash_point(std::string point) {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    armed_crash_point_ = std::move(point);
+  }
+  bool crashed() const {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return crashed_;
+  }
+
+  /// Peers the transport reported as unreachable (max_retransmits
+  /// exhausted on some frame). Evidence-logged as "peer.suspect".
+  std::set<PartyId> suspected_peers() const {
+    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    return suspects_;
+  }
+
  private:
+  /// Shared anchor for callbacks that can outlive the coordinator
+  /// (clock timers, the transport's delivery-failure handler). The
+  /// callback locks the anchor, null-checks, and only then touches the
+  /// coordinator; ~Coordinator nulls the pointer under the anchor mutex,
+  /// which blocks until any in-flight callback has finished.
+  struct TimerAnchor {
+    std::mutex mutex;
+    Coordinator* coordinator = nullptr;
+  };
+
+  void replay_journal();
+  void replay_object_record(std::uint8_t type,
+                            Replica::RecoveredObjectState& rec,
+                            wire::Decoder& dec);
+  void handle_delivery_failure(const PartyId& to);
+  static RunHandle aborted_handle(std::string diagnostic);
   void on_message(const PartyId& from, const Bytes& payload);
   void record_evidence(const std::string& kind, const Bytes& payload);
   void send(const PartyId& to, const Envelope& envelope);
@@ -182,6 +251,19 @@ class Coordinator {
   store::MessageStore messages_;
   std::function<void(const CoordEvent&)> observer_;
   ProtocolStats protocol_stats_;
+
+  // --- crash recovery & fault injection ----------------------------------------
+  std::unique_ptr<store::Journal> journal_;
+  std::shared_ptr<TimerAnchor> anchor_;
+  /// Per-object state reconstructed by the journal replay, consumed by
+  /// register_object.
+  std::unordered_map<ObjectId, Replica::RecoveredObjectState> recovered_;
+  bool recovered_any_ = false;
+  bool crashed_ = false;
+  std::string armed_crash_point_;
+  std::set<PartyId> suspects_;
+  std::uint64_t run_probe_interval_micros_;
+  int max_run_probes_;
 };
 
 }  // namespace b2b::core

@@ -27,7 +27,7 @@ Federation::Federation(std::vector<std::string> party_names)
 
 Federation::Federation(std::vector<std::string> party_names,
                        const Options& options)
-    : runtime_(options.runtime), rsa_bits_(options.rsa_bits) {
+    : options_(options), runtime_(options.runtime), rsa_bits_(options.rsa_bits) {
   if (runtime_ == RuntimeKind::kSim) {
     net::SimRuntime::Options sim_options;
     sim_options.seed = options.seed;
@@ -54,15 +54,9 @@ Federation::Federation(std::vector<std::string> party_names,
     auto party = std::make_unique<Party>();
     party->id = PartyId{party_names[i]};
     party->transport = &runtime_impl().add_party(party->id);
-    Coordinator::Config config;
-    config.self = party->id;
-    config.key = shared_keypair(options.rsa_bits, i);
-    config.rng_seed = options.seed * 1000003 + i;
-    config.sponsor_policy = options.sponsor_policy;
-    config.decision_rule = options.decision_rule;
-    party->coordinator = std::make_unique<Coordinator>(
-        std::move(config), *party->transport, clock(), tss_.get());
     parties_.push_back(std::move(party));
+    parties_.back()->coordinator = std::make_unique<Coordinator>(
+        party_config(i), *parties_.back()->transport, clock(), tss_.get());
   }
 
   // Shared PKI: every organisation can verify every other's signatures
@@ -118,6 +112,79 @@ Federation::Party& Federation::find_party(const std::string& name) {
     if (p->id.str() == name) return *p;
   }
   throw Error("unknown party: " + name);
+}
+
+std::size_t Federation::party_index(const std::string& name) const {
+  for (std::size_t i = 0; i < parties_.size(); ++i) {
+    if (parties_[i]->id.str() == name) return i;
+  }
+  throw Error("unknown party: " + name);
+}
+
+Coordinator::Config Federation::party_config(std::size_t index) const {
+  Coordinator::Config config;
+  config.self = parties_[index]->id;
+  config.key = shared_keypair(options_.rsa_bits, index);
+  config.rng_seed = options_.seed * 1000003 + index;
+  config.sponsor_policy = options_.sponsor_policy;
+  config.decision_rule = options_.decision_rule;
+  if (!options_.journal_root.empty()) {
+    config.journal_dir =
+        options_.journal_root + "/" + parties_[index]->id.str();
+    config.journal_fsync = options_.journal_fsync;
+  }
+  config.run_probe_interval_micros = options_.run_probe_interval_micros;
+  config.max_run_probes = options_.max_run_probes;
+  return config;
+}
+
+void Federation::crash_party(const std::string& name) {
+  Party& party = find_party(name);
+  if (!party.coordinator) {
+    throw Error("crash_party: already crashed: " + name);
+  }
+  // Order matters. Dead on the fabric FIRST, so frames arriving during
+  // the downtime are dropped *un-acked* (the peer keeps retransmitting)
+  // rather than acked into a void; then detach the handler synchronously
+  // (no dispatch is in flight into the dying coordinator afterwards);
+  // then destroy it. The transport object itself survives the crash —
+  // it models the reliable channel's persistent dedup/retransmission
+  // state (§4.2).
+  if (sim_) {
+    sim_->network().set_alive(party.id, false);
+  } else {
+    threaded_->network().set_alive(party.id, false);
+  }
+  party.transport->set_handler_sync({});
+  party.transport->set_delivery_failure_handler({});
+  party.coordinator.reset();
+}
+
+Coordinator& Federation::recover_party(const std::string& name) {
+  const std::size_t index = party_index(name);
+  Party& party = *parties_[index];
+  if (party.coordinator) {
+    throw Error("recover_party: not crashed: " + name);
+  }
+  if (sim_) {
+    sim_->network().set_alive(party.id, true);
+  } else {
+    threaded_->network().set_alive(party.id, true);
+  }
+  party.coordinator = std::make_unique<Coordinator>(
+      party_config(index), *party.transport, clock(), tss_.get());
+  // Re-run the out-of-band PKI exchange for the restarted party: its own
+  // certificate directory also comes back via the journal, but the setup
+  // keys may predate the first barrier, and the *other* parties' view of
+  // this party is refreshed for free.
+  for (auto& other : parties_) {
+    if (other->id == party.id || !other->coordinator) continue;
+    party.coordinator->add_known_party(other->id,
+                                       other->coordinator->public_key());
+    other->coordinator->add_known_party(party.id,
+                                        party.coordinator->public_key());
+  }
+  return *party.coordinator;
 }
 
 const crypto::RsaPrivateKey& Federation::keypair(

@@ -64,6 +64,15 @@ class Federation {
     SponsorPolicy sponsor_policy = SponsorPolicy::kRotating;
     /// Group decision rule applied federation-wide.
     DecisionRule decision_rule = DecisionRule::kUnanimous;
+    /// Root directory for per-party write-ahead journals (each party
+    /// journals into `<journal_root>/<party name>`). Empty disables
+    /// journaling — and with it crash_party()/recover_party() recovery.
+    std::string journal_root;
+    /// Honour journal barriers with a real fsync (bench knob).
+    bool journal_fsync = true;
+    /// In-flight-run probe cadence (see Coordinator::Config).
+    std::uint64_t run_probe_interval_micros = 1'000'000;
+    int max_run_probes = 12;
   };
 
   /// Create a federation of the named organisations.
@@ -97,6 +106,23 @@ class Federation {
   std::size_t size() const { return parties_.size(); }
   std::vector<PartyId> party_ids() const;
   Coordinator& coordinator(const std::string& name);
+
+  // --- crash / recovery fabric --------------------------------------------------
+
+  /// Kill a party's coordinator as a process crash would: the node is
+  /// marked dead on the network fabric (frames sent to it during the
+  /// downtime are dropped un-acked and will be retransmitted), the
+  /// transport handler is detached synchronously, and the Coordinator is
+  /// destroyed. The transport itself — and with it the reliable channel's
+  /// dedup/retransmission state, which the paper's model keeps in
+  /// persistent storage — survives.
+  void crash_party(const std::string& name);
+
+  /// Restart a crashed party: the node rejoins the fabric and a fresh
+  /// Coordinator is built from the same per-party configuration. With
+  /// Options::journal_root set, its constructor replays the journal;
+  /// callers then re-register objects and call resume_recovered_runs().
+  Coordinator& recover_party(const std::string& name);
 
   /// The party's transport, whatever the runtime. Misbehaviour tests that
   /// hijack a party use this (set_handler + send work on both runtimes).
@@ -167,8 +193,13 @@ class Federation {
   };
 
   Party& find_party(const std::string& name);
+  std::size_t party_index(const std::string& name) const;
   net::Runtime& runtime_impl();
+  /// The Coordinator::Config party `index` was (and on recovery, is
+  /// again) constructed with.
+  Coordinator::Config party_config(std::size_t index) const;
 
+  Options options_;
   std::unique_ptr<crypto::TimestampService> tss_;  // refs the runtime clock
   std::vector<std::unique_ptr<Party>> parties_;
   std::unique_ptr<TerminationTtp> termination_ttp_;

@@ -136,6 +136,7 @@ RunHandle Replica::request_disconnect() {
   if (members_.size() == 1) {
     // Sole member: nothing to coordinate.
     connected_ = false;
+    journal_snapshot();
     complete(handle, RunResult::Outcome::kAgreed, "", {}, last_seen_seq_, "");
     return handle;
   }
@@ -960,6 +961,7 @@ void Replica::apply_membership_change(const MembershipProposal& proposal) {
   }
   callbacks_.record_evidence(evidence_kind::kMembershipApplied,
                              proposal.new_group.encode());
+  journal_snapshot();
   impl_.coord_callback(event);
   if (callbacks_.notify) callbacks_.notify(event);
 }
@@ -1084,6 +1086,7 @@ void Replica::handle_connect_welcome(const PartyId& from, const Bytes& body) {
                                      callbacks_.now()});
   callbacks_.record_evidence(evidence_kind::kMembershipApplied,
                              msg.new_group.encode());
+  journal_snapshot();
 
   CoordEvent event;
   event.kind = CoordEvent::Kind::kMemberConnected;
@@ -1140,6 +1143,7 @@ void Replica::handle_disconnect_confirm(const PartyId& from,
   SubjectRequest pending = std::move(*subject_request_);
   subject_request_.reset();
   connected_ = false;
+  journal_snapshot();
   complete(pending.result, RunResult::Outcome::kAgreed, "", {},
            msg.new_group.sequence, msg.new_group.label());
   // Any requests we were still sponsoring must find a new sponsor.

@@ -1,0 +1,57 @@
+// Write-ahead-journal record taxonomy and the crash-injection signal.
+//
+// The Coordinator journals everything it needs to survive a crash (§3:
+// "persistence of both validated object state and of the information
+// required to reach validation decisions") as typed records in a
+// store::Journal. This header names the record types — shared between the
+// journal writers in replica.cpp / coordinator.cpp and the replay loop in
+// Coordinator — and defines the exception-like signal an armed crash
+// point raises.
+//
+// Record payload layout (after the type byte the Journal frames):
+//   kPartyKey          str(party)  blob(RsaPublicKey::encode)
+//   kEvidence          str(kind)   blob(framed payload)  u64(time_micros)
+//   kCheckpoint        str(object) u64(seq) blob(tuple) blob(state) u64(time)
+//   kMessage           str(label)  str(direction) str(kind) str(peer)
+//                      blob(payload)
+//   kSnapshot          str(object) blob(ReplicaSnapshot::encode)
+//   kProposerRun       str(object) blob(Replica::ProposerRunRecord::encode)
+//   kResponseReceived  str(object) blob(RespondMsg::encode)
+//   kDecideSent        str(object) blob(DecideMsg::encode)
+//   kProposerClosed    str(object) str(run label)
+//   kResponderRun      str(object) blob(Replica::ResponderRunRecord::encode)
+//   kDecideDelivered   str(object) blob(DecideMsg::encode)
+//   kResponderClosed   str(object) str(run label)
+#pragma once
+
+#include <cstdint>
+
+namespace b2b::core {
+
+namespace walrec {
+// Type 0 is store::Journal::kIncarnationMarker (journal-internal).
+inline constexpr std::uint8_t kPartyKey = 1;
+inline constexpr std::uint8_t kEvidence = 2;
+inline constexpr std::uint8_t kCheckpoint = 3;
+inline constexpr std::uint8_t kMessage = 4;
+inline constexpr std::uint8_t kSnapshot = 5;
+inline constexpr std::uint8_t kProposerRun = 6;
+inline constexpr std::uint8_t kResponseReceived = 7;
+inline constexpr std::uint8_t kDecideSent = 8;
+inline constexpr std::uint8_t kProposerClosed = 9;
+inline constexpr std::uint8_t kResponderRun = 10;
+inline constexpr std::uint8_t kDecideDelivered = 11;
+inline constexpr std::uint8_t kResponderClosed = 12;
+}  // namespace walrec
+
+/// Raised by an armed crash point to kill a coordinator mid-operation.
+/// Deliberately NOT derived from std::exception: the protocol layer
+/// catches std::exception around application callbacks (update
+/// validation), and a simulated crash must never be swallowed there — it
+/// has to unwind all the way to the coordinator entry point, which marks
+/// the coordinator crashed and goes silent.
+struct SimulatedCrash {
+  const char* point;
+};
+
+}  // namespace b2b::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "b2b/recovery.hpp"
 #include "b2b/termination.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -45,6 +46,84 @@ void Replica::bootstrap(std::vector<PartyId> members,
   checkpoints_.put(object_, store::Checkpoint{0, agreed_tuple_.encode(),
                                               agreed_state_,
                                               callbacks_.now()});
+  journal_snapshot();
+}
+
+// ---------------------------------------------------------------------------
+// Journaling helpers (no-ops when the hosting coordinator has no journal)
+// ---------------------------------------------------------------------------
+
+void Replica::journal_record(std::uint8_t type, const Bytes& payload) {
+  if (callbacks_.journal_record) callbacks_.journal_record(type, payload);
+}
+
+void Replica::journal_barrier() {
+  if (callbacks_.journal_barrier) callbacks_.journal_barrier();
+}
+
+void Replica::hit_crash_point(const char* point) {
+  if (callbacks_.crash_point) callbacks_.crash_point(point);
+}
+
+void Replica::journal_snapshot() {
+  if (!journaling()) return;
+  wire::Encoder enc;
+  enc.blob(export_snapshot().encode());
+  journal_record(walrec::kSnapshot, std::move(enc).take());
+  journal_barrier();
+}
+
+void Replica::journal_run_closed(std::uint8_t type, const std::string& label) {
+  if (!journaling()) return;
+  wire::Encoder enc;
+  enc.str(label);
+  journal_record(type, std::move(enc).take());
+  journal_barrier();
+}
+
+bool Replica::maybe_resend_decide(const std::string& label,
+                                  const PartyId& to) {
+  if (!journaling()) return false;
+  for (const auto& stored : messages_.run(label)) {
+    if (stored.direction == "sent" && stored.kind == "decide") {
+      record_anomaly("re-sent decide of closed run " + label, to);
+      send_envelope(to, MsgType::kDecide, stored.payload);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Replica::arm_run_probe(const std::string& label, bool as_proposer,
+                            int attempt) {
+  if (!journaling() || !callbacks_.schedule ||
+      run_probe_interval_micros_ == 0 || attempt > max_run_probes_) {
+    return;
+  }
+  callbacks_.schedule(
+      run_probe_interval_micros_, [this, label, as_proposer, attempt] {
+        if (as_proposer) {
+          if (!proposer_run_.has_value() ||
+              proposer_run_->propose.proposal.proposed.label() != label) {
+            return;  // run concluded; probe dies
+          }
+          // Re-drive recipients whose responses are still missing: either
+          // our propose or their response was acked-then-lost in a crash
+          // window, and retransmission alone cannot recover an acked frame.
+          Bytes encoded = proposer_run_->propose.encode();
+          for (const PartyId& recipient : proposer_run_->recipients) {
+            if (!proposer_run_->responses.contains(recipient)) {
+              send_envelope(recipient, MsgType::kPropose, encoded);
+            }
+          }
+        } else {
+          auto it = responder_runs_.find(label);
+          if (it == responder_runs_.end()) return;
+          send_envelope(it->second.propose.proposal.proposer,
+                        MsgType::kRespond, it->second.my_response.encode());
+        }
+        arm_run_probe(label, as_proposer, attempt + 1);
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -108,6 +187,12 @@ bool Replica::is_member(const PartyId& party) const {
 
 void Replica::install_agreed_state(const StateTuple& tuple, Bytes state,
                                    bool apply_to_object) {
+  if (agreed_tuple_ == tuple && agreed_state_ == state) {
+    // Recovery redo of an already-installed state: installation is
+    // idempotent, so neither checkpoint nor evidence is duplicated.
+    if (apply_to_object) impl_.apply_state(agreed_state_);
+    return;
+  }
   agreed_tuple_ = tuple;
   agreed_state_ = std::move(state);
   if (apply_to_object) impl_.apply_state(agreed_state_);
@@ -115,6 +200,7 @@ void Replica::install_agreed_state(const StateTuple& tuple, Bytes state,
                    store::Checkpoint{tuple.sequence, tuple.encode(),
                                      agreed_state_, callbacks_.now()});
   callbacks_.record_evidence(evidence_kind::kStateInstalled, tuple.encode());
+  journal_snapshot();
 }
 
 void Replica::complete(const RunHandle& handle, RunResult::Outcome outcome,
@@ -188,12 +274,14 @@ bool Replica::resolve_blocked_run(const std::string& run_label) {
              "abandoned by extra-protocol resolution", {},
              proposer_run_->propose.proposal.proposed.sequence, run_label);
     proposer_run_.reset();
+    journal_run_closed(walrec::kProposerClosed, run_label);
     return true;
   }
   if (auto it = responder_runs_.find(run_label); it != responder_runs_.end()) {
     callbacks_.record_evidence("run.abandoned", std::move(note).take());
     if (accept_lock_ == run_label) accept_lock_.reset();
     responder_runs_.erase(it);
+    journal_run_closed(walrec::kResponderClosed, run_label);
     drain_deferred_membership();
     return true;
   }
@@ -294,6 +382,166 @@ void Replica::restore_snapshot(const ReplicaSnapshot& snapshot) {
 
   if (connected_) impl_.apply_state(agreed_state_);
   callbacks_.record_evidence("recovery", agreed_tuple_.encode());
+}
+
+// ---------------------------------------------------------------------------
+// Journal-based recovery
+// ---------------------------------------------------------------------------
+
+Bytes Replica::ProposerRunRecord::encode() const {
+  wire::Encoder enc;
+  enc.blob(propose.encode()).blob(authenticator).blob(new_state);
+  enc.varint(recipients.size());
+  for (const PartyId& recipient : recipients) enc.str(recipient.str());
+  return std::move(enc).take();
+}
+
+Replica::ProposerRunRecord Replica::ProposerRunRecord::decode(BytesView data) {
+  wire::Decoder dec{data};
+  ProposerRunRecord record;
+  record.propose = ProposeMsg::decode(dec.blob());
+  record.authenticator = dec.blob();
+  record.new_state = dec.blob();
+  std::uint64_t n = dec.varint();
+  record.recipients.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) record.recipients.emplace_back(dec.str());
+  dec.expect_done();
+  return record;
+}
+
+Bytes Replica::ResponderRunRecord::encode() const {
+  wire::Encoder enc;
+  enc.blob(propose.encode()).blob(pending_state).blob(my_response.encode());
+  enc.varint(members_at_response.size());
+  for (const PartyId& member : members_at_response) enc.str(member.str());
+  return std::move(enc).take();
+}
+
+Replica::ResponderRunRecord Replica::ResponderRunRecord::decode(
+    BytesView data) {
+  wire::Decoder dec{data};
+  ResponderRunRecord record;
+  record.propose = ProposeMsg::decode(dec.blob());
+  record.pending_state = dec.blob();
+  record.my_response = RespondMsg::decode(dec.blob());
+  std::uint64_t n = dec.varint();
+  record.members_at_response.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    record.members_at_response.emplace_back(dec.str());
+  }
+  dec.expect_done();
+  return record;
+}
+
+void Replica::restore_recovered(const RecoveredObjectState& recovered) {
+  if (recovered.snapshot.has_value()) {
+    const ReplicaSnapshot& snap = *recovered.snapshot;
+    connected_ = snap.connected;
+    members_ = snap.members;
+    group_tuple_ = snap.group_tuple;
+    agreed_tuple_ = snap.agreed_tuple;
+    agreed_state_ = snap.agreed_state;
+    last_seen_seq_ = snap.last_seen_sequence;
+    seen_run_labels_.insert(snap.seen_run_labels.begin(),
+                            snap.seen_run_labels.end());
+    if (connected_) impl_.apply_state(agreed_state_);
+  }
+  // Replay protection must cover every run the journal has ever seen,
+  // snapshotted or not: a replayed label is a replay even after recovery.
+  seen_run_labels_.insert(recovered.seen_labels.begin(),
+                          recovered.seen_labels.end());
+  note_sequence(recovered.max_sequence);
+
+  if (recovered.proposer_run.has_value()) {
+    const ProposerRunRecord& record = *recovered.proposer_run;
+    ProposerRun run;
+    run.propose = record.propose;
+    run.authenticator = record.authenticator;
+    run.new_state = record.new_state;
+    run.recipients = record.recipients;
+    run.result = std::make_shared<RunResult>();
+    for (const RespondMsg& resp : recovered.proposer_responses) {
+      run.responses.emplace(resp.response.responder, resp);
+    }
+    // Invariant 2: while our proposal is open the local object holds the
+    // proposed state, not the agreed one.
+    if (connected_) impl_.apply_state(run.new_state);
+    proposer_run_ = std::move(run);
+    recovered_decide_ = recovered.proposer_decide;
+  }
+
+  for (const auto& [label, record] : recovered.responder_runs) {
+    ResponderRun run;
+    run.propose = record.propose;
+    run.pending_state = record.pending_state;
+    run.my_response = record.my_response;
+    run.my_decision = record.my_response.response.decision;
+    run.members_at_response = record.members_at_response;
+    if (run.my_decision.accept) accept_lock_ = label;
+    responder_runs_.emplace(label, std::move(run));
+  }
+  pending_redo_decides_ = recovered.responder_decides;
+
+  callbacks_.record_evidence("recovery", agreed_tuple_.encode());
+}
+
+std::vector<RunHandle> Replica::resume_recovered_runs() {
+  std::vector<RunHandle> handles;
+
+  // Responder-side redo: a decide that was journaled as delivered but
+  // whose installation may have been interrupted. conclude is idempotent
+  // (install_agreed_state skips an already-installed state).
+  for (auto& [label, decide] : pending_redo_decides_) {
+    auto it = responder_runs_.find(label);
+    if (it == responder_runs_.end()) continue;
+    ResponderRun run = std::move(it->second);
+    responder_runs_.erase(it);
+    conclude_responder_run(label, std::move(run), decide.responses,
+                           decide.proposer);
+  }
+  pending_redo_decides_.clear();
+
+  // Proposer side.
+  if (proposer_run_.has_value()) {
+    handles.push_back(proposer_run_->result);
+    const std::string label =
+        proposer_run_->propose.proposal.proposed.label();
+    if (recovered_decide_.has_value()) {
+      // The decide phase was journaled: redo it from the journaled
+      // response set. Re-sent decides are deduplicated by recipients.
+      DecideMsg decide = std::move(*recovered_decide_);
+      recovered_decide_.reset();
+      proposer_run_->responses.clear();
+      for (const RespondMsg& resp : decide.responses) {
+        proposer_run_->responses.emplace(resp.response.responder, resp);
+      }
+      finish_state_run_as_proposer();
+    } else if (proposer_run_->responses.size() ==
+               proposer_run_->recipients.size()) {
+      finish_state_run_as_proposer();
+    } else {
+      // Still collecting responses: re-drive the silent recipients (our
+      // propose, or their response, may have died with us) and re-arm
+      // the capped probe.
+      Bytes encoded = proposer_run_->propose.encode();
+      for (const PartyId& recipient : proposer_run_->recipients) {
+        if (!proposer_run_->responses.contains(recipient)) {
+          send_envelope(recipient, MsgType::kPropose, encoded);
+        }
+      }
+      arm_run_probe(label, /*as_proposer=*/true, 1);
+    }
+  }
+
+  // Responder runs still awaiting a decide: re-send our response (the
+  // proposer may never have seen it) and re-arm the probe.
+  for (const auto& [label, run] : responder_runs_) {
+    send_envelope(run.propose.proposal.proposer, MsgType::kRespond,
+                  run.my_response.encode());
+    arm_run_probe(label, /*as_proposer=*/false, 1);
+  }
+
+  return handles;
 }
 
 // ---------------------------------------------------------------------------
@@ -415,23 +663,41 @@ RunHandle Replica::start_state_run(bool is_update, Bytes payload,
   }
 
   Bytes encoded = run.propose.encode();
+  hit_crash_point("propose.pre-journal");
+  if (journaling()) {
+    ProposerRunRecord record{run.propose, run.authenticator, run.new_state,
+                             run.recipients};
+    wire::Encoder enc;
+    enc.blob(record.encode());
+    journal_record(walrec::kProposerRun, std::move(enc).take());
+  }
   callbacks_.record_evidence(evidence_kind::kProposeSent, encoded);
+  journal_barrier();
+  hit_crash_point("propose.journaled");
 
   if (run.recipients.empty()) {
     // Singleton group: trivially unanimous.
     install_agreed_state(prop.proposed, run.new_state,
                          /*apply_to_object=*/false);
+    journal_run_closed(walrec::kProposerClosed, label);
     complete(handle, RunResult::Outcome::kAgreed, "", {},
              prop.proposed.sequence, label);
     return handle;
   }
 
+  bool first_send = true;
   for (const PartyId& recipient : run.recipients) {
     messages_.add(label, {"sent", "propose", recipient.str(), encoded});
     send_envelope(recipient, MsgType::kPropose, encoded);
+    if (first_send) {
+      first_send = false;
+      hit_crash_point("propose.mid-send");
+    }
   }
   proposer_run_ = std::move(run);
   arm_deadline(label, /*as_proposer=*/true);
+  arm_run_probe(label, /*as_proposer=*/true, 1);
+  hit_crash_point("propose.sent");
   return handle;
 }
 
@@ -445,6 +711,15 @@ void Replica::handle_respond(const PartyId& from, const Bytes& body) {
   }
   if (!proposer_run_.has_value() ||
       proposer_run_->propose.proposal.proposed != resp.proposed) {
+    const std::string stray_label = resp.proposed.label();
+    if (journaling() && seen_run_labels_.contains(stray_label)) {
+      // A responder re-probing a run we already closed (it may have lost
+      // our decide in its crash window): re-send the stored decide so it
+      // can conclude, instead of branding a legitimate retry a replay.
+      if (maybe_resend_decide(stray_label, from)) return;
+      record_anomaly("response for closed run " + stray_label, from);
+      return;
+    }
     record_violation("response for no active run (stray or replayed)", from);
     return;
   }
@@ -472,8 +747,16 @@ void Replica::handle_respond(const PartyId& from, const Bytes& body) {
     return;
   }
 
+  hit_crash_point("response.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(msg.encode());
+    journal_record(walrec::kResponseReceived, std::move(enc).take());
+  }
   messages_.add(label, {"received", "respond", from.str(), body});
   callbacks_.record_evidence(evidence_kind::kRespondReceived, msg.encode());
+  journal_barrier();
+  hit_crash_point("response.journaled");
   run.responses.emplace(from, std::move(msg));
 
   if (run.responses.size() == run.recipients.size()) {
@@ -520,11 +803,25 @@ void Replica::finish_state_run_as_proposer() {
   bool agreed = group_accepts(consistent_accepts, run.recipients.size());
 
   Bytes encoded = decide.encode();
+  hit_crash_point("decide.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(encoded);
+    journal_record(walrec::kDecideSent, std::move(enc).take());
+  }
   callbacks_.record_evidence(evidence_kind::kDecideSent, encoded);
+  journal_barrier();
+  hit_crash_point("decide.journaled");
+  bool first_send = true;
   for (const PartyId& recipient : run.recipients) {
     messages_.add(label, {"sent", "decide", recipient.str(), encoded});
     send_envelope(recipient, MsgType::kDecide, encoded);
+    if (first_send) {
+      first_send = false;
+      hit_crash_point("decide.mid-send");
+    }
   }
+  hit_crash_point("decide.sent");
 
   CoordEvent event;
   event.object = object_;
@@ -552,6 +849,8 @@ void Replica::finish_state_run_as_proposer() {
     complete(run.result, RunResult::Outcome::kVetoed, first_diagnostic,
              std::move(vetoers), prop.proposed.sequence, label);
   }
+  journal_run_closed(walrec::kProposerClosed, label);
+  hit_crash_point("decide.installed");
   drain_deferred_membership();
 }
 
@@ -604,12 +903,31 @@ void Replica::handle_propose(const PartyId& from, const Bytes& body) {
   }
   const std::string label = prop.proposed.label();
   if (seen_run_labels_.contains(label)) {
+    if (journaling()) {
+      // With a journal behind us a duplicate proposal is the expected
+      // trace of a crashed-and-recovered proposer re-driving its run, not
+      // prima facie replay: answer it idempotently. (Journal-less
+      // deployments keep the strict §4.4 replay stance below.)
+      auto it = responder_runs_.find(label);
+      if (it != responder_runs_.end() &&
+          it->second.propose.proposal.proposer == from) {
+        record_anomaly("duplicate proposal re-answered " + label, from);
+        send_envelope(from, MsgType::kRespond,
+                      it->second.my_response.encode());
+        return;
+      }
+      if (it == responder_runs_.end()) {
+        record_anomaly("duplicate proposal for closed run " + label, from);
+        return;
+      }
+    }
     // §4.4: T_prop uniquely labels a run; a re-appearance is a replay.
     record_violation("replayed proposal " + label, from);
     return;
   }
   seen_run_labels_.insert(label);
   note_sequence(prop.proposed.sequence);
+  hit_crash_point("respond.pre-journal");
   callbacks_.record_evidence(evidence_kind::kProposeReceived, msg.encode());
   messages_.add(label, {"received", "propose", from.str(), body});
 
@@ -638,14 +956,26 @@ void Replica::handle_propose(const PartyId& from, const Bytes& body) {
   run.my_decision = decision;
   run.my_response = out;
   run.members_at_response = members_;
+
+  Bytes encoded = out.encode();
+  if (journaling()) {
+    ResponderRunRecord record{run.propose, run.pending_state,
+                              run.my_response, run.members_at_response};
+    wire::Encoder enc;
+    enc.blob(record.encode());
+    journal_record(walrec::kResponderRun, std::move(enc).take());
+  }
   responder_runs_.emplace(label, std::move(run));
   if (decision.accept) accept_lock_ = label;
 
-  Bytes encoded = out.encode();
   callbacks_.record_evidence(evidence_kind::kRespondSent, encoded);
   messages_.add(label, {"sent", "respond", from.str(), encoded});
+  journal_barrier();
+  hit_crash_point("respond.journaled");
   send_envelope(from, MsgType::kRespond, encoded);
   arm_deadline(label, /*as_proposer=*/false);
+  arm_run_probe(label, /*as_proposer=*/false, 1);
+  hit_crash_point("respond.sent");
 }
 
 Decision Replica::evaluate_proposal(const ProposeMsg& msg,
@@ -742,8 +1072,16 @@ void Replica::handle_decide(const PartyId& from, const Bytes& body) {
     record_violation("decide authenticator mismatch (forgery)", from);
     return;
   }
+  hit_crash_point("decide-recv.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(msg.encode());
+    journal_record(walrec::kDecideDelivered, std::move(enc).take());
+  }
   callbacks_.record_evidence(evidence_kind::kDecideReceived, msg.encode());
   messages_.add(label, {"received", "decide", from.str(), body});
+  journal_barrier();
+  hit_crash_point("decide-recv.journaled");
 
   ResponderRun finished = std::move(it->second);
   responder_runs_.erase(it);
@@ -846,6 +1184,8 @@ void Replica::conclude_responder_run(const std::string& label,
   }
 
   if (accept_lock_ == label) accept_lock_.reset();
+  journal_run_closed(walrec::kResponderClosed, label);
+  hit_crash_point("decide-recv.installed");
   drain_deferred_membership();
 }
 
@@ -958,6 +1298,7 @@ void Replica::handle_termination_verdict(const PartyId& from,
                  label);
       }
     }
+    journal_run_closed(walrec::kProposerClosed, label);
     return;
   }
 
@@ -968,6 +1309,7 @@ void Replica::handle_termination_verdict(const PartyId& from,
   responder_runs_.erase(it);
   if (verdict.kind == TerminationVerdict::Kind::kAbort) {
     if (accept_lock_ == label) accept_lock_.reset();
+    journal_run_closed(walrec::kResponderClosed, label);
     CoordEvent event;
     event.kind = CoordEvent::Kind::kStateVetoed;
     event.object = object_;

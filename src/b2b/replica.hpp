@@ -129,6 +129,19 @@ class Replica {
     /// Run `fn` after `delay_micros` of virtual time (deadline timers).
     std::function<void(std::uint64_t delay_micros, std::function<void()> fn)>
         schedule;
+    /// Append one typed record (see recovery.hpp) to the hosting
+    /// coordinator's write-ahead journal; the coordinator prepends the
+    /// object id. Null when journaling is disabled — every journal-only
+    /// behaviour (idempotent duplicate handling, run probes) is gated on
+    /// this so the journal-less protocol is bit-for-bit the original.
+    std::function<void(std::uint8_t type, const Bytes& payload)>
+        journal_record;
+    /// Durability barrier: records appended so far survive any crash
+    /// once this returns (WAL discipline: barrier before send/install).
+    std::function<void()> journal_barrier;
+    /// Crash-point hook: invoked with a point name at every persist/send
+    /// boundary; an armed hook throws SimulatedCrash. Null in production.
+    std::function<void(const char* point)> crash_point;
   };
 
   Replica(PartyId self, ObjectId object, B2BObject& impl,
@@ -245,8 +258,91 @@ class Replica {
   /// Records a "recovery" evidence record.
   void restore_snapshot(const ReplicaSnapshot& snapshot);
 
+  // --- journal-based recovery (write-ahead journal replay) ---------------------
+
+  /// Durable image of an in-flight proposer-side state run, journaled
+  /// before the propose is sent so the run can be resumed after a crash.
+  struct ProposerRunRecord {
+    ProposeMsg propose;
+    Bytes authenticator;
+    Bytes new_state;
+    std::vector<PartyId> recipients;
+
+    Bytes encode() const;
+    static ProposerRunRecord decode(BytesView data);  // throws CodecError
+  };
+
+  /// Durable image of an in-flight responder-side state run, journaled
+  /// before the signed response is sent.
+  struct ResponderRunRecord {
+    ProposeMsg propose;
+    Bytes pending_state;
+    RespondMsg my_response;
+    std::vector<PartyId> members_at_response;
+
+    Bytes encode() const;
+    static ResponderRunRecord decode(BytesView data);  // throws CodecError
+  };
+
+  /// Everything the coordinator's journal replay reconstructed for one
+  /// object: the latest snapshot, the still-open runs on both sides, and
+  /// the replay-protection facts that must outlive any snapshot.
+  struct RecoveredObjectState {
+    std::optional<ReplicaSnapshot> snapshot;
+    std::optional<ProposerRunRecord> proposer_run;
+    std::vector<RespondMsg> proposer_responses;
+    /// Set when the decide was journaled but the run not closed: the
+    /// decide phase must be redone (idempotently) on resume.
+    std::optional<DecideMsg> proposer_decide;
+    std::map<std::string, ResponderRunRecord> responder_runs;
+    /// Decides journaled as delivered whose installation may not have
+    /// completed before the crash; concluded again on resume.
+    std::map<std::string, DecideMsg> responder_decides;
+    std::set<std::string> seen_labels;
+    std::uint64_t max_sequence = 0;
+  };
+
+  /// Rebuild this replica from a journal replay (called by the hosting
+  /// coordinator during register_object, instead of bootstrap). Restores
+  /// replicated state, re-opens in-flight runs, re-establishes the accept
+  /// lock and invariant 2 (the object holds our own open proposal's
+  /// state). Records a "recovery" evidence record.
+  void restore_recovered(const RecoveredObjectState& recovered);
+
+  /// Redo-and-resend phase of recovery, run after every object is
+  /// restored: finishes journaled-but-uninstalled decides (idempotent
+  /// redo), re-sends the in-flight propose/response messages, and re-arms
+  /// the capped run probes. Returns the handles of runs still in flight
+  /// (already-complete redos resolve their handles before returning).
+  std::vector<RunHandle> resume_recovered_runs();
+
+  /// Capped periodic re-probe configuration (journal-gated liveness: the
+  /// transport acks a frame before the coordinator journals it, so a
+  /// message can be acked-then-lost in a crash; probes re-drive the
+  /// exchange). Must be set before any run starts.
+  void set_run_probe(std::uint64_t interval_micros, int max_probes) {
+    run_probe_interval_micros_ = interval_micros;
+    max_run_probes_ = max_probes;
+  }
+
  private:
   friend class ReplicaMembership;
+
+  // --- journaling helpers ----------------------------------------------------
+  bool journaling() const {
+    return static_cast<bool>(callbacks_.journal_record);
+  }
+  void journal_record(std::uint8_t type, const Bytes& payload);
+  void journal_barrier();
+  void hit_crash_point(const char* point);
+  /// Journal the current durable replicated state (kSnapshot + barrier).
+  void journal_snapshot();
+  void journal_run_closed(std::uint8_t type, const std::string& label);
+  /// Re-send the stored decide of a closed run to `to` (a recovering
+  /// responder probing us). Returns false if no decide is on record.
+  bool maybe_resend_decide(const std::string& label, const PartyId& to);
+  /// Arm one capped re-probe of a still-open run (journal-gated).
+  void arm_run_probe(const std::string& label, bool as_proposer, int attempt);
 
   // --- shared helpers (replica_common in replica.cpp) -----------------------
   std::uint64_t next_sequence();
@@ -406,6 +502,15 @@ class Replica {
   static constexpr int kMaxVoluntaryRetries = 32;
   /// Per-nonce forwarding budget for requests received while departed.
   std::map<std::string, int> forward_counts_;
+
+  // --- journal-based recovery state ----------------------------------------------
+  /// Decide journaled by our previous incarnation but not confirmed
+  /// installed: redone in resume_recovered_runs.
+  std::optional<DecideMsg> recovered_decide_;
+  /// Delivered decides whose conclusion must be redone on resume.
+  std::map<std::string, DecideMsg> pending_redo_decides_;
+  std::uint64_t run_probe_interval_micros_ = 1'000'000;
+  int max_run_probes_ = 12;
 };
 
 }  // namespace b2b::core

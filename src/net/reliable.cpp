@@ -1,5 +1,8 @@
 #include "net/reliable.hpp"
 
+#include <functional>
+#include <string>
+
 #include "common/logging.hpp"
 #include "crypto/sha256.hpp"
 #include "wire/codec.hpp"
@@ -29,11 +32,41 @@ Bytes frame_checksum(std::uint64_t seq, BytesView payload) {
 }  // namespace
 
 ReliableEndpoint::ReliableEndpoint(SimNetwork& network, PartyId self,
-                                   Config config)
+                                   Config config, Rng* rng)
     : network_(network), self_(std::move(self)), config_(config) {
+  if (rng == nullptr) {
+    owned_rng_ = std::make_unique<DeterministicRng>(
+        0x6a69'7474'6572ULL ^ std::hash<std::string>{}(self_.str()));
+    rng_ = owned_rng_.get();
+  } else {
+    rng_ = rng;
+  }
   network_.attach(self_, [this](const PartyId& from, const Bytes& datagram) {
     on_datagram(from, datagram);
   });
+}
+
+SimTime ReliableEndpoint::backoff_delay(const Config& config,
+                                        std::size_t attempt) {
+  double delay = static_cast<double>(config.retransmit_interval_micros);
+  const double cap = static_cast<double>(config.retransmit_cap_micros);
+  for (std::size_t i = 1; i < attempt && delay < cap; ++i) {
+    delay *= config.retransmit_backoff;
+  }
+  if (delay > cap) delay = cap;
+  if (delay < 1.0) delay = 1.0;
+  return static_cast<SimTime>(delay);
+}
+
+SimTime ReliableEndpoint::jittered_delay(std::size_t attempt) {
+  SimTime base = backoff_delay(config_, attempt);
+  if (config_.retransmit_jitter <= 0.0) return base;
+  // Uniform in [1-j, 1+j): 53-bit mantissa from the Rng seam.
+  double u = static_cast<double>(rng_->next_u64() >> 11) *
+             (1.0 / 9007199254740992.0);
+  double factor = 1.0 + config_.retransmit_jitter * (2.0 * u - 1.0);
+  double jittered = static_cast<double>(base) * factor;
+  return jittered < 1.0 ? 1 : static_cast<SimTime>(jittered);
 }
 
 void ReliableEndpoint::send(const PartyId& to, Bytes payload) {
@@ -66,10 +99,11 @@ void ReliableEndpoint::schedule_retransmit(const PartyId& to,
                                            std::size_t attempt) {
   if (attempt > config_.max_retransmits) {
     B2B_WARN("reliable: giving up on ", self_, " -> ", to, " seq ", seq);
+    if (failure_handler_) failure_handler_(to);
     return;
   }
   network_.scheduler().after(
-      config_.retransmit_interval_micros, [this, to, seq, attempt] {
+      jittered_delay(attempt), [this, to, seq, attempt] {
         auto it = outgoing_.find({to, seq});
         if (it == outgoing_.end() || it->second.acked) return;
         ++stats_.retransmissions;

@@ -18,12 +18,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/ids.hpp"
 #include "net/dedup.hpp"
 #include "net/network.hpp"
+#include "net/runtime.hpp"
 #include "net/scheduler.hpp"
 
 namespace b2b::net {
@@ -31,8 +33,18 @@ namespace b2b::net {
 class ReliableEndpoint {
  public:
   struct Config {
-    /// How often un-acked messages are retransmitted.
+    /// Delay before the first retransmission of an un-acked message.
+    /// Subsequent attempts back off exponentially (`retransmit_backoff`)
+    /// up to `retransmit_cap_micros`, with ±`retransmit_jitter` drawn
+    /// from the endpoint's Rng so synchronised peers do not stay in
+    /// lockstep (deterministic in simulation: the Rng is seeded).
     SimTime retransmit_interval_micros = 50'000;
+    /// Multiplier applied per attempt; 1.0 restores the fixed interval.
+    double retransmit_backoff = 2.0;
+    /// Ceiling on the per-attempt delay.
+    SimTime retransmit_cap_micros = 1'000'000;
+    /// Jitter as a fraction of the delay (0.1 = ±10%).
+    double retransmit_jitter = 0.1;
     /// Safety bound so a simulation with a permanently dead peer
     /// terminates. Far above anything a liveness test needs.
     std::size_t max_retransmits = 10'000;
@@ -49,19 +61,37 @@ class ReliableEndpoint {
   using Handler =
       std::function<void(const PartyId& from, const Bytes& payload)>;
 
-  /// Attaches itself to `network` under `self`.
-  ReliableEndpoint(SimNetwork& network, PartyId self, Config config);
+  /// Attaches itself to `network` under `self`. `rng` feeds retransmit
+  /// jitter (the injected Rng seam); when null the endpoint owns a
+  /// DeterministicRng derived from `self`, so seeded simulations stay
+  /// reproducible either way.
+  ReliableEndpoint(SimNetwork& network, PartyId self, Config config,
+                   Rng* rng = nullptr);
   ReliableEndpoint(SimNetwork& network, PartyId self)
       : ReliableEndpoint(network, std::move(self), Config{}) {}
 
   /// Sink for application payloads (each delivered exactly once).
   void set_handler(Handler handler) { handler_ = std::move(handler); }
 
+  /// Sink invoked once per message when `max_retransmits` is exhausted:
+  /// the message will never be delivered and the peer should be treated
+  /// as suspect by whoever owns this endpoint.
+  using DeliveryFailureHandler = std::function<void(const PartyId& to)>;
+  void set_delivery_failure_handler(DeliveryFailureHandler handler) {
+    failure_handler_ = std::move(handler);
+  }
+
   /// Queue `payload` for eventual once-only delivery to `to`.
   void send(const PartyId& to, Bytes payload);
 
   /// Messages queued but not yet acknowledged (any destination).
   std::size_t unacked() const;
+
+  /// The deterministic part of the retransmission schedule: the delay
+  /// armed after send attempt `attempt` (1-based), before jitter —
+  /// initial interval, exponential backoff, cap. Exposed so tests can
+  /// assert the schedule without replaying a simulation.
+  static SimTime backoff_delay(const Config& config, std::size_t attempt);
 
   const Stats& stats() const { return stats_; }
   const PartyId& self() const { return self_; }
@@ -73,11 +103,16 @@ class ReliableEndpoint {
   void schedule_retransmit(const PartyId& to, std::uint64_t seq,
                            std::size_t attempt);
 
+  SimTime jittered_delay(std::size_t attempt);
+
   SimNetwork& network_;
   PartyId self_;
   Config config_;
   Handler handler_;
+  DeliveryFailureHandler failure_handler_;
   Stats stats_;
+  std::unique_ptr<Rng> owned_rng_;  // used when no Rng was injected
+  Rng* rng_;
 
   struct Outgoing {
     Bytes payload;

@@ -65,6 +65,24 @@ class Transport {
   /// Replaces any previous handler.
   virtual void set_handler(Handler handler) = 0;
 
+  /// Replace the handler and do not return while an invocation of the
+  /// *previous* handler is still in flight on a transport thread. Needed
+  /// before tearing down the handler's target (crash injection /
+  /// recovery); equivalent to set_handler on single-threaded transports.
+  virtual void set_handler_sync(Handler handler) {
+    set_handler(std::move(handler));
+  }
+
+  /// Sink invoked when the transport permanently gives up delivering a
+  /// message to a peer (retransmission budget exhausted) — the signal a
+  /// coordinator uses to mark the peer suspect instead of blocking a run
+  /// forever. Like Handler, it may be invoked from an implementation-
+  /// defined thread. Default: failures stay silent (seed behaviour).
+  using DeliveryFailureHandler = std::function<void(const PartyId& to)>;
+  virtual void set_delivery_failure_handler(DeliveryFailureHandler handler) {
+    (void)handler;
+  }
+
   /// The party this transport speaks for.
   virtual const PartyId& self() const = 0;
 

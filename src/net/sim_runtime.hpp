@@ -32,6 +32,10 @@ class SimTransport final : public Transport {
     endpoint_.set_handler(std::move(handler));
   }
 
+  void set_delivery_failure_handler(DeliveryFailureHandler handler) override {
+    endpoint_.set_delivery_failure_handler(std::move(handler));
+  }
+
   const PartyId& self() const override { return endpoint_.self(); }
 
   std::size_t unacked() const override { return endpoint_.unacked(); }
@@ -93,7 +97,8 @@ class SimRuntime final : public Runtime {
   };
 
   explicit SimRuntime(const Options& options)
-      : network_(scheduler_, options.seed),
+      : seed_(options.seed),
+        network_(scheduler_, options.seed),
         clock_(scheduler_),
         executor_(scheduler_),
         reliable_(options.reliable) {
@@ -101,8 +106,12 @@ class SimRuntime final : public Runtime {
   }
 
   Transport& add_party(const PartyId& id) override {
-    endpoints_.push_back(
-        std::make_unique<ReliableEndpoint>(network_, id, reliable_));
+    // Each endpoint draws retransmit jitter from its own seeded stream so
+    // runs stay reproducible per (seed, party) regardless of join order.
+    jitter_rngs_.push_back(std::make_unique<DeterministicRng>(
+        seed_ ^ 0x6a69'7474'6572ULL ^ std::hash<std::string>{}(id.str())));
+    endpoints_.push_back(std::make_unique<ReliableEndpoint>(
+        network_, id, reliable_, jitter_rngs_.back().get()));
     transports_.push_back(std::make_unique<SimTransport>(*endpoints_.back()));
     return *transports_.back();
   }
@@ -122,11 +131,13 @@ class SimRuntime final : public Runtime {
   }
 
  private:
+  std::uint64_t seed_ = 1;
   EventScheduler scheduler_;
   SimNetwork network_;
   SimClock clock_;
   SimExecutor executor_;
   ReliableEndpoint::Config reliable_;
+  std::vector<std::unique_ptr<DeterministicRng>> jitter_rngs_;
   std::vector<std::unique_ptr<ReliableEndpoint>> endpoints_;
   std::vector<std::unique_ptr<SimTransport>> transports_;
 };

@@ -159,6 +159,22 @@ void ThreadedTransport::set_handler(Handler handler) {
   handler_ = std::move(handler);
 }
 
+void ThreadedTransport::set_handler_sync(Handler handler) {
+  set_handler(std::move(handler));
+  // process_frame snapshots the handler *before* invoking it, so a frame
+  // popped before the swap may still be running through the old handler.
+  // Wait for the receiver to finish that dispatch; afterwards the old
+  // handler's target can be destroyed safely.
+  std::unique_lock<std::mutex> lock(mailbox_->mutex);
+  mailbox_->cv.wait(lock, [this] { return !mailbox_->dispatching; });
+}
+
+void ThreadedTransport::set_delivery_failure_handler(
+    DeliveryFailureHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failure_handler_ = std::move(handler);
+}
+
 std::size_t ThreadedTransport::unacked() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return outgoing_.size();
@@ -199,6 +215,8 @@ void ThreadedTransport::receive_loop() {
       std::lock_guard<std::mutex> lock(mailbox_->mutex);
       mailbox_->dispatching = false;
     }
+    // Wake set_handler_sync callers waiting for the dispatch to drain.
+    mailbox_->cv.notify_all();
   }
 }
 
@@ -254,6 +272,8 @@ void ThreadedTransport::retransmit_loop() {
       if (stopping_) return;
     }
     std::vector<std::pair<PartyId, Bytes>> frames;
+    std::vector<PartyId> failed;
+    DeliveryFailureHandler failure_handler;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       for (auto it = outgoing_.begin(); it != outgoing_.end();) {
@@ -261,6 +281,7 @@ void ThreadedTransport::retransmit_loop() {
         if (out.attempts >= config_.max_retransmits) {
           B2B_WARN("threaded: giving up on ", self_, " -> ", key.first,
                    " seq ", key.second);
+          failed.push_back(key.first);
           it = outgoing_.erase(it);
           continue;
         }
@@ -270,8 +291,14 @@ void ThreadedTransport::retransmit_loop() {
                             encode_frame(kData, key.second, out.payload));
         ++it;
       }
+      if (!failed.empty()) failure_handler = failure_handler_;
     }
     for (auto& [to, frame] : frames) network_.deliver(self_, to, frame);
+    // Outside mutex_: the callback re-enters the coordinator, which may
+    // call back into the transport (lock-order inversion otherwise).
+    if (failure_handler) {
+      for (const auto& to : failed) failure_handler(to);
+    }
   }
 }
 

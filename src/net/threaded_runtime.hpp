@@ -116,6 +116,8 @@ class ThreadedTransport final : public Transport {
   // Transport interface — all entry points are thread-safe.
   void send(const PartyId& to, Bytes payload) override;
   void set_handler(Handler handler) override;
+  void set_handler_sync(Handler handler) override;
+  void set_delivery_failure_handler(DeliveryFailureHandler handler) override;
   const PartyId& self() const override { return self_; }
   std::size_t unacked() const override;
   Stats stats() const override;
@@ -139,6 +141,7 @@ class ThreadedTransport final : public Transport {
 
   mutable std::mutex mutex_;  // everything below
   Handler handler_;
+  DeliveryFailureHandler failure_handler_;
   Transport::Stats stats_;
   struct Outgoing {
     Bytes payload;

@@ -1,18 +1,26 @@
 #include "store/checkpoint_store.hpp"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/error.hpp"
+#include "store/crc32.hpp"
 #include "wire/codec.hpp"
 
 namespace b2b::store {
 
 namespace {
 const std::vector<Checkpoint> kEmptyHistory;
+// File framing: magic + u32 CRC over the body that follows.
+constexpr char kMagic[8] = {'B', '2', 'B', 'C', 'K', 'P', 'T', '2'};
+constexpr std::size_t kMagicLen = sizeof(kMagic);
+constexpr std::size_t kHeaderLen = kMagicLen + 4;
 }  // namespace
 
 void CheckpointStore::put(const ObjectId& object, Checkpoint checkpoint) {
-  checkpoints_[object].push_back(std::move(checkpoint));
+  auto& history = checkpoints_[object];
+  history.push_back(std::move(checkpoint));
+  if (observer_) observer_(object, history.back());
 }
 
 std::optional<Checkpoint> CheckpointStore::latest(const ObjectId& object) const {
@@ -53,7 +61,13 @@ void CheckpointStore::save(const std::string& path) const {
       enc.u64(cp.sequence).blob(cp.tuple).blob(cp.state).u64(cp.time_micros);
     }
   }
-  const Bytes& data = enc.bytes();
+  const Bytes& body = enc.bytes();
+  wire::Encoder framed;
+  framed.raw(BytesView{reinterpret_cast<const std::uint8_t*>(kMagic),
+                       kMagicLen});
+  framed.u32(crc32(body));
+  framed.raw(body);
+  const Bytes& data = framed.bytes();
   std::FILE* file = std::fopen(path.c_str(), "wb");
   if (file == nullptr) throw StoreError("cannot open for write: " + path);
   if (std::fwrite(data.data(), 1, data.size(), file) != data.size()) {
@@ -74,9 +88,22 @@ CheckpointStore CheckpointStore::load(const std::string& path) {
   }
   std::fclose(file);
 
+  if (data.size() < kHeaderLen) {
+    throw StoreError("truncated checkpoint store header: " + path);
+  }
+  if (!std::equal(kMagic, kMagic + kMagicLen, data.begin())) {
+    throw StoreError("garbage checkpoint store header: " + path);
+  }
+  wire::Decoder header{BytesView{data.data() + kMagicLen, 4}};
+  std::uint32_t expected_crc = header.u32();
+  BytesView body{data.data() + kHeaderLen, data.size() - kHeaderLen};
+  if (crc32(body) != expected_crc) {
+    throw StoreError("checkpoint store checksum mismatch: " + path);
+  }
+
   CheckpointStore out;
   try {
-    wire::Decoder dec{data};
+    wire::Decoder dec{body};
     std::uint64_t objects = dec.varint();
     for (std::uint64_t i = 0; i < objects; ++i) {
       ObjectId object{dec.str()};

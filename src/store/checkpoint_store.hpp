@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,8 +31,15 @@ struct Checkpoint {
 
 class CheckpointStore {
  public:
+  /// Invoked on every put (after the in-memory append). The hosting
+  /// coordinator uses this to mirror checkpoints into its write-ahead
+  /// journal without every put site knowing about journaling.
+  using Observer = std::function<void(const ObjectId&, const Checkpoint&)>;
+
   /// Record a newly validated state for `object`.
   void put(const ObjectId& object, Checkpoint checkpoint);
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   /// Latest checkpoint, if any.
   std::optional<Checkpoint> latest(const ObjectId& object) const;
@@ -45,12 +53,16 @@ class CheckpointStore {
 
   std::size_t count(const ObjectId& object) const;
 
-  /// Persist / restore all objects' histories.
+  /// Persist / restore all objects' histories. The file is framed with a
+  /// magic header and a CRC over the body; load() raises StoreError on a
+  /// truncated file, garbage header or checksum mismatch rather than
+  /// attempting to decode damaged bytes.
   void save(const std::string& path) const;
   static CheckpointStore load(const std::string& path);
 
  private:
   std::unordered_map<ObjectId, std::vector<Checkpoint>> checkpoints_;
+  Observer observer_;
 };
 
 }  // namespace b2b::store

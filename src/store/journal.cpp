@@ -1,0 +1,231 @@
+#include "store/journal.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "store/crc32.hpp"
+
+#if defined(_WIN32)
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace b2b::store {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', '2', 'B', 'W', 'A', 'L', '0', '1'};
+constexpr std::size_t kMagicLen = sizeof(kMagic);
+constexpr std::size_t kFrameLen = 8;  // u32 length + u32 crc
+/// Sanity bound: a corrupt length field must not trigger a huge
+/// allocation before the CRC gets a chance to reject the record.
+constexpr std::uint32_t kMaxRecordLen = 64u * 1024 * 1024;
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_u32le(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+Bytes read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) throw StoreError("cannot open for read: " + path);
+  Bytes data;
+  std::uint8_t buf[65536];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), file)) > 0) {
+    data.insert(data.end(), buf, buf + got);
+  }
+  std::fclose(file);
+  return data;
+}
+
+void fsync_file(std::FILE* file) {
+#if defined(_WIN32)
+  _commit(_fileno(file));
+#else
+  ::fsync(::fileno(file));
+#endif
+}
+
+}  // namespace
+
+Journal::Journal(std::string dir, Options options)
+    : dir_(std::move(dir)), options_(options) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir_);
+
+  // Collect existing segments, ordered by index.
+  std::vector<std::pair<std::uint64_t, std::string>> segments;
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 9 || name.compare(0, 4, "wal-") != 0 ||
+        name.compare(name.size() - 4, 4, ".seg") != 0) {
+      continue;
+    }
+    std::uint64_t index = 0;
+    try {
+      index = std::stoull(name.substr(4, name.size() - 8));
+    } catch (const std::exception&) {
+      continue;  // not one of ours
+    }
+    segments.emplace_back(index, entry.path().string());
+  }
+  std::sort(segments.begin(), segments.end());
+
+  std::uint64_t markers = 0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const auto& [index, path] = segments[i];
+    const bool is_tail = (i + 1 == segments.size());
+    Bytes data = read_file(path);
+
+    if (data.size() < kMagicLen) {
+      // Only an interrupted header write of the newest segment can leave
+      // a short header behind; anywhere else it is corruption.
+      if (!is_tail) {
+        throw StoreError("journal segment truncated below header: " + path);
+      }
+      truncated_bytes_ += data.size();
+      fs::resize_file(path, 0);
+      data.clear();
+    } else if (!std::equal(kMagic, kMagic + kMagicLen, data.begin())) {
+      throw StoreError("journal segment has garbage header: " + path);
+    }
+
+    std::size_t offset = data.empty() ? 0 : kMagicLen;
+    while (offset < data.size()) {
+      bool torn = false;
+      std::uint32_t len = 0;
+      if (data.size() - offset < kFrameLen) {
+        torn = true;
+      } else {
+        len = read_u32le(data.data() + offset);
+        std::uint32_t crc = read_u32le(data.data() + offset + 4);
+        if (len == 0 || len > kMaxRecordLen ||
+            data.size() - offset - kFrameLen < len) {
+          torn = true;
+        } else {
+          BytesView payload{data.data() + offset + kFrameLen, len};
+          if (crc32(payload) != crc) {
+            torn = true;
+          } else {
+            std::uint8_t type = payload[0];
+            if (type == kIncarnationMarker) {
+              ++markers;
+            } else {
+              records_.push_back(JournalRecord{
+                  type, Bytes(payload.begin() + 1, payload.end())});
+            }
+            offset += kFrameLen + len;
+            continue;
+          }
+        }
+      }
+      // A bad record in the final segment is the torn tail an interrupted
+      // append leaves behind: drop the suffix, keep the valid prefix.
+      // Anywhere else the write discipline rules a crash out as the
+      // cause, so refuse to guess.
+      (void)torn;
+      if (!is_tail) {
+        throw StoreError("journal segment corrupt mid-log: " + path);
+      }
+      truncated_bytes_ += data.size() - offset;
+      fs::resize_file(path, offset);
+      B2B_WARN("journal: truncated torn tail of ", path, " (",
+               data.size() - offset, " bytes)");
+      break;
+    }
+
+    if (is_tail) {
+      tail_index_ = index;
+      open_tail(path, /*fresh=*/data.size() < kMagicLen);
+    }
+  }
+
+  if (tail_ == nullptr) {
+    tail_index_ = 1;
+    open_tail(segment_path(tail_index_), /*fresh=*/true);
+  }
+
+  incarnation_ = markers + 1;
+  append(kIncarnationMarker, {});
+  sync();
+}
+
+Journal::~Journal() {
+  if (tail_ != nullptr) {
+    std::fflush(tail_);
+    std::fclose(tail_);
+  }
+}
+
+std::string Journal::segment_path(std::uint64_t index) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.seg",
+                static_cast<unsigned long long>(index));
+  return dir_ + "/" + name;
+}
+
+void Journal::open_tail(const std::string& path, bool fresh) {
+  tail_ = std::fopen(path.c_str(), "ab");
+  if (tail_ == nullptr) {
+    throw StoreError("cannot open journal segment for append: " + path);
+  }
+  if (fresh) {
+    if (std::fwrite(kMagic, 1, kMagicLen, tail_) != kMagicLen) {
+      throw StoreError("cannot write journal segment header: " + path);
+    }
+    tail_size_ = kMagicLen;
+  } else {
+    namespace fs = std::filesystem;
+    tail_size_ = static_cast<std::size_t>(fs::file_size(path));
+  }
+}
+
+void Journal::roll_segment() {
+  sync();
+  std::fclose(tail_);
+  tail_ = nullptr;
+  ++tail_index_;
+  open_tail(segment_path(tail_index_), /*fresh=*/true);
+}
+
+void Journal::append(std::uint8_t type, BytesView payload) {
+  if (tail_size_ > options_.segment_bytes) roll_segment();
+  // Frame: [u32 len][u32 crc][type byte + payload], CRC over the payload
+  // including its type byte so a torn or rotted record never replays.
+  Bytes body;
+  body.reserve(payload.size() + 1);
+  body.push_back(type);
+  body.insert(body.end(), payload.begin(), payload.end());
+  std::uint8_t frame[kFrameLen];
+  write_u32le(frame, static_cast<std::uint32_t>(body.size()));
+  write_u32le(frame + 4, crc32(body));
+  if (std::fwrite(frame, 1, kFrameLen, tail_) != kFrameLen ||
+      std::fwrite(body.data(), 1, body.size(), tail_) != body.size()) {
+    throw StoreError("journal append failed: " + dir_);
+  }
+  tail_size_ += kFrameLen + body.size();
+}
+
+void Journal::sync() {
+  if (tail_ == nullptr) return;
+  if (std::fflush(tail_) != 0) {
+    throw StoreError("journal flush failed: " + dir_);
+  }
+  if (options_.fsync) fsync_file(tail_);
+}
+
+}  // namespace b2b::store

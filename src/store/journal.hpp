@@ -1,0 +1,108 @@
+// Crash-atomic write-ahead journal (append-only segment files).
+//
+// The paper's recovery story (§4.2: "for non-repudiation, and recovery,
+// protocol messages are held in local persistent storage at sender and
+// recipient") needs a stable-storage substrate with a precise contract:
+// a record whose append was followed by a sync() barrier survives any
+// crash; a record in flight at the moment of the crash either survives
+// intact or is absent — never half-present. This file provides exactly
+// that:
+//
+//  * A journal is a directory of append-only segment files
+//    (`wal-<n>.seg`), each starting with an 8-byte magic header and
+//    containing records framed as [u32 length][u32 crc32][payload].
+//    The first payload byte is the caller's record type tag.
+//  * append() buffers through stdio; sync() is the fsync barrier point —
+//    the WAL discipline in the protocol layer is "sync before send".
+//  * Opening scans every segment. A torn tail — a partial or
+//    CRC-corrupt record suffix of the *final* segment, which is what an
+//    interrupted append produces — is truncated away and the valid
+//    prefix recovered. Corruption anywhere else (garbage header, bad
+//    CRC mid-log) cannot result from a crash under this write
+//    discipline, so it raises a typed StoreError instead of being
+//    silently dropped.
+//  * Each open appends an incarnation marker, so recovering code can
+//    tell how many lives the journal has seen (used to re-key the
+//    deterministic Rng so a restarted party never reuses authenticator
+//    randomness).
+//
+// Not thread-safe: the owner (Coordinator) serialises access under its
+// own mutex.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace b2b::store {
+
+/// One recovered journal record: the caller's type tag plus payload.
+struct JournalRecord {
+  std::uint8_t type = 0;
+  Bytes payload;
+};
+
+class Journal {
+ public:
+  /// Record type 0 is reserved for the journal's own incarnation
+  /// markers; callers must use types >= 1.
+  static constexpr std::uint8_t kIncarnationMarker = 0;
+
+  struct Options {
+    /// Roll to a new segment file once the tail exceeds this size.
+    std::size_t segment_bytes = 1u << 20;
+    /// Honour sync() barriers with a real fsync. Turning this off keeps
+    /// the write path (and torn-tail semantics under kill -9 of the
+    /// *process*) but drops power-failure durability — the bench knob.
+    bool fsync = true;
+  };
+
+  /// Open (creating the directory and first segment if absent), scan all
+  /// segments, truncate a torn tail, and append an incarnation marker.
+  /// Throws StoreError on non-tail corruption or I/O failure.
+  Journal(std::string dir, Options options);
+  explicit Journal(std::string dir) : Journal(std::move(dir), Options{}) {}
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Append one record (type >= 1). Buffered; durable after sync().
+  void append(std::uint8_t type, BytesView payload);
+
+  /// Barrier: everything appended so far is on stable storage when this
+  /// returns (modulo Options::fsync=false).
+  void sync();
+
+  /// Records recovered at open, in append order, incarnation markers
+  /// excluded. Stable for the life of this object (appends after open
+  /// are not reflected — recovery reads, then replays).
+  const std::vector<JournalRecord>& records() const { return records_; }
+
+  /// How many times this journal has been opened, this open included.
+  std::uint64_t incarnation() const { return incarnation_; }
+
+  /// Bytes discarded from the final segment as a torn tail at open.
+  std::uint64_t truncated_bytes() const { return truncated_bytes_; }
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void open_tail(const std::string& path, bool fresh);
+  void roll_segment();
+  std::string segment_path(std::uint64_t index) const;
+
+  std::string dir_;
+  Options options_;
+  std::vector<JournalRecord> records_;
+  std::uint64_t incarnation_ = 0;
+  std::uint64_t truncated_bytes_ = 0;
+  std::uint64_t tail_index_ = 1;
+  std::size_t tail_size_ = 0;
+  std::FILE* tail_ = nullptr;
+};
+
+}  // namespace b2b::store

@@ -7,7 +7,9 @@ const std::vector<MessageStore::StoredMessage> kEmpty;
 }  // namespace
 
 void MessageStore::add(const std::string& run_label, StoredMessage message) {
-  runs_[run_label].push_back(std::move(message));
+  auto& run = runs_[run_label];
+  run.push_back(std::move(message));
+  if (observer_) observer_(run_label, run.back());
 }
 
 const std::vector<MessageStore::StoredMessage>& MessageStore::run(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,8 +30,15 @@ class MessageStore {
                            const StoredMessage&) = default;
   };
 
+  /// Invoked on every add (after the in-memory append); lets the hosting
+  /// coordinator mirror the transcript into its write-ahead journal.
+  using Observer =
+      std::function<void(const std::string& run_label, const StoredMessage&)>;
+
   /// File a message under `run_label`.
   void add(const std::string& run_label, StoredMessage message);
+
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   /// All messages of a run, in arrival/send order.
   const std::vector<StoredMessage>& run(const std::string& run_label) const;
@@ -43,6 +51,7 @@ class MessageStore {
 
  private:
   std::map<std::string, std::vector<StoredMessage>> runs_;
+  Observer observer_;
 };
 
 }  // namespace b2b::store

@@ -1,0 +1,370 @@
+// Durable crash recovery (write-ahead journal, §4.2 "stable storage"):
+// graceful restart, the crash-point fault-injection campaign, recovery
+// determinism, and transport-level suspicion of unreachable peers.
+//
+// The campaign sweeps every named crash point in replica.cpp (see
+// src/b2b/recovery.hpp) at the party whose protocol role passes that
+// point — the proposer for propose/response/decide points, a responder
+// for respond/decide-recv points — kills the party there, restarts it
+// from its journal and asserts:
+//   safety   — no divergent validated state: after recovery all parties
+//              hold identical agreed tuples, every evidence hash chain
+//              verifies, and no violations were recorded;
+//   liveness — the interrupted run terminates: the deployment converges
+//              (and goes quiescent) after recovery.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "b2b/federation.hpp"
+#include "common/error.hpp"
+#include "tests/support/runtime_param.hpp"
+#include "tests/support/test_objects.hpp"
+
+namespace b2b::core {
+namespace {
+
+using test::TestRegister;
+
+namespace fs = std::filesystem;
+
+const ObjectId kObj{"ledger"};
+
+// Crash points passed on the proposer's code path (crash "alpha").
+const std::vector<std::string> kProposerPoints = {
+    "propose.pre-journal",  "propose.journaled", "propose.mid-send",
+    "propose.sent",         "response.pre-journal", "response.journaled",
+    "decide.pre-journal",   "decide.journaled",  "decide.mid-send",
+    "decide.sent",          "decide.installed",
+};
+
+// Crash points passed on a responder's code path (crash "beta").
+const std::vector<std::string> kResponderPoints = {
+    "respond.pre-journal",     "respond.journaled",
+    "respond.sent",            "decide-recv.pre-journal",
+    "decide-recv.journaled",   "decide-recv.installed",
+};
+
+std::string sanitized(const std::string& point) {
+  std::string out = point;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+std::string fresh_journal_root(const std::string& tag) {
+  fs::path root = fs::temp_directory_path() / ("b2b_recovery_" + tag);
+  fs::remove_all(root);
+  return root.string();
+}
+
+Federation::Options journaled_options(const std::string& tag,
+                                      RuntimeKind kind, std::uint64_t seed) {
+  Federation::Options options = test::runtime_options(kind, seed);
+  options.journal_root = fresh_journal_root(tag);
+  if (kind == RuntimeKind::kThreaded) {
+    // Real-time probe cadence: keep the worst case (probe-driven
+    // recovery) well inside the test budget.
+    options.run_probe_interval_micros = 200'000;
+  }
+  return options;
+}
+
+/// Three organisations sharing one journaled object.
+struct Parties {
+  // Registers are declared before (destroyed after) the federation, so
+  // the runtime's delivery threads stop before the objects they write
+  // into die.
+  TestRegister alpha_obj;
+  TestRegister beta_obj;
+  TestRegister gamma_obj;
+  Federation fed;
+
+  Parties(const std::string& tag, RuntimeKind kind, std::uint64_t seed)
+      : fed({"alpha", "beta", "gamma"}, journaled_options(tag, kind, seed)) {
+    fed.register_object("alpha", kObj, alpha_obj);
+    fed.register_object("beta", kObj, beta_obj);
+    fed.register_object("gamma", kObj, gamma_obj);
+    fed.bootstrap_object(kObj, {"alpha", "beta", "gamma"},
+                         bytes_of("genesis"));
+  }
+
+  TestRegister& obj(const std::string& name) {
+    if (name == "alpha") return alpha_obj;
+    if (name == "beta") return beta_obj;
+    return gamma_obj;
+  }
+
+  /// Agree an initial state so every journal holds a snapshot and the
+  /// deployment has validated state a faulty recovery could diverge from.
+  void warm_up() {
+    alpha_obj.value = bytes_of("warm");
+    RunHandle h =
+        fed.coordinator("alpha").propagate_new_state(kObj,
+                                                     alpha_obj.get_state());
+    ASSERT_TRUE(fed.run_until_done(h));
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    fed.settle();
+  }
+
+  void check_safety() {
+    const StateTuple& agreed =
+        fed.coordinator("alpha").replica(kObj).agreed_tuple();
+    for (const std::string name : {"alpha", "beta", "gamma"}) {
+      Coordinator& coord = fed.coordinator(name);
+      EXPECT_EQ(coord.replica(kObj).agreed_tuple(), agreed) << name;
+      EXPECT_TRUE(coord.evidence().verify_chain()) << name;
+      EXPECT_EQ(coord.violations_detected(), 0u) << name;
+    }
+    EXPECT_EQ(alpha_obj.value, beta_obj.value);
+    EXPECT_EQ(alpha_obj.value, gamma_obj.value);
+  }
+};
+
+/// One campaign case on the deterministic simulator. Returns a
+/// fingerprint of the full post-recovery deployment for the determinism
+/// check.
+Bytes run_sim_case(const std::string& point, const std::string& crasher,
+                   std::uint64_t seed) {
+  const std::string tag = sanitized(point) + "_" + crasher;
+  Bytes fingerprint;
+  {
+    Parties p(tag, RuntimeKind::kSim, seed);
+    p.warm_up();
+
+    p.fed.coordinator(crasher).arm_crash_point(point);
+    p.alpha_obj.value = bytes_of("v2");
+    RunHandle h = p.fed.coordinator("alpha").propagate_new_state(
+        kObj, p.alpha_obj.get_state());
+    EXPECT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator(crasher).crashed(); }))
+        << "crash point never hit";
+
+    p.fed.crash_party(crasher);
+    // Bounded downtime: frames sent at the dead party are dropped
+    // un-acked and keep being retransmitted. (A full settle here would
+    // drain those capped-but-long retransmit chains event by event.)
+    p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+
+    Coordinator& revived = p.fed.recover_party(crasher);
+    p.fed.register_object(crasher, kObj, p.obj(crasher));
+    EXPECT_TRUE(revived.recovered());
+    EXPECT_EQ(revived.journal()->incarnation(), 2u);
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    // Liveness: the interrupted run terminates. Everything the journal
+    // had seen resumes and completes; a run killed before its first
+    // barrier ("propose.pre-journal") never legally existed, so the
+    // deployment stays at the warm-up state.
+    const std::uint64_t expected_seq =
+        point == "propose.pre-journal" ? 1u : 2u;
+    auto converged = [&] {
+      Replica& a = p.fed.coordinator("alpha").replica(kObj);
+      Replica& b = p.fed.coordinator("beta").replica(kObj);
+      Replica& g = p.fed.coordinator("gamma").replica(kObj);
+      return a.agreed_tuple().sequence == expected_seq &&
+             a.agreed_tuple() == b.agreed_tuple() &&
+             a.agreed_tuple() == g.agreed_tuple() && !a.busy() &&
+             !b.busy() && !g.busy();
+    };
+    EXPECT_TRUE(p.fed.executor().run_until(converged))
+        << "deployment did not converge after recovery";
+    for (const RunHandle& r : resumed) EXPECT_TRUE(r->done());
+    p.fed.settle();
+
+    const Bytes expected_value =
+        point == "propose.pre-journal" ? bytes_of("warm") : bytes_of("v2");
+    EXPECT_EQ(p.alpha_obj.value, expected_value);
+    p.check_safety();
+
+    // Deployment fingerprint: evidence tails (they hash everything that
+    // came before), agreed tuples, object values, executed event count.
+    for (const std::string name : {"alpha", "beta", "gamma"}) {
+      Coordinator& coord = p.fed.coordinator(name);
+      const store::EvidenceLog& evidence = coord.evidence();
+      fingerprint.push_back(static_cast<std::uint8_t>(evidence.size()));
+      if (!evidence.empty()) {
+        Bytes tail = evidence.at(evidence.size() - 1).encode();
+        fingerprint.insert(fingerprint.end(), tail.begin(), tail.end());
+      }
+      Bytes tuple = coord.replica(kObj).agreed_tuple().encode();
+      fingerprint.insert(fingerprint.end(), tuple.begin(), tuple.end());
+      const Bytes& value = p.obj(name).value;
+      fingerprint.insert(fingerprint.end(), value.begin(), value.end());
+    }
+    Bytes events = bytes_of(std::to_string(p.fed.scheduler().events_executed()));
+    fingerprint.insert(fingerprint.end(), events.begin(), events.end());
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+  return fingerprint;
+}
+
+// --- graceful restart (both runtimes) ---------------------------------------
+
+class Recovery : public test::RuntimeParamTest {};
+
+TEST_P(Recovery, GracefulRestartPreservesStateAndResumesService) {
+  const std::string tag =
+      "graceful_" + test::runtime_suffix(GetParam());
+  {
+    Parties p(tag, GetParam(), /*seed=*/7);
+    p.warm_up();
+
+    p.fed.crash_party("beta");
+    Coordinator& revived = p.fed.recover_party("beta");
+    p.fed.register_object("beta", kObj, p.beta_obj);
+    EXPECT_TRUE(revived.recovered());
+    ASSERT_NE(revived.journal(), nullptr);
+    EXPECT_EQ(revived.journal()->incarnation(), 2u);
+    EXPECT_TRUE(revived.resume_recovered_runs().empty());
+
+    // The journal restored the validated state...
+    EXPECT_EQ(p.beta_obj.value, bytes_of("warm"));
+    EXPECT_EQ(revived.replica(kObj).agreed_tuple().sequence, 1u);
+    ASSERT_TRUE(revived.checkpoints().latest(kObj).has_value());
+    EXPECT_EQ(revived.checkpoints().latest(kObj)->state, bytes_of("warm"));
+
+    // ...and the restarted party is a full citizen again.
+    p.alpha_obj.value = bytes_of("after-restart");
+    RunHandle h = p.fed.coordinator("alpha").propagate_new_state(
+        kObj, p.alpha_obj.get_state());
+    ASSERT_TRUE(p.fed.run_until_done(h));
+    EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    p.fed.settle();
+    EXPECT_EQ(p.beta_obj.value, bytes_of("after-restart"));
+    p.check_safety();
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
+B2B_INSTANTIATE_RUNTIME_SUITE(Recovery);
+
+// --- the crash-point campaign (deterministic simulator) ---------------------
+
+TEST(CrashCampaign, ProposerCrashEveryPoint) {
+  for (const std::string& point : kProposerPoints) {
+    SCOPED_TRACE(point);
+    run_sim_case(point, "alpha", /*seed=*/11);
+  }
+}
+
+TEST(CrashCampaign, ResponderCrashEveryPoint) {
+  for (const std::string& point : kResponderPoints) {
+    SCOPED_TRACE(point);
+    run_sim_case(point, "beta", /*seed=*/11);
+  }
+}
+
+TEST(CrashCampaign, RecoveryIsDeterministic) {
+  // Same seed, same crash: the entire post-recovery deployment —
+  // evidence tails, tuples, values, event count — must reproduce
+  // bit-for-bit.
+  for (const auto& [point, crasher] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"response.journaled", "alpha"}, {"respond.sent", "beta"}}) {
+    SCOPED_TRACE(point);
+    Bytes first = run_sim_case(point, crasher, /*seed=*/23);
+    Bytes second = run_sim_case(point, crasher, /*seed=*/23);
+    EXPECT_EQ(first, second);
+  }
+}
+
+// --- representative crashes on real threads ---------------------------------
+
+/// One campaign case on the threaded runtime: handles (atomics) are
+/// awaited instead of polling replica state from the test thread, and
+/// convergence is asserted only after settle()'s synchronisation.
+void run_threaded_case(const std::string& point, const std::string& crasher) {
+  const std::string tag = sanitized(point) + "_" + crasher + "_threaded";
+  {
+    Parties p(tag, RuntimeKind::kThreaded, /*seed=*/5);
+    p.warm_up();
+
+    p.fed.coordinator(crasher).arm_crash_point(point);
+    p.alpha_obj.value = bytes_of("v2");
+    RunHandle h = p.fed.coordinator("alpha").propagate_new_state(
+        kObj, p.alpha_obj.get_state());
+    ASSERT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator(crasher).crashed(); }));
+
+    p.fed.crash_party(crasher);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    Coordinator& revived = p.fed.recover_party(crasher);
+    p.fed.register_object(crasher, kObj, p.obj(crasher));
+    EXPECT_TRUE(revived.recovered());
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    auto all_done = [&] {
+      for (const RunHandle& r : resumed) {
+        if (!r->done()) return false;
+      }
+      // The original handle only resolves when the proposer survives;
+      // a crashed proposer's run continues under its resumed handle.
+      return crasher == "alpha" || h->done();
+    };
+    ASSERT_TRUE(p.fed.executor().run_until(all_done));
+    p.fed.settle();
+
+    EXPECT_EQ(p.alpha_obj.value, bytes_of("v2"));
+    EXPECT_EQ(
+        p.fed.coordinator(crasher).replica(kObj).agreed_tuple().sequence,
+        2u);
+    p.check_safety();
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
+TEST(CrashCampaignThreaded, ProposerCrashAfterDecideJournaled) {
+  run_threaded_case("decide.journaled", "alpha");
+}
+
+TEST(CrashCampaignThreaded, ResponderCrashAfterRespondJournaled) {
+  run_threaded_case("respond.journaled", "beta");
+}
+
+// --- delivery failure -> suspicion ------------------------------------------
+
+TEST(Recovery, ExhaustedRetransmissionMarksPeerSuspect) {
+  const std::string tag = "suspect";
+  {
+    Federation::Options options =
+        journaled_options(tag, RuntimeKind::kSim, /*seed=*/3);
+    options.reliable.max_retransmits = 5;
+
+    TestRegister alpha_obj;
+    TestRegister beta_obj;
+    TestRegister gamma_obj;
+    Federation fed({"alpha", "beta", "gamma"}, options);
+    fed.register_object("alpha", kObj, alpha_obj);
+    fed.register_object("beta", kObj, beta_obj);
+    fed.register_object("gamma", kObj, gamma_obj);
+    fed.bootstrap_object(kObj, {"alpha", "beta", "gamma"},
+                         bytes_of("genesis"));
+
+    fed.crash_party("beta");
+    alpha_obj.value = bytes_of("v1");
+    fed.coordinator("alpha").propagate_new_state(kObj,
+                                                 alpha_obj.get_state());
+    EXPECT_TRUE(fed.executor().run_until([&] {
+      return fed.coordinator("alpha").suspected_peers().contains(
+          PartyId{"beta"});
+    }));
+    EXPECT_FALSE(
+        fed.coordinator("alpha")
+            .evidence()
+            .find_kind("peer.suspect")
+            .empty());
+    // Suspicion is transport-level, not an accusation of misbehaviour.
+    EXPECT_EQ(fed.coordinator("alpha").violations_detected(), 0u);
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
+}  // namespace
+}  // namespace b2b::core

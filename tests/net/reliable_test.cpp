@@ -166,6 +166,83 @@ TEST(ReliableTest, ManyMessagesUnderCombinedFaults) {
   EXPECT_EQ(deliveries, 100);        // exactly once each
 }
 
+// --- retransmission backoff, jitter, delivery-failure reporting -------------
+
+TEST(ReliableTest, BackoffScheduleDoublesToCap) {
+  ReliableEndpoint::Config config;
+  config.retransmit_interval_micros = 50'000;
+  config.retransmit_backoff = 2.0;
+  config.retransmit_cap_micros = 1'000'000;
+  EXPECT_EQ(ReliableEndpoint::backoff_delay(config, 1), 50'000u);
+  EXPECT_EQ(ReliableEndpoint::backoff_delay(config, 2), 100'000u);
+  EXPECT_EQ(ReliableEndpoint::backoff_delay(config, 3), 200'000u);
+  EXPECT_EQ(ReliableEndpoint::backoff_delay(config, 4), 400'000u);
+  EXPECT_EQ(ReliableEndpoint::backoff_delay(config, 5), 800'000u);
+  // Crosses the ceiling: clamped, and stays clamped forever after.
+  EXPECT_EQ(ReliableEndpoint::backoff_delay(config, 6), 1'000'000u);
+  EXPECT_EQ(ReliableEndpoint::backoff_delay(config, 100), 1'000'000u);
+}
+
+TEST(ReliableTest, BackoffFactorOneRestoresFixedInterval) {
+  ReliableEndpoint::Config config;
+  config.retransmit_interval_micros = 50'000;
+  config.retransmit_backoff = 1.0;
+  for (std::size_t attempt = 1; attempt <= 10; ++attempt) {
+    EXPECT_EQ(ReliableEndpoint::backoff_delay(config, attempt), 50'000u);
+  }
+}
+
+TEST(ReliableTest, JitteredScheduleIsSeededDeterministic) {
+  // The jitter comes from the endpoint's (seeded) Rng seam: the complete
+  // retransmission timeline of a run must reproduce bit-for-bit.
+  auto run_once = [] {
+    EventScheduler scheduler;
+    SimNetwork net{scheduler, 7};
+    ReliableEndpoint::Config config;
+    config.max_retransmits = 6;
+    ReliableEndpoint a{net, PartyId{"a"}, config};
+    ReliableEndpoint b{net, PartyId{"b"}, config};
+    a.set_handler([](const PartyId&, const Bytes&) {});
+    b.set_handler([](const PartyId&, const Bytes&) {});
+    net.set_alive(PartyId{"b"}, false);
+    a.send(PartyId{"b"}, Bytes{1});
+    scheduler.run();
+    return scheduler.now();
+  };
+  SimTime first = run_once();
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(run_once(), first);
+}
+
+TEST(ReliableTest, ReportsDeliveryFailureOncePerGivenUpMessage) {
+  EventScheduler scheduler;
+  SimNetwork net{scheduler, 7};
+  ReliableEndpoint::Config config;
+  config.max_retransmits = 3;
+  ReliableEndpoint a{net, PartyId{"a"}, config};
+  ReliableEndpoint b{net, PartyId{"b"}, config};
+  a.set_handler([](const PartyId&, const Bytes&) {});
+  b.set_handler([](const PartyId&, const Bytes&) {});
+  std::vector<PartyId> failed;
+  a.set_delivery_failure_handler(
+      [&](const PartyId& to) { failed.push_back(to); });
+
+  net.set_alive(PartyId{"b"}, false);  // permanently dead (for now)
+  a.send(PartyId{"b"}, Bytes{1});
+  a.send(PartyId{"b"}, Bytes{2});
+  scheduler.run();
+  ASSERT_EQ(failed.size(), 2u);  // once per undeliverable message
+  EXPECT_EQ(failed[0], PartyId{"b"});
+  EXPECT_EQ(failed[1], PartyId{"b"});
+
+  // A delivery that succeeds never reports failure.
+  net.set_alive(PartyId{"b"}, true);
+  a.send(PartyId{"b"}, Bytes{3});
+  scheduler.run();
+  EXPECT_EQ(failed.size(), 2u);
+  EXPECT_GE(b.stats().app_delivered, 1u);
+}
+
 // --- DedupWindow: bounded replacement for the unbounded delivered-set ------
 
 TEST(DedupWindowTest, MatchesUnboundedSetOnAdversarialStream) {

@@ -180,6 +180,48 @@ TEST(CheckpointStoreTest, LoadCorruptFileThrows) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointStoreTest, LoadTruncatedFileThrows) {
+  std::string path = temp_path("truncated_checkpoints.bin");
+  CheckpointStore store;
+  store.put(ObjectId{"x"}, Checkpoint{1, Bytes{1, 2}, Bytes(200, 0x5a), 11});
+  store.save(path);
+  std::filesystem::resize_file(
+      path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW(CheckpointStore::load(path), StoreError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, LoadBitFlippedFileThrows) {
+  std::string path = temp_path("bitflip_checkpoints.bin");
+  CheckpointStore store;
+  store.put(ObjectId{"x"}, Checkpoint{1, Bytes{1, 2}, bytes_of("state"), 11});
+  store.save(path);
+  // Flip a byte in the body: the CRC header must reject the file rather
+  // than let damaged bytes reach the decoder.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -3, SEEK_END);
+  int c = std::fgetc(f);
+  std::fseek(f, -3, SEEK_END);
+  std::fputc(c ^ 0x40, f);
+  std::fclose(f);
+  EXPECT_THROW(CheckpointStore::load(path), StoreError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointStoreTest, ObserverSeesEveryPut) {
+  CheckpointStore store;
+  std::vector<std::pair<ObjectId, std::uint64_t>> seen;
+  store.set_observer([&](const ObjectId& object, const Checkpoint& cp) {
+    seen.emplace_back(object, cp.sequence);
+  });
+  store.put(ObjectId{"a"}, Checkpoint{1, {}, {}, 0});
+  store.put(ObjectId{"b"}, Checkpoint{2, {}, {}, 0});
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, ObjectId{"a"});
+  EXPECT_EQ(seen[1].second, 2u);
+}
+
 // --- MessageStore -----------------------------------------------------------------
 
 TEST(MessageStoreTest, GroupsMessagesByRun) {
