@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "b2b/recovery.hpp"
+#include "b2b/termination.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "wire/codec.hpp"
@@ -263,20 +264,35 @@ RunHandle Coordinator::propagate_connect(const ObjectId& object,
                                          const PartyId& via) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (crashed_) return aborted_handle("coordinator crashed");
-  return replica(object).request_connect(via);
+  try {
+    return replica(object).request_connect(via);
+  } catch (const SimulatedCrash& crash) {
+    crashed_ = true;
+    return aborted_handle(std::string("simulated crash at ") + crash.point);
+  }
 }
 
 RunHandle Coordinator::propagate_disconnect(const ObjectId& object) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (crashed_) return aborted_handle("coordinator crashed");
-  return replica(object).request_disconnect();
+  try {
+    return replica(object).request_disconnect();
+  } catch (const SimulatedCrash& crash) {
+    crashed_ = true;
+    return aborted_handle(std::string("simulated crash at ") + crash.point);
+  }
 }
 
 RunHandle Coordinator::propagate_eviction(const ObjectId& object,
                                           std::vector<PartyId> subjects) {
   std::lock_guard<std::recursive_mutex> lock(mutex_);
   if (crashed_) return aborted_handle("coordinator crashed");
-  return replica(object).propose_eviction(std::move(subjects));
+  try {
+    return replica(object).propose_eviction(std::move(subjects));
+  } catch (const SimulatedCrash& crash) {
+    crashed_ = true;
+    return aborted_handle(std::string("simulated crash at ") + crash.point);
+  }
 }
 
 void Coordinator::on_message(const PartyId& from, const Bytes& payload) {
@@ -446,6 +462,8 @@ void Coordinator::replay_object_record(std::uint8_t type,
         rec.proposer_responses.clear();
         rec.proposer_decide.reset();
       }
+      rec.termination_submissions.erase(label);
+      rec.verdicts.erase(label);
       break;
     }
     case walrec::kResponderRun: {
@@ -472,6 +490,121 @@ void Coordinator::replay_object_record(std::uint8_t type,
       rec.seen_labels.insert(label);
       rec.responder_runs.erase(label);
       rec.responder_decides.erase(label);
+      rec.termination_submissions.erase(label);
+      rec.verdicts.erase(label);
+      break;
+    }
+    case walrec::kSponsorRun: {
+      auto run = Replica::SponsorRunRecord::decode(dec.blob());
+      dec.expect_done();
+      const GroupTuple& new_group = run.propose.proposal.new_group;
+      rec.seen_labels.insert(new_group.label());
+      rec.max_sequence = std::max(rec.max_sequence, new_group.sequence);
+      // The request nonce is marked processed so a recovered sponsor
+      // re-answers (never re-runs) a duplicate of the same request.
+      rec.processed_nonces.insert(
+          to_hex(run.propose.proposal.request.request_nonce));
+      rec.sponsor_run = std::move(run);
+      rec.sponsor_responses.clear();
+      rec.sponsor_decide.reset();
+      break;
+    }
+    case walrec::kMembershipResponse: {
+      MembershipRespondMsg response = MembershipRespondMsg::decode(dec.blob());
+      dec.expect_done();
+      if (!rec.sponsor_run.has_value() ||
+          response.response.new_group !=
+              rec.sponsor_run->propose.proposal.new_group) {
+        break;  // response for an already-closed run
+      }
+      const bool duplicate = std::any_of(
+          rec.sponsor_responses.begin(), rec.sponsor_responses.end(),
+          [&](const MembershipRespondMsg& existing) {
+            return existing.response.responder == response.response.responder;
+          });
+      if (!duplicate) rec.sponsor_responses.push_back(std::move(response));
+      break;
+    }
+    case walrec::kMembershipDecideSent: {
+      MembershipDecideMsg decide = MembershipDecideMsg::decode(dec.blob());
+      dec.expect_done();
+      if (rec.sponsor_run.has_value() &&
+          decide.new_group == rec.sponsor_run->propose.proposal.new_group) {
+        rec.sponsor_decide = std::move(decide);
+      }
+      break;
+    }
+    case walrec::kSponsorClosed: {
+      std::string label = dec.str();
+      dec.expect_done();
+      rec.seen_labels.insert(label);
+      if (rec.sponsor_run.has_value() &&
+          rec.sponsor_run->propose.proposal.new_group.label() == label) {
+        // processed_nonces keeps the request nonce: a late duplicate of
+        // the request must be re-answered, not re-run.
+        rec.sponsor_run.reset();
+        rec.sponsor_responses.clear();
+        rec.sponsor_decide.reset();
+      }
+      break;
+    }
+    case walrec::kMembershipResponderRun: {
+      auto run = Replica::MembershipResponderRunRecord::decode(dec.blob());
+      dec.expect_done();
+      const GroupTuple& new_group = run.propose.proposal.new_group;
+      rec.seen_labels.insert(new_group.label());
+      rec.max_sequence = std::max(rec.max_sequence, new_group.sequence);
+      rec.membership_responder_runs.insert_or_assign(new_group.label(),
+                                                     std::move(run));
+      break;
+    }
+    case walrec::kMembershipDecideDelivered: {
+      MembershipDecideMsg decide = MembershipDecideMsg::decode(dec.blob());
+      dec.expect_done();
+      const std::string label = decide.new_group.label();
+      if (rec.membership_responder_runs.contains(label)) {
+        rec.membership_decides.insert_or_assign(label, std::move(decide));
+      }
+      break;
+    }
+    case walrec::kMembershipResponderClosed: {
+      std::string label = dec.str();
+      dec.expect_done();
+      rec.seen_labels.insert(label);
+      rec.membership_responder_runs.erase(label);
+      rec.membership_decides.erase(label);
+      break;
+    }
+    case walrec::kSubjectRequest: {
+      auto request = Replica::SubjectRequestRecord::decode(dec.blob());
+      dec.expect_done();
+      rec.subject_request = std::move(request);
+      break;
+    }
+    case walrec::kSubjectClosed: {
+      std::string nonce_key = dec.str();
+      dec.expect_done();
+      if (rec.subject_request.has_value() &&
+          to_hex(rec.subject_request->request.request_nonce) == nonce_key) {
+        rec.subject_request.reset();
+      }
+      break;
+    }
+    case walrec::kTerminationSubmitted: {
+      std::string label = dec.str();
+      bool as_proposer = dec.u8() != 0;
+      dec.expect_done();
+      rec.termination_submissions.insert_or_assign(label, as_proposer);
+      break;
+    }
+    case walrec::kVerdictDelivered: {
+      Bytes body = dec.blob();
+      dec.expect_done();
+      Bytes signature;
+      TerminationVerdict verdict =
+          TerminationVerdict::decode_fields(body, &signature);
+      rec.verdicts.insert_or_assign(verdict.proposed.label(),
+                                    std::move(body));
       break;
     }
     default:

@@ -263,7 +263,9 @@ void Federation::enable_ttp_termination(const ObjectId& object,
                                         std::uint64_t deadline_micros) {
   TerminationTtp& ttp = termination_ttp();
   for (auto& p : parties_) {
-    if (!p->coordinator->has_object(object)) continue;
+    // Skip crashed parties: a restarted coordinator re-enables TTP
+    // termination itself by calling this again after recover_party().
+    if (!p->coordinator || !p->coordinator->has_object(object)) continue;
     p->coordinator->enable_ttp_termination(
         object,
         Replica::TtpConfig{ttp.id(), ttp.public_key(), deadline_micros});

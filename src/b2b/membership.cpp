@@ -4,6 +4,7 @@
 // voluntary disconnection.
 #include <algorithm>
 
+#include "b2b/recovery.hpp"
 #include "b2b/replica.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
@@ -111,8 +112,12 @@ RunHandle Replica::request_connect(const PartyId& via) {
 
   callbacks_.record_evidence(evidence_kind::kMembershipRequest,
                              request.encode());
+  journal_subject_request(request, signature, via,
+                          /*relayed_eviction=*/false);
+  hit_crash_point("m-request.journaled");
   send_envelope(via, MsgType::kConnectRequest,
                 encode_request_with_signature(request, signature));
+  arm_subject_probe(to_hex(request.request_nonce), 1);
   subject_request_ = SubjectRequest{std::move(request), handle};
   return handle;
 }
@@ -150,8 +155,13 @@ RunHandle Replica::request_disconnect() {
 
   callbacks_.record_evidence(evidence_kind::kMembershipRequest,
                              request.encode());
-  send_envelope(disconnect_sponsor(self_), MsgType::kDisconnectRequest,
+  const PartyId sponsor = disconnect_sponsor(self_);
+  journal_subject_request(request, signature, sponsor,
+                          /*relayed_eviction=*/false);
+  hit_crash_point("m-request.journaled");
+  send_envelope(sponsor, MsgType::kDisconnectRequest,
                 encode_request_with_signature(request, signature));
+  arm_subject_probe(to_hex(request.request_nonce), 1);
   subject_request_ = SubjectRequest{std::move(request), handle};
   return handle;
 }
@@ -204,8 +214,12 @@ RunHandle Replica::propose_eviction(std::vector<PartyId> subjects) {
              "an eviction request is already pending", {}, 0, "");
     return handle;
   }
+  journal_subject_request(request, signature, *sponsor,
+                          /*relayed_eviction=*/true);
+  hit_crash_point("m-request.journaled");
   send_envelope(*sponsor, MsgType::kConnectRequest,
                 encode_request_with_signature(request, signature));
+  arm_subject_probe(to_hex(request.request_nonce), 1);
   relayed_eviction_nonce_ = to_hex(request.request_nonce);
   relayed_eviction_result_ = handle;
   return handle;
@@ -360,15 +374,25 @@ void Replica::process_membership_request(MembershipRequest request,
   // §4.5.1: "The sponsor is also responsible for blocking new coordination
   // requests pending decision on any active request" — defer, don't drop.
   if (busy()) {
+    if (deferred_membership_.size() >= kMaxDeferredMembership) {
+      record_anomaly("deferred-membership queue full; request dropped",
+                     request.sender);
+      return;
+    }
     deferred_membership_.emplace_back(std::move(request),
                                       std::move(signature));
     return;
   }
 
   // Act on each distinct request once, however many relayed or deferred
-  // copies reach us (the nonce uniquely labels the request).
+  // copies reach us (the nonce uniquely labels the request). A duplicate
+  // from a crashed-and-recovered subject re-probing under its original
+  // nonce is re-answered from the stored answer (journal-gated).
   std::string nonce_key = to_hex(request.request_nonce);
-  if (!processed_request_nonces_.insert(nonce_key).second) return;
+  if (!sponsor_nonces_.insert(nonce_key)) {
+    maybe_reanswer_membership_request(nonce_key, subject);
+    return;
+  }
 
   switch (request.kind) {
     case MembershipKind::kConnect: {
@@ -378,7 +402,10 @@ void Replica::process_membership_request(MembershipRequest request,
         reject.object = object_;
         reject.request_nonce = request.request_nonce;
         reject.signature = key_.sign(reject.signed_bytes());
-        send_envelope(subject, MsgType::kConnectReject, reject.encode());
+        Bytes encoded = reject.encode();
+        remember_subject_answer(nonce_key, subject, MsgType::kConnectReject,
+                                encoded);
+        send_envelope(subject, MsgType::kConnectReject, std::move(encoded));
       };
       if (is_member(subject)) {
         reject_subject();
@@ -472,13 +499,24 @@ RunHandle Replica::start_membership_run(MembershipRequest request,
   }
 
   Bytes encoded = run.propose.encode();
+  hit_crash_point("m-propose.pre-journal");
+  if (journaling()) {
+    SponsorRunRecord record{run.propose, run.authenticator, run.recipients};
+    wire::Encoder enc;
+    enc.blob(record.encode());
+    journal_record(walrec::kSponsorRun, std::move(enc).take());
+  }
   callbacks_.record_evidence(evidence_kind::kMembershipPropose, encoded);
+  journal_barrier();
+  hit_crash_point("m-propose.journaled");
   for (const PartyId& recipient : run.recipients) {
     messages_.add(label, {"sent", "m.propose", recipient.str(), encoded});
     send_envelope(recipient, MsgType::kMembershipPropose, encoded);
   }
 
   sponsor_run_ = std::move(run);
+  arm_membership_probe(label, /*as_sponsor=*/true, 1);
+  hit_crash_point("m-propose.sent");
   if (sponsor_run_->recipients.empty()) {
     finish_membership_run_as_sponsor();
   }
@@ -496,6 +534,15 @@ void Replica::handle_membership_respond(const PartyId& from,
   }
   if (!sponsor_run_.has_value() ||
       sponsor_run_->propose.proposal.new_group != resp.new_group) {
+    const std::string stray = resp.new_group.label();
+    if (journaling() && seen_run_labels_.contains(stray)) {
+      // A recipient re-probing a membership run we already closed (it may
+      // have lost our decide in its crash window): re-send the stored
+      // decide so it can conclude.
+      if (maybe_resend_membership_decide(stray, from)) return;
+      record_anomaly("membership response for closed run " + stray, from);
+      return;
+    }
     record_violation("membership response for no active run", from);
     return;
   }
@@ -519,8 +566,15 @@ void Replica::handle_membership_respond(const PartyId& from,
     return;
   }
   const std::string label = resp.new_group.label();
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(msg.encode());
+    journal_record(walrec::kMembershipResponse, std::move(enc).take());
+  }
   messages_.add(label, {"received", "m.respond", from.str(), body});
   callbacks_.record_evidence(evidence_kind::kMembershipRespond, msg.encode());
+  journal_barrier();
+  hit_crash_point("m-response.journaled");
   run.responses.emplace(from, std::move(msg));
 
   if (run.responses.size() == run.recipients.size()) {
@@ -562,12 +616,27 @@ void Replica::finish_membership_run_as_sponsor() {
 
   B2B_DEBUG(self_, " membership run ", label, " agreed=", agreed);
   Bytes encoded = decide.encode();
+  hit_crash_point("m-decide.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(encoded);
+    journal_record(walrec::kMembershipDecideSent, std::move(enc).take());
+  }
   callbacks_.record_evidence(evidence_kind::kMembershipDecide, encoded);
+  journal_barrier();
+  hit_crash_point("m-decide.journaled");
+  bool first_send = true;
   for (const PartyId& recipient : run.recipients) {
     messages_.add(label, {"sent", "m.decide", recipient.str(), encoded});
     send_envelope(recipient, MsgType::kMembershipDecide, encoded);
+    if (first_send) {
+      first_send = false;
+      hit_crash_point("m-decide.mid-send");
+    }
   }
+  hit_crash_point("m-decide.sent");
 
+  const std::string nonce_key = to_hex(prop.request.request_nonce);
   if (agreed) {
     apply_membership_change(prop);
     if (prop.request.kind == MembershipKind::kConnect) {
@@ -592,8 +661,11 @@ void Replica::finish_membership_run_as_sponsor() {
       welcome.responses = decide.responses;
       welcome.authenticator = run.authenticator;
       welcome.sponsor_signature = key_.sign(welcome.signed_bytes());
+      Bytes welcome_encoded = welcome.encode();
+      remember_subject_answer(nonce_key, prop.request.sender,
+                              MsgType::kConnectWelcome, welcome_encoded);
       send_envelope(prop.request.sender, MsgType::kConnectWelcome,
-                    welcome.encode());
+                    std::move(welcome_encoded));
     } else if (prop.request.kind == MembershipKind::kVoluntaryDisconnect) {
       DisconnectConfirmMsg confirm;
       confirm.sponsor = self_;
@@ -601,8 +673,11 @@ void Replica::finish_membership_run_as_sponsor() {
       confirm.new_group = prop.new_group;
       confirm.responses = decide.responses;
       confirm.authenticator = run.authenticator;
+      Bytes confirm_encoded = confirm.encode();
+      remember_subject_answer(nonce_key, prop.request.subjects[0],
+                              MsgType::kDisconnectConfirm, confirm_encoded);
       send_envelope(prop.request.subjects[0], MsgType::kDisconnectConfirm,
-                    confirm.encode());
+                    std::move(confirm_encoded));
     }
     complete(run.result, RunResult::Outcome::kAgreed, "", {},
              prop.new_group.sequence, label);
@@ -615,18 +690,20 @@ void Replica::finish_membership_run_as_sponsor() {
       reject.object = object_;
       reject.request_nonce = prop.request.request_nonce;
       reject.signature = key_.sign(reject.signed_bytes());
+      Bytes reject_encoded = reject.encode();
+      remember_subject_answer(nonce_key, prop.request.sender,
+                              MsgType::kConnectReject, reject_encoded);
       send_envelope(prop.request.sender, MsgType::kConnectReject,
-                    reject.encode());
+                    std::move(reject_encoded));
     } else if (prop.request.kind == MembershipKind::kVoluntaryDisconnect) {
       // The departure itself cannot be refused (§4.5.4); a veto here only
       // means a recipient's view was transiently inconsistent or busy
       // (e.g. a racing state run). Retry with backoff — an immediate
       // retry would keep colliding with a steady stream of state runs —
       // up to a bound.
-      std::string nonce_key = to_hex(prop.request.request_nonce);
       int attempt = ++voluntary_retry_counts_[nonce_key];
       if (attempt <= kMaxVoluntaryRetries) {
-        processed_request_nonces_.erase(nonce_key);
+        sponsor_nonces_.erase(nonce_key);
         if (callbacks_.schedule) {
           std::uint64_t backoff =
               50'000ull * static_cast<std::uint64_t>(attempt);
@@ -645,6 +722,8 @@ void Replica::finish_membership_run_as_sponsor() {
     complete(run.result, RunResult::Outcome::kVetoed, first_diagnostic,
              std::move(vetoers), prop.new_group.sequence, label);
   }
+  journal_run_closed(walrec::kSponsorClosed, label);
+  hit_crash_point("m-decide.installed");
   drain_deferred_membership();
 }
 
@@ -695,6 +774,22 @@ void Replica::handle_membership_propose(const PartyId& from,
   }
   const std::string label = prop.new_group.label();
   if (seen_run_labels_.contains(label)) {
+    if (journaling()) {
+      // A crashed-and-recovered sponsor re-driving its run: if we still
+      // hold an open responder run for this label, re-send our journaled
+      // response; if we already concluded it, note the duplicate without
+      // blame (the sponsor lost our response in its crash window).
+      auto open = membership_responder_runs_.find(label);
+      if (open != membership_responder_runs_.end() &&
+          open->second.propose.proposal.sponsor == from) {
+        record_anomaly("re-sent membership response for run " + label, from);
+        send_envelope(from, MsgType::kMembershipRespond,
+                      open->second.my_response.encode());
+        return;
+      }
+      record_anomaly("duplicate membership proposal " + label, from);
+      return;
+    }
     record_violation("replayed membership proposal " + label, from);
     return;
   }
@@ -721,12 +816,23 @@ void Replica::handle_membership_propose(const PartyId& from,
   run.propose = msg;
   run.my_response = out;
   run.members_at_response = members_;
-  membership_responder_runs_.emplace(label, std::move(run));
 
   Bytes encoded = out.encode();
+  if (journaling()) {
+    MembershipResponderRunRecord record{run.propose, run.my_response,
+                                        run.members_at_response};
+    wire::Encoder enc;
+    enc.blob(record.encode());
+    journal_record(walrec::kMembershipResponderRun, std::move(enc).take());
+  }
+  membership_responder_runs_.emplace(label, std::move(run));
   callbacks_.record_evidence(evidence_kind::kMembershipRespond, encoded);
   messages_.add(label, {"sent", "m.respond", from.str(), encoded});
+  journal_barrier();
+  hit_crash_point("m-respond.journaled");
   send_envelope(from, MsgType::kMembershipRespond, encoded);
+  arm_membership_probe(label, /*as_sponsor=*/false, 1);
+  hit_crash_point("m-respond.sent");
 }
 
 Decision Replica::evaluate_membership_proposal(
@@ -845,20 +951,42 @@ void Replica::handle_membership_decide(const PartyId& from,
     record_anomaly("membership decide for unknown run " + label, from);
     return;
   }
-  MembershipResponderRun run = std::move(it->second);
-  const MembershipProposal& prop = run.propose.proposal;
-  if (msg.sponsor != prop.sponsor || from != prop.sponsor) {
-    record_violation("membership decide not from the sponsor", from);
-    return;
+  {
+    const MembershipProposal& prop = it->second.propose.proposal;
+    if (msg.sponsor != prop.sponsor || from != prop.sponsor) {
+      record_violation("membership decide not from the sponsor", from);
+      return;
+    }
+    if (crypto::Sha256::hash(msg.authenticator) != prop.new_group.rand_hash) {
+      record_violation("membership decide authenticator mismatch (forgery)",
+                       from);
+      return;
+    }
   }
-  if (crypto::Sha256::hash(msg.authenticator) != prop.new_group.rand_hash) {
-    record_violation("membership decide authenticator mismatch (forgery)",
-                     from);
-    return;
+  hit_crash_point("m-decide-recv.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(msg.encode());
+    journal_record(walrec::kMembershipDecideDelivered, std::move(enc).take());
   }
   callbacks_.record_evidence(evidence_kind::kMembershipDecide, msg.encode());
   messages_.add(label, {"received", "m.decide", from.str(), body});
+  journal_barrier();
+  hit_crash_point("m-decide-recv.journaled");
+  MembershipResponderRun run = std::move(it->second);
   membership_responder_runs_.erase(it);
+  conclude_membership_responder_run(label, std::move(run), msg);
+}
+
+/// The post-durability half of decide handling: verify the aggregated
+/// responses, apply the change if agreed, and close the run. Reached both
+/// from live delivery (after the decide is journaled) and from recovery
+/// replay of a journaled-but-unapplied decide.
+void Replica::conclude_membership_responder_run(const std::string& label,
+                                                MembershipResponderRun run,
+                                                const MembershipDecideMsg& msg) {
+  const MembershipProposal& prop = run.propose.proposal;
+  const PartyId& from = prop.sponsor;
 
   bool intact = true;
   bool all_accept = true;
@@ -921,6 +1049,7 @@ void Replica::handle_membership_decide(const PartyId& from,
       to_hex(prop.request.request_nonce) == relayed_eviction_nonce_) {
     RunHandle handle = *relayed_eviction_result_;
     relayed_eviction_result_.reset();
+    close_subject_request(to_hex(prop.request.request_nonce));
     std::vector<PartyId> vetoers;
     for (const MembershipRespondMsg& r : msg.responses) {
       if (!r.response.decision.accept) vetoers.push_back(r.response.responder);
@@ -930,10 +1059,15 @@ void Replica::handle_membership_decide(const PartyId& from,
              agreed ? "" : "eviction vetoed", std::move(vetoers),
              prop.new_group.sequence, label);
   }
+  journal_run_closed(walrec::kMembershipResponderClosed, label);
+  hit_crash_point("m-decide-recv.installed");
   drain_deferred_membership();
 }
 
 void Replica::apply_membership_change(const MembershipProposal& proposal) {
+  if (group_tuple_ == proposal.new_group) {
+    return;  // recovery redo of a decide whose effect already reached disk
+  }
   members_ = proposal.new_members;
   group_tuple_ = proposal.new_group;
   note_sequence(proposal.new_group.sequence);
@@ -973,6 +1107,15 @@ void Replica::apply_membership_change(const MembershipProposal& proposal) {
 void Replica::handle_connect_welcome(const PartyId& from, const Bytes& body) {
   if (!subject_request_.has_value() ||
       subject_request_->request.kind != MembershipKind::kConnect) {
+    if (journaling()) {
+      // A sponsor re-answering our crash-window probe after the welcome
+      // already arrived: tolerate the duplicate rather than blame it.
+      ConnectWelcomeMsg dup = ConnectWelcomeMsg::decode(body);
+      if (connected_ && dup.new_group == group_tuple_) {
+        record_anomaly("duplicate connect welcome", from);
+        return;
+      }
+    }
     record_violation("unsolicited connect welcome", from);
     return;
   }
@@ -1087,6 +1230,7 @@ void Replica::handle_connect_welcome(const PartyId& from, const Bytes& body) {
   callbacks_.record_evidence(evidence_kind::kMembershipApplied,
                              msg.new_group.encode());
   journal_snapshot();
+  close_subject_request(to_hex(pending.request.request_nonce));
 
   CoordEvent event;
   event.kind = CoordEvent::Kind::kMemberConnected;
@@ -1104,6 +1248,10 @@ void Replica::handle_connect_welcome(const PartyId& from, const Bytes& body) {
 void Replica::handle_connect_reject(const PartyId& from, const Bytes& body) {
   if (!subject_request_.has_value() ||
       subject_request_->request.kind != MembershipKind::kConnect) {
+    if (journaling()) {
+      record_anomaly("duplicate connect reject", from);
+      return;
+    }
     record_violation("unsolicited connect reject", from);
     return;
   }
@@ -1122,6 +1270,7 @@ void Replica::handle_connect_reject(const PartyId& from, const Bytes& body) {
   }
   SubjectRequest pending = std::move(*subject_request_);
   subject_request_.reset();
+  close_subject_request(to_hex(pending.request.request_nonce));
   complete(pending.result, RunResult::Outcome::kVetoed,
            "connection request rejected", {PartyId{from}}, 0, "");
   drain_deferred_membership();
@@ -1131,6 +1280,10 @@ void Replica::handle_disconnect_confirm(const PartyId& from,
                                         const Bytes& body) {
   if (!subject_request_.has_value() ||
       subject_request_->request.kind != MembershipKind::kVoluntaryDisconnect) {
+    if (journaling()) {
+      record_anomaly("duplicate disconnect confirm", from);
+      return;
+    }
     record_violation("unsolicited disconnect confirm", from);
     return;
   }
@@ -1144,10 +1297,254 @@ void Replica::handle_disconnect_confirm(const PartyId& from,
   subject_request_.reset();
   connected_ = false;
   journal_snapshot();
+  close_subject_request(to_hex(pending.request.request_nonce));
   complete(pending.result, RunResult::Outcome::kAgreed, "", {},
            msg.new_group.sequence, msg.new_group.label());
   // Any requests we were still sponsoring must find a new sponsor.
   drain_deferred_membership();
+}
+
+// ---------------------------------------------------------------------------
+// Membership journaling & recovery helpers
+// ---------------------------------------------------------------------------
+
+bool Replica::maybe_resend_membership_decide(const std::string& label,
+                                             const PartyId& to) {
+  if (!journaling()) return false;
+  for (const auto& stored : messages_.run(label)) {
+    if (stored.direction == "sent" && stored.kind == "m.decide") {
+      record_anomaly("re-sent membership decide of closed run " + label, to);
+      send_envelope(to, MsgType::kMembershipDecide, stored.payload);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Replica::maybe_reanswer_membership_request(const std::string& nonce_key,
+                                                const PartyId& subject) {
+  if (!journaling()) return false;
+  const auto& stored = messages_.run("m.subject." + nonce_key);
+  if (stored.empty()) return false;  // run still in progress: stay silent
+  const auto& answer = stored.back();
+  MsgType type = MsgType::kConnectReject;
+  if (answer.kind == "m.welcome") {
+    type = MsgType::kConnectWelcome;
+  } else if (answer.kind == "m.confirm") {
+    type = MsgType::kDisconnectConfirm;
+  }
+  record_anomaly("re-answered duplicate membership request", subject);
+  send_envelope(subject, type, answer.payload);
+  return true;
+}
+
+void Replica::remember_subject_answer(const std::string& nonce_key,
+                                      const PartyId& subject, MsgType type,
+                                      const Bytes& payload) {
+  if (!journaling()) return;
+  std::string kind = "m.reject";
+  if (type == MsgType::kConnectWelcome) {
+    kind = "m.welcome";
+  } else if (type == MsgType::kDisconnectConfirm) {
+    kind = "m.confirm";
+  }
+  messages_.add("m.subject." + nonce_key,
+                {"sent", kind, subject.str(), payload});
+}
+
+void Replica::journal_subject_request(const MembershipRequest& request,
+                                      const Bytes& signature,
+                                      const PartyId& sent_to,
+                                      bool relayed_eviction) {
+  pending_subject_record_ =
+      SubjectRequestRecord{request, signature, sent_to, relayed_eviction};
+  if (!journaling()) return;
+  wire::Encoder enc;
+  enc.blob(pending_subject_record_->encode());
+  journal_record(walrec::kSubjectRequest, std::move(enc).take());
+  journal_barrier();
+}
+
+void Replica::close_subject_request(const std::string& nonce_key) {
+  if (pending_subject_record_.has_value() &&
+      to_hex(pending_subject_record_->request.request_nonce) == nonce_key) {
+    pending_subject_record_.reset();
+  }
+  if (!journaling()) return;
+  wire::Encoder enc;
+  enc.str(nonce_key);
+  journal_record(walrec::kSubjectClosed, std::move(enc).take());
+  journal_barrier();
+}
+
+void Replica::arm_membership_probe(const std::string& label, bool as_sponsor,
+                                   int attempt) {
+  if (!journaling() || !callbacks_.schedule ||
+      run_probe_interval_micros_ == 0 || attempt > max_run_probes_) {
+    return;
+  }
+  callbacks_.schedule(
+      run_probe_interval_micros_, [this, label, as_sponsor, attempt] {
+        if (as_sponsor) {
+          if (!sponsor_run_.has_value() ||
+              sponsor_run_->propose.proposal.new_group.label() != label) {
+            return;  // run concluded; probe dies
+          }
+          // Re-drive recipients whose responses are still missing: either
+          // our propose or their response was acked-then-lost in a crash
+          // window, and retransmission alone cannot recover an acked frame.
+          Bytes encoded = sponsor_run_->propose.encode();
+          for (const PartyId& recipient : sponsor_run_->recipients) {
+            if (!sponsor_run_->responses.contains(recipient)) {
+              send_envelope(recipient, MsgType::kMembershipPropose, encoded);
+            }
+          }
+        } else {
+          auto it = membership_responder_runs_.find(label);
+          if (it == membership_responder_runs_.end()) return;
+          send_envelope(it->second.propose.proposal.sponsor,
+                        MsgType::kMembershipRespond,
+                        it->second.my_response.encode());
+        }
+        arm_membership_probe(label, as_sponsor, attempt + 1);
+      });
+}
+
+void Replica::arm_subject_probe(std::string nonce_key, int attempt) {
+  if (!journaling() || !callbacks_.schedule ||
+      run_probe_interval_micros_ == 0 || attempt > max_run_probes_) {
+    return;
+  }
+  callbacks_.schedule(
+      run_probe_interval_micros_,
+      [this, nonce_key = std::move(nonce_key), attempt]() mutable {
+        if (!pending_subject_record_.has_value() ||
+            to_hex(pending_subject_record_->request.request_nonce) !=
+                nonce_key) {
+          return;  // answered; probe dies
+        }
+        resend_subject_request();
+        arm_subject_probe(std::move(nonce_key), attempt + 1);
+      });
+}
+
+void Replica::resend_subject_request() {
+  if (!pending_subject_record_.has_value()) return;
+  const SubjectRequestRecord& rec = *pending_subject_record_;
+  MsgType type = rec.request.kind == MembershipKind::kVoluntaryDisconnect
+                     ? MsgType::kDisconnectRequest
+                     : MsgType::kConnectRequest;
+  send_envelope(rec.sent_to, type,
+                encode_request_with_signature(rec.request, rec.signature));
+}
+
+void Replica::restore_recovered_membership(
+    const RecoveredObjectState& recovered) {
+  for (const std::string& nonce : recovered.processed_nonces) {
+    sponsor_nonces_.insert(nonce);
+  }
+  if (recovered.sponsor_run.has_value()) {
+    SponsorRun run;
+    run.propose = recovered.sponsor_run->propose;
+    run.authenticator = recovered.sponsor_run->authenticator;
+    run.recipients = recovered.sponsor_run->recipients;
+    run.result = std::make_shared<RunResult>();
+    for (const MembershipRespondMsg& resp : recovered.sponsor_responses) {
+      run.responses.emplace(resp.response.responder, resp);
+    }
+    sponsor_run_ = std::move(run);
+  }
+  recovered_membership_decide_ = recovered.sponsor_decide;
+  for (const auto& [label, record] : recovered.membership_responder_runs) {
+    MembershipResponderRun run;
+    run.propose = record.propose;
+    run.my_response = record.my_response;
+    run.members_at_response = record.members_at_response;
+    membership_responder_runs_.insert_or_assign(label, std::move(run));
+  }
+  pending_redo_membership_decides_ = recovered.membership_decides;
+  if (recovered.subject_request.has_value()) {
+    pending_subject_record_ = recovered.subject_request;
+    if (recovered.subject_request->relayed_eviction) {
+      relayed_eviction_nonce_ =
+          to_hex(recovered.subject_request->request.request_nonce);
+      relayed_eviction_result_ = std::make_shared<RunResult>();
+    } else {
+      subject_request_ = SubjectRequest{recovered.subject_request->request,
+                                        std::make_shared<RunResult>()};
+    }
+  }
+  recovered_termination_submissions_ = recovered.termination_submissions;
+  pending_redo_verdicts_ = recovered.verdicts;
+}
+
+void Replica::resume_recovered_membership(std::vector<RunHandle>& handles) {
+  // Delivered-but-possibly-unapplied membership decides: conclude again.
+  // apply_membership_change is idempotent against the snapshot having
+  // already captured the new group.
+  auto redo_decides = std::move(pending_redo_membership_decides_);
+  pending_redo_membership_decides_.clear();
+  for (auto& [label, decide] : redo_decides) {
+    auto it = membership_responder_runs_.find(label);
+    if (it == membership_responder_runs_.end()) continue;
+    MembershipResponderRun run = std::move(it->second);
+    membership_responder_runs_.erase(it);
+    conclude_membership_responder_run(label, std::move(run), decide);
+  }
+
+  // Sponsor side: re-drive the in-flight run.
+  if (sponsor_run_.has_value()) {
+    handles.push_back(sponsor_run_->result);
+    const std::string label = sponsor_run_->propose.proposal.new_group.label();
+    if (recovered_membership_decide_.has_value()) {
+      // The decide was journaled: the outcome is fixed. Rebuild the
+      // response set from the decide itself and redo the decide phase
+      // (re-send, re-apply, re-answer the subject, close the run).
+      MembershipDecideMsg decide = std::move(*recovered_membership_decide_);
+      recovered_membership_decide_.reset();
+      sponsor_run_->responses.clear();
+      for (const MembershipRespondMsg& resp : decide.responses) {
+        sponsor_run_->responses.emplace(resp.response.responder, resp);
+      }
+      finish_membership_run_as_sponsor();
+    } else if (sponsor_run_->responses.size() ==
+               sponsor_run_->recipients.size()) {
+      finish_membership_run_as_sponsor();
+    } else {
+      Bytes encoded = sponsor_run_->propose.encode();
+      for (const PartyId& recipient : sponsor_run_->recipients) {
+        if (!sponsor_run_->responses.contains(recipient)) {
+          send_envelope(recipient, MsgType::kMembershipPropose, encoded);
+        }
+      }
+      arm_membership_probe(label, /*as_sponsor=*/true, 1);
+    }
+  } else {
+    recovered_membership_decide_.reset();
+  }
+
+  // Responder side: re-send our journaled response so the sponsor's run
+  // can conclude, and probe until the decide arrives.
+  for (const auto& [label, run] : membership_responder_runs_) {
+    send_envelope(run.propose.proposal.sponsor, MsgType::kMembershipRespond,
+                  run.my_response.encode());
+    arm_membership_probe(label, /*as_sponsor=*/false, 1);
+  }
+
+  // Subject side: re-probe the sponsor under the ORIGINAL nonce; the
+  // answer (welcome/reject/confirm or the relayed decide) concludes it.
+  if (pending_subject_record_.has_value()) {
+    if (pending_subject_record_->relayed_eviction) {
+      if (relayed_eviction_result_.has_value()) {
+        handles.push_back(*relayed_eviction_result_);
+      }
+    } else if (subject_request_.has_value()) {
+      handles.push_back(subject_request_->result);
+    }
+    resend_subject_request();
+    arm_subject_probe(to_hex(pending_subject_record_->request.request_nonce),
+                      1);
+  }
 }
 
 }  // namespace b2b::core

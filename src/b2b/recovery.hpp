@@ -22,6 +22,27 @@
 //   kResponderRun      str(object) blob(Replica::ResponderRunRecord::encode)
 //   kDecideDelivered   str(object) blob(DecideMsg::encode)
 //   kResponderClosed   str(object) str(run label)
+//
+// Membership runs (§4.5 connect/disconnect/evict) mirror the state-run
+// taxonomy; a membership run is identified by its proposal's
+// new_group.label():
+//   kSponsorRun            str(object) blob(SponsorRunRecord::encode)
+//   kMembershipResponse    str(object) blob(MembershipRespondMsg::encode)
+//   kMembershipDecideSent  str(object) blob(MembershipDecideMsg::encode)
+//   kSponsorClosed         str(object) str(run label)
+//   kMembershipResponderRun str(object)
+//                          blob(MembershipResponderRunRecord::encode)
+//   kMembershipDecideDelivered str(object) blob(MembershipDecideMsg::encode)
+//   kMembershipResponderClosed str(object) str(run label)
+//   kSubjectRequest        str(object) blob(SubjectRequestRecord::encode)
+//   kSubjectClosed         str(object) str(request nonce)
+//
+// TTP-certified termination (§7): the submission is journaled before the
+// request goes to the arbiter (so a recovering party re-fetches the
+// cached verdict instead of forgetting it asked), and the verdict is
+// journaled before the runs it concludes are closed:
+//   kTerminationSubmitted  str(object) str(run label) u8(as_proposer)
+//   kVerdictDelivered      str(object) blob(TerminationVerdict::encode)
 #pragma once
 
 #include <cstdint>
@@ -42,6 +63,17 @@ inline constexpr std::uint8_t kProposerClosed = 9;
 inline constexpr std::uint8_t kResponderRun = 10;
 inline constexpr std::uint8_t kDecideDelivered = 11;
 inline constexpr std::uint8_t kResponderClosed = 12;
+inline constexpr std::uint8_t kSponsorRun = 13;
+inline constexpr std::uint8_t kMembershipResponse = 14;
+inline constexpr std::uint8_t kMembershipDecideSent = 15;
+inline constexpr std::uint8_t kSponsorClosed = 16;
+inline constexpr std::uint8_t kMembershipResponderRun = 17;
+inline constexpr std::uint8_t kMembershipDecideDelivered = 18;
+inline constexpr std::uint8_t kMembershipResponderClosed = 19;
+inline constexpr std::uint8_t kSubjectRequest = 20;
+inline constexpr std::uint8_t kSubjectClosed = 21;
+inline constexpr std::uint8_t kTerminationSubmitted = 22;
+inline constexpr std::uint8_t kVerdictDelivered = 23;
 }  // namespace walrec
 
 /// Raised by an armed crash point to kill a coordinator mid-operation.

@@ -379,6 +379,11 @@ void Replica::restore_snapshot(const ReplicaSnapshot& snapshot) {
   accept_lock_.reset();
   subject_request_.reset();
   relayed_eviction_result_.reset();
+  pending_subject_record_.reset();
+  recovered_membership_decide_.reset();
+  pending_redo_membership_decides_.clear();
+  recovered_termination_submissions_.clear();
+  pending_redo_verdicts_.clear();
 
   if (connected_) impl_.apply_state(agreed_state_);
   callbacks_.record_evidence("recovery", agreed_tuple_.encode());
@@ -433,6 +438,70 @@ Replica::ResponderRunRecord Replica::ResponderRunRecord::decode(
   return record;
 }
 
+Bytes Replica::SponsorRunRecord::encode() const {
+  wire::Encoder enc;
+  enc.blob(propose.encode()).blob(authenticator);
+  enc.varint(recipients.size());
+  for (const PartyId& recipient : recipients) enc.str(recipient.str());
+  return std::move(enc).take();
+}
+
+Replica::SponsorRunRecord Replica::SponsorRunRecord::decode(BytesView data) {
+  wire::Decoder dec{data};
+  SponsorRunRecord record;
+  record.propose = MembershipProposeMsg::decode(dec.blob());
+  record.authenticator = dec.blob();
+  std::uint64_t n = dec.varint();
+  record.recipients.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    record.recipients.emplace_back(dec.str());
+  }
+  dec.expect_done();
+  return record;
+}
+
+Bytes Replica::MembershipResponderRunRecord::encode() const {
+  wire::Encoder enc;
+  enc.blob(propose.encode()).blob(my_response.encode());
+  enc.varint(members_at_response.size());
+  for (const PartyId& member : members_at_response) enc.str(member.str());
+  return std::move(enc).take();
+}
+
+Replica::MembershipResponderRunRecord
+Replica::MembershipResponderRunRecord::decode(BytesView data) {
+  wire::Decoder dec{data};
+  MembershipResponderRunRecord record;
+  record.propose = MembershipProposeMsg::decode(dec.blob());
+  record.my_response = MembershipRespondMsg::decode(dec.blob());
+  std::uint64_t n = dec.varint();
+  record.members_at_response.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    record.members_at_response.emplace_back(dec.str());
+  }
+  dec.expect_done();
+  return record;
+}
+
+Bytes Replica::SubjectRequestRecord::encode() const {
+  wire::Encoder enc;
+  enc.blob(request.encode()).blob(signature).str(sent_to.str());
+  enc.u8(relayed_eviction ? 1 : 0);
+  return std::move(enc).take();
+}
+
+Replica::SubjectRequestRecord Replica::SubjectRequestRecord::decode(
+    BytesView data) {
+  wire::Decoder dec{data};
+  SubjectRequestRecord record;
+  record.request = MembershipRequest::decode(dec.blob());
+  record.signature = dec.blob();
+  record.sent_to = PartyId{dec.str()};
+  record.relayed_eviction = dec.u8() != 0;
+  dec.expect_done();
+  return record;
+}
+
 void Replica::restore_recovered(const RecoveredObjectState& recovered) {
   if (recovered.snapshot.has_value()) {
     const ReplicaSnapshot& snap = *recovered.snapshot;
@@ -481,12 +550,30 @@ void Replica::restore_recovered(const RecoveredObjectState& recovered) {
     responder_runs_.emplace(label, std::move(run));
   }
   pending_redo_decides_ = recovered.responder_decides;
+  restore_recovered_membership(recovered);
 
   callbacks_.record_evidence("recovery", agreed_tuple_.encode());
 }
 
 std::vector<RunHandle> Replica::resume_recovered_runs() {
   std::vector<RunHandle> handles;
+
+  // TTP verdicts journaled as delivered but possibly not acted on: redo
+  // them first — they may close runs outright, before any re-drive.
+  if (!pending_redo_verdicts_.empty()) {
+    auto verdicts = std::move(pending_redo_verdicts_);
+    pending_redo_verdicts_.clear();
+    for (auto& [label, body] : verdicts) {
+      if (!ttp_.has_value()) {
+        record_anomaly(
+            "journaled TTP verdict dropped: no TTP configured after "
+            "recovery for run " + label,
+            self_);
+        continue;
+      }
+      handle_termination_verdict(ttp_->ttp, body);
+    }
+  }
 
   // Responder-side redo: a decide that was journaled as delivered but
   // whose installation may have been interrupted. conclude is idempotent
@@ -530,6 +617,7 @@ std::vector<RunHandle> Replica::resume_recovered_runs() {
         }
       }
       arm_run_probe(label, /*as_proposer=*/true, 1);
+      arm_deadline(label, /*as_proposer=*/true);
     }
   }
 
@@ -539,6 +627,34 @@ std::vector<RunHandle> Replica::resume_recovered_runs() {
     send_envelope(run.propose.proposal.proposer, MsgType::kRespond,
                   run.my_response.encode());
     arm_run_probe(label, /*as_proposer=*/false, 1);
+    arm_deadline(label, /*as_proposer=*/false);
+  }
+
+  resume_recovered_membership(handles);
+
+  // Re-fetch TTP decisions for referrals our previous incarnation had
+  // journaled: the TTP caches exactly one verdict per run, so a
+  // resubmission is a re-fetch of whatever it already decided, never a
+  // second decision.
+  if (!recovered_termination_submissions_.empty()) {
+    auto submissions = std::move(recovered_termination_submissions_);
+    recovered_termination_submissions_.clear();
+    for (const auto& [label, as_proposer] : submissions) {
+      bool still_active =
+          as_proposer
+              ? (proposer_run_.has_value() &&
+                 proposer_run_->propose.proposal.proposed.label() == label)
+              : responder_runs_.contains(label);
+      if (!still_active) continue;
+      if (!ttp_.has_value()) {
+        record_anomaly(
+            "journaled TTP referral dropped: no TTP configured after "
+            "recovery for run " + label,
+            self_);
+        continue;
+      }
+      request_termination(label, as_proposer);
+    }
   }
 
   return handles;
@@ -1232,7 +1348,14 @@ void Replica::request_termination(const std::string& label,
     request.proposed = responder_runs_.at(label).propose.proposal.proposed;
   }
   Bytes signature = key_.sign(request.signed_bytes());
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.str(label).u8(as_proposer ? 1 : 0);
+    journal_record(walrec::kTerminationSubmitted, std::move(enc).take());
+  }
   callbacks_.record_evidence("ttp.request", request.encode());
+  journal_barrier();
+  hit_crash_point("ttp-submit.journaled");
   send_envelope(ttp_->ttp, MsgType::kTerminationRequest,
                 request.encode_with_signature(signature));
   B2B_DEBUG(self_, " refers blocked run ", label, " to the TTP");
@@ -1252,10 +1375,26 @@ void Replica::handle_termination_verdict(const PartyId& from,
   }
   if (verdict.object != object_) return;
   const std::string label = verdict.proposed.label();
+  // Journal the signed verdict before acting on it, but only while a run
+  // it concludes is still open (a late duplicate for a closed run would
+  // only bloat the journal).
+  bool run_open = (proposer_run_.has_value() &&
+                   proposer_run_->propose.proposal.proposed ==
+                       verdict.proposed) ||
+                  responder_runs_.contains(label);
+  if (run_open && journaling()) {
+    wire::Encoder enc;
+    enc.blob(body);
+    journal_record(walrec::kVerdictDelivered, std::move(enc).take());
+  }
   callbacks_.record_evidence(verdict.kind == TerminationVerdict::Kind::kAbort
                                  ? "ttp.abort"
                                  : "ttp.decision",
                              body);
+  if (run_open) {
+    journal_barrier();
+    hit_crash_point("verdict.journaled");
+  }
 
   // Proposer side.
   if (proposer_run_.has_value() &&

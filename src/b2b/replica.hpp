@@ -108,6 +108,46 @@ enum class SponsorPolicy : std::uint8_t {
   kFixedInitial = 1,
 };
 
+/// Insertion-ordered set of membership-request nonces with a bounded
+/// footprint — the membership analogue of net::DedupWindow. Nonces are
+/// random, so there is no total order to watermark on; the eviction
+/// watermark is FIFO insertion order instead: past the capacity the
+/// oldest nonce is forgotten. A replayed request whose nonce has been
+/// evicted is still rejected downstream by the membership state checks
+/// (the subject is already a member / the evictee is already gone), so
+/// eviction bounds memory without opening a replay window onto state.
+class BoundedNonceSet {
+ public:
+  explicit BoundedNonceSet(std::size_t capacity = 256)
+      : capacity_(capacity) {}
+
+  /// False when the nonce is already present (the duplicate signal).
+  bool insert(const std::string& nonce) {
+    if (!set_.insert(nonce).second) return false;
+    order_.push_back(nonce);
+    while (set_.size() > capacity_ && !order_.empty()) {
+      // The front may have been lazily erased; then this is a no-op and
+      // the loop advances to the next-oldest entry.
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  /// Lazy erase: the FIFO entry stays behind and is skipped on eviction.
+  void erase(const std::string& nonce) { set_.erase(nonce); }
+  bool contains(const std::string& nonce) const {
+    return set_.contains(nonce);
+  }
+  std::size_t size() const { return set_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::set<std::string> set_;
+  std::deque<std::string> order_;
+};
+
 class Replica {
  public:
   /// Everything the replica needs from its hosting coordinator.
@@ -284,6 +324,47 @@ class Replica {
     static ResponderRunRecord decode(BytesView data);  // throws CodecError
   };
 
+  /// Durable image of an in-flight sponsor-side membership run (§4.5),
+  /// journaled before the membership propose is sent. The signed request
+  /// (and its signature) ride inside the proposal; `report_to` is not
+  /// persisted because a relayed eviction proposer learns the outcome
+  /// from the decide broadcast, not from a sponsor report.
+  struct SponsorRunRecord {
+    MembershipProposeMsg propose;
+    Bytes authenticator;
+    std::vector<PartyId> recipients;
+
+    Bytes encode() const;
+    static SponsorRunRecord decode(BytesView data);  // throws CodecError
+  };
+
+  /// Durable image of a recipient-side membership run, journaled before
+  /// the signed membership response is sent.
+  struct MembershipResponderRunRecord {
+    MembershipProposeMsg propose;
+    MembershipRespondMsg my_response;
+    std::vector<PartyId> members_at_response;
+
+    Bytes encode() const;
+    // throws CodecError
+    static MembershipResponderRunRecord decode(BytesView data);
+  };
+
+  /// Durable image of a subject-side connect/disconnect request (or a
+  /// relayed eviction request), journaled before it goes to the sponsor
+  /// so a recovering subject re-sends the SAME nonce — which the sponsor
+  /// recognises and answers idempotently — instead of forging a second
+  /// request under a fresh one.
+  struct SubjectRequestRecord {
+    MembershipRequest request;
+    Bytes signature;
+    PartyId sent_to;
+    bool relayed_eviction = false;
+
+    Bytes encode() const;
+    static SubjectRequestRecord decode(BytesView data);  // throws CodecError
+  };
+
   /// Everything the coordinator's journal replay reconstructed for one
   /// object: the latest snapshot, the still-open runs on both sides, and
   /// the replay-protection facts that must outlive any snapshot.
@@ -300,6 +381,27 @@ class Replica {
     std::map<std::string, DecideMsg> responder_decides;
     std::set<std::string> seen_labels;
     std::uint64_t max_sequence = 0;
+
+    // --- membership runs (§4.5) ---------------------------------------------
+    std::optional<SponsorRunRecord> sponsor_run;
+    std::vector<MembershipRespondMsg> sponsor_responses;
+    /// Membership decide journaled but the run not closed: redone on
+    /// resume, exactly like proposer_decide.
+    std::optional<MembershipDecideMsg> sponsor_decide;
+    std::map<std::string, MembershipResponderRunRecord>
+        membership_responder_runs;
+    /// Membership decides journaled as delivered whose installation may
+    /// not have completed; concluded again on resume.
+    std::map<std::string, MembershipDecideMsg> membership_decides;
+    std::optional<SubjectRequestRecord> subject_request;
+    /// Membership-request nonces the sponsor side had acted on: survives
+    /// so a recovered sponsor does not re-run an already-applied change
+    /// when the subject probes it under the original nonce.
+    std::set<std::string> processed_nonces;
+
+    // --- TTP termination (§7) -----------------------------------------------
+    std::map<std::string, bool> termination_submissions;  // label->proposer?
+    std::map<std::string, Bytes> verdicts;  // label -> signed verdict body
   };
 
   /// Rebuild this replica from a journal replay (called by the hosting
@@ -343,6 +445,34 @@ class Replica {
   bool maybe_resend_decide(const std::string& label, const PartyId& to);
   /// Arm one capped re-probe of a still-open run (journal-gated).
   void arm_run_probe(const std::string& label, bool as_proposer, int attempt);
+
+  // --- membership journaling & recovery (membership.cpp) ---------------------
+  /// Like maybe_resend_decide, for membership decides ("m.decide").
+  bool maybe_resend_membership_decide(const std::string& label,
+                                      const PartyId& to);
+  /// Re-send the stored welcome/reject/confirm answer of an already
+  /// answered subject request (journal-gated duplicate handling).
+  bool maybe_reanswer_membership_request(const std::string& nonce_key,
+                                         const PartyId& subject);
+  /// File the answer to a subject request so a duplicate of the same
+  /// request (recovering subject probing us) can be re-answered.
+  void remember_subject_answer(const std::string& nonce_key,
+                               const PartyId& subject, MsgType type,
+                               const Bytes& payload);
+  /// Journal the pending subject-side request (kSubjectRequest + barrier).
+  void journal_subject_request(const MembershipRequest& request,
+                               const Bytes& signature, const PartyId& sent_to,
+                               bool relayed_eviction);
+  /// Close the pending subject-side request (kSubjectClosed + barrier).
+  void close_subject_request(const std::string& nonce_key);
+  /// Capped re-probe of a still-open membership run (journal-gated).
+  void arm_membership_probe(const std::string& label, bool as_sponsor,
+                            int attempt);
+  /// Capped re-probe of the pending subject request (journal-gated).
+  void arm_subject_probe(std::string nonce_key, int attempt);
+  void resend_subject_request();
+  void restore_recovered_membership(const RecoveredObjectState& recovered);
+  void resume_recovered_membership(std::vector<RunHandle>& handles);
 
   // --- shared helpers (replica_common in replica.cpp) -----------------------
   std::uint64_t next_sequence();
@@ -390,6 +520,13 @@ class Replica {
   void handle_membership_propose(const PartyId& from, const Bytes& body);
   void handle_membership_respond(const PartyId& from, const Bytes& body);
   void handle_membership_decide(const PartyId& from, const Bytes& body);
+  /// Shared tail of handle_membership_decide and the recovery redo:
+  /// verify the aggregated responses, apply or discard the change, close
+  /// the run. `run` must already be removed from the map.
+  struct MembershipResponderRun;
+  void conclude_membership_responder_run(const std::string& label,
+                                         MembershipResponderRun run,
+                                         const MembershipDecideMsg& msg);
   void handle_connect_welcome(const PartyId& from, const Bytes& body);
   void handle_connect_reject(const PartyId& from, const Bytes& body);
   void handle_disconnect_request(const PartyId& from, const Bytes& body);
@@ -493,9 +630,13 @@ class Replica {
   std::string relayed_eviction_nonce_;
 
   /// Membership requests deferred while a coordination run was active.
+  /// Bounded: past kMaxDeferredMembership further requests are dropped
+  /// with an anomaly record (the requester's capped probe retries).
   std::deque<std::pair<MembershipRequest, Bytes>> deferred_membership_;
-  /// Nonces of membership requests this sponsor has already acted on.
-  std::set<std::string> processed_request_nonces_;
+  static constexpr std::size_t kMaxDeferredMembership = 64;
+  /// Nonces of membership requests this sponsor has already acted on
+  /// (bounded, watermark-style eviction — see BoundedNonceSet).
+  BoundedNonceSet sponsor_nonces_;
   /// Retry accounting for voluntary departures vetoed by transient
   /// view inconsistency.
   std::map<std::string, int> voluntary_retry_counts_;
@@ -509,6 +650,22 @@ class Replica {
   std::optional<DecideMsg> recovered_decide_;
   /// Delivered decides whose conclusion must be redone on resume.
   std::map<std::string, DecideMsg> pending_redo_decides_;
+  /// Membership decide journaled by our previous incarnation as sponsor
+  /// but not confirmed installed: redone in resume_recovered_runs.
+  std::optional<MembershipDecideMsg> recovered_membership_decide_;
+  /// Delivered membership decides whose conclusion must be redone.
+  std::map<std::string, MembershipDecideMsg> pending_redo_membership_decides_;
+  /// The durable image of our own pending subject-side request: set while
+  /// the request is unanswered (journal-gated), drives the subject probe
+  /// and the recovery re-send under the original nonce.
+  std::optional<SubjectRequestRecord> pending_subject_record_;
+  /// TTP referrals journaled before the crash (label -> as_proposer):
+  /// resubmitted on resume — the TTP's verdict cache makes resubmission a
+  /// re-fetch of any decision it already issued.
+  std::map<std::string, bool> recovered_termination_submissions_;
+  /// Signed verdict bodies journaled as delivered but possibly not acted
+  /// on; redone on resume once the TTP config is re-enabled.
+  std::map<std::string, Bytes> pending_redo_verdicts_;
   std::uint64_t run_probe_interval_micros_ = 1'000'000;
   int max_run_probes_ = 12;
 };

@@ -4,9 +4,16 @@
 // rotation, and the consistency of group views afterwards.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "b2b/federation.hpp"
+#include "b2b/messages.hpp"
+#include "b2b/replica.hpp"
 #include "common/error.hpp"
+#include "crypto/sha256.hpp"
+#include "net/reliable.hpp"
 #include "tests/support/test_objects.hpp"
+#include "wire/codec.hpp"
 
 namespace b2b::core {
 namespace {
@@ -382,6 +389,164 @@ TEST(Membership, ConnectDuringActiveStateRunIsRejected) {
   EXPECT_EQ(t.fed.coordinator("alpha").replica(kObj).agreed_tuple(),
             t.fed.coordinator("beta").replica(kObj).agreed_tuple());
   EXPECT_EQ(t.alpha_obj.value, t.beta_obj.value);
+}
+
+// --- bounded sponsor-side memory (BoundedNonceSet) ----------------------------
+
+TEST(BoundedNonceSet, DuplicateInsertIsRejected) {
+  BoundedNonceSet set(4);
+  EXPECT_TRUE(set.insert("n1"));
+  EXPECT_FALSE(set.insert("n1"));
+  EXPECT_TRUE(set.contains("n1"));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(BoundedNonceSet, EvictsOldestBeyondCapacity) {
+  BoundedNonceSet set(3);
+  EXPECT_TRUE(set.insert("n1"));
+  EXPECT_TRUE(set.insert("n2"));
+  EXPECT_TRUE(set.insert("n3"));
+  // The fourth nonce pushes out the oldest (watermark = insertion order).
+  EXPECT_TRUE(set.insert("n4"));
+  EXPECT_FALSE(set.contains("n1"));
+  EXPECT_TRUE(set.contains("n2"));
+  EXPECT_TRUE(set.contains("n3"));
+  EXPECT_TRUE(set.contains("n4"));
+  EXPECT_EQ(set.size(), set.capacity());
+  // A replay of the evicted nonce is no longer recognised as a duplicate
+  // here; the membership state checks reject it downstream (see the
+  // ReplayedRequest... test below).
+  EXPECT_TRUE(set.insert("n1"));
+  EXPECT_FALSE(set.contains("n2"));
+}
+
+TEST(BoundedNonceSet, LazyEraseTombstonesAreSkippedOnEviction) {
+  BoundedNonceSet set(2);
+  EXPECT_TRUE(set.insert("a"));
+  EXPECT_TRUE(set.insert("b"));
+  set.erase("a");  // FIFO entry stays behind as a tombstone
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_TRUE(set.insert("c"));  // b, c — still within capacity
+  EXPECT_TRUE(set.insert("d"));  // evicts the tombstone AND b
+  EXPECT_FALSE(set.contains("a"));
+  EXPECT_FALSE(set.contains("b"));
+  EXPECT_TRUE(set.contains("c"));
+  EXPECT_TRUE(set.contains("d"));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+// A stale connect request whose nonce has aged out of the sponsor's
+// bounded window is re-processed as if fresh — and must still bounce off
+// the membership state checks: the subject is already a member, so the
+// sponsor answers with a reject, never a second admission run. Journaled
+// federation, because the unsolicited answer at the (already-member)
+// subject is the journal-gated duplicate-tolerance path.
+TEST(MembershipBounds, ReplayedRequestStillRejectedAfterNonceEviction) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "b2b_membership_replay";
+  fs::remove_all(root);
+  {
+    Federation::Options options;
+    options.journal_root = root.string();
+    Federation fed{{"alpha", "beta", "gamma"}, options};
+    TestRegister alpha_obj, beta_obj, gamma_obj;
+    fed.register_object("alpha", kObj, alpha_obj);
+    fed.register_object("beta", kObj, beta_obj);
+    fed.register_object("gamma", kObj, gamma_obj);
+    fed.bootstrap_object(kObj, {"alpha", "beta"}, bytes_of("genesis"));
+
+    RunHandle h =
+        fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
+    ASSERT_TRUE(fed.run_until_done(h));
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    fed.settle();
+
+    // Replay gamma's admission with a nonce the sponsor has never seen
+    // (as after eviction from the bounded window): properly signed, sent
+    // to a non-sponsor so it exercises the relay path too.
+    MembershipRequest replay;
+    replay.kind = MembershipKind::kConnect;
+    replay.sender = PartyId{"gamma"};
+    replay.object = kObj;
+    replay.subjects = {PartyId{"gamma"}};
+    replay.subject_public_key =
+        fed.keypair("gamma").public_key().encode();
+    replay.request_nonce = bytes_of("nonce-evicted-from-window");
+    Bytes signature = fed.keypair("gamma").sign(replay.signed_bytes());
+    wire::Encoder enc;
+    replay.encode_into(enc);
+    enc.blob(signature);
+    fed.endpoint("gamma").send(
+        PartyId{"beta"},
+        Envelope{MsgType::kConnectRequest, kObj, std::move(enc).take()}
+            .encode());
+    fed.settle();
+
+    // No second admission: the group is unchanged everywhere and nobody
+    // was blamed (the stray reject lands as an anomaly at gamma).
+    std::vector<PartyId> expected{PartyId{"alpha"}, PartyId{"beta"},
+                                  PartyId{"gamma"}};
+    for (const char* name : {"alpha", "beta", "gamma"}) {
+      Coordinator& coord = fed.coordinator(name);
+      EXPECT_EQ(coord.replica(kObj).members(), expected) << name;
+      EXPECT_EQ(coord.violations_detected(), 0u) << name;
+    }
+    EXPECT_FALSE(
+        fed.coordinator("gamma").evidence().find_kind("anomaly").empty());
+  }
+  fs::remove_all(root);
+}
+
+// --- sponsor rotation under eviction (§4.5.1) ---------------------------------
+
+// The eviction subject set contains the legitimate sponsor itself: the
+// next member in rotation must sponsor the run, and a late decide forged
+// under the deposed sponsor's name is ignored as an unknown run.
+TEST(Membership, EvictingTheSponsorRotatesToNextInLine) {
+  ConnectFixture t;
+  RunHandle h =
+      t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
+  ASSERT_TRUE(t.fed.run_until_done(h));
+  t.fed.settle();
+  ASSERT_EQ(t.fed.coordinator("alpha").replica(kObj).connect_sponsor(),
+            PartyId{"gamma"});
+
+  // beta proposes evicting gamma — the sponsor. sponsor_for_removal must
+  // skip the subject and land on beta (most recently joined survivor).
+  RunHandle ev =
+      t.fed.coordinator("beta").propagate_eviction(kObj, {PartyId{"gamma"}});
+  ASSERT_TRUE(t.fed.run_until_done(ev));
+  EXPECT_EQ(ev->outcome, RunResult::Outcome::kAgreed);
+  t.fed.settle();
+
+  std::vector<PartyId> expected{PartyId{"alpha"}, PartyId{"beta"}};
+  for (const char* name : {"alpha", "beta"}) {
+    Replica& r = t.fed.coordinator(name).replica(kObj);
+    EXPECT_EQ(r.members(), expected) << name;
+    EXPECT_EQ(r.connect_sponsor(), PartyId{"beta"}) << name;
+  }
+
+  // The evicted ex-sponsor sends a late decide for a run the survivors
+  // never opened: anomaly, not blame, and the group does not move.
+  Bytes authenticator = bytes_of("late-authenticator");
+  MembershipDecideMsg late;
+  late.sponsor = PartyId{"gamma"};
+  late.object = kObj;
+  late.new_group =
+      GroupTuple{99, crypto::Sha256::hash(authenticator),
+                 crypto::Sha256::hash(bytes_of("bogus-members"))};
+  late.authenticator = authenticator;
+  t.fed.endpoint("gamma").send(
+      PartyId{"alpha"},
+      Envelope{MsgType::kMembershipDecide, kObj, late.encode()}.encode());
+  t.fed.settle();
+
+  EXPECT_EQ(t.fed.coordinator("alpha").replica(kObj).members(), expected);
+  EXPECT_EQ(t.fed.coordinator("alpha").violations_detected(), 0u);
+  EXPECT_FALSE(
+      t.fed.coordinator("alpha").evidence().find_kind("anomaly").empty());
+  EXPECT_EQ(t.fed.coordinator("alpha").replica(kObj).group_tuple(),
+            t.fed.coordinator("beta").replica(kObj).group_tuple());
 }
 
 // --- fixed-sponsor policy (footnote 2 of §4.5.1) ------------------------------

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -48,6 +49,35 @@ const std::vector<std::string> kResponderPoints = {
     "respond.sent",            "decide-recv.pre-journal",
     "decide-recv.journaled",   "decide-recv.installed",
 };
+
+// Membership crash points passed on the sponsor's code path during a
+// connect run (crash "gamma", the rotating sponsor of the trio).
+const std::vector<std::string> kSponsorMembershipPoints = {
+    "m-propose.pre-journal", "m-propose.journaled",  "m-propose.sent",
+    "m-response.journaled",  "m-decide.pre-journal", "m-decide.journaled",
+    "m-decide.mid-send",     "m-decide.sent",        "m-decide.installed",
+};
+
+// Membership crash points passed on a recipient's code path (crash "beta").
+const std::vector<std::string> kRecipientMembershipPoints = {
+    "m-respond.journaled",       "m-respond.sent",
+    "m-decide-recv.pre-journal", "m-decide-recv.journaled",
+    "m-decide-recv.installed",
+};
+
+// Termination crash points passed at the party that refers a blocked run
+// to the arbiter (crash "alpha", the blocked proposer).
+const std::vector<std::string> kTerminationPoints = {
+    "ttp-submit.journaled",
+    "verdict.journaled",
+};
+
+/// CI sweeps the campaign under several seeds via this env var; the
+/// default matches the historical hardcoded seed.
+std::uint64_t campaign_seed() {
+  const char* seed = std::getenv("B2B_CRASH_SEED");
+  return seed != nullptr ? std::strtoull(seed, nullptr, 10) : 11;
+}
 
 std::string sanitized(const std::string& point) {
   std::string out = point;
@@ -130,8 +160,8 @@ struct Parties {
 /// fingerprint of the full post-recovery deployment for the determinism
 /// check.
 Bytes run_sim_case(const std::string& point, const std::string& crasher,
-                   std::uint64_t seed) {
-  const std::string tag = sanitized(point) + "_" + crasher;
+                   std::uint64_t seed, const std::string& tag_suffix = "") {
+  const std::string tag = sanitized(point) + "_" + crasher + tag_suffix;
   Bytes fingerprint;
   {
     Parties p(tag, RuntimeKind::kSim, seed);
@@ -204,6 +234,202 @@ Bytes run_sim_case(const std::string& point, const std::string& crasher,
   return fingerprint;
 }
 
+/// Four organisations for the membership campaign: alpha/beta/gamma share
+/// the journaled object, delta starts outside and connects via gamma (the
+/// rotating sponsor, as most recently joined of the genesis order).
+struct MemberParties {
+  TestRegister alpha_obj;
+  TestRegister beta_obj;
+  TestRegister gamma_obj;
+  TestRegister delta_obj;
+  Federation fed;
+
+  MemberParties(const std::string& tag, RuntimeKind kind, std::uint64_t seed)
+      : fed({"alpha", "beta", "gamma", "delta"},
+            journaled_options(tag, kind, seed)) {
+    fed.register_object("alpha", kObj, alpha_obj);
+    fed.register_object("beta", kObj, beta_obj);
+    fed.register_object("gamma", kObj, gamma_obj);
+    fed.register_object("delta", kObj, delta_obj);
+    fed.bootstrap_object(kObj, {"alpha", "beta", "gamma"},
+                         bytes_of("genesis"));
+  }
+
+  TestRegister& obj(const std::string& name) {
+    if (name == "alpha") return alpha_obj;
+    if (name == "beta") return beta_obj;
+    if (name == "gamma") return gamma_obj;
+    return delta_obj;
+  }
+
+  void warm_up() {
+    alpha_obj.value = bytes_of("warm");
+    RunHandle h =
+        fed.coordinator("alpha").propagate_new_state(kObj,
+                                                     alpha_obj.get_state());
+    ASSERT_TRUE(fed.run_until_done(h));
+    ASSERT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    fed.settle();
+  }
+
+  /// Identical group AND agreed tuples, every chain verifies, zero
+  /// violations — evaluated over the given member set.
+  void check_safety(const std::vector<std::string>& members) {
+    Coordinator& first = fed.coordinator(members.front());
+    const GroupTuple& group = first.replica(kObj).group_tuple();
+    const StateTuple& agreed = first.replica(kObj).agreed_tuple();
+    for (const std::string& name : members) {
+      Coordinator& coord = fed.coordinator(name);
+      EXPECT_EQ(coord.replica(kObj).group_tuple(), group) << name;
+      EXPECT_EQ(coord.replica(kObj).agreed_tuple(), agreed) << name;
+      EXPECT_TRUE(coord.evidence().verify_chain()) << name;
+      EXPECT_EQ(coord.violations_detected(), 0u) << name;
+      EXPECT_EQ(obj(name).value, obj(members.front()).value) << name;
+    }
+  }
+};
+
+/// One membership campaign case on the deterministic simulator: delta's
+/// connect run is interrupted by a crash at `point` of `crasher`, the
+/// party restarts from its journal, and the deployment must still
+/// converge on the four-member group. Returns a determinism fingerprint.
+Bytes run_membership_sim_case(const std::string& point,
+                              const std::string& crasher,
+                              std::uint64_t seed,
+                              const std::string& tag_suffix = "") {
+  const std::string tag = "m_" + sanitized(point) + "_" + crasher + tag_suffix;
+  const std::vector<std::string> kAll = {"alpha", "beta", "gamma", "delta"};
+  Bytes fingerprint;
+  {
+    MemberParties p(tag, RuntimeKind::kSim, seed);
+    p.warm_up();
+
+    p.fed.coordinator(crasher).arm_crash_point(point);
+    RunHandle h =
+        p.fed.coordinator("delta").propagate_connect(kObj, PartyId{"gamma"});
+    EXPECT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator(crasher).crashed(); }))
+        << "crash point never hit";
+
+    p.fed.crash_party(crasher);
+    p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+
+    Coordinator& revived = p.fed.recover_party(crasher);
+    p.fed.register_object(crasher, kObj, p.obj(crasher));
+    EXPECT_TRUE(revived.recovered());
+    EXPECT_EQ(revived.journal()->incarnation(), 2u);
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    // Liveness: the interrupted connect terminates with delta admitted.
+    // Even a run the sponsor lost before its first barrier is re-driven
+    // by the subject's journal-gated request probe.
+    auto converged = [&] {
+      const GroupTuple& group =
+          p.fed.coordinator("alpha").replica(kObj).group_tuple();
+      for (const std::string& name : kAll) {
+        Replica& r = p.fed.coordinator(name).replica(kObj);
+        if (!r.connected() || r.members().size() != 4 || r.busy() ||
+            !(r.group_tuple() == group)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    EXPECT_TRUE(p.fed.executor().run_until(converged))
+        << "deployment did not converge after recovery";
+    for (const RunHandle& r : resumed) EXPECT_TRUE(r->done());
+    if (crasher != "delta") {
+      EXPECT_TRUE(h->done());
+      EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    }
+    p.fed.settle();
+
+    // The new member received the agreed (warm) state with its welcome.
+    EXPECT_EQ(p.delta_obj.value, bytes_of("warm"));
+    p.check_safety(kAll);
+
+    for (const std::string& name : kAll) {
+      Coordinator& coord = p.fed.coordinator(name);
+      const store::EvidenceLog& evidence = coord.evidence();
+      fingerprint.push_back(static_cast<std::uint8_t>(evidence.size()));
+      if (!evidence.empty()) {
+        Bytes tail = evidence.at(evidence.size() - 1).encode();
+        fingerprint.insert(fingerprint.end(), tail.begin(), tail.end());
+      }
+      Bytes group = coord.replica(kObj).group_tuple().encode();
+      fingerprint.insert(fingerprint.end(), group.begin(), group.end());
+    }
+    Bytes events = bytes_of(std::to_string(p.fed.scheduler().events_executed()));
+    fingerprint.insert(fingerprint.end(), events.begin(), events.end());
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+  return fingerprint;
+}
+
+/// One termination campaign case: gamma goes silent so alpha's proposal
+/// blocks, the deadline refers the run to the TTP, and alpha crashes at
+/// `point` of that referral path. After restart it must re-fetch (not
+/// re-litigate) the certified outcome and release the run.
+void run_termination_sim_case(const std::string& point, std::uint64_t seed) {
+  const std::string tag = "t_" + sanitized(point);
+  {
+    Parties p(tag, RuntimeKind::kSim, seed);
+    p.fed.enable_ttp_termination(kObj, 500'000);
+    p.warm_up();
+
+    p.fed.crash_party("gamma");
+    p.fed.coordinator("alpha").arm_crash_point(point);
+    p.alpha_obj.value = bytes_of("doomed");
+    RunHandle h = p.fed.coordinator("alpha").propagate_new_state(
+        kObj, p.alpha_obj.get_state());
+    EXPECT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator("alpha").crashed(); }))
+        << "crash point never hit";
+    EXPECT_FALSE(h->done());
+
+    p.fed.crash_party("alpha");
+    p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+
+    Coordinator& revived = p.fed.recover_party("alpha");
+    p.fed.register_object("alpha", kObj, p.alpha_obj);
+    p.fed.enable_ttp_termination(kObj, 500'000);  // config is re-supplied
+    EXPECT_TRUE(revived.recovered());
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    auto released = [&] {
+      return p.fed.coordinator("alpha")
+                 .replica(kObj)
+                 .active_run_labels()
+                 .empty() &&
+             p.fed.coordinator("beta")
+                 .replica(kObj)
+                 .active_run_labels()
+                 .empty();
+    };
+    EXPECT_TRUE(p.fed.executor().run_until(released))
+        << "blocked run did not terminate after recovery";
+    for (const RunHandle& r : resumed) EXPECT_TRUE(r->done());
+    p.fed.settle();
+
+    // Fail-safe: the incomplete transcript yields a certified abort and
+    // everyone rolls back to the warm state.
+    EXPECT_GE(p.fed.termination_ttp().aborts_issued(), 1u);
+    EXPECT_EQ(p.fed.termination_ttp().decisions_issued(), 0u);
+    EXPECT_EQ(p.alpha_obj.value, bytes_of("warm"));
+    EXPECT_EQ(p.beta_obj.value, bytes_of("warm"));
+    EXPECT_FALSE(
+        p.fed.coordinator("alpha").evidence().find_kind("ttp.abort").empty());
+
+    // gamma restarts with only the warm state in its journal.
+    Coordinator& bystander = p.fed.recover_party("gamma");
+    p.fed.register_object("gamma", kObj, p.gamma_obj);
+    EXPECT_TRUE(bystander.resume_recovered_runs().empty());
+    p.fed.settle();
+    p.check_safety();
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
 // --- graceful restart (both runtimes) ---------------------------------------
 
 class Recovery : public test::RuntimeParamTest {};
@@ -242,6 +468,59 @@ TEST_P(Recovery, GracefulRestartPreservesStateAndResumesService) {
   fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
 }
 
+// Recovery × membership interleaving: beta crashes after the decide for
+// delta's join is journaled (the snapshot on disk still predates the
+// change) but before it is applied; the restart must redo the decide and
+// converge to the survivors' group tuple. Runs on both runtimes.
+TEST_P(Recovery, MembershipDecideJournaledButUnappliedConverges) {
+  const std::string tag =
+      "m_interleave_" + test::runtime_suffix(GetParam());
+  {
+    MemberParties p(tag, GetParam(), /*seed=*/9);
+    p.warm_up();
+
+    p.fed.coordinator("beta").arm_crash_point("m-decide-recv.journaled");
+    RunHandle h =
+        p.fed.coordinator("delta").propagate_connect(kObj, PartyId{"gamma"});
+    ASSERT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator("beta").crashed(); }));
+
+    p.fed.crash_party("beta");
+    if (GetParam() == RuntimeKind::kSim) {
+      p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+    } else {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+
+    Coordinator& revived = p.fed.recover_party("beta");
+    p.fed.register_object("beta", kObj, p.beta_obj);
+    EXPECT_TRUE(revived.recovered());
+    // The journaled-but-unapplied decide is redone synchronously here.
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    auto all_done = [&] {
+      for (const RunHandle& r : resumed) {
+        if (!r->done()) return false;
+      }
+      return h->done();
+    };
+    ASSERT_TRUE(p.fed.executor().run_until(all_done));
+    p.fed.settle();
+
+    EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    const GroupTuple& group =
+        p.fed.coordinator("alpha").replica(kObj).group_tuple();
+    for (const std::string name : {"alpha", "beta", "gamma", "delta"}) {
+      Coordinator& coord = p.fed.coordinator(name);
+      EXPECT_EQ(coord.replica(kObj).group_tuple(), group) << name;
+      EXPECT_EQ(coord.replica(kObj).members().size(), 4u) << name;
+      EXPECT_TRUE(coord.evidence().verify_chain()) << name;
+      EXPECT_EQ(coord.violations_detected(), 0u) << name;
+    }
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
 B2B_INSTANTIATE_RUNTIME_SUITE(Recovery);
 
 // --- the crash-point campaign (deterministic simulator) ---------------------
@@ -249,15 +528,125 @@ B2B_INSTANTIATE_RUNTIME_SUITE(Recovery);
 TEST(CrashCampaign, ProposerCrashEveryPoint) {
   for (const std::string& point : kProposerPoints) {
     SCOPED_TRACE(point);
-    run_sim_case(point, "alpha", /*seed=*/11);
+    run_sim_case(point, "alpha", campaign_seed());
   }
 }
 
 TEST(CrashCampaign, ResponderCrashEveryPoint) {
   for (const std::string& point : kResponderPoints) {
     SCOPED_TRACE(point);
-    run_sim_case(point, "beta", /*seed=*/11);
+    run_sim_case(point, "beta", campaign_seed());
   }
+}
+
+TEST(CrashCampaign, SponsorCrashEveryMembershipPoint) {
+  for (const std::string& point : kSponsorMembershipPoints) {
+    SCOPED_TRACE(point);
+    run_membership_sim_case(point, "gamma", campaign_seed());
+  }
+}
+
+TEST(CrashCampaign, RecipientCrashEveryMembershipPoint) {
+  for (const std::string& point : kRecipientMembershipPoints) {
+    SCOPED_TRACE(point);
+    run_membership_sim_case(point, "beta", campaign_seed());
+  }
+}
+
+TEST(CrashCampaign, SubjectCrashAtRequestJournaled) {
+  run_membership_sim_case("m-request.journaled", "delta", campaign_seed());
+}
+
+TEST(CrashCampaign, TerminationCrashEveryPoint) {
+  for (const std::string& point : kTerminationPoints) {
+    SCOPED_TRACE(point);
+    run_termination_sim_case(point, campaign_seed());
+  }
+}
+
+// A non-sponsor eviction proposer crashes right after journaling its
+// relayed request: the restart re-sends under the ORIGINAL nonce and the
+// relayed decide still reports the outcome to the recovered proposer.
+TEST(CrashCampaign, RelayedEvictionProposerCrashAtRequestJournaled) {
+  const std::string tag = "m_relayed_evict";
+  {
+    Parties p(tag, RuntimeKind::kSim, campaign_seed());
+    p.warm_up();
+
+    // alpha proposes evicting beta; the legitimate sponsor is gamma, so
+    // the request is relayed — and alpha dies before sending it.
+    p.fed.coordinator("alpha").arm_crash_point("m-request.journaled");
+    RunHandle h =
+        p.fed.coordinator("alpha").propagate_eviction(kObj, {PartyId{"beta"}});
+    EXPECT_TRUE(p.fed.coordinator("alpha").crashed());
+    EXPECT_EQ(h->outcome, RunResult::Outcome::kAborted);
+
+    p.fed.crash_party("alpha");
+    p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+
+    Coordinator& revived = p.fed.recover_party("alpha");
+    p.fed.register_object("alpha", kObj, p.alpha_obj);
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+    ASSERT_EQ(resumed.size(), 1u);
+    EXPECT_TRUE(p.fed.run_until_done(resumed[0]));
+    EXPECT_EQ(resumed[0]->outcome, RunResult::Outcome::kAgreed);
+    p.fed.settle();
+
+    std::vector<PartyId> expected{PartyId{"alpha"}, PartyId{"gamma"}};
+    EXPECT_EQ(p.fed.coordinator("alpha").replica(kObj).members(), expected);
+    EXPECT_EQ(p.fed.coordinator("gamma").replica(kObj).members(), expected);
+    EXPECT_EQ(p.fed.coordinator("alpha").replica(kObj).group_tuple(),
+              p.fed.coordinator("gamma").replica(kObj).group_tuple());
+    for (const std::string name : {"alpha", "gamma"}) {
+      EXPECT_TRUE(p.fed.coordinator(name).evidence().verify_chain()) << name;
+      EXPECT_EQ(p.fed.coordinator(name).violations_detected(), 0u) << name;
+    }
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
+// A voluntary departure survives the sponsor crashing mid-decide: the
+// recovered sponsor re-drives the journaled decide and the subject still
+// receives its confirm.
+TEST(CrashCampaign, DisconnectSponsorCrashAtDecideJournaled) {
+  const std::string tag = "m_disconnect_sponsor";
+  {
+    Parties p(tag, RuntimeKind::kSim, campaign_seed());
+    p.warm_up();
+
+    // alpha leaves voluntarily; the sponsor for alpha's departure is
+    // gamma (most recently joined member not itself leaving).
+    p.fed.coordinator("gamma").arm_crash_point("m-decide.journaled");
+    RunHandle h = p.fed.coordinator("alpha").propagate_disconnect(kObj);
+    EXPECT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator("gamma").crashed(); }));
+
+    p.fed.crash_party("gamma");
+    p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+
+    Coordinator& revived = p.fed.recover_party("gamma");
+    p.fed.register_object("gamma", kObj, p.gamma_obj);
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    auto done = [&] {
+      for (const RunHandle& r : resumed) {
+        if (!r->done()) return false;
+      }
+      return h->done();
+    };
+    EXPECT_TRUE(p.fed.executor().run_until(done));
+    p.fed.settle();
+
+    EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    EXPECT_FALSE(p.fed.coordinator("alpha").replica(kObj).connected());
+    std::vector<PartyId> expected{PartyId{"beta"}, PartyId{"gamma"}};
+    EXPECT_EQ(p.fed.coordinator("beta").replica(kObj).members(), expected);
+    EXPECT_EQ(p.fed.coordinator("gamma").replica(kObj).members(), expected);
+    for (const std::string name : {"alpha", "beta", "gamma"}) {
+      EXPECT_EQ(p.fed.coordinator(name).violations_detected(), 0u) << name;
+    }
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
 }
 
 TEST(CrashCampaign, RecoveryIsDeterministic) {
@@ -268,10 +657,141 @@ TEST(CrashCampaign, RecoveryIsDeterministic) {
        std::vector<std::pair<std::string, std::string>>{
            {"response.journaled", "alpha"}, {"respond.sent", "beta"}}) {
     SCOPED_TRACE(point);
-    Bytes first = run_sim_case(point, crasher, /*seed=*/23);
-    Bytes second = run_sim_case(point, crasher, /*seed=*/23);
+    // Distinct tag: the sweep tests use the same (point, crasher) journal
+    // roots and may run concurrently under ctest -j.
+    Bytes first = run_sim_case(point, crasher, /*seed=*/23, "_det");
+    Bytes second = run_sim_case(point, crasher, /*seed=*/23, "_det");
     EXPECT_EQ(first, second);
   }
+}
+
+TEST(CrashCampaign, MembershipRecoveryIsDeterministic) {
+  for (const auto& [point, crasher] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"m-response.journaled", "gamma"}, {"m-respond.sent", "beta"}}) {
+    SCOPED_TRACE(point);
+    Bytes first = run_membership_sim_case(point, crasher, /*seed=*/23, "_det");
+    Bytes second = run_membership_sim_case(point, crasher, /*seed=*/23, "_det");
+    EXPECT_EQ(first, second);
+  }
+}
+
+// --- combined faults ---------------------------------------------------------
+
+// The sponsor crashes on the first response while a partition still cuts
+// off the other recipient; the partition heals during recovery and the
+// re-driven run must still admit the subject.
+TEST(CrashCampaignCombined, SponsorCrashDuringPartitionThatHeals) {
+  const std::string tag = "m_partition_heal";
+  const std::vector<std::string> kAll = {"alpha", "beta", "gamma", "delta"};
+  {
+    MemberParties p(tag, RuntimeKind::kSim, campaign_seed());
+    p.warm_up();
+
+    p.fed.network().partition(
+        {PartyId{"alpha"}},
+        {PartyId{"beta"}, PartyId{"gamma"}, PartyId{"delta"}},
+        p.fed.scheduler().now() + 400'000);
+    p.fed.coordinator("gamma").arm_crash_point("m-response.journaled");
+    RunHandle h =
+        p.fed.coordinator("delta").propagate_connect(kObj, PartyId{"gamma"});
+    EXPECT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator("gamma").crashed(); }));
+
+    p.fed.crash_party("gamma");
+    p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+
+    Coordinator& revived = p.fed.recover_party("gamma");
+    p.fed.register_object("gamma", kObj, p.gamma_obj);
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    auto converged = [&] {
+      const GroupTuple& group =
+          p.fed.coordinator("alpha").replica(kObj).group_tuple();
+      for (const std::string& name : kAll) {
+        Replica& r = p.fed.coordinator(name).replica(kObj);
+        if (!r.connected() || r.members().size() != 4 || r.busy() ||
+            !(r.group_tuple() == group)) {
+          return false;
+        }
+      }
+      return true;
+    };
+    EXPECT_TRUE(p.fed.executor().run_until(converged))
+        << "no convergence after heal + recovery";
+    for (const RunHandle& r : resumed) EXPECT_TRUE(r->done());
+    EXPECT_TRUE(h->done());
+    EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    p.fed.settle();
+    p.check_safety(kAll);
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
+// The sponsor journals a connect proposal and dies before sending it;
+// the survivors evict the dead sponsor (next-in-rotation takes over).
+// When the deposed sponsor restarts and re-drives its run, the answers
+// are stale rejects — anomalies, never violations — and its late decide
+// is ignored as an unknown run.
+TEST(CrashCampaignCombined, EvictionTargetsTheCrashedSponsor) {
+  const std::string tag = "m_evict_crashed_sponsor";
+  {
+    MemberParties p(tag, RuntimeKind::kSim, campaign_seed());
+    p.warm_up();
+
+    p.fed.coordinator("gamma").arm_crash_point("m-propose.journaled");
+    RunHandle connect =
+        p.fed.coordinator("delta").propagate_connect(kObj, PartyId{"gamma"});
+    EXPECT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator("gamma").crashed(); }));
+    p.fed.crash_party("gamma");
+
+    // The eviction's subject set contains the legitimate sponsor itself,
+    // so the next member in rotation — beta — must sponsor the run.
+    RunHandle ev =
+        p.fed.coordinator("beta").propagate_eviction(kObj, {PartyId{"gamma"}});
+    ASSERT_TRUE(p.fed.run_until_done(ev));
+    EXPECT_EQ(ev->outcome, RunResult::Outcome::kAgreed);
+    p.fed.settle();
+    std::vector<PartyId> two{PartyId{"alpha"}, PartyId{"beta"}};
+    EXPECT_EQ(p.fed.coordinator("alpha").replica(kObj).members(), two);
+    EXPECT_EQ(p.fed.coordinator("beta").replica(kObj).connect_sponsor(),
+              PartyId{"beta"});
+
+    // The deposed sponsor restarts and re-drives its journaled run.
+    p.fed.scheduler().run_until(p.fed.scheduler().now() + 300'000);
+    Coordinator& revived = p.fed.recover_party("gamma");
+    p.fed.register_object("gamma", kObj, p.gamma_obj);
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+    auto done = [&] {
+      for (const RunHandle& r : resumed) {
+        if (!r->done()) return false;
+      }
+      return connect->done();
+    };
+    EXPECT_TRUE(p.fed.executor().run_until(done));
+    p.fed.settle();
+
+    // The subject's request died with the deposed sponsor's authority.
+    EXPECT_EQ(connect->outcome, RunResult::Outcome::kVetoed);
+    EXPECT_FALSE(p.fed.coordinator("delta").replica(kObj).connected());
+    // Survivors hold identical two-member views; the late traffic from
+    // the recovered ex-sponsor registered as anomalies, not blame.
+    EXPECT_EQ(p.fed.coordinator("alpha").replica(kObj).members(), two);
+    EXPECT_EQ(p.fed.coordinator("beta").replica(kObj).members(), two);
+    EXPECT_EQ(p.fed.coordinator("alpha").replica(kObj).group_tuple(),
+              p.fed.coordinator("beta").replica(kObj).group_tuple());
+    for (const std::string name : {"alpha", "beta", "gamma", "delta"}) {
+      Coordinator& coord = p.fed.coordinator(name);
+      EXPECT_TRUE(coord.evidence().verify_chain()) << name;
+      EXPECT_EQ(coord.violations_detected(), 0u) << name;
+    }
+    EXPECT_FALSE(
+        p.fed.coordinator("alpha").evidence().find_kind("anomaly").empty());
+    // The evicted party's own view is merely stale (§4.5 semantics).
+    EXPECT_TRUE(p.fed.coordinator("gamma").replica(kObj).connected());
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
 }
 
 // --- representative crashes on real threads ---------------------------------
@@ -326,6 +846,60 @@ TEST(CrashCampaignThreaded, ProposerCrashAfterDecideJournaled) {
 
 TEST(CrashCampaignThreaded, ResponderCrashAfterRespondJournaled) {
   run_threaded_case("respond.journaled", "beta");
+}
+
+/// A membership campaign case on real threads. As with run_threaded_case,
+/// only handle atomics are awaited from the test thread; replica state is
+/// inspected after settle().
+void run_threaded_membership_case(const std::string& point,
+                                  const std::string& crasher) {
+  const std::string tag =
+      "m_" + sanitized(point) + "_" + crasher + "_threaded";
+  {
+    MemberParties p(tag, RuntimeKind::kThreaded, /*seed=*/5);
+    p.warm_up();
+
+    p.fed.coordinator(crasher).arm_crash_point(point);
+    RunHandle h =
+        p.fed.coordinator("delta").propagate_connect(kObj, PartyId{"gamma"});
+    ASSERT_TRUE(p.fed.executor().run_until(
+        [&] { return p.fed.coordinator(crasher).crashed(); }));
+
+    p.fed.crash_party(crasher);
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    Coordinator& revived = p.fed.recover_party(crasher);
+    p.fed.register_object(crasher, kObj, p.obj(crasher));
+    EXPECT_TRUE(revived.recovered());
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+
+    auto all_done = [&] {
+      for (const RunHandle& r : resumed) {
+        if (!r->done()) return false;
+      }
+      return h->done();
+    };
+    ASSERT_TRUE(p.fed.executor().run_until(all_done));
+    p.fed.settle();
+
+    EXPECT_EQ(h->outcome, RunResult::Outcome::kAgreed);
+    EXPECT_EQ(p.delta_obj.value, bytes_of("warm"));
+    const std::vector<std::string> kAll = {"alpha", "beta", "gamma", "delta"};
+    for (const std::string& name : kAll) {
+      EXPECT_EQ(p.fed.coordinator(name).replica(kObj).members().size(), 4u)
+          << name;
+    }
+    p.check_safety(kAll);
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
+TEST(CrashCampaignThreaded, SponsorCrashAfterMembershipDecideJournaled) {
+  run_threaded_membership_case("m-decide.journaled", "gamma");
+}
+
+TEST(CrashCampaignThreaded, RecipientCrashAfterMembershipRespondJournaled) {
+  run_threaded_membership_case("m-respond.journaled", "beta");
 }
 
 // --- delivery failure -> suspicion ------------------------------------------
