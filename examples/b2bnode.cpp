@@ -1,0 +1,342 @@
+// b2bnode: one organisation's coordinator as its own OS process.
+//
+// Where the other examples assemble a whole federation inside one process,
+// this daemon runs exactly ONE party over the TCP runtime and finds its
+// peers through a PeerDirectory file, so a federation can span real
+// processes and hosts. Two cooperating b2bnode processes play the paper's
+// §5.1 Tic-Tac-Toe game to completion; each prints a canonical FINAL line
+// and exits 0 only if its own evidence chain verifies and the agreed game
+// reached the expected terminal state, so a driver script can assert
+// cross-process agreement from exit codes and output alone.
+//
+// Address bootstrap: each node binds an ephemeral port and publishes it as
+// <port-dir>/<party>.port; peers listed with port 0 are resolved by
+// polling for their port files. A restarted node binds a NEW port and
+// republishes; surviving peers watch the port file and refresh their
+// directory entry, so retransmissions dial the new address.
+//
+// --crash-after K makes the process _Exit (no destructors, no flush —
+// a real crash) right after its K-th own move is agreed. Restarting with
+// the same --journal directory replays the write-ahead journal, resumes
+// any in-flight runs, and continues the game from the recovered state.
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/tictactoe.hpp"
+#include "b2b/coordinator.hpp"
+#include "b2b/federation.hpp"
+#include "net/tcp_runtime.hpp"
+
+using namespace b2b;
+using apps::Board;
+using apps::GameStatus;
+using apps::Mark;
+using apps::TicTacToeObject;
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+constexpr auto kWaitBudget = 120s;
+
+struct Args {
+  std::string party;
+  std::string peers_file;
+  std::string port_dir;
+  std::string journal_root;
+  std::size_t rsa_bits = 512;
+  std::uint64_t seed = 1;
+  int crash_after = 0;  // 0 = never crash
+};
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --party NAME --peers FILE --port-dir DIR"
+               " [--journal DIR] [--rsa-bits N] [--seed N]"
+               " [--crash-after K]\n";
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, Args& args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    if (i + 1 >= argc) return false;
+    std::string value = argv[++i];
+    if (flag == "--party") {
+      args.party = value;
+    } else if (flag == "--peers") {
+      args.peers_file = value;
+    } else if (flag == "--port-dir") {
+      args.port_dir = value;
+    } else if (flag == "--journal") {
+      args.journal_root = value;
+    } else if (flag == "--rsa-bits") {
+      args.rsa_bits = static_cast<std::size_t>(std::stoul(value));
+    } else if (flag == "--seed") {
+      args.seed = std::stoull(value);
+    } else if (flag == "--crash-after") {
+      args.crash_after = std::stoi(value);
+    } else {
+      return false;
+    }
+  }
+  return !args.party.empty() && !args.peers_file.empty() &&
+         !args.port_dir.empty();
+}
+
+/// Spin until `predicate` holds; false on budget exhaustion.
+bool wait_for(const std::function<bool()>& predicate) {
+  auto deadline = std::chrono::steady_clock::now() + kWaitBudget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(2ms);
+  }
+  return predicate();
+}
+
+void publish_port(const fs::path& dir, const std::string& party,
+                  std::uint16_t port) {
+  // Write-then-rename so a polling peer never reads a torn file.
+  fs::path tmp = dir / (party + ".port.tmp");
+  fs::path final_path = dir / (party + ".port");
+  std::ofstream out(tmp);
+  out << port << "\n";
+  out.close();
+  fs::rename(tmp, final_path);
+}
+
+std::uint16_t poll_port(const fs::path& dir, const std::string& party) {
+  fs::path path = dir / (party + ".port");
+  unsigned port = 0;
+  wait_for([&] {
+    std::ifstream in(path);
+    return static_cast<bool>(in >> port) && port != 0;
+  });
+  return static_cast<std::uint16_t>(port);
+}
+
+/// Keeps the peer's directory entry in sync with its port file. A node
+/// that crashes and restarts comes back on a NEW ephemeral port; its
+/// outbound handshake reaches us only once it has traffic to send, so a
+/// waiting proposer must also refresh its dial target (TcpTransport
+/// re-reads the directory on every dial attempt).
+struct DirectoryRefresher {
+  std::shared_ptr<net::PeerDirectory> directory;
+  fs::path port_file;
+  PartyId peer;
+  std::string host;
+  std::atomic<bool> stop{false};
+  std::thread thread;
+
+  DirectoryRefresher(std::shared_ptr<net::PeerDirectory> dir, fs::path file,
+                     PartyId peer_id, std::string peer_host)
+      : directory(std::move(dir)),
+        port_file(std::move(file)),
+        peer(std::move(peer_id)),
+        host(std::move(peer_host)),
+        thread([this] { loop(); }) {}
+
+  ~DirectoryRefresher() {
+    stop = true;
+    thread.join();
+  }
+
+  void loop() {
+    while (!stop) {
+      unsigned port = 0;
+      std::ifstream in(port_file);
+      if (in >> port && port != 0) {
+        auto current = directory->lookup(peer);
+        if (!current || current->port != port) {
+          directory->set(peer, net::PeerAddress{
+                                   host, static_cast<std::uint16_t>(port)});
+        }
+      }
+      std::this_thread::sleep_for(100ms);
+    }
+  }
+};
+
+std::string board_fingerprint(const Board& board) {
+  std::string out;
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 3; ++col) {
+      out += static_cast<char>('0' + static_cast<int>(board.at(row, col)));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parse_args(argc, argv, args)) return usage(argv[0]);
+
+  // The peers file fixes the federation roster AND the deterministic
+  // keypair assignment: parties are numbered in directory (name) order,
+  // which every process derives identically, exactly as an in-process
+  // Federation numbers its parties. This stands in for the out-of-band
+  // PKI exchange between organisations.
+  auto directory = std::make_shared<net::PeerDirectory>(
+      net::PeerDirectory::load_file(args.peers_file));
+  std::vector<PartyId> roster;
+  std::size_t self_index = ~std::size_t{0};
+  for (const auto& [party, address] : directory->entries()) {
+    if (party.str() == args.party) self_index = roster.size();
+    roster.push_back(party);
+  }
+  if (self_index == ~std::size_t{0}) {
+    std::cerr << args.party << ": not in " << args.peers_file << "\n";
+    return 1;
+  }
+  if (roster.size() != 2) {
+    std::cerr << "expected exactly two parties in " << args.peers_file
+              << "\n";
+    return 1;
+  }
+  const PartyId self{args.party};
+  const PartyId cross = roster[0];
+  const PartyId nought = roster[1];
+  const PartyId peer = (self == cross) ? nought : cross;
+
+  // Bind an ephemeral port, publish it, and resolve the peer's.
+  net::TcpTransport::Config transport_config;
+  transport_config.retransmit_interval_micros = 20'000;
+  net::TcpTransport transport(self, "127.0.0.1", 0, directory,
+                              transport_config);
+  directory->set(self, net::PeerAddress{"127.0.0.1", transport.port()});
+
+  net::SystemClock clock;
+
+  core::Coordinator::Config config;
+  config.self = self;
+  config.key = core::Federation::shared_keypair(args.rsa_bits, self_index);
+  config.rng_seed = args.seed * 1000003 + self_index;
+  if (!args.journal_root.empty()) {
+    config.journal_dir = args.journal_root + "/" + args.party;
+  }
+  config.run_probe_interval_micros = 200'000;
+  config.max_run_probes = 100;
+  core::Coordinator coordinator(config, transport, clock, nullptr);
+  for (std::size_t i = 0; i < roster.size(); ++i) {
+    if (roster[i] == self) continue;
+    coordinator.add_known_party(
+        roster[i],
+        core::Federation::shared_keypair(args.rsa_bits, i).public_key());
+  }
+
+  const ObjectId game{"tictactoe"};
+  TicTacToeObject object{cross, nought};
+  coordinator.register_object(game, object);
+  const bool recovered = coordinator.recovered();
+  if (recovered) {
+    std::cout << "[" << args.party << "] recovered from journal, board:\n"
+              << object.board().render();
+    for (const core::RunHandle& handle :
+         coordinator.resume_recovered_runs()) {
+      wait_for([&] { return handle->done(); });
+    }
+  } else {
+    coordinator.replica(game).bootstrap(roster, Board{}.encode());
+  }
+
+  // Only now is this node ready to serve; publishing the port is the
+  // "open for business" signal peers wait on.
+  publish_port(args.port_dir, args.party, transport.port());
+  std::uint16_t peer_port = poll_port(args.port_dir, peer.str());
+  auto peer_address = directory->lookup(peer);
+  const std::string peer_host =
+      peer_address ? peer_address->host : "127.0.0.1";
+  directory->set(peer, net::PeerAddress{peer_host, peer_port});
+  // Track peer restarts (new port file contents) for the rest of the run.
+  DirectoryRefresher refresher(
+      directory, fs::path(args.port_dir) / (peer.str() + ".port"), peer,
+      peer_host);
+  std::cout << "[" << args.party << "] listening on " << transport.port()
+            << ", peer " << peer.str() << " on " << peer_port << std::endl;
+
+  // The scripted game: X top row in three, O answering twice.
+  struct Move {
+    int row, col;
+  };
+  const std::vector<Move> kMoves = {
+      {0, 0}, {1, 1}, {0, 1}, {2, 2}, {0, 2}};
+  const Mark my_mark = (self == cross) ? Mark::kCross : Mark::kNought;
+  int own_agreed = 0;
+
+  for (std::size_t i = 0; i < kMoves.size(); ++i) {
+    const bool my_turn = (i % 2 == 0) == (self == cross);
+    // Wait until every earlier move is on the local agreed board.
+    if (!wait_for([&] {
+          coordinator.synchronize();
+          return object.board().move_count() >=
+                 static_cast<int>(i);
+        })) {
+      std::cerr << "[" << args.party << "] timed out waiting for move " << i
+                << "\n";
+      return 3;
+    }
+    coordinator.synchronize();
+    if (object.board().move_count() > static_cast<int>(i)) {
+      continue;  // already played (recovered from the journal)
+    }
+    if (!my_turn) {
+      continue;  // the next wait_for picks up the opponent's move
+    }
+
+    Board next = object.board();
+    if (!next.play(kMoves[i].row, kMoves[i].col, my_mark)) {
+      std::cerr << "[" << args.party << "] illegal scripted move " << i
+                << "\n";
+      return 2;
+    }
+    object.board() = next;
+    core::RunHandle handle =
+        coordinator.propagate_new_state(game, object.get_state());
+    if (!wait_for([&] { return handle->done(); }) ||
+        handle->outcome != core::RunResult::Outcome::kAgreed) {
+      std::cerr << "[" << args.party << "] move " << i
+                << " not agreed: " << handle->diagnostic << "\n";
+      return 2;
+    }
+    ++own_agreed;
+    std::cout << "[" << args.party << "] move " << i << " agreed"
+              << std::endl;
+    if (args.crash_after > 0 && own_agreed == args.crash_after) {
+      std::cout << "[" << args.party << "] CRASH after " << own_agreed
+                << " own moves" << std::endl;
+      std::_Exit(42);  // no destructors, no flush: a real process crash
+    }
+  }
+
+  if (!wait_for([&] {
+        coordinator.synchronize();
+        return object.board().move_count() == 5;
+      })) {
+    std::cerr << "[" << args.party << "] timed out waiting for game end\n";
+    return 3;
+  }
+
+  coordinator.synchronize();
+  const bool chain_ok = coordinator.evidence().verify_chain();
+  const GameStatus status = object.board().status();
+  std::cout << object.board().render();
+  std::cout << "[" << args.party << "] evidence records: "
+            << coordinator.evidence().size()
+            << ", chain intact: " << std::boolalpha << chain_ok << std::endl;
+  // The canonical line the driver script compares across processes.
+  std::cout << "FINAL " << board_fingerprint(object.board()) << " status="
+            << static_cast<int>(status) << " chain=" << chain_ok
+            << std::endl;
+  return (chain_ok && status == GameStatus::kCrossWins) ? 0 : 4;
+}

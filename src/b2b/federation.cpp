@@ -34,13 +34,21 @@ Federation::Federation(std::vector<std::string> party_names,
     sim_options.faults = options.faults;
     sim_options.reliable = options.reliable;
     sim_ = std::make_unique<net::SimRuntime>(sim_options);
-  } else {
+  } else if (runtime_ == RuntimeKind::kThreaded) {
     net::ThreadedRuntime::Options threaded_options;
     threaded_options.seed = options.seed;
     threaded_options.faults = options.threaded_faults;
     threaded_options.transport = options.threaded_transport;
     threaded_options.executor = options.threaded_executor;
     threaded_ = std::make_unique<net::ThreadedRuntime>(threaded_options);
+  } else {
+    net::TcpRuntime::Options tcp_options;
+    tcp_options.directory = options.tcp_directory;
+    tcp_options.seed = options.seed;
+    tcp_options.faults = options.tcp_faults;
+    tcp_options.transport = options.tcp_transport;
+    tcp_options.executor = options.threaded_executor;
+    tcp_ = std::make_unique<net::TcpRuntime>(tcp_options);
   }
 
   if (options.use_tss) {
@@ -76,7 +84,8 @@ Federation::~Federation() = default;
 
 net::Runtime& Federation::runtime_impl() {
   if (sim_) return *sim_;
-  return *threaded_;
+  if (threaded_) return *threaded_;
+  return *tcp_;
 }
 
 net::Clock& Federation::clock() { return runtime_impl().clock(); }
@@ -98,6 +107,11 @@ net::ThreadedNetwork& Federation::threaded_network() {
     throw Error("threaded_network(): not running on the threaded runtime");
   }
   return threaded_->network();
+}
+
+net::TcpRuntime& Federation::tcp_runtime() {
+  if (!tcp_) throw Error("tcp_runtime(): not running on the tcp runtime");
+  return *tcp_;
 }
 
 std::vector<PartyId> Federation::party_ids() const {
@@ -152,8 +166,10 @@ void Federation::crash_party(const std::string& name) {
   // state (§4.2).
   if (sim_) {
     sim_->network().set_alive(party.id, false);
-  } else {
+  } else if (threaded_) {
     threaded_->network().set_alive(party.id, false);
+  } else {
+    tcp_->set_alive(party.id, false);
   }
   party.transport->set_handler_sync({});
   party.transport->set_delivery_failure_handler({});
@@ -168,8 +184,10 @@ Coordinator& Federation::recover_party(const std::string& name) {
   }
   if (sim_) {
     sim_->network().set_alive(party.id, true);
-  } else {
+  } else if (threaded_) {
     threaded_->network().set_alive(party.id, true);
+  } else {
+    tcp_->set_alive(party.id, true);
   }
   party.coordinator = std::make_unique<Coordinator>(
       party_config(index), *party.transport, clock(), tss_.get());
@@ -238,10 +256,12 @@ bool Federation::run_until_done(const RunHandle& handle) {
 
 void Federation::settle() {
   executor().settle();
-  if (runtime_ == RuntimeKind::kThreaded) {
+  if (runtime_ != RuntimeKind::kSim) {
     // Pick up every coordinator's mutex once so the caller's subsequent
     // unlocked reads observe all transport-thread writes.
-    for (auto& p : parties_) p->coordinator->synchronize();
+    for (auto& p : parties_) {
+      if (p->coordinator) p->coordinator->synchronize();
+    }
   }
 }
 

@@ -7,7 +7,7 @@
 // initial business agreement between organisations. Tests, examples and
 // benches all build on this instead of re-plumbing the stack.
 //
-// Two runtimes are available (Options::runtime):
+// Three runtimes are available (Options::runtime):
 //  * RuntimeKind::kSim      — the deterministic discrete-event stack
 //    (net::SimRuntime). Seeded runs reproduce bit-for-bit; the
 //    simulator-only instruments (partitions, Dolev-Yao intruder,
@@ -17,6 +17,11 @@
 //    threads over an in-process lossy channel (net::ThreadedRuntime); the
 //    clock is real time. scheduler()/network()/endpoint() throw here —
 //    use transport()/threaded_network() instead.
+//  * RuntimeKind::kTcp      — every party's transport speaks real TCP on
+//    localhost (net::TcpRuntime): kernel sockets, framing, reconnects.
+//    The cross-process deployment (one coordinator per OS process, wired
+//    by a PeerDirectory) lives in examples/b2bnode.cpp; the in-process
+//    variant here lets the full protocol suites run over real sockets.
 //
 // The Federation itself never constructs a concrete substrate; all
 // protocol-layer plumbing goes through the abstract Runtime seam.
@@ -31,12 +36,13 @@
 #include "b2b/coordinator.hpp"
 #include "crypto/timestamp.hpp"
 #include "net/sim_runtime.hpp"
+#include "net/tcp_runtime.hpp"
 #include "net/threaded_runtime.hpp"
 
 namespace b2b::core {
 
 /// Which substrate a Federation assembles its parties on.
-enum class RuntimeKind { kSim, kThreaded };
+enum class RuntimeKind { kSim, kThreaded, kTcp };
 
 class Federation {
  public:
@@ -56,8 +62,15 @@ class Federation {
     net::ThreadedFaults threaded_faults{};
     /// Transport configuration (threaded runtime).
     net::ThreadedTransport::Config threaded_transport{};
-    /// Executor configuration (threaded runtime).
+    /// Executor configuration (threaded and tcp runtimes).
     net::ThreadedExecutor::Config threaded_executor{};
+    /// Fault model injected at the socket layer (tcp runtime).
+    net::TcpFaults tcp_faults{};
+    /// Transport configuration (tcp runtime).
+    net::TcpTransport::Config tcp_transport{};
+    /// Party address book (tcp runtime). Leave null for a fresh directory
+    /// of localhost ephemeral ports; pass one to pin addresses.
+    std::shared_ptr<net::PeerDirectory> tcp_directory;
     /// Provide a trusted time-stamping service to all parties.
     bool use_tss = true;
     /// Sponsor selection policy applied federation-wide.
@@ -98,6 +111,10 @@ class Federation {
   /// Threaded-only fabric (crash/recovery, fault injection). Throws
   /// b2b::Error on the sim runtime.
   net::ThreadedNetwork& threaded_network();
+
+  /// Tcp-only runtime bundle (ports, fault counters, per-party
+  /// transports). Throws b2b::Error on the other runtimes.
+  net::TcpRuntime& tcp_runtime();
 
   const crypto::TimestampService* tss() const { return tss_.get(); }
 
@@ -166,8 +183,8 @@ class Federation {
   /// (the run is blocked).
   bool run_until_done(const RunHandle& handle);
 
-  /// Make progress until the deployment is quiescent. On the threaded
-  /// runtime this additionally synchronises with every coordinator, so
+  /// Make progress until the deployment is quiescent. On the real-thread
+  /// runtimes this additionally synchronises with every coordinator, so
   /// state read afterwards is up to date.
   void settle();
 
@@ -208,6 +225,7 @@ class Federation {
   // and TTP those threads deliver into die. Exactly one is non-null.
   std::unique_ptr<net::SimRuntime> sim_;
   std::unique_ptr<net::ThreadedRuntime> threaded_;
+  std::unique_ptr<net::TcpRuntime> tcp_;
 
   RuntimeKind runtime_ = RuntimeKind::kSim;
   std::size_t rsa_bits_ = 512;

@@ -1,0 +1,103 @@
+#include "net/peer_directory.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace b2b::net {
+
+PeerDirectory::PeerDirectory(const PeerDirectory& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  entries_ = other.entries_;
+}
+
+PeerDirectory& PeerDirectory::operator=(const PeerDirectory& other) {
+  if (this != &other) {
+    std::map<PartyId, PeerAddress> copy;
+    {
+      std::lock_guard<std::mutex> lock(other.mutex_);
+      copy = other.entries_;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_ = std::move(copy);
+  }
+  return *this;
+}
+
+void PeerDirectory::set(const PartyId& party, PeerAddress address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_[party] = std::move(address);
+}
+
+std::optional<PeerAddress> PeerDirectory::lookup(const PartyId& party) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(party);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::pair<PartyId, PeerAddress>> PeerDirectory::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {entries_.begin(), entries_.end()};
+}
+
+std::size_t PeerDirectory::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+PeerDirectory PeerDirectory::parse(const std::string& text) {
+  PeerDirectory directory;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream fields(line);
+    std::string party, address;
+    if (!(fields >> party)) continue;  // blank / comment-only line
+    std::string where = "peer directory line " + std::to_string(line_no);
+    if (!(fields >> address)) throw Error(where + ": missing host:port");
+    std::string extra;
+    if (fields >> extra) throw Error(where + ": trailing garbage");
+    // Split at the LAST colon so numeric hosts stay intact.
+    auto colon = address.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == address.size()) {
+      throw Error(where + ": expected host:port, got '" + address + "'");
+    }
+    unsigned long port = 0;
+    try {
+      port = std::stoul(address.substr(colon + 1));
+    } catch (const std::exception&) {
+      throw Error(where + ": bad port in '" + address + "'");
+    }
+    if (port > 65535) throw Error(where + ": port out of range");
+    directory.set(PartyId{party},
+                  PeerAddress{address.substr(0, colon),
+                              static_cast<std::uint16_t>(port)});
+  }
+  return directory;
+}
+
+PeerDirectory PeerDirectory::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("peer directory: cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse(text.str());
+}
+
+std::string PeerDirectory::to_string() const {
+  std::ostringstream out;
+  for (const auto& [party, address] : entries()) {
+    out << party.str() << " " << address.host << ":" << address.port << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace b2b::net

@@ -91,7 +91,9 @@ void ReliableEndpoint::transmit(const PartyId& to, std::uint64_t seq) {
   wire::Encoder enc;
   enc.u8(kData).u64(seq).blob(it->second.payload);
   enc.raw(frame_checksum(seq, it->second.payload));
-  network_.send(self_, to, std::move(enc).take());
+  Bytes datagram = std::move(enc).take();
+  stats_.bytes_sent += datagram.size();
+  network_.send(self_, to, std::move(datagram));
 }
 
 void ReliableEndpoint::schedule_retransmit(const PartyId& to,
@@ -113,6 +115,7 @@ void ReliableEndpoint::schedule_retransmit(const PartyId& to,
 }
 
 void ReliableEndpoint::on_datagram(const PartyId& from, const Bytes& datagram) {
+  stats_.bytes_received += datagram.size();
   wire::Decoder dec{datagram};
   std::uint8_t type;
   std::uint64_t seq;
@@ -150,7 +153,9 @@ void ReliableEndpoint::on_datagram(const PartyId& from, const Bytes& datagram) {
   wire::Encoder ack;
   ack.u8(kAck).u64(seq);
   ++stats_.acks_sent;
-  network_.send(self_, from, std::move(ack).take());
+  Bytes ack_datagram = std::move(ack).take();
+  stats_.bytes_sent += ack_datagram.size();
+  network_.send(self_, from, std::move(ack_datagram));
 
   if (!delivered_[from].mark(seq)) {
     ++stats_.duplicates_suppressed;

@@ -56,6 +56,9 @@ class ReliableEndpoint {
     std::uint64_t retransmissions = 0;
     std::uint64_t duplicates_suppressed = 0;
     std::uint64_t acks_sent = 0;
+    /// Datagram bytes put on / taken off the simulated wire.
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
   };
 
   using Handler =

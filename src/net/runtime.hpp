@@ -54,6 +54,15 @@ class Transport {
     std::uint64_t retransmissions = 0;
     std::uint64_t duplicates_suppressed = 0;
     std::uint64_t acks_sent = 0;
+    /// Wire-level totals (frame bytes incl. transport headers), so
+    /// E-series benches can compare wire overhead across transports.
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t bytes_received = 0;
+    /// Connection-oriented counters; always 0 on datagram-style
+    /// transports (sim, threaded), which have no connections to lose.
+    std::uint64_t connects = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t frames_dropped_crc = 0;
   };
 
   virtual ~Transport() = default;

@@ -42,8 +42,16 @@ class SimTransport final : public Transport {
 
   Stats stats() const override {
     const ReliableEndpoint::Stats& s = endpoint_.stats();
-    return Stats{s.app_sent, s.app_delivered, s.retransmissions,
-                 s.duplicates_suppressed, s.acks_sent};
+    Stats out;
+    out.app_sent = s.app_sent;
+    out.app_delivered = s.app_delivered;
+    out.retransmissions = s.retransmissions;
+    out.duplicates_suppressed = s.duplicates_suppressed;
+    out.acks_sent = s.acks_sent;
+    out.bytes_sent = s.bytes_sent;
+    out.bytes_received = s.bytes_received;
+    // connects/reconnects/frames_dropped_crc stay 0: no connections.
+    return out;
   }
 
   ReliableEndpoint& endpoint() { return endpoint_; }

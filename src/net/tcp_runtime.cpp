@@ -1,0 +1,577 @@
+#include "net/tcp_runtime.hpp"
+
+#include <chrono>
+#include <random>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "store/crc32.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::net {
+
+namespace {
+
+constexpr std::uint8_t kData = 0;
+constexpr std::uint8_t kAck = 1;
+constexpr std::uint8_t kHello = 2;
+constexpr std::uint32_t kMagic = 0x42'32'42'54;  // "B2BT"
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kFrameHeaderLen = 8;  // u32 len + u32 crc32
+
+std::uint64_t steady_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t random_incarnation() {
+  std::random_device rd;
+  std::uint64_t hi = rd();
+  std::uint64_t lo = rd();
+  std::uint64_t inc = (hi << 32) ^ lo;
+  return inc == 0 ? 1 : inc;  // 0 is "no incarnation known"
+}
+
+void put_u32_le(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+Bytes encode_data(std::uint64_t seq, BytesView payload) {
+  wire::Encoder enc;
+  enc.u8(kData).u64(seq).blob(payload);
+  return std::move(enc).take();
+}
+
+Bytes encode_ack(std::uint64_t seq) {
+  wire::Encoder enc;
+  enc.u8(kAck).u64(seq);
+  return std::move(enc).take();
+}
+
+Bytes encode_hello(const PartyId& from, const PartyId& to,
+                   std::uint64_t incarnation) {
+  wire::Encoder enc;
+  enc.u8(kHello).u32(kMagic).u16(kVersion).str(from.str()).str(to.str());
+  enc.u64(incarnation);
+  return std::move(enc).take();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TcpTransport
+// ---------------------------------------------------------------------------
+
+TcpTransport::TcpTransport(PartyId self, const std::string& host,
+                           std::uint16_t port,
+                           std::shared_ptr<PeerDirectory> directory,
+                           Config config)
+    : self_(std::move(self)),
+      directory_(std::move(directory)),
+      config_(config),
+      incarnation_(random_incarnation()),
+      listener_(Listener::open(host, port)),
+      fault_rng_(config.fault_seed) {
+  acceptor_ = std::thread([this] { accept_loop(); });
+  retransmitter_ = std::thread([this] { retransmit_loop(); });
+}
+
+TcpTransport::~TcpTransport() { shutdown(); }
+
+void TcpTransport::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  listener_.stop();
+  if (acceptor_.joinable()) acceptor_.join();
+  if (retransmitter_.joinable()) retransmitter_.join();
+  // The acceptor and retransmitter were the only threads that create
+  // connections, so the tables are stable from here on.
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (auto& conn : conns_) {
+      conn->dead = true;
+      conn->socket.shutdown_both();
+    }
+  }
+  for (auto& thread : reader_threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  std::lock_guard<std::mutex> lock(conns_mutex_);
+  for (auto& conn : conns_) conn->socket.close();
+}
+
+int TcpTransport::sample_faults_locked() {
+  const TcpFaults& faults = config_.faults;
+  if (faults.drop_probability > 0.0 &&
+      fault_rng_.next_double() < faults.drop_probability) {
+    ++fabric_stats_.frames_dropped_injected;
+    return 0;
+  }
+  if (faults.duplicate_probability > 0.0 &&
+      fault_rng_.next_double() < faults.duplicate_probability) {
+    ++fabric_stats_.frames_duplicated_injected;
+    return 2;
+  }
+  return 1;
+}
+
+void TcpTransport::send(const PartyId& to, Bytes payload) {
+  Bytes frame;
+  ConnPtr conn;
+  int copies = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t seq = next_seq_[to]++;
+    frame = encode_data(seq, payload);
+    outgoing_[{to, seq}] = Outgoing{std::move(payload), 1};
+    ++stats_.app_sent;
+    if (alive_) {
+      copies = sample_faults_locked();
+      auto it = active_.find(to);
+      if (it != active_.end()) conn = it->second;
+    }
+  }
+  // No connection yet: the retransmit thread dials lazily on its next
+  // tick, so send() never blocks a caller on a connect().
+  if (!conn) return;
+  for (int i = 0; i < copies; ++i) {
+    if (!write_frame(conn, frame)) break;
+  }
+}
+
+void TcpTransport::set_handler(Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handler_ = std::move(handler);
+}
+
+void TcpTransport::set_handler_sync(Handler handler) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  handler_ = std::move(handler);
+  // Any invocation of the *previous* handler raised dispatching_ under
+  // this mutex before the swap; wait for those to drain.
+  dispatch_cv_.wait(lock, [this] { return dispatching_ == 0; });
+}
+
+void TcpTransport::set_delivery_failure_handler(
+    DeliveryFailureHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  failure_handler_ = std::move(handler);
+}
+
+std::size_t TcpTransport::unacked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outgoing_.size();
+}
+
+Transport::Stats TcpTransport::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+TcpFabricStats TcpTransport::fabric_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fabric_stats_;
+}
+
+void TcpTransport::set_alive(bool alive) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  alive_ = alive;
+}
+
+bool TcpTransport::quiescent() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return outgoing_.empty() && dispatching_ == 0;
+}
+
+bool TcpTransport::write_frame(const ConnPtr& conn, const Bytes& payload) {
+  if (conn->dead.load()) return false;
+  Bytes framed(kFrameHeaderLen + payload.size());
+  put_u32_le(framed.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(framed.data() + 4, store::crc32(payload));
+  std::copy(payload.begin(), payload.end(),
+            framed.begin() + kFrameHeaderLen);
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mutex);
+    ok = conn->socket.send_all(framed.data(), framed.size());
+  }
+  if (!ok) {
+    kill_conn(conn);
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.bytes_sent += framed.size();
+  return true;
+}
+
+void TcpTransport::kill_conn(const ConnPtr& conn) {
+  conn->dead = true;
+  // shutdown, not close: a reader blocked in recv() wakes with EOF, and
+  // the fd stays valid for any writer racing us. close() happens once,
+  // at transport shutdown.
+  conn->socket.shutdown_both();
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = active_.find(conn->peer);
+  if (it != active_.end() && it->second == conn) active_.erase(it);
+}
+
+void TcpTransport::register_handshake(const ConnPtr& conn, PartyId peer,
+                                      std::uint64_t peer_incarnation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  conn->peer = std::move(peer);
+  conn->peer_incarnation = peer_incarnation;
+  conn->handshaken = true;
+  auto it = peer_incarnation_.find(conn->peer);
+  if (it == peer_incarnation_.end() || it->second != peer_incarnation) {
+    // A new incarnation means the peer's sequence numbers restarted:
+    // drop the old dedup window. Duplicates *across* the restart are
+    // the coordinator journal's responsibility (DESIGN.md §7).
+    peer_incarnation_[conn->peer] = peer_incarnation;
+    delivered_.erase(conn->peer);
+  }
+  // Latest handshake wins: an inbound connection from a restarted peer
+  // (possibly at a new address) supersedes whatever we were using, so a
+  // process that comes back only needs to know *our* address.
+  active_[conn->peer] = conn;
+  auto& backoff = backoff_[conn->peer];
+  backoff.delay_micros = 0;
+  backoff.not_before_micros = 0;
+  ++stats_.connects;
+  if (backoff.ever_connected) ++stats_.reconnects;
+  backoff.ever_connected = true;
+}
+
+void TcpTransport::handle_data(const ConnPtr& conn, std::uint64_t seq,
+                               Bytes payload) {
+  Handler handler;
+  bool deliver = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Crashed (set_alive(false)): drop un-acked, so the peer keeps
+    // retransmitting into the downtime and delivery resumes on recovery.
+    if (!alive_) return;
+    // Frames from a superseded incarnation of the peer: that process is
+    // gone; acking or delivering against the fresh dedup window would
+    // corrupt the once-only bookkeeping.
+    auto it = peer_incarnation_.find(conn->peer);
+    if (it == peer_incarnation_.end() ||
+        it->second != conn->peer_incarnation) {
+      return;
+    }
+    ++stats_.acks_sent;
+    if (delivered_[conn->peer].mark(seq)) {
+      deliver = true;
+      ++stats_.app_delivered;
+      handler = handler_;
+      if (handler) ++dispatching_;
+    } else {
+      ++stats_.duplicates_suppressed;
+    }
+  }
+  write_frame(conn, encode_ack(seq));
+  if (!deliver || !handler) return;
+  {
+    // Serialise deliveries (Transport contract: at most one delivering
+    // thread); the handler re-enters the transport and the coordinator,
+    // so mutex_ must NOT be held here.
+    std::lock_guard<std::mutex> deliver_lock(deliver_mutex_);
+    handler(conn->peer, payload);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --dispatching_;
+  }
+  dispatch_cv_.notify_all();
+}
+
+void TcpTransport::handle_ack(const PartyId& from, std::uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!alive_) return;
+  outgoing_.erase({from, seq});
+}
+
+void TcpTransport::accept_loop() {
+  for (;;) {
+    Socket socket = listener_.accept();
+    if (!socket.valid()) return;  // stop() or fatal accept error
+    socket.set_nodelay();
+    socket.set_recv_timeout(config_.handshake_timeout_micros);
+    auto conn = std::make_shared<Conn>();
+    conn->socket = std::move(socket);
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back(
+        [this, conn] { reader_loop(conn); });
+  }
+}
+
+void TcpTransport::reader_loop(ConnPtr conn) {
+  bool handshaken = false;
+  for (;;) {
+    std::uint8_t header[kFrameHeaderLen];
+    if (!conn->socket.recv_exact(header, sizeof header)) break;
+    std::uint32_t len = get_u32_le(header);
+    std::uint32_t crc = get_u32_le(header + 4);
+    if (len > config_.max_frame_bytes) {
+      B2B_WARN("tcp: oversized frame (", len, " bytes) on ", self_);
+      break;
+    }
+    Bytes payload(len);
+    if (len > 0 && !conn->socket.recv_exact(payload.data(), len)) break;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.bytes_received += kFrameHeaderLen + len;
+    }
+    if (store::crc32(payload) != crc) {
+      // The framing itself can no longer be trusted; drop the
+      // connection and let retransmission recover over a fresh one.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.frames_dropped_crc;
+      break;
+    }
+    try {
+      wire::Decoder dec{payload};
+      std::uint8_t type = dec.u8();
+      if (!handshaken) {
+        if (type != kHello) break;  // protocol: hello is always first
+        if (dec.u32() != kMagic || dec.u16() != kVersion) break;
+        PartyId from{dec.str()};
+        PartyId to{dec.str()};
+        std::uint64_t peer_incarnation = dec.u64();
+        dec.expect_done();
+        if (to != self_) {
+          B2B_WARN("tcp: ", self_, " got a handshake meant for ", to);
+          break;
+        }
+        bool reply = !conn->hello_sent;
+        register_handshake(conn, from, peer_incarnation);
+        conn->socket.set_recv_timeout(0);  // handshake phase over
+        handshaken = true;
+        if (reply) {
+          conn->hello_sent = true;
+          write_frame(conn, encode_hello(self_, from, incarnation_));
+        }
+      } else if (type == kData) {
+        std::uint64_t seq = dec.u64();
+        Bytes app_payload = dec.blob();
+        dec.expect_done();
+        handle_data(conn, seq, std::move(app_payload));
+      } else if (type == kAck) {
+        std::uint64_t seq = dec.u64();
+        dec.expect_done();
+        handle_ack(conn->peer, seq);
+      } else {
+        break;  // unknown frame type: corrupt or future peer
+      }
+    } catch (const CodecError&) {
+      B2B_DEBUG("tcp: dropping connection with malformed frame on ", self_);
+      break;
+    }
+  }
+  kill_conn(conn);
+}
+
+TcpTransport::ConnPtr TcpTransport::dial(const PartyId& to) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& backoff = backoff_[to];
+    if (steady_micros() < backoff.not_before_micros) return nullptr;
+  }
+  auto bump_backoff = [this, &to] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& backoff = backoff_[to];
+    backoff.delay_micros =
+        backoff.delay_micros == 0
+            ? config_.reconnect_backoff_min_micros
+            : std::min(backoff.delay_micros * 2,
+                       config_.reconnect_backoff_max_micros);
+    backoff.not_before_micros = steady_micros() + backoff.delay_micros;
+  };
+  auto address = directory_->lookup(to);
+  if (!address || address->port == 0) {
+    bump_backoff();
+    return nullptr;
+  }
+  Socket socket =
+      tcp_connect(address->host, address->port, config_.connect_timeout_micros);
+  if (!socket.valid()) {
+    bump_backoff();
+    return nullptr;
+  }
+  socket.set_nodelay();
+  auto conn = std::make_shared<Conn>();
+  conn->socket = std::move(socket);
+  conn->peer = to;
+  conn->hello_sent = true;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    {
+      std::lock_guard<std::mutex> stop_lock(stop_mutex_);
+      if (stopping_) return nullptr;
+    }
+    conns_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { reader_loop(conn); });
+  }
+  // Our hello goes first on the stream; data may follow immediately (the
+  // peer processes frames in order, so it knows us before any payload).
+  if (!write_frame(conn, encode_hello(self_, to, incarnation_))) {
+    bump_backoff();
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Usable for sending right away; a handshaken connection registered in
+  // the meantime keeps precedence.
+  active_.try_emplace(to, conn);
+  return conn;
+}
+
+void TcpTransport::retransmit_loop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mutex_);
+      stop_cv_.wait_for(
+          lock, std::chrono::microseconds(config_.retransmit_interval_micros),
+          [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    struct Item {
+      PartyId to;
+      Bytes frame;
+      int copies;
+    };
+    std::vector<Item> items;
+    std::vector<PartyId> failed;
+    DeliveryFailureHandler failure_handler;
+    bool alive;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      alive = alive_;
+      for (auto it = outgoing_.begin(); it != outgoing_.end();) {
+        auto& [key, out] = *it;
+        if (out.attempts >= config_.max_retransmits) {
+          B2B_WARN("tcp: giving up on ", self_, " -> ", key.first, " seq ",
+                   key.second);
+          failed.push_back(key.first);
+          it = outgoing_.erase(it);
+          continue;
+        }
+        ++out.attempts;
+        ++stats_.retransmissions;
+        items.push_back({key.first, encode_data(key.second, out.payload),
+                         alive ? sample_faults_locked() : 0});
+        ++it;
+      }
+      if (!failed.empty()) failure_handler = failure_handler_;
+    }
+    if (alive) {
+      std::unordered_map<PartyId, ConnPtr> conns;
+      for (auto& item : items) {
+        auto [it, inserted] = conns.try_emplace(item.to, nullptr);
+        if (inserted) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto active = active_.find(item.to);
+            if (active != active_.end()) it->second = active->second;
+          }
+          if (!it->second) it->second = dial(item.to);
+        }
+        if (!it->second) continue;
+        for (int i = 0; i < item.copies; ++i) {
+          if (!write_frame(it->second, item.frame)) {
+            it->second = nullptr;
+            break;
+          }
+        }
+      }
+    }
+    // Outside mutex_: the callback re-enters the coordinator, which may
+    // call back into the transport (lock-order inversion otherwise).
+    if (failure_handler) {
+      for (const auto& to : failed) failure_handler(to);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TcpRuntime
+// ---------------------------------------------------------------------------
+
+TcpRuntime::TcpRuntime(const Options& options)
+    : options_(options),
+      directory_(options.directory ? options.directory
+                                   : std::make_shared<PeerDirectory>()),
+      executor_([this] { return quiescent(); }, options.executor) {}
+
+TcpRuntime::~TcpRuntime() {
+  // Stop barrier, as ThreadedRuntime: join the timer thread BEFORE any
+  // transport shuts down, so an in-flight schedule_after callback cannot
+  // race transport teardown.
+  clock_.shutdown();
+  for (auto& transport : transports_) transport->shutdown();
+}
+
+Transport& TcpRuntime::add_party(const PartyId& id) {
+  std::string host = options_.default_host;
+  std::uint16_t port = 0;
+  if (auto address = directory_->lookup(id)) {
+    host = address->host;
+    port = address->port;
+  }
+  TcpTransport::Config config = options_.transport;
+  config.faults = options_.faults;
+  config.fault_seed =
+      options_.seed ^ (0x7463'7000ULL + std::hash<std::string>{}(id.str()));
+  transports_.push_back(
+      std::make_unique<TcpTransport>(id, host, port, directory_, config));
+  // Write the bound port back (resolves port 0) so later parties in the
+  // same directory can dial this one.
+  directory_->set(id, PeerAddress{host, transports_.back()->port()});
+  return *transports_.back();
+}
+
+TcpTransport* TcpRuntime::transport(const PartyId& id) {
+  for (auto& transport : transports_) {
+    if (transport->self() == id) return transport.get();
+  }
+  return nullptr;
+}
+
+void TcpRuntime::set_alive(const PartyId& id, bool alive) {
+  TcpTransport* found = transport(id);
+  if (found == nullptr) throw Error("tcp set_alive: unknown party " + id.str());
+  found->set_alive(alive);
+}
+
+TcpFabricStats TcpRuntime::fabric_stats() const {
+  TcpFabricStats total;
+  for (const auto& transport : transports_) {
+    TcpFabricStats one = transport->fabric_stats();
+    total.frames_dropped_injected += one.frames_dropped_injected;
+    total.frames_duplicated_injected += one.frames_duplicated_injected;
+  }
+  return total;
+}
+
+bool TcpRuntime::quiescent() const {
+  for (const auto& transport : transports_) {
+    if (!transport->quiescent()) return false;
+  }
+  return true;
+}
+
+}  // namespace b2b::net

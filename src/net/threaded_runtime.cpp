@@ -150,6 +150,7 @@ void ThreadedTransport::send(const PartyId& to, Bytes payload) {
     frame = encode_frame(kData, seq, payload);
     outgoing_[{to, seq}] = Outgoing{std::move(payload), 1};
     ++stats_.app_sent;
+    stats_.bytes_sent += frame.size();
   }
   network_.deliver(self_, to, frame);
 }
@@ -221,6 +222,10 @@ void ThreadedTransport::receive_loop() {
 }
 
 void ThreadedTransport::process_frame(const PartyId& from, const Bytes& frame) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.bytes_received += frame.size();
+  }
   std::uint8_t type;
   std::uint64_t seq;
   Bytes payload;
@@ -244,9 +249,11 @@ void ThreadedTransport::process_frame(const PartyId& from, const Bytes& frame) {
   // DATA: always acknowledge, deliver only the first copy.
   Handler handler;
   bool deliver = false;
+  Bytes ack = encode_frame(kAck, seq, {});
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.acks_sent;
+    stats_.bytes_sent += ack.size();
     if (delivered_[from].mark(seq)) {
       deliver = true;
       ++stats_.app_delivered;
@@ -255,7 +262,7 @@ void ThreadedTransport::process_frame(const PartyId& from, const Bytes& frame) {
       ++stats_.duplicates_suppressed;
     }
   }
-  network_.deliver(self_, from, encode_frame(kAck, seq, {}));
+  network_.deliver(self_, from, ack);
   // Invoke the handler outside the transport lock: it re-enters the
   // transport (replies) and takes the coordinator lock, so holding our
   // mutex here would invert the coordinator->transport lock order.
@@ -289,6 +296,7 @@ void ThreadedTransport::retransmit_loop() {
         ++stats_.retransmissions;
         frames.emplace_back(key.first,
                             encode_frame(kData, key.second, out.payload));
+        stats_.bytes_sent += frames.back().second.size();
         ++it;
       }
       if (!failed.empty()) failure_handler = failure_handler_;

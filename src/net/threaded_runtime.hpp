@@ -242,6 +242,17 @@ class ThreadedRuntime final : public Runtime {
         transport_config_(options.transport),
         executor_([this] { return quiescent(); }, options.executor) {}
 
+  /// Explicit stop barrier. The timer thread is joined FIRST: a
+  /// schedule_after callback in flight may call into a transport (a
+  /// coordinator probing a run, say), so transports must not start dying
+  /// until no such callback can still be running. Member destruction
+  /// order alone ran that race the other way (transports_ is declared
+  /// after clock_, hence destroyed before it).
+  ~ThreadedRuntime() override {
+    clock_.shutdown();
+    for (auto& transport : transports_) transport->shutdown();
+  }
+
   Transport& add_party(const PartyId& id) override {
     transports_.push_back(std::make_unique<ThreadedTransport>(
         network_, id, transport_config_));
@@ -267,8 +278,9 @@ class ThreadedRuntime final : public Runtime {
   ThreadedNetwork network_;
   SystemClock clock_;
   ThreadedTransport::Config transport_config_;
-  // Declared after clock_/network_ (destroyed before them): receiver and
-  // retransmit threads stop while the fabric they use is still alive.
+  // Stopped explicitly by the destructor above, after the timer thread;
+  // declared after network_ so receiver/retransmit threads die while the
+  // fabric they use is still alive.
   std::vector<std::unique_ptr<ThreadedTransport>> transports_;
   ThreadedExecutor executor_;
 };

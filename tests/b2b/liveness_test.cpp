@@ -55,7 +55,8 @@ INSTANTIATE_TEST_SUITE_P(
                           std::make_tuple(0.1, 2ull),
                           std::make_tuple(0.3, 3ull),
                           std::make_tuple(0.5, 4ull)),
-        ::testing::Values(RuntimeKind::kSim, RuntimeKind::kThreaded)),
+        ::testing::Values(RuntimeKind::kSim, RuntimeKind::kThreaded,
+                          RuntimeKind::kTcp)),
     [](const ::testing::TestParamInfo<
         std::tuple<std::tuple<double, std::uint64_t>, RuntimeKind>>& info) {
       int percent =

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "crypto/sha256.hpp"
 #include "net/reliable.hpp"
+#include "tests/support/runtime_param.hpp"
 #include "tests/support/test_objects.hpp"
 #include "wire/codec.hpp"
 
@@ -23,14 +24,17 @@ using test::TestRegister;
 const ObjectId kObj{"doc"};
 
 /// Three organisations; alpha and beta share the object, gamma starts
-/// outside the group.
+/// outside the group. Registers are declared before (destroyed after) the
+/// federation so the runtime's delivery threads stop before the objects
+/// they write into die.
 struct ConnectFixture {
-  Federation fed{{"alpha", "beta", "gamma"}};
   TestRegister alpha_obj;
   TestRegister beta_obj;
   TestRegister gamma_obj;
+  Federation fed;
 
-  ConnectFixture() {
+  explicit ConnectFixture(RuntimeKind kind = RuntimeKind::kSim)
+      : fed({"alpha", "beta", "gamma"}, test::runtime_options(kind)) {
     fed.register_object("alpha", kObj, alpha_obj);
     fed.register_object("beta", kObj, beta_obj);
     fed.register_object("gamma", kObj, gamma_obj);
@@ -38,16 +42,21 @@ struct ConnectFixture {
   }
 };
 
-TEST(Membership, SponsorIsMostRecentlyJoinedMember) {
-  ConnectFixture t;
+/// The §4.5 protocol family runs over every runtime substrate; tests that
+/// need deterministic scheduling or simulator-only instruments (forged
+/// frames via endpoint()) stay plain sim-only TESTs below.
+class MembershipRuntimes : public test::RuntimeParamTest {};
+
+TEST_P(MembershipRuntimes, SponsorIsMostRecentlyJoinedMember) {
+  ConnectFixture t(GetParam());
   EXPECT_EQ(t.fed.coordinator("alpha").replica(kObj).connect_sponsor(),
             PartyId{"beta"});
   EXPECT_EQ(t.fed.coordinator("beta").replica(kObj).connect_sponsor(),
             PartyId{"beta"});
 }
 
-TEST(Membership, ConnectViaSponsorAdmitsSubject) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, ConnectViaSponsorAdmitsSubject) {
+  ConnectFixture t(GetParam());
   // beta is the sponsor (most recently joined of the genesis order).
   RunHandle h =
       t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
@@ -69,8 +78,8 @@ TEST(Membership, ConnectViaSponsorAdmitsSubject) {
             t.fed.coordinator("gamma").replica(kObj).group_tuple());
 }
 
-TEST(Membership, ConnectViaNonSponsorIsRelayed) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, ConnectViaNonSponsorIsRelayed) {
+  ConnectFixture t(GetParam());
   // gamma contacts alpha, which is not the sponsor; alpha must relay.
   RunHandle h =
       t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"alpha"});
@@ -80,8 +89,8 @@ TEST(Membership, ConnectViaNonSponsorIsRelayed) {
   EXPECT_EQ(t.fed.coordinator("alpha").replica(kObj).members().size(), 3u);
 }
 
-TEST(Membership, NewMemberBecomesNextSponsor) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, NewMemberBecomesNextSponsor) {
+  ConnectFixture t(GetParam());
   RunHandle h =
       t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
   ASSERT_TRUE(t.fed.run_until_done(h));
@@ -93,8 +102,8 @@ TEST(Membership, NewMemberBecomesNextSponsor) {
   }
 }
 
-TEST(Membership, NewMemberCanProposeStateChanges) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, NewMemberCanProposeStateChanges) {
+  ConnectFixture t(GetParam());
   RunHandle h =
       t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
   ASSERT_TRUE(t.fed.run_until_done(h));
@@ -159,15 +168,15 @@ TEST(Membership, SponsorImmediateRejectionLooksIdentical) {
   EXPECT_EQ(fed.coordinator("alpha").replica(kObj).members().size(), 2u);
 }
 
-TEST(Membership, AlreadyConnectedPartyCannotConnect) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, AlreadyConnectedPartyCannotConnect) {
+  ConnectFixture t(GetParam());
   RunHandle h =
       t.fed.coordinator("alpha").propagate_connect(kObj, PartyId{"beta"});
   EXPECT_EQ(h->outcome, RunResult::Outcome::kAborted);
 }
 
-TEST(Membership, VoluntaryDisconnectShrinksGroup) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, VoluntaryDisconnectShrinksGroup) {
+  ConnectFixture t(GetParam());
   RunHandle h =
       t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
   ASSERT_TRUE(t.fed.run_until_done(h));
@@ -192,8 +201,8 @@ TEST(Membership, VoluntaryDisconnectShrinksGroup) {
   EXPECT_EQ(sh->outcome, RunResult::Outcome::kAgreed);
 }
 
-TEST(Membership, DisconnectOfMostRecentMemberUsesPredecessorSponsor) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, DisconnectOfMostRecentMemberUsesPredecessorSponsor) {
+  ConnectFixture t(GetParam());
   // beta is the most recently joined genesis member; its departure must be
   // sponsored by alpha (§4.5.1).
   EXPECT_EQ(
@@ -217,8 +226,8 @@ TEST(Membership, SoleMemberDisconnectsLocally) {
   EXPECT_FALSE(fed.coordinator("solo").replica(kObj).connected());
 }
 
-TEST(Membership, DepartedMemberCanReconnect) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, DepartedMemberCanReconnect) {
+  ConnectFixture t(GetParam());
   RunHandle h =
       t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
   ASSERT_TRUE(t.fed.run_until_done(h));
@@ -238,8 +247,8 @@ TEST(Membership, DepartedMemberCanReconnect) {
   EXPECT_EQ(t.fed.coordinator("beta").replica(kObj).members(), expected);
 }
 
-TEST(Membership, SponsorInitiatedEvictionSkipsRequestStep) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, SponsorInitiatedEvictionSkipsRequestStep) {
+  ConnectFixture t(GetParam());
   // beta (sponsor) evicts alpha directly.
   RunHandle h =
       t.fed.coordinator("beta").propagate_eviction(kObj, {PartyId{"alpha"}});
@@ -253,8 +262,8 @@ TEST(Membership, SponsorInitiatedEvictionSkipsRequestStep) {
   EXPECT_EQ(t.fed.coordinator("alpha").replica(kObj).members().size(), 2u);
 }
 
-TEST(Membership, EvictedPartysProposalsAreRejected) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, EvictedPartysProposalsAreRejected) {
+  ConnectFixture t(GetParam());
   RunHandle h =
       t.fed.coordinator("beta").propagate_eviction(kObj, {PartyId{"alpha"}});
   ASSERT_TRUE(t.fed.run_until_done(h));
@@ -271,8 +280,8 @@ TEST(Membership, EvictedPartysProposalsAreRejected) {
   EXPECT_EQ(t.alpha_obj.value, bytes_of("genesis"));  // rolled back
 }
 
-TEST(Membership, RelayedEvictionReportsOutcomeToProposer) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, RelayedEvictionReportsOutcomeToProposer) {
+  ConnectFixture t(GetParam());
   RunHandle h =
       t.fed.coordinator("gamma").propagate_connect(kObj, PartyId{"beta"});
   ASSERT_TRUE(t.fed.run_until_done(h));
@@ -333,8 +342,8 @@ TEST(Membership, SubsetEvictionRemovesSeveralAtOnce) {
   EXPECT_EQ(fed.coordinator("d").replica(kObj).members(), expected);
 }
 
-TEST(Membership, CannotEvictSelfOrNonMembers) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, CannotEvictSelfOrNonMembers) {
+  ConnectFixture t(GetParam());
   RunHandle self_evict =
       t.fed.coordinator("beta").propagate_eviction(kObj, {PartyId{"beta"}});
   EXPECT_EQ(self_evict->outcome, RunResult::Outcome::kAborted);
@@ -343,8 +352,8 @@ TEST(Membership, CannotEvictSelfOrNonMembers) {
   EXPECT_EQ(stranger->outcome, RunResult::Outcome::kAborted);
 }
 
-TEST(Membership, GroupSequenceAdvancesWithMembershipChanges) {
-  ConnectFixture t;
+TEST_P(MembershipRuntimes, GroupSequenceAdvancesWithMembershipChanges) {
+  ConnectFixture t(GetParam());
   std::uint64_t before =
       t.fed.coordinator("alpha").replica(kObj).group_tuple().sequence;
   RunHandle h =
@@ -390,6 +399,8 @@ TEST(Membership, ConnectDuringActiveStateRunIsRejected) {
             t.fed.coordinator("beta").replica(kObj).agreed_tuple());
   EXPECT_EQ(t.alpha_obj.value, t.beta_obj.value);
 }
+
+B2B_INSTANTIATE_RUNTIME_SUITE(MembershipRuntimes);
 
 // --- bounded sponsor-side memory (BoundedNonceSet) ----------------------------
 

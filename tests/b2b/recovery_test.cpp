@@ -97,7 +97,7 @@ Federation::Options journaled_options(const std::string& tag,
                                       RuntimeKind kind, std::uint64_t seed) {
   Federation::Options options = test::runtime_options(kind, seed);
   options.journal_root = fresh_journal_root(tag);
-  if (kind == RuntimeKind::kThreaded) {
+  if (kind != RuntimeKind::kSim) {
     // Real-time probe cadence: keep the worst case (probe-driven
     // recovery) well inside the test budget.
     options.run_probe_interval_micros = 200'000;
@@ -794,15 +794,18 @@ TEST(CrashCampaignCombined, EvictionTargetsTheCrashedSponsor) {
   fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
 }
 
-// --- representative crashes on real threads ---------------------------------
+// --- representative crashes on real threads and real sockets ----------------
 
-/// One campaign case on the threaded runtime: handles (atomics) are
-/// awaited instead of polling replica state from the test thread, and
-/// convergence is asserted only after settle()'s synchronisation.
-void run_threaded_case(const std::string& point, const std::string& crasher) {
-  const std::string tag = sanitized(point) + "_" + crasher + "_threaded";
+/// One campaign case on a real-time runtime (threaded or tcp): handles
+/// (atomics) are awaited instead of polling replica state from the test
+/// thread, and convergence is asserted only after settle()'s
+/// synchronisation.
+void run_realtime_case(const std::string& point, const std::string& crasher,
+                       RuntimeKind kind) {
+  const std::string tag = sanitized(point) + "_" + crasher + "_" +
+                          test::runtime_suffix(kind);
   {
-    Parties p(tag, RuntimeKind::kThreaded, /*seed=*/5);
+    Parties p(tag, kind, /*seed=*/5);
     p.warm_up();
 
     p.fed.coordinator(crasher).arm_crash_point(point);
@@ -841,22 +844,31 @@ void run_threaded_case(const std::string& point, const std::string& crasher) {
 }
 
 TEST(CrashCampaignThreaded, ProposerCrashAfterDecideJournaled) {
-  run_threaded_case("decide.journaled", "alpha");
+  run_realtime_case("decide.journaled", "alpha", RuntimeKind::kThreaded);
 }
 
 TEST(CrashCampaignThreaded, ResponderCrashAfterRespondJournaled) {
-  run_threaded_case("respond.journaled", "beta");
+  run_realtime_case("respond.journaled", "beta", RuntimeKind::kThreaded);
 }
 
-/// A membership campaign case on real threads. As with run_threaded_case,
-/// only handle atomics are awaited from the test thread; replica state is
-/// inspected after settle().
-void run_threaded_membership_case(const std::string& point,
-                                  const std::string& crasher) {
-  const std::string tag =
-      "m_" + sanitized(point) + "_" + crasher + "_threaded";
+TEST(CrashCampaignTcp, ProposerCrashAfterDecideJournaled) {
+  run_realtime_case("decide.journaled", "alpha", RuntimeKind::kTcp);
+}
+
+TEST(CrashCampaignTcp, ResponderCrashAfterRespondJournaled) {
+  run_realtime_case("respond.journaled", "beta", RuntimeKind::kTcp);
+}
+
+/// A membership campaign case on a real-time runtime. As with
+/// run_realtime_case, only handle atomics are awaited from the test
+/// thread; replica state is inspected after settle().
+void run_realtime_membership_case(const std::string& point,
+                                  const std::string& crasher,
+                                  RuntimeKind kind) {
+  const std::string tag = "m_" + sanitized(point) + "_" + crasher + "_" +
+                          test::runtime_suffix(kind);
   {
-    MemberParties p(tag, RuntimeKind::kThreaded, /*seed=*/5);
+    MemberParties p(tag, kind, /*seed=*/5);
     p.warm_up();
 
     p.fed.coordinator(crasher).arm_crash_point(point);
@@ -895,11 +907,23 @@ void run_threaded_membership_case(const std::string& point,
 }
 
 TEST(CrashCampaignThreaded, SponsorCrashAfterMembershipDecideJournaled) {
-  run_threaded_membership_case("m-decide.journaled", "gamma");
+  run_realtime_membership_case("m-decide.journaled", "gamma",
+                               RuntimeKind::kThreaded);
 }
 
 TEST(CrashCampaignThreaded, RecipientCrashAfterMembershipRespondJournaled) {
-  run_threaded_membership_case("m-respond.journaled", "beta");
+  run_realtime_membership_case("m-respond.journaled", "beta",
+                               RuntimeKind::kThreaded);
+}
+
+TEST(CrashCampaignTcp, SponsorCrashAfterMembershipDecideJournaled) {
+  run_realtime_membership_case("m-decide.journaled", "gamma",
+                               RuntimeKind::kTcp);
+}
+
+TEST(CrashCampaignTcp, RecipientCrashAfterMembershipRespondJournaled) {
+  run_realtime_membership_case("m-respond.journaled", "beta",
+                               RuntimeKind::kTcp);
 }
 
 // --- delivery failure -> suspicion ------------------------------------------

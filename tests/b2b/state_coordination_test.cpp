@@ -276,7 +276,8 @@ INSTANTIATE_TEST_SUITE_P(
     GroupSizes, MultiPartyTest,
     ::testing::Combine(::testing::Values(2, 3, 5, 8),
                        ::testing::Values(RuntimeKind::kSim,
-                                         RuntimeKind::kThreaded)),
+                                         RuntimeKind::kThreaded,
+                                         RuntimeKind::kTcp)),
     [](const ::testing::TestParamInfo<std::tuple<std::size_t, RuntimeKind>>&
            info) {
       return "N" + std::to_string(std::get<0>(info.param)) +

@@ -167,6 +167,27 @@ TEST(ThreadedTransportTest, QuiescenceReflectsOutstandingTraffic) {
   EXPECT_EQ(a.unacked(), 0u);
 }
 
+TEST(ThreadedRuntimeTest, TimerInFlightCannotRaceBundleTeardown) {
+  // Regression: ThreadedRuntime used to rely on member destruction order
+  // to stop its workers, which tore transports down BEFORE joining the
+  // SystemClock timer thread — so a schedule_after callback in flight
+  // could call into a destroyed transport. The explicit destructor now
+  // joins the timer first. Sweep the delay so some callbacks land exactly
+  // inside the teardown window; under TSan a surviving race is a failure.
+  for (int i = 0; i < 50; ++i) {
+    ThreadedRuntime::Options options;
+    auto runtime = std::make_unique<ThreadedRuntime>(options);
+    Transport& a = runtime->add_party(PartyId{"a"});
+    a.set_handler([](const PartyId&, const Bytes&) {});
+    runtime->add_party(PartyId{"b"})
+        .set_handler([](const PartyId&, const Bytes&) {});
+    runtime->clock().schedule_after(
+        static_cast<std::uint64_t>(i % 10) * 50,
+        [&a] { a.send(PartyId{"b"}, Bytes{1}); });
+    runtime.reset();  // destruction races the in-flight timer
+  }
+}
+
 TEST(ThreadedTransportTest, ExecutorSettlesOnQuiescence) {
   ThreadedFaults faults;
   faults.drop_probability = 0.3;

@@ -1,10 +1,11 @@
-// Support for running protocol suites over both runtimes.
+// Support for running protocol suites over all three runtimes.
 //
 // A suite derives its fixture from RuntimeParamTest and instantiates with
 // B2B_INSTANTIATE_RUNTIME_SUITE: every TEST_P then runs once on the
-// deterministic simulator and once on real threads, proving the protocol
-// layer depends only on the abstract runtime seam (eventual once-only
-// delivery), not on the discrete-event substrate.
+// deterministic simulator, once on real threads over the in-process
+// fabric, and once over real TCP sockets on localhost, proving the
+// protocol layer depends only on the abstract runtime seam (eventual
+// once-only delivery), not on the discrete-event substrate.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -33,9 +34,12 @@ inline core::Federation::Options runtime_options(core::RuntimeKind kind,
       options.faults.max_delay_micros = 20'000;
       options.reliable.retransmit_interval_micros = 40'000;
     }
-  } else {
+  } else if (kind == core::RuntimeKind::kThreaded) {
     options.threaded_faults.drop_probability = drop;
     options.threaded_faults.duplicate_probability = dup;
+  } else {
+    options.tcp_faults.drop_probability = drop;
+    options.tcp_faults.duplicate_probability = dup;
   }
   return options;
 }
@@ -51,8 +55,12 @@ inline FabricStats fabric_stats(core::Federation& fed) {
     const auto& stats = fed.network().stats();
     return {stats.datagrams_dropped, stats.datagrams_duplicated};
   }
-  const auto stats = fed.threaded_network().stats();
-  return {stats.datagrams_dropped, stats.datagrams_duplicated};
+  if (fed.runtime() == core::RuntimeKind::kThreaded) {
+    const auto stats = fed.threaded_network().stats();
+    return {stats.datagrams_dropped, stats.datagrams_duplicated};
+  }
+  const auto stats = fed.tcp_runtime().fabric_stats();
+  return {stats.frames_dropped_injected, stats.frames_duplicated_injected};
 }
 
 /// Base fixture for suites instantiated over both runtimes.
@@ -65,7 +73,15 @@ class RuntimeParamTest : public ::testing::TestWithParam<core::RuntimeKind> {
 };
 
 inline std::string runtime_suffix(core::RuntimeKind kind) {
-  return kind == core::RuntimeKind::kSim ? "Sim" : "Threaded";
+  switch (kind) {
+    case core::RuntimeKind::kSim:
+      return "Sim";
+    case core::RuntimeKind::kThreaded:
+      return "Threaded";
+    case core::RuntimeKind::kTcp:
+      return "Tcp";
+  }
+  return "Unknown";
 }
 
 }  // namespace b2b::test
@@ -74,7 +90,8 @@ inline std::string runtime_suffix(core::RuntimeKind kind) {
   INSTANTIATE_TEST_SUITE_P(                                              \
       Runtimes, suite,                                                   \
       ::testing::Values(b2b::core::RuntimeKind::kSim,                    \
-                        b2b::core::RuntimeKind::kThreaded),              \
+                        b2b::core::RuntimeKind::kThreaded,               \
+                        b2b::core::RuntimeKind::kTcp),                   \
       [](const ::testing::TestParamInfo<b2b::core::RuntimeKind>& info) { \
         return b2b::test::runtime_suffix(info.param);                    \
       })
