@@ -227,6 +227,9 @@ int main(int argc, char** argv) {
   }
   config.run_probe_interval_micros = 200'000;
   config.max_run_probes = 100;
+  // Real deployment: per-object dispatch lanes, so a slow run on one
+  // shared object never delays another object's runs.
+  config.shard_lanes = true;
   core::Coordinator coordinator(config, transport, clock, nullptr);
   for (std::size_t i = 0; i < roster.size(); ++i) {
     if (roster[i] == self) continue;

@@ -1,6 +1,7 @@
 #include "b2b/coordinator.hpp"
 
 #include <algorithm>
+#include <vector>
 
 #include "b2b/recovery.hpp"
 #include "b2b/termination.hpp"
@@ -9,6 +10,65 @@
 #include "wire/codec.hpp"
 
 namespace b2b::core {
+
+// ---------------------------------------------------------------------------
+// ShardLane
+// ---------------------------------------------------------------------------
+
+Coordinator::ShardLane::ShardLane() {
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+Coordinator::ShardLane::~ShardLane() { stop(); }
+
+void Coordinator::ShardLane::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_all();
+}
+
+bool Coordinator::ShardLane::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty() && !running_;
+}
+
+void Coordinator::ShardLane::wait_idle() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [this] { return (queue_.empty() && !running_) || stopping_; });
+}
+
+void Coordinator::ShardLane::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    queue_.clear();  // the coordinator is dying; queued work is discarded
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void Coordinator::ShardLane::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    running_ = true;
+    lock.unlock();
+    task();
+    lock.lock();
+    running_ = false;
+    if (queue_.empty()) cv_.notify_all();  // wake wait_idle / quiescence
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+// ---------------------------------------------------------------------------
 
 Coordinator::Coordinator(Config config, net::Transport& transport,
                          net::Clock& clock,
@@ -22,6 +82,9 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
       transport_(transport),
       clock_(clock),
       tss_(tss),
+      lock_mode_(config.lock_mode),
+      shard_lanes_(config.shard_lanes &&
+                   config.lock_mode == LockMode::kPerObject),
       sponsor_policy_(config.sponsor_policy),
       decision_rule_(config.decision_rule),
       run_probe_interval_micros_(config.run_probe_interval_micros),
@@ -46,6 +109,8 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
     replay_journal();
     // Mirror checkpoints and protocol messages into the journal from here
     // on. Set *after* replay so replayed puts/adds are not re-journaled.
+    // The observers fire under the store's internal lock; the nested
+    // journal lock is the innermost in the documented order.
     checkpoints_.set_observer(
         [this](const ObjectId& object, const store::Checkpoint& checkpoint) {
           wire::Encoder enc;
@@ -54,6 +119,7 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
               .blob(checkpoint.tuple)
               .blob(checkpoint.state)
               .u64(checkpoint.time_micros);
+          std::lock_guard<std::mutex> lock(journal_mutex_);
           journal_->append(walrec::kCheckpoint, std::move(enc).take());
         });
     messages_.set_observer(
@@ -65,9 +131,11 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
               .str(message.kind)
               .str(message.peer)
               .blob(message.payload);
+          std::lock_guard<std::mutex> lock(journal_mutex_);
           journal_->append(walrec::kMessage, std::move(enc).take());
         });
   }
+  locked_rng_ = std::make_unique<LockedRng>(*rng_);
   known_keys_.emplace(self_, key_.public_key());
   transport_.set_handler([this](const PartyId& from, const Bytes& payload) {
     on_message(from, payload);
@@ -81,42 +149,129 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
 }
 
 Coordinator::~Coordinator() {
-  // Block until any in-flight timer / delivery-failure callback drains,
-  // then make all future ones no-ops.
-  std::lock_guard<std::mutex> guard(anchor_->mutex);
-  anchor_->coordinator = nullptr;
+  {
+    // Block until any in-flight timer / delivery-failure callback drains,
+    // then make all future ones no-ops.
+    std::lock_guard<std::mutex> guard(anchor_->mutex);
+    anchor_->coordinator = nullptr;
+  }
+  // With the anchor cleared no timer can post new lane work; stop every
+  // lane (joining its worker, discarding queued tasks) while all members
+  // are still alive for any task caught mid-dispatch.
+  stop_lanes();
 }
+
+void Coordinator::stop_lanes() {
+  std::vector<ObjectShard*> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard_map_mutex_);
+    shards.reserve(shards_.size());
+    for (const auto& [object, shard] : shards_) shards.push_back(shard.get());
+  }
+  for (ObjectShard* shard : shards) {
+    if (shard->lane) shard->lane->stop();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+Coordinator::ObjectShard* Coordinator::find_shard(
+    const ObjectId& object) const {
+  stat_lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(shard_map_mutex_);
+  auto it = shards_.find(object);
+  return it == shards_.end() ? nullptr : it->second.get();
+}
+
+Coordinator::ObjectShard& Coordinator::find_shard_or_throw(
+    const ObjectId& object) const {
+  ObjectShard* shard = find_shard(object);
+  if (shard == nullptr) {
+    throw Error("unknown object: " + object.str());
+  }
+  return *shard;
+}
+
+void Coordinator::exec_on_shard(ObjectShard& shard,
+                                const std::function<void()>& fn) {
+  std::lock_guard<std::recursive_mutex> lock(*shard.mutex);
+  if (crashed_.load(std::memory_order_acquire)) return;
+  try {
+    fn();
+  } catch (const SimulatedCrash& crash) {
+    B2B_DEBUG(self_, ": simulated crash at ", crash.point);
+    crashed_.store(true, std::memory_order_release);
+  }
+}
+
+void Coordinator::run_on_shard(ObjectShard& shard, std::function<void()> fn) {
+  if (shard.lane) {
+    shard.lane_posts.fetch_add(1, std::memory_order_relaxed);
+    stat_lane_posts_.fetch_add(1, std::memory_order_relaxed);
+    shard.lane->post(
+        [this, &shard, fn = std::move(fn)] { exec_on_shard(shard, fn); });
+  } else {
+    exec_on_shard(shard, fn);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Certificates
+// ---------------------------------------------------------------------------
 
 void Coordinator::add_known_party(const PartyId& party,
                                   crypto::RsaPublicKey key) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(global_mutex_);
   auto it = known_keys_.find(party);
-  if (journal_ &&
-      (it == known_keys_.end() || it->second.encode() != key.encode())) {
+  if (it != known_keys_.end() && it->second.encode() == key.encode()) {
+    // Re-learning an identical key is a no-op (no journal record, no
+    // reassignment) so pointers handed out by key_of stay stable while
+    // other shards verify signatures. Genuinely changing a party's key
+    // requires quiescence.
+    return;
+  }
+  if (journal_) {
     wire::Encoder enc;
     enc.str(party.str()).blob(key.encode());
+    std::lock_guard<std::mutex> jlock(journal_mutex_);
     journal_->append(walrec::kPartyKey, std::move(enc).take());
   }
   known_keys_[party] = std::move(key);
 }
 
 const crypto::RsaPublicKey* Coordinator::key_of(const PartyId& party) const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(global_mutex_);
   auto it = known_keys_.find(party);
   return it == known_keys_.end() ? nullptr : &it->second;
 }
 
 std::map<PartyId, crypto::RsaPublicKey> Coordinator::key_directory() const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(global_mutex_);
   return known_keys_;
 }
 
+// ---------------------------------------------------------------------------
+// Objects
+// ---------------------------------------------------------------------------
+
 Replica& Coordinator::register_object(const ObjectId& object,
                                       B2BObject& impl) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (replicas_.contains(object)) {
+  // The exclusive shard-map lock is the only writer-side lock in the
+  // router; it also keeps message dispatch for the new object out until
+  // the shard is fully built (including recovery restoration).
+  std::unique_lock<std::shared_mutex> map_lock(shard_map_mutex_);
+  stat_map_exclusive_.fetch_add(1, std::memory_order_relaxed);
+  if (shards_.contains(object)) {
     throw Error("register_object: object already registered: " + object.str());
   }
+  auto shard = std::make_unique<ObjectShard>();
+  shard->id = object;
+  shard->mutex = lock_mode_ == LockMode::kCoarse ? &coarse_mutex_
+                                                 : &shard->own_mutex;
+  ObjectShard* shard_ptr = shard.get();
+
   Replica::Callbacks callbacks;
   callbacks.send = [this](const PartyId& to, const Envelope& envelope) {
     send(to, envelope);
@@ -132,26 +287,26 @@ Replica& Coordinator::register_object(const ObjectId& object,
     add_known_party(party, key);
   };
   callbacks.notify = [this](const CoordEvent& event) {
+    // Events from different shards are serialised with each other, as
+    // with the pre-shard single lock.
+    std::lock_guard<std::mutex> lock(observer_mutex_);
     if (observer_) observer_(event);
   };
-  callbacks.schedule = [this, anchor = anchor_](std::uint64_t delay,
-                                               std::function<void()> fn) {
+  callbacks.schedule = [this, anchor = anchor_, shard_ptr](
+                           std::uint64_t delay, std::function<void()> fn) {
     // Timers fire on the clock's thread: anchor-check (the coordinator
-    // may have been destroyed, e.g. by a crash-recovery test), then
-    // re-take the coordinator lock so deadline handlers are serialised
-    // with message dispatch. A simulated crash inside a timer marks the
-    // coordinator crashed, exactly like one inside a message handler.
-    clock_.schedule_after(delay, [anchor, fn = std::move(fn)] {
+    // may have been destroyed, e.g. by a crash-recovery test), then route
+    // to the owning shard — its lane when one exists (so a deadline
+    // handler blocked on one object cannot stall the shared clock
+    // thread), inline under the shard mutex otherwise. A simulated crash
+    // inside a timer marks the coordinator crashed, exactly like one
+    // inside a message handler.
+    clock_.schedule_after(delay, [anchor, shard_ptr, fn = std::move(fn)] {
       std::lock_guard<std::mutex> guard(anchor->mutex);
       Coordinator* coordinator = anchor->coordinator;
       if (coordinator == nullptr) return;
-      std::lock_guard<std::recursive_mutex> lock(coordinator->mutex_);
-      if (coordinator->crashed_) return;
-      try {
-        fn();
-      } catch (const SimulatedCrash&) {
-        coordinator->crashed_ = true;
-      }
+      shard_ptr->timer_fires.fetch_add(1, std::memory_order_relaxed);
+      coordinator->run_on_shard(*shard_ptr, fn);
     });
   };
   if (journal_) {
@@ -159,40 +314,55 @@ Replica& Coordinator::register_object(const ObjectId& object,
                                               const Bytes& payload) {
       wire::Encoder enc;
       enc.str(object.str()).raw(payload);
+      std::lock_guard<std::mutex> lock(journal_mutex_);
       journal_->append(type, std::move(enc).take());
     };
-    callbacks.journal_barrier = [this] { journal_->sync(); };
+    callbacks.journal_barrier = [this] {
+      std::lock_guard<std::mutex> lock(journal_mutex_);
+      journal_->sync();
+    };
     callbacks.crash_point = [this](const char* point) {
+      std::lock_guard<std::mutex> lock(global_mutex_);
       if (!armed_crash_point_.empty() && armed_crash_point_ == point) {
         throw SimulatedCrash{point};
       }
     };
   }
-  auto replica = std::make_unique<Replica>(self_, object, impl, key_, *rng_,
-                                           std::move(callbacks), checkpoints_,
-                                           messages_);
-  replica->set_sponsor_policy(sponsor_policy_);
-  replica->set_decision_rule(decision_rule_);
-  replica->set_run_probe(run_probe_interval_micros_, max_run_probes_);
-  Replica& ref = *replica;
-  replicas_.emplace(object, std::move(replica));
+  shard->replica = std::make_unique<Replica>(self_, object, impl, key_,
+                                             *locked_rng_, std::move(callbacks),
+                                             checkpoints_, messages_);
+  shard->replica->set_sponsor_policy(sponsor_policy_);
+  shard->replica->set_decision_rule(decision_rule_);
+  shard->replica->set_run_probe(run_probe_interval_micros_, max_run_probes_);
+  if (shard_lanes_) {
+    shard->lane = std::make_unique<ShardLane>();
+  }
+  Replica& ref = *shard->replica;
   if (auto it = recovered_.find(object); it != recovered_.end()) {
+    std::lock_guard<std::recursive_mutex> lock(*shard_ptr->mutex);
     ref.restore_recovered(it->second);
     recovered_.erase(it);
   }
+  shards_.emplace(object, std::move(shard));
   return ref;
 }
 
 std::vector<RunHandle> Coordinator::resume_recovered_runs() {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
   std::vector<RunHandle> handles;
-  if (crashed_) return handles;
-  for (auto& [object, replica] : replicas_) {
+  if (crashed_.load(std::memory_order_acquire)) return handles;
+  std::vector<ObjectShard*> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard_map_mutex_);
+    shards.reserve(shards_.size());
+    for (const auto& [object, shard] : shards_) shards.push_back(shard.get());
+  }
+  for (ObjectShard* shard : shards) {
+    std::lock_guard<std::recursive_mutex> lock(*shard->mutex);
     try {
-      std::vector<RunHandle> resumed = replica->resume_recovered_runs();
+      std::vector<RunHandle> resumed = shard->replica->resume_recovered_runs();
       handles.insert(handles.end(), resumed.begin(), resumed.end());
     } catch (const SimulatedCrash&) {
-      crashed_ = true;
+      crashed_.store(true, std::memory_order_release);
       break;
     }
   }
@@ -200,33 +370,28 @@ std::vector<RunHandle> Coordinator::resume_recovered_runs() {
 }
 
 Replica& Coordinator::replica(const ObjectId& object) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  auto it = replicas_.find(object);
-  if (it == replicas_.end()) {
-    throw Error("unknown object: " + object.str());
-  }
-  return *it->second;
+  // Read-only router lookup: shared map lock only, no shard contention.
+  return *find_shard_or_throw(object).replica;
 }
 
 const Replica& Coordinator::replica(const ObjectId& object) const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  auto it = replicas_.find(object);
-  if (it == replicas_.end()) {
-    throw Error("unknown object: " + object.str());
-  }
-  return *it->second;
+  return *find_shard_or_throw(object).replica;
 }
 
 bool Coordinator::has_object(const ObjectId& object) const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  return replicas_.contains(object);
+  return find_shard(object) != nullptr;
 }
 
 void Coordinator::enable_ttp_termination(const ObjectId& object,
                                          Replica::TtpConfig config) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  replica(object).enable_ttp_termination(std::move(config));
+  ObjectShard& shard = find_shard_or_throw(object);
+  std::lock_guard<std::recursive_mutex> lock(*shard.mutex);
+  shard.replica->enable_ttp_termination(std::move(config));
 }
+
+// ---------------------------------------------------------------------------
+// Propagation interface
+// ---------------------------------------------------------------------------
 
 RunHandle Coordinator::aborted_handle(std::string diagnostic) {
   auto handle = std::make_shared<RunResult>();
@@ -235,69 +400,59 @@ RunHandle Coordinator::aborted_handle(std::string diagnostic) {
   return handle;
 }
 
-RunHandle Coordinator::propagate_new_state(const ObjectId& object,
-                                           Bytes new_state) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (crashed_) return aborted_handle("coordinator crashed");
+RunHandle Coordinator::propagate_on_shard(
+    const ObjectId& object, const std::function<RunHandle(Replica&)>& fn) {
+  ObjectShard& shard = find_shard_or_throw(object);
+  std::lock_guard<std::recursive_mutex> lock(*shard.mutex);
+  if (crashed_.load(std::memory_order_acquire)) {
+    return aborted_handle("coordinator crashed");
+  }
   try {
-    return replica(object).propose_state(std::move(new_state));
+    return fn(*shard.replica);
   } catch (const SimulatedCrash& crash) {
-    crashed_ = true;
+    crashed_.store(true, std::memory_order_release);
     return aborted_handle(std::string("simulated crash at ") + crash.point);
   }
+}
+
+RunHandle Coordinator::propagate_new_state(const ObjectId& object,
+                                           Bytes new_state) {
+  return propagate_on_shard(object, [&](Replica& replica) {
+    return replica.propose_state(std::move(new_state));
+  });
 }
 
 RunHandle Coordinator::propagate_update(const ObjectId& object, Bytes update,
                                         Bytes new_state) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (crashed_) return aborted_handle("coordinator crashed");
-  try {
-    return replica(object).propose_update(std::move(update),
-                                          std::move(new_state));
-  } catch (const SimulatedCrash& crash) {
-    crashed_ = true;
-    return aborted_handle(std::string("simulated crash at ") + crash.point);
-  }
+  return propagate_on_shard(object, [&](Replica& replica) {
+    return replica.propose_update(std::move(update), std::move(new_state));
+  });
 }
 
 RunHandle Coordinator::propagate_connect(const ObjectId& object,
                                          const PartyId& via) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (crashed_) return aborted_handle("coordinator crashed");
-  try {
-    return replica(object).request_connect(via);
-  } catch (const SimulatedCrash& crash) {
-    crashed_ = true;
-    return aborted_handle(std::string("simulated crash at ") + crash.point);
-  }
+  return propagate_on_shard(
+      object, [&](Replica& replica) { return replica.request_connect(via); });
 }
 
 RunHandle Coordinator::propagate_disconnect(const ObjectId& object) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (crashed_) return aborted_handle("coordinator crashed");
-  try {
-    return replica(object).request_disconnect();
-  } catch (const SimulatedCrash& crash) {
-    crashed_ = true;
-    return aborted_handle(std::string("simulated crash at ") + crash.point);
-  }
+  return propagate_on_shard(
+      object, [&](Replica& replica) { return replica.request_disconnect(); });
 }
 
 RunHandle Coordinator::propagate_eviction(const ObjectId& object,
                                           std::vector<PartyId> subjects) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (crashed_) return aborted_handle("coordinator crashed");
-  try {
-    return replica(object).propose_eviction(std::move(subjects));
-  } catch (const SimulatedCrash& crash) {
-    crashed_ = true;
-    return aborted_handle(std::string("simulated crash at ") + crash.point);
-  }
+  return propagate_on_shard(object, [&](Replica& replica) {
+    return replica.propose_eviction(std::move(subjects));
+  });
 }
 
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
 void Coordinator::on_message(const PartyId& from, const Bytes& payload) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (crashed_) return;
+  if (crashed_.load(std::memory_order_acquire)) return;
   Envelope envelope;
   try {
     envelope = Envelope::decode(payload);
@@ -307,28 +462,34 @@ void Coordinator::on_message(const PartyId& from, const Bytes& payload) {
                     bytes_of("undecodable envelope from " + from.str()));
     return;
   }
-  auto it = replicas_.find(envelope.object);
-  if (it == replicas_.end()) {
+  ObjectShard* shard = find_shard(envelope.object);
+  if (shard == nullptr) {
     B2B_DEBUG(self_, ": message for unknown object ", envelope.object);
     return;
   }
-  try {
-    it->second->handle(from, envelope);
-  } catch (const SimulatedCrash& crash) {
-    B2B_DEBUG(self_, ": simulated crash at ", crash.point);
-    crashed_ = true;
-  }
+  stat_messages_routed_.fetch_add(1, std::memory_order_relaxed);
+  run_on_shard(*shard,
+               [this, shard, from, envelope = std::move(envelope)] {
+                 shard->messages_dispatched.fetch_add(
+                     1, std::memory_order_relaxed);
+                 shard->replica->handle(from, envelope);
+               });
 }
 
 void Coordinator::handle_delivery_failure(const PartyId& to) {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
-  if (crashed_) return;
-  if (!suspects_.insert(to).second) return;
+  if (crashed_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> lock(global_mutex_);
+    if (!suspects_.insert(to).second) return;
+  }
   record_evidence("peer.suspect", bytes_of(to.str()));
 }
 
 void Coordinator::record_evidence(const std::string& kind,
                                   const Bytes& payload) {
+  // Framing and the (RSA-heavy) trusted stamp happen outside every lock:
+  // shards stamp their evidence in parallel and only the chain append is
+  // serialised.
   wire::Encoder framed;
   framed.blob(payload);
   if (tss_ != nullptr) {
@@ -337,12 +498,17 @@ void Coordinator::record_evidence(const std::string& kind,
     framed.blob({});
   }
   Bytes framed_bytes = std::move(framed).take();
+  // One lock covers timestamping-by-clock, the journal append and the
+  // in-memory append, so the journaled order of kEvidence records equals
+  // the chain's append order (recovery rebuilds the identical chain).
+  std::lock_guard<std::mutex> lock(evidence_mutex_);
   const std::uint64_t now = clock_.now_micros();
   if (journal_) {
     // Journal-first: the evidence chain is rebuilt from these records in
     // append order, reproducing the identical hash chain after a crash.
     wire::Encoder enc;
     enc.str(kind).blob(framed_bytes).u64(now);
+    std::lock_guard<std::mutex> jlock(journal_mutex_);
     journal_->append(walrec::kEvidence, std::move(enc).take());
   }
   evidence_.append(kind, std::move(framed_bytes), now);
@@ -396,6 +562,9 @@ void Coordinator::replay_journal() {
       }
       default: {
         // Object-scoped replica record: first field is the object id.
+        // Each object's shard is rebuilt independently from its own
+        // record subsequence; register_object hands the result to the
+        // object's replica.
         ObjectId object{dec.str()};
         replay_object_record(record.type, recovered_[object], dec);
         break;
@@ -629,19 +798,77 @@ Coordinator::EvidencePayload Coordinator::decode_evidence_payload(
 
 void Coordinator::send(const PartyId& to, const Envelope& envelope) {
   Bytes encoded = envelope.encode();
-  ++protocol_stats_.envelopes_sent;
-  ++protocol_stats_.sent_by_type[envelope.type];
-  protocol_stats_.envelope_bytes_sent += encoded.size();
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++protocol_stats_.envelopes_sent;
+    ++protocol_stats_.sent_by_type[envelope.type];
+    protocol_stats_.envelope_bytes_sent += encoded.size();
+  }
   transport_.send(to, std::move(encoded));
 }
 
+// ---------------------------------------------------------------------------
+// Observation & synchronisation
+// ---------------------------------------------------------------------------
+
+Coordinator::RouterStats Coordinator::router_stats() const {
+  RouterStats stats;
+  stats.lookups = stat_lookups_.load(std::memory_order_relaxed);
+  stats.map_exclusive_locks = stat_map_exclusive_.load(std::memory_order_relaxed);
+  stats.messages_routed = stat_messages_routed_.load(std::memory_order_relaxed);
+  stats.lane_posts = stat_lane_posts_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+Coordinator::ShardStats Coordinator::shard_stats(const ObjectId& object) const {
+  const ObjectShard& shard = find_shard_or_throw(object);
+  ShardStats stats;
+  stats.messages_dispatched =
+      shard.messages_dispatched.load(std::memory_order_relaxed);
+  stats.timer_fires = shard.timer_fires.load(std::memory_order_relaxed);
+  stats.lane_posts = shard.lane_posts.load(std::memory_order_relaxed);
+  return stats;
+}
+
 std::uint64_t Coordinator::violations_detected() const {
-  std::lock_guard<std::recursive_mutex> lock(mutex_);
+  std::vector<ObjectShard*> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard_map_mutex_);
+    shards.reserve(shards_.size());
+    for (const auto& [object, shard] : shards_) shards.push_back(shard.get());
+  }
   std::uint64_t total = 0;
-  for (const auto& [object, replica] : replicas_) {
-    total += replica->violations_detected();
+  for (ObjectShard* shard : shards) {
+    std::lock_guard<std::recursive_mutex> lock(*shard->mutex);
+    total += shard->replica->violations_detected();
   }
   return total;
+}
+
+bool Coordinator::lanes_idle() const {
+  std::shared_lock<std::shared_mutex> lock(shard_map_mutex_);
+  for (const auto& [object, shard] : shards_) {
+    if (shard->lane && !shard->lane->idle()) return false;
+  }
+  return true;
+}
+
+void Coordinator::synchronize() const {
+  std::vector<ObjectShard*> shards;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard_map_mutex_);
+    shards.reserve(shards_.size());
+    for (const auto& [object, shard] : shards_) shards.push_back(shard.get());
+  }
+  for (ObjectShard* shard : shards) {
+    if (shard->lane) shard->lane->wait_idle();
+  }
+  for (ObjectShard* shard : shards) {
+    std::lock_guard<std::recursive_mutex> lock(*shard->mutex);
+  }
+  { std::lock_guard<std::mutex> lock(global_mutex_); }
+  { std::lock_guard<std::mutex> lock(evidence_mutex_); }
+  { std::lock_guard<std::mutex> lock(stats_mutex_); }
 }
 
 }  // namespace b2b::core

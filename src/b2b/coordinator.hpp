@@ -8,23 +8,42 @@
 // B2BCoordinatorLocal propagation interface: they insulate the application
 // (the Controller) from protocol-specific detail.
 //
+// Concurrency architecture (DESIGN.md §9): the coordinator is sharded by
+// ObjectId. Each registered object lives in an ObjectShard that owns the
+// replica, a per-shard mutex serialising everything that touches that
+// replica (message dispatch, propagate_*, timers), and — when lanes are
+// enabled on the real-thread runtimes — a dedicated dispatch thread
+// (strand), so a slow or stalled run on one object never delays another
+// object's runs. A thin router (a shared_mutex-guarded map) dispatches
+// inbound protocol messages to the owning shard; read-only lookups on
+// distinct objects never contend. A small global section remains for
+// membership-wide state: the certificate directory and suspect set
+// (global_mutex_), the hash-chained evidence log (evidence_mutex_, which
+// also fixes the journal-append order of evidence records), protocol
+// stats (stats_mutex_) and the single append-only journal stream
+// (journal_mutex_). Lock order: shard -> {global | evidence | stats |
+// store} -> journal; no path takes a shard mutex while holding any of the
+// narrower ones.
+//
 // Runtime seam: the coordinator depends only on the abstract Transport /
 // Clock / Rng interfaces (net/runtime.hpp), never on the simulator. On the
-// deterministic runtime every call arrives on one thread and the internal
-// mutex is uncontended; on the threaded runtime transport handlers and
-// clock timers arrive on worker threads, and the mutex serialises them:
-// every public entry point (message dispatch, propagate_*, accessors) and
-// every scheduled timer runs under it, so replica state, the evidence log
-// and the protocol stats are updated atomically per message.
+// deterministic runtime every call arrives on one thread, lanes are off,
+// and every mutex is uncontended, so seeded runs reproduce the pre-shard
+// behaviour bit-for-bit (the sharding equivalence suite pins this).
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 
 #include "b2b/replica.hpp"
@@ -38,13 +57,22 @@ namespace b2b::core {
 
 class Coordinator {
  public:
+  /// How shard state is locked. kPerObject is the production mode: one
+  /// mutex per object, independent objects coordinate in parallel.
+  /// kCoarse points every shard at one shared mutex (and disables lanes),
+  /// reproducing the pre-shard single-lock contention profile — the
+  /// baseline the sharding bench and equivalence suite compare against.
+  enum class LockMode { kPerObject, kCoarse };
+
   struct Config {
     PartyId self;
     crypto::RsaPrivateKey key;
     /// Seed for the default DeterministicRng. Ignored if `rng` is set.
     std::uint64_t rng_seed = 0;
     /// Optional injected randomness source (the Rng seam); defaults to a
-    /// DeterministicRng derived from `rng_seed` and `self`.
+    /// DeterministicRng derived from `rng_seed` and `self`. Shared across
+    /// shards behind an internal lock, so the draw order on the sim
+    /// runtime is unchanged from the pre-shard coordinator.
     std::shared_ptr<net::Rng> rng;
     /// Sponsor selection for membership protocols; must match federation-
     /// wide (§4.5.1 and its footnote 2).
@@ -65,6 +93,15 @@ class Coordinator {
     /// Replica::set_run_probe).
     std::uint64_t run_probe_interval_micros = 1'000'000;
     int max_run_probes = 12;
+    /// Shard locking mode (see LockMode).
+    LockMode lock_mode = LockMode::kPerObject;
+    /// Give each shard its own dispatch thread (strand): inbound messages
+    /// and timer callbacks are posted to the owning shard's lane instead
+    /// of running on the transport/clock thread, so a replica blocked in
+    /// validation cannot stall deliveries to other objects. Only
+    /// meaningful with kPerObject; keep false on the deterministic
+    /// simulator (inline dispatch preserves bit-for-bit event order).
+    bool shard_lanes = false;
   };
 
   /// Per-message-type send counters (protocol-level, before transport
@@ -73,6 +110,24 @@ class Coordinator {
     std::map<MsgType, std::uint64_t> sent_by_type;
     std::uint64_t envelopes_sent = 0;
     std::uint64_t envelope_bytes_sent = 0;
+  };
+
+  /// Router-level counters (Transport::Stats-style): how object lookups
+  /// and message dispatch hit the shard map. Concurrent read-only lookups
+  /// take the map's shared lock only; map_exclusive_locks counts shard
+  /// creation (register_object), the only writer.
+  struct RouterStats {
+    std::uint64_t lookups = 0;
+    std::uint64_t map_exclusive_locks = 0;
+    std::uint64_t messages_routed = 0;
+    std::uint64_t lane_posts = 0;
+  };
+
+  /// Per-shard dispatch counters.
+  struct ShardStats {
+    std::uint64_t messages_dispatched = 0;
+    std::uint64_t timer_fires = 0;
+    std::uint64_t lane_posts = 0;
   };
 
   /// `tss` may be null (evidence is then logged without trusted stamps).
@@ -121,20 +176,14 @@ class Coordinator {
 
   // --- stores & evidence ---------------------------------------------------------
 
-  /// On the threaded runtime, read these only at quiescence (the lock
+  /// On the real-thread runtimes, read these only at quiescence (the lock
   /// acquisition orders prior handler-side writes before the read).
   const store::EvidenceLog& evidence() const {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(evidence_mutex_);
     return evidence_;
   }
-  store::CheckpointStore& checkpoints() {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    return checkpoints_;
-  }
-  const store::MessageStore& messages() const {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    return messages_;
-  }
+  store::CheckpointStore& checkpoints() { return checkpoints_; }
+  const store::MessageStore& messages() const { return messages_; }
 
   /// Evidence payloads are framed as {original payload, optional TSS
   /// stamp}; this unpacks one.
@@ -147,29 +196,48 @@ class Coordinator {
   // --- observation -----------------------------------------------------------------
 
   /// Observer invoked for every CoordEvent from any replica. The observer
-  /// runs under the coordinator mutex (on whichever thread delivered the
-  /// message); it must not call back into the coordinator's blocking APIs.
+  /// runs under the owning shard's mutex plus the observer lock (events
+  /// from different shards are serialised with each other); it must not
+  /// call back into the coordinator's blocking APIs.
   void set_observer(std::function<void(const CoordEvent&)> observer) {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(observer_mutex_);
     observer_ = std::move(observer);
   }
 
   ProtocolStats protocol_stats() const {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     return protocol_stats_;
   }
   void reset_protocol_stats() {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     protocol_stats_ = ProtocolStats{};
   }
+
+  RouterStats router_stats() const;
+  /// Dispatch counters of one shard (throws for unknown objects).
+  ShardStats shard_stats(const ObjectId& object) const;
 
   /// Total violations detected across all replicas.
   std::uint64_t violations_detected() const;
 
-  /// Memory-barrier helper for external observers on the threaded
-  /// runtime: acquiring and releasing the coordinator mutex orders every
-  /// prior handler-side write before the caller's subsequent reads.
-  void synchronize() const { std::lock_guard<std::recursive_mutex> lock(mutex_); }
+  /// Memory-barrier helper for external observers on the real-thread
+  /// runtimes: drains every shard lane, then acquires and releases each
+  /// shard's mutex (and the global/evidence/stats locks), so every prior
+  /// handler-side write is ordered before the caller's subsequent reads.
+  void synchronize() const;
+
+  /// True when every shard lane has an empty queue and no task running
+  /// (vacuously true without lanes). Quiescence probes on the real-thread
+  /// runtimes poll this: a message acked by the transport may still be
+  /// queued on a lane.
+  bool lanes_idle() const;
+
+  /// Teardown barrier: join every shard lane, discarding queued tasks
+  /// (idempotent; the destructor calls it too). Harnesses that are about
+  /// to destroy the transport this coordinator sends on call this first —
+  /// after stopping the runtime threads that feed the lanes — so no lane
+  /// task can touch a dying transport.
+  void stop_lanes();
 
   // --- crash recovery & fault injection ----------------------------------------
 
@@ -179,7 +247,7 @@ class Coordinator {
   /// True when the journal replay at construction found records from a
   /// previous incarnation (i.e. this coordinator is a restart).
   bool recovered() const {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(global_mutex_);
     return recovered_any_;
   }
 
@@ -192,18 +260,15 @@ class Coordinator {
   /// coordinator entry point and the coordinator goes permanently inert
   /// (as if the process had been killed). Empty disarms.
   void arm_crash_point(std::string point) {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(global_mutex_);
     armed_crash_point_ = std::move(point);
   }
-  bool crashed() const {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
-    return crashed_;
-  }
+  bool crashed() const { return crashed_.load(std::memory_order_acquire); }
 
   /// Peers the transport reported as unreachable (max_retransmits
   /// exhausted on some frame). Evidence-logged as "peer.suspect".
   std::set<PartyId> suspected_peers() const {
-    std::lock_guard<std::recursive_mutex> lock(mutex_);
+    std::lock_guard<std::mutex> lock(global_mutex_);
     return suspects_;
   }
 
@@ -218,6 +283,79 @@ class Coordinator {
     Coordinator* coordinator = nullptr;
   };
 
+  /// A shard's dispatch strand: one worker thread draining a FIFO of
+  /// tasks. Stopping discards queued tasks (the coordinator is dying) and
+  /// joins the worker.
+  class ShardLane {
+   public:
+    ShardLane();
+    ~ShardLane();
+    void post(std::function<void()> task);
+    bool idle() const;
+    void wait_idle() const;
+    void stop();
+
+   private:
+    void worker_loop();
+
+    mutable std::mutex mutex_;
+    mutable std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool running_ = false;
+    bool stopping_ = false;
+    std::thread worker_;
+  };
+
+  /// Everything one object needs to coordinate independently: the
+  /// replica, the mutex serialising it, the optional lane, and dispatch
+  /// counters. Shards are created by register_object and never erased, so
+  /// raw ObjectShard pointers stay valid for the coordinator's lifetime
+  /// (lane tasks and timers hold them across map growth).
+  struct ObjectShard {
+    ObjectId id;
+    /// Points at own_mutex (kPerObject) or the coordinator's shared
+    /// coarse_mutex_ (kCoarse). Recursive for parity with the pre-shard
+    /// lock: replica callbacks may re-enter coordinator methods while a
+    /// dispatch holds it.
+    std::recursive_mutex* mutex = nullptr;
+    std::recursive_mutex own_mutex;
+    std::unique_ptr<Replica> replica;
+    std::unique_ptr<ShardLane> lane;
+    std::atomic<std::uint64_t> messages_dispatched{0};
+    std::atomic<std::uint64_t> timer_fires{0};
+    std::atomic<std::uint64_t> lane_posts{0};
+  };
+
+  /// Serialises a shared Rng across shards without changing the stream.
+  class LockedRng final : public net::Rng {
+   public:
+    explicit LockedRng(net::Rng& inner) : inner_(inner) {}
+    void fill(std::uint8_t* out, std::size_t len) override {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inner_.fill(out, len);
+    }
+
+   private:
+    std::mutex mutex_;
+    net::Rng& inner_;
+  };
+
+  /// Router lookup: shared lock on the shard map only. Returns nullptr
+  /// for unknown objects.
+  ObjectShard* find_shard(const ObjectId& object) const;
+  ObjectShard& find_shard_or_throw(const ObjectId& object) const;
+
+  /// Run `fn` on the shard: post to its lane when one exists, else
+  /// inline. Either way `fn` executes under the shard mutex with the
+  /// crashed check and SimulatedCrash containment of the pre-shard entry
+  /// points.
+  void run_on_shard(ObjectShard& shard, std::function<void()> fn);
+  void exec_on_shard(ObjectShard& shard, const std::function<void()>& fn);
+  /// Propagation entry: lock the shard, check crashed, call `fn` (which
+  /// returns the run handle), containing SimulatedCrash as an abort.
+  RunHandle propagate_on_shard(const ObjectId& object,
+                               const std::function<RunHandle(Replica&)>& fn);
+
   void replay_journal();
   void replay_object_record(std::uint8_t type,
                             Replica::RecoveredObjectState& rec,
@@ -231,37 +369,68 @@ class Coordinator {
   PartyId self_;
   crypto::RsaPrivateKey key_;
   std::shared_ptr<net::Rng> rng_;
+  std::unique_ptr<LockedRng> locked_rng_;  // wraps *rng_ for all shards
   net::Transport& transport_;
   net::Clock& clock_;
   const crypto::TimestampService* tss_;
 
-  /// Serialises message dispatch, local propagation, timers and external
-  /// accessors. Recursive because replica callbacks (key learning,
-  /// evidence, sends) re-enter coordinator methods while handling a
-  /// message under the lock.
-  mutable std::recursive_mutex mutex_;
-
+  LockMode lock_mode_;
+  bool shard_lanes_ = false;
   SponsorPolicy sponsor_policy_;
   DecisionRule decision_rule_;
-  std::map<PartyId, crypto::RsaPublicKey> known_keys_;
-  std::unordered_map<ObjectId, std::unique_ptr<Replica>> replicas_;
 
+  /// The router: object -> shard. Shared lock for lookups and dispatch,
+  /// exclusive only while register_object inserts.
+  mutable std::shared_mutex shard_map_mutex_;
+  std::unordered_map<ObjectId, std::unique_ptr<ObjectShard>> shards_;
+  /// The single lock every shard shares in LockMode::kCoarse.
+  std::recursive_mutex coarse_mutex_;
+
+  /// Membership-wide state: certificate directory, suspect set, armed
+  /// crash point.
+  mutable std::mutex global_mutex_;
+  std::map<PartyId, crypto::RsaPublicKey> known_keys_;
+  std::set<PartyId> suspects_;
+  std::string armed_crash_point_;
+  bool recovered_any_ = false;
+
+  /// The hash-chained evidence log. Held across the journal append of
+  /// each kEvidence record AND the in-memory append, so the journaled
+  /// order equals the chain order (recovery rebuilds the identical
+  /// chain).
+  mutable std::mutex evidence_mutex_;
   store::EvidenceLog evidence_;
-  store::CheckpointStore checkpoints_;
-  store::MessageStore messages_;
-  std::function<void(const CoordEvent&)> observer_;
+
+  /// Serialises every append/sync on the single journal stream
+  /// (DESIGN.md §9: a dedicated lock rather than per-shard buffers, so
+  /// the journal-then-act discipline keeps its "journaled before sent"
+  /// meaning across shards).
+  mutable std::mutex journal_mutex_;
+  std::unique_ptr<store::Journal> journal_;
+
+  mutable std::mutex stats_mutex_;
   ProtocolStats protocol_stats_;
 
+  mutable std::mutex observer_mutex_;
+  std::function<void(const CoordEvent&)> observer_;
+
+  // Internally locked; shared by every shard's replica.
+  store::CheckpointStore checkpoints_;
+  store::MessageStore messages_;
+
+  // --- router stats -------------------------------------------------------------
+  mutable std::atomic<std::uint64_t> stat_lookups_{0};
+  mutable std::atomic<std::uint64_t> stat_map_exclusive_{0};
+  mutable std::atomic<std::uint64_t> stat_messages_routed_{0};
+  mutable std::atomic<std::uint64_t> stat_lane_posts_{0};
+
   // --- crash recovery & fault injection ----------------------------------------
-  std::unique_ptr<store::Journal> journal_;
   std::shared_ptr<TimerAnchor> anchor_;
   /// Per-object state reconstructed by the journal replay, consumed by
-  /// register_object.
+  /// register_object (single-threaded: constructor, then under the
+  /// exclusive shard-map lock).
   std::unordered_map<ObjectId, Replica::RecoveredObjectState> recovered_;
-  bool recovered_any_ = false;
-  bool crashed_ = false;
-  std::string armed_crash_point_;
-  std::set<PartyId> suspects_;
+  std::atomic<bool> crashed_{false};
   std::uint64_t run_probe_interval_micros_;
   int max_run_probes_;
 };

@@ -65,6 +65,19 @@ Federation::Federation(std::vector<std::string> party_names,
     parties_.push_back(std::move(party));
     parties_.back()->coordinator = std::make_unique<Coordinator>(
         party_config(i), *parties_.back()->transport, clock(), tss_.get());
+    // A frame acked by the transport may still be queued on one of the
+    // coordinator's shard lanes; teach the runtime's quiescence probe
+    // about it. Party objects are stable (vector of pointers) and the
+    // runtime — and with it the probe — dies before parties_ does.
+    Party* raw = parties_.back().get();
+    auto lane_probe = [raw] {
+      return !raw->coordinator || raw->coordinator->lanes_idle();
+    };
+    if (threaded_) {
+      threaded_->add_quiescence_probe(lane_probe);
+    } else if (tcp_) {
+      tcp_->add_quiescence_probe(lane_probe);
+    }
   }
 
   // Shared PKI: every organisation can verify every other's signatures
@@ -80,7 +93,18 @@ Federation::Federation(std::vector<std::string> party_names,
   }
 }
 
-Federation::~Federation() = default;
+Federation::~Federation() {
+  // Teardown is a two-stage barrier. First stop every runtime thread
+  // (timer, receivers, retransmitters) so nothing new is posted to a
+  // coordinator shard lane; then join the lanes themselves, so no lane
+  // task can call into a transport the runtime member destructor (which
+  // runs first — runtimes are declared last) is about to destroy.
+  if (threaded_) threaded_->shutdown();
+  if (tcp_) tcp_->shutdown();
+  for (auto& p : parties_) {
+    if (p->coordinator) p->coordinator->stop_lanes();
+  }
+}
 
 net::Runtime& Federation::runtime_impl() {
   if (sim_) return *sim_;
@@ -149,6 +173,10 @@ Coordinator::Config Federation::party_config(std::size_t index) const {
   }
   config.run_probe_interval_micros = options_.run_probe_interval_micros;
   config.max_run_probes = options_.max_run_probes;
+  config.lock_mode = options_.lock_mode;
+  // Lanes only where real threads exist: the sim dispatches inline on one
+  // thread, preserving bit-for-bit determinism.
+  config.shard_lanes = options_.shard_lanes && runtime_ != RuntimeKind::kSim;
   return config;
 }
 

@@ -86,6 +86,16 @@ class Federation {
     /// In-flight-run probe cadence (see Coordinator::Config).
     std::uint64_t run_probe_interval_micros = 1'000'000;
     int max_run_probes = 12;
+    /// Coordinator shard locking (see Coordinator::LockMode). kCoarse
+    /// reproduces the pre-shard single-lock contention profile — the
+    /// baseline for the sharding bench and equivalence suite.
+    Coordinator::LockMode lock_mode = Coordinator::LockMode::kPerObject;
+    /// Per-object dispatch lanes (strands). Applied on the threaded and
+    /// tcp runtimes only — the sim stays single-threaded and inline, so
+    /// seeded runs reproduce bit-for-bit. The federation registers a
+    /// lane-idle quiescence probe per party with the runtime, so
+    /// settle() keeps meaning "nothing left to do anywhere".
+    bool shard_lanes = true;
   };
 
   /// Create a federation of the named organisations.

@@ -141,6 +141,7 @@ RunHandle Replica::request_disconnect() {
   if (members_.size() == 1) {
     // Sole member: nothing to coordinate.
     connected_ = false;
+    abort_runs_on_departure();
     journal_snapshot();
     complete(handle, RunResult::Outcome::kAgreed, "", {}, last_seen_seq_, "");
     return handle;
@@ -722,6 +723,22 @@ void Replica::finish_membership_run_as_sponsor() {
     complete(run.result, RunResult::Outcome::kVetoed, first_diagnostic,
              std::move(vetoers), prop.new_group.sequence, label);
   }
+  // A relayed eviction whose sponsorship rotated to the requester itself:
+  // we are both requester and sponsor, so no decide message ever comes
+  // back to settle the relayed handle (that normally happens on decide
+  // receipt) — settle it here.
+  if (relayed_eviction_result_.has_value() &&
+      prop.request.kind == MembershipKind::kEvict &&
+      prop.request.sender == self_ &&
+      to_hex(prop.request.request_nonce) == relayed_eviction_nonce_) {
+    RunHandle relayed = *relayed_eviction_result_;
+    relayed_eviction_result_.reset();
+    close_subject_request(to_hex(prop.request.request_nonce));
+    complete(relayed,
+             agreed ? RunResult::Outcome::kAgreed : RunResult::Outcome::kVetoed,
+             agreed ? "" : first_diagnostic, {}, prop.new_group.sequence,
+             label);
+  }
   journal_run_closed(walrec::kSponsorClosed, label);
   hit_crash_point("m-decide.installed");
   drain_deferred_membership();
@@ -942,7 +959,11 @@ Decision Replica::evaluate_membership_proposal(
 
 void Replica::handle_membership_decide(const PartyId& from,
                                        const Bytes& body) {
-  if (!connected_) return;
+  if (!connected_) {
+    B2B_DEBUG(self_, " dropping membership decide on ", object_,
+              " (not connected)");
+    return;
+  }
   MembershipDecideMsg msg = MembershipDecideMsg::decode(body);
   const std::string label = msg.new_group.label();
 
@@ -1296,12 +1317,37 @@ void Replica::handle_disconnect_confirm(const PartyId& from,
   SubjectRequest pending = std::move(*subject_request_);
   subject_request_.reset();
   connected_ = false;
+  abort_runs_on_departure();
   journal_snapshot();
   close_subject_request(to_hex(pending.request.request_nonce));
   complete(pending.result, RunResult::Outcome::kAgreed, "", {},
            msg.new_group.sequence, msg.new_group.label());
   // Any requests we were still sponsoring must find a new sponsor.
   drain_deferred_membership();
+}
+
+void Replica::abort_runs_on_departure() {
+  // Departure aborts our participation in any run still in flight: once
+  // we are out of the group the decide for a run we responded to before
+  // leaving can never reach us (members do not send to non-members,
+  // §4.5), so a retained responder run — and its accept lock — would
+  // hold this replica busy() forever, wedging every membership request
+  // it is later asked to sponsor or relay after reconnecting.
+  for (const auto& [label, run] : responder_runs_) {
+    wire::Encoder note;
+    note.str(label).str(self_.str());
+    callbacks_.record_evidence("run.abandoned", std::move(note).take());
+    journal_run_closed(walrec::kResponderClosed, label);
+  }
+  responder_runs_.clear();
+  accept_lock_.reset();
+  for (const auto& [label, run] : membership_responder_runs_) {
+    wire::Encoder note;
+    note.str(label).str(self_.str());
+    callbacks_.record_evidence("run.abandoned", std::move(note).take());
+    journal_run_closed(walrec::kMembershipResponderClosed, label);
+  }
+  membership_responder_runs_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -1430,11 +1476,58 @@ void Replica::arm_subject_probe(std::string nonce_key, int attempt) {
 
 void Replica::resend_subject_request() {
   if (!pending_subject_record_.has_value()) return;
-  const SubjectRequestRecord& rec = *pending_subject_record_;
+  // Copy: the moot-eviction branch below closes the record mid-function.
+  const SubjectRequestRecord rec = *pending_subject_record_;
+  const std::string nonce_key = to_hex(rec.request.request_nonce);
+  // Re-resolve the legitimate sponsor against our CURRENT view before
+  // re-driving: the sponsor the request first went to may itself have
+  // departed or been evicted while the request waited, and a non-member
+  // silently drops our traffic as an anomaly (§4.5) — re-probing a ghost
+  // would hang this run forever. A connecting outsider has no group view
+  // of its own to re-resolve against, so connect requests keep the
+  // recorded target.
+  PartyId target = rec.sent_to;
+  if (rec.request.kind == MembershipKind::kVoluntaryDisconnect) {
+    if (connected_ && members_.size() > 1) {
+      target = disconnect_sponsor(self_);
+    }
+  } else if (rec.request.kind == MembershipKind::kEvict) {
+    bool any_subject_member = false;
+    for (const PartyId& subject : rec.request.subjects) {
+      if (is_member(subject)) any_subject_member = true;
+    }
+    if (!any_subject_member) {
+      // Every subject already left the group through a concurrent
+      // membership run; a sponsor drops an inapplicable eviction without
+      // answering, so conclude the run locally instead of probing forever.
+      if (relayed_eviction_result_.has_value() &&
+          nonce_key == relayed_eviction_nonce_) {
+        RunHandle handle = *relayed_eviction_result_;
+        relayed_eviction_result_.reset();
+        complete(handle, RunResult::Outcome::kAborted,
+                 "eviction subjects already left the group", {},
+                 group_tuple_.sequence, "");
+      }
+      close_subject_request(nonce_key);
+      return;
+    }
+    std::optional<PartyId> sponsor =
+        sponsor_for_removal(members_, rec.request.subjects, sponsor_policy_);
+    if (sponsor.has_value()) {
+      if (*sponsor == self_) {
+        // Sponsorship rotated to us while the request waited: act on our
+        // own request as sponsor (§4.5.4). finish_membership_run_as_sponsor
+        // settles the relayed handle.
+        process_membership_request(rec.request, rec.signature);
+        return;
+      }
+      target = *sponsor;
+    }
+  }
   MsgType type = rec.request.kind == MembershipKind::kVoluntaryDisconnect
                      ? MsgType::kDisconnectRequest
                      : MsgType::kConnectRequest;
-  send_envelope(rec.sent_to, type,
+  send_envelope(target, type,
                 encode_request_with_signature(rec.request, rec.signature));
 }
 

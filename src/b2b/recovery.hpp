@@ -43,6 +43,16 @@
 // journaled before the runs it concludes are closed:
 //   kTerminationSubmitted  str(object) str(run label) u8(as_proposer)
 //   kVerdictDelivered      str(object) blob(TerminationVerdict::encode)
+//
+// Append ordering under sharding (DESIGN.md §9): all shards feed ONE
+// journal stream, serialised by the coordinator's journal mutex, so
+// records from concurrent objects interleave but each object's records
+// stay in program order (replay keys every record by its object/label).
+// kEvidence is stricter: the evidence mutex holds timestamping, the
+// journal append and the in-memory chain append as one critical section,
+// so the hash chain's link order is exactly the journal's record order —
+// replay recomputes and re-verifies the chain in append order and would
+// reject any divergence.
 #pragma once
 
 #include <cstdint>

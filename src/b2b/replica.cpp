@@ -151,6 +151,7 @@ Bytes Replica::fresh_random() { return rng_.bytes(32); }
 
 void Replica::record_violation(const std::string& what,
                                const PartyId& suspect) {
+  B2B_DEBUG(self_, " VIOLATION on ", object_, ": ", what, " (", suspect, ")");
   ++violations_detected_;
   wire::Encoder enc;
   enc.str(what).str(suspect.str());

@@ -471,6 +471,7 @@ class Replica {
   /// Capped re-probe of the pending subject request (journal-gated).
   void arm_subject_probe(std::string nonce_key, int attempt);
   void resend_subject_request();
+  void abort_runs_on_departure();
   void restore_recovered_membership(const RecoveredObjectState& recovered);
   void resume_recovered_membership(std::vector<RunHandle>& handles);
 

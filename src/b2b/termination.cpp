@@ -152,6 +152,14 @@ void TerminationTtp::add_party_key(const PartyId& party,
 }
 
 void TerminationTtp::on_message(const PartyId& from, const Bytes& payload) {
+  // Locking context (DESIGN.md §9): the TTP sits outside the coordinator's
+  // shard structure. On the real-thread runtimes requests for *different*
+  // objects arrive concurrently from different parties' shard lanes; one
+  // TTP-wide mutex (not per-object) is deliberate — the verdict cache in
+  // verdict_for is keyed by run label, and holding the lock across
+  // lookup+issue is what makes concurrent duplicate submissions (recovery
+  // re-fetches from several recovering parties at once) resolve to a
+  // single verdict instead of racing to issue two.
   std::lock_guard<std::mutex> lock(mutex_);
   Envelope envelope;
   TerminationRequest request;

@@ -517,7 +517,9 @@ TcpRuntime::TcpRuntime(const Options& options)
                                    : std::make_shared<PeerDirectory>()),
       executor_([this] { return quiescent(); }, options.executor) {}
 
-TcpRuntime::~TcpRuntime() {
+TcpRuntime::~TcpRuntime() { shutdown(); }
+
+void TcpRuntime::shutdown() {
   // Stop barrier, as ThreadedRuntime: join the timer thread BEFORE any
   // transport shuts down, so an in-flight schedule_after callback cannot
   // race transport teardown.
@@ -570,6 +572,9 @@ TcpFabricStats TcpRuntime::fabric_stats() const {
 bool TcpRuntime::quiescent() const {
   for (const auto& transport : transports_) {
     if (!transport->quiescent()) return false;
+  }
+  for (const auto& probe : quiescence_probes_) {
+    if (!probe()) return false;
   }
   return true;
 }

@@ -249,6 +249,12 @@ class TcpRuntime final : public Runtime {
   explicit TcpRuntime(const Options& options);
   ~TcpRuntime() override;
 
+  /// Stop every runtime thread (timer first, then transports) without
+  /// destroying the bundle. Idempotent; the destructor calls it. Harnesses
+  /// that own threads fed by these transports (coordinator shard lanes)
+  /// call this, then stop their threads, then let destructors run.
+  void shutdown();
+
   TcpRuntime(const TcpRuntime&) = delete;
   TcpRuntime& operator=(const TcpRuntime&) = delete;
 
@@ -270,11 +276,20 @@ class TcpRuntime final : public Runtime {
 
   bool quiescent() const;
 
+  /// Extra quiescence condition consulted by settle(), e.g. "this
+  /// coordinator's shard lanes are idle" — a frame acked by the transport
+  /// may still be queued on a per-object dispatch lane. Register and poll
+  /// from the harness thread only (settle() runs there too).
+  void add_quiescence_probe(std::function<bool()> probe) {
+    quiescence_probes_.push_back(std::move(probe));
+  }
+
  private:
   Options options_;
   std::shared_ptr<PeerDirectory> directory_;
   SystemClock clock_;
   std::vector<std::unique_ptr<TcpTransport>> transports_;
+  std::vector<std::function<bool()>> quiescence_probes_;
   ThreadedExecutor executor_;
 };
 

@@ -242,13 +242,18 @@ class ThreadedRuntime final : public Runtime {
         transport_config_(options.transport),
         executor_([this] { return quiescent(); }, options.executor) {}
 
+  ~ThreadedRuntime() override { shutdown(); }
+
   /// Explicit stop barrier. The timer thread is joined FIRST: a
   /// schedule_after callback in flight may call into a transport (a
   /// coordinator probing a run, say), so transports must not start dying
   /// until no such callback can still be running. Member destruction
   /// order alone ran that race the other way (transports_ is declared
-  /// after clock_, hence destroyed before it).
-  ~ThreadedRuntime() override {
+  /// after clock_, hence destroyed before it). Idempotent; the destructor
+  /// calls it. Harnesses that own threads fed by these transports
+  /// (coordinator shard lanes) call this, then stop their threads, then
+  /// let destructors run.
+  void shutdown() {
     clock_.shutdown();
     for (auto& transport : transports_) transport->shutdown();
   }
@@ -265,13 +270,25 @@ class ThreadedRuntime final : public Runtime {
   ThreadedNetwork& network() { return network_; }
 
   /// True when every transport has drained its inbox and holds nothing
-  /// un-acked. Sound because any in-flight frame implies a non-empty
-  /// mailbox or a sender with un-acked state.
+  /// un-acked, and every registered probe agrees. Sound because any
+  /// in-flight frame implies a non-empty mailbox or a sender with
+  /// un-acked state.
   bool quiescent() const {
     for (const auto& transport : transports_) {
       if (!transport->quiescent()) return false;
     }
+    for (const auto& probe : quiescence_probes_) {
+      if (!probe()) return false;
+    }
     return true;
+  }
+
+  /// Extra quiescence condition consulted by settle(), e.g. "this
+  /// coordinator's shard lanes are idle" — a frame acked by the transport
+  /// may still be queued on a per-object dispatch lane. Register and poll
+  /// from the harness thread only (settle() runs there too).
+  void add_quiescence_probe(std::function<bool()> probe) {
+    quiescence_probes_.push_back(std::move(probe));
   }
 
  private:
@@ -282,6 +299,7 @@ class ThreadedRuntime final : public Runtime {
   // declared after network_ so receiver/retransmit threads die while the
   // fabric they use is still alive.
   std::vector<std::unique_ptr<ThreadedTransport>> transports_;
+  std::vector<std::function<bool()>> quiescence_probes_;
   ThreadedExecutor executor_;
 };
 

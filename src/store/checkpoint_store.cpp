@@ -18,12 +18,14 @@ constexpr std::size_t kHeaderLen = kMagicLen + 4;
 }  // namespace
 
 void CheckpointStore::put(const ObjectId& object, Checkpoint checkpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& history = checkpoints_[object];
   history.push_back(std::move(checkpoint));
   if (observer_) observer_(object, history.back());
 }
 
 std::optional<Checkpoint> CheckpointStore::latest(const ObjectId& object) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = checkpoints_.find(object);
   if (it == checkpoints_.end() || it->second.empty()) return std::nullopt;
   return it->second.back();
@@ -31,6 +33,7 @@ std::optional<Checkpoint> CheckpointStore::latest(const ObjectId& object) const 
 
 std::optional<Checkpoint> CheckpointStore::at_sequence(
     const ObjectId& object, std::uint64_t sequence) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = checkpoints_.find(object);
   if (it == checkpoints_.end()) return std::nullopt;
   // Scan backwards: recent sequences are queried most often (rollback).
@@ -42,16 +45,19 @@ std::optional<Checkpoint> CheckpointStore::at_sequence(
 
 const std::vector<Checkpoint>& CheckpointStore::history(
     const ObjectId& object) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = checkpoints_.find(object);
   return it == checkpoints_.end() ? kEmptyHistory : it->second;
 }
 
 std::size_t CheckpointStore::count(const ObjectId& object) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = checkpoints_.find(object);
   return it == checkpoints_.end() ? 0 : it->second.size();
 }
 
 void CheckpointStore::save(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   wire::Encoder enc;
   enc.varint(checkpoints_.size());
   for (const auto& [object, history] : checkpoints_) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,12 @@ struct Checkpoint {
   friend bool operator==(const Checkpoint&, const Checkpoint&) = default;
 };
 
+/// Internally locked: replicas on different coordinator shards put and
+/// query concurrently. The observer fires under the store lock (store ->
+/// journal in the coordinator's lock order). history() hands out a
+/// reference — concurrent puts on *other* objects are safe (node-based
+/// map), but read a given object's history only from its own shard or at
+/// quiescence.
 class CheckpointStore {
  public:
   /// Invoked on every put (after the in-memory append). The hosting
@@ -36,10 +43,20 @@ class CheckpointStore {
   /// journal without every put site knowing about journaling.
   using Observer = std::function<void(const ObjectId&, const Checkpoint&)>;
 
+  CheckpointStore() = default;
+  // Move transfers the data, never the lock (only used single-threaded,
+  // by load()).
+  CheckpointStore(CheckpointStore&& other) noexcept
+      : checkpoints_(std::move(other.checkpoints_)),
+        observer_(std::move(other.observer_)) {}
+
   /// Record a newly validated state for `object`.
   void put(const ObjectId& object, Checkpoint checkpoint);
 
-  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  void set_observer(Observer observer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    observer_ = std::move(observer);
+  }
 
   /// Latest checkpoint, if any.
   std::optional<Checkpoint> latest(const ObjectId& object) const;
@@ -61,6 +78,7 @@ class CheckpointStore {
   static CheckpointStore load(const std::string& path);
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<ObjectId, std::vector<Checkpoint>> checkpoints_;
   Observer observer_;
 };

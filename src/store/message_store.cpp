@@ -7,6 +7,7 @@ const std::vector<MessageStore::StoredMessage> kEmpty;
 }  // namespace
 
 void MessageStore::add(const std::string& run_label, StoredMessage message) {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto& run = runs_[run_label];
   run.push_back(std::move(message));
   if (observer_) observer_(run_label, run.back());
@@ -14,11 +15,13 @@ void MessageStore::add(const std::string& run_label, StoredMessage message) {
 
 const std::vector<MessageStore::StoredMessage>& MessageStore::run(
     const std::string& run_label) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = runs_.find(run_label);
   return it == runs_.end() ? kEmpty : it->second;
 }
 
 std::vector<std::string> MessageStore::run_labels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(runs_.size());
   for (const auto& [label, messages] : runs_) out.push_back(label);
@@ -26,12 +29,14 @@ std::vector<std::string> MessageStore::run_labels() const {
 }
 
 std::size_t MessageStore::total_messages() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [label, messages] : runs_) total += messages.size();
   return total;
 }
 
 bool MessageStore::has_run(const std::string& run_label) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   return runs_.contains(run_label);
 }
 

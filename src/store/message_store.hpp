@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,11 @@
 
 namespace b2b::store {
 
+/// Internally locked: replicas on different coordinator shards file
+/// messages concurrently. The observer fires under the store lock (store
+/// -> journal in the coordinator's lock order). run() hands out a
+/// reference — read a run's transcript only from its own shard or at
+/// quiescence (runs are object-scoped, so shards never share a label).
 class MessageStore {
  public:
   struct StoredMessage {
@@ -38,7 +44,10 @@ class MessageStore {
   /// File a message under `run_label`.
   void add(const std::string& run_label, StoredMessage message);
 
-  void set_observer(Observer observer) { observer_ = std::move(observer); }
+  void set_observer(Observer observer) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    observer_ = std::move(observer);
+  }
 
   /// All messages of a run, in arrival/send order.
   const std::vector<StoredMessage>& run(const std::string& run_label) const;
@@ -50,6 +59,7 @@ class MessageStore {
   bool has_run(const std::string& run_label) const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, std::vector<StoredMessage>> runs_;
   Observer observer_;
 };

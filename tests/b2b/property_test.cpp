@@ -11,7 +11,12 @@
 //  I5  agreed sequence numbers never run backwards.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <set>
+#include <utility>
+
 #include "b2b/federation.hpp"
+#include "tests/support/crash_points.hpp"
 #include "tests/support/test_objects.hpp"
 
 namespace b2b::core {
@@ -137,6 +142,197 @@ TEST_P(ProtocolSoakTest, RandomWorkloadConverges) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolSoakTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
                                            89));
+
+// Cross-object interleaving soak (the sharded coordinator's property
+// test): THREE objects share the four organisations, and every step
+// randomly interleaves state runs, voluntary membership churn and
+// evictions across them — so runs on different shards are perpetually in
+// flight together, in random phase relative to each other. The per-seed
+// workload additionally folds in B2B_CRASH_SEED (the campaign seed
+// env var), so CI sweeps genuinely different interleavings.
+//
+// Invariants are the single-object soak's I1–I5, evaluated per object
+// over its CURRENT members. An evicted party is excluded from the
+// object's agreement checks (its local view is merely stale, §4.5) and
+// takes no further actions on that object.
+class MultiObjectSoakTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiObjectSoakTest, RandomCrossObjectInterleavingsConverge) {
+  namespace fs = std::filesystem;
+  const std::uint64_t seed =
+      GetParam() * 0x9e3779b97f4a7c15ULL + test::campaign_seed();
+  crypto::ChaCha20Rng rng(seed ^ 0xb2bb2bULL);
+
+  Federation::Options options;
+  options.seed = seed;
+  options.faults.drop_probability = 0.05;
+  options.faults.duplicate_probability = 0.05;
+  options.faults.min_delay_micros = 200;
+  options.faults.max_delay_micros = 8'000;
+  // Journaled, as deployed: the journal-gated run probes are what
+  // re-drive a membership request whose relayed sponsor loses its
+  // authority mid-run (evicted or departed) — without them such a run
+  // can legitimately hang, with it it terminates (usually vetoed).
+  const fs::path journal_root =
+      fs::temp_directory_path() /
+      ("b2b_mosoak_" + std::to_string(GetParam()));
+  fs::remove_all(journal_root);
+  options.journal_root = journal_root.string();
+  options.journal_fsync = false;
+
+  const std::vector<std::string> names{"a", "b", "c", "d"};
+  const std::vector<ObjectId> kObjs = {ObjectId{"doc0"}, ObjectId{"doc1"},
+                                       ObjectId{"doc2"}};
+  Federation fed{names, options};
+  // objects[party][object index]
+  std::vector<std::vector<std::unique_ptr<TestRegister>>> objects;
+  for (const auto& name : names) {
+    objects.emplace_back();
+    for (const ObjectId& object : kObjs) {
+      objects.back().push_back(std::make_unique<TestRegister>());
+      fed.register_object(name, object, *objects.back().back());
+    }
+  }
+  for (const ObjectId& object : kObjs) {
+    fed.bootstrap_object(object, names, bytes_of("genesis"));
+  }
+
+  int value_counter = 0;
+  // A run is only guaranteed to terminate while its proposer remains a
+  // member: a party evicted with runs in flight gets no responses for
+  // them (members drop a non-member's traffic as anomalies, §4.5), so
+  // the termination check below skips handles whose proposer was later
+  // expelled from that object.
+  struct Pending {
+    RunHandle handle;
+    std::size_t object;
+    std::string proposer;
+    std::string label;
+  };
+  std::vector<Pending> pending;
+  // (object index, party): evicted parties sit out that object for good.
+  std::set<std::pair<std::size_t, std::string>> evicted;
+
+  auto is_evicted = [&](std::size_t o, const std::string& name) {
+    return evicted.contains({o, name});
+  };
+  auto connected = [&](std::size_t o, const std::string& name) {
+    return !is_evicted(o, name) &&
+           fed.coordinator(name).replica(kObjs[o]).connected();
+  };
+  auto connected_peer = [&](std::size_t o, const std::string& not_me)
+      -> const std::string* {
+    for (const auto& other : names) {
+      if (other != not_me && connected(o, other)) return &other;
+    }
+    return nullptr;
+  };
+
+  for (int step = 0; step < 48; ++step) {
+    const std::string& actor =
+        names[static_cast<std::size_t>(rng.next_below(names.size()))];
+    const std::size_t actor_index =
+        static_cast<std::size_t>(&actor - names.data());
+    const std::size_t o = static_cast<std::size_t>(rng.next_below(3));
+    const std::uint64_t action = rng.next_below(12);
+
+    if (action < 7) {
+      // A state run on one of the three shards.
+      if (connected(o, actor)) {
+        objects[actor_index][o]->value =
+            bytes_of("value-" + std::to_string(++value_counter));
+        pending.push_back({fed.coordinator(actor).propagate_new_state(
+                               kObjs[o], objects[actor_index][o]->value),
+                           o, actor, "state"});
+      }
+    } else if (action < 10) {
+      // Voluntary churn on one shard.
+      if (connected(o, actor)) {
+        if (connected_peer(o, actor) != nullptr) {
+          pending.push_back(
+              {fed.coordinator(actor).propagate_disconnect(kObjs[o]), o,
+               actor, "disconnect"});
+        }
+      } else if (!is_evicted(o, actor)) {
+        if (const std::string* via = connected_peer(o, actor)) {
+          pending.push_back({fed.coordinator(actor).propagate_connect(
+                                 kObjs[o], PartyId{*via}),
+                             o, actor, "connect via " + *via});
+        }
+      }
+    } else {
+      // An eviction, if the group can spare a member: the actor expels
+      // another connected party. The subject's stale view is excluded
+      // from this object's invariants from here on, whatever the run's
+      // outcome (it may legitimately lose a race and abort).
+      if (connected(o, actor)) {
+        std::vector<std::string> candidates;
+        for (const auto& other : names) {
+          if (other != actor && connected(o, other)) {
+            candidates.push_back(other);
+          }
+        }
+        if (candidates.size() >= 2) {
+          const std::string& subject = candidates[static_cast<std::size_t>(
+              rng.next_below(candidates.size()))];
+          pending.push_back({fed.coordinator(actor).propagate_eviction(
+                                 kObjs[o], {PartyId{subject}}),
+                             o, actor, "evict " + subject});
+          evicted.emplace(o, subject);
+        }
+      }
+    }
+    if (rng.next_below(2) == 0) fed.settle();
+  }
+  fed.settle();
+
+  for (const Pending& run : pending) {
+    if (is_evicted(run.object, run.proposer)) continue;
+    EXPECT_TRUE(run.handle->done())
+        << kObjs[run.object].str() << " " << run.label << " by "
+        << run.proposer << " seed " << seed;
+  }
+
+  // I1 + I2 per object, over its current (non-evicted, connected) members.
+  for (std::size_t o = 0; o < kObjs.size(); ++o) {
+    std::optional<StateTuple> agreed;
+    std::optional<GroupTuple> group;
+    std::optional<Bytes> state;
+    int connected_count = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (!connected(o, names[i])) continue;
+      Replica& replica = fed.coordinator(names[i]).replica(kObjs[o]);
+      ++connected_count;
+      if (!agreed.has_value()) {
+        agreed = replica.agreed_tuple();
+        group = replica.group_tuple();
+        state = objects[i][o]->value;
+      } else {
+        EXPECT_EQ(replica.agreed_tuple(), *agreed)
+            << names[i] << " " << kObjs[o].str() << " seed " << seed;
+        EXPECT_EQ(replica.group_tuple(), *group)
+            << names[i] << " " << kObjs[o].str() << " seed " << seed;
+        EXPECT_EQ(objects[i][o]->value, *state)
+            << names[i] << " " << kObjs[o].str() << " seed " << seed;
+      }
+    }
+    EXPECT_GT(connected_count, 0) << kObjs[o].str() << " seed " << seed;
+  }
+
+  for (const auto& name : names) {
+    // I3: faults and lost races never register as misbehaviour.
+    EXPECT_EQ(fed.coordinator(name).violations_detected(), 0u)
+        << name << " seed " << seed;
+    // I4: one evidence chain per party spans all three shards and stays
+    // intact (the evidence_mutex_ append order is total).
+    EXPECT_TRUE(fed.coordinator(name).evidence().verify_chain())
+        << name << " seed " << seed;
+  }
+  fs::remove_all(journal_root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiObjectSoakTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
 
 }  // namespace
 }  // namespace b2b::core

@@ -23,6 +23,7 @@
 
 #include "b2b/federation.hpp"
 #include "common/error.hpp"
+#include "tests/support/crash_points.hpp"
 #include "tests/support/runtime_param.hpp"
 #include "tests/support/test_objects.hpp"
 
@@ -31,60 +32,27 @@ namespace {
 
 using test::TestRegister;
 
+// The campaign's point lists live in tests/support/crash_points.hpp,
+// shared with the multi-object campaign in sharding_test.cpp. In this
+// file the crashers are: "alpha" for proposer points, "beta" for
+// responder points, "gamma" (the rotating sponsor of the trio) for
+// sponsor-membership points, "beta" for recipient-membership points,
+// "delta" for the subject point, "alpha" (the blocked proposer) for
+// termination points.
+using test::campaign_seed;
+using test::kProposerPoints;
+using test::kRecipientMembershipPoints;
+using test::kResponderPoints;
+using test::kSponsorMembershipPoints;
+using test::kSubjectPoint;
+using test::kTerminationPoints;
+
 namespace fs = std::filesystem;
 
 const ObjectId kObj{"ledger"};
 
-// Crash points passed on the proposer's code path (crash "alpha").
-const std::vector<std::string> kProposerPoints = {
-    "propose.pre-journal",  "propose.journaled", "propose.mid-send",
-    "propose.sent",         "response.pre-journal", "response.journaled",
-    "decide.pre-journal",   "decide.journaled",  "decide.mid-send",
-    "decide.sent",          "decide.installed",
-};
-
-// Crash points passed on a responder's code path (crash "beta").
-const std::vector<std::string> kResponderPoints = {
-    "respond.pre-journal",     "respond.journaled",
-    "respond.sent",            "decide-recv.pre-journal",
-    "decide-recv.journaled",   "decide-recv.installed",
-};
-
-// Membership crash points passed on the sponsor's code path during a
-// connect run (crash "gamma", the rotating sponsor of the trio).
-const std::vector<std::string> kSponsorMembershipPoints = {
-    "m-propose.pre-journal", "m-propose.journaled",  "m-propose.sent",
-    "m-response.journaled",  "m-decide.pre-journal", "m-decide.journaled",
-    "m-decide.mid-send",     "m-decide.sent",        "m-decide.installed",
-};
-
-// Membership crash points passed on a recipient's code path (crash "beta").
-const std::vector<std::string> kRecipientMembershipPoints = {
-    "m-respond.journaled",       "m-respond.sent",
-    "m-decide-recv.pre-journal", "m-decide-recv.journaled",
-    "m-decide-recv.installed",
-};
-
-// Termination crash points passed at the party that refers a blocked run
-// to the arbiter (crash "alpha", the blocked proposer).
-const std::vector<std::string> kTerminationPoints = {
-    "ttp-submit.journaled",
-    "verdict.journaled",
-};
-
-/// CI sweeps the campaign under several seeds via this env var; the
-/// default matches the historical hardcoded seed.
-std::uint64_t campaign_seed() {
-  const char* seed = std::getenv("B2B_CRASH_SEED");
-  return seed != nullptr ? std::strtoull(seed, nullptr, 10) : 11;
-}
-
 std::string sanitized(const std::string& point) {
-  std::string out = point;
-  for (char& c : out) {
-    if (c == '.' || c == '-') c = '_';
-  }
-  return out;
+  return test::sanitized_point(point);
 }
 
 std::string fresh_journal_root(const std::string& tag) {
@@ -645,6 +613,106 @@ TEST(CrashCampaign, DisconnectSponsorCrashAtDecideJournaled) {
     for (const std::string name : {"alpha", "beta", "gamma"}) {
       EXPECT_EQ(p.fed.coordinator(name).violations_detected(), 0u) << name;
     }
+  }
+  fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
+}
+
+// One journal, two shards: alpha crashes with runs in flight on two
+// DIFFERENT objects (both proposals journaled, the armed point fires at
+// whichever decide comes first). The restart must rebuild each shard
+// independently from the single journal stream and resume_recovered_runs()
+// must finish BOTH interrupted runs.
+TEST(CrashCampaign, CrashWithInFlightRunsOnTwoObjectsResumesBoth) {
+  const std::string tag = "two_shard_resume";
+  const ObjectId kOrd{"orders"};
+  {
+    TestRegister alpha_led, beta_led, gamma_led;
+    TestRegister alpha_ord, beta_ord, gamma_ord;
+    Federation fed({"alpha", "beta", "gamma"},
+                   journaled_options(tag, RuntimeKind::kSim, campaign_seed()));
+    fed.register_object("alpha", kObj, alpha_led);
+    fed.register_object("beta", kObj, beta_led);
+    fed.register_object("gamma", kObj, gamma_led);
+    fed.register_object("alpha", kOrd, alpha_ord);
+    fed.register_object("beta", kOrd, beta_ord);
+    fed.register_object("gamma", kOrd, gamma_ord);
+    fed.bootstrap_object(kObj, {"alpha", "beta", "gamma"},
+                         bytes_of("genesis"));
+    fed.bootstrap_object(kOrd, {"alpha", "beta", "gamma"},
+                         bytes_of("o-genesis"));
+
+    // Warm both objects so each shard has a checkpoint to restore.
+    alpha_led.value = bytes_of("warm");
+    RunHandle w1 = fed.coordinator("alpha").propagate_new_state(
+        kObj, alpha_led.get_state());
+    ASSERT_TRUE(fed.run_until_done(w1));
+    alpha_ord.value = bytes_of("o-warm");
+    RunHandle w2 = fed.coordinator("alpha").propagate_new_state(
+        kOrd, alpha_ord.get_state());
+    ASSERT_TRUE(fed.run_until_done(w2));
+    fed.settle();
+
+    // Both proposals pass their journal barrier synchronously inside
+    // propagate_new_state, so both runs are on stable storage before the
+    // first decide crashes the proposer.
+    fed.coordinator("alpha").arm_crash_point("decide.journaled");
+    alpha_led.value = bytes_of("v2");
+    RunHandle h1 = fed.coordinator("alpha").propagate_new_state(
+        kObj, alpha_led.get_state());
+    alpha_ord.value = bytes_of("o2");
+    RunHandle h2 = fed.coordinator("alpha").propagate_new_state(
+        kOrd, alpha_ord.get_state());
+    ASSERT_TRUE(fed.executor().run_until(
+        [&] { return fed.coordinator("alpha").crashed(); }));
+    (void)h1;
+    (void)h2;
+
+    fed.crash_party("alpha");
+    fed.scheduler().run_until(fed.scheduler().now() + 300'000);
+
+    Coordinator& revived = fed.recover_party("alpha");
+    fed.register_object("alpha", kObj, alpha_led);
+    fed.register_object("alpha", kOrd, alpha_ord);
+    EXPECT_TRUE(revived.recovered());
+    // Each shard came back to its checkpointed state before any redo:
+    // neither in-flight decide had installed.
+    EXPECT_EQ(revived.replica(kObj).agreed_tuple().sequence, 1u);
+    EXPECT_EQ(revived.replica(kOrd).agreed_tuple().sequence, 1u);
+
+    std::vector<RunHandle> resumed = revived.resume_recovered_runs();
+    EXPECT_EQ(resumed.size(), 2u) << "both journaled runs must resume";
+
+    auto converged = [&] {
+      for (const std::string name : {"alpha", "beta", "gamma"}) {
+        Coordinator& coord = fed.coordinator(name);
+        if (coord.replica(kObj).agreed_tuple().sequence != 2u ||
+            coord.replica(kOrd).agreed_tuple().sequence != 2u ||
+            coord.replica(kObj).busy() || coord.replica(kOrd).busy()) {
+          return false;
+        }
+      }
+      return true;
+    };
+    EXPECT_TRUE(fed.executor().run_until(converged))
+        << "both interrupted runs must finish after recovery";
+    for (const RunHandle& r : resumed) EXPECT_TRUE(r->done());
+    fed.settle();
+
+    EXPECT_EQ(alpha_led.value, bytes_of("v2"));
+    EXPECT_EQ(alpha_ord.value, bytes_of("o2"));
+    for (const std::string name : {"alpha", "beta", "gamma"}) {
+      Coordinator& coord = fed.coordinator(name);
+      EXPECT_EQ(coord.replica(kObj).agreed_tuple(),
+                fed.coordinator("alpha").replica(kObj).agreed_tuple())
+          << name;
+      EXPECT_EQ(coord.replica(kOrd).agreed_tuple(),
+                fed.coordinator("alpha").replica(kOrd).agreed_tuple())
+          << name;
+      EXPECT_TRUE(coord.evidence().verify_chain()) << name;
+      EXPECT_EQ(coord.violations_detected(), 0u) << name;
+    }
+    EXPECT_EQ(beta_led.value, bytes_of("v2"));
+    EXPECT_EQ(beta_ord.value, bytes_of("o2"));
   }
   fs::remove_all(fs::temp_directory_path() / ("b2b_recovery_" + tag));
 }
