@@ -101,8 +101,20 @@ const char* runtime_name(core::RuntimeKind kind) {
     case core::RuntimeKind::kSim: return "sim";
     case core::RuntimeKind::kThreaded: return "threaded";
     case core::RuntimeKind::kTcp: return "tcp";
+    case core::RuntimeKind::kReactor: return "reactor";
   }
   return "?";
+}
+
+/// The loop-level counters are defined across every Transport but only a
+/// reactor-backed one moves them; printing them here documents the zero.
+void print_loop_stats(const char* runtime, const net::Transport::Stats& s) {
+  std::printf(
+      "  %-8s | epoll_wakeups=%llu timers_fired=%llu "
+      "executor_queue_peak=%llu\n",
+      runtime, static_cast<unsigned long long>(s.epoll_wakeups),
+      static_cast<unsigned long long>(s.timers_fired),
+      static_cast<unsigned long long>(s.executor_queue_peak));
 }
 
 }  // namespace
@@ -132,6 +144,7 @@ int main() {
     directory->set(PartyId{"b"}, net::PeerAddress{"127.0.0.1", b.port()});
     print_row("tcp", kRounds,
               ping_pong(a, b, PartyId{"a"}, PartyId{"b"}, kRounds, kPayload));
+    print_loop_stats("tcp", a.stats());
   }
 
   bench::print_header(

@@ -33,6 +33,7 @@
 #include "apps/tictactoe.hpp"
 #include "b2b/coordinator.hpp"
 #include "b2b/federation.hpp"
+#include "net/reactor_runtime.hpp"
 #include "net/tcp_runtime.hpp"
 
 using namespace b2b;
@@ -56,13 +57,14 @@ struct Args {
   std::size_t rsa_bits = 512;
   std::uint64_t seed = 1;
   int crash_after = 0;  // 0 = never crash
+  std::string transport = "tcp";  // "tcp" | "reactor"
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --party NAME --peers FILE --port-dir DIR"
                " [--journal DIR] [--rsa-bits N] [--seed N]"
-               " [--crash-after K]\n";
+               " [--crash-after K] [--transport tcp|reactor]\n";
   return 1;
 }
 
@@ -85,12 +87,15 @@ bool parse_args(int argc, char** argv, Args& args) {
       args.seed = std::stoull(value);
     } else if (flag == "--crash-after") {
       args.crash_after = std::stoi(value);
+    } else if (flag == "--transport") {
+      args.transport = value;
     } else {
       return false;
     }
   }
   return !args.party.empty() && !args.peers_file.empty() &&
-         !args.port_dir.empty();
+         !args.port_dir.empty() &&
+         (args.transport == "tcp" || args.transport == "reactor");
 }
 
 /// Spin until `predicate` holds; false on budget exhaustion.
@@ -209,12 +214,34 @@ int main(int argc, char** argv) {
   const PartyId nought = roster[1];
   const PartyId peer = (self == cross) ? nought : cross;
 
-  // Bind an ephemeral port, publish it, and resolve the peer's.
-  net::TcpTransport::Config transport_config;
-  transport_config.retransmit_interval_micros = 20'000;
-  net::TcpTransport transport(self, "127.0.0.1", 0, directory,
-                              transport_config);
-  directory->set(self, net::PeerAddress{"127.0.0.1", transport.port()});
+  // Bind an ephemeral port, publish it, and resolve the peer's. Either
+  // stack speaks the same wire protocol, so the two processes of one
+  // federation may even mix --transport values.
+  std::unique_ptr<net::TcpTransport> tcp_transport;
+  std::unique_ptr<net::Reactor> reactor;
+  std::shared_ptr<net::TaskPool> lane_pool;
+  std::unique_ptr<net::ReactorTransport> reactor_transport;
+  net::Transport* transport = nullptr;
+  std::uint16_t listen_port = 0;
+  if (args.transport == "reactor") {
+    reactor = std::make_unique<net::Reactor>();
+    lane_pool = std::make_shared<net::TaskPool>(4);
+    net::ReactorTransport::Config reactor_config;
+    reactor_config.retransmit_interval_micros = 20'000;
+    reactor_transport = std::make_unique<net::ReactorTransport>(
+        self, "127.0.0.1", std::uint16_t{0}, directory, reactor_config,
+        *reactor, lane_pool);
+    transport = reactor_transport.get();
+    listen_port = reactor_transport->port();
+  } else {
+    net::TcpTransport::Config transport_config;
+    transport_config.retransmit_interval_micros = 20'000;
+    tcp_transport = std::make_unique<net::TcpTransport>(
+        self, "127.0.0.1", std::uint16_t{0}, directory, transport_config);
+    transport = tcp_transport.get();
+    listen_port = tcp_transport->port();
+  }
+  directory->set(self, net::PeerAddress{"127.0.0.1", listen_port});
 
   net::SystemClock clock;
 
@@ -230,7 +257,10 @@ int main(int argc, char** argv) {
   // Real deployment: per-object dispatch lanes, so a slow run on one
   // shared object never delays another object's runs.
   config.shard_lanes = true;
-  core::Coordinator coordinator(config, transport, clock, nullptr);
+  // On the reactor stack, lanes drain on the shared executor pool
+  // instead of one thread per object shard.
+  config.lane_pool = lane_pool;
+  core::Coordinator coordinator(config, *transport, clock, nullptr);
   for (std::size_t i = 0; i < roster.size(); ++i) {
     if (roster[i] == self) continue;
     coordinator.add_known_party(
@@ -255,7 +285,7 @@ int main(int argc, char** argv) {
 
   // Only now is this node ready to serve; publishing the port is the
   // "open for business" signal peers wait on.
-  publish_port(args.port_dir, args.party, transport.port());
+  publish_port(args.port_dir, args.party, listen_port);
   std::uint16_t peer_port = poll_port(args.port_dir, peer.str());
   auto peer_address = directory->lookup(peer);
   const std::string peer_host =
@@ -265,8 +295,9 @@ int main(int argc, char** argv) {
   DirectoryRefresher refresher(
       directory, fs::path(args.port_dir) / (peer.str() + ".port"), peer,
       peer_host);
-  std::cout << "[" << args.party << "] listening on " << transport.port()
-            << ", peer " << peer.str() << " on " << peer_port << std::endl;
+  std::cout << "[" << args.party << "] listening on " << listen_port
+            << " (" << args.transport << "), peer " << peer.str() << " on "
+            << peer_port << std::endl;
 
   // The scripted game: X top row in three, O answering twice.
   struct Move {

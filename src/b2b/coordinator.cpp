@@ -19,9 +19,16 @@ Coordinator::ShardLane::ShardLane() {
   worker_ = std::thread([this] { worker_loop(); });
 }
 
+Coordinator::ShardLane::ShardLane(std::shared_ptr<net::TaskPool> pool)
+    : strand_(std::make_unique<net::Strand>(std::move(pool))) {}
+
 Coordinator::ShardLane::~ShardLane() { stop(); }
 
 void Coordinator::ShardLane::post(std::function<void()> task) {
+  if (strand_) {
+    strand_->post(std::move(task));
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) return;
@@ -31,16 +38,25 @@ void Coordinator::ShardLane::post(std::function<void()> task) {
 }
 
 bool Coordinator::ShardLane::idle() const {
+  if (strand_) return strand_->idle();
   std::lock_guard<std::mutex> lock(mutex_);
   return queue_.empty() && !running_;
 }
 
 void Coordinator::ShardLane::wait_idle() const {
+  if (strand_) {
+    strand_->wait_idle();
+    return;
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [this] { return (queue_.empty() && !running_) || stopping_; });
 }
 
 void Coordinator::ShardLane::stop() {
+  if (strand_) {
+    strand_->stop();
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stopping_ = true;
@@ -85,6 +101,7 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
       lock_mode_(config.lock_mode),
       shard_lanes_(config.shard_lanes &&
                    config.lock_mode == LockMode::kPerObject),
+      lane_pool_(config.lane_pool),
       sponsor_policy_(config.sponsor_policy),
       decision_rule_(config.decision_rule),
       run_probe_interval_micros_(config.run_probe_interval_micros),
@@ -335,7 +352,8 @@ Replica& Coordinator::register_object(const ObjectId& object,
   shard->replica->set_decision_rule(decision_rule_);
   shard->replica->set_run_probe(run_probe_interval_micros_, max_run_probes_);
   if (shard_lanes_) {
-    shard->lane = std::make_unique<ShardLane>();
+    shard->lane = lane_pool_ ? std::make_unique<ShardLane>(lane_pool_)
+                             : std::make_unique<ShardLane>();
   }
   Replica& ref = *shard->replica;
   if (auto it = recovered_.find(object); it != recovered_.end()) {

@@ -48,6 +48,7 @@
 
 #include "b2b/replica.hpp"
 #include "crypto/timestamp.hpp"
+#include "net/reactor.hpp"  // TaskPool / Strand (pool-backed shard lanes)
 #include "net/runtime.hpp"
 #include "store/evidence_log.hpp"
 #include "store/journal.hpp"
@@ -102,6 +103,12 @@ class Coordinator {
     /// meaningful with kPerObject; keep false on the deterministic
     /// simulator (inline dispatch preserves bit-for-bit event order).
     bool shard_lanes = false;
+    /// When set (reactor runtime), shard lanes run as FIFO strands on
+    /// this bounded pool instead of spawning one thread per shard:
+    /// thread count stays flat in the number of objects. Dispatch
+    /// semantics (FIFO per shard, discard-on-stop) are identical.
+    /// Shared ownership: a queued drain task survives the coordinator.
+    std::shared_ptr<net::TaskPool> lane_pool;
   };
 
   /// Per-message-type send counters (protocol-level, before transport
@@ -283,12 +290,15 @@ class Coordinator {
     Coordinator* coordinator = nullptr;
   };
 
-  /// A shard's dispatch strand: one worker thread draining a FIFO of
-  /// tasks. Stopping discards queued tasks (the coordinator is dying) and
-  /// joins the worker.
+  /// A shard's dispatch strand. Two backings with identical semantics
+  /// (FIFO, one task at a time, stop discards the queue): a dedicated
+  /// worker thread (threaded/tcp runtimes), or a net::Strand multiplexed
+  /// onto a shared bounded TaskPool (reactor runtime) so lane count is
+  /// decoupled from thread count.
   class ShardLane {
    public:
     ShardLane();
+    explicit ShardLane(std::shared_ptr<net::TaskPool> pool);
     ~ShardLane();
     void post(std::function<void()> task);
     bool idle() const;
@@ -298,6 +308,7 @@ class Coordinator {
    private:
     void worker_loop();
 
+    std::unique_ptr<net::Strand> strand_;  // pool mode; else own thread:
     mutable std::mutex mutex_;
     mutable std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
@@ -376,6 +387,8 @@ class Coordinator {
 
   LockMode lock_mode_;
   bool shard_lanes_ = false;
+  /// Backing pool for strand-mode lanes (null = thread-mode lanes).
+  std::shared_ptr<net::TaskPool> lane_pool_;
   SponsorPolicy sponsor_policy_;
   DecisionRule decision_rule_;
 

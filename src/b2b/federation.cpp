@@ -41,7 +41,7 @@ Federation::Federation(std::vector<std::string> party_names,
     threaded_options.transport = options.threaded_transport;
     threaded_options.executor = options.threaded_executor;
     threaded_ = std::make_unique<net::ThreadedRuntime>(threaded_options);
-  } else {
+  } else if (runtime_ == RuntimeKind::kTcp) {
     net::TcpRuntime::Options tcp_options;
     tcp_options.directory = options.tcp_directory;
     tcp_options.seed = options.seed;
@@ -49,6 +49,15 @@ Federation::Federation(std::vector<std::string> party_names,
     tcp_options.transport = options.tcp_transport;
     tcp_options.executor = options.threaded_executor;
     tcp_ = std::make_unique<net::TcpRuntime>(tcp_options);
+  } else {
+    net::ReactorRuntime::Options reactor_options;
+    reactor_options.directory = options.tcp_directory;
+    reactor_options.seed = options.seed;
+    reactor_options.faults = options.reactor_faults;
+    reactor_options.transport = options.reactor_transport;
+    reactor_options.executor = options.threaded_executor;
+    reactor_options.workers = options.reactor_workers;
+    reactor_ = std::make_unique<net::ReactorRuntime>(reactor_options);
   }
 
   if (options.use_tss) {
@@ -77,6 +86,8 @@ Federation::Federation(std::vector<std::string> party_names,
       threaded_->add_quiescence_probe(lane_probe);
     } else if (tcp_) {
       tcp_->add_quiescence_probe(lane_probe);
+    } else if (reactor_) {
+      reactor_->add_quiescence_probe(lane_probe);
     }
   }
 
@@ -101,6 +112,7 @@ Federation::~Federation() {
   // runs first — runtimes are declared last) is about to destroy.
   if (threaded_) threaded_->shutdown();
   if (tcp_) tcp_->shutdown();
+  if (reactor_) reactor_->shutdown();
   for (auto& p : parties_) {
     if (p->coordinator) p->coordinator->stop_lanes();
   }
@@ -109,7 +121,8 @@ Federation::~Federation() {
 net::Runtime& Federation::runtime_impl() {
   if (sim_) return *sim_;
   if (threaded_) return *threaded_;
-  return *tcp_;
+  if (tcp_) return *tcp_;
+  return *reactor_;
 }
 
 net::Clock& Federation::clock() { return runtime_impl().clock(); }
@@ -136,6 +149,13 @@ net::ThreadedNetwork& Federation::threaded_network() {
 net::TcpRuntime& Federation::tcp_runtime() {
   if (!tcp_) throw Error("tcp_runtime(): not running on the tcp runtime");
   return *tcp_;
+}
+
+net::ReactorRuntime& Federation::reactor_runtime() {
+  if (!reactor_) {
+    throw Error("reactor_runtime(): not running on the reactor runtime");
+  }
+  return *reactor_;
 }
 
 std::vector<PartyId> Federation::party_ids() const {
@@ -177,6 +197,9 @@ Coordinator::Config Federation::party_config(std::size_t index) const {
   // Lanes only where real threads exist: the sim dispatches inline on one
   // thread, preserving bit-for-bit determinism.
   config.shard_lanes = options_.shard_lanes && runtime_ != RuntimeKind::kSim;
+  // On the reactor runtime, lanes run as strands on the shared executor
+  // pool instead of owning a thread each — flat thread count.
+  if (reactor_) config.lane_pool = reactor_->pool();
   return config;
 }
 
@@ -196,8 +219,10 @@ void Federation::crash_party(const std::string& name) {
     sim_->network().set_alive(party.id, false);
   } else if (threaded_) {
     threaded_->network().set_alive(party.id, false);
-  } else {
+  } else if (tcp_) {
     tcp_->set_alive(party.id, false);
+  } else {
+    reactor_->set_alive(party.id, false);
   }
   party.transport->set_handler_sync({});
   party.transport->set_delivery_failure_handler({});
@@ -214,8 +239,10 @@ Coordinator& Federation::recover_party(const std::string& name) {
     sim_->network().set_alive(party.id, true);
   } else if (threaded_) {
     threaded_->network().set_alive(party.id, true);
-  } else {
+  } else if (tcp_) {
     tcp_->set_alive(party.id, true);
+  } else {
+    reactor_->set_alive(party.id, true);
   }
   party.coordinator = std::make_unique<Coordinator>(
       party_config(index), *party.transport, clock(), tss_.get());

@@ -22,6 +22,11 @@
 //    The cross-process deployment (one coordinator per OS process, wired
 //    by a PeerDirectory) lives in examples/b2bnode.cpp; the in-process
 //    variant here lets the full protocol suites run over real sockets.
+//  * RuntimeKind::kReactor  — same TCP wire protocol, but every party is
+//    hosted on ONE epoll loop with a timer wheel and a bounded executor
+//    pool (net::ReactorRuntime): thread count stays flat no matter how
+//    many parties/connections the federation holds (DESIGN.md §10).
+//    Coordinator shard lanes run as strands on the shared pool.
 //
 // The Federation itself never constructs a concrete substrate; all
 // protocol-layer plumbing goes through the abstract Runtime seam.
@@ -35,6 +40,7 @@
 #include "b2b/termination.hpp"
 #include "b2b/coordinator.hpp"
 #include "crypto/timestamp.hpp"
+#include "net/reactor_runtime.hpp"
 #include "net/sim_runtime.hpp"
 #include "net/tcp_runtime.hpp"
 #include "net/threaded_runtime.hpp"
@@ -42,7 +48,7 @@
 namespace b2b::core {
 
 /// Which substrate a Federation assembles its parties on.
-enum class RuntimeKind { kSim, kThreaded, kTcp };
+enum class RuntimeKind { kSim, kThreaded, kTcp, kReactor };
 
 class Federation {
  public:
@@ -68,9 +74,17 @@ class Federation {
     net::TcpFaults tcp_faults{};
     /// Transport configuration (tcp runtime).
     net::TcpTransport::Config tcp_transport{};
-    /// Party address book (tcp runtime). Leave null for a fresh directory
-    /// of localhost ephemeral ports; pass one to pin addresses.
+    /// Party address book (tcp and reactor runtimes). Leave null for a
+    /// fresh directory of localhost ephemeral ports; pass one to pin
+    /// addresses.
     std::shared_ptr<net::PeerDirectory> tcp_directory;
+    /// Fault model injected at the socket layer (reactor runtime).
+    net::TcpFaults reactor_faults{};
+    /// Transport configuration (reactor runtime).
+    net::ReactorTransport::Config reactor_transport{};
+    /// Executor pool width (reactor runtime): deliveries, shard-lane
+    /// dispatch and clock callbacks all share these workers.
+    std::size_t reactor_workers = 4;
     /// Provide a trusted time-stamping service to all parties.
     bool use_tss = true;
     /// Sponsor selection policy applied federation-wide.
@@ -90,11 +104,13 @@ class Federation {
     /// reproduces the pre-shard single-lock contention profile — the
     /// baseline for the sharding bench and equivalence suite.
     Coordinator::LockMode lock_mode = Coordinator::LockMode::kPerObject;
-    /// Per-object dispatch lanes (strands). Applied on the threaded and
-    /// tcp runtimes only — the sim stays single-threaded and inline, so
-    /// seeded runs reproduce bit-for-bit. The federation registers a
-    /// lane-idle quiescence probe per party with the runtime, so
-    /// settle() keeps meaning "nothing left to do anywhere".
+    /// Per-object dispatch lanes (strands). Applied on the threaded,
+    /// tcp and reactor runtimes — the sim stays single-threaded and
+    /// inline, so seeded runs reproduce bit-for-bit. On the reactor
+    /// runtime the lanes are strands on the shared executor pool (no
+    /// lane threads); elsewhere each lane owns a thread. The federation
+    /// registers a lane-idle quiescence probe per party with the
+    /// runtime, so settle() keeps meaning "nothing left to do anywhere".
     bool shard_lanes = true;
   };
 
@@ -125,6 +141,10 @@ class Federation {
   /// Tcp-only runtime bundle (ports, fault counters, per-party
   /// transports). Throws b2b::Error on the other runtimes.
   net::TcpRuntime& tcp_runtime();
+
+  /// Reactor-only runtime bundle (epoll loop, wheel, executor pool).
+  /// Throws b2b::Error on the other runtimes.
+  net::ReactorRuntime& reactor_runtime();
 
   const crypto::TimestampService* tss() const { return tss_.get(); }
 
@@ -236,6 +256,7 @@ class Federation {
   std::unique_ptr<net::SimRuntime> sim_;
   std::unique_ptr<net::ThreadedRuntime> threaded_;
   std::unique_ptr<net::TcpRuntime> tcp_;
+  std::unique_ptr<net::ReactorRuntime> reactor_;
 
   RuntimeKind runtime_ = RuntimeKind::kSim;
   std::size_t rsa_bits_ = 512;

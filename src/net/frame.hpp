@@ -1,0 +1,81 @@
+// Shared wire marshalling for the socket runtimes.
+//
+// TcpRuntime (thread-per-connection) and ReactorRuntime (epoll) speak
+// the *same* byte stream: every message is a length-prefixed CRC-framed
+// frame, the first frame in each direction is a handshake naming the
+// sending party and its incarnation, and data/ack frames carry the §4.2
+// positive-acknowledgement sequence numbers. Keeping the encoding in
+// one place is what makes the two runtimes wire-compatible — a reactor
+// gateway can terminate connections from thread-per-peer processes and
+// vice versa. In Basic Remoting Patterns terms this header is the
+// MARSHALLER; the runtimes differ only in their SERVER REQUEST HANDLER
+// (how bytes reach the process), and the coordinator above both is the
+// INVOKER.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+#include "store/crc32.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::net::frame {
+
+/// Frame payload types (first byte of every decoded payload).
+constexpr std::uint8_t kData = 0;
+constexpr std::uint8_t kAck = 1;
+constexpr std::uint8_t kHello = 2;
+
+/// Handshake magic ("B2BT") and protocol version.
+constexpr std::uint32_t kMagic = 0x42'32'42'54;
+constexpr std::uint16_t kVersion = 1;
+
+/// Stream framing: [u32 len LE][u32 crc32 LE][payload].
+constexpr std::size_t kHeaderLen = 8;
+
+inline void put_u32_le(std::uint8_t* out, std::uint32_t v) {
+  out[0] = static_cast<std::uint8_t>(v);
+  out[1] = static_cast<std::uint8_t>(v >> 8);
+  out[2] = static_cast<std::uint8_t>(v >> 16);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+inline std::uint32_t get_u32_le(const std::uint8_t* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+inline Bytes encode_data(std::uint64_t seq, BytesView payload) {
+  wire::Encoder enc;
+  enc.u8(kData).u64(seq).blob(payload);
+  return std::move(enc).take();
+}
+
+inline Bytes encode_ack(std::uint64_t seq) {
+  wire::Encoder enc;
+  enc.u8(kAck).u64(seq);
+  return std::move(enc).take();
+}
+
+inline Bytes encode_hello(const PartyId& from, const PartyId& to,
+                          std::uint64_t incarnation) {
+  wire::Encoder enc;
+  enc.u8(kHello).u32(kMagic).u16(kVersion).str(from.str()).str(to.str());
+  enc.u64(incarnation);
+  return std::move(enc).take();
+}
+
+/// Prepend the stream header ([len][crc32]) to an encoded payload.
+inline Bytes frame_payload(const Bytes& payload) {
+  Bytes framed(kHeaderLen + payload.size());
+  put_u32_le(framed.data(), static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(framed.data() + 4, store::crc32(payload));
+  std::copy(payload.begin(), payload.end(), framed.begin() + kHeaderLen);
+  return framed;
+}
+
+}  // namespace b2b::net::frame

@@ -1,0 +1,343 @@
+#include "net/reactor.hpp"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace b2b::net {
+
+// ---------------------------------------------------------------------------
+// TaskPool
+// ---------------------------------------------------------------------------
+
+TaskPool::TaskPool(std::size_t workers)
+    : workers_count_(std::max<std::size_t>(workers, 1)) {
+  threads_.reserve(workers_count_);
+  for (std::size_t i = 0; i < workers_count_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() { shutdown(); }
+
+void TaskPool::post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(std::move(task));
+    queue_peak_ = std::max<std::uint64_t>(queue_peak_, queue_.size());
+  }
+  cv_.notify_one();
+}
+
+void TaskPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    queue_.clear();
+  }
+  cv_.notify_all();
+  for (auto& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
+bool TaskPool::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.empty() && running_ == 0;
+}
+
+std::uint64_t TaskPool::queue_peak() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_peak_;
+}
+
+void TaskPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_) return;
+    auto task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Strand
+// ---------------------------------------------------------------------------
+
+Strand::Strand(std::shared_ptr<TaskPool> pool)
+    : pool_(std::move(pool)), inner_(std::make_shared<Inner>()) {}
+
+Strand::~Strand() { stop(); }
+
+void Strand::post(std::function<void()> task) {
+  bool kick = false;
+  {
+    std::lock_guard<std::mutex> lock(inner_->mutex);
+    if (inner_->stopping) return;
+    inner_->queue.push_back(std::move(task));
+    if (!inner_->scheduled) {
+      inner_->scheduled = true;
+      kick = true;
+    }
+  }
+  if (kick) {
+    pool_->post([inner = inner_, pool = pool_] { drain(inner, pool); });
+  }
+}
+
+void Strand::drain(const std::shared_ptr<Inner>& inner,
+                   const std::shared_ptr<TaskPool>& pool) {
+  constexpr int kBatch = 16;
+  std::unique_lock<std::mutex> lock(inner->mutex);
+  for (int ran = 0; ran < kBatch; ++ran) {
+    if (inner->stopping || inner->queue.empty()) {
+      inner->scheduled = false;
+      lock.unlock();
+      inner->cv.notify_all();
+      return;
+    }
+    auto task = std::move(inner->queue.front());
+    inner->queue.pop_front();
+    inner->running = true;
+    lock.unlock();
+    task();
+    lock.lock();
+    inner->running = false;
+    if (inner->queue.empty()) inner->cv.notify_all();
+  }
+  // Budget exhausted with work left: requeue ourselves so sibling
+  // strands sharing the pool get a turn (`scheduled` stays true).
+  lock.unlock();
+  inner->cv.notify_all();
+  pool->post([inner, pool] { drain(inner, pool); });
+}
+
+bool Strand::idle() const {
+  std::lock_guard<std::mutex> lock(inner_->mutex);
+  return inner_->queue.empty() && !inner_->running;
+}
+
+void Strand::wait_idle() const {
+  std::unique_lock<std::mutex> lock(inner_->mutex);
+  inner_->cv.wait(lock, [this] {
+    return inner_->stopping || (inner_->queue.empty() && !inner_->running);
+  });
+}
+
+void Strand::stop() {
+  std::unique_lock<std::mutex> lock(inner_->mutex);
+  inner_->stopping = true;
+  inner_->queue.clear();
+  inner_->cv.notify_all();
+  inner_->cv.wait(lock, [this] { return !inner_->running; });
+}
+
+// ---------------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------------
+
+Reactor::Reactor(Config config)
+    : config_(config),
+      epoch_(std::chrono::steady_clock::now()),
+      wheel_(0, config.wheel) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) throw Error("reactor: epoll_create1 failed");
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw Error("reactor: eventfd failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.ptr = nullptr;  // nullptr marks the wakeup fd
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+  loop_thread_ = std::thread([this] { loop(); });
+}
+
+Reactor::~Reactor() {
+  shutdown();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+std::uint64_t Reactor::now_micros() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+bool Reactor::on_loop_thread() const {
+  return std::this_thread::get_id() == loop_thread_.get_id();
+}
+
+Reactor::FdHandlerPtr Reactor::add_fd(
+    int fd, std::uint32_t events, std::function<void(std::uint32_t)> on_events) {
+  auto handle = std::make_shared<FdHandler>();
+  handle->fd = fd;
+  handle->on_events = std::move(on_events);
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = handle.get();
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    B2B_WARN("reactor: epoll_ctl ADD failed for fd ", fd);
+    return nullptr;
+  }
+  registered_.push_back(handle);
+  return handle;
+}
+
+void Reactor::update_fd(const FdHandlerPtr& handle, std::uint32_t events) {
+  if (!handle || handle->dead) return;
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.ptr = handle.get();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, handle->fd, &ev);
+}
+
+void Reactor::remove_fd(const FdHandlerPtr& handle) {
+  if (!handle || handle->dead) return;
+  handle->dead = true;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, handle->fd, nullptr);
+  auto it = std::find(registered_.begin(), registered_.end(), handle);
+  if (it != registered_.end()) registered_.erase(it);
+  // The current epoll_wait batch may still hold a raw pointer to this
+  // handler; keep it alive until the batch is fully dispatched.
+  graveyard_.push_back(handle);
+}
+
+bool Reactor::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+  return true;
+}
+
+TimerWheel::TimerId Reactor::schedule_at(std::uint64_t due_micros,
+                                         std::function<void()> fn) {
+  TimerWheel::TimerId id;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return TimerWheel::kInvalidTimer;
+    id = wheel_.schedule_at(due_micros, std::move(fn));
+  }
+  // The loop may be sleeping past the new deadline; re-derive it.
+  if (!on_loop_thread()) wake();
+  return id;
+}
+
+TimerWheel::TimerId Reactor::schedule_after(std::uint64_t delay_micros,
+                                            std::function<void()> fn) {
+  return schedule_at(now_micros() + delay_micros, std::move(fn));
+}
+
+bool Reactor::cancel(TimerWheel::TimerId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return wheel_.cancel(id);
+}
+
+Reactor::Stats Reactor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.timers_fired = wheel_.fired();
+  return stats;
+}
+
+void Reactor::wake() {
+  std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof one);
+}
+
+void Reactor::drain_wakeup_fd() {
+  std::uint64_t value;
+  while (::read(wake_fd_, &value, sizeof value) > 0) {
+  }
+}
+
+void Reactor::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Already stopping; still join below (idempotent via joinable()).
+    }
+    stopping_ = true;
+    posted_.clear();
+  }
+  wake();
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+void Reactor::loop() {
+  std::vector<epoll_event> events(
+      static_cast<std::size_t>(std::max(config_.max_events, 1)));
+  std::deque<std::function<void()>> run_now;
+  std::vector<std::function<void()>> fired;
+  for (;;) {
+    int timeout_ms = -1;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      if (!posted_.empty()) {
+        timeout_ms = 0;
+      } else if (auto due = wheel_.next_due_micros()) {
+        const std::uint64_t now = now_micros();
+        timeout_ms = *due <= now
+                         ? 0
+                         : static_cast<int>(
+                               std::min<std::uint64_t>((*due - now) / 1000 + 1,
+                                                       60'000));
+      }
+    }
+    int n = ::epoll_wait(epoll_fd_, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    if (n < 0 && errno != EINTR) {
+      B2B_WARN("reactor: epoll_wait failed, loop exiting");
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_) return;
+      ++stats_.epoll_wakeups;
+      run_now.swap(posted_);
+      wheel_.advance(now_micros(), fired);
+    }
+    // Timer callbacks run BEFORE posted tasks. Owners tear down via a
+    // posted task (and are destroyed only after it runs), so a timer
+    // callback extracted in the same batch as a teardown task must run
+    // first — while its owner is still alive. Anything the callback
+    // reschedules is still in the wheel when the teardown task runs,
+    // so its cancel() calls catch everything that would fire later.
+    for (auto& fn : fired) fn();
+    fired.clear();
+    for (auto& fn : run_now) fn();
+    run_now.clear();
+    for (int i = 0; i < n; ++i) {
+      auto* handler = static_cast<FdHandler*>(events[i].data.ptr);
+      if (handler == nullptr) {
+        drain_wakeup_fd();
+        continue;
+      }
+      if (handler->dead) continue;  // removed earlier in this batch
+      handler->on_events(events[i].events);
+    }
+    graveyard_.clear();
+  }
+}
+
+}  // namespace b2b::net

@@ -63,6 +63,13 @@ class Transport {
     std::uint64_t connects = 0;
     std::uint64_t reconnects = 0;
     std::uint64_t frames_dropped_crc = 0;
+    /// Event-loop scheduling counters (reactor runtime); always 0 on
+    /// sim/threaded/tcp, which have no loop, wheel, or shared pool.
+    /// Reported per bundle (every transport of one reactor sees the
+    /// same loop), so benches read them from any single transport.
+    std::uint64_t epoll_wakeups = 0;
+    std::uint64_t timers_fired = 0;
+    std::uint64_t executor_queue_peak = 0;
   };
 
   virtual ~Transport() = default;

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 
 #include "common/error.hpp"
@@ -99,6 +100,17 @@ void Socket::set_nodelay() {
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
 }
 
+void Socket::set_nonblocking(bool nonblocking) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return;
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  ::fcntl(fd_, F_SETFL, flags);
+}
+
 void Socket::set_recv_timeout(std::uint64_t micros) {
   timeval tv{};
   tv.tv_sec = static_cast<time_t>(micros / 1'000'000);
@@ -113,7 +125,8 @@ void Socket::set_linger_reset() {
   ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof lg);
 }
 
-Listener Listener::open(const std::string& host, std::uint16_t port) {
+Socket tcp_listen(const std::string& host, std::uint16_t port,
+                  std::uint16_t* bound_port) {
   sockaddr_in addr{};
   if (!resolve(host, port, &addr)) {
     throw Error("listener: cannot resolve " + host);
@@ -129,7 +142,9 @@ Listener Listener::open(const std::string& host, std::uint16_t port) {
     throw Error("listener: cannot bind " + host + ":" +
                 std::to_string(port) + " (" + std::strerror(errno) + ")");
   }
-  if (::listen(sock.fd(), 64) != 0) {
+  // SOMAXCONN: a gateway node can see hundreds of near-simultaneous
+  // dials at startup; a short backlog turns those into connect timeouts.
+  if (::listen(sock.fd(), SOMAXCONN) != 0) {
     throw Error("listener: listen() failed");
   }
   sockaddr_in bound{};
@@ -138,10 +153,13 @@ Listener Listener::open(const std::string& host, std::uint16_t port) {
                     &bound_len) != 0) {
     throw Error("listener: getsockname() failed");
   }
+  if (bound_port != nullptr) *bound_port = ntohs(bound.sin_port);
+  return sock;
+}
 
+Listener Listener::open(const std::string& host, std::uint16_t port) {
   Listener listener;
-  listener.listen_ = std::move(sock);
-  listener.port_ = ntohs(bound.sin_port);
+  listener.listen_ = tcp_listen(host, port, &listener.port_);
   int pipe_fds[2];
   if (::pipe(pipe_fds) != 0) throw Error("listener: pipe() failed");
   listener.wake_read_ = Socket(pipe_fds[0]);
@@ -165,6 +183,17 @@ Socket Listener::accept() {
     if (fd < 0) {
       // ECONNABORTED and friends are transient; keep accepting.
       if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        // Out of descriptors: shed this connection instead of killing
+        // the acceptor. The peer's retransmit layer redials; back off
+        // briefly so a sustained fd famine does not spin this thread.
+        std::fprintf(stderr,
+                     "[b2b.net] accept: out of file descriptors (%s); "
+                     "dropping connection attempt\n",
+                     std::strerror(errno));
+        ::poll(nullptr, 0, 50);
         continue;
       }
       return Socket{};
@@ -204,6 +233,25 @@ Socket tcp_connect(const std::string& host, std::uint16_t port,
     }
   }
   ::fcntl(sock.fd(), F_SETFL, flags);  // back to blocking
+  return sock;
+}
+
+Socket tcp_connect_start(const std::string& host, std::uint16_t port,
+                         bool* in_progress) {
+  if (in_progress != nullptr) *in_progress = false;
+  sockaddr_in addr{};
+  if (!resolve(host, port, &addr)) return Socket{};
+  Socket sock(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!sock.valid()) return Socket{};
+  int rc;
+  do {
+    rc = ::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                   sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return Socket{};
+    if (in_progress != nullptr) *in_progress = true;
+  }
   return sock;
 }
 

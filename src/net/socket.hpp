@@ -49,6 +49,10 @@ class Socket {
   /// Disable Nagle (frames are small and latency-sensitive).
   void set_nodelay();
 
+  /// O_NONBLOCK on/off. The reactor runtime runs every socket
+  /// non-blocking; the thread-per-connection runtime keeps them blocking.
+  void set_nonblocking(bool nonblocking);
+
   /// SO_RCVTIMEO, 0 clears. Used to bound the handshake phase.
   void set_recv_timeout(std::uint64_t micros);
 
@@ -93,5 +97,19 @@ class Listener {
 /// invalid Socket on failure or timeout.
 Socket tcp_connect(const std::string& host, std::uint16_t port,
                    std::uint64_t timeout_micros);
+
+/// Bind + listen and return the listening socket (no wake pipe). Port 0
+/// picks an ephemeral port reported through `bound_port`. Throws
+/// b2b::Error on failure. The reactor runtime registers this fd with
+/// epoll directly instead of parking a thread in accept().
+Socket tcp_listen(const std::string& host, std::uint16_t port,
+                  std::uint16_t* bound_port);
+
+/// Start a non-blocking connect and return the socket immediately.
+/// `*in_progress` is true when the connect is still completing; the
+/// caller waits for writability and then checks SO_ERROR. An invalid
+/// Socket means resolution or socket creation failed outright.
+Socket tcp_connect_start(const std::string& host, std::uint16_t port,
+                         bool* in_progress);
 
 }  // namespace b2b::net

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "net/frame.hpp"
 #include "store/crc32.hpp"
 #include "wire/codec.hpp"
 
@@ -12,12 +13,16 @@ namespace b2b::net {
 
 namespace {
 
-constexpr std::uint8_t kData = 0;
-constexpr std::uint8_t kAck = 1;
-constexpr std::uint8_t kHello = 2;
-constexpr std::uint32_t kMagic = 0x42'32'42'54;  // "B2BT"
-constexpr std::uint16_t kVersion = 1;
-constexpr std::size_t kFrameHeaderLen = 8;  // u32 len + u32 crc32
+using frame::encode_ack;
+using frame::encode_data;
+using frame::encode_hello;
+using frame::get_u32_le;
+using frame::kAck;
+using frame::kData;
+using frame::kHello;
+using frame::kMagic;
+using frame::kVersion;
+constexpr std::size_t kFrameHeaderLen = frame::kHeaderLen;
 
 std::uint64_t steady_micros() {
   return static_cast<std::uint64_t>(
@@ -32,40 +37,6 @@ std::uint64_t random_incarnation() {
   std::uint64_t lo = rd();
   std::uint64_t inc = (hi << 32) ^ lo;
   return inc == 0 ? 1 : inc;  // 0 is "no incarnation known"
-}
-
-void put_u32_le(std::uint8_t* out, std::uint32_t v) {
-  out[0] = static_cast<std::uint8_t>(v);
-  out[1] = static_cast<std::uint8_t>(v >> 8);
-  out[2] = static_cast<std::uint8_t>(v >> 16);
-  out[3] = static_cast<std::uint8_t>(v >> 24);
-}
-
-std::uint32_t get_u32_le(const std::uint8_t* in) {
-  return static_cast<std::uint32_t>(in[0]) |
-         (static_cast<std::uint32_t>(in[1]) << 8) |
-         (static_cast<std::uint32_t>(in[2]) << 16) |
-         (static_cast<std::uint32_t>(in[3]) << 24);
-}
-
-Bytes encode_data(std::uint64_t seq, BytesView payload) {
-  wire::Encoder enc;
-  enc.u8(kData).u64(seq).blob(payload);
-  return std::move(enc).take();
-}
-
-Bytes encode_ack(std::uint64_t seq) {
-  wire::Encoder enc;
-  enc.u8(kAck).u64(seq);
-  return std::move(enc).take();
-}
-
-Bytes encode_hello(const PartyId& from, const PartyId& to,
-                   std::uint64_t incarnation) {
-  wire::Encoder enc;
-  enc.u8(kHello).u32(kMagic).u16(kVersion).str(from.str()).str(to.str());
-  enc.u64(incarnation);
-  return std::move(enc).take();
 }
 
 }  // namespace
@@ -200,11 +171,7 @@ bool TcpTransport::quiescent() const {
 
 bool TcpTransport::write_frame(const ConnPtr& conn, const Bytes& payload) {
   if (conn->dead.load()) return false;
-  Bytes framed(kFrameHeaderLen + payload.size());
-  put_u32_le(framed.data(), static_cast<std::uint32_t>(payload.size()));
-  put_u32_le(framed.data() + 4, store::crc32(payload));
-  std::copy(payload.begin(), payload.end(),
-            framed.begin() + kFrameHeaderLen);
+  Bytes framed = frame::frame_payload(payload);
   bool ok;
   {
     std::lock_guard<std::mutex> lock(conn->write_mutex);

@@ -1,0 +1,180 @@
+// Hierarchical timer wheel: O(1) schedule/cancel for the reactor.
+//
+// The reactor replaces one retransmit thread per party and one timer
+// thread per runtime with a single wheel consulted by the epoll loop.
+// At C10K scale that is thousands of concurrently armed timers
+// (retransmit ticks, connect/handshake deadlines, Clock::schedule
+// callbacks), so the classic hashed-hierarchical design applies: four
+// levels of 64 slots each, a timer lands `delta` ticks out in the level
+// whose span covers delta, and timers cascade down a level whenever the
+// wheel's cursor rolls over a slot boundary. A timer never fires early:
+// deadlines round UP to the next tick, and advance() only fires slots
+// the cursor has fully passed.
+//
+// Thread model: the wheel itself is NOT synchronised. The Reactor owns
+// one and guards it with its own mutex (schedule/cancel arrive from any
+// thread; advance runs on the loop thread). advance() hands expired
+// callbacks back to the caller instead of invoking them, so the caller
+// can drop its lock first — a fired callback is free to re-schedule.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace b2b::net {
+
+class TimerWheel {
+ public:
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
+  struct Config {
+    /// Wheel granularity. Deadlines round up to a multiple of this, so
+    /// it bounds both firing slop and the epoll wait quantum.
+    std::uint64_t tick_micros = 1'024;
+  };
+
+  static constexpr std::size_t kLevels = 4;
+  static constexpr std::size_t kSlotBits = 6;
+  static constexpr std::size_t kSlots = 1u << kSlotBits;  // 64 per level
+
+  explicit TimerWheel(std::uint64_t now_micros)
+      : TimerWheel(now_micros, Config{}) {}
+  TimerWheel(std::uint64_t now_micros, Config config)
+      : config_(config), cursor_(now_micros / config_.tick_micros) {}
+
+  /// Arm a timer for `due_micros` (absolute, same timebase as advance).
+  /// A deadline at or before "now" fires on the next advance.
+  TimerId schedule_at(std::uint64_t due_micros, std::function<void()> fn) {
+    const TimerId id = next_id_++;
+    std::uint64_t due_tick =
+        (due_micros + config_.tick_micros - 1) / config_.tick_micros;
+    if (due_tick <= cursor_) due_tick = cursor_ + 1;
+    place(Entry{id, due_tick, std::move(fn)});
+    ++pending_;
+    return id;
+  }
+
+  /// Disarm. Returns false if the timer already fired or never existed.
+  bool cancel(TimerId id) {
+    auto it = index_.find(id);
+    if (it == index_.end()) return false;
+    slots_[it->second.level][it->second.slot].erase(it->second.where);
+    index_.erase(it);
+    --pending_;
+    return true;
+  }
+
+  /// Move the cursor up to `now_micros`, collecting every expired
+  /// callback (in deadline order, FIFO within a tick) into `fired`.
+  /// Returns the number collected.
+  std::size_t advance(std::uint64_t now_micros,
+                      std::vector<std::function<void()>>& fired) {
+    const std::uint64_t target = now_micros / config_.tick_micros;
+    std::size_t count = 0;
+    while (cursor_ < target && pending_ > 0) {
+      ++cursor_;
+      // Slot boundaries rolled over by this tick cascade their coarser
+      // entries down before the fine slot fires.
+      for (std::size_t level = 1; level < kLevels; ++level) {
+        const std::uint64_t span = std::uint64_t{1} << (kSlotBits * level);
+        if (cursor_ % span != 0) break;
+        cascade(level, (cursor_ >> (kSlotBits * level)) & (kSlots - 1));
+      }
+      auto& slot = slots_[0][cursor_ & (kSlots - 1)];
+      while (!slot.empty()) {
+        Entry entry = std::move(slot.front());
+        slot.pop_front();
+        index_.erase(entry.id);
+        --pending_;
+        ++fired_;
+        ++count;
+        fired.push_back(std::move(entry.fn));
+      }
+    }
+    if (pending_ == 0) cursor_ = target < cursor_ ? cursor_ : target;
+    return count;
+  }
+
+  /// Conservative earliest instant a timer could fire (never later than
+  /// the true deadline): the next non-empty fine slot, else the next
+  /// cascade boundary. nullopt when nothing is armed.
+  std::optional<std::uint64_t> next_due_micros() const {
+    if (pending_ == 0) return std::nullopt;
+    for (std::uint64_t d = 1; d < kSlots; ++d) {
+      if (!slots_[0][(cursor_ + d) & (kSlots - 1)].empty()) {
+        return (cursor_ + d) * config_.tick_micros;
+      }
+    }
+    // Everything armed lives in coarser levels; it can only fire after
+    // cascading at the next level-1 boundary.
+    const std::uint64_t boundary = ((cursor_ >> kSlotBits) + 1) << kSlotBits;
+    return boundary * config_.tick_micros;
+  }
+
+  std::size_t pending() const { return pending_; }
+  std::uint64_t fired() const { return fired_; }
+  std::uint64_t tick_micros() const { return config_.tick_micros; }
+
+ private:
+  struct Entry {
+    TimerId id;
+    std::uint64_t due_tick;
+    std::function<void()> fn;
+  };
+  struct Location {
+    std::size_t level;
+    std::size_t slot;
+    std::list<Entry>::iterator where;
+  };
+
+  /// File an entry by its distance from the cursor: level L holds
+  /// deltas in [64^L, 64^(L+1)), slotted by the due tick's level-L
+  /// digit. Deltas beyond the top level clamp into the farthest top
+  /// slot and re-place themselves on each cascade.
+  void place(Entry entry) {
+    const std::uint64_t delta =
+        entry.due_tick > cursor_ ? entry.due_tick - cursor_ : 1;
+    std::size_t level = 0;
+    std::uint64_t span = kSlots;
+    while (level + 1 < kLevels && delta >= span) {
+      ++level;
+      span <<= kSlotBits;
+    }
+    std::uint64_t due = entry.due_tick;
+    if (level + 1 == kLevels && delta >= span) {
+      due = cursor_ + span - 1;  // clamp; re-placed when it cascades
+    }
+    const std::size_t slot =
+        static_cast<std::size_t>(due >> (kSlotBits * level)) & (kSlots - 1);
+    auto& list = slots_[level][slot];
+    const TimerId id = entry.id;
+    list.push_back(std::move(entry));
+    index_[id] = Location{level, slot, std::prev(list.end())};
+  }
+
+  void cascade(std::size_t level, std::size_t slot) {
+    std::list<Entry> moved = std::move(slots_[level][slot]);
+    slots_[level][slot].clear();
+    for (auto& entry : moved) {
+      index_.erase(entry.id);
+      place(std::move(entry));
+    }
+  }
+
+  Config config_;
+  std::uint64_t cursor_;  // last fully-fired tick
+  std::uint64_t next_id_ = 1;
+  std::size_t pending_ = 0;
+  std::uint64_t fired_ = 0;
+  std::list<Entry> slots_[kLevels][kSlots];
+  std::unordered_map<TimerId, Location> index_;
+};
+
+}  // namespace b2b::net

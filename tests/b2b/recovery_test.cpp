@@ -927,6 +927,14 @@ TEST(CrashCampaignTcp, ResponderCrashAfterRespondJournaled) {
   run_realtime_case("respond.journaled", "beta", RuntimeKind::kTcp);
 }
 
+TEST(CrashCampaignReactor, ProposerCrashAfterDecideJournaled) {
+  run_realtime_case("decide.journaled", "alpha", RuntimeKind::kReactor);
+}
+
+TEST(CrashCampaignReactor, ResponderCrashAfterRespondJournaled) {
+  run_realtime_case("respond.journaled", "beta", RuntimeKind::kReactor);
+}
+
 /// A membership campaign case on a real-time runtime. As with
 /// run_realtime_case, only handle atomics are awaited from the test
 /// thread; replica state is inspected after settle().
@@ -992,6 +1000,16 @@ TEST(CrashCampaignTcp, SponsorCrashAfterMembershipDecideJournaled) {
 TEST(CrashCampaignTcp, RecipientCrashAfterMembershipRespondJournaled) {
   run_realtime_membership_case("m-respond.journaled", "beta",
                                RuntimeKind::kTcp);
+}
+
+TEST(CrashCampaignReactor, SponsorCrashAfterMembershipDecideJournaled) {
+  run_realtime_membership_case("m-decide.journaled", "gamma",
+                               RuntimeKind::kReactor);
+}
+
+TEST(CrashCampaignReactor, RecipientCrashAfterMembershipRespondJournaled) {
+  run_realtime_membership_case("m-respond.journaled", "beta",
+                               RuntimeKind::kReactor);
 }
 
 // --- delivery failure -> suspicion ------------------------------------------

@@ -130,7 +130,8 @@ TEST_P(ShardingStress, EightObjectsFourPartiesConvergeUnderFaults) {
 
 INSTANTIATE_TEST_SUITE_P(
     RealThreadRuntimes, ShardingStress,
-    ::testing::Values(RuntimeKind::kThreaded, RuntimeKind::kTcp),
+    ::testing::Values(RuntimeKind::kThreaded, RuntimeKind::kTcp,
+                      RuntimeKind::kReactor),
     [](const ::testing::TestParamInfo<RuntimeKind>& info) {
       return test::runtime_suffix(info.param);
     });

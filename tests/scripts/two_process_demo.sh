@@ -9,6 +9,10 @@
 #   Phase 2: cross _Exit()s mid-game right after its second agreed move,
 #            then restarts from its write-ahead journal with a NEW port
 #            and incarnation; the game must still complete identically.
+#   Phase 3: same plain game on the reactor stack (--transport reactor,
+#            one epoll loop per process instead of threads per peer).
+#   Phase 4: mixed stacks — cross on reactor, nought on tcp — proving the
+#            two runtimes speak one wire protocol across processes.
 #
 # usage: two_process_demo.sh /path/to/b2bnode
 set -eu
@@ -20,6 +24,8 @@ trap 'rm -rf "$WORK"' EXIT
 run_phase() {
     phase="$1"
     crash_flags="$2"
+    cross_transport="${3:-tcp}"
+    nought_transport="${4:-tcp}"
     dir="$WORK/$phase"
     mkdir -p "$dir/ports"
 
@@ -31,11 +37,13 @@ EOF
 
     # shellcheck disable=SC2086  # crash_flags is intentionally word-split
     "$B2BNODE" --party cross --peers "$dir/peers.txt" \
-        --port-dir "$dir/ports" --journal "$dir/journal" $crash_flags \
+        --port-dir "$dir/ports" --journal "$dir/journal" \
+        --transport "$cross_transport" $crash_flags \
         > "$dir/cross.log" 2>&1 &
     cross_pid=$!
     "$B2BNODE" --party nought --peers "$dir/peers.txt" \
         --port-dir "$dir/ports" --journal "$dir/journal" \
+        --transport "$nought_transport" \
         > "$dir/nought.log" 2>&1 &
     nought_pid=$!
 
@@ -47,6 +55,7 @@ EOF
         echo "[$phase] cross crashed as scripted, restarting from journal"
         "$B2BNODE" --party cross --peers "$dir/peers.txt" \
             --port-dir "$dir/ports" --journal "$dir/journal" \
+            --transport "$cross_transport" \
             >> "$dir/cross.log" 2>&1 &
         cross_pid=$!
         cross_rc=0
@@ -75,4 +84,6 @@ EOF
 
 run_phase plain ""
 run_phase crash "--crash-after 2"
+run_phase reactor "" reactor reactor
+run_phase mixed "" reactor tcp
 echo "two-process demo passed"

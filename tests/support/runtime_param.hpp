@@ -1,11 +1,13 @@
-// Support for running protocol suites over all three runtimes.
+// Support for running protocol suites over all four runtimes.
 //
 // A suite derives its fixture from RuntimeParamTest and instantiates with
 // B2B_INSTANTIATE_RUNTIME_SUITE: every TEST_P then runs once on the
 // deterministic simulator, once on real threads over the in-process
-// fabric, and once over real TCP sockets on localhost, proving the
-// protocol layer depends only on the abstract runtime seam (eventual
-// once-only delivery), not on the discrete-event substrate.
+// fabric, once over real TCP sockets on localhost (thread-per-peer), and
+// once over the same sockets on the epoll reactor (one loop + bounded
+// pool), proving the protocol layer depends only on the abstract runtime
+// seam (eventual once-only delivery), not on the discrete-event substrate
+// or the threading model underneath.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -37,9 +39,12 @@ inline core::Federation::Options runtime_options(core::RuntimeKind kind,
   } else if (kind == core::RuntimeKind::kThreaded) {
     options.threaded_faults.drop_probability = drop;
     options.threaded_faults.duplicate_probability = dup;
-  } else {
+  } else if (kind == core::RuntimeKind::kTcp) {
     options.tcp_faults.drop_probability = drop;
     options.tcp_faults.duplicate_probability = dup;
+  } else {
+    options.reactor_faults.drop_probability = drop;
+    options.reactor_faults.duplicate_probability = dup;
   }
   return options;
 }
@@ -59,7 +64,11 @@ inline FabricStats fabric_stats(core::Federation& fed) {
     const auto stats = fed.threaded_network().stats();
     return {stats.datagrams_dropped, stats.datagrams_duplicated};
   }
-  const auto stats = fed.tcp_runtime().fabric_stats();
+  if (fed.runtime() == core::RuntimeKind::kTcp) {
+    const auto stats = fed.tcp_runtime().fabric_stats();
+    return {stats.frames_dropped_injected, stats.frames_duplicated_injected};
+  }
+  const auto stats = fed.reactor_runtime().fabric_stats();
   return {stats.frames_dropped_injected, stats.frames_duplicated_injected};
 }
 
@@ -80,6 +89,8 @@ inline std::string runtime_suffix(core::RuntimeKind kind) {
       return "Threaded";
     case core::RuntimeKind::kTcp:
       return "Tcp";
+    case core::RuntimeKind::kReactor:
+      return "Reactor";
   }
   return "Unknown";
 }
@@ -91,7 +102,8 @@ inline std::string runtime_suffix(core::RuntimeKind kind) {
       Runtimes, suite,                                                   \
       ::testing::Values(b2b::core::RuntimeKind::kSim,                    \
                         b2b::core::RuntimeKind::kThreaded,               \
-                        b2b::core::RuntimeKind::kTcp),                   \
+                        b2b::core::RuntimeKind::kTcp,                    \
+                        b2b::core::RuntimeKind::kReactor),               \
       [](const ::testing::TestParamInfo<b2b::core::RuntimeKind>& info) { \
         return b2b::test::runtime_suffix(info.param);                    \
       })
