@@ -114,6 +114,16 @@ void print_fan_in_row(const char* stack, int n, int burst,
       static_cast<unsigned long long>(r.hub_stats.epoll_wakeups),
       static_cast<unsigned long long>(r.hub_stats.timers_fired),
       static_cast<unsigned long long>(r.hub_stats.executor_queue_peak));
+  // Adversarial-pressure counters (DESIGN.md §11) at the hub: a clean
+  // fan-in documents the zero; any non-zero means hostile bytes arrived.
+  if (r.hub_stats.frames_rejected_auth != 0 ||
+      r.hub_stats.replays_suppressed != 0) {
+    std::printf(
+        "  %-8s |   hub: frames_rejected_auth=%llu replays_suppressed=%llu\n",
+        stack,
+        static_cast<unsigned long long>(r.hub_stats.frames_rejected_auth),
+        static_cast<unsigned long long>(r.hub_stats.replays_suppressed));
+  }
   if (!r.ok) {
     std::fprintf(stderr, "E20a: %s fan-in at N=%d did not drain\n", stack, n);
     std::exit(1);

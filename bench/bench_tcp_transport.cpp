@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "bench/support/bench_util.hpp"
+#include "net/intruder_proxy.hpp"
 #include "net/tcp_runtime.hpp"
 #include "net/threaded_runtime.hpp"
 
@@ -117,6 +118,18 @@ void print_loop_stats(const char* runtime, const net::Transport::Stats& s) {
       static_cast<unsigned long long>(s.executor_queue_peak));
 }
 
+/// Adversarial-pressure counters (DESIGN.md §11): a clean bench run
+/// documents the zero; any non-zero here means the wire saw hostility.
+void print_adversarial_stats(const char* runtime,
+                             const net::Transport::Stats& s) {
+  std::printf(
+      "  %-8s | frames_rejected_auth=%llu replays_suppressed=%llu "
+      "duplicates_suppressed=%llu\n",
+      runtime, static_cast<unsigned long long>(s.frames_rejected_auth),
+      static_cast<unsigned long long>(s.replays_suppressed),
+      static_cast<unsigned long long>(s.duplicates_suppressed));
+}
+
 }  // namespace
 
 int main() {
@@ -145,6 +158,27 @@ int main() {
     print_row("tcp", kRounds,
               ping_pong(a, b, PartyId{"a"}, PartyId{"b"}, kRounds, kPayload));
     print_loop_stats("tcp", a.stats());
+    print_adversarial_stats("tcp", a.stats());
+  }
+  {
+    // E21 overhead row: the same ping-pong with every byte relayed
+    // through a PASSIVE IntruderProxy (the §11 MITM in pure-relay mode,
+    // both parties interposed). The delta against the "tcp" row is the
+    // campaign harness tax, not an attack cost.
+    auto directory = std::make_shared<net::PeerDirectory>();
+    net::IntruderProxy::Config pconfig;
+    pconfig.active = false;
+    net::IntruderProxy proxy(directory, pconfig);
+    net::TcpTransport a(PartyId{"a"}, "127.0.0.1", 0, directory, {});
+    net::TcpTransport b(PartyId{"b"}, "127.0.0.1", 0, directory, {});
+    directory->set(PartyId{"a"}, net::PeerAddress{"127.0.0.1", a.port()});
+    directory->set(PartyId{"b"}, net::PeerAddress{"127.0.0.1", b.port()});
+    proxy.interpose(PartyId{"a"});
+    proxy.interpose(PartyId{"b"});
+    print_row("tcp+mitm", kRounds,
+              ping_pong(a, b, PartyId{"a"}, PartyId{"b"}, kRounds, kPayload));
+    print_adversarial_stats("tcp+mitm", a.stats());
+    proxy.shutdown();
   }
 
   bench::print_header(

@@ -11,6 +11,18 @@
 // MARSHALLER; the runtimes differ only in their SERVER REQUEST HANDLER
 // (how bytes reach the process), and the coordinator above both is the
 // INVOKER.
+//
+// Wire v2 (intruder hardening, DESIGN.md §11): data and ack frames name
+// the incarnation their sequence number belongs to. Sequence numbers are
+// only meaningful *within* one transport incarnation, so an unbound seq
+// let a man-in-the-middle re-inject a recorded pre-restart frame into a
+// post-restart connection and poison the fresh dedup window (the stale
+// frame's seq would be marked delivered, silently suppressing — and
+// falsely acking — the restarted peer's genuine frame with that seq).
+// Binding (incarnation, seq) together makes such re-injection detectable
+// at the receiver: a data frame whose incarnation differs from the
+// connection's handshaken incarnation is proof of splicing and kills the
+// connection; an ack that does not echo our own incarnation is ignored.
 #pragma once
 
 #include <cstddef>
@@ -30,10 +42,17 @@ constexpr std::uint8_t kHello = 2;
 
 /// Handshake magic ("B2BT") and protocol version.
 constexpr std::uint32_t kMagic = 0x42'32'42'54;
-constexpr std::uint16_t kVersion = 1;
+constexpr std::uint16_t kVersion = 2;
 
 /// Stream framing: [u32 len LE][u32 crc32 LE][payload].
 constexpr std::size_t kHeaderLen = 8;
+
+/// Hard ceiling on any length prefix a decoder will honour, shared by
+/// every frame-parsing endpoint (tcp, reactor, intruder proxy). Configs
+/// may lower the limit per transport (max_frame_bytes) but can never
+/// raise it past this: a hostile 0xFFFFFFFF prefix must be rejected
+/// before it becomes a 4 GiB allocation.
+constexpr std::uint32_t kMaxFrameLen = 64u << 20;
 
 inline void put_u32_le(std::uint8_t* out, std::uint32_t v) {
   out[0] = static_cast<std::uint8_t>(v);
@@ -49,15 +68,34 @@ inline std::uint32_t get_u32_le(const std::uint8_t* in) {
          (static_cast<std::uint32_t>(in[3]) << 24);
 }
 
-inline Bytes encode_data(std::uint64_t seq, BytesView payload) {
+/// Decode and vet the 8-byte stream header. Returns false when the
+/// length prefix exceeds `limit` or the shared hard cap — the caller
+/// must treat the stream as hostile (reset the connection and bump its
+/// rejection counter) instead of allocating the claimed length.
+struct Header {
+  std::uint32_t len = 0;
+  std::uint32_t crc = 0;
+};
+inline bool decode_header(const std::uint8_t* in, std::size_t limit,
+                          Header* out) {
+  out->len = get_u32_le(in);
+  out->crc = get_u32_le(in + 4);
+  return out->len <= kMaxFrameLen && out->len <= limit;
+}
+
+inline Bytes encode_data(std::uint64_t incarnation, std::uint64_t seq,
+                         BytesView payload) {
   wire::Encoder enc;
-  enc.u8(kData).u64(seq).blob(payload);
+  enc.u8(kData).u64(incarnation).u64(seq).blob(payload);
   return std::move(enc).take();
 }
 
-inline Bytes encode_ack(std::uint64_t seq) {
+/// Acks echo the *data sender's* incarnation (the one the acked seq
+/// lives in), so a replayed ack from a previous incarnation can never
+/// retire a live message.
+inline Bytes encode_ack(std::uint64_t incarnation, std::uint64_t seq) {
   wire::Encoder enc;
-  enc.u8(kAck).u64(seq);
+  enc.u8(kAck).u64(incarnation).u64(seq);
   return std::move(enc).take();
 }
 

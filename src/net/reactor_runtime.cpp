@@ -146,7 +146,8 @@ void ReactorTransport::send(const PartyId& to, Bytes payload) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t seq = next_seq_[to]++;
-    framed = frame::frame_payload(frame::encode_data(seq, payload));
+    framed = frame::frame_payload(
+        frame::encode_data(incarnation_, seq, payload));
     outgoing_[{to, seq}] = Outgoing{std::move(payload), 1};
     ++stats_.app_sent;
     if (alive_) copies = sample_faults_locked();
@@ -358,15 +359,24 @@ void ReactorTransport::read_conn(const ConnPtr& conn) {
 }
 
 bool ReactorTransport::parse_frames(const ConnPtr& conn) {
+  // Frames that fail pre-delivery vetting (hostile length, bad magic,
+  // out-of-order or misdirected handshake, unknown type, malformed
+  // encoding) reset the connection and are counted here.
+  auto reject = [this] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.frames_rejected_auth;
+  };
   for (;;) {
     if (conn->rbuf.size() < frame::kHeaderLen) return true;
     const std::uint8_t* head = conn->rbuf.data();
-    const std::uint32_t len = frame::get_u32_le(head);
-    const std::uint32_t crc = frame::get_u32_le(head + 4);
-    if (len > config_.max_frame_bytes) {
-      B2B_WARN("reactor: oversized frame (", len, " bytes) on ", self_);
+    frame::Header hdr;
+    if (!frame::decode_header(head, config_.max_frame_bytes, &hdr)) {
+      B2B_WARN("reactor: rejecting hostile frame length (", hdr.len,
+               " bytes) on ", self_);
+      reject();
       return false;
     }
+    const std::uint32_t len = hdr.len;
     if (conn->rbuf.size() < frame::kHeaderLen + len) return true;  // partial
     Bytes payload(head + frame::kHeaderLen, head + frame::kHeaderLen + len);
     conn->rbuf.consume(frame::kHeaderLen + len);
@@ -374,7 +384,7 @@ bool ReactorTransport::parse_frames(const ConnPtr& conn) {
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.bytes_received += frame::kHeaderLen + len;
     }
-    if (store::crc32(payload) != crc) {
+    if (store::crc32(payload) != hdr.crc) {
       // The framing itself can no longer be trusted; drop the
       // connection and let retransmission recover over a fresh one.
       std::lock_guard<std::mutex> lock(mutex_);
@@ -385,8 +395,12 @@ bool ReactorTransport::parse_frames(const ConnPtr& conn) {
       wire::Decoder dec{payload};
       const std::uint8_t type = dec.u8();
       if (!conn->handshaken) {
-        if (type != frame::kHello) return false;  // hello is always first
+        if (type != frame::kHello) {  // hello is always first
+          reject();
+          return false;
+        }
         if (dec.u32() != frame::kMagic || dec.u16() != frame::kVersion) {
+          reject();
           return false;
         }
         PartyId from{dec.str()};
@@ -395,6 +409,7 @@ bool ReactorTransport::parse_frames(const ConnPtr& conn) {
         dec.expect_done();
         if (to != self_) {
           B2B_WARN("reactor: ", self_, " got a handshake meant for ", to);
+          reject();
           return false;
         }
         const bool reply = !conn->hello_sent;
@@ -416,21 +431,27 @@ bool ReactorTransport::parse_frames(const ConnPtr& conn) {
         flush_outgoing_to(conn->peer, conn);
         if (conn->dead) return true;
       } else if (type == frame::kData) {
+        const std::uint64_t frame_inc = dec.u64();
         const std::uint64_t seq = dec.u64();
         Bytes app_payload = dec.blob();
         dec.expect_done();
-        handle_data(conn, seq, std::move(app_payload));
+        if (!handle_data(conn, frame_inc, seq, std::move(app_payload))) {
+          return false;
+        }
         if (conn->dead) return true;
       } else if (type == frame::kAck) {
+        const std::uint64_t frame_inc = dec.u64();
         const std::uint64_t seq = dec.u64();
         dec.expect_done();
-        handle_ack(conn->peer, seq);
+        handle_ack(conn->peer, frame_inc, seq);
       } else {
+        reject();
         return false;  // unknown frame type: corrupt or future peer
       }
     } catch (const CodecError&) {
       B2B_DEBUG("reactor: dropping connection with malformed frame on ",
                 self_);
+      reject();
       return false;
     }
   }
@@ -592,21 +613,31 @@ void ReactorTransport::register_handshake(const ConnPtr& conn, PartyId peer,
   // on this connection is fully queued (hello reply first on the wire).
 }
 
-void ReactorTransport::handle_data(const ConnPtr& conn, std::uint64_t seq,
-                                   Bytes payload) {
+bool ReactorTransport::handle_data(const ConnPtr& conn, std::uint64_t frame_inc,
+                                   std::uint64_t seq, Bytes payload) {
   bool deliver = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Crashed (set_alive(false)): drop un-acked, so the peer keeps
     // retransmitting into the downtime and delivery resumes on recovery.
-    if (!alive_) return;
+    if (!alive_) return true;
+    // A data frame whose incarnation is not the one this connection
+    // handshook is proof of splicing — a peer never changes incarnation
+    // mid-connection. Kill the connection before the alien sequence
+    // number can poison the dedup window (wire v2, DESIGN.md §11); the
+    // peer reconnects with a fresh handshake and retransmits.
+    if (frame_inc != conn->peer_incarnation) {
+      ++stats_.replays_suppressed;
+      return false;
+    }
     // Frames from a superseded incarnation of the peer: that process is
     // gone; acking or delivering against the fresh dedup window would
     // corrupt the once-only bookkeeping.
     auto it = peer_incarnation_.find(conn->peer);
     if (it == peer_incarnation_.end() ||
         it->second != conn->peer_incarnation) {
-      return;
+      ++stats_.replays_suppressed;
+      return true;
     }
     ++stats_.acks_sent;
     if (delivered_[conn->peer].mark(seq)) {
@@ -617,10 +648,10 @@ void ReactorTransport::handle_data(const ConnPtr& conn, std::uint64_t seq,
       ++stats_.duplicates_suppressed;
     }
   }
-  queue_frame(conn, frame::frame_payload(frame::encode_ack(seq)), 1,
-              /*force=*/true);
+  queue_frame(conn, frame::frame_payload(frame::encode_ack(frame_inc, seq)),
+              1, /*force=*/true);
   flush_conn(conn);
-  if (!deliver) return;
+  if (!deliver) return true;
   // Deliveries run off-loop: the handler re-enters the coordinator
   // (RSA, journal fsync) and must never block socket I/O. The strand
   // keeps them FIFO and one-at-a-time (Transport contract); dispatching_
@@ -639,11 +670,20 @@ void ReactorTransport::handle_data(const ConnPtr& conn, std::uint64_t seq,
         }
         dispatch_cv_.notify_all();
       });
+  return true;
 }
 
-void ReactorTransport::handle_ack(const PartyId& from, std::uint64_t seq) {
+void ReactorTransport::handle_ack(const PartyId& from, std::uint64_t frame_inc,
+                                  std::uint64_t seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!alive_) return;
+  // An ack retires outgoing_[seq] only if it echoes our *current*
+  // incarnation: a recorded ack replayed across our restart (or spliced
+  // from another stream) must not mark a live message delivered.
+  if (frame_inc != incarnation_) {
+    ++stats_.replays_suppressed;
+    return;
+  }
   outgoing_.erase({from, seq});
 }
 
@@ -663,7 +703,8 @@ void ReactorTransport::flush_outgoing_to(const PartyId& peer,
       // Each wire write is a fresh fault sample (TcpTransport semantics):
       // a frame dropped here stays in outgoing_ for the retransmit tick.
       frames.push_back({frame::frame_payload(frame::encode_data(
-                            it->first.second, it->second.payload)),
+                            incarnation_, it->first.second,
+                            it->second.payload)),
                         sample_faults_locked()});
     }
   }
@@ -698,8 +739,8 @@ void ReactorTransport::retransmit_tick() {
       ++out.attempts;
       ++stats_.retransmissions;
       items.push_back({key.first,
-                       frame::frame_payload(
-                           frame::encode_data(key.second, out.payload)),
+                       frame::frame_payload(frame::encode_data(
+                           incarnation_, key.second, out.payload)),
                        alive ? sample_faults_locked() : 0});
       ++it;
     }

@@ -178,8 +178,12 @@ class ReactorTransport final : public Transport {
   void bump_backoff(const PartyId& to);
   void register_handshake(const ConnPtr& conn, PartyId peer,
                           std::uint64_t peer_incarnation);
-  void handle_data(const ConnPtr& conn, std::uint64_t seq, Bytes payload);
-  void handle_ack(const PartyId& from, std::uint64_t seq);
+  /// Returns false when the frame's incarnation proves it was spliced
+  /// into this connection (caller must reset the connection).
+  bool handle_data(const ConnPtr& conn, std::uint64_t frame_inc,
+                   std::uint64_t seq, Bytes payload);
+  void handle_ack(const PartyId& from, std::uint64_t frame_inc,
+                  std::uint64_t seq);
   void retransmit_tick();
   /// Re-offer everything queued for `peer` on a freshly usable
   /// connection (initial transmission of frames that predate it).

@@ -63,6 +63,16 @@ class Transport {
     std::uint64_t connects = 0;
     std::uint64_t reconnects = 0;
     std::uint64_t frames_dropped_crc = 0;
+    /// Adversarial-pressure counters (DESIGN.md §11 wire threat model);
+    /// always 0 on sim/threaded. `frames_rejected_auth` counts frames
+    /// that failed pre-delivery vetting — hostile length prefixes,
+    /// bad magic/version, misdirected or out-of-order handshakes,
+    /// unknown types, malformed encodings. `replays_suppressed` counts
+    /// data/ack frames whose incarnation proves them replayed or
+    /// spliced from another transport lifetime (distinct from
+    /// `duplicates_suppressed`, the same-incarnation dedup window).
+    std::uint64_t frames_rejected_auth = 0;
+    std::uint64_t replays_suppressed = 0;
     /// Event-loop scheduling counters (reactor runtime); always 0 on
     /// sim/threaded/tcp, which have no loop, wheel, or shared pool.
     /// Reported per bundle (every transport of one reactor sees the

@@ -108,13 +108,13 @@ void TcpTransport::send(const PartyId& to, Bytes payload) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t seq = next_seq_[to]++;
-    frame = encode_data(seq, payload);
+    frame = encode_data(incarnation_, seq, payload);
     outgoing_[{to, seq}] = Outgoing{std::move(payload), 1};
     ++stats_.app_sent;
     if (alive_) {
       copies = sample_faults_locked();
       auto it = active_.find(to);
-      if (it != active_.end()) conn = it->second;
+      if (it != active_.end() && !it->second->dead.load()) conn = it->second;
     }
   }
   // No connection yet: the retransmit thread dials lazily on its next
@@ -223,22 +223,32 @@ void TcpTransport::register_handshake(const ConnPtr& conn, PartyId peer,
   backoff.ever_connected = true;
 }
 
-void TcpTransport::handle_data(const ConnPtr& conn, std::uint64_t seq,
-                               Bytes payload) {
+bool TcpTransport::handle_data(const ConnPtr& conn, std::uint64_t frame_inc,
+                               std::uint64_t seq, Bytes payload) {
   Handler handler;
   bool deliver = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     // Crashed (set_alive(false)): drop un-acked, so the peer keeps
     // retransmitting into the downtime and delivery resumes on recovery.
-    if (!alive_) return;
+    if (!alive_) return true;
+    // A data frame whose incarnation is not the one this connection
+    // handshook is proof of splicing — a peer never changes incarnation
+    // mid-connection. Kill the connection before the alien sequence
+    // number can poison the dedup window (wire v2, DESIGN.md §11); the
+    // peer reconnects with a fresh handshake and retransmits.
+    if (frame_inc != conn->peer_incarnation) {
+      ++stats_.replays_suppressed;
+      return false;
+    }
     // Frames from a superseded incarnation of the peer: that process is
     // gone; acking or delivering against the fresh dedup window would
     // corrupt the once-only bookkeeping.
     auto it = peer_incarnation_.find(conn->peer);
     if (it == peer_incarnation_.end() ||
         it->second != conn->peer_incarnation) {
-      return;
+      ++stats_.replays_suppressed;
+      return true;
     }
     ++stats_.acks_sent;
     if (delivered_[conn->peer].mark(seq)) {
@@ -250,8 +260,8 @@ void TcpTransport::handle_data(const ConnPtr& conn, std::uint64_t seq,
       ++stats_.duplicates_suppressed;
     }
   }
-  write_frame(conn, encode_ack(seq));
-  if (!deliver || !handler) return;
+  write_frame(conn, encode_ack(frame_inc, seq));
+  if (!deliver || !handler) return true;
   {
     // Serialise deliveries (Transport contract: at most one delivering
     // thread); the handler re-enters the transport and the coordinator,
@@ -264,11 +274,20 @@ void TcpTransport::handle_data(const ConnPtr& conn, std::uint64_t seq,
     --dispatching_;
   }
   dispatch_cv_.notify_all();
+  return true;
 }
 
-void TcpTransport::handle_ack(const PartyId& from, std::uint64_t seq) {
+void TcpTransport::handle_ack(const PartyId& from, std::uint64_t frame_inc,
+                              std::uint64_t seq) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!alive_) return;
+  // An ack retires outgoing_[seq] only if it echoes our *current*
+  // incarnation: a recorded ack replayed across our restart (or spliced
+  // from another stream) must not mark a live message delivered.
+  if (frame_inc != incarnation_) {
+    ++stats_.replays_suppressed;
+    return;
+  }
   outgoing_.erase({from, seq});
 }
 
@@ -289,22 +308,31 @@ void TcpTransport::accept_loop() {
 
 void TcpTransport::reader_loop(ConnPtr conn) {
   bool handshaken = false;
+  // Frames that fail pre-delivery vetting (hostile length, bad magic,
+  // out-of-order or misdirected handshake, unknown type, malformed
+  // encoding) reset the connection and are counted here.
+  auto reject = [this] {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.frames_rejected_auth;
+  };
   for (;;) {
     std::uint8_t header[kFrameHeaderLen];
     if (!conn->socket.recv_exact(header, sizeof header)) break;
-    std::uint32_t len = get_u32_le(header);
-    std::uint32_t crc = get_u32_le(header + 4);
-    if (len > config_.max_frame_bytes) {
-      B2B_WARN("tcp: oversized frame (", len, " bytes) on ", self_);
+    frame::Header hdr;
+    if (!frame::decode_header(header, config_.max_frame_bytes, &hdr)) {
+      B2B_WARN("tcp: rejecting hostile frame length (", hdr.len,
+               " bytes) on ", self_);
+      reject();
       break;
     }
+    std::uint32_t len = hdr.len;
     Bytes payload(len);
     if (len > 0 && !conn->socket.recv_exact(payload.data(), len)) break;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stats_.bytes_received += kFrameHeaderLen + len;
     }
-    if (store::crc32(payload) != crc) {
+    if (store::crc32(payload) != hdr.crc) {
       // The framing itself can no longer be trusted; drop the
       // connection and let retransmission recover over a fresh one.
       std::lock_guard<std::mutex> lock(mutex_);
@@ -315,14 +343,21 @@ void TcpTransport::reader_loop(ConnPtr conn) {
       wire::Decoder dec{payload};
       std::uint8_t type = dec.u8();
       if (!handshaken) {
-        if (type != kHello) break;  // protocol: hello is always first
-        if (dec.u32() != kMagic || dec.u16() != kVersion) break;
+        if (type != kHello) {  // protocol: hello is always first
+          reject();
+          break;
+        }
+        if (dec.u32() != kMagic || dec.u16() != kVersion) {
+          reject();
+          break;
+        }
         PartyId from{dec.str()};
         PartyId to{dec.str()};
         std::uint64_t peer_incarnation = dec.u64();
         dec.expect_done();
         if (to != self_) {
           B2B_WARN("tcp: ", self_, " got a handshake meant for ", to);
+          reject();
           break;
         }
         bool reply = !conn->hello_sent;
@@ -334,19 +369,23 @@ void TcpTransport::reader_loop(ConnPtr conn) {
           write_frame(conn, encode_hello(self_, from, incarnation_));
         }
       } else if (type == kData) {
+        std::uint64_t frame_inc = dec.u64();
         std::uint64_t seq = dec.u64();
         Bytes app_payload = dec.blob();
         dec.expect_done();
-        handle_data(conn, seq, std::move(app_payload));
+        if (!handle_data(conn, frame_inc, seq, std::move(app_payload))) break;
       } else if (type == kAck) {
+        std::uint64_t frame_inc = dec.u64();
         std::uint64_t seq = dec.u64();
         dec.expect_done();
-        handle_ack(conn->peer, seq);
+        handle_ack(conn->peer, frame_inc, seq);
       } else {
+        reject();
         break;  // unknown frame type: corrupt or future peer
       }
     } catch (const CodecError&) {
       B2B_DEBUG("tcp: dropping connection with malformed frame on ", self_);
+      reject();
       break;
     }
   }
@@ -439,7 +478,8 @@ void TcpTransport::retransmit_loop() {
         }
         ++out.attempts;
         ++stats_.retransmissions;
-        items.push_back({key.first, encode_data(key.second, out.payload),
+        items.push_back({key.first,
+                         encode_data(incarnation_, key.second, out.payload),
                          alive ? sample_faults_locked() : 0});
         ++it;
       }
@@ -453,7 +493,19 @@ void TcpTransport::retransmit_loop() {
           {
             std::lock_guard<std::mutex> lock(mutex_);
             auto active = active_.find(item.to);
-            if (active != active_.end()) it->second = active->second;
+            if (active != active_.end()) {
+              // A dead connection can be parked here: dial() registers the
+              // conn *after* spawning its reader, so a reader that dies in
+              // that window runs kill_conn before the entry exists and the
+              // erase-if-same in kill_conn never fires. Left alone it wedges
+              // retransmission forever (write_frame refuses dead conns and
+              // this branch would never dial). Evict and redial instead.
+              if (active->second->dead.load()) {
+                active_.erase(active);
+              } else {
+                it->second = active->second;
+              }
+            }
           }
           if (!it->second) it->second = dial(item.to);
         }

@@ -164,8 +164,12 @@ class TcpTransport final : public Transport {
   /// for sending to the peer.
   void register_handshake(const ConnPtr& conn, PartyId peer,
                           std::uint64_t peer_incarnation);
-  void handle_data(const ConnPtr& conn, std::uint64_t seq, Bytes payload);
-  void handle_ack(const PartyId& from, std::uint64_t seq);
+  /// Returns false when the frame's incarnation proves it was spliced
+  /// into this connection (caller must reset the connection).
+  bool handle_data(const ConnPtr& conn, std::uint64_t frame_inc,
+                   std::uint64_t seq, Bytes payload);
+  void handle_ack(const PartyId& from, std::uint64_t frame_inc,
+                  std::uint64_t seq);
 
   /// Dial `to` if the backoff allows (retransmit thread only). Returns
   /// the new connection, or nullptr.

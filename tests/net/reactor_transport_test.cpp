@@ -110,12 +110,24 @@ Bytes hello_payload(const std::string& from, const std::string& to,
   return frame::encode_hello(PartyId{from}, PartyId{to}, incarnation);
 }
 
-Bytes data_payload(std::uint64_t seq, const Bytes& app) {
-  return frame::encode_data(seq, app);
+/// Wire v2: data frames carry the sender incarnation their seq lives in.
+Bytes data_payload(std::uint64_t incarnation, std::uint64_t seq,
+                   const Bytes& app) {
+  return frame::encode_data(incarnation, seq, app);
 }
 
 bool send_bytes(Socket& socket, const Bytes& bytes) {
   return socket.send_all(bytes.data(), bytes.size());
+}
+
+/// Read one [len][crc][payload] frame off a raw socket (blocking).
+bool recv_frame(Socket& socket, Bytes* payload) {
+  std::uint8_t header[8];
+  if (!socket.recv_exact(header, sizeof header)) return false;
+  frame::Header hdr;
+  if (!frame::decode_header(header, frame::kMaxFrameLen, &hdr)) return false;
+  payload->resize(hdr.len);
+  return hdr.len == 0 || socket.recv_exact(payload->data(), hdr.len);
 }
 
 // --- transport-level behaviour ---------------------------------------------
@@ -274,7 +286,7 @@ TEST(ReactorTransportTest, TornFrameIsDroppedAndChannelRecovers) {
   Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(raw.valid());
   ASSERT_TRUE(send_bytes(raw, make_frame(hello_payload("torn", "b", 7))));
-  Bytes truncated = make_frame(data_payload(0, Bytes(100, 0xab)));
+  Bytes truncated = make_frame(data_payload(7, 0, Bytes(100, 0xab)));
   truncated.resize(8 + 3);
   ASSERT_TRUE(send_bytes(raw, truncated));
   raw.close();
@@ -294,7 +306,7 @@ TEST(ReactorTransportTest, CorruptCrcIsCountedAndNotDelivered) {
   Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(raw.valid());
   ASSERT_TRUE(send_bytes(raw, make_frame(hello_payload("evil", "b", 9))));
-  Bytes payload = data_payload(0, Bytes{1, 2, 3});
+  Bytes payload = data_payload(9, 0, Bytes{1, 2, 3});
   ASSERT_TRUE(
       send_bytes(raw, frame_with_crc(payload, store::crc32(payload) ^ 1)));
 
@@ -315,7 +327,7 @@ TEST(ReactorTransportTest, SplitWritesReassembleToExactlyOneDelivery) {
   ASSERT_TRUE(raw.valid());
   raw.set_nodelay();
   Bytes stream = make_frame(hello_payload("slow", "b", 11));
-  Bytes data = make_frame(data_payload(0, Bytes{9, 8, 7}));
+  Bytes data = make_frame(data_payload(11, 0, Bytes{9, 8, 7}));
   stream.insert(stream.end(), data.begin(), data.end());
   // One byte per write: every read on the receiver side is short, so the
   // per-connection stream buffer reassembles across many EPOLLIN edges.
@@ -343,9 +355,9 @@ TEST(ReactorTransportTest, PeerResetMidStreamNeverDuplicatesDelivery) {
     Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
     ASSERT_TRUE(raw.valid());
     ASSERT_TRUE(send_bytes(raw, make_frame(hello_payload("rst", "b", 13))));
-    ASSERT_TRUE(send_bytes(raw, make_frame(data_payload(0, Bytes{1}))));
+    ASSERT_TRUE(send_bytes(raw, make_frame(data_payload(13, 0, Bytes{1}))));
     ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
-    Bytes partial = make_frame(data_payload(1, Bytes{2}));
+    Bytes partial = make_frame(data_payload(13, 1, Bytes{2}));
     partial.resize(10);
     ASSERT_TRUE(send_bytes(raw, partial));
     raw.set_linger_reset();
@@ -355,8 +367,8 @@ TEST(ReactorTransportTest, PeerResetMidStreamNeverDuplicatesDelivery) {
   Socket again = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(again.valid());
   ASSERT_TRUE(send_bytes(again, make_frame(hello_payload("rst", "b", 13))));
-  ASSERT_TRUE(send_bytes(again, make_frame(data_payload(0, Bytes{1}))));
-  ASSERT_TRUE(send_bytes(again, make_frame(data_payload(1, Bytes{2}))));
+  ASSERT_TRUE(send_bytes(again, make_frame(data_payload(13, 0, Bytes{1}))));
+  ASSERT_TRUE(send_bytes(again, make_frame(data_payload(13, 1, Bytes{2}))));
 
   ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
   std::this_thread::sleep_for(20ms);
@@ -380,7 +392,8 @@ TEST(ReactorTransportTest, ReplayedAndReorderedFramesStayOnceOnly) {
   for (std::uint64_t seq : {2u, 0u, 1u, 1u, 0u, 2u}) {
     ASSERT_TRUE(send_bytes(
         raw,
-        make_frame(data_payload(seq, Bytes{static_cast<std::uint8_t>(seq)}))));
+        make_frame(
+            data_payload(17, seq, Bytes{static_cast<std::uint8_t>(seq)}))));
   }
 
   ASSERT_TRUE(wait_for([&] { return b->stats().duplicates_suppressed == 3; }));
@@ -398,19 +411,158 @@ TEST(ReactorTransportTest, StaleIncarnationFramesAreDropped) {
   Socket old_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(old_conn.valid());
   ASSERT_TRUE(send_bytes(old_conn, make_frame(hello_payload("x", "b", 1))));
-  ASSERT_TRUE(send_bytes(old_conn, make_frame(data_payload(0, Bytes{10}))));
+  ASSERT_TRUE(send_bytes(old_conn, make_frame(data_payload(1, 0, Bytes{10}))));
   ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
 
   Socket new_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(new_conn.valid());
   ASSERT_TRUE(send_bytes(new_conn, make_frame(hello_payload("x", "b", 2))));
-  ASSERT_TRUE(send_bytes(new_conn, make_frame(data_payload(0, Bytes{20}))));
+  ASSERT_TRUE(send_bytes(new_conn, make_frame(data_payload(2, 0, Bytes{20}))));
   ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
 
-  ASSERT_TRUE(send_bytes(old_conn, make_frame(data_payload(1, Bytes{11}))));
+  ASSERT_TRUE(send_bytes(old_conn, make_frame(data_payload(1, 1, Bytes{11}))));
   std::this_thread::sleep_for(30ms);
   EXPECT_EQ(sink.count(), 2u);
   EXPECT_EQ(sink.contents(), (std::multiset<Bytes>{Bytes{10}, Bytes{20}}));
+  EXPECT_GE(b->stats().replays_suppressed, 1u);
+}
+
+// --- hostile length prefixes (DESIGN.md §11) --------------------------------
+
+TEST(ReactorTransportTest, HostileLengthPrefixIsRejectedAndConnectionReset) {
+  Fixture fx;
+  auto b = fx.make("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  // First bytes on the wire claim a 4 GiB frame: the loop must refuse
+  // to buffer toward it and reset the connection.
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  Bytes evil(8 + 4, 0xee);
+  for (int i = 0; i < 4; ++i) {
+    evil[i] = 0xFF;  // len = 0xFFFFFFFF
+  }
+  ASSERT_TRUE(send_bytes(raw, evil));
+
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  raw.set_recv_timeout(2'000'000);
+  std::uint8_t scratch[64];
+  while (raw.recv_some(scratch, sizeof scratch) > 0) {
+  }
+  auto a = fx.make("a");
+  a->send(PartyId{"b"}, Bytes{6});
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+}
+
+TEST(ReactorTransportTest, FrameLengthOffByOneOverLimitIsRejected) {
+  Fixture fx;
+  fx.config.max_frame_bytes = 64;  // small limit keeps the test cheap
+  auto b = fx.make("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(send_bytes(raw, make_frame(hello_payload("edge", "b", 21))));
+  // A payload of exactly max_frame_bytes is legitimate...
+  Bytes app(46, 0x5c);  // 1 + 8 + 8 + 1 + 46 = 64-byte frame payload
+  Bytes exact = data_payload(21, 0, app);
+  ASSERT_EQ(exact.size(), 64u);
+  ASSERT_TRUE(send_bytes(raw, make_frame(exact)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+  EXPECT_EQ(b->stats().frames_rejected_auth, 0u);
+
+  // ...but one byte over the limit is rejected before it is buffered.
+  Bytes over(8 + 4, 0x5d);
+  for (int i = 0; i < 4; ++i) {
+    over[i] = static_cast<std::uint8_t>(65u >> (8 * i));
+  }
+  ASSERT_TRUE(send_bytes(raw, over));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+// --- cross-incarnation replay (DESIGN.md §11, wire v2) ----------------------
+
+TEST(ReactorTransportTest, CrossIncarnationReplayIsSuppressed) {
+  Fixture fx;
+  auto b = fx.make("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  // Incarnation 1 of "x" delivers seq 0; the intruder records the frame.
+  Socket old_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(old_conn.valid());
+  ASSERT_TRUE(send_bytes(old_conn, make_frame(hello_payload("x", "b", 1))));
+  Bytes recorded = make_frame(data_payload(1, 0, Bytes{10}));
+  ASSERT_TRUE(send_bytes(old_conn, recorded));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+  old_conn.close();
+
+  // "x" restarts as incarnation 2 and delivers its fresh seq 0.
+  Socket new_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(new_conn.valid());
+  ASSERT_TRUE(send_bytes(new_conn, make_frame(hello_payload("x", "b", 2))));
+  ASSERT_TRUE(
+      send_bytes(new_conn, make_frame(data_payload(2, 0, Bytes{20}))));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
+
+  // The recorded incarnation-1 frame spliced into the live connection
+  // must be suppressed, not delivered against the fresh dedup window.
+  ASSERT_TRUE(send_bytes(new_conn, recorded));
+  ASSERT_TRUE(wait_for([&] { return b->stats().replays_suppressed >= 1; }));
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.contents(), (std::multiset<Bytes>{Bytes{10}, Bytes{20}}));
+
+  // Liveness after the attack: the next incarnation connects fine.
+  Socket conn3 = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(conn3.valid());
+  ASSERT_TRUE(send_bytes(conn3, make_frame(hello_payload("x", "b", 3))));
+  ASSERT_TRUE(send_bytes(conn3, make_frame(data_payload(3, 0, Bytes{30}))));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 3; }));
+}
+
+TEST(ReactorTransportTest, ReplayedAckFromWrongIncarnationCannotRetire) {
+  Fixture fx;
+  fx.config.retransmit_interval_micros = 50'000;  // quiet retransmits
+  auto b = fx.make("b");
+  b->set_handler([](const PartyId&, const Bytes&) {});
+
+  // Play the remote party "x" with a raw listener so we control acks.
+  Listener listener = Listener::open("127.0.0.1", 0);
+  fx.directory->set(PartyId{"x"}, PeerAddress{"127.0.0.1", listener.port()});
+  b->send(PartyId{"x"}, Bytes{7});
+
+  Socket conn = listener.accept();
+  ASSERT_TRUE(conn.valid());
+  conn.set_recv_timeout(5'000'000);
+  Bytes hello;
+  ASSERT_TRUE(recv_frame(conn, &hello));
+  wire::Decoder dec{hello};
+  ASSERT_EQ(dec.u8(), 2);  // kHello
+  dec.u32();               // magic
+  dec.u16();               // version
+  ASSERT_EQ(dec.str(), "b");
+  ASSERT_EQ(dec.str(), "x");
+  std::uint64_t b_inc = dec.u64();
+  ASSERT_TRUE(send_bytes(conn, make_frame(hello_payload("x", "b", 99))));
+  Bytes data;
+  ASSERT_TRUE(recv_frame(conn, &data));  // the data frame for seq 0
+
+  // An ack that does not echo b's live incarnation must not retire the
+  // message; the genuine echo must.
+  ASSERT_TRUE(
+      send_bytes(conn, make_frame(frame::encode_ack(b_inc ^ 0x5a5a, 0))));
+  ASSERT_TRUE(wait_for([&] { return b->stats().replays_suppressed >= 1; }));
+  EXPECT_EQ(b->unacked(), 1u);
+  ASSERT_TRUE(send_bytes(conn, make_frame(frame::encode_ack(b_inc, 0))));
+  ASSERT_TRUE(wait_for([&] { return b->unacked() == 0; }));
+  listener.stop();
 }
 
 // --- reactor-specific fan-in shapes ----------------------------------------

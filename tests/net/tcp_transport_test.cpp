@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "store/crc32.hpp"
 #include "wire/codec.hpp"
 
@@ -102,18 +103,37 @@ Bytes frame(const Bytes& payload) {
 Bytes hello_payload(const std::string& from, const std::string& to,
                     std::uint64_t incarnation) {
   wire::Encoder enc;
-  enc.u8(2).u32(kMagic).u16(1).str(from).str(to).u64(incarnation);
+  enc.u8(2).u32(kMagic).u16(frame::kVersion).str(from).str(to);
+  enc.u64(incarnation);
   return std::move(enc).take();
 }
 
-Bytes data_payload(std::uint64_t seq, const Bytes& app) {
+/// Wire v2: data frames carry the sender incarnation their seq lives in.
+Bytes data_payload(std::uint64_t incarnation, std::uint64_t seq,
+                   const Bytes& app) {
   wire::Encoder enc;
-  enc.u8(0).u64(seq).blob(app);
+  enc.u8(0).u64(incarnation).u64(seq).blob(app);
+  return std::move(enc).take();
+}
+
+Bytes ack_payload(std::uint64_t incarnation, std::uint64_t seq) {
+  wire::Encoder enc;
+  enc.u8(1).u64(incarnation).u64(seq);
   return std::move(enc).take();
 }
 
 bool send_bytes(Socket& socket, const Bytes& bytes) {
   return socket.send_all(bytes.data(), bytes.size());
+}
+
+/// Read one [len][crc][payload] frame off a raw socket (blocking).
+bool recv_frame(Socket& socket, Bytes* payload) {
+  std::uint8_t header[8];
+  if (!socket.recv_exact(header, sizeof header)) return false;
+  frame::Header hdr;
+  if (!frame::decode_header(header, frame::kMaxFrameLen, &hdr)) return false;
+  payload->resize(hdr.len);
+  return hdr.len == 0 || socket.recv_exact(payload->data(), hdr.len);
 }
 
 // --- transport-level behaviour ---------------------------------------------
@@ -273,7 +293,7 @@ TEST(TcpTransportTest, TornFrameIsDroppedAndChannelRecovers) {
   Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(raw.valid());
   ASSERT_TRUE(send_bytes(raw, frame(hello_payload("torn", "b", 7))));
-  Bytes truncated = frame(data_payload(0, Bytes(100, 0xab)));
+  Bytes truncated = frame(data_payload(7, 0, Bytes(100, 0xab)));
   truncated.resize(8 + 3);
   ASSERT_TRUE(send_bytes(raw, truncated));
   raw.close();
@@ -296,7 +316,7 @@ TEST(TcpTransportTest, CorruptCrcIsCountedAndNotDelivered) {
   ASSERT_TRUE(raw.valid());
   ASSERT_TRUE(send_bytes(raw, frame(hello_payload("evil", "b", 9))));
   // A complete, well-framed data frame whose CRC does not match.
-  Bytes payload = data_payload(0, Bytes{1, 2, 3});
+  Bytes payload = data_payload(9, 0, Bytes{1, 2, 3});
   ASSERT_TRUE(send_bytes(raw, frame(payload, store::crc32(payload) ^ 1)));
 
   ASSERT_TRUE(
@@ -316,7 +336,7 @@ TEST(TcpTransportTest, SplitWritesReassembleToExactlyOneDelivery) {
   ASSERT_TRUE(raw.valid());
   raw.set_nodelay();
   Bytes stream = frame(hello_payload("slow", "b", 11));
-  Bytes data = frame(data_payload(0, Bytes{9, 8, 7}));
+  Bytes data = frame(data_payload(11, 0, Bytes{9, 8, 7}));
   stream.insert(stream.end(), data.begin(), data.end());
   // One byte per write: every read on the receiver side is short.
   for (std::uint8_t byte : stream) {
@@ -345,9 +365,9 @@ TEST(TcpTransportTest, PeerResetMidStreamNeverDuplicatesDelivery) {
     Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
     ASSERT_TRUE(raw.valid());
     ASSERT_TRUE(send_bytes(raw, frame(hello_payload("rst", "b", 13))));
-    ASSERT_TRUE(send_bytes(raw, frame(data_payload(0, Bytes{1}))));
+    ASSERT_TRUE(send_bytes(raw, frame(data_payload(13, 0, Bytes{1}))));
     ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
-    Bytes partial = frame(data_payload(1, Bytes{2}));
+    Bytes partial = frame(data_payload(13, 1, Bytes{2}));
     partial.resize(10);
     ASSERT_TRUE(send_bytes(raw, partial));
     raw.set_linger_reset();
@@ -359,8 +379,8 @@ TEST(TcpTransportTest, PeerResetMidStreamNeverDuplicatesDelivery) {
   Socket again = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(again.valid());
   ASSERT_TRUE(send_bytes(again, frame(hello_payload("rst", "b", 13))));
-  ASSERT_TRUE(send_bytes(again, frame(data_payload(0, Bytes{1}))));
-  ASSERT_TRUE(send_bytes(again, frame(data_payload(1, Bytes{2}))));
+  ASSERT_TRUE(send_bytes(again, frame(data_payload(13, 0, Bytes{1}))));
+  ASSERT_TRUE(send_bytes(again, frame(data_payload(13, 1, Bytes{2}))));
 
   ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
   std::this_thread::sleep_for(20ms);
@@ -385,7 +405,8 @@ TEST(TcpTransportTest, ReplayedAndReorderedFramesStayOnceOnly) {
   // Out-of-order arrival followed by a full replay of the window.
   for (std::uint64_t seq : {2u, 0u, 1u, 1u, 0u, 2u}) {
     ASSERT_TRUE(send_bytes(
-        raw, frame(data_payload(seq, Bytes{static_cast<std::uint8_t>(seq)}))));
+        raw,
+        frame(data_payload(17, seq, Bytes{static_cast<std::uint8_t>(seq)}))));
   }
 
   ASSERT_TRUE(wait_for([&] { return b->stats().duplicates_suppressed == 3; }));
@@ -405,21 +426,173 @@ TEST(TcpTransportTest, StaleIncarnationFramesAreDropped) {
   Socket old_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(old_conn.valid());
   ASSERT_TRUE(send_bytes(old_conn, frame(hello_payload("x", "b", 1))));
-  ASSERT_TRUE(send_bytes(old_conn, frame(data_payload(0, Bytes{10}))));
+  ASSERT_TRUE(send_bytes(old_conn, frame(data_payload(1, 0, Bytes{10}))));
   ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
 
   Socket new_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
   ASSERT_TRUE(new_conn.valid());
   ASSERT_TRUE(send_bytes(new_conn, frame(hello_payload("x", "b", 2))));
-  ASSERT_TRUE(send_bytes(new_conn, frame(data_payload(0, Bytes{20}))));
+  ASSERT_TRUE(send_bytes(new_conn, frame(data_payload(2, 0, Bytes{20}))));
   ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
 
   // The old incarnation is superseded: frames still trickling in on its
   // connection are dropped, not delivered against the new window.
-  ASSERT_TRUE(send_bytes(old_conn, frame(data_payload(1, Bytes{11}))));
+  ASSERT_TRUE(send_bytes(old_conn, frame(data_payload(1, 1, Bytes{11}))));
   std::this_thread::sleep_for(30ms);
   EXPECT_EQ(sink.count(), 2u);
   EXPECT_EQ(sink.contents(), (std::multiset<Bytes>{Bytes{10}, Bytes{20}}));
+  EXPECT_GE(b->stats().replays_suppressed, 1u);
+}
+
+// --- hostile length prefixes (DESIGN.md §11) --------------------------------
+
+TEST(TcpTransportTest, HostileLengthPrefixIsRejectedAndConnectionReset) {
+  Fixture fx;
+  auto b = fx.make("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  // An attacker's very first bytes claim a 4 GiB frame. The receiver
+  // must refuse to allocate and reset the connection instead of
+  // blocking on (or buffering toward) 0xFFFFFFFF bytes.
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  Bytes evil(8 + 4, 0xee);
+  for (int i = 0; i < 4; ++i) {
+    evil[i] = 0xFF;  // len = 0xFFFFFFFF
+  }
+  ASSERT_TRUE(send_bytes(raw, evil));
+
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  // The connection is reset: the raw socket drains to EOF.
+  raw.set_recv_timeout(2'000'000);
+  std::uint8_t scratch[64];
+  while (raw.recv_some(scratch, sizeof scratch) > 0) {
+  }
+  // And the transport is unharmed: honest traffic still flows.
+  auto a = fx.make("a");
+  a->send(PartyId{"b"}, Bytes{6});
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+TEST(TcpTransportTest, FrameLengthOffByOneOverLimitIsRejected) {
+  Fixture fx;
+  fx.config.max_frame_bytes = 64;  // small limit keeps the test cheap
+  auto b = fx.make("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(send_bytes(raw, frame(hello_payload("edge", "b", 21))));
+  // A payload of exactly max_frame_bytes is legitimate...
+  Bytes app(46, 0x5c);  // 1 + 8 + 8 + 1 + 46 = 64-byte frame payload
+  Bytes exact = data_payload(21, 0, app);
+  ASSERT_EQ(exact.size(), 64u);
+  ASSERT_TRUE(send_bytes(raw, frame(exact)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+  EXPECT_EQ(b->stats().frames_rejected_auth, 0u);
+
+  // ...but one byte over the limit is rejected before it is read.
+  Bytes over(8 + 4, 0x5d);
+  for (int i = 0; i < 4; ++i) {
+    over[i] = static_cast<std::uint8_t>(65u >> (8 * i));
+  }
+  ASSERT_TRUE(send_bytes(raw, over));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(sink.count(), 1u);
+}
+
+// --- cross-incarnation replay (DESIGN.md §11, wire v2) ----------------------
+
+TEST(TcpTransportTest, CrossIncarnationReplayIsSuppressed) {
+  Fixture fx;
+  auto b = fx.make("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  // Incarnation 1 of "x" delivers seq 0; a wire intruder records the
+  // signed-and-framed bytes.
+  Socket old_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(old_conn.valid());
+  ASSERT_TRUE(send_bytes(old_conn, frame(hello_payload("x", "b", 1))));
+  Bytes recorded = frame(data_payload(1, 0, Bytes{10}));
+  ASSERT_TRUE(send_bytes(old_conn, recorded));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+  old_conn.close();
+
+  // "x" restarts as incarnation 2 and delivers its fresh seq 0.
+  Socket new_conn = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(new_conn.valid());
+  ASSERT_TRUE(send_bytes(new_conn, frame(hello_payload("x", "b", 2))));
+  ASSERT_TRUE(send_bytes(new_conn, frame(data_payload(2, 0, Bytes{20}))));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
+
+  // The intruder splices the recorded incarnation-1 frame into the
+  // live incarnation-2 connection. Wire v1 would have marked seq 0
+  // delivered in the *fresh* window (and falsely acked it); wire v2
+  // proves the splice from the embedded incarnation, suppresses the
+  // frame and kills the connection.
+  ASSERT_TRUE(send_bytes(new_conn, recorded));
+  ASSERT_TRUE(wait_for([&] { return b->stats().replays_suppressed >= 1; }));
+  new_conn.set_recv_timeout(2'000'000);
+  std::uint8_t scratch[64];
+  while (new_conn.recv_some(scratch, sizeof scratch) > 0) {
+  }
+  std::this_thread::sleep_for(10ms);
+  EXPECT_EQ(sink.count(), 2u);
+  EXPECT_EQ(sink.contents(), (std::multiset<Bytes>{Bytes{10}, Bytes{20}}));
+
+  // Liveness after the attack: the next incarnation connects fine.
+  Socket conn3 = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(conn3.valid());
+  ASSERT_TRUE(send_bytes(conn3, frame(hello_payload("x", "b", 3))));
+  ASSERT_TRUE(send_bytes(conn3, frame(data_payload(3, 0, Bytes{30}))));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 3; }));
+}
+
+TEST(TcpTransportTest, ReplayedAckFromWrongIncarnationCannotRetireMessage) {
+  Fixture fx;
+  fx.config.retransmit_interval_micros = 50'000;  // quiet retransmits
+  auto b = fx.make("b");
+  b->set_handler([](const PartyId&, const Bytes&) {});
+
+  // Play the remote party "x" with a raw listener so we control acks.
+  Listener listener = Listener::open("127.0.0.1", 0);
+  fx.directory->set(PartyId{"x"}, PeerAddress{"127.0.0.1", listener.port()});
+  b->send(PartyId{"x"}, Bytes{7});
+
+  Socket conn = listener.accept();
+  ASSERT_TRUE(conn.valid());
+  conn.set_recv_timeout(5'000'000);
+  // b (the dialer) introduces itself first; learn its incarnation.
+  Bytes hello;
+  ASSERT_TRUE(recv_frame(conn, &hello));
+  wire::Decoder dec{hello};
+  ASSERT_EQ(dec.u8(), 2);  // kHello
+  dec.u32();               // magic
+  dec.u16();               // version
+  ASSERT_EQ(dec.str(), "b");
+  ASSERT_EQ(dec.str(), "x");
+  std::uint64_t b_inc = dec.u64();
+  ASSERT_TRUE(send_bytes(conn, frame(hello_payload("x", "b", 99))));
+  Bytes data;
+  ASSERT_TRUE(recv_frame(conn, &data));  // the data frame for seq 0
+
+  // An ack that does not echo b's live incarnation — a recording from
+  // before b's restart, or a splice — must not retire the message.
+  ASSERT_TRUE(send_bytes(conn, frame(ack_payload(b_inc ^ 0x5a5a, 0))));
+  ASSERT_TRUE(wait_for([&] { return b->stats().replays_suppressed >= 1; }));
+  EXPECT_EQ(b->unacked(), 1u);
+
+  // The genuine echo retires it.
+  ASSERT_TRUE(send_bytes(conn, frame(ack_payload(b_inc, 0))));
+  ASSERT_TRUE(wait_for([&] { return b->unacked() == 0; }));
+  listener.stop();
 }
 
 // --- runtime bundle ---------------------------------------------------------
