@@ -27,6 +27,7 @@
 #include "common/bytes.hpp"
 #include "net/reactor_runtime.hpp"
 #include "net/tcp_runtime.hpp"
+#include "net/wire_auth.hpp"
 
 using namespace b2b;
 using bench::WallClock;
@@ -103,10 +104,32 @@ FanInResult fan_in(int n_senders, int burst, MakeParty&& make) {
   return out;
 }
 
+/// Wire v3 session auth for the fan-in parties: the hub keys as pool
+/// index 0, every sender as index 1 (a bench needs the per-frame MAC
+/// cost, not 500 distinct RSA keygens — sharing the senders' keypair
+/// changes neither the handshake count nor the per-frame work).
+net::WireAuth fan_in_auth(const std::string& self) {
+  auto key_index = [](const std::string& name) -> std::size_t {
+    return name == "hub" ? 0 : 1;
+  };
+  net::WireAuth auth;
+  auth.enabled = true;
+  auth.private_key = std::shared_ptr<const crypto::RsaPrivateKey>(
+      std::shared_ptr<const void>{},
+      &core::Federation::shared_keypair(512, key_index(self)));
+  auth.peer_key = [key_index](const PartyId& peer)
+      -> std::shared_ptr<const crypto::RsaPublicKey> {
+    return std::make_shared<crypto::RsaPublicKey>(
+        core::Federation::shared_keypair(512, key_index(peer.str()))
+            .public_key());
+  };
+  return auth;
+}
+
 void print_fan_in_row(const char* stack, int n, int burst,
                       const FanInResult& r) {
   std::printf(
-      "  %-8s | %5d | %8llu | %8.1f | %7d | %12llu | %11llu | %10llu\n",
+      "  %-12s | %5d | %8llu | %8.1f | %7d | %12llu | %11llu | %10llu\n",
       stack, n,
       static_cast<unsigned long long>(n) * static_cast<unsigned long long>(
                                                burst),
@@ -114,16 +137,13 @@ void print_fan_in_row(const char* stack, int n, int burst,
       static_cast<unsigned long long>(r.hub_stats.epoll_wakeups),
       static_cast<unsigned long long>(r.hub_stats.timers_fired),
       static_cast<unsigned long long>(r.hub_stats.executor_queue_peak));
-  // Adversarial-pressure counters (DESIGN.md §11) at the hub: a clean
-  // fan-in documents the zero; any non-zero means hostile bytes arrived.
-  if (r.hub_stats.frames_rejected_auth != 0 ||
-      r.hub_stats.replays_suppressed != 0) {
-    std::printf(
-        "  %-8s |   hub: frames_rejected_auth=%llu replays_suppressed=%llu\n",
-        stack,
-        static_cast<unsigned long long>(r.hub_stats.frames_rejected_auth),
-        static_cast<unsigned long long>(r.hub_stats.replays_suppressed));
-  }
+  // Adversarial-pressure counters (DESIGN.md §11) at the hub, printed on
+  // every row: a clean fan-in documents the zero; any non-zero means
+  // hostile bytes arrived (or a MAC-verifying wire rejected some).
+  std::printf(
+      "  %-12s | hub: frames_rejected_auth=%llu replays_suppressed=%llu\n",
+      stack, static_cast<unsigned long long>(r.hub_stats.frames_rejected_auth),
+      static_cast<unsigned long long>(r.hub_stats.replays_suppressed));
   if (!r.ok) {
     std::fprintf(stderr, "E20a: %s fan-in at N=%d did not drain\n", stack, n);
     std::exit(1);
@@ -201,6 +221,26 @@ int main() {
       return t;
     };
     print_fan_in_row("reactor", n, kBurst, fan_in(n, kBurst, make));
+  }
+
+  // E22: the fan-in under wire v3 session authentication — N RSA
+  // handshakes at connect, then two HMAC-SHA256 passes per frame hop.
+  // The delta against the matching "reactor" row is the MAC tax at
+  // C10K-style concurrency.
+  for (int n : {50, 200}) {
+    auto directory = std::make_shared<net::PeerDirectory>();
+    net::Reactor reactor;
+    auto pool = std::make_shared<net::TaskPool>(4);
+    auto make = [&](const std::string& name) {
+      net::ReactorTransport::Config config;
+      config.auth = fan_in_auth(name);
+      auto t = std::make_unique<net::ReactorTransport>(
+          PartyId{name}, "127.0.0.1", std::uint16_t{0}, directory, config,
+          reactor, pool);
+      directory->set(PartyId{name}, net::PeerAddress{"127.0.0.1", t->port()});
+      return t;
+    };
+    print_fan_in_row("reactor+auth", n, kBurst, fan_in(n, kBurst, make));
   }
 
   bench::print_header(

@@ -21,6 +21,7 @@
 #include "net/intruder_proxy.hpp"
 #include "net/tcp_runtime.hpp"
 #include "net/threaded_runtime.hpp"
+#include "net/wire_auth.hpp"
 
 using namespace b2b;
 using bench::WallClock;
@@ -76,13 +77,15 @@ LatencyStats ping_pong(net::Transport& a, net::Transport& b,
 }
 
 void print_row(const char* runtime, int rounds, const LatencyStats& stats) {
-  std::printf("  %-8s | %6d | %8.1f | %8.1f | %8.1f\n", runtime, rounds,
+  std::printf("  %-12s | %6d | %8.1f | %8.1f | %8.1f\n", runtime, rounds,
               stats.mean_us, stats.p50_us, stats.p99_us);
 }
 
-double agreed_overwrites_ms(core::RuntimeKind kind, int rounds) {
+double agreed_overwrites_ms(core::RuntimeKind kind, int rounds,
+                            bool wire_auth = false) {
   core::Federation::Options options;
   options.runtime = kind;
+  options.wire_auth = wire_auth;
   bench::RegisterFederation world(3, options);
   world.agree_once(Bytes(1024, 0x01));  // warm-up
   WallClock wall;
@@ -120,14 +123,37 @@ void print_loop_stats(const char* runtime, const net::Transport::Stats& s) {
 
 /// Adversarial-pressure counters (DESIGN.md §11): a clean bench run
 /// documents the zero; any non-zero here means the wire saw hostility.
+/// Printed for EVERY row — the counters exist on every Transport, and a
+/// uniform report is what lets a reader spot the one row that moved.
 void print_adversarial_stats(const char* runtime,
                              const net::Transport::Stats& s) {
   std::printf(
-      "  %-8s | frames_rejected_auth=%llu replays_suppressed=%llu "
+      "  %-12s | frames_rejected_auth=%llu replays_suppressed=%llu "
       "duplicates_suppressed=%llu\n",
       runtime, static_cast<unsigned long long>(s.frames_rejected_auth),
       static_cast<unsigned long long>(s.replays_suppressed),
       static_cast<unsigned long long>(s.duplicates_suppressed));
+}
+
+/// Wire v3 session auth for the two bench parties, keyed from the
+/// federation's deterministic pool ("a" → 0, "b" → 1). The pool entries
+/// live for the process, so non-owning aliases are safe.
+net::WireAuth bench_auth(const std::string& self) {
+  auto key_index = [](const std::string& name) -> std::size_t {
+    return name == "a" ? 0 : 1;
+  };
+  net::WireAuth auth;
+  auth.enabled = true;
+  auth.private_key = std::shared_ptr<const crypto::RsaPrivateKey>(
+      std::shared_ptr<const void>{},
+      &core::Federation::shared_keypair(512, key_index(self)));
+  auth.peer_key = [key_index](const PartyId& peer)
+      -> std::shared_ptr<const crypto::RsaPublicKey> {
+    return std::make_shared<crypto::RsaPublicKey>(
+        core::Federation::shared_keypair(512, key_index(peer.str()))
+            .public_key());
+  };
+  return auth;
 }
 
 }  // namespace
@@ -139,7 +165,7 @@ int main() {
   bench::print_header(
       "E18a: transport round-trip latency "
       "(1 KiB ping-pong, ack/dedup stack on both)",
-      "  runtime  | rounds |  mean us |  p50 us  |  p99 us");
+      "  runtime      | rounds |  mean us |  p50 us  |  p99 us");
 
   {
     net::ThreadedRuntime::Options options;
@@ -148,6 +174,7 @@ int main() {
     net::Transport& b = runtime.add_party(PartyId{"b"});
     print_row("threaded", kRounds,
               ping_pong(a, b, PartyId{"a"}, PartyId{"b"}, kRounds, kPayload));
+    print_adversarial_stats("threaded", a.stats());
   }
   {
     auto directory = std::make_shared<net::PeerDirectory>();
@@ -159,6 +186,25 @@ int main() {
               ping_pong(a, b, PartyId{"a"}, PartyId{"b"}, kRounds, kPayload));
     print_loop_stats("tcp", a.stats());
     print_adversarial_stats("tcp", a.stats());
+  }
+  {
+    // E22 overhead row: the same ping-pong with wire v3 session
+    // authentication on — per-connection HMAC keys negotiated at the
+    // hello, every data/ack frame MAC'd and verified. The delta against
+    // the "tcp" row is the per-frame price of the authenticated wire
+    // (two HMAC-SHA256 passes per hop; the RSA handshake happened once,
+    // outside the measurement).
+    auto directory = std::make_shared<net::PeerDirectory>();
+    net::TcpTransport::Config a_config, b_config;
+    a_config.auth = bench_auth("a");
+    b_config.auth = bench_auth("b");
+    net::TcpTransport a(PartyId{"a"}, "127.0.0.1", 0, directory, a_config);
+    net::TcpTransport b(PartyId{"b"}, "127.0.0.1", 0, directory, b_config);
+    directory->set(PartyId{"a"}, net::PeerAddress{"127.0.0.1", a.port()});
+    directory->set(PartyId{"b"}, net::PeerAddress{"127.0.0.1", b.port()});
+    print_row("tcp+auth", kRounds,
+              ping_pong(a, b, PartyId{"a"}, PartyId{"b"}, kRounds, kPayload));
+    print_adversarial_stats("tcp+auth", a.stats());
   }
   {
     // E21 overhead row: the same ping-pong with every byte relayed
@@ -180,16 +226,47 @@ int main() {
     print_adversarial_stats("tcp+mitm", a.stats());
     proxy.shutdown();
   }
+  {
+    // E22: the authenticated wire THROUGH the passive MITM — the full
+    // campaign harness with the defence on. The relay cannot tell a
+    // MAC'd frame from a plain one (it only re-frames), so the delta
+    // against "tcp+mitm" isolates the MAC cost under relay conditions.
+    auto directory = std::make_shared<net::PeerDirectory>();
+    net::IntruderProxy::Config pconfig;
+    pconfig.active = false;
+    net::IntruderProxy proxy(directory, pconfig);
+    net::TcpTransport::Config a_config, b_config;
+    a_config.auth = bench_auth("a");
+    b_config.auth = bench_auth("b");
+    net::TcpTransport a(PartyId{"a"}, "127.0.0.1", 0, directory, a_config);
+    net::TcpTransport b(PartyId{"b"}, "127.0.0.1", 0, directory, b_config);
+    directory->set(PartyId{"a"}, net::PeerAddress{"127.0.0.1", a.port()});
+    directory->set(PartyId{"b"}, net::PeerAddress{"127.0.0.1", b.port()});
+    proxy.interpose(PartyId{"a"});
+    proxy.interpose(PartyId{"b"});
+    print_row("tcp+auth+mitm", kRounds,
+              ping_pong(a, b, PartyId{"a"}, PartyId{"b"}, kRounds, kPayload));
+    print_adversarial_stats("tcp+auth+mitm", a.stats());
+    proxy.shutdown();
+  }
 
   bench::print_header(
       "E18b: agreed 1 KiB overwrites, N=3 (20 runs, wall ms total)",
-      "  runtime  |  wall ms | ms/run");
+      "  runtime      |  wall ms | ms/run");
   for (core::RuntimeKind kind :
        {core::RuntimeKind::kSim, core::RuntimeKind::kThreaded,
         core::RuntimeKind::kTcp}) {
     const double ms = agreed_overwrites_ms(kind, 20);
-    std::printf("  %-8s | %8.2f | %6.2f\n", runtime_name(kind), ms,
+    std::printf("  %-12s | %8.2f | %6.2f\n", runtime_name(kind), ms,
                 ms / 20.0);
+  }
+  {
+    // E22: the same protocol workload on a session-authenticated tcp
+    // federation. RSA signing dominates the run; the MAC tax is expected
+    // to vanish at this level.
+    const double ms = agreed_overwrites_ms(core::RuntimeKind::kTcp, 20,
+                                           /*wire_auth=*/true);
+    std::printf("  %-12s | %8.2f | %6.2f\n", "tcp+auth", ms, ms / 20.0);
   }
   return 0;
 }

@@ -58,19 +58,24 @@ struct Args {
   std::uint64_t seed = 1;
   int crash_after = 0;  // 0 = never crash
   std::string transport = "tcp";  // "tcp" | "reactor"
+  bool auth = false;  // wire v3 session authentication
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --party NAME --peers FILE --port-dir DIR"
                " [--journal DIR] [--rsa-bits N] [--seed N]"
-               " [--crash-after K] [--transport tcp|reactor]\n";
+               " [--crash-after K] [--transport tcp|reactor] [--auth]\n";
   return 1;
 }
 
 bool parse_args(int argc, char** argv, Args& args) {
   for (int i = 1; i < argc; ++i) {
     std::string flag = argv[i];
+    if (flag == "--auth") {  // boolean flag: takes no value token
+      args.auth = true;
+      continue;
+    }
     if (i + 1 >= argc) return false;
     std::string value = argv[++i];
     if (flag == "--party") {
@@ -214,6 +219,31 @@ int main(int argc, char** argv) {
   const PartyId nought = roster[1];
   const PartyId peer = (self == cross) ? nought : cross;
 
+  // Wire v3 session authentication (--auth): both processes derive the
+  // same name-ordered key assignment from the peers file, so the MAC'd
+  // wire needs no out-of-band state beyond the roster the PKI already
+  // fixed. An --auth node refuses unauthenticated hellos (and vice
+  // versa), so the flag must match across the federation.
+  net::WireAuth wire_auth;
+  if (args.auth) {
+    wire_auth.enabled = true;
+    wire_auth.private_key = std::shared_ptr<const crypto::RsaPrivateKey>(
+        std::shared_ptr<const void>{},
+        &core::Federation::shared_keypair(args.rsa_bits, self_index));
+    const std::vector<PartyId> key_roster = roster;
+    const std::size_t bits = args.rsa_bits;
+    wire_auth.peer_key = [key_roster, bits](const PartyId& who)
+        -> std::shared_ptr<const crypto::RsaPublicKey> {
+      for (std::size_t i = 0; i < key_roster.size(); ++i) {
+        if (key_roster[i] == who) {
+          return std::make_shared<crypto::RsaPublicKey>(
+              core::Federation::shared_keypair(bits, i).public_key());
+        }
+      }
+      return nullptr;  // fail closed: unknown peers get no session
+    };
+  }
+
   // Bind an ephemeral port, publish it, and resolve the peer's. Either
   // stack speaks the same wire protocol, so the two processes of one
   // federation may even mix --transport values.
@@ -228,6 +258,7 @@ int main(int argc, char** argv) {
     lane_pool = std::make_shared<net::TaskPool>(4);
     net::ReactorTransport::Config reactor_config;
     reactor_config.retransmit_interval_micros = 20'000;
+    reactor_config.auth = wire_auth;
     reactor_transport = std::make_unique<net::ReactorTransport>(
         self, "127.0.0.1", std::uint16_t{0}, directory, reactor_config,
         *reactor, lane_pool);
@@ -236,6 +267,7 @@ int main(int argc, char** argv) {
   } else {
     net::TcpTransport::Config transport_config;
     transport_config.retransmit_interval_micros = 20'000;
+    transport_config.auth = wire_auth;
     tcp_transport = std::make_unique<net::TcpTransport>(
         self, "127.0.0.1", std::uint16_t{0}, directory, transport_config);
     transport = tcp_transport.get();
@@ -296,8 +328,8 @@ int main(int argc, char** argv) {
       directory, fs::path(args.port_dir) / (peer.str() + ".port"), peer,
       peer_host);
   std::cout << "[" << args.party << "] listening on " << listen_port
-            << " (" << args.transport << "), peer " << peer.str() << " on "
-            << peer_port << std::endl;
+            << " (" << args.transport << (args.auth ? "+auth" : "")
+            << "), peer " << peer.str() << " on " << peer_port << std::endl;
 
   // The scripted game: X top row in three, O answering twice.
   struct Move {

@@ -2,10 +2,51 @@
 
 #include <map>
 #include <mutex>
+#include <optional>
 
 #include "common/error.hpp"
 
 namespace b2b::core {
+
+namespace {
+
+/// Wire v3 session authentication for the socket runtimes: every party
+/// (and the termination TTP) keys itself out of the federation's shared
+/// deterministic keypair pool, by roster index — the same identities the
+/// coordinators already sign evidence with. Unknown identities fail
+/// closed (no peer key → no hello → no connection).
+std::function<net::WireAuth(const PartyId&)> wire_auth_hook(
+    std::vector<std::string> party_names, std::size_t bits) {
+  auto roster = std::make_shared<const std::vector<std::string>>(
+      std::move(party_names));
+  auto key_index = [roster](const PartyId& id) -> std::optional<std::size_t> {
+    if (id.str() == "termination-ttp") return 998;
+    for (std::size_t i = 0; i < roster->size(); ++i) {
+      if ((*roster)[i] == id.str()) return i;
+    }
+    return std::nullopt;
+  };
+  return [key_index, bits](const PartyId& self) {
+    net::WireAuth auth;
+    auto index = key_index(self);
+    if (!index) return auth;  // not a federation identity: leave auth off
+    auth.enabled = true;
+    // Pool entries live for the process; alias them without owning.
+    auth.private_key = std::shared_ptr<const crypto::RsaPrivateKey>(
+        std::shared_ptr<const void>{},
+        &Federation::shared_keypair(bits, *index));
+    auth.peer_key = [key_index, bits](const PartyId& peer)
+        -> std::shared_ptr<const crypto::RsaPublicKey> {
+      auto peer_index = key_index(peer);
+      if (!peer_index) return nullptr;  // fail closed on unknown peers
+      return std::make_shared<crypto::RsaPublicKey>(
+          Federation::shared_keypair(bits, *peer_index).public_key());
+    };
+    return auth;
+  };
+}
+
+}  // namespace
 
 const crypto::RsaPrivateKey& Federation::shared_keypair(std::size_t bits,
                                                         std::size_t index) {
@@ -48,6 +89,9 @@ Federation::Federation(std::vector<std::string> party_names,
     tcp_options.faults = options.tcp_faults;
     tcp_options.transport = options.tcp_transport;
     tcp_options.executor = options.threaded_executor;
+    if (options.wire_auth) {
+      tcp_options.wire_auth = wire_auth_hook(party_names, options.rsa_bits);
+    }
     tcp_ = std::make_unique<net::TcpRuntime>(tcp_options);
   } else {
     net::ReactorRuntime::Options reactor_options;
@@ -57,6 +101,9 @@ Federation::Federation(std::vector<std::string> party_names,
     reactor_options.transport = options.reactor_transport;
     reactor_options.executor = options.threaded_executor;
     reactor_options.workers = options.reactor_workers;
+    if (options.wire_auth) {
+      reactor_options.wire_auth = wire_auth_hook(party_names, options.rsa_bits);
+    }
     reactor_ = std::make_unique<net::ReactorRuntime>(reactor_options);
   }
 

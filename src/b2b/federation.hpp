@@ -78,6 +78,12 @@ class Federation {
     /// fresh directory of localhost ephemeral ports; pass one to pin
     /// addresses.
     std::shared_ptr<net::PeerDirectory> tcp_directory;
+    /// Wire v3 session authentication (tcp and reactor runtimes): every
+    /// transport derives fresh per-connection per-direction MAC keys at
+    /// each handshake (wire_auth.hpp), built on the federation's shared
+    /// keypair pool — the same PKI the coordinators already sign with.
+    /// Parties key by roster index; the termination TTP is covered too.
+    bool wire_auth = false;
     /// Fault model injected at the socket layer (reactor runtime).
     net::TcpFaults reactor_faults{};
     /// Transport configuration (reactor runtime).

@@ -63,6 +63,29 @@ bool RsaPublicKey::verify_digest(const Digest& digest,
   return em == expected;
 }
 
+Bytes RsaPublicKey::encrypt(BytesView plaintext, ChaCha20Rng& rng) const {
+  std::size_t k = modulus_bytes();
+  if (plaintext.size() + 11 > k) {
+    throw CryptoError("RsaPublicKey::encrypt: plaintext too long");
+  }
+  // EME-PKCS1-v1_5: 0x00 0x02 PS 0x00 M with PS >= 8 nonzero random bytes.
+  Bytes em(k, 0);
+  em[1] = 0x02;
+  std::size_t ps_len = k - plaintext.size() - 3;
+  for (std::size_t i = 0; i < ps_len; ++i) {
+    std::uint8_t b;
+    do {
+      b = static_cast<std::uint8_t>(rng.next_u64() & 0xff);
+    } while (b == 0);
+    em[2 + i] = b;
+  }
+  em[2 + ps_len] = 0x00;
+  std::copy(plaintext.begin(), plaintext.end(),
+            em.begin() + static_cast<std::ptrdiff_t>(3 + ps_len));
+  BigInt m = BigInt::from_bytes_be(em);
+  return mod_exp(m, e_, n_).to_bytes_be(k);
+}
+
 Bytes RsaPublicKey::encode() const {
   Bytes n_bytes = n_.to_bytes_be();
   Bytes e_bytes = e_.to_bytes_be();
@@ -128,6 +151,30 @@ Bytes RsaPrivateKey::sign_digest(const Digest& digest) const {
   BigInt h = (q_inv_ * diff) % p_;
   BigInt s = m2 + h * q_;
   return s.to_bytes_be(k);
+}
+
+std::optional<Bytes> RsaPrivateKey::decrypt(BytesView ciphertext) const {
+  std::size_t k = public_key_.modulus_bytes();
+  if (ciphertext.size() != k || k < 11) return std::nullopt;
+  BigInt c = BigInt::from_bytes_be(ciphertext);
+  if (c >= public_key_.n()) return std::nullopt;
+  // CRT, same shape as sign_digest.
+  BigInt m1 = mod_exp(c % p_, d_p_, p_);
+  BigInt m2 = mod_exp(c % q_, d_q_, q_);
+  BigInt diff = (m1 >= m2) ? (m1 - m2) : (p_ - ((m2 - m1) % p_)) % p_;
+  BigInt h = (q_inv_ * diff) % p_;
+  BigInt m = m2 + h * q_;
+  Bytes em;
+  try {
+    em = m.to_bytes_be(k);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  if (em[0] != 0x00 || em[1] != 0x02) return std::nullopt;
+  std::size_t sep = 2;
+  while (sep < k && em[sep] != 0x00) ++sep;
+  if (sep == k || sep < 10) return std::nullopt;  // PS must be >= 8 bytes
+  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep + 1), em.end());
 }
 
 bool is_probable_prime(const BigInt& candidate, ChaCha20Rng& rng, int rounds) {

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/bytes.hpp"
 #include "crypto/bigint.hpp"
@@ -37,6 +38,13 @@ class RsaPublicKey {
   /// Verify a signature over a precomputed digest.
   bool verify_digest(const Digest& digest, BytesView signature) const;
 
+  /// RSAES-PKCS1-v1_5 encryption (type-2 random nonzero padding) for
+  /// small key-transport payloads — wire v3 ships each connection's
+  /// ephemeral MAC half under the peer's public key this way.
+  /// Ciphertext length == modulus_bytes(). Throws CryptoError when
+  /// `plaintext` exceeds modulus_bytes() - 11.
+  Bytes encrypt(BytesView plaintext, ChaCha20Rng& rng) const;
+
   Bytes encode() const;
   static RsaPublicKey decode(BytesView data);  // throws CodecError
 
@@ -60,6 +68,11 @@ class RsaPrivateKey {
 
   /// Sign a precomputed digest.
   Bytes sign_digest(const Digest& digest) const;
+
+  /// Undo RSAES-PKCS1-v1_5 encryption. Returns nullopt on any length or
+  /// padding mismatch — the transport treats that as a hostile hello and
+  /// kills the connection rather than distinguishing failure modes.
+  std::optional<Bytes> decrypt(BytesView ciphertext) const;
 
  private:
   RsaPublicKey public_key_;

@@ -68,8 +68,12 @@ IntruderAction MutationSchedule::next_action(const FrameInfo& info) {
       IntruderAction::kDuplicate, IntruderAction::kReorder,
       IntruderAction::kReplay,  IntruderAction::kTruncate,
       IntruderAction::kMutate,
+      // The wire v3 tail: only drawn when auth_arsenal is set.
+      IntruderAction::kRewrite, IntruderAction::kForgeAck,
+      IntruderAction::kDowngrade, IntruderAction::kSplice,
   };
-  return kArsenal[rng_.next_below(std::size(kArsenal))];
+  const std::size_t pool = config_.auth_arsenal ? std::size(kArsenal) : 7;
+  return kArsenal[rng_.next_below(pool)];
 }
 
 std::vector<std::string> MutationSchedule::transitions_covered() const {
@@ -231,12 +235,14 @@ Bytes IntruderProxy::mutated_field_payload(const Bytes& payload) {
     wire::Decoder dec{payload};
     const std::uint8_t type = dec.u8();
     wire::Encoder enc;
+    Bytes tail;  // bytes after the rewritten fields, preserved verbatim
     if (type == frame::kHello) {
       std::uint32_t magic = dec.u32();
       std::uint16_t version = dec.u16();
       const std::string from = dec.str();
       const std::string to = dec.str();
       std::uint64_t inc = dec.u64();
+      tail = dec.raw(dec.remaining());  // v3 auth flag (+ key/signature)
       switch (schedule_.next_below(3)) {
         case 0: magic ^= 0x5A5A; break;       // rejected at the handshake
         case 1: version ^= 1; break;          // rejected at the handshake
@@ -250,16 +256,17 @@ Bytes IntruderProxy::mutated_field_payload(const Bytes& payload) {
       std::uint64_t inc = dec.u64();
       const std::uint64_t seq = dec.u64();
       const Bytes app = dec.blob();
-      // Only the incarnation. Rewriting the *sequence number* within the
-      // live incarnation would mark an undelivered seq as delivered and
-      // silently suppress (and ack) the genuine frame — indefensible
-      // without a session MAC, so out of the §11 unsigned-field model.
+      tail = dec.raw(dec.remaining());  // session MAC, left stale
+      // Only the incarnation: kMutate stays legal against a MAC-less
+      // wire. Live seq/payload rewrites are kRewrite — the wire v3
+      // arsenal that an authenticated transport must catch by MAC.
       inc ^= 1ull << schedule_.next_below(64);
       if (inc == 0) inc = 1;
       enc.u8(type).u64(inc).u64(seq).blob(app);
     } else if (type == frame::kAck) {
       std::uint64_t inc = dec.u64();
       std::uint64_t seq = dec.u64();
+      tail = dec.raw(dec.remaining());  // session MAC, left stale
       if (schedule_.next_below(2) == 0) {
         inc ^= 1ull << schedule_.next_below(64);  // ignored by the receiver
         if (inc == 0) inc = 1;
@@ -270,7 +277,12 @@ Bytes IntruderProxy::mutated_field_payload(const Bytes& payload) {
     } else {
       return payload;
     }
-    return std::move(enc).take();
+    // On an authenticated wire the preserved-but-now-stale MAC (or the
+    // re-signed-nothing hello tail) is exactly what gives the rewrite
+    // away; on a MAC-less wire the frame stays structurally valid.
+    Bytes out = std::move(enc).take();
+    out.insert(out.end(), tail.begin(), tail.end());
+    return out;
   } catch (const CodecError&) {
     return payload;
   }
@@ -417,6 +429,99 @@ bool IntruderProxy::apply(const PairPtr& pair, bool to_victim, Socket& out,
       // over a fresh connection. The recomputed-CRC variant (3) passes
       // the checksum layer, so the stream — and the attack — carry on.
       return variant == 3;
+    }
+    case IntruderAction::kRewrite: {
+      // The wire v3 headline attack: rewrite a live data frame's seq or
+      // payload, recompute the CRC (so the checksum layer waves it
+      // through), leave the session MAC stale. Only the MAC can catch it.
+      if (info.frame_type != frame::kData || payload.size() < 2) {
+        return write_framed(out, framed, held);
+      }
+      Bytes attack = payload;
+      // Flip a bit in the authenticated region (type byte excluded, the
+      // trailing MAC — when the wire carries one — excluded).
+      const std::size_t end = attack.size() > frame::kMacLen + 1
+                                  ? attack.size() - frame::kMacLen
+                                  : attack.size();
+      const std::size_t at = 1 + schedule_.next_below(end - 1);
+      attack[at] ^= static_cast<std::uint8_t>(1u << schedule_.next_below(8));
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.rewritten;
+      }
+      const Bytes attack_framed = frame::frame_payload(attack);
+      return write_framed(out, attack_framed, held);
+    }
+    case IntruderAction::kForgeAck: {
+      // Fabricate an ack for the destination's live incarnation without
+      // the session key: on an authenticated wire the garbage MAC must
+      // kill it before it can retire an in-flight message.
+      if (!write_framed(out, framed, held)) return false;
+      std::uint64_t dest_inc;
+      {
+        std::lock_guard<std::mutex> name_lock(pair->name_mutex);
+        dest_inc = pair->leg_incarnation[to_victim ? 1 : 0];
+      }
+      Bytes forged = frame::encode_ack(
+          dest_inc, info.frame_type == frame::kData ? info.seq
+                                                    : schedule_.next_below(8));
+      for (std::size_t i = 0; i < frame::kMacLen; ++i) {
+        forged.push_back(static_cast<std::uint8_t>(schedule_.next_below(256)));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.acks_forged;
+      }
+      const Bytes forged_framed = frame::frame_payload(forged);
+      return out.send_all(forged_framed.data(), forged_framed.size());
+    }
+    case IntruderAction::kDowngrade: {
+      // Strip the auth fields from a hello and force the flag to
+      // kAuthNone: an auth-required endpoint must refuse the handshake
+      // rather than fall back to a MAC-less connection.
+      if (info.frame_type != frame::kHello) {
+        return write_framed(out, framed, held);
+      }
+      Bytes stripped;
+      try {
+        wire::Decoder dec{payload};
+        dec.u8();  // kHello
+        const frame::Hello hello = frame::decode_hello(dec);
+        if (hello.auth_flag == frame::kAuthNone) {
+          return write_framed(out, framed, held);  // nothing to strip
+        }
+        stripped = frame::encode_hello(PartyId{hello.from}, PartyId{hello.to},
+                                       hello.incarnation);
+      } catch (const CodecError&) {
+        return write_framed(out, framed, held);
+      }
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.downgraded;
+      }
+      const Bytes stripped_framed = frame::frame_payload(stripped);
+      return write_framed(out, stripped_framed, held);
+    }
+    case IntruderAction::kSplice: {
+      // Inject a frame recorded on a *different* flow: internally
+      // consistent bytes, wrong connection. Only a per-connection key
+      // (or, pre-v3, the embedded incarnation) can tell it apart.
+      if (!write_framed(out, framed, held)) return false;
+      Bytes foreign;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<const Recorded*> picks;
+        for (const auto& [other_flow, arsenal] : recorded_) {
+          if (other_flow == flow) continue;
+          for (const Recorded& r : arsenal) picks.push_back(&r);
+        }
+        if (!picks.empty()) {
+          foreign = picks[replay_cursor_++ % picks.size()]->framed;
+          ++stats_.spliced;
+        }
+      }
+      if (foreign.empty()) return true;
+      return out.send_all(foreign.data(), foreign.size());
     }
   }
   return true;

@@ -15,11 +15,18 @@
 // incarnations, ack sequence numbers) with the CRC recomputed so the
 // corruption survives the checksum layer.
 //
-// Deliberately out of scope (and documented as such in §11): forging
-// signatures, and rewriting a data frame's sequence number or payload
-// within the live incarnation — without a per-session MAC no wire format
-// can distinguish the latter from the sender, so the defence against it
-// is the signature + journal layer above, not the transport.
+// Wire v3 widened the arsenal. Rewriting a live frame's seq or payload,
+// forging acks, stripping the auth fields from a hello, and splicing a
+// recorded frame across connections used to be out of scope — on a
+// CRC-only wire they are indistinguishable from the honest sender. With
+// per-connection session MACs (wire_auth.hpp) every one of them must now
+// die at the receiving transport as `frames_rejected_auth`, so the proxy
+// plays them too: kRewrite, kForgeAck, kDowngrade, kSplice. The random
+// schedule only draws them when `auth_arsenal` is set (i.e. when the
+// interposed federation actually authenticates its wire — against an
+// unauthenticated wire they would be silent corruption no honest
+// transport can detect, which is precisely the boundary v3 closed).
+// Still out of scope: forging RSA signatures and stealing session keys.
 //
 // The mutation schedule is coverage-guided: actions are biased toward
 // frames whose protocol-state transition (previous frame type → current
@@ -59,6 +66,11 @@ enum class IntruderAction : std::uint8_t {
   kReplay,        // relayed, then a recorded frame from this flow injected
   kTruncate,      // a prefix of the frame written, then the pair reset
   kMutate,        // unsigned region rewritten, CRC recomputed, relayed
+  // Wire v3 arsenal: MAC-detectable forgeries (see header comment).
+  kRewrite,       // live data seq/payload rewritten, CRC fresh, MAC stale
+  kForgeAck,      // fabricated ack injected without the session key
+  kDowngrade,     // hello auth fields stripped, flag forced to kAuthNone
+  kSplice,        // recorded frame from a *different* flow injected
 };
 
 /// What the proxy knows about a frame when choosing an action.
@@ -87,6 +99,12 @@ struct IntruderStats {
   std::uint64_t replayed_cross_incarnation = 0;
   std::uint64_t truncated = 0;
   std::uint64_t mutated = 0;
+  /// Wire v3 arsenal (each one must land as frames_rejected_auth on an
+  /// authenticated wire — zero of them may reach an application).
+  std::uint64_t rewritten = 0;
+  std::uint64_t acks_forged = 0;
+  std::uint64_t downgraded = 0;
+  std::uint64_t spliced = 0;
   /// Frames arriving at the proxy itself with a hostile length prefix
   /// (the proxy enforces frame::decode_header like the runtimes do).
   std::uint64_t hostile_lengths_rejected = 0;
@@ -107,6 +125,11 @@ class MutationSchedule {
     /// Budget: after this many adversarial actions the schedule only
     /// forwards (a campaign's built-in passivation).
     std::size_t max_actions = static_cast<std::size_t>(-1);
+    /// Draw the wire v3 attacks (kRewrite/kForgeAck/kDowngrade/kSplice)
+    /// in the random arsenal. Enable ONLY against a session-authenticated
+    /// federation: on a MAC-less wire these are silent corruption no
+    /// transport can detect (scripted games may still force them).
+    bool auth_arsenal = false;
   };
 
   explicit MutationSchedule(const Config& config)

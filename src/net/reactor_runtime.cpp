@@ -141,22 +141,23 @@ int ReactorTransport::sample_faults_locked() {
 }
 
 void ReactorTransport::send(const PartyId& to, Bytes payload) {
-  Bytes framed;
+  std::uint64_t seq;
   int copies = 0;
+  Bytes wire_payload = payload;  // survives the move into outgoing_
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    std::uint64_t seq = next_seq_[to]++;
-    framed = frame::frame_payload(
-        frame::encode_data(incarnation_, seq, payload));
+    seq = next_seq_[to]++;
     outgoing_[{to, seq}] = Outgoing{std::move(payload), 1};
     ++stats_.app_sent;
     if (alive_) copies = sample_faults_locked();
   }
   if (copies == 0) return;
-  // All connection state is loop-owned; the write happens there. If no
-  // usable connection exists yet the dial starts and the frame rides
+  // All connection state is loop-owned; the write happens there — and so
+  // does the encoding, because the MAC key belongs to the connection. If
+  // no usable connection exists yet the dial starts and the frame rides
   // the retransmit timer / post-handshake flush instead.
-  reactor_.post([this, to, framed = std::move(framed), copies] {
+  reactor_.post([this, to, seq, wire_payload = std::move(wire_payload),
+                 copies] {
     if (closed_) return;
     auto it = active_.find(to);
     if (it == active_.end()) {
@@ -164,7 +165,10 @@ void ReactorTransport::send(const PartyId& to, Bytes payload) {
       return;
     }
     if (it->second->connecting) return;  // flushed on connect completion
-    queue_frame(it->second, framed, copies, false);
+    if (config_.auth.enabled && !it->second->keys.has_send) return;
+    Bytes encoded = frame::encode_data(incarnation_, seq, wire_payload);
+    if (config_.auth.enabled) append_mac(encoded, it->second->keys.send);
+    queue_frame(it->second, frame::frame_payload(encoded), copies, false);
     flush_conn(it->second);
   });
 }
@@ -392,35 +396,66 @@ bool ReactorTransport::parse_frames(const ConnPtr& conn) {
       return false;
     }
     try {
-      wire::Decoder dec{payload};
+      // Wire v3: past the handshake every frame on an authenticated
+      // connection ends in an HMAC tag verified (constant time) BEFORE
+      // any parsing — a forged or rewritten frame dies right here.
+      BytesView body{payload};
+      if (conn->handshaken && config_.auth.enabled) {
+        if (!conn->keys.has_recv ||
+            !verify_strip_mac(payload, conn->keys.recv, &body)) {
+          B2B_WARN("reactor: bad frame MAC from ", conn->peer, " on ",
+                   self_);
+          reject();
+          return false;
+        }
+      }
+      wire::Decoder dec{body};
       const std::uint8_t type = dec.u8();
       if (!conn->handshaken) {
         if (type != frame::kHello) {  // hello is always first
           reject();
           return false;
         }
-        if (dec.u32() != frame::kMagic || dec.u16() != frame::kVersion) {
+        frame::Hello hello = frame::decode_hello(dec);
+        if (hello.magic != frame::kMagic ||
+            hello.version != frame::kVersion) {
           reject();
           return false;
         }
-        PartyId from{dec.str()};
-        PartyId to{dec.str()};
-        const std::uint64_t peer_incarnation = dec.u64();
-        dec.expect_done();
-        if (to != self_) {
-          B2B_WARN("reactor: ", self_, " got a handshake meant for ", to);
+        PartyId from{hello.from};
+        if (PartyId{hello.to} != self_) {
+          B2B_WARN("reactor: ", self_, " got a handshake meant for ",
+                   hello.to);
+          reject();
+          return false;
+        }
+        // Auth vetting: mode mismatch (downgrade/strip), bad signature or
+        // undecryptable key half all kill the connection before it can
+        // carry a byte of data. On success the peer's half keys `recv`.
+        if (!accept_hello(config_.auth, self_, hello, &conn->keys)) {
+          B2B_WARN("reactor: rejecting unauthenticated/forged hello from ",
+                   from, " on ", self_);
           reject();
           return false;
         }
         const bool reply = !conn->hello_sent;
-        register_handshake(conn, std::move(from), peer_incarnation);
+        Bytes reply_hello;
+        if (reply) {
+          // Build (and key) the reply before flush_outgoing_to below can
+          // encode data frames against this connection's send key.
+          reply_hello = build_hello(config_.auth, self_, from, incarnation_,
+                                    &conn->keys);
+          if (reply_hello.empty()) {
+            reject();  // auth on but no key for the peer: fail closed
+            return false;
+          }
+        }
+        register_handshake(conn, std::move(from), hello.incarnation);
         if (conn->dead) return true;  // killed while registering
         if (reply) {
           conn->hello_sent = true;
-          queue_frame(conn,
-                      frame::frame_payload(frame::encode_hello(
-                          self_, conn->peer, incarnation_)),
-                      1, /*force=*/true);
+          queue_frame(conn, frame::frame_payload(reply_hello), 1,
+                      /*force=*/true);
         }
         // Outstanding frames flush only after any hello reply is queued:
         // on a simultaneous open the peer's side of this socket is still
@@ -547,11 +582,15 @@ void ReactorTransport::dial(const PartyId& to) {
   conn->connecting = in_progress;
   // Our hello goes first on the stream; it sits in the send buffer
   // until the connect completes (the peer processes frames in order,
-  // so it knows us before any payload).
-  queue_frame(conn,
-              frame::frame_payload(
-                  frame::encode_hello(self_, to, incarnation_)),
-              1, /*force=*/true);
+  // so it knows us before any payload). Building it also keys `send`,
+  // so data frames can be MAC'd the moment the hello is queued.
+  Bytes hello = build_hello(config_.auth, self_, to, incarnation_,
+                            &conn->keys);
+  if (hello.empty()) {
+    bump_backoff(to);  // auth on but no key for the peer: fail closed
+    return;
+  }
+  queue_frame(conn, frame::frame_payload(hello), 1, /*force=*/true);
   adopt_conn(conn, /*inbound=*/false);
   if (conn->dead) {
     bump_backoff(to);
@@ -648,8 +687,9 @@ bool ReactorTransport::handle_data(const ConnPtr& conn, std::uint64_t frame_inc,
       ++stats_.duplicates_suppressed;
     }
   }
-  queue_frame(conn, frame::frame_payload(frame::encode_ack(frame_inc, seq)),
-              1, /*force=*/true);
+  Bytes ack = frame::encode_ack(frame_inc, seq);
+  if (config_.auth.enabled) append_mac(ack, conn->keys.send);
+  queue_frame(conn, frame::frame_payload(ack), 1, /*force=*/true);
   flush_conn(conn);
   if (!deliver) return true;
   // Deliveries run off-loop: the handler re-enters the coordinator
@@ -690,6 +730,7 @@ void ReactorTransport::handle_ack(const PartyId& from, std::uint64_t frame_inc,
 void ReactorTransport::flush_outgoing_to(const PartyId& peer,
                                          const ConnPtr& conn) {
   if (conn->dead || conn->connecting) return;
+  if (config_.auth.enabled && !conn->keys.has_send) return;
   struct Offer {
     Bytes framed;
     int copies;
@@ -702,10 +743,11 @@ void ReactorTransport::flush_outgoing_to(const PartyId& peer,
          it != outgoing_.end() && it->first.first == peer; ++it) {
       // Each wire write is a fresh fault sample (TcpTransport semantics):
       // a frame dropped here stays in outgoing_ for the retransmit tick.
-      frames.push_back({frame::frame_payload(frame::encode_data(
-                            incarnation_, it->first.second,
-                            it->second.payload)),
-                        sample_faults_locked()});
+      Bytes encoded = frame::encode_data(incarnation_, it->first.second,
+                                         it->second.payload);
+      if (config_.auth.enabled) append_mac(encoded, conn->keys.send);
+      frames.push_back(
+          {frame::frame_payload(encoded), sample_faults_locked()});
     }
   }
   for (const Offer& offer : frames) {
@@ -718,7 +760,8 @@ void ReactorTransport::retransmit_tick() {
   if (closed_) return;
   struct Item {
     PartyId to;
-    Bytes framed;
+    std::uint64_t seq;
+    Bytes payload;
     int copies;
   };
   std::vector<Item> items;
@@ -738,9 +781,9 @@ void ReactorTransport::retransmit_tick() {
       }
       ++out.attempts;
       ++stats_.retransmissions;
-      items.push_back({key.first,
-                       frame::frame_payload(frame::encode_data(
-                           incarnation_, key.second, out.payload)),
+      // Encoding happens per resolved connection below: the MAC key is
+      // a property of the conn, not of the queued message.
+      items.push_back({key.first, key.second, out.payload,
                        alive ? sample_faults_locked() : 0});
       ++it;
     }
@@ -755,7 +798,12 @@ void ReactorTransport::retransmit_tick() {
         continue;  // flushed via post-handshake/-connect resend
       }
       if (it->second->connecting) continue;
-      queue_frame(it->second, item.framed, item.copies, false);
+      if (config_.auth.enabled && !it->second->keys.has_send) continue;
+      Bytes encoded =
+          frame::encode_data(incarnation_, item.seq, item.payload);
+      if (config_.auth.enabled) append_mac(encoded, it->second->keys.send);
+      queue_frame(it->second, frame::frame_payload(encoded), item.copies,
+                  false);
       if (std::find(touched.begin(), touched.end(), it->second) ==
           touched.end()) {
         touched.push_back(it->second);
@@ -822,6 +870,7 @@ Transport& ReactorRuntime::add_party(const PartyId& id) {
   config.faults = options_.faults;
   config.fault_seed =
       options_.seed ^ (0x7265'6100ULL + std::hash<std::string>{}(id.str()));
+  if (options_.wire_auth) config.auth = options_.wire_auth(id);
   transports_.push_back(std::make_unique<ReactorTransport>(
       id, host, port, directory_, config, reactor_, pool_));
   // Write the bound port back (resolves port 0) so later parties in the

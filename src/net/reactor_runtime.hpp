@@ -72,6 +72,9 @@ class ReactorTransport final : public Transport {
     /// Seed for the injected-fault generator.
     std::uint64_t fault_seed = 1;
     TcpFaults faults{};
+    /// Wire v3 session authentication (wire_auth.hpp): per-connection
+    /// HMAC keys negotiated at the hello, every data/ack frame MAC'd.
+    WireAuth auth{};
   };
 
   /// Binds host:port (port 0 = ephemeral, see port()) and registers
@@ -147,6 +150,8 @@ class ReactorTransport final : public Transport {
     bool hello_sent = false;
     bool connecting = false;  // non-blocking connect still completing
     bool dead = false;
+    /// Per-direction MAC keys (wire v3); loop-thread only like the rest.
+    ConnKeys keys;
     StreamBuf rbuf;
     StreamBuf wbuf;
     Reactor::FdHandlerPtr handle;
@@ -283,6 +288,10 @@ class ReactorRuntime final : public Runtime {
     /// Bounded pool width: deliveries, lane dispatch and clock
     /// callbacks all share these workers.
     std::size_t workers = 4;
+    /// Session-auth hook: called once per add_party to produce that
+    /// party's WireAuth (its private key + the shared peer-key lookup).
+    /// Null = wire auth off for every party in the bundle.
+    std::function<WireAuth(const PartyId&)> wire_auth;
   };
 
   explicit ReactorRuntime(const Options& options);

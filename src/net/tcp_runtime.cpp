@@ -15,7 +15,6 @@ namespace {
 
 using frame::encode_ack;
 using frame::encode_data;
-using frame::encode_hello;
 using frame::get_u32_le;
 using frame::kAck;
 using frame::kData;
@@ -108,14 +107,23 @@ void TcpTransport::send(const PartyId& to, Bytes payload) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     std::uint64_t seq = next_seq_[to]++;
-    frame = encode_data(incarnation_, seq, payload);
-    outgoing_[{to, seq}] = Outgoing{std::move(payload), 1};
     ++stats_.app_sent;
     if (alive_) {
       copies = sample_faults_locked();
       auto it = active_.find(to);
       if (it != active_.end() && !it->second->dead.load()) conn = it->second;
     }
+    // Frames are encoded per connection (the MAC key is the conn's), so
+    // a conn-less send just queues; the retransmit tick encodes later.
+    if (conn) {
+      if (config_.auth.enabled && !conn->keys.has_send) {
+        conn = nullptr;  // not yet keyed; retransmission will cover it
+      } else {
+        frame = encode_data(incarnation_, seq, payload);
+        if (config_.auth.enabled) append_mac(frame, conn->keys.send);
+      }
+    }
+    outgoing_[{to, seq}] = Outgoing{std::move(payload), 1};
   }
   // No connection yet: the retransmit thread dials lazily on its next
   // tick, so send() never blocks a caller on a connect().
@@ -260,7 +268,9 @@ bool TcpTransport::handle_data(const ConnPtr& conn, std::uint64_t frame_inc,
       ++stats_.duplicates_suppressed;
     }
   }
-  write_frame(conn, encode_ack(frame_inc, seq));
+  Bytes ack = encode_ack(frame_inc, seq);
+  if (config_.auth.enabled) append_mac(ack, conn->keys.send);
+  write_frame(conn, ack);
   if (!deliver || !handler) return true;
   {
     // Serialise deliveries (Transport contract: at most one delivering
@@ -340,33 +350,63 @@ void TcpTransport::reader_loop(ConnPtr conn) {
       break;
     }
     try {
-      wire::Decoder dec{payload};
+      // Wire v3: past the handshake every frame on an authenticated
+      // connection ends in an HMAC tag verified (constant time) BEFORE
+      // any parsing — a forged or rewritten frame dies right here.
+      BytesView body{payload};
+      if (handshaken && config_.auth.enabled) {
+        if (!conn->keys.has_recv ||
+            !verify_strip_mac(payload, conn->keys.recv, &body)) {
+          B2B_WARN("tcp: bad frame MAC from ", conn->peer, " on ", self_);
+          reject();
+          break;
+        }
+      }
+      wire::Decoder dec{body};
       std::uint8_t type = dec.u8();
       if (!handshaken) {
         if (type != kHello) {  // protocol: hello is always first
           reject();
           break;
         }
-        if (dec.u32() != kMagic || dec.u16() != kVersion) {
+        frame::Hello hello = frame::decode_hello(dec);
+        if (hello.magic != kMagic || hello.version != kVersion) {
           reject();
           break;
         }
-        PartyId from{dec.str()};
-        PartyId to{dec.str()};
-        std::uint64_t peer_incarnation = dec.u64();
-        dec.expect_done();
-        if (to != self_) {
-          B2B_WARN("tcp: ", self_, " got a handshake meant for ", to);
+        PartyId from{hello.from};
+        if (PartyId{hello.to} != self_) {
+          B2B_WARN("tcp: ", self_, " got a handshake meant for ", hello.to);
+          reject();
+          break;
+        }
+        // Auth vetting: mode mismatch (downgrade/strip), bad signature or
+        // undecryptable key half all kill the connection before it can
+        // carry a byte of data. On success the peer's half keys `recv`.
+        if (!accept_hello(config_.auth, self_, hello, &conn->keys)) {
+          B2B_WARN("tcp: rejecting unauthenticated/forged hello from ", from,
+                   " on ", self_);
           reject();
           break;
         }
         bool reply = !conn->hello_sent;
-        register_handshake(conn, from, peer_incarnation);
+        Bytes reply_hello;
+        if (reply) {
+          // Build (and key) the reply BEFORE register_handshake publishes
+          // this conn as preferred: a send() racing us must find has_send.
+          reply_hello = build_hello(config_.auth, self_, from, incarnation_,
+                                    &conn->keys);
+          if (reply_hello.empty()) {
+            reject();  // auth on but no key for the peer: fail closed
+            break;
+          }
+        }
+        register_handshake(conn, from, hello.incarnation);
         conn->socket.set_recv_timeout(0);  // handshake phase over
         handshaken = true;
         if (reply) {
           conn->hello_sent = true;
-          write_frame(conn, encode_hello(self_, from, incarnation_));
+          write_frame(conn, reply_hello);
         }
       } else if (type == kData) {
         std::uint64_t frame_inc = dec.u64();
@@ -424,6 +464,15 @@ TcpTransport::ConnPtr TcpTransport::dial(const PartyId& to) {
   conn->socket = std::move(socket);
   conn->peer = to;
   conn->hello_sent = true;
+  // Key the sending direction before the conn is visible anywhere: our
+  // fresh ephemeral half rides in the hello, so data can be MAC'd and
+  // sent the moment the hello is on the wire.
+  Bytes hello = build_hello(config_.auth, self_, to, incarnation_,
+                            &conn->keys);
+  if (hello.empty()) {
+    bump_backoff();  // auth on but no key for the peer: fail closed
+    return nullptr;
+  }
   {
     std::lock_guard<std::mutex> lock(conns_mutex_);
     {
@@ -435,7 +484,7 @@ TcpTransport::ConnPtr TcpTransport::dial(const PartyId& to) {
   }
   // Our hello goes first on the stream; data may follow immediately (the
   // peer processes frames in order, so it knows us before any payload).
-  if (!write_frame(conn, encode_hello(self_, to, incarnation_))) {
+  if (!write_frame(conn, hello)) {
     bump_backoff();
     return nullptr;
   }
@@ -457,7 +506,8 @@ void TcpTransport::retransmit_loop() {
     }
     struct Item {
       PartyId to;
-      Bytes frame;
+      std::uint64_t seq;
+      Bytes payload;
       int copies;
     };
     std::vector<Item> items;
@@ -478,8 +528,9 @@ void TcpTransport::retransmit_loop() {
         }
         ++out.attempts;
         ++stats_.retransmissions;
-        items.push_back({key.first,
-                         encode_data(incarnation_, key.second, out.payload),
+        // Encoding happens per resolved connection below: the MAC key is
+        // a property of the conn, not of the queued message.
+        items.push_back({key.first, key.second, out.payload,
                          alive ? sample_faults_locked() : 0});
         ++it;
       }
@@ -510,8 +561,11 @@ void TcpTransport::retransmit_loop() {
           if (!it->second) it->second = dial(item.to);
         }
         if (!it->second) continue;
+        if (config_.auth.enabled && !it->second->keys.has_send) continue;
+        Bytes framed = encode_data(incarnation_, item.seq, item.payload);
+        if (config_.auth.enabled) append_mac(framed, it->second->keys.send);
         for (int i = 0; i < item.copies; ++i) {
-          if (!write_frame(it->second, item.frame)) {
+          if (!write_frame(it->second, framed)) {
             it->second = nullptr;
             break;
           }
@@ -557,6 +611,7 @@ Transport& TcpRuntime::add_party(const PartyId& id) {
   config.faults = options_.faults;
   config.fault_seed =
       options_.seed ^ (0x7463'7000ULL + std::hash<std::string>{}(id.str()));
+  if (options_.wire_auth) config.auth = options_.wire_auth(id);
   transports_.push_back(
       std::make_unique<TcpTransport>(id, host, port, directory_, config));
   // Write the bound port back (resolves port 0) so later parties in the

@@ -45,6 +45,7 @@
 #include "net/peer_directory.hpp"
 #include "net/runtime.hpp"
 #include "net/socket.hpp"
+#include "net/wire_auth.hpp"
 #include "net/threaded_runtime.hpp"  // SystemClock, ThreadedExecutor
 
 namespace b2b::net {
@@ -89,6 +90,9 @@ class TcpTransport final : public Transport {
     /// Seed for the injected-fault generator.
     std::uint64_t fault_seed = 1;
     TcpFaults faults{};
+    /// Wire v3 session authentication (wire_auth.hpp): per-connection
+    /// HMAC keys negotiated at the hello, every data/ack frame MAC'd.
+    WireAuth auth{};
   };
 
   /// Binds `host:port` (port 0 = ephemeral, see port()) and starts the
@@ -146,6 +150,12 @@ class TcpTransport final : public Transport {
     std::uint64_t peer_incarnation = 0; // valid once handshaken
     bool handshaken = false;            // guarded by owner's mutex_
     bool hello_sent = false;            // touched only by dialer/reader
+    /// Per-direction MAC keys (wire v3). `send` is set before the conn is
+    /// published (dial) or before register_handshake makes it preferred
+    /// (inbound reply), `recv` by the reader while processing the peer's
+    /// hello; both are immutable afterwards, so post-publication readers
+    /// need no extra lock.
+    ConnKeys keys;
     std::atomic<bool> dead{false};
   };
   using ConnPtr = std::shared_ptr<Conn>;
@@ -248,6 +258,10 @@ class TcpRuntime final : public Runtime {
     TcpFaults faults{};
     TcpTransport::Config transport{};
     ThreadedExecutor::Config executor{};
+    /// Session-auth hook: called once per add_party to produce that
+    /// party's WireAuth (its private key + the shared peer-key lookup).
+    /// Null = wire auth off for every party in the bundle.
+    std::function<WireAuth(const PartyId&)> wire_auth;
   };
 
   explicit TcpRuntime(const Options& options);

@@ -1,0 +1,110 @@
+#include "net/wire_auth.hpp"
+
+#include <random>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "wire/codec.hpp"
+
+namespace b2b::net {
+
+namespace {
+
+constexpr std::size_t kHalfLen = 32;
+
+// Domain-separation salt for the wire-v3 KDF.
+constexpr char kKdfSalt[] = "b2b/wire-v3";
+
+/// Fresh CSPRNG seeded from OS entropy: ephemeral halves must be
+/// unpredictable across processes and restarts, unlike the deterministic
+/// protocol rngs.
+crypto::ChaCha20Rng entropy_rng() {
+  std::random_device rd;
+  Bytes seed(32);
+  for (std::size_t i = 0; i < seed.size(); i += 4) {
+    std::uint32_t word = rd();
+    for (std::size_t j = 0; j < 4 && i + j < seed.size(); ++j) {
+      seed[i + j] = static_cast<std::uint8_t>(word >> (8 * j));
+    }
+  }
+  return crypto::ChaCha20Rng(BytesView{seed.data(), seed.size()});
+}
+
+}  // namespace
+
+crypto::Digest derive_direction_key(BytesView half, const PartyId& from,
+                                    const PartyId& to,
+                                    std::uint64_t incarnation) {
+  crypto::Digest prk = crypto::hkdf_extract(bytes_of(kKdfSalt), half);
+  wire::Encoder info;
+  info.str(from.str()).str(to.str()).u64(incarnation);
+  Bytes okm = crypto::hkdf_expand(prk, info.bytes(), kHalfLen);
+  crypto::Digest key;
+  std::copy(okm.begin(), okm.end(), key.begin());
+  return key;
+}
+
+Bytes build_hello(const WireAuth& auth, const PartyId& self,
+                  const PartyId& to, std::uint64_t incarnation,
+                  ConnKeys* keys) {
+  if (!auth.enabled) {
+    return frame::encode_hello(self, to, incarnation);
+  }
+  auto peer = auth.peer_key ? auth.peer_key(to) : nullptr;
+  if (!peer || !auth.private_key) return {};
+  crypto::ChaCha20Rng rng = entropy_rng();
+  Bytes half = rng.bytes(kHalfLen);
+  Bytes enc_half = peer->encrypt(half, rng);
+  Bytes signing =
+      frame::hello_signing_bytes(self, to, incarnation, enc_half);
+  Bytes signature = auth.private_key->sign(signing);
+  keys->send = derive_direction_key(half, self, to, incarnation);
+  keys->has_send = true;
+  return frame::encode_hello_auth(self, to, incarnation, enc_half,
+                                  signature);
+}
+
+bool accept_hello(const WireAuth& auth, const PartyId& self,
+                  const frame::Hello& hello, ConnKeys* keys) {
+  if (!auth.enabled) {
+    // An authenticated hello at an auth-off endpoint is a mode mismatch:
+    // accepting it would let the peer believe the wire is protected.
+    return hello.auth_flag == frame::kAuthNone;
+  }
+  if (hello.auth_flag != frame::kAuthHmac) return false;  // downgrade/strip
+  if (!auth.private_key || !auth.peer_key) return false;
+  const PartyId from{hello.from};
+  auto peer = auth.peer_key(from);
+  if (!peer) return false;
+  Bytes signing = frame::hello_signing_bytes(from, PartyId{hello.to},
+                                             hello.incarnation,
+                                             hello.enc_half);
+  if (!peer->verify(signing, hello.signature)) return false;
+  auto half = auth.private_key->decrypt(hello.enc_half);
+  if (!half || half->size() != kHalfLen) return false;
+  keys->recv = derive_direction_key(*half, from, self, hello.incarnation);
+  keys->has_recv = true;
+  return true;
+}
+
+void append_mac(Bytes& payload, const crypto::Digest& key) {
+  crypto::Digest tag = crypto::HmacSha256::mac(
+      BytesView{key.data(), key.size()}, payload);
+  payload.insert(payload.end(), tag.begin(), tag.end());
+}
+
+bool verify_strip_mac(BytesView payload, const crypto::Digest& key,
+                      BytesView* body) {
+  if (payload.size() < frame::kMacLen + 1) return false;
+  BytesView inner = payload.first(payload.size() - frame::kMacLen);
+  crypto::Digest expected =
+      crypto::HmacSha256::mac(BytesView{key.data(), key.size()}, inner);
+  if (!constant_time_equal(payload.last(frame::kMacLen),
+                           BytesView{expected.data(), expected.size()})) {
+    return false;
+  }
+  *body = inner;
+  return true;
+}
+
+}  // namespace b2b::net

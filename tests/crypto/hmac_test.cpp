@@ -1,0 +1,183 @@
+// HMAC-SHA256 against the RFC 4231 test vectors, the HKDF extract/expand
+// pair against the RFC 5869 SHA-256 vectors, and the constant-time
+// comparison wire v3 relies on for MAC verification.
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace b2b::crypto {
+namespace {
+
+std::string mac_hex(const Bytes& key, const Bytes& data) {
+  return to_hex(digest_bytes(HmacSha256::mac(key, data)));
+}
+
+// --- RFC 4231 HMAC-SHA-256 test cases ---------------------------------------
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  EXPECT_EQ(
+      mac_hex(Bytes(20, 0x0b), bytes_of("Hi There")),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2ShortKey) {
+  EXPECT_EQ(
+      mac_hex(bytes_of("Jefe"), bytes_of("what do ya want for nothing?")),
+      "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  EXPECT_EQ(
+      mac_hex(Bytes(20, 0xaa), Bytes(50, 0xdd)),
+      "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacSha256Test, Rfc4231Case4) {
+  EXPECT_EQ(
+      mac_hex(from_hex("0102030405060708090a0b0c0d0e0f10111213141516171819"),
+              Bytes(50, 0xcd)),
+      "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+TEST(HmacSha256Test, Rfc4231Case6KeyLargerThanBlock) {
+  // 131-byte key: must be pre-hashed before the pad schedule.
+  EXPECT_EQ(
+      mac_hex(Bytes(131, 0xaa),
+              bytes_of("Test Using Larger Than Block-Size Key - Hash "
+                       "Key First")),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacSha256Test, Rfc4231Case7KeyAndDataLargerThanBlock) {
+  EXPECT_EQ(
+      mac_hex(Bytes(131, 0xaa),
+              bytes_of("This is a test using a larger than block-size ke"
+                       "y and a larger than block-size data. The key nee"
+                       "ds to be hashed before being used by the HMAC al"
+                       "gorithm.")),
+      "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+TEST(HmacSha256Test, StreamingMatchesOneShot) {
+  Bytes key = bytes_of("stream-key");
+  Bytes data = bytes_of("the quick brown fox jumps over the lazy dog");
+  Digest want = HmacSha256::mac(key, data);
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    HmacSha256 mac(key);
+    mac.update(BytesView(data.data(), split));
+    mac.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(mac.finish(), want) << "split at " << split;
+  }
+}
+
+TEST(HmacSha256Test, ResetAllowsReuseWithSameKey) {
+  HmacSha256 mac(Bytes(20, 0x0b));
+  mac.update(bytes_of("garbage"));
+  mac.reset();
+  mac.update(bytes_of("Hi There"));
+  EXPECT_EQ(
+      to_hex(digest_bytes(mac.finish())),
+      "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, DistinctKeysGiveDistinctTags) {
+  Bytes data = bytes_of("same message");
+  EXPECT_NE(HmacSha256::mac(bytes_of("key-a"), data),
+            HmacSha256::mac(bytes_of("key-b"), data));
+}
+
+// --- RFC 5869 HKDF-SHA256 test cases ----------------------------------------
+
+TEST(HkdfTest, Rfc5869Case1) {
+  Digest prk = hkdf_extract(from_hex("000102030405060708090a0b0c"),
+                            Bytes(22, 0x0b));
+  EXPECT_EQ(
+      to_hex(digest_bytes(prk)),
+      "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+  Bytes okm = hkdf_expand(prk, from_hex("f0f1f2f3f4f5f6f7f8f9"), 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5"
+            "bf34007208d5b887185865");
+}
+
+TEST(HkdfTest, Rfc5869Case2LongInputs) {
+  Bytes ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<uint8_t>(i));
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<uint8_t>(i));
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<uint8_t>(i));
+  Digest prk = hkdf_extract(salt, ikm);
+  EXPECT_EQ(
+      to_hex(digest_bytes(prk)),
+      "06a6b88c5853361a06104c9ceb35b45cef760014904671014a193f40c15fc244");
+  Bytes okm = hkdf_expand(prk, info, 82);
+  EXPECT_EQ(to_hex(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa9"
+            "7c59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3"
+            "db71cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(HkdfTest, Rfc5869Case3EmptySaltAndInfo) {
+  // Zero-length salt means a hash-length zero salt per the RFC.
+  Digest prk = hkdf_extract(BytesView{}, Bytes(22, 0x0b));
+  EXPECT_EQ(
+      to_hex(digest_bytes(prk)),
+      "19ef24a32c717b167f33a91d6f648bdf96596776afdb6377ac434c1c293ccb04");
+  Bytes okm = hkdf_expand(prk, BytesView{}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d"
+            "2d9d201395faa4b61a96c8");
+}
+
+TEST(HkdfTest, ExpandRefusesOverlongOutput) {
+  Digest prk = hkdf_extract(BytesView{}, bytes_of("ikm"));
+  EXPECT_NO_THROW(hkdf_expand(prk, BytesView{}, 255 * 32));
+  EXPECT_THROW(hkdf_expand(prk, BytesView{}, 255 * 32 + 1),
+               std::invalid_argument);
+}
+
+TEST(HkdfTest, DistinctInfoSeparatesKeys) {
+  // The wire v3 info string binds (from, to, incarnation): any change in
+  // the binding must change the derived key.
+  Digest prk = hkdf_extract(bytes_of("b2b/wire-v3"), Bytes(32, 0x42));
+  EXPECT_NE(hkdf_expand(prk, bytes_of("a->b/1"), 32),
+            hkdf_expand(prk, bytes_of("b->a/1"), 32));
+  EXPECT_NE(hkdf_expand(prk, bytes_of("a->b/1"), 32),
+            hkdf_expand(prk, bytes_of("a->b/2"), 32));
+}
+
+// --- constant-time comparison (MAC verification path) ------------------------
+
+TEST(ConstantTimeEqualTest, EqualBuffersCompareEqual) {
+  Bytes tag = digest_bytes(HmacSha256::mac(bytes_of("k"), bytes_of("m")));
+  EXPECT_TRUE(constant_time_equal(tag, tag));
+  EXPECT_TRUE(constant_time_equal(Bytes{}, Bytes{}));
+}
+
+TEST(ConstantTimeEqualTest, EveryOneByteDifferenceIsDetected) {
+  // Regression: a single flipped bit anywhere in a 32-byte tag must fail
+  // verification — no position-dependent acceptance.
+  Bytes tag = digest_bytes(HmacSha256::mac(bytes_of("k"), bytes_of("m")));
+  for (std::size_t i = 0; i < tag.size(); ++i) {
+    for (std::uint8_t bit = 0; bit < 8; bit += 7) {  // low and high bit
+      Bytes forged = tag;
+      forged[i] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_FALSE(constant_time_equal(tag, forged))
+          << "byte " << i << " bit " << int(bit);
+    }
+  }
+}
+
+TEST(ConstantTimeEqualTest, LengthMismatchNeverMatches) {
+  Bytes tag = digest_bytes(HmacSha256::mac(bytes_of("k"), bytes_of("m")));
+  Bytes truncated(tag.begin(), tag.end() - 1);
+  EXPECT_FALSE(constant_time_equal(tag, truncated));
+  EXPECT_FALSE(constant_time_equal(truncated, tag));
+}
+
+}  // namespace
+}  // namespace b2b::crypto

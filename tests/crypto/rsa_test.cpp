@@ -117,6 +117,58 @@ TEST(RsaTest, PublicKeyDecodeRejectsGarbage) {
   EXPECT_THROW(RsaPublicKey::decode(encoded), CodecError);
 }
 
+TEST(RsaTest, EncryptDecryptRoundTrip) {
+  // The wire v3 hello transports a 32-byte ephemeral key half under the
+  // peer's public key (EME-PKCS1-v1_5).
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  ChaCha20Rng rng(std::uint64_t{7});
+  Bytes half(32, 0x00);
+  for (std::size_t i = 0; i < half.size(); ++i) {
+    half[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  Bytes ciphertext = key.public_key().encrypt(half, rng);
+  EXPECT_EQ(ciphertext.size(), key.public_key().modulus_bytes());
+  auto plain = key.decrypt(ciphertext);
+  ASSERT_TRUE(plain.has_value());
+  EXPECT_EQ(*plain, half);
+}
+
+TEST(RsaTest, EncryptionIsRandomized) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  ChaCha20Rng rng(std::uint64_t{8});
+  Bytes half(32, 0x42);
+  EXPECT_NE(key.public_key().encrypt(half, rng),
+            key.public_key().encrypt(half, rng));
+}
+
+TEST(RsaTest, DecryptRejectsTamperedCiphertext) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  ChaCha20Rng rng(std::uint64_t{9});
+  Bytes ciphertext = key.public_key().encrypt(Bytes(32, 0x17), rng);
+  for (std::size_t i = 0; i < ciphertext.size(); i += 11) {
+    Bytes bad = ciphertext;
+    bad[i] ^= 0x01;
+    auto plain = key.decrypt(bad);
+    if (plain.has_value()) {
+      // Padding survived by chance: the recovered bytes must still differ.
+      EXPECT_NE(*plain, Bytes(32, 0x17)) << "flip at " << i;
+    }
+  }
+  EXPECT_FALSE(key.decrypt(Bytes{}).has_value());
+  EXPECT_FALSE(key.decrypt(Bytes(7, 0xee)).has_value());
+}
+
+TEST(RsaTest, DecryptWithWrongKeyFails) {
+  const RsaPrivateKey& key_a = test::shared_test_key(0);
+  const RsaPrivateKey& key_b = test::shared_test_key(1);
+  ChaCha20Rng rng(std::uint64_t{10});
+  Bytes ciphertext = key_a.public_key().encrypt(Bytes(32, 0x2a), rng);
+  auto plain = key_b.decrypt(ciphertext);
+  if (plain.has_value()) {
+    EXPECT_NE(*plain, Bytes(32, 0x2a));
+  }
+}
+
 TEST(RsaTest, KeypairGenerationRejectsTinyKeys) {
   ChaCha20Rng rng(std::uint64_t{5});
   EXPECT_THROW(generate_rsa_keypair(256, rng), std::invalid_argument);

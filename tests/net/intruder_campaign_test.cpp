@@ -29,6 +29,7 @@
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "b2b/federation.hpp"
@@ -378,15 +379,20 @@ struct CampaignOutcome {
 /// join and a TTP-armed run — with or without the seeded intruder on
 /// every party's byte streams. The script is strictly sequential, so a
 /// clean and an attacked run of the same seed must end bit-identical.
+/// With `auth` the federation session-authenticates its wire (v3 MACs)
+/// and the intruder draws the widened arsenal — live rewrites, forged
+/// acks, hello downgrades, cross-flow splices — every one of which must
+/// die at the receiving transport as frames_rejected_auth.
 void run_federation_campaign(core::RuntimeKind kind, std::uint64_t seed,
-                             bool attacked, CampaignOutcome* out) {
+                             bool attacked, bool auth, CampaignOutcome* out) {
   const ObjectId kLedger{"ledger"};
   const ObjectId kAudit{"audit"};
   const std::vector<std::string> names{"alpha", "beta", "gamma"};
 
   const std::string tag =
       std::string(kind == core::RuntimeKind::kTcp ? "tcp" : "reactor") +
-      (attacked ? "_attacked_" : "_clean_") + std::to_string(seed);
+      (auth ? "_auth" : "") + (attacked ? "_attacked_" : "_clean_") +
+      std::to_string(seed);
   const fs::path root =
       fs::temp_directory_path() / ("b2b_intruder_campaign_" + tag);
   fs::remove_all(root);
@@ -409,6 +415,7 @@ void run_federation_campaign(core::RuntimeKind kind, std::uint64_t seed,
   options.reactor_transport.retransmit_interval_micros = 10'000;
   options.reactor_transport.reconnect_backoff_min_micros = 5'000;
   options.reactor_transport.reconnect_backoff_max_micros = 50'000;
+  options.wire_auth = auth;
 
   // Registers before the federation: delivery threads stop first.
   std::vector<std::unique_ptr<test::TestRegister>> ledgers, audits;
@@ -423,6 +430,9 @@ void run_federation_campaign(core::RuntimeKind kind, std::uint64_t seed,
   pconfig.schedule.seed = seed;
   pconfig.schedule.action_probability = 0.10;
   pconfig.schedule.max_delay_millis = 10;
+  // Only an authenticated wire can detect live forgeries — the widened
+  // arsenal is drawn exactly when the federation can be expected to win.
+  pconfig.schedule.auth_arsenal = auth;
   net::IntruderProxy proxy{directory, pconfig};
   if (attacked) {
     // Interpose between transport bind and the first dial: every
@@ -470,7 +480,10 @@ void run_federation_campaign(core::RuntimeKind kind, std::uint64_t seed,
                 << " drop=" << p.dropped << " delay=" << p.delayed
                 << " dup=" << p.duplicated << " reorder=" << p.reordered
                 << " replay=" << p.replayed << " trunc=" << p.truncated
-                << " mutate=" << p.mutated << std::endl;
+                << " mutate=" << p.mutated << " rewrite=" << p.rewritten
+                << " forge_ack=" << p.acks_forged
+                << " downgrade=" << p.downgraded << " splice=" << p.spliced
+                << std::endl;
     }
   };
   auto agreed = [&](core::RunHandle h, const std::string& what) -> bool {
@@ -562,17 +575,20 @@ void run_federation_campaign(core::RuntimeKind kind, std::uint64_t seed,
   proxy.shutdown();
 }
 
-class IntruderCampaign : public ::testing::TestWithParam<core::RuntimeKind> {};
+/// (runtime, session-authenticated wire?) — the campaign matrix.
+class IntruderCampaign
+    : public ::testing::TestWithParam<std::tuple<core::RuntimeKind, bool>> {};
 
 TEST_P(IntruderCampaign, AttackedFederationMatchesCleanRunExactly) {
+  const auto [kind, auth] = GetParam();
   const std::uint64_t seed = intruder_seed();
 
   CampaignOutcome clean;
-  run_federation_campaign(GetParam(), seed, /*attacked=*/false, &clean);
+  run_federation_campaign(kind, seed, /*attacked=*/false, auth, &clean);
   ASSERT_FALSE(::testing::Test::HasFailure()) << "clean reference run failed";
 
   CampaignOutcome attacked;
-  run_federation_campaign(GetParam(), seed, /*attacked=*/true, &attacked);
+  run_federation_campaign(kind, seed, /*attacked=*/true, auth, &attacked);
   ASSERT_FALSE(::testing::Test::HasFailure())
       << "attacked run failed under seed " << seed;
 
@@ -598,16 +614,32 @@ TEST_P(IntruderCampaign, AttackedFederationMatchesCleanRunExactly) {
   EXPECT_GT(attacked.actions, 0u);
   EXPECT_FALSE(attacked.transitions.empty());
 
-  // Coverage report for EXPERIMENTS.md E21.
   const auto& s = attacked.stats;
+  if (auth) {
+    // The widened arsenal fired, and every live forgery died at the
+    // receiving transport (zero of them reached an application: the
+    // digests above are bit-identical to the clean twin).
+    EXPECT_GT(s.rewritten + s.acks_forged + s.downgraded + s.spliced, 0u)
+        << "the auth arsenal never fired under seed " << seed;
+    EXPECT_GT(attacked.frames_rejected_auth, 0u)
+        << "no forged/rewritten/spliced frame was rejected at a transport";
+    EXPECT_EQ(clean.frames_rejected_auth, 0u)
+        << "a clean authenticated run rejected its own traffic";
+  }
+  // (Without auth the counter still moves — mutated hellos are rejected
+  // at the handshake — so only the auth legs pin its behaviour.)
+
+  // Coverage report for EXPERIMENTS.md E21/E22.
   std::cout << "[intruder] seed=" << seed << " runtime="
-            << (GetParam() == core::RuntimeKind::kTcp ? "tcp" : "reactor")
-            << " frames=" << s.frames_seen << " actions=" << attacked.actions
-            << " (drop=" << s.dropped << " delay=" << s.delayed
-            << " dup=" << s.duplicated << " reorder=" << s.reordered
-            << " replay=" << s.replayed
+            << (kind == core::RuntimeKind::kTcp ? "tcp" : "reactor")
+            << " auth=" << (auth ? 1 : 0) << " frames=" << s.frames_seen
+            << " actions=" << attacked.actions << " (drop=" << s.dropped
+            << " delay=" << s.delayed << " dup=" << s.duplicated
+            << " reorder=" << s.reordered << " replay=" << s.replayed
             << " xinc=" << s.replayed_cross_incarnation
-            << " trunc=" << s.truncated << " mutate=" << s.mutated << ")"
+            << " trunc=" << s.truncated << " mutate=" << s.mutated
+            << " rewrite=" << s.rewritten << " forge_ack=" << s.acks_forged
+            << " downgrade=" << s.downgraded << " splice=" << s.spliced << ")"
             << " transport_rejects=" << attacked.frames_rejected_auth
             << " transport_replay_suppressed=" << attacked.replays_suppressed
             << "\n[intruder] transitions covered ("
@@ -618,10 +650,16 @@ TEST_P(IntruderCampaign, AttackedFederationMatchesCleanRunExactly) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sockets, IntruderCampaign,
-    ::testing::Values(core::RuntimeKind::kTcp, core::RuntimeKind::kReactor),
-    [](const ::testing::TestParamInfo<core::RuntimeKind>& info) {
-      return info.param == core::RuntimeKind::kTcp ? std::string("Tcp")
-                                                   : std::string("Reactor");
+    ::testing::Combine(::testing::Values(core::RuntimeKind::kTcp,
+                                         core::RuntimeKind::kReactor),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<core::RuntimeKind, bool>>&
+           info) {
+      std::string name = std::get<0>(info.param) == core::RuntimeKind::kTcp
+                             ? "Tcp"
+                             : "Reactor";
+      if (std::get<1>(info.param)) name += "Auth";
+      return name;
     });
 
 }  // namespace

@@ -22,8 +22,11 @@
 #include <thread>
 #include <vector>
 
+#include "crypto/sha256.hpp"
 #include "net/frame.hpp"
+#include "net/wire_auth.hpp"
 #include "store/crc32.hpp"
+#include "tests/support/test_keys.hpp"
 #include "wire/codec.hpp"
 
 namespace b2b::net {
@@ -87,6 +90,10 @@ struct Fixture {
                    PeerAddress{"127.0.0.1", transport->port()});
     return transport;
   }
+
+  /// Like make(), with wire v3 session auth on (test-pool PKI).
+  std::unique_ptr<ReactorTransport> make_auth(const std::string& name,
+                                              std::uint16_t port = 0);
 };
 
 // --- wire-format helpers for the raw-socket tests --------------------------
@@ -128,6 +135,52 @@ bool recv_frame(Socket& socket, Bytes* payload) {
   if (!frame::decode_header(header, frame::kMaxFrameLen, &hdr)) return false;
   payload->resize(hdr.len);
   return hdr.len == 0 || socket.recv_exact(payload->data(), hdr.len);
+}
+
+// --- wire v3 session-auth helpers (DESIGN.md §11) ---------------------------
+
+/// A fixed roster over the shared deterministic test keypairs.
+std::size_t roster_index(const std::string& name) {
+  if (name == "a") return 0;
+  if (name == "b") return 1;
+  return 2;  // the third party "x" the raw-socket games play
+}
+
+WireAuth test_auth(const std::string& self) {
+  WireAuth auth;
+  auth.enabled = true;
+  // The pool keys are process-lifetime statics; alias, don't own.
+  auth.private_key = std::shared_ptr<const crypto::RsaPrivateKey>(
+      std::shared_ptr<const void>{},
+      &crypto::test::shared_test_key(roster_index(self)));
+  auth.peer_key = [](const PartyId& peer) {
+    return std::make_shared<crypto::RsaPublicKey>(
+        crypto::test::shared_test_key(roster_index(peer.str())).public_key());
+  };
+  return auth;
+}
+
+std::unique_ptr<ReactorTransport> Fixture::make_auth(const std::string& name,
+                                                     std::uint16_t port) {
+  ReactorTransport::Config auth_config = config;
+  auth_config.auth = test_auth(name);
+  auto transport = std::make_unique<ReactorTransport>(
+      PartyId{name}, "127.0.0.1", port, directory, auth_config, reactor, pool);
+  directory->set(PartyId{name}, PeerAddress{"127.0.0.1", transport->port()});
+  return transport;
+}
+
+/// Send `from`'s signed, key-carrying hello on a raw socket and return the
+/// derived send-direction keys. The games below use a *real* roster key —
+/// they model forgery without the session key, not key theft.
+ConnKeys raw_auth_handshake(Socket& raw, const std::string& from,
+                            const std::string& to, std::uint64_t incarnation) {
+  ConnKeys keys;
+  Bytes hello = build_hello(test_auth(from), PartyId{from}, PartyId{to},
+                            incarnation, &keys);
+  EXPECT_FALSE(hello.empty());
+  EXPECT_TRUE(send_bytes(raw, make_frame(hello)));
+  return keys;
 }
 
 // --- transport-level behaviour ---------------------------------------------
@@ -563,6 +616,191 @@ TEST(ReactorTransportTest, ReplayedAckFromWrongIncarnationCannotRetire) {
   ASSERT_TRUE(send_bytes(conn, make_frame(frame::encode_ack(b_inc, 0))));
   ASSERT_TRUE(wait_for([&] { return b->unacked() == 0; }));
   listener.stop();
+}
+
+// --- wire v3 must-fail games (DESIGN.md §11) --------------------------------
+//
+// The same four attacks the TCP suite scripts, replayed against the
+// event-loop stack: live frame rewrite, forged ack, truncated MAC, and
+// hello downgrade-strip — each must die as frames_rejected_auth.
+
+TEST(ReactorTransportTest, AuthLiveDataFrameRewriteIsRejected) {
+  Fixture fx;
+  auto b = fx.make_auth("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ConnKeys keys = raw_auth_handshake(raw, "x", "b", 31);
+  Bytes d0 = data_payload(31, 0, Bytes{1});
+  append_mac(d0, keys.send);
+  ASSERT_TRUE(send_bytes(raw, make_frame(d0)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+
+  // Rewrite the payload of a live frame, recompute the CRC, keep the
+  // (now stale) MAC: the frame must die before parsing.
+  Bytes d1 = data_payload(31, 1, Bytes{2});
+  append_mac(d1, keys.send);
+  d1[18] ^= 0xff;  // the app payload byte (type·inc·seq·len precede it)
+  ASSERT_TRUE(send_bytes(raw, make_frame(d1)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 1u);
+
+  // Liveness: a fresh handshake rekeys and the honest seq 1 lands.
+  Socket again = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(again.valid());
+  ConnKeys keys2 = raw_auth_handshake(again, "x", "b", 31);
+  Bytes d1_honest = data_payload(31, 1, Bytes{2});
+  append_mac(d1_honest, keys2.send);
+  ASSERT_TRUE(send_bytes(again, make_frame(d1_honest)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
+  EXPECT_EQ(sink.contents(), (std::multiset<Bytes>{Bytes{1}, Bytes{2}}));
+
+  // A seq rewrite fares no better than a payload rewrite.
+  Bytes d2 = data_payload(31, 2, Bytes{3});
+  append_mac(d2, keys2.send);
+  d2[9] ^= 0x04;  // a seq byte
+  ASSERT_TRUE(send_bytes(again, make_frame(d2)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 2; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST(ReactorTransportTest, AuthForgedAckCannotRetireMessage) {
+  Fixture fx;
+  fx.config.retransmit_interval_micros = 20'000;
+  auto b = fx.make_auth("b");
+  b->set_handler([](const PartyId&, const Bytes&) {});
+
+  Listener listener = Listener::open("127.0.0.1", 0);
+  fx.directory->set(PartyId{"x"}, PeerAddress{"127.0.0.1", listener.port()});
+  b->send(PartyId{"x"}, Bytes{7});
+
+  Socket conn = listener.accept();
+  ASSERT_TRUE(conn.valid());
+  conn.set_recv_timeout(5'000'000);
+  Bytes hello;
+  ASSERT_TRUE(recv_frame(conn, &hello));
+  wire::Decoder dec{hello};
+  ASSERT_EQ(dec.u8(), 2);  // kHello
+  frame::Hello b_hello = frame::decode_hello(dec);
+  ASSERT_EQ(b_hello.from, "b");
+  ASSERT_EQ(b_hello.auth_flag, frame::kAuthHmac);
+  ConnKeys x_keys;
+  Bytes reply = build_hello(test_auth("x"), PartyId{"x"}, PartyId{"b"}, 99,
+                            &x_keys);
+  ASSERT_TRUE(send_bytes(conn, make_frame(reply)));
+  Bytes data;
+  ASSERT_TRUE(recv_frame(conn, &data));  // the MAC'd data frame for seq 0
+
+  // A forged ack — right bytes, wrong tag — must not retire the message.
+  Bytes forged = frame::encode_ack(b_hello.incarnation, 0);
+  append_mac(forged, crypto::Sha256::hash(bytes_of("not the session key")));
+  ASSERT_TRUE(send_bytes(conn, make_frame(forged)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth >= 1; }));
+  EXPECT_EQ(b->unacked(), 1u);
+
+  // b killed the connection and redials; the genuine ack over the
+  // rekeyed connection retires the message.
+  Socket conn2 = listener.accept();
+  ASSERT_TRUE(conn2.valid());
+  conn2.set_recv_timeout(5'000'000);
+  ASSERT_TRUE(recv_frame(conn2, &hello));
+  wire::Decoder dec2{hello};
+  ASSERT_EQ(dec2.u8(), 2);
+  frame::Hello b_hello2 = frame::decode_hello(dec2);
+  ConnKeys x_keys2;
+  Bytes reply2 = build_hello(test_auth("x"), PartyId{"x"}, PartyId{"b"}, 99,
+                             &x_keys2);
+  ASSERT_TRUE(send_bytes(conn2, make_frame(reply2)));
+  ASSERT_TRUE(recv_frame(conn2, &data));  // retransmitted seq 0
+  Bytes genuine = frame::encode_ack(b_hello2.incarnation, 0);
+  append_mac(genuine, x_keys2.send);
+  ASSERT_TRUE(send_bytes(conn2, make_frame(genuine)));
+  ASSERT_TRUE(wait_for([&] { return b->unacked() == 0; }));
+  listener.stop();
+}
+
+TEST(ReactorTransportTest, AuthTruncatedMacFrameIsRejected) {
+  Fixture fx;
+  auto b = fx.make_auth("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ConnKeys keys = raw_auth_handshake(raw, "x", "b", 41);
+  Bytes d0 = data_payload(41, 0, Bytes{1});
+  append_mac(d0, keys.send);
+  ASSERT_TRUE(send_bytes(raw, make_frame(d0)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+
+  // MAC short by one byte, re-framed with a valid CRC.
+  Bytes truncated = data_payload(41, 1, Bytes{2});
+  append_mac(truncated, keys.send);
+  truncated.pop_back();
+  ASSERT_TRUE(send_bytes(raw, make_frame(truncated)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+
+  // No MAC at all dies the same way.
+  Socket bare = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(bare.valid());
+  raw_auth_handshake(bare, "x", "b", 41);
+  ASSERT_TRUE(send_bytes(bare, make_frame(data_payload(41, 1, Bytes{2}))));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 2; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 1u);
+
+  // Liveness: the honest seq 1 lands over a fresh connection.
+  Socket again = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(again.valid());
+  ConnKeys keys2 = raw_auth_handshake(again, "x", "b", 41);
+  Bytes d1 = data_payload(41, 1, Bytes{2});
+  append_mac(d1, keys2.send);
+  ASSERT_TRUE(send_bytes(again, make_frame(d1)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
+}
+
+TEST(ReactorTransportTest, AuthHelloDowngradeStripIsRefused) {
+  Fixture fx;
+  auto b = fx.make_auth("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  // A stripped (unauthenticated) hello to an auth-required endpoint.
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(send_bytes(raw, make_frame(hello_payload("x", "b", 5))));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 0u);
+
+  // And the reverse: an auth-less endpoint refuses an authenticated
+  // hello instead of ignoring fields it cannot check.
+  auto p = fx.make("p");
+  p->set_handler(sink.handler());
+  Socket cross = tcp_connect("127.0.0.1", p->port(), 1'000'000);
+  ASSERT_TRUE(cross.valid());
+  ConnKeys unused;
+  Bytes auth_hello = build_hello(test_auth("x"), PartyId{"x"}, PartyId{"p"},
+                                 7, &unused);
+  ASSERT_TRUE(send_bytes(cross, make_frame(auth_hello)));
+  ASSERT_TRUE(
+      wait_for([&] { return p->stats().frames_rejected_auth == 1; }));
+
+  // Liveness: the honest authenticated pair is unharmed.
+  auto a = fx.make_auth("a");
+  a->send(PartyId{"b"}, Bytes{6});
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+  EXPECT_EQ(sink.contents(), std::multiset<Bytes>{Bytes{6}});
 }
 
 // --- reactor-specific fan-in shapes ----------------------------------------

@@ -17,8 +17,11 @@
 #include <thread>
 #include <vector>
 
+#include "crypto/sha256.hpp"
 #include "net/frame.hpp"
+#include "net/wire_auth.hpp"
 #include "store/crc32.hpp"
+#include "tests/support/test_keys.hpp"
 #include "wire/codec.hpp"
 
 namespace b2b::net {
@@ -80,6 +83,10 @@ struct Fixture {
                    PeerAddress{"127.0.0.1", transport->port()});
     return transport;
   }
+
+  /// Like make(), with wire v3 session auth on (test-pool PKI).
+  std::unique_ptr<TcpTransport> make_auth(const std::string& name,
+                                          std::uint16_t port = 0);
 };
 
 // --- wire-format helpers for the raw-socket tests --------------------------
@@ -104,7 +111,7 @@ Bytes hello_payload(const std::string& from, const std::string& to,
                     std::uint64_t incarnation) {
   wire::Encoder enc;
   enc.u8(2).u32(kMagic).u16(frame::kVersion).str(from).str(to);
-  enc.u64(incarnation);
+  enc.u64(incarnation).u8(frame::kAuthNone);
   return std::move(enc).take();
 }
 
@@ -134,6 +141,53 @@ bool recv_frame(Socket& socket, Bytes* payload) {
   if (!frame::decode_header(header, frame::kMaxFrameLen, &hdr)) return false;
   payload->resize(hdr.len);
   return hdr.len == 0 || socket.recv_exact(payload->data(), hdr.len);
+}
+
+// --- wire v3 session-auth helpers (DESIGN.md §11) ---------------------------
+
+/// A fixed roster over the shared deterministic test keypairs.
+std::size_t roster_index(const std::string& name) {
+  if (name == "a") return 0;
+  if (name == "b") return 1;
+  return 2;  // the third party "x" the raw-socket games play
+}
+
+WireAuth test_auth(const std::string& self) {
+  WireAuth auth;
+  auth.enabled = true;
+  // The pool keys are process-lifetime statics; alias, don't own.
+  auth.private_key = std::shared_ptr<const crypto::RsaPrivateKey>(
+      std::shared_ptr<const void>{},
+      &crypto::test::shared_test_key(roster_index(self)));
+  auth.peer_key = [](const PartyId& peer) {
+    return std::make_shared<crypto::RsaPublicKey>(
+        crypto::test::shared_test_key(roster_index(peer.str())).public_key());
+  };
+  return auth;
+}
+
+std::unique_ptr<TcpTransport> Fixture::make_auth(const std::string& name,
+                                                 std::uint16_t port) {
+  TcpTransport::Config auth_config = config;
+  auth_config.auth = test_auth(name);
+  auto transport = std::make_unique<TcpTransport>(
+      PartyId{name}, "127.0.0.1", port, directory, auth_config);
+  directory->set(PartyId{name}, PeerAddress{"127.0.0.1", transport->port()});
+  return transport;
+}
+
+/// Send `from`'s signed, key-carrying hello on a raw socket and return the
+/// derived send-direction keys. The games below use a *real* roster key —
+/// they model forgery without the session key, not key theft: everything
+/// after the handshake is attacker-crafted bytes.
+ConnKeys raw_auth_handshake(Socket& raw, const std::string& from,
+                            const std::string& to, std::uint64_t incarnation) {
+  ConnKeys keys;
+  Bytes hello = build_hello(test_auth(from), PartyId{from}, PartyId{to},
+                            incarnation, &keys);
+  EXPECT_FALSE(hello.empty());
+  EXPECT_TRUE(send_bytes(raw, frame(hello)));
+  return keys;
 }
 
 // --- transport-level behaviour ---------------------------------------------
@@ -593,6 +647,202 @@ TEST(TcpTransportTest, ReplayedAckFromWrongIncarnationCannotRetireMessage) {
   ASSERT_TRUE(send_bytes(conn, frame(ack_payload(b_inc, 0))));
   ASSERT_TRUE(wait_for([&] { return b->unacked() == 0; }));
   listener.stop();
+}
+
+// --- wire v3 must-fail games (DESIGN.md §11) --------------------------------
+//
+// Until wire v3 these four attacks were deliberately outside the intruder
+// campaign's scope: CRC32 is recomputable, so a live rewrite or forgery
+// was indistinguishable from the honest sender. With per-connection MAC
+// keys each one must now die at the transport as frames_rejected_auth.
+
+TEST(TcpTransportTest, AuthLiveDataFrameRewriteIsRejected) {
+  Fixture fx;
+  auto b = fx.make_auth("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ConnKeys keys = raw_auth_handshake(raw, "x", "b", 31);
+
+  // An honestly MAC'd frame flows.
+  Bytes d0 = data_payload(31, 0, Bytes{1});
+  append_mac(d0, keys.send);
+  ASSERT_TRUE(send_bytes(raw, frame(d0)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+
+  // The §11 intruder's signature move: rewrite the payload of a live
+  // frame and recompute the CRC. The MAC is now stale — the frame must
+  // die before parsing, and the connection with it.
+  Bytes d1 = data_payload(31, 1, Bytes{2});
+  append_mac(d1, keys.send);
+  d1[18] ^= 0xff;  // the app payload byte (type·inc·seq·len precede it)
+  ASSERT_TRUE(send_bytes(raw, frame(d1)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 1u);  // the forged payload never surfaced
+
+  // Liveness: a fresh handshake rekeys (new ephemeral half) and the
+  // honest seq 1 still gets through the same dedup window.
+  Socket again = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(again.valid());
+  ConnKeys keys2 = raw_auth_handshake(again, "x", "b", 31);
+  Bytes d1_honest = data_payload(31, 1, Bytes{2});
+  append_mac(d1_honest, keys2.send);
+  ASSERT_TRUE(send_bytes(again, frame(d1_honest)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
+  EXPECT_EQ(sink.contents(), (std::multiset<Bytes>{Bytes{1}, Bytes{2}}));
+
+  // Rewriting the *sequence number* instead fares no better.
+  Bytes d2 = data_payload(31, 2, Bytes{3});
+  append_mac(d2, keys2.send);
+  d2[9] ^= 0x04;  // a seq byte
+  ASSERT_TRUE(send_bytes(again, frame(d2)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 2; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 2u);
+}
+
+TEST(TcpTransportTest, AuthForgedAckCannotRetireMessage) {
+  Fixture fx;
+  fx.config.retransmit_interval_micros = 20'000;
+  auto b = fx.make_auth("b");
+  b->set_handler([](const PartyId&, const Bytes&) {});
+
+  // Play the remote party "x" with a raw listener so we control acks.
+  Listener listener = Listener::open("127.0.0.1", 0);
+  fx.directory->set(PartyId{"x"}, PeerAddress{"127.0.0.1", listener.port()});
+  b->send(PartyId{"x"}, Bytes{7});
+
+  Socket conn = listener.accept();
+  ASSERT_TRUE(conn.valid());
+  conn.set_recv_timeout(5'000'000);
+  Bytes hello;
+  ASSERT_TRUE(recv_frame(conn, &hello));
+  wire::Decoder dec{hello};
+  ASSERT_EQ(dec.u8(), 2);  // kHello
+  frame::Hello b_hello = frame::decode_hello(dec);
+  ASSERT_EQ(b_hello.from, "b");
+  ASSERT_EQ(b_hello.auth_flag, frame::kAuthHmac);
+  ConnKeys x_keys;
+  Bytes reply = build_hello(test_auth("x"), PartyId{"x"}, PartyId{"b"}, 99,
+                            &x_keys);
+  ASSERT_TRUE(send_bytes(conn, frame(reply)));
+  Bytes data;
+  ASSERT_TRUE(recv_frame(conn, &data));  // the MAC'd data frame for seq 0
+
+  // An intruder without x's session key forges an ack: correct bytes,
+  // wrong tag. The sender must not retire the message.
+  Bytes forged = ack_payload(b_hello.incarnation, 0);
+  append_mac(forged, crypto::Sha256::hash(bytes_of("not the session key")));
+  ASSERT_TRUE(send_bytes(conn, frame(forged)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth >= 1; }));
+  EXPECT_EQ(b->unacked(), 1u);
+
+  // b killed the connection; its retransmission redials. A genuine ack
+  // over the rekeyed connection retires the message.
+  Socket conn2 = listener.accept();
+  ASSERT_TRUE(conn2.valid());
+  conn2.set_recv_timeout(5'000'000);
+  ASSERT_TRUE(recv_frame(conn2, &hello));
+  wire::Decoder dec2{hello};
+  ASSERT_EQ(dec2.u8(), 2);
+  frame::Hello b_hello2 = frame::decode_hello(dec2);
+  ConnKeys x_keys2;
+  Bytes reply2 = build_hello(test_auth("x"), PartyId{"x"}, PartyId{"b"}, 99,
+                             &x_keys2);
+  ASSERT_TRUE(send_bytes(conn2, frame(reply2)));
+  ASSERT_TRUE(recv_frame(conn2, &data));  // retransmitted seq 0
+  Bytes genuine = ack_payload(b_hello2.incarnation, 0);
+  append_mac(genuine, x_keys2.send);
+  ASSERT_TRUE(send_bytes(conn2, frame(genuine)));
+  ASSERT_TRUE(wait_for([&] { return b->unacked() == 0; }));
+  listener.stop();
+}
+
+TEST(TcpTransportTest, AuthTruncatedMacFrameIsRejected) {
+  Fixture fx;
+  auto b = fx.make_auth("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ConnKeys keys = raw_auth_handshake(raw, "x", "b", 41);
+  Bytes d0 = data_payload(41, 0, Bytes{1});
+  append_mac(d0, keys.send);
+  ASSERT_TRUE(send_bytes(raw, frame(d0)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+
+  // A frame whose MAC lost its last byte (re-framed with a valid CRC, so
+  // only the tag check can catch it).
+  Bytes truncated = data_payload(41, 1, Bytes{2});
+  append_mac(truncated, keys.send);
+  truncated.pop_back();
+  ASSERT_TRUE(send_bytes(raw, frame(truncated)));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+
+  // A frame with no MAC at all dies the same way.
+  Socket bare = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(bare.valid());
+  raw_auth_handshake(bare, "x", "b", 41);
+  ASSERT_TRUE(send_bytes(bare, frame(data_payload(41, 1, Bytes{2}))));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 2; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 1u);
+
+  // Liveness: the honest seq 1 lands over a fresh connection.
+  Socket again = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(again.valid());
+  ConnKeys keys2 = raw_auth_handshake(again, "x", "b", 41);
+  Bytes d1 = data_payload(41, 1, Bytes{2});
+  append_mac(d1, keys2.send);
+  ASSERT_TRUE(send_bytes(again, frame(d1)));
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 2; }));
+}
+
+TEST(TcpTransportTest, AuthHelloDowngradeStripIsRefused) {
+  Fixture fx;
+  auto b = fx.make_auth("b");
+  Sink sink;
+  b->set_handler(sink.handler());
+
+  // A MITM strips the auth fields from a hello (or an unauthenticated
+  // party dials in). The auth-required endpoint refuses the handshake —
+  // no silent downgrade to a MAC-less connection.
+  Socket raw = tcp_connect("127.0.0.1", b->port(), 1'000'000);
+  ASSERT_TRUE(raw.valid());
+  ASSERT_TRUE(send_bytes(raw, frame(hello_payload("x", "b", 5))));
+  ASSERT_TRUE(
+      wait_for([&] { return b->stats().frames_rejected_auth == 1; }));
+  std::this_thread::sleep_for(20ms);
+  EXPECT_EQ(sink.count(), 0u);
+
+  // The mismatch is rejected in the other direction too: an auth-less
+  // endpoint refuses an authenticated hello instead of ignoring the
+  // fields it cannot check.
+  auto p = fx.make("p");
+  p->set_handler(sink.handler());
+  Socket cross = tcp_connect("127.0.0.1", p->port(), 1'000'000);
+  ASSERT_TRUE(cross.valid());
+  ConnKeys unused;
+  Bytes auth_hello = build_hello(test_auth("x"), PartyId{"x"}, PartyId{"p"},
+                                 7, &unused);
+  ASSERT_TRUE(send_bytes(cross, frame(auth_hello)));
+  ASSERT_TRUE(
+      wait_for([&] { return p->stats().frames_rejected_auth == 1; }));
+
+  // Liveness: the honest authenticated pair is unharmed.
+  auto a = fx.make_auth("a");
+  a->send(PartyId{"b"}, Bytes{6});
+  ASSERT_TRUE(wait_for([&] { return sink.count() == 1; }));
+  EXPECT_EQ(sink.contents(), std::multiset<Bytes>{Bytes{6}});
 }
 
 // --- runtime bundle ---------------------------------------------------------

@@ -13,6 +13,11 @@
 #            one epoll loop per process instead of threads per peer).
 #   Phase 4: mixed stacks — cross on reactor, nought on tcp — proving the
 #            two runtimes speak one wire protocol across processes.
+#   Phase 5: session-authenticated wire (--auth on both): per-connection
+#            HMAC keys negotiated at each hello, every data/ack frame
+#            MAC'd and verified — across real process boundaries.
+#   Phase 6: auth on mixed stacks — the two runtimes negotiate and verify
+#            the same session MACs against each other.
 #
 # usage: two_process_demo.sh /path/to/b2bnode
 set -eu
@@ -26,6 +31,7 @@ run_phase() {
     crash_flags="$2"
     cross_transport="${3:-tcp}"
     nought_transport="${4:-tcp}"
+    extra_flags="${5:-}"
     dir="$WORK/$phase"
     mkdir -p "$dir/ports"
 
@@ -35,15 +41,15 @@ cross 127.0.0.1:0
 nought 127.0.0.1:0
 EOF
 
-    # shellcheck disable=SC2086  # crash_flags is intentionally word-split
+    # shellcheck disable=SC2086  # crash/extra flags intentionally word-split
     "$B2BNODE" --party cross --peers "$dir/peers.txt" \
         --port-dir "$dir/ports" --journal "$dir/journal" \
-        --transport "$cross_transport" $crash_flags \
+        --transport "$cross_transport" $crash_flags $extra_flags \
         > "$dir/cross.log" 2>&1 &
     cross_pid=$!
     "$B2BNODE" --party nought --peers "$dir/peers.txt" \
         --port-dir "$dir/ports" --journal "$dir/journal" \
-        --transport "$nought_transport" \
+        --transport "$nought_transport" $extra_flags \
         > "$dir/nought.log" 2>&1 &
     nought_pid=$!
 
@@ -55,7 +61,7 @@ EOF
         echo "[$phase] cross crashed as scripted, restarting from journal"
         "$B2BNODE" --party cross --peers "$dir/peers.txt" \
             --port-dir "$dir/ports" --journal "$dir/journal" \
-            --transport "$cross_transport" \
+            --transport "$cross_transport" $extra_flags \
             >> "$dir/cross.log" 2>&1 &
         cross_pid=$!
         cross_rc=0
@@ -86,4 +92,6 @@ run_phase plain ""
 run_phase crash "--crash-after 2"
 run_phase reactor "" reactor reactor
 run_phase mixed "" reactor tcp
+run_phase auth "" tcp tcp "--auth"
+run_phase auth_mixed "" reactor tcp "--auth"
 echo "two-process demo passed"
