@@ -1,0 +1,141 @@
+// Experiment E23 — the price of atomicity (DESIGN.md §12 deals).
+//
+// K independent objects are updated every round by the same initiator on
+// the threaded runtime (3 organisations, everyone a member of every
+// object, journals on with fsync off). Three ways to move the same K
+// states:
+//
+//   independent — K concurrent propagate_new_state runs, one per object:
+//                 the non-atomic baseline. A crash or veto can strand a
+//                 prefix of the objects updated and the rest not.
+//   deal        — one K-leg deal (stage → open → prepare parked →
+//                 signed decision → replicate): all-or-nothing, plus a
+//                 signed cross-leg enlist/decision on every leg's record.
+//   deal+TTP    — the same deal with the §12 escape hatch enabled: every
+//                 commit is first registered atomically with the §7 TTP
+//                 (one more signed round trip) before any leg installs.
+//
+// Table 1 prices the deal layer against the baseline per leg count;
+// Table 2 prices the TTP registration detour on top. Everything is
+// RSA-bound on this container's single core, so the interesting number
+// is the RATIO, not the absolute milliseconds: a deal adds one signed
+// verdict + one enlist per leg on top of the per-leg runs themselves,
+// so the overhead shrinks as K grows and the per-leg work dominates.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "bench/support/bench_util.hpp"
+
+using namespace b2b;
+using bench::WallClock;
+
+namespace {
+
+constexpr std::size_t kMaxObjects = 8;
+constexpr int kRounds = 10;
+
+enum class Mode { kIndependent, kDeal, kDealTtp };
+
+core::Federation::Options make_options(const std::string& tag) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / ("b2b_bench_deals_" + tag);
+  fs::remove_all(root);
+  core::Federation::Options options;
+  options.runtime = core::RuntimeKind::kThreaded;
+  options.seed = 23;
+  // The deal layer assumes the paper's stable storage (§4.2); fsync off
+  // so the table prices the protocol, not the disk (E16 prices fsync).
+  options.journal_root = (root / "journals").string();
+  options.journal_fsync = false;
+  return options;
+}
+
+/// Mean wall time (ms) of one round moving K object states as `mode`.
+double run_config(Mode mode, std::size_t num_objects) {
+  const std::vector<std::string> names = {"org0", "org1", "org2"};
+  const std::string tag = std::to_string(static_cast<int>(mode)) + "_" +
+                          std::to_string(num_objects);
+  // Registers outlive the federation: runtime threads stop first.
+  test::TestRegister regs[3][kMaxObjects];
+  core::Federation fed(names, make_options(tag));
+
+  std::vector<ObjectId> objects;
+  for (std::size_t k = 0; k < num_objects; ++k) {
+    objects.push_back(ObjectId{"obj" + std::to_string(k)});
+    for (std::size_t p = 0; p < names.size(); ++p) {
+      fed.register_object(names[p], objects[k], regs[p][k]);
+    }
+    fed.bootstrap_object(objects[k], names, bytes_of("genesis"));
+  }
+  if (mode == Mode::kDealTtp) fed.enable_deal_escape();
+
+  auto fail = [](const core::RunHandle& h) {
+    std::fprintf(stderr, "E23: run failed: %s\n", h->diagnostic.c_str());
+    std::exit(1);
+  };
+  auto drive_round = [&](int round) {
+    std::vector<core::RunHandle> handles;
+    if (mode == Mode::kIndependent) {
+      for (std::size_t k = 0; k < num_objects; ++k) {
+        handles.push_back(fed.coordinator("org0").propagate_new_state(
+            objects[k],
+            bytes_of("r" + std::to_string(round) + "-o" + std::to_string(k))));
+      }
+    } else {
+      core::DealCoordinator::DealSpec spec;
+      for (std::size_t k = 0; k < num_objects; ++k) {
+        core::DealCoordinator::LegSpec leg;
+        leg.object = objects[k];
+        leg.new_state =
+            bytes_of("r" + std::to_string(round) + "-o" + std::to_string(k));
+        leg.payload = leg.new_state;
+        leg.is_update = false;
+        spec.legs.push_back(std::move(leg));
+      }
+      handles.push_back(fed.start_deal("org0", std::move(spec)));
+    }
+    for (const core::RunHandle& h : handles) {
+      if (!fed.run_until_done(h) ||
+          h->outcome != core::RunResult::Outcome::kAgreed) {
+        fail(h);
+      }
+    }
+  };
+
+  drive_round(-1);  // warm-up: connections + first-run costs off the clock
+  WallClock wall;
+  for (int round = 0; round < kRounds; ++round) drive_round(round);
+  const double total_ms = wall.elapsed_us() / 1'000.0;
+  fed.settle();
+  return total_ms / kRounds;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "E23 — the price of atomicity: K-leg deals vs K independent runs, "
+      "threaded runtime, 3 orgs, %d rounds\n\n",
+      kRounds);
+
+  std::printf("Table 1: deal layer vs non-atomic baseline\n");
+  std::printf("  K | independent ms/round | deal ms/round | atomicity tax\n");
+  std::vector<double> deal_ms(kMaxObjects + 1, 0.0);
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    const double indep = run_config(Mode::kIndependent, k);
+    deal_ms[k] = run_config(Mode::kDeal, k);
+    std::printf("  %zu | %20.2f | %13.2f | %12.2fx\n", k, indep, deal_ms[k],
+                deal_ms[k] / indep);
+  }
+
+  std::printf("\nTable 2: the TTP escape hatch (atomic commit registration)\n");
+  std::printf("  K | deal ms/round | deal+TTP ms/round | escape tax\n");
+  for (std::size_t k : {1u, 2u, 4u, 8u}) {
+    const double ttp = run_config(Mode::kDealTtp, k);
+    std::printf("  %zu | %13.2f | %17.2f | %9.2fx\n", k, deal_ms[k], ttp,
+                ttp / deal_ms[k]);
+  }
+  return 0;
+}

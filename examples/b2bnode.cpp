@@ -19,6 +19,16 @@
 // a real crash) right after its K-th own move is agreed. Restarting with
 // the same --journal directory replays the write-ahead journal, resumes
 // any in-flight runs, and continues the game from the recovered state.
+//
+// --deal switches to the §12 deal demo instead of the game: the first
+// party (name order) drives four scripted two-leg deals across two
+// shared registers — a commit, a deal the peer vetoes (all legs roll
+// back), a commit, a final commit — and both processes print the same
+// canonical FINAL line. In deal mode --crash-after K arms the
+// deal-decide.journaled crash point before the K-th deal, so the
+// process dies with the signed decision journaled but NOT replicated;
+// the restart resumes the deal from the journal and must drive it to
+// the same all-or-nothing outcome the decision fixed.
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -59,13 +69,15 @@ struct Args {
   int crash_after = 0;  // 0 = never crash
   std::string transport = "tcp";  // "tcp" | "reactor"
   bool auth = false;  // wire v3 session authentication
+  bool deal = false;  // §12 deal demo instead of the game
 };
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " --party NAME --peers FILE --port-dir DIR"
                " [--journal DIR] [--rsa-bits N] [--seed N]"
-               " [--crash-after K] [--transport tcp|reactor] [--auth]\n";
+               " [--crash-after K] [--transport tcp|reactor] [--auth]"
+               " [--deal]\n";
   return 1;
 }
 
@@ -74,6 +86,10 @@ bool parse_args(int argc, char** argv, Args& args) {
     std::string flag = argv[i];
     if (flag == "--auth") {  // boolean flag: takes no value token
       args.auth = true;
+      continue;
+    }
+    if (flag == "--deal") {
+      args.deal = true;
       continue;
     }
     if (i + 1 >= argc) return false;
@@ -184,6 +200,178 @@ std::string board_fingerprint(const Board& board) {
     }
   }
   return out;
+}
+
+/// A minimal shared register for the deal demo: opaque bytes plus an
+/// optional local veto policy.
+class DemoRegister : public core::B2BObject {
+ public:
+  Bytes value;
+  std::function<core::Decision(BytesView)> policy;
+
+  Bytes get_state() const override { return value; }
+  void apply_state(BytesView state) override {
+    value.assign(state.begin(), state.end());
+  }
+  core::Decision validate_state(BytesView proposed,
+                                const core::ValidationContext&) override {
+    if (policy) return policy(proposed);
+    return core::Decision::accepted();
+  }
+
+  std::string str() const { return std::string(value.begin(), value.end()); }
+};
+
+/// The --deal demo (DESIGN.md §12). The first roster party initiates
+/// four scripted two-leg deals over "ledger" and "orders"; the second
+/// participates, vetoing any orders state containing "bad". In the
+/// crash phase the initiator dies between journaling the signed commit
+/// decision and replicating it; the restart must finish that deal from
+/// the journal before the script moves on.
+int run_deal_demo(const Args& args, core::Coordinator& coordinator,
+                  net::Transport& transport,
+                  const std::vector<PartyId>& roster, const PartyId& self,
+                  const PartyId& peer,
+                  const std::shared_ptr<net::PeerDirectory>& directory,
+                  std::uint16_t listen_port) {
+  const ObjectId ledger{"ledger"};
+  const ObjectId orders{"orders"};
+  DemoRegister ledger_obj, orders_obj;
+  const bool initiator = (self == roster[0]);
+  if (!initiator) {
+    orders_obj.policy = [](BytesView proposed) {
+      const std::string value(proposed.begin(), proposed.end());
+      if (value.find("bad") != std::string::npos) {
+        return core::Decision::rejected("orders policy refuses " + value);
+      }
+      return core::Decision::accepted();
+    };
+  }
+  coordinator.register_object(ledger, ledger_obj);
+  coordinator.register_object(orders, orders_obj);
+
+  const bool recovered = coordinator.recovered();
+  if (!recovered) {
+    coordinator.replica(ledger).bootstrap(roster, bytes_of("L0"));
+    coordinator.replica(orders).bootstrap(roster, bytes_of("O0"));
+  }
+
+  publish_port(args.port_dir, args.party, listen_port);
+  std::uint16_t peer_port = poll_port(args.port_dir, peer.str());
+  auto peer_address = directory->lookup(peer);
+  const std::string peer_host =
+      peer_address ? peer_address->host : "127.0.0.1";
+  directory->set(peer, net::PeerAddress{peer_host, peer_port});
+  DirectoryRefresher refresher(
+      directory, fs::path(args.port_dir) / (peer.str() + ".port"), peer,
+      peer_host);
+  std::cout << "[" << args.party << "] listening on " << listen_port << " ("
+            << args.transport << (args.auth ? "+auth" : "")
+            << ", deal demo), peer " << peer.str() << " on " << peer_port
+            << std::endl;
+
+  struct DealStep {
+    const char* ledger_value;
+    const char* orders_value;
+    bool veto;
+  };
+  const std::vector<DealStep> kDeals = {
+      {"L1", "O1", false},
+      {"L2", "O2-bad", true},  // the peer's orders policy vetoes
+      {"L3", "O3", false},     // the crash phase dies mid-decision here
+      {"L4", "O4", false},
+  };
+
+  if (initiator) {
+    if (recovered) {
+      std::cout << "[" << args.party
+                << "] recovered from journal, resuming in-flight deals"
+                << std::endl;
+      for (const core::RunHandle& handle :
+           coordinator.resume_recovered_runs()) {
+        if (!wait_for([&] { return handle->done(); })) {
+          std::cerr << "[" << args.party << "] resumed deal never finished\n";
+          return 3;
+        }
+      }
+    }
+    // Where the script resumes: the highest step whose ledger value is
+    // already installed (vetoed steps install nothing, so the value
+    // identifies the last COMMITTED step).
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < kDeals.size(); ++i) {
+      if (ledger_obj.value == bytes_of(kDeals[i].ledger_value)) next = i + 1;
+    }
+    for (std::size_t i = next; i < kDeals.size(); ++i) {
+      if (!recovered && args.crash_after > 0 &&
+          static_cast<std::size_t>(args.crash_after) == i + 1) {
+        coordinator.arm_crash_point("deal-decide.journaled");
+      }
+      core::DealCoordinator::DealSpec spec;
+      for (const auto& [object, value] :
+           {std::pair{ledger, kDeals[i].ledger_value},
+            std::pair{orders, kDeals[i].orders_value}}) {
+        core::DealCoordinator::LegSpec leg;
+        leg.object = object;
+        leg.new_state = bytes_of(value);
+        leg.payload = leg.new_state;
+        leg.is_update = false;
+        spec.legs.push_back(std::move(leg));
+      }
+      core::RunHandle handle = coordinator.start_deal(std::move(spec));
+      if (!wait_for([&] { return handle->done() || coordinator.crashed(); })) {
+        std::cerr << "[" << args.party << "] deal " << i + 1 << " wedged\n";
+        return 3;
+      }
+      if (coordinator.crashed()) {
+        std::cout << "[" << args.party << "] CRASH mid-deal " << i + 1
+                  << " (decision journaled, not replicated)" << std::endl;
+        std::_Exit(42);  // no destructors, no flush: a real process crash
+      }
+      const auto want = kDeals[i].veto ? core::RunResult::Outcome::kVetoed
+                                       : core::RunResult::Outcome::kAgreed;
+      if (handle->outcome != want) {
+        std::cerr << "[" << args.party << "] deal " << i + 1
+                  << " unexpected outcome: " << handle->diagnostic << "\n";
+        return 2;
+      }
+      std::cout << "[" << args.party << "] deal " << i + 1 << " "
+                << (kDeals[i].veto ? "vetoed, all legs rolled back"
+                                   : "committed")
+                << std::endl;
+    }
+    // The peer installs asynchronously: drain our send queue so every
+    // final decide is acked before this process exits.
+    if (!wait_for([&] { return transport.unacked() == 0; })) {
+      std::cerr << "[" << args.party << "] final decides never acked\n";
+      return 3;
+    }
+  } else {
+    if (!wait_for([&] {
+          coordinator.synchronize();
+          return ledger_obj.value == bytes_of("L4") &&
+                 orders_obj.value == bytes_of("O4");
+        })) {
+      std::cerr << "[" << args.party << "] timed out waiting for final deal\n";
+      return 3;
+    }
+  }
+
+  coordinator.synchronize();
+  const bool chain_ok = coordinator.evidence().verify_chain();
+  const std::uint64_t violations = coordinator.violations_detected();
+  std::cout << "[" << args.party
+            << "] evidence records: " << coordinator.evidence().size()
+            << ", chain intact: " << std::boolalpha << chain_ok
+            << ", violations: " << violations << std::endl;
+  // The canonical line the driver script compares across processes.
+  std::cout << "FINAL deal " << ledger_obj.str() << "/" << orders_obj.str()
+            << " chain=" << std::boolalpha << chain_ok
+            << " violations=" << violations << std::endl;
+  return (chain_ok && violations == 0 && ledger_obj.str() == "L4" &&
+          orders_obj.str() == "O4")
+             ? 0
+             : 4;
 }
 
 }  // namespace
@@ -298,6 +486,11 @@ int main(int argc, char** argv) {
     coordinator.add_known_party(
         roster[i],
         core::Federation::shared_keypair(args.rsa_bits, i).public_key());
+  }
+
+  if (args.deal) {
+    return run_deal_demo(args, coordinator, *transport, roster, self, peer,
+                         directory, listen_port);
   }
 
   const ObjectId game{"tictactoe"};

@@ -1,5 +1,6 @@
 #include "b2b/arbiter.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "common/error.hpp"
@@ -83,6 +84,157 @@ ArbitrationReport Arbiter::arbitrate(
     report.ruling = "run " + run_label + ": evidence is NOT intact (" +
                     std::to_string(report.verdict.violations.size()) +
                     " defect(s)); the state cannot be shown valid";
+  }
+  return report;
+}
+
+Arbiter::DealArbitrationReport Arbiter::arbitrate_deal(
+    const store::MessageStore& messages, const std::string& leg_label,
+    const std::map<PartyId, crypto::RsaPublicKey>& keys,
+    const std::vector<PartyId>* expected_recipients) const {
+  DealArbitrationReport report;
+  auto blame = [&report](const PartyId& who, std::string what) {
+    report.violations.push_back(std::move(what));
+    if (std::find(report.blamed.begin(), report.blamed.end(), who) ==
+        report.blamed.end()) {
+      report.blamed.push_back(who);
+    }
+  };
+  auto key_of = [&keys](const PartyId& party) -> const crypto::RsaPublicKey* {
+    auto it = keys.find(party);
+    return it == keys.end() ? nullptr : &it->second;
+  };
+
+  // Collect the distinct signed deal artifacts stored under the leg.
+  std::vector<DealEnlistMsg> enlists;
+  std::vector<DealDecisionMsg> decisions;
+  for (const auto& stored : messages.run(leg_label)) {
+    try {
+      if (stored.kind == "deal.enlist") {
+        DealEnlistMsg msg = DealEnlistMsg::decode(stored.payload);
+        if (std::find(enlists.begin(), enlists.end(), msg) == enlists.end()) {
+          enlists.push_back(std::move(msg));
+        }
+      } else if (stored.kind == "deal.decision") {
+        DealDecisionMsg msg = DealDecisionMsg::decode(stored.payload);
+        if (std::find(decisions.begin(), decisions.end(), msg) ==
+            decisions.end()) {
+          decisions.push_back(std::move(msg));
+        }
+      }
+    } catch (const CodecError&) {
+      report.violations.push_back("undecodable stored deal message on run " +
+                                  leg_label);
+    }
+  }
+
+  // The enlist: exactly one verified announcement binding this leg.
+  std::optional<PartyId> initiator;
+  std::string deal_id;
+  for (const DealEnlistMsg& msg : enlists) {
+    const DealProposal& proposal = msg.proposal;
+    const crypto::RsaPublicKey* pub = key_of(proposal.initiator);
+    if (pub == nullptr ||
+        !pub->verify(proposal.signed_bytes(), msg.signature)) {
+      report.violations.push_back("deal enlist with bad signature on run " +
+                                  leg_label);
+      continue;
+    }
+    const bool covers_leg = std::any_of(
+        proposal.legs.begin(), proposal.legs.end(),
+        [&](const DealLeg& leg) { return leg.proposed.label() == leg_label; });
+    if (!covers_leg) {
+      blame(proposal.initiator,
+            "signed deal enlist does not cover run " + leg_label);
+      continue;
+    }
+    if (!report.enlist_found) {
+      report.enlist_found = true;
+      initiator = proposal.initiator;
+      deal_id = proposal.deal_id;
+    } else {
+      // A second, different, validly signed enlist binding the same run:
+      // the initiator showed different deal views to different parties.
+      report.equivocation = true;
+      blame(proposal.initiator,
+            "equivocating deal enlists bind run " + leg_label);
+    }
+  }
+
+  // The decision(s): exactly one verified verdict per deal id is honest.
+  bool first_decision = true;
+  for (const DealDecisionMsg& msg : decisions) {
+    const DealDecision& decision = msg.decision;
+    const crypto::RsaPublicKey* pub = key_of(decision.initiator);
+    if (pub == nullptr ||
+        !pub->verify(decision.signed_bytes(), msg.signature)) {
+      report.violations.push_back("deal decision with bad signature on run " +
+                                  leg_label);
+      continue;
+    }
+    if (initiator.has_value() && decision.initiator != *initiator) {
+      blame(decision.initiator,
+            "deal decision signed by a party other than the initiator");
+      continue;
+    }
+    if (!deal_id.empty() && decision.deal_id != deal_id) {
+      blame(decision.initiator, "deal decision for a different deal id");
+      continue;
+    }
+    if (first_decision) {
+      first_decision = false;
+      report.decision_found = true;
+      report.committed =
+          decision.verdict == DealDecision::Verdict::kCommit;
+    } else {
+      // Two validly signed, different verdicts for one deal id:
+      // non-repudiable equivocation, blamable on the initiator alone.
+      report.equivocation = true;
+      blame(decision.initiator,
+            "equivocating deal decisions for deal " + decision.deal_id);
+    }
+  }
+
+  // Cross-check deal-level artifacts against the per-run transcript.
+  report.leg = arbitrate(messages, leg_label, expected_recipients);
+  if (initiator.has_value() && !report.equivocation) {
+    if (report.decision_found && report.committed &&
+        report.leg.decide_found && !report.leg.verdict.agreed) {
+      blame(*initiator,
+            "commit decision but the leg transcript does not show unanimous "
+            "agreement");
+    }
+    if (report.decision_found && !report.committed &&
+        report.leg.verdict.agreed) {
+      blame(*initiator,
+            "leg installed by its decide despite a signed deal abort");
+    }
+    if (!report.decision_found && report.leg.decide_found) {
+      blame(*initiator,
+            "leg decided without any deal decision on record");
+    }
+  }
+
+  if (!report.enlist_found) {
+    report.ruling = "run " + leg_label +
+                    ": no verifiable deal enlist on record; arbitrate the "
+                    "run itself";
+  } else if (report.equivocation) {
+    report.ruling = "deal " + deal_id + ", run " + leg_label +
+                    ": EQUIVOCATION by the initiator is proven by the "
+                    "conflicting signed artifacts";
+  } else if (!report.blamed.empty()) {
+    report.ruling = "deal " + deal_id + ", run " + leg_label + ": " +
+                    std::to_string(report.violations.size()) +
+                    " defect(s); blame is provable";
+  } else if (report.decision_found) {
+    report.ruling = "deal " + deal_id + ", run " + leg_label + ": " +
+                    (report.committed ? "COMMITTED" : "ABORTED") +
+                    " consistently with the leg transcript; evidence intact";
+  } else {
+    report.ruling = "deal " + deal_id + ", run " + leg_label +
+                    ": enlisted but undecided on this party's record; the "
+                    "deal is INCOMPLETE here";
   }
   return report;
 }

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "b2b/deal_messages.hpp"
 #include "b2b/evidence.hpp"
 #include "store/message_store.hpp"
 
@@ -43,6 +44,32 @@ class Arbiter {
   /// (required to rule a state *valid*).
   ArbitrationReport arbitrate(
       const store::MessageStore& messages, const std::string& run_label,
+      const std::vector<PartyId>* expected_recipients = nullptr) const;
+
+  /// Deal-phase arbitration over one leg (DESIGN.md §12): verify the
+  /// signed enlist and decision artifacts stored under the leg's run
+  /// label and cross-check them against the per-run transcript. Defection
+  /// — prepare-then-refuse, equivocating verdicts, a committed leg with
+  /// no commit decision — surfaces as violations blamed on a party.
+  struct DealArbitrationReport {
+    bool enlist_found = false;
+    bool decision_found = false;
+    /// The verified deal verdict (meaningful when decision_found and no
+    /// equivocation): true = commit.
+    bool committed = false;
+    /// Two differently-signed decisions for the same deal id were found.
+    bool equivocation = false;
+    /// Party to blame for each violation (the deal initiator for enlist/
+    /// decision defects) — empty means no provable defector.
+    std::vector<PartyId> blamed;
+    std::vector<std::string> violations;
+    /// Per-run arbitration of the leg itself.
+    ArbitrationReport leg;
+    std::string ruling;
+  };
+  DealArbitrationReport arbitrate_deal(
+      const store::MessageStore& messages, const std::string& leg_label,
+      const std::map<PartyId, crypto::RsaPublicKey>& keys,
       const std::vector<PartyId>* expected_recipients = nullptr) const;
 
  private:

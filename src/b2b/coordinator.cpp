@@ -154,6 +154,9 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
   }
   locked_rng_ = std::make_unique<LockedRng>(*rng_);
   known_keys_.emplace(self_, key_.public_key());
+  // The deal layer exists before the transport handler is installed: a
+  // TTP verdict can arrive as soon as messages flow.
+  deals_ = std::make_unique<DealCoordinator>(*this);
   transport_.set_handler([this](const PartyId& from, const Bytes& payload) {
     on_message(from, payload);
   });
@@ -351,6 +354,7 @@ Replica& Coordinator::register_object(const ObjectId& object,
   shard->replica->set_sponsor_policy(sponsor_policy_);
   shard->replica->set_decision_rule(decision_rule_);
   shard->replica->set_run_probe(run_probe_interval_micros_, max_run_probes_);
+  shard->replica->set_deal_hooks(deals_->make_hooks());
   if (shard_lanes_) {
     shard->lane = lane_pool_ ? std::make_unique<ShardLane>(lane_pool_)
                              : std::make_unique<ShardLane>();
@@ -383,6 +387,19 @@ std::vector<RunHandle> Coordinator::resume_recovered_runs() {
       crashed_.store(true, std::memory_order_release);
       break;
     }
+  }
+  // Deal resume runs after per-run resume (which redoes journaled decides
+  // and clears their staged flags), so the deal layer sees the final
+  // per-leg picture.
+  if (!crashed_.load(std::memory_order_acquire)) {
+    try {
+      std::vector<RunHandle> deal_handles =
+          deals_->resume(std::move(recovered_deals_));
+      handles.insert(handles.end(), deal_handles.begin(), deal_handles.end());
+    } catch (const SimulatedCrash&) {
+      crashed_.store(true, std::memory_order_release);
+    }
+    recovered_deals_ = RecoveredDealState{};
   }
   return handles;
 }
@@ -478,6 +495,18 @@ void Coordinator::on_message(const PartyId& from, const Bytes& payload) {
     B2B_DEBUG(self_, ": undecodable envelope from ", from, ": ", e.what());
     record_evidence(evidence_kind::kViolation,
                     bytes_of("undecodable envelope from " + from.str()));
+    return;
+  }
+  if (envelope.type == MsgType::kDealTerminationVerdict) {
+    // Deal-level verdicts are coordinator-scoped, not object-scoped:
+    // route to the deal layer (with the same SimulatedCrash containment
+    // as shard dispatch) instead of a shard.
+    try {
+      deals_->on_ttp_verdict(from, envelope);
+    } catch (const SimulatedCrash& crash) {
+      B2B_DEBUG(self_, ": simulated crash at ", crash.point);
+      crashed_.store(true, std::memory_order_release);
+    }
     return;
   }
   ObjectShard* shard = find_shard(envelope.object);
@@ -578,13 +607,48 @@ void Coordinator::replay_journal() {
         messages_.add(run_label, std::move(message));
         break;
       }
+      case walrec::kDealOpen: {
+        DealEnlistMsg enlist = DealEnlistMsg::decode(record.payload);
+        recovered_deals_.open[enlist.proposal.deal_id] = record.payload;
+        break;
+      }
+      case walrec::kDealDecided: {
+        // Last one wins: the TTP-abort path journals an overriding abort
+        // after the commit decision.
+        DealDecisionMsg decision = DealDecisionMsg::decode(record.payload);
+        recovered_deals_.decisions[decision.decision.deal_id] =
+            record.payload;
+        break;
+      }
+      case walrec::kDealClosed: {
+        std::string deal_id = dec.str();
+        dec.expect_done();
+        recovered_deals_.open.erase(deal_id);
+        recovered_deals_.decisions.erase(deal_id);
+        recovered_deals_.ttp_submitted.erase(deal_id);
+        recovered_deals_.ttp_verdicts.erase(deal_id);
+        break;
+      }
+      case walrec::kDealTtpSubmitted: {
+        std::string deal_id = dec.str();
+        dec.expect_done();
+        recovered_deals_.ttp_submitted.insert(std::move(deal_id));
+        break;
+      }
+      case walrec::kDealVerdictDelivered: {
+        Bytes signature;
+        DealTerminationVerdict verdict =
+            DealTerminationVerdict::decode_fields(record.payload, &signature);
+        recovered_deals_.ttp_verdicts[verdict.deal_id] = record.payload;
+        break;
+      }
       default: {
         // Object-scoped replica record: first field is the object id.
         // Each object's shard is rebuilt independently from its own
         // record subsequence; register_object hands the result to the
         // object's replica.
         ObjectId object{dec.str()};
-        replay_object_record(record.type, recovered_[object], dec);
+        replay_object_record(record.type, object, recovered_[object], dec);
         break;
       }
     }
@@ -592,6 +656,7 @@ void Coordinator::replay_journal() {
 }
 
 void Coordinator::replay_object_record(std::uint8_t type,
+                                       const ObjectId& object,
                                        Replica::RecoveredObjectState& rec,
                                        wire::Decoder& dec) {
   switch (type) {
@@ -651,6 +716,7 @@ void Coordinator::replay_object_record(std::uint8_t type,
       }
       rec.termination_submissions.erase(label);
       rec.verdicts.erase(label);
+      rec.staged_runs.erase(label);
       break;
     }
     case walrec::kResponderRun: {
@@ -792,6 +858,24 @@ void Coordinator::replay_object_record(std::uint8_t type,
           TerminationVerdict::decode_fields(body, &signature);
       rec.verdicts.insert_or_assign(verdict.proposed.label(),
                                     std::move(body));
+      break;
+    }
+    case walrec::kDealStaged: {
+      std::string label = dec.str();
+      std::string deal_id = dec.str();
+      dec.expect_done();
+      rec.staged_runs.insert_or_assign(std::move(label), std::move(deal_id));
+      break;
+    }
+    case walrec::kDealEnlisted: {
+      Bytes body = dec.blob();
+      dec.expect_done();
+      DealEnlistMsg enlist = DealEnlistMsg::decode(body);
+      for (const DealLeg& leg : enlist.proposal.legs) {
+        if (leg.object == object) {
+          rec.deal_enlists.insert_or_assign(leg.proposed.label(), body);
+        }
+      }
       break;
     }
     default:

@@ -46,6 +46,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "b2b/deal.hpp"
 #include "b2b/replica.hpp"
 #include "crypto/timestamp.hpp"
 #include "net/reactor.hpp"  // TaskPool / Strand (pool-backed shard lanes)
@@ -171,6 +172,17 @@ class Coordinator {
   void enable_ttp_termination(const ObjectId& object,
                               Replica::TtpConfig config);
 
+  // --- deals (DESIGN.md §12) ------------------------------------------------------
+
+  /// Start an atomic multi-object deal as initiator. The handle completes
+  /// once every leg has been driven to the all-or-nothing outcome.
+  RunHandle start_deal(DealCoordinator::DealSpec spec) {
+    return deals_->start_deal(std::move(spec));
+  }
+  /// The deal layer (TTP escape configuration, stats, verification).
+  DealCoordinator& deals() { return *deals_; }
+  const DealCoordinator& deals() const { return *deals_; }
+
   // --- B2BCoordinatorLocal propagation interface (§5) -------------------------
 
   RunHandle propagate_new_state(const ObjectId& object, Bytes new_state);
@@ -280,6 +292,11 @@ class Coordinator {
   }
 
  private:
+  /// The deal layer drives legs through shard entry points and journals
+  /// coordinator-scoped records; it is part of the coordinator's
+  /// implementation, split into its own class (deal.hpp).
+  friend class DealCoordinator;
+
   /// Shared anchor for callbacks that can outlive the coordinator
   /// (clock timers, the transport's delivery-failure handler). The
   /// callback locks the anchor, null-checks, and only then touches the
@@ -368,7 +385,7 @@ class Coordinator {
                                const std::function<RunHandle(Replica&)>& fn);
 
   void replay_journal();
-  void replay_object_record(std::uint8_t type,
+  void replay_object_record(std::uint8_t type, const ObjectId& object,
                             Replica::RecoveredObjectState& rec,
                             wire::Decoder& dec);
   void handle_delivery_failure(const PartyId& to);
@@ -436,6 +453,13 @@ class Coordinator {
   mutable std::atomic<std::uint64_t> stat_map_exclusive_{0};
   mutable std::atomic<std::uint64_t> stat_messages_routed_{0};
   mutable std::atomic<std::uint64_t> stat_lane_posts_{0};
+
+  // --- deals --------------------------------------------------------------------
+  /// Initiator-side deal driver (constructed after journal replay).
+  std::unique_ptr<DealCoordinator> deals_;
+  /// Deal-layer journal state from replay, consumed by the deal resume in
+  /// resume_recovered_runs.
+  RecoveredDealState recovered_deals_;
 
   // --- crash recovery & fault injection ----------------------------------------
   std::shared_ptr<TimerAnchor> anchor_;

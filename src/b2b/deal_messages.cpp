@@ -1,0 +1,223 @@
+#include "b2b/deal_messages.hpp"
+
+#include "common/error.hpp"
+
+namespace b2b::core {
+
+namespace {
+constexpr std::uint8_t kTagDealProposal = 0x12;
+constexpr std::uint8_t kTagDealDecision = 0x13;
+constexpr std::uint8_t kTagDealTerminationRequest = 0x14;
+constexpr std::uint8_t kTagDealTerminationVerdict = 0x15;
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DealLeg
+// ---------------------------------------------------------------------------
+
+void DealLeg::encode_into(wire::Encoder& enc) const {
+  enc.str(object.str());
+  proposed.encode_into(enc);
+}
+
+DealLeg DealLeg::decode_from(wire::Decoder& dec) {
+  DealLeg leg;
+  leg.object = ObjectId{dec.str()};
+  leg.proposed = StateTuple::decode_from(dec);
+  return leg;
+}
+
+// ---------------------------------------------------------------------------
+// DealProposal / DealEnlistMsg
+// ---------------------------------------------------------------------------
+
+void DealProposal::encode_into(wire::Encoder& enc) const {
+  enc.str(deal_id).str(initiator.str());
+  enc.varint(legs.size());
+  for (const DealLeg& leg : legs) leg.encode_into(enc);
+  enc.u64(deadline_micros);
+}
+
+DealProposal DealProposal::decode_from(wire::Decoder& dec) {
+  DealProposal p;
+  p.deal_id = dec.str();
+  p.initiator = PartyId{dec.str()};
+  std::uint64_t n = dec.varint();
+  p.legs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    p.legs.push_back(DealLeg::decode_from(dec));
+  }
+  p.deadline_micros = dec.u64();
+  return p;
+}
+
+Bytes DealProposal::signed_bytes() const {
+  wire::Encoder enc;
+  enc.u8(kTagDealProposal);
+  encode_into(enc);
+  return std::move(enc).take();
+}
+
+Bytes DealEnlistMsg::encode() const {
+  wire::Encoder enc;
+  proposal.encode_into(enc);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+DealEnlistMsg DealEnlistMsg::decode(BytesView data) {
+  wire::Decoder dec{data};
+  DealEnlistMsg msg;
+  msg.proposal = DealProposal::decode_from(dec);
+  msg.signature = dec.blob();
+  dec.expect_done();
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// DealDecision / DealDecisionMsg
+// ---------------------------------------------------------------------------
+
+void DealDecision::encode_into(wire::Encoder& enc) const {
+  enc.str(deal_id).str(initiator.str());
+  enc.u8(static_cast<std::uint8_t>(verdict));
+  enc.varint(legs.size());
+  for (const DealLeg& leg : legs) leg.encode_into(enc);
+  enc.str(diagnostic);
+}
+
+DealDecision DealDecision::decode_from(wire::Decoder& dec) {
+  DealDecision d;
+  d.deal_id = dec.str();
+  d.initiator = PartyId{dec.str()};
+  std::uint8_t verdict = dec.u8();
+  if (verdict != 1 && verdict != 2) throw CodecError("deal decision: verdict");
+  d.verdict = static_cast<Verdict>(verdict);
+  std::uint64_t n = dec.varint();
+  d.legs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    d.legs.push_back(DealLeg::decode_from(dec));
+  }
+  d.diagnostic = dec.str();
+  return d;
+}
+
+Bytes DealDecision::signed_bytes() const {
+  wire::Encoder enc;
+  enc.u8(kTagDealDecision);
+  encode_into(enc);
+  return std::move(enc).take();
+}
+
+Bytes DealDecisionMsg::encode() const {
+  wire::Encoder enc;
+  decision.encode_into(enc);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+DealDecisionMsg DealDecisionMsg::decode(BytesView data) {
+  wire::Decoder dec{data};
+  DealDecisionMsg msg;
+  msg.decision = DealDecision::decode_from(dec);
+  msg.signature = dec.blob();
+  dec.expect_done();
+  return msg;
+}
+
+// ---------------------------------------------------------------------------
+// DealTerminationRequest
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void encode_deal_request_fields(wire::Encoder& enc,
+                                const DealTerminationRequest& r) {
+  enc.str(r.deal_id).str(r.requester.str());
+  enc.varint(r.legs.size());
+  for (const TerminationRequest& leg : r.legs) enc.blob(leg.encode());
+}
+
+}  // namespace
+
+Bytes DealTerminationRequest::signed_bytes() const {
+  wire::Encoder enc;
+  enc.u8(kTagDealTerminationRequest);
+  encode_deal_request_fields(enc, *this);
+  return std::move(enc).take();
+}
+
+Bytes DealTerminationRequest::encode_with_signature(
+    const Bytes& signature) const {
+  wire::Encoder enc;
+  encode_deal_request_fields(enc, *this);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+DealTerminationRequest DealTerminationRequest::decode_fields(
+    BytesView data, Bytes* signature) {
+  wire::Decoder dec{data};
+  DealTerminationRequest r;
+  r.deal_id = dec.str();
+  r.requester = PartyId{dec.str()};
+  std::uint64_t n = dec.varint();
+  r.legs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    r.legs.push_back(TerminationRequest::decode_fields(dec.blob(), nullptr));
+  }
+  if (signature != nullptr) *signature = dec.blob();
+  dec.expect_done();
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// DealTerminationVerdict
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void encode_deal_verdict_fields(wire::Encoder& enc,
+                                const DealTerminationVerdict& v) {
+  enc.str(v.deal_id).u8(v.verdict);
+  enc.varint(v.leg_verdicts.size());
+  for (const Bytes& leg : v.leg_verdicts) enc.blob(leg);
+  enc.u64(v.time_micros);
+}
+
+}  // namespace
+
+Bytes DealTerminationVerdict::signed_bytes() const {
+  wire::Encoder enc;
+  enc.u8(kTagDealTerminationVerdict);
+  encode_deal_verdict_fields(enc, *this);
+  return std::move(enc).take();
+}
+
+Bytes DealTerminationVerdict::encode_with_signature(
+    const Bytes& signature) const {
+  wire::Encoder enc;
+  encode_deal_verdict_fields(enc, *this);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+DealTerminationVerdict DealTerminationVerdict::decode_fields(
+    BytesView data, Bytes* signature) {
+  wire::Decoder dec{data};
+  DealTerminationVerdict v;
+  v.deal_id = dec.str();
+  v.verdict = dec.u8();
+  if (v.verdict != 1 && v.verdict != 2) {
+    throw CodecError("deal verdict: verdict");
+  }
+  std::uint64_t n = dec.varint();
+  v.leg_verdicts.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) v.leg_verdicts.push_back(dec.blob());
+  v.time_micros = dec.u64();
+  if (signature != nullptr) *signature = dec.blob();
+  dec.expect_done();
+  return v;
+}
+
+}  // namespace b2b::core

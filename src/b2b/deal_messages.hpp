@@ -1,0 +1,139 @@
+// Wire messages for the deal subsystem (DESIGN.md §12).
+//
+// A *deal* is an atomic state change spanning several objects, each with
+// its own (possibly disjoint, mutually distrusting) membership. The deal
+// initiator drives one normal signed propose/respond cycle per object —
+// the *legs* — but parks the completed response sets undecided, then
+// replicates one signed commit/abort decision covering every leg. The
+// messages here are the deal-level envelope bodies; the per-leg traffic is
+// the unchanged §4.3 propose/respond/decide.
+//
+// Like every assertion-carrying message in messages.hpp, each deal message
+// splits into a signed core (signed_bytes(), recomputed by verifiers from
+// the decoded fields) and the enclosing message carrying the signature.
+// The signed cores are what make defection provable: a participant holding
+// a DealEnlist proving it was asked to prepare leg L of deal D, plus two
+// DealDecisions for D with different verdicts, has non-repudiable evidence
+// of initiator equivocation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "b2b/termination.hpp"
+#include "b2b/tuples.hpp"
+#include "common/bytes.hpp"
+#include "common/ids.hpp"
+
+namespace b2b::core {
+
+/// One leg of a deal: which object, and the proposed tuple (T_prop) of the
+/// per-object run that carries the leg's state change. proposed.label()
+/// is the run label — the join key between deal-level and run-level
+/// evidence.
+struct DealLeg {
+  ObjectId object;
+  StateTuple proposed;
+
+  void encode_into(wire::Encoder& enc) const;
+  static DealLeg decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const DealLeg&, const DealLeg&) = default;
+};
+
+/// The signed core of a deal announcement: the initiator binds the deal id
+/// to the *complete* leg set, so no participant can be shown a different
+/// view of what the deal covers. Sent per-object alongside the leg's
+/// propose; every recipient of any leg learns every leg.
+struct DealProposal {
+  std::string deal_id;
+  PartyId initiator;
+  std::vector<DealLeg> legs;
+  std::uint64_t deadline_micros = 0;  // 0: no deal-level deadline
+
+  Bytes signed_bytes() const;
+  void encode_into(wire::Encoder& enc) const;
+  static DealProposal decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const DealProposal&, const DealProposal&) = default;
+};
+
+/// kDealEnlist: initiator -> every leg recipient.
+struct DealEnlistMsg {
+  DealProposal proposal;
+  Bytes signature;  // initiator's, over proposal.signed_bytes()
+
+  Bytes encode() const;
+  static DealEnlistMsg decode(BytesView data);
+
+  friend bool operator==(const DealEnlistMsg&, const DealEnlistMsg&) = default;
+};
+
+/// The signed core of the deal outcome. Exactly one verdict per deal id is
+/// honest behaviour; two differently-signed cores for the same id are
+/// proof of equivocation, blamable on the initiator alone.
+struct DealDecision {
+  enum class Verdict : std::uint8_t { kCommit = 1, kAbort = 2 };
+
+  std::string deal_id;
+  PartyId initiator;
+  Verdict verdict = Verdict::kAbort;
+  std::vector<DealLeg> legs;  // echo of the enlisted leg set
+  std::string diagnostic;     // why aborted (empty on commit)
+
+  Bytes signed_bytes() const;
+  void encode_into(wire::Encoder& enc) const;
+  static DealDecision decode_from(wire::Decoder& dec);
+
+  friend bool operator==(const DealDecision&, const DealDecision&) = default;
+};
+
+/// kDealDecision: initiator -> every leg recipient. On commit the normal
+/// (unsigned, authenticator-revealing) per-leg DecideMsg follows and does
+/// the installing; this message is the cross-leg non-repudiation artifact.
+/// On abort it is also the operative instruction: release the parked run.
+struct DealDecisionMsg {
+  DealDecision decision;
+  Bytes signature;  // initiator's, over decision.signed_bytes()
+
+  Bytes encode() const;
+  static DealDecisionMsg decode(BytesView data);
+
+  friend bool operator==(const DealDecisionMsg&,
+                         const DealDecisionMsg&) = default;
+};
+
+/// kDealTerminationRequest: initiator -> TTP. Atomic commit registration:
+/// the bundled per-leg transcripts are certified all-or-nothing under the
+/// TTP's single mutex, so a commit can never split against a concurrent
+/// per-run escape (§7) by a parked participant — the TTP writes the deal
+/// verdict AND a per-run verdict for every leg in one critical section.
+/// The outer signature covers every embedded leg transcript; the inner
+/// TerminationRequests carry empty signatures of their own.
+struct DealTerminationRequest {
+  std::string deal_id;
+  PartyId requester;  // the deal initiator (proposer of every leg)
+  std::vector<TerminationRequest> legs;
+
+  Bytes signed_bytes() const;
+  Bytes encode_with_signature(const Bytes& signature) const;
+  static DealTerminationRequest decode_fields(BytesView data, Bytes* signature);
+};
+
+/// kDealTerminationVerdict: TTP -> initiator. verdict 1 = commit, 2 =
+/// abort; leg_verdicts are the per-leg signed TerminationVerdict bodies
+/// (encode_with_signature form) the TTP cached, usable by anyone through
+/// the existing per-run verdict path.
+struct DealTerminationVerdict {
+  std::string deal_id;
+  std::uint8_t verdict = 2;
+  std::vector<Bytes> leg_verdicts;
+  std::uint64_t time_micros = 0;
+
+  Bytes signed_bytes() const;
+  Bytes encode_with_signature(const Bytes& signature) const;
+  static DealTerminationVerdict decode_fields(BytesView data, Bytes* signature);
+};
+
+}  // namespace b2b::core

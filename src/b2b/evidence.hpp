@@ -40,6 +40,15 @@ inline constexpr const char* kMembershipPropose = "membership.propose";
 inline constexpr const char* kMembershipRespond = "membership.respond";
 inline constexpr const char* kMembershipDecide = "membership.decide";
 inline constexpr const char* kMembershipApplied = "membership.applied";
+// Deal subsystem (DESIGN.md §12).
+inline constexpr const char* kDealOpen = "deal.open";
+inline constexpr const char* kDealEnlistReceived = "deal.enlist.recv";
+inline constexpr const char* kDealPrepared = "deal.prepared";
+inline constexpr const char* kDealDecision = "deal.decision";
+inline constexpr const char* kDealDecisionReceived = "deal.decision.recv";
+inline constexpr const char* kDealClosed = "deal.closed";
+inline constexpr const char* kDealTtpRequest = "deal.ttp.request";
+inline constexpr const char* kDealTtpVerdict = "deal.ttp.verdict";
 }  // namespace evidence_kind
 
 /// Everything generated during one state-coordination run.

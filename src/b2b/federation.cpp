@@ -394,6 +394,21 @@ void Federation::enable_ttp_termination(const ObjectId& object,
   }
 }
 
+RunHandle Federation::start_deal(const std::string& name,
+                                 DealCoordinator::DealSpec spec) {
+  return find_party(name).coordinator->start_deal(std::move(spec));
+}
+
+void Federation::enable_deal_escape() {
+  TerminationTtp& ttp = termination_ttp();
+  for (auto& p : parties_) {
+    // Skip crashed parties (recover_party callers re-enable afterwards).
+    if (!p->coordinator) continue;
+    p->coordinator->deals().enable_ttp_escape(
+        DealCoordinator::TtpEscape{ttp.id(), ttp.public_key()});
+  }
+}
+
 EvidenceVerifier Federation::make_verifier() const {
   std::map<PartyId, crypto::RsaPublicKey> keys;
   for (const auto& p : parties_) {

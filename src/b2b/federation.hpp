@@ -238,6 +238,18 @@ class Federation {
   void enable_ttp_termination(const ObjectId& object,
                               std::uint64_t deadline_micros);
 
+  // --- deals (DESIGN.md §12) ----------------------------------------------------
+
+  /// Start a multi-object deal with `name` as initiator.
+  RunHandle start_deal(const std::string& name,
+                       DealCoordinator::DealSpec spec);
+
+  /// Route every party's deal commits through atomic TTP registration
+  /// (creates the federation TTP on first use). Typically paired with
+  /// enable_ttp_termination on the leg objects so parked participants
+  /// have their own escape.
+  void enable_deal_escape();
+
  private:
   struct Party {
     PartyId id;

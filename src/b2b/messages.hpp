@@ -37,6 +37,11 @@ enum class MsgType : std::uint8_t {
   kDisconnectConfirm = 17,
   kTerminationRequest = 20,  // party -> termination TTP (§7 extension)
   kTerminationVerdict = 21,  // termination TTP -> party
+  // Deal subsystem (multi-object atomic coordination, DESIGN.md §12).
+  kDealEnlist = 30,              // initiator -> leg recipients (with propose)
+  kDealDecision = 31,            // initiator -> participants (signed verdict)
+  kDealTerminationRequest = 32,  // initiator -> TTP (atomic registration)
+  kDealTerminationVerdict = 33,  // TTP -> initiator
 };
 
 /// Outermost wire frame: which object, which message kind, body.

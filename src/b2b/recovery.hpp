@@ -44,6 +44,17 @@
 //   kTerminationSubmitted  str(object) str(run label) u8(as_proposer)
 //   kVerdictDelivered      str(object) blob(TerminationVerdict::encode)
 //
+// Deal subsystem (multi-object atomic coordination, DESIGN.md §12). The
+// deal layer journals at the COORDINATOR level (no object prefix — the
+// deal spans objects) except for the two per-replica facts:
+//   kDealOpen              blob(DealEnlistMsg::encode)   [coordinator]
+//   kDealDecided           blob(DealDecisionMsg::encode) [coordinator]
+//   kDealClosed            str(deal id)                  [coordinator]
+//   kDealTtpSubmitted      str(deal id)                  [coordinator]
+//   kDealVerdictDelivered  blob(signed DealTerminationVerdict) [coordinator]
+//   kDealStaged            str(object) str(run label) str(deal id)
+//   kDealEnlisted          str(object) blob(DealEnlistMsg::encode)
+//
 // Append ordering under sharding (DESIGN.md §9): all shards feed ONE
 // journal stream, serialised by the coordinator's journal mutex, so
 // records from concurrent objects interleave but each object's records
@@ -84,6 +95,16 @@ inline constexpr std::uint8_t kSubjectRequest = 20;
 inline constexpr std::uint8_t kSubjectClosed = 21;
 inline constexpr std::uint8_t kTerminationSubmitted = 22;
 inline constexpr std::uint8_t kVerdictDelivered = 23;
+// Deal subsystem (DESIGN.md §12). 24–28 are coordinator-level (replayed in
+// Coordinator::replay_journal before the object-scoped default branch);
+// 29–30 are object-scoped.
+inline constexpr std::uint8_t kDealOpen = 24;
+inline constexpr std::uint8_t kDealDecided = 25;
+inline constexpr std::uint8_t kDealClosed = 26;
+inline constexpr std::uint8_t kDealTtpSubmitted = 27;
+inline constexpr std::uint8_t kDealVerdictDelivered = 28;
+inline constexpr std::uint8_t kDealStaged = 29;
+inline constexpr std::uint8_t kDealEnlisted = 30;
 }  // namespace walrec
 
 /// Raised by an armed crash point to kill a coordinator mid-operation.

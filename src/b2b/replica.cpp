@@ -536,8 +536,23 @@ void Replica::restore_recovered(const RecoveredObjectState& recovered) {
     // Invariant 2: while our proposal is open the local object holds the
     // proposed state, not the agreed one.
     if (connected_) impl_.apply_state(run.new_state);
+    const std::string run_label = record.propose.proposal.proposed.label();
+    auto staged = recovered.staged_runs.find(run_label);
+    if (staged != recovered.staged_runs.end()) {
+      run.deal_staged = true;
+      run.deal_id = staged->second;
+    }
     proposer_run_ = std::move(run);
     recovered_decide_ = recovered.proposer_decide;
+  }
+
+  for (const auto& [label, encoded] : recovered.deal_enlists) {
+    try {
+      deal_enlists_.emplace(label, DealEnlistMsg::decode(encoded));
+    } catch (const CodecError&) {
+      record_anomaly("undecodable journaled deal enlist for run " + label,
+                     self_);
+    }
   }
 
   for (const auto& [label, record] : recovered.responder_runs) {
@@ -597,6 +612,10 @@ std::vector<RunHandle> Replica::resume_recovered_runs() {
     if (recovered_decide_.has_value()) {
       // The decide phase was journaled: redo it from the journaled
       // response set. Re-sent decides are deduplicated by recipients.
+      // For a deal leg this only happens after the deal decision itself
+      // was journaled (commit_staged_run runs the same decide phase), so
+      // redoing it unconditionally is correct — clear the staging flag.
+      proposer_run_->deal_staged = false;
       DecideMsg decide = std::move(*recovered_decide_);
       recovered_decide_.reset();
       proposer_run_->responses.clear();
@@ -604,6 +623,10 @@ std::vector<RunHandle> Replica::resume_recovered_runs() {
         proposer_run_->responses.emplace(resp.response.responder, resp);
       }
       finish_state_run_as_proposer();
+    } else if (proposer_run_->deal_staged) {
+      // A staged deal leg is resumed by the deal layer (which re-drives
+      // or aborts the whole deal), not by the per-run resume: neither
+      // auto-finish nor re-send here.
     } else if (proposer_run_->responses.size() ==
                proposer_run_->recipients.size()) {
       finish_state_run_as_proposer();
@@ -703,6 +726,12 @@ void Replica::handle(const PartyId& from, const Envelope& envelope) {
         break;
       case MsgType::kTerminationVerdict:
         handle_termination_verdict(from, envelope.body);
+        break;
+      case MsgType::kDealEnlist:
+        handle_deal_enlist(from, envelope.body);
+        break;
+      case MsgType::kDealDecision:
+        handle_deal_decision(from, envelope.body);
         break;
       default:
         record_violation("unknown message type", from);
@@ -833,7 +862,10 @@ void Replica::handle_respond(const PartyId& from, const Bytes& body) {
       // A responder re-probing a run we already closed (it may have lost
       // our decide in its crash window): re-send the stored decide so it
       // can conclude, instead of branding a legitimate retry a replay.
+      // Aborted deal legs have no decide — re-answer with the stored
+      // signed deal decision instead.
       if (maybe_resend_decide(stray_label, from)) return;
+      if (maybe_resend_deal_decision(stray_label, from)) return;
       record_anomaly("response for closed run " + stray_label, from);
       return;
     }
@@ -877,7 +909,31 @@ void Replica::handle_respond(const PartyId& from, const Bytes& body) {
   run.responses.emplace(from, std::move(msg));
 
   if (run.responses.size() == run.recipients.size()) {
-    finish_state_run_as_proposer();
+    if (run.deal_staged) {
+      // Deal leg: the prepare is complete — park the response set
+      // undecided and let the deal layer decide across all legs
+      // (DESIGN.md §12). The hook runs under this shard's lock and may
+      // only touch deal-internal state / schedule work.
+      std::vector<PartyId> vetoers;
+      bool all_accept = true;
+      for (const PartyId& recipient : run.recipients) {
+        const Response& r = run.responses.at(recipient).response;
+        const Proposal& prop = run.propose.proposal;
+        if (!r.decision.accept || r.agreed_view != prop.agreed ||
+            r.current_view != prop.agreed || r.group_view != prop.group ||
+            r.payload_integrity != prop.payload_hash) {
+          all_accept = false;
+          vetoers.push_back(recipient);
+        }
+      }
+      callbacks_.record_evidence(evidence_kind::kDealPrepared,
+                                 run.propose.proposal.proposed.encode());
+      if (deal_hooks_.on_leg_prepared) {
+        deal_hooks_.on_leg_prepared(object_, label, all_accept, vetoers);
+      }
+    } else {
+      finish_state_run_as_proposer();
+    }
   }
 }
 
@@ -1328,7 +1384,16 @@ void Replica::arm_deadline(const std::string& label, bool as_proposer) {
             ? (proposer_run_.has_value() &&
                proposer_run_->propose.proposal.proposed.label() == label)
             : responder_runs_.contains(label);
-    if (still_active) request_termination(label, as_proposer);
+    if (!still_active) return;
+    if (as_proposer && proposer_run_->deal_staged) {
+      // Staged deal leg: the deal layer owns initiator escalation (it
+      // must abort or register the WHOLE deal, never refer one leg).
+      if (deal_hooks_.on_leg_deadline) {
+        deal_hooks_.on_leg_deadline(object_, label);
+      }
+      return;
+    }
+    request_termination(label, as_proposer);
   });
 }
 
@@ -1462,6 +1527,377 @@ void Replica::handle_termination_verdict(const PartyId& from,
     return;
   }
   conclude_responder_run(label, std::move(run), verdict.responses, from);
+}
+
+// ---------------------------------------------------------------------------
+// Deal legs (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+Replica::StagedLeg Replica::stage_deal_run(bool is_update, Bytes payload,
+                                           Bytes new_state,
+                                           const std::string& deal_id) {
+  StagedLeg leg;
+  leg.handle = std::make_shared<RunResult>();
+  if (!connected_) {
+    complete(leg.handle, RunResult::Outcome::kAborted, "not connected", {}, 0,
+             "");
+    return leg;
+  }
+  if (busy()) {
+    complete(leg.handle, RunResult::Outcome::kAborted,
+             "busy: another coordination run is active", {}, 0, "");
+    return leg;
+  }
+  crypto::Digest new_state_hash = crypto::Sha256::hash(new_state);
+  if (!is_update && new_state_hash == agreed_tuple_.state_hash) {
+    complete(leg.handle, RunResult::Outcome::kAborted, "null state transition",
+             {}, 0, "");
+    return leg;
+  }
+
+  ProposerRun run;
+  run.authenticator = fresh_random();
+  run.new_state = std::move(new_state);
+  run.result = leg.handle;
+  run.deal_staged = true;
+  run.deal_id = deal_id;
+
+  Proposal& prop = run.propose.proposal;
+  prop.proposer = self_;
+  prop.object = object_;
+  prop.group = group_tuple_;
+  prop.agreed = agreed_tuple_;
+  prop.proposed = StateTuple{next_sequence(),
+                             crypto::Sha256::hash(run.authenticator),
+                             new_state_hash};
+  prop.is_update = is_update;
+  prop.payload_hash = crypto::Sha256::hash(payload);
+  run.propose.payload = std::move(payload);
+  run.propose.signature = key_.sign(prop.signed_bytes());
+
+  note_sequence(prop.proposed.sequence);
+  leg.label = prop.proposed.label();
+  leg.proposed = prop.proposed;
+  seen_run_labels_.insert(leg.label);
+  for (const PartyId& member : members_) {
+    if (member != self_) run.recipients.push_back(member);
+  }
+  leg.recipient_count = run.recipients.size();
+
+  // Invariant 2: the proposer's object holds the proposed state while its
+  // run is open (the deal layer hands us the payload instead of mutating
+  // the object first, so apply it here).
+  impl_.apply_state(run.new_state);
+
+  hit_crash_point("deal-stage.pre-journal");
+  if (journaling()) {
+    // kDealStaged strictly BEFORE kProposerRun: a crash between the two
+    // must never leave a bare proposer-run record, which the per-run
+    // resume would re-drive as a standalone run and decide independently
+    // of the (never-opened) deal — breaking all-or-nothing. The reverse
+    // orphan (staged marker without a run) is inert.
+    wire::Encoder staged;
+    staged.str(leg.label).str(deal_id);
+    journal_record(walrec::kDealStaged, std::move(staged).take());
+    ProposerRunRecord record{run.propose, run.authenticator, run.new_state,
+                             run.recipients};
+    wire::Encoder enc;
+    enc.blob(record.encode());
+    journal_record(walrec::kProposerRun, std::move(enc).take());
+  }
+  callbacks_.record_evidence(evidence_kind::kProposeSent, run.propose.encode());
+  journal_barrier();
+  proposer_run_ = std::move(run);
+  return leg;
+}
+
+void Replica::launch_staged_run(const std::string& label,
+                                const DealEnlistMsg& enlist) {
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged ||
+      proposer_run_->propose.proposal.proposed.label() != label) {
+    return;
+  }
+  ProposerRun& run = *proposer_run_;
+  Bytes encoded = run.propose.encode();
+  Bytes enlist_encoded = enlist.encode();
+  bool first_send = true;
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "propose", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kPropose, encoded);
+    messages_.add(label,
+                  {"sent", "deal.enlist", recipient.str(), enlist_encoded});
+    send_envelope(recipient, MsgType::kDealEnlist, enlist_encoded);
+    if (first_send) {
+      first_send = false;
+      hit_crash_point("deal-launch.mid-send");
+    }
+  }
+  arm_deadline(label, /*as_proposer=*/true);
+  arm_run_probe(label, /*as_proposer=*/true, 1);
+  hit_crash_point("deal-launch.sent");
+}
+
+void Replica::commit_staged_run(const std::string& label,
+                                const DealDecisionMsg& decision) {
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged ||
+      proposer_run_->propose.proposal.proposed.label() != label) {
+    return;
+  }
+  ProposerRun& run = *proposer_run_;
+  if (run.responses.size() != run.recipients.size()) {
+    return;  // not prepared: the deal layer never commits such a leg
+  }
+  // Broadcast the signed cross-leg decision first (the non-repudiation
+  // artifact), then run the unchanged decide phase, which reveals the
+  // authenticator and installs.
+  Bytes encoded = decision.encode();
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "deal.decision", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kDealDecision, encoded);
+  }
+  run.deal_staged = false;
+  finish_state_run_as_proposer();
+}
+
+void Replica::abort_staged_run(const std::string& label,
+                               const DealDecisionMsg& decision) {
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged ||
+      proposer_run_->propose.proposal.proposed.label() != label) {
+    return;
+  }
+  ProposerRun run = std::move(*proposer_run_);
+  proposer_run_.reset();
+  const Proposal& prop = run.propose.proposal;
+  Bytes encoded = decision.encode();
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "deal.decision", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kDealDecision, encoded);
+  }
+  impl_.apply_state(agreed_state_);
+  callbacks_.record_evidence(evidence_kind::kStateRolledBack,
+                             prop.proposed.encode());
+  complete(run.result, RunResult::Outcome::kAborted,
+           decision.decision.diagnostic.empty()
+               ? "deal aborted"
+               : decision.decision.diagnostic,
+           {}, prop.proposed.sequence, label);
+  journal_run_closed(walrec::kProposerClosed, label);
+  drain_deferred_membership();
+}
+
+void Replica::cancel_staged_run(const std::string& label) {
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged ||
+      proposer_run_->propose.proposal.proposed.label() != label) {
+    return;
+  }
+  ProposerRun run = std::move(*proposer_run_);
+  proposer_run_.reset();
+  impl_.apply_state(agreed_state_);
+  callbacks_.record_evidence(evidence_kind::kStateRolledBack,
+                             run.propose.proposal.proposed.encode());
+  complete(run.result, RunResult::Outcome::kAborted,
+           "deal never opened: staged leg cancelled", {},
+           run.propose.proposal.proposed.sequence, label);
+  journal_run_closed(walrec::kProposerClosed, label);
+  drain_deferred_membership();
+}
+
+bool Replica::resume_staged_run(const std::string& label,
+                                const DealEnlistMsg& enlist) {
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged ||
+      proposer_run_->propose.proposal.proposed.label() != label) {
+    return false;
+  }
+  ProposerRun& run = *proposer_run_;
+  Bytes encoded = run.propose.encode();
+  Bytes enlist_encoded = enlist.encode();
+  for (const PartyId& recipient : run.recipients) {
+    if (run.responses.contains(recipient)) continue;
+    send_envelope(recipient, MsgType::kPropose, encoded);
+    send_envelope(recipient, MsgType::kDealEnlist, enlist_encoded);
+  }
+  arm_run_probe(label, /*as_proposer=*/true, 1);
+  arm_deadline(label, /*as_proposer=*/true);
+  return true;
+}
+
+Replica::StagedRunStatus Replica::staged_run_status(
+    const std::string& label) const {
+  StagedRunStatus status;
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged ||
+      proposer_run_->propose.proposal.proposed.label() != label) {
+    return status;
+  }
+  const ProposerRun& run = *proposer_run_;
+  const Proposal& prop = run.propose.proposal;
+  status.open = true;
+  status.complete = run.responses.size() == run.recipients.size();
+  status.all_accept = status.complete;
+  for (const PartyId& recipient : run.recipients) {
+    auto it = run.responses.find(recipient);
+    if (it == run.responses.end()) {
+      status.all_accept = false;
+      continue;
+    }
+    const Response& r = it->second.response;
+    if (!r.decision.accept || r.agreed_view != prop.agreed ||
+        r.current_view != prop.agreed || r.group_view != prop.group ||
+        r.payload_integrity != prop.payload_hash) {
+      status.all_accept = false;
+      status.vetoers.push_back(recipient);
+    }
+  }
+  return status;
+}
+
+std::optional<std::pair<std::string, std::string>> Replica::staged_run()
+    const {
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged) {
+    return std::nullopt;
+  }
+  return std::make_pair(proposer_run_->propose.proposal.proposed.label(),
+                        proposer_run_->deal_id);
+}
+
+std::optional<TerminationRequest> Replica::staged_termination_request(
+    const std::string& label) const {
+  if (!proposer_run_.has_value() || !proposer_run_->deal_staged ||
+      proposer_run_->propose.proposal.proposed.label() != label) {
+    return std::nullopt;
+  }
+  const ProposerRun& run = *proposer_run_;
+  TerminationRequest request;
+  request.requester = self_;
+  request.object = object_;
+  request.proposed = run.propose.proposal.proposed;
+  request.propose = run.propose;
+  for (const auto& [responder, resp] : run.responses) {
+    request.responses.push_back(resp);
+  }
+  request.claimed_recipients = run.recipients;
+  return request;
+}
+
+void Replica::handle_deal_enlist(const PartyId& from, const Bytes& body) {
+  DealEnlistMsg msg = DealEnlistMsg::decode(body);
+  const DealProposal& proposal = msg.proposal;
+  if (proposal.initiator != from) {
+    record_violation("deal enlist sender does not match initiator", from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub == nullptr || !pub->verify(proposal.signed_bytes(), msg.signature)) {
+    record_violation("bad signature on deal enlist", from);
+    return;
+  }
+  const DealLeg* my_leg = nullptr;
+  for (const DealLeg& leg : proposal.legs) {
+    if (leg.object == object_) {
+      my_leg = &leg;
+      break;
+    }
+  }
+  if (my_leg == nullptr) {
+    record_violation("deal enlist without a leg for this object", from);
+    return;
+  }
+  const std::string label = my_leg->proposed.label();
+  auto existing = deal_enlists_.find(label);
+  if (existing != deal_enlists_.end()) {
+    if (!(existing->second == msg)) {
+      // Two different signed enlists binding this run to different deals:
+      // equivocation. Both are kept as evidence.
+      callbacks_.record_evidence(evidence_kind::kDealEnlistReceived, body);
+      record_violation("equivocating deal enlists for run " + label, from);
+    }
+    return;  // duplicate (probe/recovery re-send): already on record
+  }
+  hit_crash_point("deal-enlist-recv.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(body);
+    journal_record(walrec::kDealEnlisted, std::move(enc).take());
+  }
+  messages_.add(label, {"received", "deal.enlist", from.str(), body});
+  callbacks_.record_evidence(evidence_kind::kDealEnlistReceived, body);
+  journal_barrier();
+  hit_crash_point("deal-enlist-recv.journaled");
+  deal_enlists_.emplace(label, std::move(msg));
+}
+
+void Replica::handle_deal_decision(const PartyId& from, const Bytes& body) {
+  DealDecisionMsg msg = DealDecisionMsg::decode(body);
+  const DealDecision& decision = msg.decision;
+  if (decision.initiator != from) {
+    record_violation("deal decision sender does not match initiator", from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub == nullptr ||
+      !pub->verify(decision.signed_bytes(), msg.signature)) {
+    record_violation("bad signature on deal decision", from);
+    return;
+  }
+  auto seen = deal_decisions_seen_.find(decision.deal_id);
+  if (seen != deal_decisions_seen_.end()) {
+    if (!(seen->second.decision == decision)) {
+      // Two different signed verdicts for one deal id: non-repudiable
+      // equivocation, blamable on the initiator alone. Keep both.
+      callbacks_.record_evidence(evidence_kind::kDealDecisionReceived, body);
+      record_violation(
+          "equivocating deal decision for " + decision.deal_id, from);
+      return;
+    }
+  } else {
+    deal_decisions_seen_.emplace(decision.deal_id, msg);
+    callbacks_.record_evidence(evidence_kind::kDealDecisionReceived, body);
+  }
+
+  for (const DealLeg& leg : decision.legs) {
+    if (leg.object != object_) continue;
+    const std::string label = leg.proposed.label();
+    messages_.add(label, {"received", "deal.decision", from.str(), body});
+    if (decision.verdict == DealDecision::Verdict::kCommit) {
+      // The normal decide (authenticator reveal) follows and installs;
+      // the artifact is on record, nothing else to do.
+      continue;
+    }
+    auto it = responder_runs_.find(label);
+    if (it == responder_runs_.end()) continue;  // not parked / already closed
+    if (it->second.propose.proposal.proposer != from) {
+      record_violation("deal abort for a run proposed by another party",
+                       from);
+      continue;
+    }
+    hit_crash_point("deal-abort-recv.pre-journal");
+    ResponderRun run = std::move(it->second);
+    responder_runs_.erase(it);
+    if (accept_lock_ == label) accept_lock_.reset();
+    journal_run_closed(walrec::kResponderClosed, label);
+    hit_crash_point("deal-abort-recv.journaled");
+    CoordEvent event;
+    event.kind = CoordEvent::Kind::kStateVetoed;
+    event.object = object_;
+    event.party = from;
+    event.sequence = leg.proposed.sequence;
+    event.detail = "deal aborted: " + decision.diagnostic;
+    impl_.coord_callback(event);
+    if (callbacks_.notify) callbacks_.notify(event);
+    drain_deferred_membership();
+  }
+}
+
+bool Replica::maybe_resend_deal_decision(const std::string& label,
+                                         const PartyId& to) {
+  if (!journaling()) return false;
+  for (const auto& stored : messages_.run(label)) {
+    if (stored.direction == "sent" && stored.kind == "deal.decision") {
+      record_anomaly("re-sent deal decision of closed run " + label, to);
+      send_envelope(to, MsgType::kDealDecision, stored.payload);
+      return true;
+    }
+  }
+  return false;
 }
 
 std::optional<Bytes> Replica::derive_agreed_state(ResponderRun& run) {

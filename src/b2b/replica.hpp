@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "b2b/deal_messages.hpp"
 #include "b2b/evidence.hpp"
 #include "b2b/messages.hpp"
 #include "b2b/object.hpp"
@@ -212,6 +213,90 @@ class Replica {
 
   /// Propose an update (delta) yielding `new_state` (§4.3.1).
   RunHandle propose_update(Bytes update, Bytes new_state);
+
+  // --- deal legs (DESIGN.md §12; driven by the DealCoordinator) --------------
+
+  /// Result of staging one deal leg: the run handle, plus the label and
+  /// proposed tuple the deal layer needs to enlist participants.
+  struct StagedLeg {
+    RunHandle handle;
+    std::string label;
+    StateTuple proposed;
+    std::size_t recipient_count = 0;
+  };
+
+  /// Phase A of a deal leg: create and journal a *staged* proposer run —
+  /// identical to propose_update/propose_state except that NOTHING is
+  /// sent yet and, once the response set completes, the run parks
+  /// undecided (DealHooks::on_leg_prepared fires) instead of
+  /// auto-deciding. Throws std::runtime_error if this replica is busy.
+  StagedLeg stage_deal_run(bool is_update, Bytes payload, Bytes new_state,
+                           const std::string& deal_id);
+
+  /// Phase B (after the deal-open record is durable): send the staged
+  /// run's propose followed by the deal enlist to every recipient, arm
+  /// probes and (if configured) the leg deadline.
+  void launch_staged_run(const std::string& label,
+                         const DealEnlistMsg& enlist);
+
+  /// Commit a prepared staged leg: un-stages the run and drives the
+  /// normal decide phase (authenticator reveal, install). The decision
+  /// message is broadcast alongside as the cross-leg evidence artifact.
+  void commit_staged_run(const std::string& label,
+                         const DealDecisionMsg& decision);
+
+  /// Abort a staged leg (prepared or not): broadcast the signed abort
+  /// decision, roll the object back to agreed state, complete the run
+  /// handle as aborted.
+  void abort_staged_run(const std::string& label,
+                        const DealDecisionMsg& decision);
+
+  /// Quietly discard a staged run that was never launched (crash between
+  /// staging and the deal-open record): nothing was sent, so no peer ever
+  /// saw it. Rolls back and completes the handle as aborted.
+  void cancel_staged_run(const std::string& label);
+
+  /// Recovery: re-send the staged run's propose + enlist to recipients
+  /// whose responses are missing and re-arm probes. Returns false if no
+  /// such staged run is open.
+  bool resume_staged_run(const std::string& label,
+                         const DealEnlistMsg& enlist);
+
+  /// Status of a staged run's parked response set.
+  struct StagedRunStatus {
+    bool open = false;      // staged run with this label exists
+    bool complete = false;  // every recipient responded
+    bool all_accept = false;
+    std::vector<PartyId> vetoers;
+  };
+  StagedRunStatus staged_run_status(const std::string& label) const;
+
+  /// The open staged run, if any: (label, deal id). At most one (a
+  /// replica has at most one proposer run).
+  std::optional<std::pair<std::string, std::string>> staged_run() const;
+
+  /// Build the per-leg transcript for deal-level TTP registration. The
+  /// returned request carries the propose + all collected responses and
+  /// is unsigned (the deal-level request signature covers it). Empty if
+  /// no staged run with this label is open.
+  std::optional<TerminationRequest> staged_termination_request(
+      const std::string& label) const;
+
+  /// Hooks the deal layer installs to learn about leg progress. Both are
+  /// invoked under this replica's shard lock — implementations may only
+  /// touch deal-internal (leaf) state and schedule work, never call back
+  /// into any shard.
+  struct DealHooks {
+    /// Fires when a staged run's response set completes.
+    std::function<void(const ObjectId& object, const std::string& label,
+                       bool all_accept, const std::vector<PartyId>& vetoers)>
+        on_leg_prepared;
+    /// Fires instead of a per-run TTP referral when a *staged* proposer
+    /// run hits its deadline (the deal layer owns initiator escalation).
+    std::function<void(const ObjectId& object, const std::string& label)>
+        on_leg_deadline;
+  };
+  void set_deal_hooks(DealHooks hooks) { deal_hooks_ = std::move(hooks); }
 
   /// Subject side: ask to join the group coordinating this object.
   /// `via` is any known member; a non-sponsor member relays to the
@@ -402,6 +487,14 @@ class Replica {
     // --- TTP termination (§7) -----------------------------------------------
     std::map<std::string, bool> termination_submissions;  // label->proposer?
     std::map<std::string, Bytes> verdicts;  // label -> signed verdict body
+
+    // --- deal legs (DESIGN.md §12) --------------------------------------------
+    /// Open staged proposer runs: run label -> deal id. (At most one per
+    /// object, but keyed for symmetry with the closing record.)
+    std::map<std::string, std::string> staged_runs;
+    /// Participant-side enlists journaled as received: run label ->
+    /// encoded DealEnlistMsg.
+    std::map<std::string, Bytes> deal_enlists;
   };
 
   /// Rebuild this replica from a journal replay (called by the hosting
@@ -516,6 +609,13 @@ class Replica {
   void request_termination(const std::string& label, bool as_proposer);
   void handle_termination_verdict(const PartyId& from, const Bytes& body);
 
+  // --- deal legs (deal participant side) --------------------------------------
+  void handle_deal_enlist(const PartyId& from, const Bytes& body);
+  void handle_deal_decision(const PartyId& from, const Bytes& body);
+  /// Re-send the stored deal decision of a closed (aborted) staged run to
+  /// a probing responder. Returns false if none is on record.
+  bool maybe_resend_deal_decision(const std::string& label, const PartyId& to);
+
   // --- membership (implementation in membership.cpp) --------------------------
   void handle_connect_request(const PartyId& from, const Bytes& body);
   void handle_membership_propose(const PartyId& from, const Bytes& body);
@@ -581,6 +681,10 @@ class Replica {
     std::vector<PartyId> recipients;
     std::map<PartyId, RespondMsg> responses;
     RunHandle result;
+    /// Deal leg (DESIGN.md §12): park the completed response set for the
+    /// deal layer instead of auto-deciding.
+    bool deal_staged = false;
+    std::string deal_id;
   };
   std::optional<ProposerRun> proposer_run_;
 
@@ -669,6 +773,15 @@ class Replica {
   std::map<std::string, Bytes> pending_redo_verdicts_;
   std::uint64_t run_probe_interval_micros_ = 1'000'000;
   int max_run_probes_ = 12;
+
+  // --- deal legs (DESIGN.md §12) --------------------------------------------------
+  DealHooks deal_hooks_;
+  /// Participant side: enlists received, keyed by leg run label. Kept for
+  /// evidence/blame and decision verification; bounded by active deals.
+  std::map<std::string, DealEnlistMsg> deal_enlists_;
+  /// First signed deal decision seen per deal id — a later one with a
+  /// different signed core is proof of initiator equivocation.
+  std::map<std::string, DealDecisionMsg> deal_decisions_seen_;
 };
 
 }  // namespace b2b::core

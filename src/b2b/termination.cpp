@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "b2b/deal_messages.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 
@@ -162,11 +163,40 @@ void TerminationTtp::on_message(const PartyId& from, const Bytes& payload) {
   // single verdict instead of racing to issue two.
   std::lock_guard<std::mutex> lock(mutex_);
   Envelope envelope;
+  try {
+    envelope = Envelope::decode(payload);
+  } catch (const CodecError& e) {
+    B2B_DEBUG("ttp: undecodable envelope from ", from, ": ", e.what());
+    return;
+  }
+  if (envelope.type == MsgType::kDealTerminationRequest) {
+    DealTerminationRequest request;
+    Bytes signature;
+    try {
+      request = DealTerminationRequest::decode_fields(envelope.body,
+                                                      &signature);
+    } catch (const CodecError& e) {
+      B2B_DEBUG("ttp: undecodable deal request from ", from, ": ", e.what());
+      return;
+    }
+    if (request.requester != from) return;
+    auto key_it = party_keys_.find(from);
+    if (key_it == party_keys_.end() ||
+        !key_it->second.verify(request.signed_bytes(), signature)) {
+      B2B_DEBUG("ttp: badly signed deal request from ", from);
+      return;
+    }
+    Envelope out;
+    out.type = MsgType::kDealTerminationVerdict;
+    out.object = envelope.object;
+    out.body = deal_verdict_for(request);
+    transport_.send(from, out.encode());
+    return;
+  }
+  if (envelope.type != MsgType::kTerminationRequest) return;
   TerminationRequest request;
   Bytes signature;
   try {
-    envelope = Envelope::decode(payload);
-    if (envelope.type != MsgType::kTerminationRequest) return;
     request = TerminationRequest::decode_fields(envelope.body, &signature);
   } catch (const CodecError& e) {
     B2B_DEBUG("ttp: undecodable request from ", from, ": ", e.what());
@@ -212,10 +242,88 @@ const Bytes& TerminationTtp::verdict_for(const TerminationRequest& request) {
       verdict.encode_with_signature(key_.sign(verdict.signed_bytes()));
   auto [it, inserted] = verdicts_.emplace(label, std::move(body));
   (void)inserted;
+  verdict_info_[label] = RunVerdictInfo{verdict.kind, verdict.agreed};
   B2B_INFO("ttp: certified ",
            verdict.kind == TerminationVerdict::Kind::kAbort ? "ABORT"
                                                             : "DECISION",
            " for run ", label);
+  return it->second;
+}
+
+const Bytes& TerminationTtp::deal_verdict_for(
+    const DealTerminationRequest& request) {
+  auto cached = deal_verdicts_.find(request.deal_id);
+  if (cached != deal_verdicts_.end()) return cached->second;
+
+  // Commit iff every leg presents a complete, valid, unanimously-agreeing
+  // transcript — or already carries a cached certified decision with
+  // agreement — and no leg has a cached abort. A cached abort means a
+  // parked participant escaped first (§7 responder referral): the deal
+  // must abort to stay consistent with the answer that participant was
+  // already given. Decided and recorded under the one TTP mutex, together
+  // with the per-run cache writes below, so every later per-run referral
+  // for any leg sees a verdict consistent with the deal outcome.
+  bool commit = !request.legs.empty();
+  for (const TerminationRequest& leg : request.legs) {
+    if (leg.requester != request.requester) {
+      commit = false;
+      break;
+    }
+    auto info = verdict_info_.find(leg.proposed.label());
+    if (info != verdict_info_.end()) {
+      if (info->second.kind != TerminationVerdict::Kind::kDecision ||
+          !info->second.agreed) {
+        commit = false;
+        break;
+      }
+      continue;
+    }
+    bool agreed = false;
+    if (!transcript_complete_and_valid(leg, &agreed) || !agreed) {
+      commit = false;
+      break;
+    }
+  }
+
+  DealTerminationVerdict verdict;
+  verdict.deal_id = request.deal_id;
+  verdict.verdict = commit ? 1 : 2;
+  verdict.time_micros = clock_.now_micros();
+  for (const TerminationRequest& leg : request.legs) {
+    const std::string label = leg.proposed.label();
+    auto it = verdicts_.find(label);
+    if (it == verdicts_.end()) {
+      TerminationVerdict run;
+      run.object = leg.object;
+      run.proposed = leg.proposed;
+      run.time_micros = verdict.time_micros;
+      if (commit) {
+        run.kind = TerminationVerdict::Kind::kDecision;
+        run.agreed = true;
+        run.responses = leg.responses;
+        ++decisions_issued_;
+      } else {
+        run.kind = TerminationVerdict::Kind::kAbort;
+        ++aborts_issued_;
+      }
+      Bytes body = run.encode_with_signature(key_.sign(run.signed_bytes()));
+      it = verdicts_.emplace(label, std::move(body)).first;
+      verdict_info_[label] = RunVerdictInfo{run.kind, run.agreed};
+    }
+    verdict.leg_verdicts.push_back(it->second);
+  }
+  if (commit) {
+    ++deal_commits_issued_;
+  } else {
+    ++deal_aborts_issued_;
+  }
+  Bytes body =
+      verdict.encode_with_signature(key_.sign(verdict.signed_bytes()));
+  auto [it, inserted] = deal_verdicts_.emplace(request.deal_id,
+                                               std::move(body));
+  (void)inserted;
+  B2B_INFO("ttp: certified deal ", commit ? "COMMIT" : "ABORT", " for ",
+           request.deal_id, " (", request.legs.size(), " legs)");
   return it->second;
 }
 

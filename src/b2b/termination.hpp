@@ -34,6 +34,8 @@
 
 namespace b2b::core {
 
+struct DealTerminationRequest;  // deal_messages.hpp (includes this header)
+
 /// Party -> TTP: terminate run `proposed` on `object`. A proposer
 /// supplies its transcript (propose + responses collected so far) and its
 /// recipient list; responders send the identification only.
@@ -99,11 +101,25 @@ class TerminationTtp {
     std::lock_guard<std::mutex> lock(mutex_);
     return decisions_issued_;
   }
+  std::uint64_t deal_commits_issued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return deal_commits_issued_;
+  }
+  std::uint64_t deal_aborts_issued() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return deal_aborts_issued_;
+  }
 
  private:
   void on_message(const PartyId& from, const Bytes& payload);
   /// Build (or fetch the cached) verdict for a run. Caller holds mutex_.
   const Bytes& verdict_for(const TerminationRequest& request);
+  /// Deal-level atomic registration (DESIGN.md §12): certify commit/abort
+  /// for the whole leg bundle and write the per-run verdict cache for
+  /// every leg in the same critical section, so a concurrent per-run
+  /// escape by a parked participant always sees an answer consistent with
+  /// the deal outcome. Caller holds mutex_.
+  const Bytes& deal_verdict_for(const DealTerminationRequest& request);
   bool transcript_complete_and_valid(const TerminationRequest& request,
                                      bool* agreed) const;
 
@@ -115,8 +131,20 @@ class TerminationTtp {
   std::map<PartyId, crypto::RsaPublicKey> party_keys_;
   /// run label -> encoded verdict envelope body (the consistency cache).
   std::map<std::string, Bytes> verdicts_;
+  /// run label -> what kind of verdict is cached (so deal registration can
+  /// check commit-compatibility without re-decoding the body).
+  struct RunVerdictInfo {
+    TerminationVerdict::Kind kind;
+    bool agreed;
+  };
+  std::map<std::string, RunVerdictInfo> verdict_info_;
+  /// deal id -> encoded DealTerminationVerdict body (same caching rule:
+  /// exactly one verdict per deal, forever).
+  std::map<std::string, Bytes> deal_verdicts_;
   std::uint64_t aborts_issued_ = 0;
   std::uint64_t decisions_issued_ = 0;
+  std::uint64_t deal_commits_issued_ = 0;
+  std::uint64_t deal_aborts_issued_ = 0;
 };
 
 }  // namespace b2b::core

@@ -23,6 +23,7 @@
 #include <filesystem>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -32,6 +33,7 @@
 #include <tuple>
 #include <vector>
 
+#include "b2b/arbiter.hpp"
 #include "b2b/federation.hpp"
 #include "net/reactor_runtime.hpp"
 #include "net/tcp_runtime.hpp"
@@ -344,6 +346,321 @@ TEST(IntruderTtpGame, RespondBlackoutResolvedByCertifiedAbort) {
   EXPECT_TRUE(fed.coordinator("alpha").evidence().verify_chain());
   EXPECT_TRUE(fed.coordinator("beta").evidence().verify_chain());
   proxy.shutdown();
+}
+
+// --- scripted game 4: the deal layer under wire attack -----------------------
+
+/// Per-party protocol state a deal game must leave intruder-invariant.
+struct DealPartyState {
+  Bytes ledger_value;
+  Bytes audit_value;
+  core::StateTuple ledger_agreed;
+  core::GroupTuple ledger_group;
+  core::StateTuple audit_agreed;
+  core::GroupTuple audit_group;
+
+  friend bool operator==(const DealPartyState&, const DealPartyState&) =
+      default;
+};
+
+struct DealGameOutcome {
+  std::vector<DealPartyState> digest;
+  core::DealCoordinator::Stats alpha_deals;
+  core::DealCoordinator::Stats beta_deals;
+  std::uint64_t ttp_deal_commits = 0;
+  std::uint64_t violations = 0;
+  bool chains_ok = true;
+  std::uint64_t frames_rejected_auth = 0;
+  net::IntruderStats stats;
+};
+
+/// A fixed sequential deal script (DESIGN.md §12) — a two-leg commit, a
+/// vetoed deal, a TTP-escaped commit, and a post-attack commit — over
+/// TCP with a session-authenticated wire, with or without a scripted
+/// intruder aimed at the deal layer specifically:
+///
+///   * every kRespond — the prepares that park deal legs undecided — is
+///     replayed after forwarding (the transport must suppress the echo);
+///   * every kDealDecision frame is WITHHELD on its first transmission
+///     (dropped; retransmission must re-deliver the signed verdict, and
+///     parked participants must do nothing until it lands);
+///   * every kDealEnlist draws a cross-flow splice — a frame recorded on
+///     a DIFFERENT connection injected here, the wire image of showing
+///     one deal's artifacts to another deal's participant. On the
+///     authenticated wire each splice must die at the receiving
+///     transport as frames_rejected_auth.
+///
+/// The attacked twin must end bit-identical to the clean twin, and no
+/// party may be blamed: the wire intruder is not a provable defector —
+/// it can only delay or destroy, never forge a signed artifact — so an
+/// arbiter ruling from a participant's store alone must still read
+/// COMMITTED/ABORTED with an empty blame list.
+void run_deal_game(bool attacked, DealGameOutcome* out) {
+  const ObjectId kLedger{"ledger"};
+  const ObjectId kAudit{"audit"};
+  const std::vector<std::string> names{"alpha", "beta", "gamma"};
+  const std::string tag =
+      std::string("deal_") + (attacked ? "attacked" : "clean");
+
+  const fs::path root = fs::temp_directory_path() / ("b2b_intruder_" + tag);
+  fs::remove_all(root);
+
+  auto directory = std::make_shared<net::PeerDirectory>();
+  core::Federation::Options options;
+  options.runtime = core::RuntimeKind::kTcp;
+  options.seed = 1;
+  options.tcp_directory = directory;
+  options.wire_auth = true;
+  // Journaling on: the deal layer assumes the paper's stable storage
+  // (§4.4), under which a response straggling in after a decision closed
+  // its leg is answered from the journal, never branded a violation.
+  options.journal_root = (root / "journals").string();
+  options.journal_fsync = false;
+  options.run_probe_interval_micros = 3'600'000'000ULL;
+  options.tcp_transport.retransmit_interval_micros = 10'000;
+  options.tcp_transport.reconnect_backoff_min_micros = 5'000;
+  options.tcp_transport.reconnect_backoff_max_micros = 50'000;
+
+  // Registers before the federation: delivery threads stop first.
+  std::vector<std::unique_ptr<test::TestRegister>> ledgers, audits;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    ledgers.push_back(std::make_unique<test::TestRegister>());
+    audits.push_back(std::make_unique<test::TestRegister>());
+  }
+
+  core::Federation fed{names, options};
+
+  net::IntruderProxy::Config pconfig;
+  auto withheld = std::make_shared<std::set<std::string>>();
+  auto withheld_mutex = std::make_shared<std::mutex>();
+  pconfig.script = [withheld, withheld_mutex](const net::FrameInfo& info)
+      -> std::optional<net::IntruderAction> {
+    if (info.frame_type != net::frame::kData) {
+      return net::IntruderAction::kForward;
+    }
+    if (info.msg_type == static_cast<std::uint8_t>(core::MsgType::kRespond)) {
+      return net::IntruderAction::kReplay;
+    }
+    if (info.msg_type ==
+        static_cast<std::uint8_t>(core::MsgType::kDealDecision)) {
+      // Withhold each decision frame exactly once per flow incarnation:
+      // a repeat drop would defeat the retransmission that heals it.
+      const std::string key = info.client + ">" + info.victim +
+                              (info.to_victim ? ">v:" : ">c:") +
+                              std::to_string(info.incarnation) + ":" +
+                              std::to_string(info.seq);
+      std::lock_guard<std::mutex> lock(*withheld_mutex);
+      if (withheld->insert(key).second) return net::IntruderAction::kDrop;
+    }
+    if (info.msg_type ==
+        static_cast<std::uint8_t>(core::MsgType::kDealEnlist)) {
+      return net::IntruderAction::kSplice;
+    }
+    return net::IntruderAction::kForward;
+  };
+  net::IntruderProxy proxy{directory, pconfig};
+  if (attacked) {
+    for (const auto& name : names) proxy.interpose(PartyId{name});
+  }
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    fed.register_object(names[i], kLedger, *ledgers[i]);
+    fed.register_object(names[i], kAudit, *audits[i]);
+  }
+  fed.bootstrap_object(kLedger, {"alpha", "beta", "gamma"}, bytes_of("L0"));
+  fed.bootstrap_object(kAudit, {"alpha", "beta", "gamma"}, bytes_of("A0"));
+
+  auto state_leg = [](const ObjectId& object, const std::string& value) {
+    core::DealCoordinator::LegSpec leg;
+    leg.object = object;
+    leg.payload = bytes_of(value);
+    leg.new_state = bytes_of(value);
+    leg.is_update = false;
+    return leg;
+  };
+  auto run_deal = [&](const std::string& who, const std::string& ledger_value,
+                      const std::string& audit_value,
+                      core::RunResult::Outcome want) -> core::RunHandle {
+    core::DealCoordinator::DealSpec spec;
+    spec.legs.push_back(state_leg(kLedger, ledger_value));
+    spec.legs.push_back(state_leg(kAudit, audit_value));
+    core::RunHandle h = fed.start_deal(who, spec);
+    if (!fed.run_until_done(h)) {
+      ADD_FAILURE() << tag << ": deal by " << who
+                    << " blocked (liveness lost)";
+      return {};
+    }
+    EXPECT_EQ(h->outcome, want)
+        << tag << ": deal by " << who << ": " << h->diagnostic;
+    fed.settle();
+    return h;
+  };
+
+  // Deal 1: a clean two-leg commit under the replay/withhold/splice storm.
+  core::RunHandle d1 =
+      run_deal("alpha", "L1", "A1", core::RunResult::Outcome::kAgreed);
+  if (!d1) {
+    proxy.shutdown();
+    return;
+  }
+
+  // Deal 2: gamma's audit policy vetoes — every leg must roll back, and
+  // the withheld (then retransmitted) signed abort must release the
+  // parked clean leg at every participant.
+  audits[2]->policy = [](BytesView, const core::ValidationContext&) {
+    return core::Decision::rejected("audit says no");
+  };
+  core::RunHandle d2 =
+      run_deal("beta", "L2", "A2", core::RunResult::Outcome::kVetoed);
+  audits[2]->policy = nullptr;
+  if (!d2) {
+    proxy.shutdown();
+    return;
+  }
+  ASSERT_EQ(d2->vetoers.size(), 1u);
+  EXPECT_EQ(d2->vetoers[0], PartyId{"gamma"});
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    EXPECT_EQ(ledgers[i]->value, bytes_of("L1")) << tag << " " << names[i];
+    EXPECT_EQ(audits[i]->value, bytes_of("A1")) << tag << " " << names[i];
+  }
+
+  // Deal 3: the commit is routed through the TTP's atomic registration —
+  // the kDealTerminationRequest/Verdict message kinds join the traffic
+  // the intruder sees.
+  fed.enable_deal_escape();
+  core::RunHandle d3 =
+      run_deal("alpha", "L3", "A3", core::RunResult::Outcome::kAgreed);
+  if (!d3) {
+    proxy.shutdown();
+    return;
+  }
+
+  // Deal 4: intruder passive — liveness must look like it never left.
+  proxy.set_active(false);
+  core::RunHandle d4 =
+      run_deal("beta", "L4", "A4", core::RunResult::Outcome::kAgreed);
+  if (!d4) {
+    proxy.shutdown();
+    return;
+  }
+  fed.settle();
+
+  // Arbitration from a PARTICIPANT's store alone: the committed deal's
+  // legs rule COMMITTED, the vetoed deal's legs rule ABORTED, and the
+  // blame list is empty both times — the wire intruder never produced a
+  // conflicting signed artifact to pin on anybody.
+  core::Arbiter arbiter{fed.make_verifier()};
+  std::map<PartyId, crypto::RsaPublicKey> keys;
+  for (const auto& name : names) {
+    keys.emplace(PartyId{name}, fed.keypair(name).public_key());
+  }
+  std::optional<core::DealDecisionMsg> committed =
+      fed.coordinator("alpha").deals().decision_of(d1->run_label);
+  ASSERT_TRUE(committed.has_value()) << tag;
+  for (const core::DealLeg& leg : committed->decision.legs) {
+    core::Arbiter::DealArbitrationReport report = arbiter.arbitrate_deal(
+        fed.coordinator("gamma").messages(), leg.proposed.label(), keys);
+    EXPECT_TRUE(report.enlist_found) << tag << ": " << report.ruling;
+    EXPECT_TRUE(report.committed) << tag << ": " << report.ruling;
+    EXPECT_FALSE(report.equivocation) << tag << ": " << report.ruling;
+    EXPECT_TRUE(report.blamed.empty()) << tag << ": " << report.ruling;
+    EXPECT_NE(report.ruling.find("COMMITTED"), std::string::npos)
+        << tag << ": " << report.ruling;
+  }
+  std::optional<core::DealDecisionMsg> aborted =
+      fed.coordinator("beta").deals().decision_of(d2->run_label);
+  ASSERT_TRUE(aborted.has_value()) << tag;
+  for (const core::DealLeg& leg : aborted->decision.legs) {
+    core::Arbiter::DealArbitrationReport report = arbiter.arbitrate_deal(
+        fed.coordinator("gamma").messages(), leg.proposed.label(), keys);
+    EXPECT_TRUE(report.enlist_found) << tag << ": " << report.ruling;
+    EXPECT_FALSE(report.committed) << tag << ": " << report.ruling;
+    EXPECT_FALSE(report.equivocation) << tag << ": " << report.ruling;
+    EXPECT_TRUE(report.blamed.empty()) << tag << ": " << report.ruling;
+    EXPECT_NE(report.ruling.find("ABORTED"), std::string::npos)
+        << tag << ": " << report.ruling;
+  }
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    core::Coordinator& coord = fed.coordinator(names[i]);
+    out->violations += coord.violations_detected();
+    out->chains_ok = out->chains_ok && coord.evidence().verify_chain();
+    out->frames_rejected_auth +=
+        fed.transport(names[i]).stats().frames_rejected_auth;
+
+    DealPartyState d;
+    d.ledger_value = ledgers[i]->value;
+    d.audit_value = audits[i]->value;
+    const core::Replica& lr = coord.replica(kLedger);
+    const core::Replica& ar = coord.replica(kAudit);
+    d.ledger_agreed = lr.agreed_tuple();
+    d.ledger_group = lr.group_tuple();
+    d.audit_agreed = ar.agreed_tuple();
+    d.audit_group = ar.group_tuple();
+    out->digest.push_back(d);
+  }
+  out->alpha_deals = fed.coordinator("alpha").deals().stats();
+  out->beta_deals = fed.coordinator("beta").deals().stats();
+  out->ttp_deal_commits = fed.termination_ttp().deal_commits_issued();
+  out->stats = proxy.stats();
+  proxy.shutdown();
+}
+
+TEST(IntruderDealGame, AttackedDealsMatchCleanTwinExactly) {
+  DealGameOutcome clean;
+  run_deal_game(/*attacked=*/false, &clean);
+  ASSERT_FALSE(::testing::Test::HasFailure()) << "clean reference run failed";
+
+  DealGameOutcome attacked;
+  run_deal_game(/*attacked=*/true, &attacked);
+  ASSERT_FALSE(::testing::Test::HasFailure()) << "attacked deal run failed";
+
+  // Safety: the intruder changed NOTHING either twin agreed on.
+  ASSERT_EQ(clean.digest.size(), attacked.digest.size());
+  for (std::size_t i = 0; i < clean.digest.size(); ++i) {
+    EXPECT_EQ(clean.digest[i].ledger_value, attacked.digest[i].ledger_value)
+        << "party " << i;
+    EXPECT_EQ(clean.digest[i].audit_value, attacked.digest[i].audit_value)
+        << "party " << i;
+    EXPECT_TRUE(clean.digest[i] == attacked.digest[i])
+        << "party " << i
+        << ": tuples diverged between the clean and attacked deal twins";
+  }
+
+  // Identical deal ledgers: same commits, same abort, same TTP verdict.
+  EXPECT_EQ(attacked.alpha_deals.started, clean.alpha_deals.started);
+  EXPECT_EQ(attacked.alpha_deals.committed, clean.alpha_deals.committed);
+  EXPECT_EQ(attacked.alpha_deals.aborted, clean.alpha_deals.aborted);
+  EXPECT_EQ(attacked.alpha_deals.ttp_registrations,
+            clean.alpha_deals.ttp_registrations);
+  EXPECT_EQ(attacked.alpha_deals.ttp_verdicts, clean.alpha_deals.ttp_verdicts);
+  EXPECT_EQ(attacked.beta_deals.committed, clean.beta_deals.committed);
+  EXPECT_EQ(attacked.beta_deals.aborted, clean.beta_deals.aborted);
+  EXPECT_EQ(attacked.ttp_deal_commits, clean.ttp_deal_commits);
+
+  // Nobody was blamed, every chain verifies.
+  EXPECT_EQ(clean.violations, 0u);
+  EXPECT_EQ(attacked.violations, 0u);
+  EXPECT_TRUE(clean.chains_ok);
+  EXPECT_TRUE(attacked.chains_ok);
+
+  // The attack actually fought: prepares were replayed, decisions were
+  // withheld, and cross-flow splices fired — and every splice died at a
+  // receiving transport (zero reached an application: see the digests).
+  const auto& s = attacked.stats;
+  EXPECT_GT(s.replayed, 0u) << "no prepare was ever replayed";
+  EXPECT_GT(s.dropped, 0u) << "no deal decision was ever withheld";
+  EXPECT_GT(s.spliced, 0u) << "no cross-flow splice ever fired";
+  EXPECT_GT(attacked.frames_rejected_auth, 0u)
+      << "no spliced frame was rejected at a transport";
+  EXPECT_EQ(clean.frames_rejected_auth, 0u)
+      << "a clean authenticated run rejected its own traffic";
+
+  std::cout << "[intruder-deal] frames=" << s.frames_seen
+            << " replay=" << s.replayed << " withheld=" << s.dropped
+            << " splice=" << s.spliced
+            << " transport_rejects=" << attacked.frames_rejected_auth
+            << std::endl;
 }
 
 // --- the coverage-guided campaign --------------------------------------------

@@ -18,6 +18,14 @@
 #            MAC'd and verified — across real process boundaries.
 #   Phase 6: auth on mixed stacks — the two runtimes negotiate and verify
 #            the same session MACs against each other.
+#   Phase 7: --deal — four scripted two-leg deals (§12) across two shared
+#            registers: a commit, a vetoed deal whose legs all roll back,
+#            and two more commits; both processes print the same FINAL.
+#   Phase 8: deal crash — the initiator _Exit()s between journaling its
+#            signed commit decision and replicating it (the
+#            deal-decide.journaled crash point); the restart resumes the
+#            deal from the write-ahead journal and must drive it to the
+#            outcome the journaled decision fixed.
 #
 # usage: two_process_demo.sh /path/to/b2bnode
 set -eu
@@ -94,4 +102,6 @@ run_phase reactor "" reactor reactor
 run_phase mixed "" reactor tcp
 run_phase auth "" tcp tcp "--auth"
 run_phase auth_mixed "" reactor tcp "--auth"
+run_phase deal "" tcp tcp "--deal"
+run_phase deal_crash "--crash-after 3" tcp tcp "--deal"
 echo "two-process demo passed"

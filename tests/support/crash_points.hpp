@@ -53,6 +53,23 @@ inline const std::vector<std::string> kTerminationPoints = {
     "verdict.journaled",
 };
 
+// Deal crash points passed at the initiator (DESIGN.md §12): staging a
+// leg, opening the deal, launching the staged runs, journaling and
+// replicating the signed decision.
+inline const std::vector<std::string> kDealInitiatorPoints = {
+    "deal-stage.pre-journal",  "deal-open.pre-journal",
+    "deal-open.journaled",     "deal-launch.mid-send",
+    "deal-launch.sent",        "deal-decide.pre-journal",
+    "deal-decide.journaled",   "deal-decide.mid-replicate",
+};
+
+// Deal crash points passed at a participant: journaling a received
+// enlist, and acting on a received abort decision.
+inline const std::vector<std::string> kDealParticipantPoints = {
+    "deal-enlist-recv.pre-journal", "deal-enlist-recv.journaled",
+    "deal-abort-recv.pre-journal",  "deal-abort-recv.journaled",
+};
+
 /// CI sweeps the campaigns under several seeds via this env var; the
 /// default matches the historical hardcoded seed.
 inline std::uint64_t campaign_seed() {
