@@ -239,4 +239,62 @@ Arbiter::DealArbitrationReport Arbiter::arbitrate_deal(
   return report;
 }
 
+Arbiter::AnchorReport Arbiter::verify_anchored_spans(
+    const store::EvidenceLog& log, const crypto::RsaPublicKey& signer) {
+  AnchorReport report;
+  report.chain_intact = log.verify_chain();
+  if (!report.chain_intact) {
+    report.problems.push_back("evidence hash chain is broken");
+  }
+  for (const store::EvidenceRecord& record : log.records()) {
+    if (record.kind != evidence_kind::kEvidenceAnchor) continue;
+    ++report.anchors_seen;
+    EvidenceAnchor anchor;
+    try {
+      // Evidence payloads are framed {blob payload, blob optional stamp};
+      // anchors always carry an empty stamp.
+      wire::Decoder dec{record.payload};
+      Bytes body = dec.blob();
+      dec.blob();  // stamp (ignored)
+      dec.expect_done();
+      anchor = EvidenceAnchor::decode(body);
+    } catch (const CodecError&) {
+      report.problems.push_back("anchor at record " +
+                                std::to_string(record.index) +
+                                " does not decode");
+      continue;
+    }
+    bool ok = true;
+    if (anchor.index >= record.index) {
+      // An anchor vouches only for records strictly before itself.
+      report.problems.push_back("anchor at record " +
+                                std::to_string(record.index) +
+                                " claims to cover a later index");
+      ok = false;
+    } else if (log.at(anchor.index).record_hash != anchor.head_hash) {
+      report.problems.push_back(
+          "anchor at record " + std::to_string(record.index) +
+          " does not match the chain hash of record " +
+          std::to_string(anchor.index) + " (spliced or tampered span)");
+      ok = false;
+    }
+    if (ok && !signer.verify(anchor.signed_bytes(), anchor.signature)) {
+      report.problems.push_back("anchor at record " +
+                                std::to_string(record.index) +
+                                " carries a bad signature");
+      ok = false;
+    }
+    if (ok) {
+      ++report.anchors_valid;
+      if (!report.highest_anchored_index.has_value() ||
+          anchor.index > *report.highest_anchored_index) {
+        report.highest_anchored_index = anchor.index;
+      }
+    }
+  }
+  report.all_anchors_valid =
+      report.chain_intact && report.anchors_valid == report.anchors_seen;
+  return report;
+}
+
 }  // namespace b2b::core

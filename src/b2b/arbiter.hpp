@@ -14,6 +14,7 @@
 
 #include "b2b/deal_messages.hpp"
 #include "b2b/evidence.hpp"
+#include "store/evidence_log.hpp"
 #include "store/message_store.hpp"
 
 namespace b2b::core {
@@ -71,6 +72,27 @@ class Arbiter {
       const store::MessageStore& messages, const std::string& leg_label,
       const std::map<PartyId, crypto::RsaPublicKey>& keys,
       const std::vector<PartyId>* expected_recipients = nullptr) const;
+
+  /// Offline validation of an anchored evidence log (DESIGN.md §13).
+  /// Walks the hash chain, then checks every "evidence.anchor" record:
+  /// the anchor must decode, its head_hash must equal the chain hash of
+  /// the record it claims to cover, and its signature must verify under
+  /// `signer`. A log whose chain is intact and whose newest anchor is
+  /// valid is trustworthy up to that anchor's index with ONE signature
+  /// check — the chain links everything below it.
+  struct AnchorReport {
+    /// EvidenceLog::verify_chain over the whole log.
+    bool chain_intact = false;
+    std::size_t anchors_seen = 0;
+    std::size_t anchors_valid = 0;
+    /// Highest index covered by a VALID anchor (nullopt if none).
+    std::optional<std::uint64_t> highest_anchored_index;
+    /// chain_intact and every anchor present is valid.
+    bool all_anchors_valid = false;
+    std::vector<std::string> problems;
+  };
+  static AnchorReport verify_anchored_spans(const store::EvidenceLog& log,
+                                            const crypto::RsaPublicKey& signer);
 
  private:
   EvidenceVerifier verifier_;

@@ -106,6 +106,18 @@ Coordinator::Coordinator(Config config, net::Transport& transport,
       decision_rule_(config.decision_rule),
       run_probe_interval_micros_(config.run_probe_interval_micros),
       max_run_probes_(config.max_run_probes) {
+  pipeline_ = config.pipeline;
+  evidence_anchor_interval_ = config.evidence_anchor_interval;
+  if (pipeline_) {
+    signature_cache_ = std::make_unique<crypto::SignatureCache>(
+        config.signature_cache_capacity);
+    // The screening rng only needs unpredictability to an adversary who
+    // crafted the batch; a per-party deterministic seed keeps sim runs
+    // reproducible.
+    screen_rng_ = std::make_unique<crypto::ChaCha20Rng>(
+        config.rng_seed ^ std::hash<std::string>{}(self_.str()) ^
+        0x5c5c5c5c5c5c5c5cULL);
+  }
   anchor_ = std::make_shared<TimerAnchor>();
   anchor_->coordinator = this;
   if (!config.journal_dir.empty()) {
@@ -302,6 +314,11 @@ Replica& Coordinator::register_object(const ObjectId& object,
     record_evidence(kind, payload);
   };
   callbacks.key_of = [this](const PartyId& party) { return key_of(party); };
+  if (pipeline_) {
+    callbacks.verify_many = [this](const std::vector<VerifyJob>& jobs) {
+      return verify_many(jobs);
+    };
+  }
   callbacks.learn_key = [this](const PartyId& party,
                                const crypto::RsaPublicKey& key) {
     add_known_party(party, key);
@@ -464,6 +481,16 @@ RunHandle Coordinator::propagate_update(const ObjectId& object, Bytes update,
   });
 }
 
+RunHandle Coordinator::propagate_batch(const ObjectId& object,
+                                       std::vector<Replica::BatchOp> ops) {
+  if (!pipeline_) {
+    return aborted_handle("pipelining disabled (Config::pipeline)");
+  }
+  return propagate_on_shard(object, [&](Replica& replica) {
+    return replica.propose_batch(std::move(ops));
+  });
+}
+
 RunHandle Coordinator::propagate_connect(const ObjectId& object,
                                          const PartyId& via) {
   return propagate_on_shard(
@@ -523,6 +550,34 @@ void Coordinator::on_message(const PartyId& from, const Bytes& payload) {
                });
 }
 
+std::vector<bool> Coordinator::verify_many(const std::vector<VerifyJob>& jobs) {
+  std::vector<bool> results(jobs.size(), false);
+  std::vector<crypto::BatchVerifyItem> items;
+  std::vector<std::size_t> index_of;  // items index -> jobs index
+  items.reserve(jobs.size());
+  index_of.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // key_of hands out a pointer into known_keys_, stable for the
+    // coordinator's lifetime (keys are never erased).
+    const crypto::RsaPublicKey* key = key_of(jobs[i].signer);
+    if (key == nullptr) continue;  // unknown signer stays false
+    crypto::BatchVerifyItem item;
+    item.key = key;
+    item.digest = crypto::Sha256::hash(jobs[i].message);
+    item.signature = jobs[i].signature;
+    items.push_back(std::move(item));
+    index_of.push_back(i);
+  }
+  if (items.empty()) return results;
+  std::lock_guard<std::mutex> lock(batch_verify_mutex_);
+  crypto::BatchVerifyResult out =
+      crypto::batch_verify(items, *screen_rng_, signature_cache_.get());
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    results[index_of[j]] = out.ok[j];
+  }
+  return results;
+}
+
 void Coordinator::handle_delivery_failure(const PartyId& to) {
   if (crashed_.load(std::memory_order_acquire)) return;
   {
@@ -559,6 +614,35 @@ void Coordinator::record_evidence(const std::string& kind,
     journal_->append(walrec::kEvidence, std::move(enc).take());
   }
   evidence_.append(kind, std::move(framed_bytes), now);
+  // Chain-head anchoring (DESIGN.md §13): every N appends, sign the head
+  // record's chain hash and append the anchor as an evidence record of
+  // its own — journaled and chained like any other, so recovery rebuilds
+  // it in place. One RSA signature amortised over N records; the guard on
+  // the anchor's own kind keeps the chain from anchoring its anchors.
+  if (evidence_anchor_interval_ > 0 &&
+      kind != evidence_kind::kEvidenceAnchor &&
+      evidence_.size() % evidence_anchor_interval_ == 0) {
+    const store::EvidenceRecord& head = evidence_.at(evidence_.size() - 1);
+    EvidenceAnchor anchor;
+    anchor.index = head.index;
+    anchor.head_hash = head.record_hash;
+    anchor.signature = key_.sign(anchor.signed_bytes());
+    wire::Encoder aframe;
+    aframe.blob(anchor.encode());
+    aframe.blob({});  // anchors carry no TSS stamp (already inside the lock)
+    Bytes anchor_framed = std::move(aframe).take();
+    const std::uint64_t anchor_time = clock_.now_micros();
+    if (journal_) {
+      wire::Encoder enc;
+      enc.str(evidence_kind::kEvidenceAnchor)
+          .blob(anchor_framed)
+          .u64(anchor_time);
+      std::lock_guard<std::mutex> jlock(journal_mutex_);
+      journal_->append(walrec::kEvidence, std::move(enc).take());
+    }
+    evidence_.append(evidence_kind::kEvidenceAnchor, std::move(anchor_framed),
+                     anchor_time);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -682,9 +766,17 @@ void Coordinator::replay_object_record(std::uint8_t type,
     case walrec::kResponseReceived: {
       RespondMsg response = RespondMsg::decode(dec.blob());
       dec.expect_done();
-      if (!rec.proposer_run.has_value() ||
-          response.response.proposed !=
-              rec.proposer_run->propose.proposal.proposed) {
+      // A response belongs to the open plain run or the open batch run
+      // (both accumulate in proposer_responses; at most one is open).
+      const bool matches_plain =
+          rec.proposer_run.has_value() &&
+          response.response.proposed ==
+              rec.proposer_run->propose.proposal.proposed;
+      const bool matches_batch =
+          rec.batch_proposer_run.has_value() &&
+          response.response.proposed ==
+              rec.batch_proposer_run->propose.proposal.proposed;
+      if (!matches_plain && !matches_batch) {
         break;  // response for an already-closed run
       }
       const bool duplicate = std::any_of(
@@ -713,6 +805,12 @@ void Coordinator::replay_object_record(std::uint8_t type,
         rec.proposer_run.reset();
         rec.proposer_responses.clear();
         rec.proposer_decide.reset();
+      }
+      if (rec.batch_proposer_run.has_value() &&
+          rec.batch_proposer_run->propose.proposal.proposed.label() == label) {
+        rec.batch_proposer_run.reset();
+        rec.proposer_responses.clear();
+        rec.batch_proposer_decide.reset();
       }
       rec.termination_submissions.erase(label);
       rec.verdicts.erase(label);
@@ -743,6 +841,8 @@ void Coordinator::replay_object_record(std::uint8_t type,
       rec.seen_labels.insert(label);
       rec.responder_runs.erase(label);
       rec.responder_decides.erase(label);
+      rec.batch_responder_runs.erase(label);
+      rec.batch_responder_decides.erase(label);
       rec.termination_submissions.erase(label);
       rec.verdicts.erase(label);
       break;
@@ -875,6 +975,48 @@ void Coordinator::replay_object_record(std::uint8_t type,
         if (leg.object == object) {
           rec.deal_enlists.insert_or_assign(leg.proposed.label(), body);
         }
+      }
+      break;
+    }
+    case walrec::kBatchProposerRun: {
+      auto run = Replica::BatchProposerRunRecord::decode(dec.blob());
+      dec.expect_done();
+      for (const BatchItem& item : run.propose.items) {
+        rec.seen_labels.insert(item.proposed.label());
+        rec.max_sequence = std::max(rec.max_sequence, item.proposed.sequence);
+      }
+      rec.batch_proposer_run = std::move(run);
+      rec.proposer_responses.clear();
+      rec.batch_proposer_decide.reset();
+      break;
+    }
+    case walrec::kBatchDecideSent: {
+      BatchDecideMsg decide = BatchDecideMsg::decode(dec.blob());
+      dec.expect_done();
+      if (rec.batch_proposer_run.has_value() &&
+          decide.proposed ==
+              rec.batch_proposer_run->propose.proposal.proposed) {
+        rec.batch_proposer_decide = std::move(decide);
+      }
+      break;
+    }
+    case walrec::kBatchResponderRun: {
+      auto run = Replica::BatchResponderRunRecord::decode(dec.blob());
+      dec.expect_done();
+      for (const BatchItem& item : run.propose.items) {
+        rec.seen_labels.insert(item.proposed.label());
+        rec.max_sequence = std::max(rec.max_sequence, item.proposed.sequence);
+      }
+      const std::string label = run.propose.proposal.proposed.label();
+      rec.batch_responder_runs.insert_or_assign(label, std::move(run));
+      break;
+    }
+    case walrec::kBatchDecideDelivered: {
+      BatchDecideMsg decide = BatchDecideMsg::decode(dec.blob());
+      dec.expect_done();
+      const std::string label = decide.proposed.label();
+      if (rec.batch_responder_runs.contains(label)) {
+        rec.batch_responder_decides.insert_or_assign(label, std::move(decide));
       }
       break;
     }

@@ -48,6 +48,7 @@
 
 #include "b2b/deal.hpp"
 #include "b2b/replica.hpp"
+#include "crypto/chacha20.hpp"
 #include "crypto/timestamp.hpp"
 #include "net/reactor.hpp"  // TaskPool / Strand (pool-backed shard lanes)
 #include "net/runtime.hpp"
@@ -110,6 +111,17 @@ class Coordinator {
     /// semantics (FIFO per shard, discard-on-stop) are identical.
     /// Shared ownership: a queued drain task survives the coordinator.
     std::shared_ptr<net::TaskPool> lane_pool;
+    /// Run pipelining (DESIGN.md §13): enables propagate_batch, routes
+    /// batch-decide signature checks through batch verification with a
+    /// verified-signature cache, and (with evidence_anchor_interval > 0)
+    /// anchors the evidence chain with periodic signed chain heads. Must
+    /// match federation-wide, like the decision rule.
+    bool pipeline = false;
+    /// Append a signed evidence-chain anchor every N evidence records
+    /// (0 disables anchoring). Only meaningful with pipeline.
+    std::uint64_t evidence_anchor_interval = 0;
+    /// Capacity of the verified-signature cache (pipeline mode).
+    std::size_t signature_cache_capacity = 1024;
   };
 
   /// Per-message-type send counters (protocol-level, before transport
@@ -188,6 +200,11 @@ class Coordinator {
   RunHandle propagate_new_state(const ObjectId& object, Bytes new_state);
   RunHandle propagate_update(const ObjectId& object, Bytes update,
                              Bytes new_state);
+  /// Pipeline a hash-chained batch of state changes through ONE
+  /// propose/respond/decide round (DESIGN.md §13). Requires
+  /// Config::pipeline; aborts otherwise.
+  RunHandle propagate_batch(const ObjectId& object,
+                            std::vector<Replica::BatchOp> ops);
   RunHandle propagate_connect(const ObjectId& object, const PartyId& via);
   RunHandle propagate_disconnect(const ObjectId& object);
   RunHandle propagate_eviction(const ObjectId& object,
@@ -393,6 +410,10 @@ class Coordinator {
   void on_message(const PartyId& from, const Bytes& payload);
   void record_evidence(const std::string& kind, const Bytes& payload);
   void send(const PartyId& to, const Envelope& envelope);
+  /// Pipeline mode: verify a batch of signature jobs via crypto::
+  /// batch_verify (screening + verified-signature cache). Unknown
+  /// signers come back false.
+  std::vector<bool> verify_many(const std::vector<VerifyJob>& jobs);
 
   PartyId self_;
   crypto::RsaPrivateKey key_;
@@ -404,6 +425,16 @@ class Coordinator {
 
   LockMode lock_mode_;
   bool shard_lanes_ = false;
+  /// Pipeline mode (DESIGN.md §13): batch proposals, batched signature
+  /// verification with a cache, and evidence-chain anchoring.
+  bool pipeline_ = false;
+  std::uint64_t evidence_anchor_interval_ = 0;
+  /// Verified-signature cache plus the screening rng, shared by every
+  /// shard's verify_many behind one lock (batch verification is already
+  /// a bulk operation; contention is per batch, not per signature).
+  std::unique_ptr<crypto::SignatureCache> signature_cache_;
+  std::unique_ptr<crypto::ChaCha20Rng> screen_rng_;
+  std::mutex batch_verify_mutex_;
   /// Backing pool for strand-mode lanes (null = thread-mode lanes).
   std::shared_ptr<net::TaskPool> lane_pool_;
   SponsorPolicy sponsor_policy_;

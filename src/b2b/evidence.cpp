@@ -5,6 +5,30 @@
 
 namespace b2b::core {
 
+Bytes EvidenceAnchor::signed_bytes() const {
+  wire::Encoder enc;
+  enc.str("b2b.evidence.anchor")
+      .u64(index)
+      .raw(crypto::digest_bytes(head_hash));
+  return std::move(enc).take();
+}
+
+Bytes EvidenceAnchor::encode() const {
+  wire::Encoder enc;
+  enc.u64(index).raw(crypto::digest_bytes(head_hash)).blob(signature);
+  return std::move(enc).take();
+}
+
+EvidenceAnchor EvidenceAnchor::decode(BytesView data) {
+  wire::Decoder dec{data};
+  EvidenceAnchor anchor;
+  anchor.index = dec.u64();
+  anchor.head_hash = crypto::digest_from_bytes(dec.raw(32));
+  anchor.signature = dec.blob();
+  dec.expect_done();
+  return anchor;
+}
+
 EvidenceVerifier::EvidenceVerifier(
     std::map<PartyId, crypto::RsaPublicKey> keys)
     : keys_(std::move(keys)) {}

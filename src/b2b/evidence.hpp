@@ -49,7 +49,37 @@ inline constexpr const char* kDealDecisionReceived = "deal.decision.recv";
 inline constexpr const char* kDealClosed = "deal.closed";
 inline constexpr const char* kDealTtpRequest = "deal.ttp.request";
 inline constexpr const char* kDealTtpVerdict = "deal.ttp.verdict";
+// Pipelined batches (DESIGN.md §13). Responses ride under the standard
+// respond.* kinds — a batch responder sends one ordinary signed response.
+inline constexpr const char* kBatchProposeSent = "batch.propose.sent";
+inline constexpr const char* kBatchProposeReceived = "batch.propose.recv";
+inline constexpr const char* kBatchDecideSent = "batch.decide.sent";
+inline constexpr const char* kBatchDecideReceived = "batch.decide.recv";
+/// Periodic signed anchor over the evidence chain head (see
+/// Arbiter::verify_anchored_spans).
+inline constexpr const char* kEvidenceAnchor = "evidence.anchor";
 }  // namespace evidence_kind
+
+/// A signed anchor over the evidence-chain head (DESIGN.md §13). In
+/// pipeline mode the coordinator periodically signs {index, record_hash}
+/// of the newest evidence record and appends the anchor to the chain
+/// itself, so an arbiter holding only the signer's public key can
+/// validate a whole anchored span offline — one signature check plus the
+/// (cheap) hash-chain walk, instead of trusting the unsigned chain.
+struct EvidenceAnchor {
+  /// Index of the covered (head) record — the anchor vouches for every
+  /// record up to and including this one.
+  std::uint64_t index = 0;
+  /// That record's chain hash (EvidenceRecord::record_hash).
+  crypto::Digest head_hash{};
+  /// Signer's RSA signature over signed_bytes().
+  Bytes signature;
+
+  /// Domain-separated bytes the signature covers.
+  Bytes signed_bytes() const;
+  Bytes encode() const;
+  static EvidenceAnchor decode(BytesView data);  // throws CodecError
+};
 
 /// Everything generated during one state-coordination run.
 struct RunTranscript {

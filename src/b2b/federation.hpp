@@ -118,6 +118,13 @@ class Federation {
     /// registers a lane-idle quiescence probe per party with the
     /// runtime, so settle() keeps meaning "nothing left to do anywhere".
     bool shard_lanes = true;
+    /// Run pipelining (DESIGN.md §13): enables propagate_batch at every
+    /// party, batched decide-signature verification with a verified-
+    /// signature cache, and periodic signed evidence-chain anchors.
+    bool pipeline = false;
+    /// Signed evidence-chain anchor cadence (records per anchor); 0
+    /// picks the default (8) when pipeline is on.
+    std::uint64_t evidence_anchor_interval = 0;
   };
 
   /// Create a federation of the named organisations.

@@ -15,6 +15,7 @@ constexpr std::uint8_t kTagMembershipProposal = 0x04;
 constexpr std::uint8_t kTagMembershipResponse = 0x05;
 constexpr std::uint8_t kTagConnectWelcome = 0x06;
 constexpr std::uint8_t kTagConnectReject = 0x07;
+constexpr std::uint8_t kTagBatchProposal = 0x08;
 
 void encode_party_list(wire::Encoder& enc, const std::vector<PartyId>& list) {
   enc.varint(list.size());
@@ -184,6 +185,114 @@ DecideMsg DecideMsg::decode(BytesView data) {
     msg.responses.push_back(RespondMsg::decode_from(dec));
   }
   msg.authenticator = dec.blob();
+  dec.expect_done();
+  return msg;
+}
+
+// --------------------------------------------------------------------------
+// Pipelined batches (DESIGN.md §13)
+// --------------------------------------------------------------------------
+
+void BatchItem::encode_into(wire::Encoder& enc) const {
+  enc.boolean(is_update).blob(payload);
+  proposed.encode_into(enc);
+}
+
+BatchItem BatchItem::decode_from(wire::Decoder& dec) {
+  BatchItem item;
+  item.is_update = dec.boolean();
+  item.payload = dec.blob();
+  item.proposed = StateTuple::decode_from(dec);
+  return item;
+}
+
+Bytes BatchItem::encode() const {
+  wire::Encoder enc;
+  encode_into(enc);
+  return std::move(enc).take();
+}
+
+crypto::Digest batch_chain_genesis(const ObjectId& object,
+                                   const StateTuple& agreed) {
+  wire::Encoder enc;
+  enc.str("b2b.batch.genesis").str(object.str());
+  agreed.encode_into(enc);
+  return crypto::Sha256::hash(std::move(enc).take());
+}
+
+crypto::Digest batch_chain_extend(const crypto::Digest& head,
+                                  const BatchItem& item) {
+  crypto::Sha256 hasher;
+  hasher.update(crypto::digest_bytes(head));
+  hasher.update(crypto::digest_bytes(crypto::Sha256::hash(item.encode())));
+  return hasher.finish();
+}
+
+crypto::Digest batch_chain_head(const ObjectId& object,
+                                const StateTuple& agreed,
+                                const std::vector<BatchItem>& items) {
+  crypto::Digest head = batch_chain_genesis(object, agreed);
+  for (const BatchItem& item : items) head = batch_chain_extend(head, item);
+  return head;
+}
+
+Bytes batch_proposal_signed_bytes(const Proposal& proposal) {
+  wire::Encoder enc;
+  enc.u8(kTagBatchProposal);
+  proposal.encode_into(enc);
+  return std::move(enc).take();
+}
+
+Bytes BatchProposeMsg::encode() const {
+  wire::Encoder enc;
+  proposal.encode_into(enc);
+  enc.varint(items.size());
+  for (const auto& item : items) item.encode_into(enc);
+  enc.blob(signature);
+  return std::move(enc).take();
+}
+
+BatchProposeMsg BatchProposeMsg::decode(BytesView data) {
+  wire::Decoder dec{data};
+  BatchProposeMsg msg;
+  msg.proposal = Proposal::decode_from(dec);
+  std::uint64_t n = dec.varint();
+  msg.items.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    msg.items.push_back(BatchItem::decode_from(dec));
+  }
+  msg.signature = dec.blob();
+  dec.expect_done();
+  return msg;
+}
+
+Bytes BatchDecideMsg::encode() const {
+  wire::Encoder enc;
+  enc.str(proposer.str()).str(object.str());
+  proposed.encode_into(enc);
+  enc.varint(responses.size());
+  for (const auto& r : responses) r.encode_into(enc);
+  enc.varint(authenticators.size());
+  for (const auto& a : authenticators) enc.blob(a);
+  return std::move(enc).take();
+}
+
+BatchDecideMsg BatchDecideMsg::decode(BytesView data) {
+  wire::Decoder dec{data};
+  BatchDecideMsg msg;
+  msg.proposer = PartyId{dec.str()};
+  msg.object = ObjectId{dec.str()};
+  msg.proposed = StateTuple::decode_from(dec);
+  std::uint64_t n = dec.varint();
+  msg.responses.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    msg.responses.push_back(RespondMsg::decode_from(dec));
+  }
+  std::uint64_t k = dec.varint();
+  msg.authenticators.reserve(k);
+  for (std::uint64_t i = 0; i < k; ++i) {
+    msg.authenticators.push_back(dec.blob());
+  }
   dec.expect_done();
   return msg;
 }

@@ -27,6 +27,10 @@ enum class MsgType : std::uint8_t {
   kPropose = 1,
   kRespond = 2,
   kDecide = 3,
+  // Pipelined runs (DESIGN.md §13): one signed proposal opens a hash-
+  // chained batch of K state changes; one decide closes all of them.
+  kBatchPropose = 4,
+  kBatchDecide = 5,
   kConnectRequest = 10,
   kMembershipPropose = 11,
   kMembershipRespond = 12,
@@ -138,6 +142,82 @@ struct DecideMsg {
   static DecideMsg decode(BytesView data);
 
   friend bool operator==(const DecideMsg&, const DecideMsg&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Pipelined runs (DESIGN.md §13): K state changes, one signature round
+// ---------------------------------------------------------------------------
+
+/// One member of a pipelined batch: a sub-proposal in the hash chain.
+/// `proposed` is the sub-tuple this item installs — sequence numbers are
+/// consecutive across the batch, and each rand_hash commits to its own
+/// authenticator, so installed tuples are bit-identical to the tuples K
+/// sequential runs would have produced.
+struct BatchItem {
+  bool is_update = false;
+  Bytes payload;        // full state (overwrite) or delta (update)
+  StateTuple proposed;  // sub-tuple installed by this item
+
+  void encode_into(wire::Encoder& enc) const;
+  static BatchItem decode_from(wire::Decoder& dec);
+  Bytes encode() const;
+
+  friend bool operator==(const BatchItem&, const BatchItem&) = default;
+};
+
+/// The batch hash chain. Its genesis binds the object and the agreed
+/// tuple the batch departs from; each item extends the head with the hash
+/// of its full encoding. The proposer signs ONE proposal core whose
+/// payload_hash is the final head — that single signature therefore
+/// attests to every item, in order, and to nothing else.
+crypto::Digest batch_chain_genesis(const ObjectId& object,
+                                   const StateTuple& agreed);
+crypto::Digest batch_chain_extend(const crypto::Digest& head,
+                                  const BatchItem& item);
+crypto::Digest batch_chain_head(const ObjectId& object,
+                                const StateTuple& agreed,
+                                const std::vector<BatchItem>& items);
+
+/// The signed core of a batch proposal is a regular Proposal — with
+/// `proposed` = the FINAL item's sub-tuple (which labels the run) and
+/// `payload_hash` = the batch chain head — but signed under its own
+/// domain tag so a batch signature can never be replayed as a plain
+/// single-run proposal or vice versa.
+Bytes batch_proposal_signed_bytes(const Proposal& proposal);
+
+/// Pipelined protocol message 1: one signed proposal carrying the whole
+/// batch. Responders validate the items in order against scratch state,
+/// recompute the chain head, and answer with a single standard RespondMsg
+/// whose payload_integrity echoes the head they computed.
+struct BatchProposeMsg {
+  Proposal proposal;             // proposed = final sub-tuple
+  std::vector<BatchItem> items;  // in application order
+  Bytes signature;               // over batch_proposal_signed_bytes()
+
+  Bytes encode() const;
+  static BatchProposeMsg decode(BytesView data);
+
+  friend bool operator==(const BatchProposeMsg&,
+                         const BatchProposeMsg&) = default;
+};
+
+/// Pipelined protocol message 3: closes the whole batch. Reveals EVERY
+/// item's authenticator (auth[i] is the preimage of item i's rand_hash;
+/// the final one is the preimage of the signed proposal's commitment), so
+/// a responder installs each sub-tuple only against its own revealed
+/// preimage — no sub-state can be forged by replaying a prefix.
+struct BatchDecideMsg {
+  PartyId proposer;
+  ObjectId object;
+  StateTuple proposed;  // final sub-tuple; identifies the run
+  std::vector<RespondMsg> responses;
+  std::vector<Bytes> authenticators;  // one per item, in order
+
+  Bytes encode() const;
+  static BatchDecideMsg decode(BytesView data);
+
+  friend bool operator==(const BatchDecideMsg&,
+                         const BatchDecideMsg&) = default;
 };
 
 // ---------------------------------------------------------------------------

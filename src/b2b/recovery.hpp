@@ -55,6 +55,18 @@
 //   kDealStaged            str(object) str(run label) str(deal id)
 //   kDealEnlisted          str(object) blob(DealEnlistMsg::encode)
 //
+// Pipelined batches (DESIGN.md §13) mirror the state-run taxonomy: the
+// batch proposer journals its whole run (items, ALL per-item
+// authenticators, recipients) before the propose leaves, the batch
+// decide before it is sent, and a responder journals the validated batch
+// (per-item scratch states included) before its single signed response
+// leaves. Responses reuse kResponseReceived; closes reuse
+// kProposerClosed / kResponderClosed (replay routes on the label).
+//   kBatchProposerRun      str(object) blob(BatchProposerRunRecord::encode)
+//   kBatchResponderRun     str(object) blob(BatchResponderRunRecord::encode)
+//   kBatchDecideSent       str(object) blob(BatchDecideMsg::encode)
+//   kBatchDecideDelivered  str(object) blob(BatchDecideMsg::encode)
+//
 // Append ordering under sharding (DESIGN.md §9): all shards feed ONE
 // journal stream, serialised by the coordinator's journal mutex, so
 // records from concurrent objects interleave but each object's records
@@ -105,6 +117,11 @@ inline constexpr std::uint8_t kDealTtpSubmitted = 27;
 inline constexpr std::uint8_t kDealVerdictDelivered = 28;
 inline constexpr std::uint8_t kDealStaged = 29;
 inline constexpr std::uint8_t kDealEnlisted = 30;
+// Pipelined batches (DESIGN.md §13), object-scoped.
+inline constexpr std::uint8_t kBatchProposerRun = 31;
+inline constexpr std::uint8_t kBatchResponderRun = 32;
+inline constexpr std::uint8_t kBatchDecideSent = 33;
+inline constexpr std::uint8_t kBatchDecideDelivered = 34;
 }  // namespace walrec
 
 /// Raised by an armed crash point to kill a coordinator mid-operation.

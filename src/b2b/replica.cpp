@@ -110,10 +110,14 @@ void Replica::arm_run_probe(const std::string& label, bool as_proposer,
           // Re-drive recipients whose responses are still missing: either
           // our propose or their response was acked-then-lost in a crash
           // window, and retransmission alone cannot recover an acked frame.
-          Bytes encoded = proposer_run_->propose.encode();
+          const bool batch = proposer_run_->batch.has_value();
+          Bytes encoded = batch ? proposer_run_->batch->propose.encode()
+                                : proposer_run_->propose.encode();
           for (const PartyId& recipient : proposer_run_->recipients) {
             if (!proposer_run_->responses.contains(recipient)) {
-              send_envelope(recipient, MsgType::kPropose, encoded);
+              send_envelope(recipient,
+                            batch ? MsgType::kBatchPropose : MsgType::kPropose,
+                            encoded);
             }
           }
         } else {
@@ -187,7 +191,7 @@ bool Replica::is_member(const PartyId& party) const {
 }
 
 void Replica::install_agreed_state(const StateTuple& tuple, Bytes state,
-                                   bool apply_to_object) {
+                                   bool apply_to_object, bool bookkeep) {
   if (agreed_tuple_ == tuple && agreed_state_ == state) {
     // Recovery redo of an already-installed state: installation is
     // idempotent, so neither checkpoint nor evidence is duplicated.
@@ -197,6 +201,7 @@ void Replica::install_agreed_state(const StateTuple& tuple, Bytes state,
   agreed_tuple_ = tuple;
   agreed_state_ = std::move(state);
   if (apply_to_object) impl_.apply_state(agreed_state_);
+  if (!bookkeep) return;
   checkpoints_.put(object_,
                    store::Checkpoint{tuple.sequence, tuple.encode(),
                                      agreed_state_, callbacks_.now()});
@@ -503,6 +508,65 @@ Replica::SubjectRequestRecord Replica::SubjectRequestRecord::decode(
   return record;
 }
 
+Bytes Replica::BatchProposerRunRecord::encode() const {
+  wire::Encoder enc;
+  enc.blob(propose.encode());
+  enc.varint(authenticators.size());
+  for (const Bytes& authenticator : authenticators) enc.blob(authenticator);
+  enc.varint(states.size());
+  for (const Bytes& state : states) enc.blob(state);
+  enc.varint(recipients.size());
+  for (const PartyId& recipient : recipients) enc.str(recipient.str());
+  return std::move(enc).take();
+}
+
+Replica::BatchProposerRunRecord Replica::BatchProposerRunRecord::decode(
+    BytesView data) {
+  wire::Decoder dec{data};
+  BatchProposerRunRecord record;
+  record.propose = BatchProposeMsg::decode(dec.blob());
+  std::uint64_t n = dec.varint();
+  record.authenticators.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) record.authenticators.push_back(dec.blob());
+  n = dec.varint();
+  record.states.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) record.states.push_back(dec.blob());
+  n = dec.varint();
+  record.recipients.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) record.recipients.emplace_back(dec.str());
+  dec.expect_done();
+  return record;
+}
+
+Bytes Replica::BatchResponderRunRecord::encode() const {
+  wire::Encoder enc;
+  enc.blob(propose.encode());
+  enc.varint(pending_states.size());
+  for (const Bytes& state : pending_states) enc.blob(state);
+  enc.blob(my_response.encode());
+  enc.varint(members_at_response.size());
+  for (const PartyId& member : members_at_response) enc.str(member.str());
+  return std::move(enc).take();
+}
+
+Replica::BatchResponderRunRecord Replica::BatchResponderRunRecord::decode(
+    BytesView data) {
+  wire::Decoder dec{data};
+  BatchResponderRunRecord record;
+  record.propose = BatchProposeMsg::decode(dec.blob());
+  std::uint64_t n = dec.varint();
+  record.pending_states.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) record.pending_states.push_back(dec.blob());
+  record.my_response = RespondMsg::decode(dec.blob());
+  n = dec.varint();
+  record.members_at_response.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    record.members_at_response.emplace_back(dec.str());
+  }
+  dec.expect_done();
+  return record;
+}
+
 void Replica::restore_recovered(const RecoveredObjectState& recovered) {
   if (recovered.snapshot.has_value()) {
     const ReplicaSnapshot& snap = *recovered.snapshot;
@@ -545,6 +609,44 @@ void Replica::restore_recovered(const RecoveredObjectState& recovered) {
     proposer_run_ = std::move(run);
     recovered_decide_ = recovered.proposer_decide;
   }
+
+  if (recovered.batch_proposer_run.has_value()) {
+    // At most one proposer run (batch or plain) is open at a time; the
+    // journal replay guarantees mutual exclusion via kProposerClosed.
+    const BatchProposerRunRecord& record = *recovered.batch_proposer_run;
+    ProposerRun run;
+    run.propose.proposal = record.propose.proposal;
+    run.propose.signature = record.propose.signature;
+    run.recipients = record.recipients;
+    run.result = std::make_shared<RunResult>();
+    run.batch = BatchProposerState{record.propose, record.authenticators,
+                                   record.states};
+    for (const RespondMsg& resp : recovered.proposer_responses) {
+      run.responses.emplace(resp.response.responder, resp);
+    }
+    // Invariant 2: the object holds the batch's final proposed state.
+    if (connected_ && !record.states.empty()) {
+      impl_.apply_state(record.states.back());
+    }
+    proposer_run_ = std::move(run);
+    recovered_batch_decide_ = recovered.batch_proposer_decide;
+  }
+
+  for (const auto& [label, record] : recovered.batch_responder_runs) {
+    ResponderRun run;
+    run.propose.proposal = record.propose.proposal;
+    run.propose.signature = record.propose.signature;
+    if (!record.pending_states.empty()) {
+      run.pending_state = record.pending_states.back();
+    }
+    run.my_response = record.my_response;
+    run.my_decision = record.my_response.response.decision;
+    run.members_at_response = record.members_at_response;
+    run.batch = BatchResponderState{record.propose, record.pending_states};
+    if (run.my_decision.accept) accept_lock_ = label;
+    responder_runs_.emplace(label, std::move(run));
+  }
+  pending_redo_batch_decides_ = recovered.batch_responder_decides;
 
   for (const auto& [label, encoded] : recovered.deal_enlists) {
     try {
@@ -604,8 +706,49 @@ std::vector<RunHandle> Replica::resume_recovered_runs() {
   }
   pending_redo_decides_.clear();
 
+  // Batch-responder redo, same discipline: a batch decide journaled as
+  // delivered is concluded again (per-item installation is idempotent).
+  for (auto& [label, decide] : pending_redo_batch_decides_) {
+    auto it = responder_runs_.find(label);
+    if (it == responder_runs_.end()) continue;
+    ResponderRun run = std::move(it->second);
+    responder_runs_.erase(it);
+    conclude_batch_responder_run(label, std::move(run), decide,
+                                 decide.proposer);
+  }
+  pending_redo_batch_decides_.clear();
+
+  // Batch proposer side (DESIGN.md §13): a half-decided batch finishes to
+  // the journaled outcome — the journaled batch decide carries the exact
+  // response set our previous incarnation decided from.
+  if (proposer_run_.has_value() && proposer_run_->batch.has_value()) {
+    handles.push_back(proposer_run_->result);
+    const std::string label =
+        proposer_run_->propose.proposal.proposed.label();
+    if (recovered_batch_decide_.has_value()) {
+      BatchDecideMsg decide = std::move(*recovered_batch_decide_);
+      recovered_batch_decide_.reset();
+      proposer_run_->responses.clear();
+      for (const RespondMsg& resp : decide.responses) {
+        proposer_run_->responses.emplace(resp.response.responder, resp);
+      }
+      finish_batch_run_as_proposer();
+    } else if (proposer_run_->responses.size() ==
+               proposer_run_->recipients.size()) {
+      finish_batch_run_as_proposer();
+    } else {
+      Bytes encoded = proposer_run_->batch->propose.encode();
+      for (const PartyId& recipient : proposer_run_->recipients) {
+        if (!proposer_run_->responses.contains(recipient)) {
+          send_envelope(recipient, MsgType::kBatchPropose, encoded);
+        }
+      }
+      arm_run_probe(label, /*as_proposer=*/true, 1);
+    }
+  }
+
   // Proposer side.
-  if (proposer_run_.has_value()) {
+  if (proposer_run_.has_value() && !proposer_run_->batch.has_value()) {
     handles.push_back(proposer_run_->result);
     const std::string label =
         proposer_run_->propose.proposal.proposed.label();
@@ -699,6 +842,12 @@ void Replica::handle(const PartyId& from, const Envelope& envelope) {
         break;
       case MsgType::kDecide:
         handle_decide(from, envelope.body);
+        break;
+      case MsgType::kBatchPropose:
+        handle_batch_propose(from, envelope.body);
+        break;
+      case MsgType::kBatchDecide:
+        handle_batch_decide(from, envelope.body);
         break;
       case MsgType::kConnectRequest:
         handle_connect_request(from, envelope.body);
@@ -865,6 +1014,7 @@ void Replica::handle_respond(const PartyId& from, const Bytes& body) {
       // Aborted deal legs have no decide — re-answer with the stored
       // signed deal decision instead.
       if (maybe_resend_decide(stray_label, from)) return;
+      if (maybe_resend_batch_decide(stray_label, from)) return;
       if (maybe_resend_deal_decision(stray_label, from)) return;
       record_anomaly("response for closed run " + stray_label, from);
       return;
@@ -931,6 +1081,8 @@ void Replica::handle_respond(const PartyId& from, const Bytes& body) {
       if (deal_hooks_.on_leg_prepared) {
         deal_hooks_.on_leg_prepared(object_, label, all_accept, vetoers);
       }
+    } else if (run.batch.has_value()) {
+      finish_batch_run_as_proposer();
     } else {
       finish_state_run_as_proposer();
     }
@@ -1235,6 +1387,13 @@ void Replica::handle_decide(const PartyId& from, const Bytes& body) {
   }
   ResponderRun& run = it->second;
   const Proposal& prop = run.propose.proposal;
+  if (run.batch.has_value()) {
+    // A pipelined batch concludes only via kBatchDecide (which reveals
+    // every per-item authenticator); a plain decide cannot authenticate
+    // the intermediate items and would install a hole in the sequence.
+    record_violation("plain decide for pipelined batch run " + label, from);
+    return;
+  }
   if (msg.proposer != prop.proposer || from != prop.proposer) {
     record_violation("decide not from the proposer", from);
     return;
@@ -1360,6 +1519,662 @@ void Replica::conclude_responder_run(const std::string& label,
   journal_run_closed(walrec::kResponderClosed, label);
   hit_crash_point("decide-recv.installed");
   drain_deferred_membership();
+}
+
+// ---------------------------------------------------------------------------
+// Pipelined batches (DESIGN.md §13): K state changes, one signature each way
+// ---------------------------------------------------------------------------
+
+RunHandle Replica::propose_batch(std::vector<BatchOp> ops) {
+  auto handle = std::make_shared<RunResult>();
+  if (!connected_) {
+    complete(handle, RunResult::Outcome::kAborted, "not connected", {}, 0, "");
+    return handle;
+  }
+  if (ops.empty()) {
+    complete(handle, RunResult::Outcome::kAborted, "empty batch", {}, 0, "");
+    return handle;
+  }
+  if (busy()) {
+    complete(handle, RunResult::Outcome::kAborted,
+             "busy: another coordination run is active", {}, 0, "");
+    return handle;
+  }
+
+  // Build the hash-chained item list, drawing one 32-byte authenticator
+  // per item in exactly the order K sequential runs would draw them (the
+  // bit-for-bit tuple-equivalence guarantee the pipeline battery pins).
+  const std::uint64_t seq_base = next_sequence();
+  ProposerRun run;
+  run.batch.emplace();
+  BatchProposerState& batch = *run.batch;
+  crypto::Digest prev_state_hash = agreed_tuple_.state_hash;
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    BatchOp& op = ops[i];
+    crypto::Digest state_hash =
+        crypto::Sha256::hash(op.is_update ? op.new_state : op.payload);
+    if (!op.is_update && state_hash == prev_state_hash) {
+      complete(handle, RunResult::Outcome::kAborted,
+               "null state transition in batch", {}, 0, "");
+      return handle;
+    }
+    Bytes authenticator = fresh_random();
+    BatchItem item;
+    item.is_update = op.is_update;
+    item.payload = std::move(op.payload);
+    item.proposed = StateTuple{seq_base + i,
+                               crypto::Sha256::hash(authenticator),
+                               state_hash};
+    batch.states.push_back(op.is_update ? std::move(op.new_state)
+                                        : item.payload);
+    batch.propose.items.push_back(std::move(item));
+    batch.authenticators.push_back(std::move(authenticator));
+    prev_state_hash = state_hash;
+  }
+
+  Proposal& prop = run.propose.proposal;
+  prop.proposer = self_;
+  prop.object = object_;
+  prop.group = group_tuple_;
+  prop.agreed = agreed_tuple_;
+  prop.proposed = batch.propose.items.back().proposed;
+  // A batch is a composite delta; only batch-aware paths process it, so
+  // the overwrite/update flag is informational.
+  prop.is_update = true;
+  prop.payload_hash =
+      batch_chain_head(object_, agreed_tuple_, batch.propose.items);
+  batch.propose.proposal = prop;
+  hit_crash_point("batch-open.pre-journal");
+  // ONE signature covers the chain head and therefore every item.
+  batch.propose.signature = key_.sign(batch_proposal_signed_bytes(prop));
+  run.propose.signature = batch.propose.signature;
+  hit_crash_point("batch-chain-head.signed");
+
+  note_sequence(prop.proposed.sequence);
+  const std::string label = prop.proposed.label();
+  for (const BatchItem& item : batch.propose.items) {
+    seen_run_labels_.insert(item.proposed.label());
+  }
+  run.result = handle;
+  for (const PartyId& member : members_) {
+    if (member != self_) run.recipients.push_back(member);
+  }
+
+  Bytes encoded = batch.propose.encode();
+  if (journaling()) {
+    BatchProposerRunRecord record{batch.propose, batch.authenticators,
+                                  batch.states, run.recipients};
+    wire::Encoder enc;
+    enc.blob(record.encode());
+    journal_record(walrec::kBatchProposerRun, std::move(enc).take());
+  }
+  callbacks_.record_evidence(evidence_kind::kBatchProposeSent, encoded);
+  journal_barrier();
+  hit_crash_point("batch-open.journaled");
+
+  // Invariant 2: the proposer's object holds the proposed (final) state
+  // while the run is open.
+  impl_.apply_state(batch.states.back());
+
+  if (run.recipients.empty()) {
+    // Singleton group: trivially unanimous — install every item in order
+    // (only the final item carries the batch's bookkeeping).
+    for (std::size_t i = 0; i < batch.propose.items.size(); ++i) {
+      install_agreed_state(batch.propose.items[i].proposed, batch.states[i],
+                           /*apply_to_object=*/false,
+                           /*bookkeep=*/i + 1 == batch.propose.items.size());
+    }
+    journal_run_closed(walrec::kProposerClosed, label);
+    complete(handle, RunResult::Outcome::kAgreed, "", {},
+             prop.proposed.sequence, label);
+    return handle;
+  }
+
+  bool first_send = true;
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "batch-propose", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kBatchPropose, encoded);
+    if (first_send) {
+      first_send = false;
+      hit_crash_point("batch-open.mid-send");
+    }
+  }
+  proposer_run_ = std::move(run);
+  arm_run_probe(label, /*as_proposer=*/true, 1);
+  hit_crash_point("batch-open.sent");
+  return handle;
+}
+
+void Replica::finish_batch_run_as_proposer() {
+  ProposerRun run = std::move(*proposer_run_);
+  proposer_run_.reset();
+  BatchProposerState& batch = *run.batch;
+  const Proposal& prop = run.propose.proposal;
+  const std::string label = prop.proposed.label();
+
+  BatchDecideMsg decide;
+  decide.proposer = self_;
+  decide.object = object_;
+  decide.proposed = prop.proposed;
+  decide.authenticators = batch.authenticators;
+  std::vector<PartyId> vetoers;
+  std::string first_diagnostic;
+  std::size_t consistent_accepts = 0;
+  for (const PartyId& recipient : run.recipients) {
+    const RespondMsg& resp = run.responses.at(recipient);
+    decide.responses.push_back(resp);
+    const Response& r = resp.response;
+    if (!r.decision.accept) {
+      vetoers.push_back(recipient);
+      if (first_diagnostic.empty()) first_diagnostic = r.decision.diagnostic;
+    } else if (r.agreed_view != prop.agreed || r.current_view != prop.agreed ||
+               r.group_view != prop.group ||
+               r.payload_integrity != prop.payload_hash) {
+      record_violation("inconsistent accept response", recipient);
+      vetoers.push_back(recipient);
+      if (first_diagnostic.empty()) {
+        first_diagnostic =
+            "inconsistent accept response from " + recipient.str();
+      }
+    } else {
+      ++consistent_accepts;
+    }
+  }
+  bool agreed = group_accepts(consistent_accepts, run.recipients.size());
+
+  Bytes encoded = decide.encode();
+  hit_crash_point("batch-decide.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(encoded);
+    journal_record(walrec::kBatchDecideSent, std::move(enc).take());
+  }
+  callbacks_.record_evidence(evidence_kind::kBatchDecideSent, encoded);
+  journal_barrier();
+  hit_crash_point("batch-decide.journaled");
+  bool first_send = true;
+  for (const PartyId& recipient : run.recipients) {
+    messages_.add(label, {"sent", "batch-decide", recipient.str(), encoded});
+    send_envelope(recipient, MsgType::kBatchDecide, encoded);
+    if (first_send) {
+      first_send = false;
+      hit_crash_point("batch-decide.mid-send");
+    }
+  }
+  hit_crash_point("batch-decide.sent");
+
+  CoordEvent event;
+  event.object = object_;
+  event.party = self_;
+  if (agreed) {
+    // Install every item in order; only the final item checkpoints,
+    // records kStateInstalled evidence and journals a snapshot. The
+    // intermediate bookkeeping K sequential runs would have written is
+    // subsumed by the final item's (and the batch decide evidence holds
+    // every item tuple); skipping it keeps per-item cost free of the
+    // TSS-stamp RSA work. The object already holds the final state
+    // (invariant 2).
+    for (std::size_t i = 0; i < batch.propose.items.size(); ++i) {
+      install_agreed_state(batch.propose.items[i].proposed, batch.states[i],
+                           /*apply_to_object=*/false,
+                           /*bookkeep=*/i + 1 == batch.propose.items.size());
+      event.kind = CoordEvent::Kind::kStateAgreed;
+      event.sequence = batch.propose.items[i].proposed.sequence;
+      impl_.coord_callback(event);
+      if (callbacks_.notify) callbacks_.notify(event);
+    }
+    complete(run.result, RunResult::Outcome::kAgreed, "", std::move(vetoers),
+             prop.proposed.sequence, label);
+  } else {
+    impl_.apply_state(agreed_state_);
+    callbacks_.record_evidence(evidence_kind::kStateRolledBack,
+                               prop.proposed.encode());
+    event.kind = CoordEvent::Kind::kStateVetoed;
+    event.sequence = prop.proposed.sequence;
+    event.detail = first_diagnostic;
+    impl_.coord_callback(event);
+    if (callbacks_.notify) callbacks_.notify(event);
+    complete(run.result, RunResult::Outcome::kVetoed, first_diagnostic,
+             std::move(vetoers), prop.proposed.sequence, label);
+  }
+  journal_run_closed(walrec::kProposerClosed, label);
+  hit_crash_point("batch-decide.installed");
+  drain_deferred_membership();
+}
+
+void Replica::handle_batch_propose(const PartyId& from, const Bytes& body) {
+  BatchProposeMsg msg = BatchProposeMsg::decode(body);
+  const Proposal& prop = msg.proposal;
+
+  if (prop.proposer != from) {
+    record_violation("batch proposal sender does not match proposer field",
+                     from);
+    return;
+  }
+  const crypto::RsaPublicKey* pub = callbacks_.key_of(from);
+  if (pub == nullptr ||
+      !pub->verify(batch_proposal_signed_bytes(prop), msg.signature)) {
+    record_violation("bad signature on batch proposal", from);
+    return;
+  }
+  if (msg.items.empty() || !(msg.items.back().proposed == prop.proposed)) {
+    record_violation("batch proposal items inconsistent with head tuple",
+                     from);
+    return;
+  }
+  if (!is_member(from) || !connected_) {
+    if (!is_member(from)) {
+      record_anomaly("batch proposal from non-member", from);
+    }
+    Response stale;
+    stale.responder = self_;
+    stale.object = object_;
+    stale.proposed = prop.proposed;
+    stale.agreed_view = agreed_tuple_;
+    stale.current_view = agreed_tuple_;
+    stale.group_view = group_tuple_;
+    stale.payload_integrity = batch_chain_head(object_, prop.agreed, msg.items);
+    stale.decision = Decision::rejected(
+        connected_ ? "inconsistent group view"
+                   : "recipient has disconnected from this group");
+    RespondMsg out;
+    out.response = stale;
+    out.signature = key_.sign(stale.signed_bytes());
+    callbacks_.record_evidence(evidence_kind::kRespondSent, out.encode());
+    send_envelope(from, MsgType::kRespond, out.encode());
+    return;
+  }
+  if (prop.object != object_) {
+    record_violation("batch proposal for wrong object", from);
+    return;
+  }
+  const std::string label = prop.proposed.label();
+  if (seen_run_labels_.contains(label)) {
+    if (journaling()) {
+      auto it = responder_runs_.find(label);
+      if (it != responder_runs_.end() &&
+          it->second.propose.proposal.proposer == from) {
+        record_anomaly("duplicate batch proposal re-answered " + label, from);
+        send_envelope(from, MsgType::kRespond,
+                      it->second.my_response.encode());
+        return;
+      }
+      if (it == responder_runs_.end()) {
+        record_anomaly("duplicate batch proposal for closed run " + label,
+                       from);
+        return;
+      }
+    }
+    record_violation("replayed batch proposal " + label, from);
+    return;
+  }
+  for (const BatchItem& item : msg.items) {
+    seen_run_labels_.insert(item.proposed.label());
+  }
+  note_sequence(prop.proposed.sequence);
+  callbacks_.record_evidence(evidence_kind::kBatchProposeReceived,
+                             msg.encode());
+  messages_.add(label, {"received", "batch-propose", from.str(), body});
+
+  // Integrity first: the single signature covers the chain head, so a
+  // mutated/reordered/dropped item breaks the recomputed head.
+  const crypto::Digest recomputed_head =
+      batch_chain_head(object_, prop.agreed, msg.items);
+  std::vector<Bytes> pending_states;
+  Decision decision = [&]() -> Decision {
+    if (recomputed_head != prop.payload_hash) {
+      record_violation("batch payload does not match signed chain head",
+                       prop.proposer);
+      return Decision::rejected("batch payload integrity failure");
+    }
+    if (prop.group != group_tuple_) {
+      return Decision::rejected("inconsistent group view");
+    }
+    if (prop.agreed != agreed_tuple_) {
+      return Decision::rejected("inconsistent agreed-state view");
+    }
+    for (std::size_t i = 0; i < msg.items.size(); ++i) {
+      if (msg.items[i].proposed.sequence != prop.agreed.sequence + 1 + i) {
+        record_violation("batch sequence numbers not consecutive",
+                         prop.proposer);
+        return Decision::rejected("batch sequence numbers not consecutive");
+      }
+    }
+    if (busy()) {
+      return Decision::rejected("busy: concurrent coordination in progress");
+    }
+    // Validate the items sequentially on a scratch incarnation: item i is
+    // validated against the state item i-1 produced, exactly as i
+    // sequential runs would validate them.
+    Bytes snapshot = impl_.get_state();
+    crypto::Digest prev_hash = agreed_tuple_.state_hash;
+    impl_.apply_state(agreed_state_);
+    for (std::size_t i = 0; i < msg.items.size(); ++i) {
+      const BatchItem& item = msg.items[i];
+      ValidationContext ctx;
+      ctx.local_party = self_;
+      ctx.proposer = prop.proposer;
+      ctx.object = object_;
+      ctx.sequence = item.proposed.sequence;
+      Bytes resulting;
+      if (item.is_update) {
+        try {
+          impl_.apply_update(item.payload);
+          resulting = impl_.get_state();
+        } catch (const std::exception& e) {
+          impl_.apply_state(snapshot);
+          return Decision::rejected(
+              std::string("batch update not applicable: ") + e.what());
+        }
+        if (crypto::Sha256::hash(resulting) != item.proposed.state_hash) {
+          impl_.apply_state(snapshot);
+          record_violation("batch item does not yield the proposed state",
+                           prop.proposer);
+          return Decision::rejected(
+              "batch item does not yield the proposed state");
+        }
+        Decision verdict = impl_.validate_update(item.payload, resulting, ctx);
+        if (!verdict.accept) {
+          impl_.apply_state(snapshot);
+          return verdict;
+        }
+      } else {
+        if (item.proposed.state_hash != crypto::Sha256::hash(item.payload)) {
+          impl_.apply_state(snapshot);
+          record_violation("batch overwrite item internally inconsistent",
+                           prop.proposer);
+          return Decision::rejected("batch item internally inconsistent");
+        }
+        if (item.proposed.state_hash == prev_hash) {
+          impl_.apply_state(snapshot);
+          return Decision::rejected("null state transition in batch");
+        }
+        Decision verdict = impl_.validate_state(item.payload, ctx);
+        if (!verdict.accept) {
+          impl_.apply_state(snapshot);
+          return verdict;
+        }
+        resulting = item.payload;
+        impl_.apply_state(resulting);
+      }
+      pending_states.push_back(std::move(resulting));
+      prev_hash = item.proposed.state_hash;
+      if (i == 0) hit_crash_point("batch-respond.mid");
+    }
+    impl_.apply_state(snapshot);
+    return Decision::accepted();
+  }();
+  if (!decision.accept) pending_states.clear();
+
+  Response resp;
+  resp.responder = self_;
+  resp.object = object_;
+  resp.proposed = prop.proposed;
+  resp.agreed_view = agreed_tuple_;
+  resp.current_view = proposer_run_.has_value()
+                          ? proposer_run_->propose.proposal.proposed
+                          : agreed_tuple_;
+  resp.group_view = group_tuple_;
+  resp.payload_integrity = recomputed_head;
+  resp.decision = decision;
+
+  // ONE standard signed response answers the whole batch.
+  RespondMsg out;
+  out.response = resp;
+  out.signature = key_.sign(resp.signed_bytes());
+
+  ResponderRun run;
+  run.propose.proposal = prop;
+  run.propose.signature = msg.signature;
+  if (!pending_states.empty()) run.pending_state = pending_states.back();
+  run.my_decision = decision;
+  run.my_response = out;
+  run.members_at_response = members_;
+  run.batch = BatchResponderState{std::move(msg), std::move(pending_states)};
+
+  Bytes encoded = out.encode();
+  if (journaling()) {
+    BatchResponderRunRecord record{run.batch->propose,
+                                   run.batch->pending_states,
+                                   run.my_response, run.members_at_response};
+    wire::Encoder enc;
+    enc.blob(record.encode());
+    journal_record(walrec::kBatchResponderRun, std::move(enc).take());
+  }
+  responder_runs_.emplace(label, std::move(run));
+  if (decision.accept) accept_lock_ = label;
+
+  callbacks_.record_evidence(evidence_kind::kRespondSent, encoded);
+  messages_.add(label, {"sent", "respond", from.str(), encoded});
+  journal_barrier();
+  hit_crash_point("batch-respond.journaled");
+  send_envelope(from, MsgType::kRespond, encoded);
+  arm_run_probe(label, /*as_proposer=*/false, 1);
+  hit_crash_point("batch-respond.sent");
+}
+
+void Replica::handle_batch_decide(const PartyId& from, const Bytes& body) {
+  if (!connected_) return;
+  BatchDecideMsg msg = BatchDecideMsg::decode(body);
+  const std::string label = msg.proposed.label();
+
+  auto it = responder_runs_.find(label);
+  if (it == responder_runs_.end()) {
+    record_anomaly("batch decide for unknown or finished run " + label, from);
+    return;
+  }
+  ResponderRun& run = it->second;
+  if (!run.batch.has_value()) {
+    record_violation("batch decide for non-batch run " + label, from);
+    return;
+  }
+  const Proposal& prop = run.propose.proposal;
+  if (msg.proposer != prop.proposer || from != prop.proposer) {
+    record_violation("batch decide not from the proposer", from);
+    return;
+  }
+  // EVERY per-item authenticator must be revealed and check out: the
+  // intermediate tuples are installed on their strength alone.
+  const std::vector<BatchItem>& items = run.batch->propose.items;
+  if (msg.authenticators.size() != items.size()) {
+    record_violation("batch decide authenticator count mismatch", from);
+    return;
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (crypto::Sha256::hash(msg.authenticators[i]) !=
+        items[i].proposed.rand_hash) {
+      record_violation("batch decide authenticator mismatch (forgery)", from);
+      return;
+    }
+  }
+  hit_crash_point("batch-decide-recv.pre-journal");
+  if (journaling()) {
+    wire::Encoder enc;
+    enc.blob(msg.encode());
+    journal_record(walrec::kBatchDecideDelivered, std::move(enc).take());
+  }
+  callbacks_.record_evidence(evidence_kind::kBatchDecideReceived,
+                             msg.encode());
+  messages_.add(label, {"received", "batch-decide", from.str(), body});
+  journal_barrier();
+  hit_crash_point("batch-decide-recv.journaled");
+
+  ResponderRun finished = std::move(it->second);
+  responder_runs_.erase(it);
+  conclude_batch_responder_run(label, std::move(finished), msg, from);
+}
+
+void Replica::conclude_batch_responder_run(const std::string& label,
+                                           ResponderRun run,
+                                           const BatchDecideMsg& msg,
+                                           const PartyId& from) {
+  const Proposal& prop = run.propose.proposal;
+  const std::vector<BatchItem>& items = run.batch->propose.items;
+
+  // Signature pass first, in bulk: the coordinator's verify_many backs
+  // this with batch verification + the verified-signature cache, so a
+  // batch decide costs one screened RSA pass, and a retransmitted decide
+  // costs none.
+  std::vector<bool> sig_ok(msg.responses.size(), false);
+  if (callbacks_.verify_many) {
+    std::vector<VerifyJob> jobs;
+    jobs.reserve(msg.responses.size());
+    for (const RespondMsg& resp_msg : msg.responses) {
+      jobs.push_back(VerifyJob{resp_msg.response.responder,
+                               resp_msg.response.signed_bytes(),
+                               resp_msg.signature});
+    }
+    sig_ok = callbacks_.verify_many(jobs);
+  } else {
+    for (std::size_t i = 0; i < msg.responses.size(); ++i) {
+      const RespondMsg& resp_msg = msg.responses[i];
+      const crypto::RsaPublicKey* pub =
+          callbacks_.key_of(resp_msg.response.responder);
+      sig_ok[i] = pub != nullptr && pub->verify(resp_msg.response.signed_bytes(),
+                                                resp_msg.signature);
+    }
+  }
+
+  bool intact = true;
+  std::size_t consistent_accepts = 0;
+  std::size_t expected_recipients = 0;
+  std::set<PartyId> responders;
+  for (std::size_t i = 0; i < msg.responses.size(); ++i) {
+    const RespondMsg& resp_msg = msg.responses[i];
+    const Response& resp = resp_msg.response;
+    if (!sig_ok[i]) {
+      record_violation("batch decide aggregates badly signed response from " +
+                           resp.responder.str(),
+                       from);
+      intact = false;
+      continue;
+    }
+    if (resp.proposed != prop.proposed) {
+      record_violation("batch decide aggregates response from another run",
+                       from);
+      intact = false;
+      continue;
+    }
+    if (!responders.insert(resp.responder).second) continue;  // duplicate
+    if (resp.decision.accept && resp.agreed_view == prop.agreed &&
+        resp.current_view == prop.agreed && resp.group_view == prop.group &&
+        resp.payload_integrity == prop.payload_hash) {
+      ++consistent_accepts;
+    }
+    if (resp.responder == self_ && !(resp_msg == run.my_response)) {
+      record_violation("own response misrepresented in batch decide", from);
+      intact = false;
+    }
+  }
+  bool any_reject = false;
+  for (const RespondMsg& resp_msg : msg.responses) {
+    if (!resp_msg.response.decision.accept) any_reject = true;
+  }
+  for (const PartyId& member : run.members_at_response) {
+    if (member == prop.proposer) continue;
+    ++expected_recipients;
+    if (!responders.contains(member)) {
+      if (any_reject) {
+        record_anomaly("batch decide lacks response from " + member.str(),
+                       from);
+      } else {
+        record_violation("batch decide omits response from " + member.str(),
+                         from);
+      }
+      intact = false;
+    }
+  }
+
+  bool agreed = intact && !msg.responses.empty() &&
+                group_accepts(consistent_accepts, expected_recipients);
+
+  CoordEvent event;
+  event.object = object_;
+  event.party = prop.proposer;
+  if (agreed) {
+    std::optional<std::vector<Bytes>> to_install;
+    if (run.my_decision.accept &&
+        run.batch->pending_states.size() == items.size()) {
+      to_install = std::move(run.batch->pending_states);
+    } else {
+      // Majority rule overrode our veto: re-derive every item state from
+      // the payloads we hold, confirming each hash.
+      to_install = derive_batch_agreed_states(run);
+    }
+    if (to_install.has_value()) {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        install_agreed_state(items[i].proposed, std::move((*to_install)[i]),
+                             /*apply_to_object=*/true,
+                             /*bookkeep=*/i + 1 == items.size());
+        event.kind = CoordEvent::Kind::kStateInstalled;
+        event.sequence = items[i].proposed.sequence;
+        impl_.coord_callback(event);
+        if (callbacks_.notify) callbacks_.notify(event);
+      }
+    } else {
+      callbacks_.record_evidence("state.transfer-required",
+                                 prop.proposed.encode());
+      B2B_WARN(self_, " cannot materialise agreed batch states for run ",
+               label);
+    }
+  } else {
+    event.kind = CoordEvent::Kind::kStateVetoed;
+    event.sequence = prop.proposed.sequence;
+    impl_.coord_callback(event);
+    if (callbacks_.notify) callbacks_.notify(event);
+  }
+
+  if (accept_lock_ == label) accept_lock_.reset();
+  journal_run_closed(walrec::kResponderClosed, label);
+  hit_crash_point("batch-decide-recv.installed");
+  drain_deferred_membership();
+}
+
+std::optional<std::vector<Bytes>> Replica::derive_batch_agreed_states(
+    ResponderRun& run) {
+  const std::vector<BatchItem>& items = run.batch->propose.items;
+  std::vector<Bytes> states;
+  states.reserve(items.size());
+  Bytes snapshot = impl_.get_state();
+  try {
+    impl_.apply_state(agreed_state_);
+    for (const BatchItem& item : items) {
+      if (item.is_update) {
+        impl_.apply_update(item.payload);
+        Bytes result = impl_.get_state();
+        if (crypto::Sha256::hash(result) != item.proposed.state_hash) {
+          impl_.apply_state(snapshot);
+          return std::nullopt;
+        }
+        states.push_back(std::move(result));
+      } else {
+        if (crypto::Sha256::hash(item.payload) != item.proposed.state_hash) {
+          impl_.apply_state(snapshot);
+          return std::nullopt;
+        }
+        impl_.apply_state(item.payload);
+        states.push_back(item.payload);
+      }
+    }
+    impl_.apply_state(snapshot);
+    return states;
+  } catch (const std::exception&) {
+    impl_.apply_state(snapshot);
+    return std::nullopt;
+  }
+}
+
+bool Replica::maybe_resend_batch_decide(const std::string& label,
+                                        const PartyId& to) {
+  if (!journaling()) return false;
+  for (const auto& stored : messages_.run(label)) {
+    if (stored.direction == "sent" && stored.kind == "batch-decide") {
+      record_anomaly("re-sent batch decide of closed run " + label, to);
+      send_envelope(to, MsgType::kBatchDecide, stored.payload);
+      return true;
+    }
+  }
+  return false;
 }
 
 // ---------------------------------------------------------------------------

@@ -149,6 +149,15 @@ class BoundedNonceSet {
   std::deque<std::string> order_;
 };
 
+/// One signature check in a bulk verification request (see
+/// Replica::Callbacks::verify_many): resolve `signer`'s public key and
+/// verify `signature` over `message`.
+struct VerifyJob {
+  PartyId signer;
+  Bytes message;
+  Bytes signature;
+};
+
 class Replica {
  public:
   /// Everything the replica needs from its hosting coordinator.
@@ -183,6 +192,15 @@ class Replica {
     /// Crash-point hook: invoked with a point name at every persist/send
     /// boundary; an armed hook throws SimulatedCrash. Null in production.
     std::function<void(const char* point)> crash_point;
+    /// Bulk signature verification (DESIGN.md §13): verify every job and
+    /// return one bool per job, in order. A coordinator with pipelining
+    /// enabled backs this with crypto::batch_verify plus a verified-
+    /// signature cache, so a batch decide's K response signatures cost
+    /// far less than K full RSA verifications and retransmitted decides
+    /// never re-enter RSA at all. Null falls back to per-job key_of +
+    /// verify, which is bit-for-bit the unbatched behaviour.
+    std::function<std::vector<bool>(const std::vector<VerifyJob>&)>
+        verify_many;
   };
 
   Replica(PartyId self, ObjectId object, B2BObject& impl,
@@ -213,6 +231,27 @@ class Replica {
 
   /// Propose an update (delta) yielding `new_state` (§4.3.1).
   RunHandle propose_update(Bytes update, Bytes new_state);
+
+  // --- pipelined batches (DESIGN.md §13) -------------------------------------
+
+  /// One element of a pipelined batch: an overwrite (`payload` IS the new
+  /// state) or an update (delta) yielding `new_state`.
+  struct BatchOp {
+    bool is_update = false;
+    Bytes payload;
+    Bytes new_state;
+  };
+
+  /// Propose K state changes as ONE coordination run (run pipelining).
+  /// The ops are hash-chained; the proposer signs only the chain head, a
+  /// responder answers the whole batch with one signed response, and the
+  /// single batch decide reveals every per-item authenticator — K agreed
+  /// states for one signature per party. The installed tuple sequence is
+  /// bit-for-bit what K sequential runs would have produced. Unlike
+  /// propose_state/propose_update the caller must NOT pre-mutate the
+  /// object: the replica applies the final state itself once the batch
+  /// validates (invariant 2).
+  RunHandle propose_batch(std::vector<BatchOp> ops);
 
   // --- deal legs (DESIGN.md §12; driven by the DealCoordinator) --------------
 
@@ -409,6 +448,35 @@ class Replica {
     static ResponderRunRecord decode(BytesView data);  // throws CodecError
   };
 
+  /// Durable image of an in-flight batch proposer run (DESIGN.md §13),
+  /// journaled before the batch propose is sent. Carries ALL per-item
+  /// authenticators and full per-item states so a recovered proposer can
+  /// redo the batch decide (which reveals every authenticator) and the
+  /// per-item installs.
+  struct BatchProposerRunRecord {
+    BatchProposeMsg propose;
+    std::vector<Bytes> authenticators;
+    std::vector<Bytes> states;
+    std::vector<PartyId> recipients;
+
+    Bytes encode() const;
+    static BatchProposerRunRecord decode(BytesView data);  // throws CodecError
+  };
+
+  /// Durable image of a responder-side batch run, journaled (with the
+  /// validated per-item scratch states) before the single signed
+  /// response is sent.
+  struct BatchResponderRunRecord {
+    BatchProposeMsg propose;
+    std::vector<Bytes> pending_states;  // empty when the batch was rejected
+    RespondMsg my_response;
+    std::vector<PartyId> members_at_response;
+
+    Bytes encode() const;
+    // throws CodecError
+    static BatchResponderRunRecord decode(BytesView data);
+  };
+
   /// Durable image of an in-flight sponsor-side membership run (§4.5),
   /// journaled before the membership propose is sent. The signed request
   /// (and its signature) ride inside the proposal; `report_to` is not
@@ -466,6 +534,16 @@ class Replica {
     std::map<std::string, DecideMsg> responder_decides;
     std::set<std::string> seen_labels;
     std::uint64_t max_sequence = 0;
+
+    // --- pipelined batches (DESIGN.md §13) ------------------------------------
+    std::optional<BatchProposerRunRecord> batch_proposer_run;
+    /// Batch decide journaled but the run not closed: the batch decide
+    /// phase is redone to the journaled outcome on resume.
+    std::optional<BatchDecideMsg> batch_proposer_decide;
+    std::map<std::string, BatchResponderRunRecord> batch_responder_runs;
+    /// Batch decides journaled as delivered whose per-item installation
+    /// may not have completed; concluded again on resume.
+    std::map<std::string, BatchDecideMsg> batch_responder_decides;
 
     // --- membership runs (§4.5) ---------------------------------------------
     std::optional<SponsorRunRecord> sponsor_run;
@@ -579,8 +657,16 @@ class Replica {
   void record_anomaly(const std::string& what, const PartyId& party);
   void send_envelope(const PartyId& to, MsgType type, Bytes body);
   bool is_member(const PartyId& party) const;
+  /// `bookkeep = false` installs the tuple/state without checkpoint,
+  /// evidence or journal snapshot — used for the intermediate items of a
+  /// batch, whose bookkeeping the final item's install subsumes (the
+  /// checkpoint store only keeps the latest state per object, and the
+  /// batch decide evidence already carries every item tuple). Skipping
+  /// it keeps the per-item cost of a batch free of RSA work: evidence
+  /// records are TSS-stamped, and one stamp per item would quietly
+  /// restore the per-item RSA floor pipelining exists to kill.
   void install_agreed_state(const StateTuple& tuple, Bytes state,
-                            bool apply_to_object);
+                            bool apply_to_object, bool bookkeep = true);
   void complete(const RunHandle& handle, RunResult::Outcome outcome,
                 std::string diagnostic, std::vector<PartyId> vetoers,
                 std::uint64_t sequence, const std::string& label);
@@ -589,6 +675,7 @@ class Replica {
   RunHandle start_state_run(bool is_update, Bytes payload, Bytes new_state);
   void handle_respond(const PartyId& from, const Bytes& body);
   void finish_state_run_as_proposer();
+  void finish_batch_run_as_proposer();
 
   // --- state coordination: responder side ------------------------------------
   void handle_propose(const PartyId& from, const Bytes& body);
@@ -596,6 +683,25 @@ class Replica {
   Decision evaluate_proposal(const ProposeMsg& msg, Bytes* new_state_out);
   struct ResponderRun;
   std::optional<Bytes> derive_agreed_state(ResponderRun& run);
+
+  // --- pipelined batches (DESIGN.md §13) ---------------------------------------
+  void handle_batch_propose(const PartyId& from, const Bytes& body);
+  void handle_batch_decide(const PartyId& from, const Bytes& body);
+  /// Shared tail of handle_batch_decide and the recovery redo: verify the
+  /// aggregated responses (via verify_many when available), compute the
+  /// group decision, install every item in order or discard, release the
+  /// lock. `run` must already be removed from the map.
+  void conclude_batch_responder_run(const std::string& label,
+                                    ResponderRun run,
+                                    const BatchDecideMsg& msg,
+                                    const PartyId& attribute_to);
+  /// Re-derive every item state of an overridden-veto batch from our own
+  /// copy of the payloads (nullopt if any hash cannot be confirmed).
+  std::optional<std::vector<Bytes>> derive_batch_agreed_states(
+      ResponderRun& run);
+  /// Re-send the stored batch decide of a closed run to a probing
+  /// responder. Returns false if none is on record.
+  bool maybe_resend_batch_decide(const std::string& label, const PartyId& to);
 
   /// Shared tail of handle_decide and TTP-certified decisions: verify the
   /// aggregated responses, compute the group decision, install or discard,
@@ -674,6 +780,15 @@ class Replica {
   bool group_accepts(std::size_t accepts, std::size_t recipients) const;
 
   // --- proposer-side active state run ------------------------------------------
+  /// Batch overlay on a proposer run (DESIGN.md §13): present iff the run
+  /// is a pipelined batch. `propose` is the wire message (re-sent by
+  /// probes and recovery); the outer run's ProposeMsg mirrors its
+  /// proposal for label routing and response cross-checks.
+  struct BatchProposerState {
+    BatchProposeMsg propose;
+    std::vector<Bytes> authenticators;  // r_i: preimage of item i's rand_hash
+    std::vector<Bytes> states;          // full state after item i
+  };
   struct ProposerRun {
     ProposeMsg propose;
     Bytes authenticator;  // r: preimage of proposed.rand_hash
@@ -685,10 +800,18 @@ class Replica {
     /// deal layer instead of auto-deciding.
     bool deal_staged = false;
     std::string deal_id;
+    std::optional<BatchProposerState> batch;
   };
   std::optional<ProposerRun> proposer_run_;
 
   // --- responder-side active state run ------------------------------------------
+  /// Batch overlay on a responder run: the original batch propose (for
+  /// authenticator checks and state re-derivation) plus the validated
+  /// per-item scratch states (empty when we rejected the batch).
+  struct BatchResponderState {
+    BatchProposeMsg propose;
+    std::vector<Bytes> pending_states;
+  };
   struct ResponderRun {
     ProposeMsg propose;
     Bytes pending_state;  // state to install if the group agrees
@@ -698,6 +821,7 @@ class Replica {
     /// checked against this, not against the (possibly since-changed)
     /// current member list.
     std::vector<PartyId> members_at_response;
+    std::optional<BatchResponderState> batch;
   };
   std::map<std::string, ResponderRun> responder_runs_;
   /// Label of the run this replica has *accepted* and is provisionally
@@ -755,6 +879,11 @@ class Replica {
   std::optional<DecideMsg> recovered_decide_;
   /// Delivered decides whose conclusion must be redone on resume.
   std::map<std::string, DecideMsg> pending_redo_decides_;
+  /// Batch decide journaled by our previous incarnation but not confirmed
+  /// installed: redone (to the journaled outcome) in resume_recovered_runs.
+  std::optional<BatchDecideMsg> recovered_batch_decide_;
+  /// Delivered batch decides whose conclusion must be redone on resume.
+  std::map<std::string, BatchDecideMsg> pending_redo_batch_decides_;
   /// Membership decide journaled by our previous incarnation as sponsor
   /// but not confirmed installed: redone in resume_recovered_runs.
   std::optional<MembershipDecideMsg> recovered_membership_decide_;

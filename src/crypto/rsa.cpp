@@ -1,5 +1,6 @@
 #include "crypto/rsa.hpp"
 
+#include <map>
 #include <stdexcept>
 
 #include "common/error.hpp"
@@ -175,6 +176,166 @@ std::optional<Bytes> RsaPrivateKey::decrypt(BytesView ciphertext) const {
   while (sep < k && em[sep] != 0x00) ++sep;
   if (sep == k || sep < 10) return std::nullopt;  // PS must be >= 8 bytes
   return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep + 1), em.end());
+}
+
+SignatureCache::SignatureCache(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::string SignatureCache::cache_key(const RsaPublicKey& key,
+                                      const Digest& digest,
+                                      BytesView signature) {
+  // Hash the full (key, digest, signature) triple with explicit length
+  // framing so no field can collide into a neighbour: the encoded key is
+  // itself length-prefixed, the digest is fixed-width, and the signature
+  // length is mixed in before its bytes.
+  Sha256 hasher;
+  Bytes key_bytes = key.encode();
+  auto mix_len = [&hasher](std::uint64_t n) {
+    Bytes len(8);
+    for (int i = 0; i < 8; ++i) {
+      len[i] = static_cast<std::uint8_t>(n >> (8 * i));
+    }
+    hasher.update(len);
+  };
+  mix_len(key_bytes.size());
+  hasher.update(key_bytes);
+  hasher.update(BytesView(digest.data(), digest.size()));
+  mix_len(signature.size());
+  hasher.update(signature);
+  Digest id = hasher.finish();
+  return std::string(reinterpret_cast<const char*>(id.data()), id.size());
+}
+
+bool SignatureCache::contains(const RsaPublicKey& key, const Digest& digest,
+                              BytesView signature) const {
+  std::string id = cache_key(key, digest, signature);
+  std::lock_guard<std::mutex> lock(mutex_);
+  bool hit = entries_.contains(id);
+  if (hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return hit;
+}
+
+void SignatureCache::insert(const RsaPublicKey& key, const Digest& digest,
+                            BytesView signature) {
+  std::string id = cache_key(key, digest, signature);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!entries_.insert(id).second) return;
+  order_.push_back(std::move(id));
+  ++stats_.insertions;
+  while (entries_.size() > capacity_) {
+    entries_.erase(order_.front());
+    order_.pop_front();
+    ++stats_.evictions;
+  }
+}
+
+bool SignatureCache::verify(const RsaPublicKey& key, BytesView message,
+                            BytesView signature) {
+  return verify_digest(key, Sha256::hash(message), signature);
+}
+
+bool SignatureCache::verify_digest(const RsaPublicKey& key,
+                                   const Digest& digest, BytesView signature) {
+  if (contains(key, digest, signature)) return true;
+  if (!key.verify_digest(digest, signature)) return false;
+  insert(key, digest, signature);
+  return true;
+}
+
+SignatureCache::Stats SignatureCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SignatureCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+BatchVerifyResult batch_verify(const std::vector<BatchVerifyItem>& items,
+                               ChaCha20Rng& rng, SignatureCache* cache) {
+  BatchVerifyResult out;
+  out.ok.assign(items.size(), false);
+
+  // Pass 1: cache answers, and group the remainder by public key.
+  std::map<std::string, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const BatchVerifyItem& item = items[i];
+    if (item.key == nullptr) continue;
+    if (cache != nullptr &&
+        cache->contains(*item.key, item.digest, item.signature)) {
+      out.ok[i] = true;
+      ++out.cache_hits;
+      continue;
+    }
+    Bytes key_id = item.key->encode();
+    groups[std::string(key_id.begin(), key_id.end())].push_back(i);
+  }
+
+  auto verify_one = [&](std::size_t i) {
+    const BatchVerifyItem& item = items[i];
+    out.ok[i] = item.key->verify_digest(item.digest, item.signature);
+    if (out.ok[i] && cache != nullptr) {
+      cache->insert(*item.key, item.digest, item.signature);
+    }
+  };
+
+  for (auto& [key_id, indices] : groups) {
+    const RsaPublicKey& key = *items[indices.front()].key;
+    const std::size_t k = key.modulus_bytes();
+    bool screened = indices.size() >= 2;
+    if (screened) {
+      // Bellare–Garay–Rabin small-exponents screening over the group:
+      // accept iff (prod s_i^{l_i})^e == prod m_i^{l_i} (mod n) for
+      // random 32-bit l_i >= 1. Any malformed member (wrong length,
+      // s >= n) drops the group to per-item verification instead.
+      BigInt sig_acc(1);
+      BigInt msg_acc(1);
+      for (std::size_t i : indices) {
+        const BatchVerifyItem& item = items[i];
+        if (item.signature.size() != k) {
+          screened = false;
+          break;
+        }
+        BigInt s = BigInt::from_bytes_be(item.signature);
+        if (s >= key.n()) {
+          screened = false;
+          break;
+        }
+        BigInt m = BigInt::from_bytes_be(pkcs1_encode(item.digest, k));
+        BigInt l(static_cast<std::uint64_t>(rng.next_u64() & 0xffffffffULL) |
+                 1ULL);
+        sig_acc = (sig_acc * mod_exp(s, l, key.n())) % key.n();
+        msg_acc = (msg_acc * mod_exp(m, l, key.n())) % key.n();
+      }
+      if (screened && mod_exp(sig_acc, key.e(), key.n()) == msg_acc) {
+        ++out.screened_groups;
+        for (std::size_t i : indices) {
+          out.ok[i] = true;
+          if (cache != nullptr) {
+            cache->insert(key, items[i].digest, items[i].signature);
+          }
+        }
+        continue;
+      }
+    }
+    // Singleton group, malformed member, or screening failed: verify each
+    // member individually so the caller learns exactly which are bad.
+    for (std::size_t i : indices) verify_one(i);
+  }
+
+  out.all_ok = true;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (!out.ok[i]) {
+      out.all_ok = false;
+      out.bad.push_back(i);
+    }
+  }
+  return out;
 }
 
 bool is_probable_prime(const BigInt& candidate, ChaCha20Rng& rng, int rounds) {

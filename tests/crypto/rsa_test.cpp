@@ -169,6 +169,208 @@ TEST(RsaTest, DecryptWithWrongKeyFails) {
   }
 }
 
+// --- SignatureCache: the verified-signature cache behind the batch /
+// --- pipelining work (DESIGN.md §13).
+
+TEST(SignatureCacheTest, HitAfterVerifyMissBefore) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes message = bytes_of("cached message");
+  Bytes signature = key.sign(message);
+  Digest digest = Sha256::hash(message);
+
+  SignatureCache cache(16);
+  EXPECT_FALSE(cache.contains(key.public_key(), digest, signature));
+  EXPECT_TRUE(cache.verify(key.public_key(), message, signature));
+  EXPECT_TRUE(cache.contains(key.public_key(), digest, signature));
+  // The second verify is answered from the cache.
+  auto stats = cache.stats();
+  EXPECT_TRUE(cache.verify(key.public_key(), message, signature));
+  EXPECT_EQ(cache.stats().hits, stats.hits + 1);
+}
+
+TEST(SignatureCacheTest, NegativeResultsAreNeverCached) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  Bytes message = bytes_of("forged");
+  Bytes bad = key.sign(message);
+  bad[0] ^= 0x01;
+  SignatureCache cache(16);
+  EXPECT_FALSE(cache.verify(key.public_key(), message, bad));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(key.public_key(), Sha256::hash(message), bad));
+}
+
+TEST(SignatureCacheTest, EvictionStaysWithinCapacity) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  SignatureCache cache(4);
+  std::vector<Bytes> messages;
+  std::vector<Bytes> signatures;
+  for (int i = 0; i < 10; ++i) {
+    messages.push_back(bytes_of("evict-" + std::to_string(i)));
+    signatures.push_back(key.sign(messages.back()));
+    ASSERT_TRUE(cache.verify(key.public_key(), messages.back(),
+                             signatures.back()));
+    EXPECT_LE(cache.size(), 4u);
+  }
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 10u);
+  EXPECT_EQ(stats.evictions, 6u);
+  // FIFO: the oldest entries are gone, the newest are resident.
+  EXPECT_FALSE(cache.contains(key.public_key(), Sha256::hash(messages[0]),
+                              signatures[0]));
+  EXPECT_TRUE(cache.contains(key.public_key(), Sha256::hash(messages[9]),
+                             signatures[9]));
+  // An evicted signature still verifies (and is re-admitted).
+  EXPECT_TRUE(cache.verify(key.public_key(), messages[0], signatures[0]));
+}
+
+TEST(SignatureCacheTest, CannotBePoisonedByPrefixCollision) {
+  // The cache key covers the FULL (public key, digest, signature) triple.
+  // A frame that matches a cached entry on a prefix of that tuple — same
+  // digest under a different key, same key+digest with different
+  // signature bytes, or a truncated signature — must MISS, not hit.
+  const RsaPrivateKey& key_a = test::shared_test_key(0);
+  const RsaPrivateKey& key_b = test::shared_test_key(1);
+  Bytes message = bytes_of("poison target");
+  Digest digest = Sha256::hash(message);
+  Bytes signature = key_a.sign(message);
+
+  SignatureCache cache(16);
+  ASSERT_TRUE(cache.verify(key_a.public_key(), message, signature));
+
+  // Same digest, different signer: the attacker has no signature from
+  // key_b but hopes the cached key_a entry answers for it.
+  EXPECT_FALSE(cache.contains(key_b.public_key(), digest, signature));
+  EXPECT_FALSE(cache.verify(key_b.public_key(), message, signature));
+
+  // Same signer+digest, mutated signature bytes.
+  Bytes mutated = signature;
+  mutated.back() ^= 0x80;
+  EXPECT_FALSE(cache.contains(key_a.public_key(), digest, mutated));
+  EXPECT_FALSE(cache.verify(key_a.public_key(), message, mutated));
+
+  // Truncated signature sharing the cached entry's byte prefix.
+  Bytes truncated(signature.begin(), signature.end() - 1);
+  EXPECT_FALSE(cache.contains(key_a.public_key(), digest, truncated));
+  EXPECT_FALSE(cache.verify(key_a.public_key(), message, truncated));
+
+  // And the original triple still hits.
+  EXPECT_TRUE(cache.contains(key_a.public_key(), digest, signature));
+}
+
+// --- batch_verify: many signatures at once, agreeing with one-by-one
+// --- verification and localising corrupted members.
+
+TEST(BatchVerifyTest, AgreesWithOneByOneOnAThousandMessages) {
+  const RsaPrivateKey& key_a = test::shared_test_key(0);
+  const RsaPrivateKey& key_b = test::shared_test_key(1);
+  ChaCha20Rng data_rng(std::uint64_t{41});
+  ChaCha20Rng batch_rng(std::uint64_t{42});
+
+  std::vector<BatchVerifyItem> items;
+  std::vector<bool> expected;
+  items.reserve(1000);
+  for (int i = 0; i < 1000; ++i) {
+    const RsaPrivateKey& key = (i % 3 == 0) ? key_b : key_a;
+    Bytes message = data_rng.bytes(16 + (i % 48));
+    BatchVerifyItem item;
+    item.key = &key.public_key();
+    item.digest = Sha256::hash(message);
+    item.signature = key.sign_digest(item.digest);
+    bool good = true;
+    if (i % 97 == 13) {  // corrupt a scattering of members
+      item.signature[i % item.signature.size()] ^= 0x01;
+      good = false;
+    }
+    items.push_back(std::move(item));
+    expected.push_back(good);
+  }
+
+  BatchVerifyResult result = batch_verify(items, batch_rng);
+  ASSERT_EQ(result.ok.size(), items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    EXPECT_EQ(result.ok[i],
+              items[i].key->verify_digest(items[i].digest,
+                                          items[i].signature))
+        << "index " << i;
+    EXPECT_EQ(result.ok[i], expected[i]) << "index " << i;
+  }
+  EXPECT_FALSE(result.all_ok);
+  // The batch localises exactly the corrupted indices.
+  std::vector<std::size_t> expected_bad;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    if (!expected[i]) expected_bad.push_back(i);
+  }
+  EXPECT_EQ(result.bad, expected_bad);
+}
+
+TEST(BatchVerifyTest, AllGoodBatchScreensWholeGroups) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  ChaCha20Rng batch_rng(std::uint64_t{43});
+  std::vector<BatchVerifyItem> items;
+  for (int i = 0; i < 8; ++i) {
+    Bytes message = bytes_of("screen-" + std::to_string(i));
+    BatchVerifyItem item;
+    item.key = &key.public_key();
+    item.digest = Sha256::hash(message);
+    item.signature = key.sign_digest(item.digest);
+    items.push_back(std::move(item));
+  }
+  BatchVerifyResult result = batch_verify(items, batch_rng);
+  EXPECT_TRUE(result.all_ok);
+  EXPECT_TRUE(result.bad.empty());
+  EXPECT_EQ(result.screened_groups, 1u);
+}
+
+TEST(BatchVerifyTest, WrongKeyRegression) {
+  // A signature made under key A presented as key B's must fail in the
+  // batch exactly as it does one-by-one, and must not poison its group.
+  const RsaPrivateKey& key_a = test::shared_test_key(0);
+  const RsaPrivateKey& key_b = test::shared_test_key(1);
+  ChaCha20Rng batch_rng(std::uint64_t{44});
+  std::vector<BatchVerifyItem> items;
+  for (int i = 0; i < 4; ++i) {
+    Bytes message = bytes_of("wrong-key-" + std::to_string(i));
+    BatchVerifyItem item;
+    item.key = &key_b.public_key();
+    item.digest = Sha256::hash(message);
+    // Item 2 carries key A's signature, claimed to be from key B.
+    item.signature = (i == 2) ? key_a.sign_digest(item.digest)
+                              : key_b.sign_digest(item.digest);
+    items.push_back(std::move(item));
+  }
+  BatchVerifyResult result = batch_verify(items, batch_rng);
+  EXPECT_FALSE(result.all_ok);
+  ASSERT_EQ(result.bad.size(), 1u);
+  EXPECT_EQ(result.bad[0], 2u);
+  EXPECT_TRUE(result.ok[0]);
+  EXPECT_TRUE(result.ok[1]);
+  EXPECT_TRUE(result.ok[3]);
+}
+
+TEST(BatchVerifyTest, PopulatesAndConsultsCache) {
+  const RsaPrivateKey& key = test::shared_test_key(0);
+  ChaCha20Rng batch_rng(std::uint64_t{45});
+  SignatureCache cache(64);
+  std::vector<BatchVerifyItem> items;
+  for (int i = 0; i < 6; ++i) {
+    Bytes message = bytes_of("cache-batch-" + std::to_string(i));
+    BatchVerifyItem item;
+    item.key = &key.public_key();
+    item.digest = Sha256::hash(message);
+    item.signature = key.sign_digest(item.digest);
+    items.push_back(std::move(item));
+  }
+  BatchVerifyResult first = batch_verify(items, batch_rng, &cache);
+  EXPECT_TRUE(first.all_ok);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(cache.size(), 6u);
+  // A retransmission of the same batch never re-enters RSA.
+  BatchVerifyResult second = batch_verify(items, batch_rng, &cache);
+  EXPECT_TRUE(second.all_ok);
+  EXPECT_EQ(second.cache_hits, 6u);
+  EXPECT_EQ(second.screened_groups, 0u);
+}
+
 TEST(RsaTest, KeypairGenerationRejectsTinyKeys) {
   ChaCha20Rng rng(std::uint64_t{5});
   EXPECT_THROW(generate_rsa_keypair(256, rng), std::invalid_argument);

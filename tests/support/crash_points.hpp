@@ -70,6 +70,26 @@ inline const std::vector<std::string> kDealParticipantPoints = {
     "deal-abort-recv.pre-journal",  "deal-abort-recv.journaled",
 };
 
+// Pipelined-batch crash points passed on the batch proposer's code path
+// (DESIGN.md §13): opening the batch (journal/sign/send), and sending /
+// installing the batch decide.
+inline const std::vector<std::string> kBatchProposerPoints = {
+    "batch-open.pre-journal",   "batch-chain-head.signed",
+    "batch-open.journaled",     "batch-open.mid-send",
+    "batch-open.sent",          "batch-decide.pre-journal",
+    "batch-decide.journaled",   "batch-decide.mid-send",
+    "batch-decide.sent",        "batch-decide.installed",
+};
+
+// Pipelined-batch crash points passed on a batch responder's code path:
+// mid-validation of the batch, journaling/sending the single signed
+// response, and receiving/installing the batch decide.
+inline const std::vector<std::string> kBatchResponderPoints = {
+    "batch-respond.mid",            "batch-respond.journaled",
+    "batch-respond.sent",           "batch-decide-recv.pre-journal",
+    "batch-decide-recv.journaled",  "batch-decide-recv.installed",
+};
+
 /// CI sweeps the campaigns under several seeds via this env var; the
 /// default matches the historical hardcoded seed.
 inline std::uint64_t campaign_seed() {
